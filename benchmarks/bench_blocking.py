@@ -1,0 +1,71 @@
+"""A8 — scaling microaggregation with 2^d-tree blocking.
+
+Solanas et al.'s blocking makes microaggregation practical at census
+scale: this bench measures the wall-clock and information-loss trade
+against plain MDAV across dataset sizes, plus a latency benchmark of each
+at a fixed size.
+"""
+
+import time
+
+from repro.data import patients
+from repro.sdc import (
+    BlockedMicroaggregation,
+    Microaggregation,
+    anonymity_level,
+    il1s,
+)
+
+QI = ["height", "weight", "age"]
+
+
+def test_a8_blocking_speedup(benchmark):
+    def run():
+        rows = []
+        for n in (1000, 3000):
+            pop = patients(n, seed=2)
+            t0 = time.perf_counter()
+            blocked = BlockedMicroaggregation(5, 256).mask(pop)
+            t_blocked = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            plain = Microaggregation(5).mask(pop)
+            t_plain = time.perf_counter() - t0
+            rows.append((
+                n, t_plain, t_blocked,
+                il1s(pop, plain, QI), il1s(pop, blocked, QI),
+                anonymity_level(blocked, QI),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("A8: plain MDAV vs 2^d-tree blocked microaggregation (k=5)")
+    print(f"    {'n':>6s} {'MDAV s':>8s} {'blocked s':>10s} "
+          f"{'IL1s MDAV':>10s} {'IL1s blk':>9s} {'k-anon':>7s}")
+    for n, tp, tb, ilp, ilb, k in rows:
+        print(f"    {n:>6d} {tp:>8.3f} {tb:>10.3f} "
+              f"{ilp:>10.3f} {ilb:>9.3f} {k:>7d}")
+    # Shape: blocking gets faster relative to MDAV as n grows, keeps
+    # k-anonymity, and stays within 2x the information loss.
+    small, large = rows
+    assert large[2] < large[1]  # blocked faster at the large size
+    assert all(k >= 5 for *_, k in rows)
+    assert all(ilb < 2.0 * ilp for _, _, _, ilp, ilb, _ in rows)
+
+
+def test_a8_blocked_latency(benchmark):
+    pop = patients(2000, seed=4)
+    method = BlockedMicroaggregation(5, 256)
+    release = benchmark.pedantic(
+        lambda: method.mask(pop), rounds=1, iterations=1
+    )
+    assert anonymity_level(release, QI) >= 5
+
+
+def test_a8_mdav_latency(benchmark):
+    pop = patients(2000, seed=4)
+    method = Microaggregation(5)
+    release = benchmark.pedantic(
+        lambda: method.mask(pop), rounds=1, iterations=1
+    )
+    assert anonymity_level(release, QI) >= 5

@@ -1,0 +1,95 @@
+"""A6 — a full scoreboard of every masking method in the library.
+
+The framework's practical payoff: any masking configuration can be put on
+the paper's three-dimensional scale.  Scores every implemented method on
+the same population and checks the structural invariants (microaggregation
+tops respondent privacy, synthetic/condensation top owner privacy, nobody
+gets user privacy without PIR).
+"""
+
+from repro.core import PrivacyDimension, masking_scoreboard
+from repro.data import patients
+from repro.sdc import (
+    Condensation,
+    CorrelatedNoise,
+    IdentityMasking,
+    Microaggregation,
+    MondrianKAnonymizer,
+    PSensitiveMicroaggregation,
+    RankSwap,
+    Rounding,
+    SyntheticRelease,
+    TopBottomCoding,
+    UncorrelatedNoise,
+)
+
+R, O, U = (
+    PrivacyDimension.RESPONDENT,
+    PrivacyDimension.OWNER,
+    PrivacyDimension.USER,
+)
+
+
+def _methods():
+    return [
+        IdentityMasking(),
+        Microaggregation(5),
+        PSensitiveMicroaggregation(5, 2, confidential=["aids"]),
+        MondrianKAnonymizer(5),
+        Condensation(14),
+        SyntheticRelease(),
+        UncorrelatedNoise(0.5),
+        CorrelatedNoise(0.3),
+        RankSwap(15),
+        TopBottomCoding(0.05),
+        Rounding(0.5),
+    ]
+
+
+def test_a6_masking_scoreboard(benchmark):
+    pop = patients(400, seed=0).drop(["patient_id"])
+
+    def run():
+        return masking_scoreboard(_methods(), pop, with_pir=False, seed=0)
+
+    board = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("A6: every masking method on the three-dimensional scale")
+    for assessment in board:
+        print("    " + assessment.summary())
+
+    by_name = {a.method_name: a for a in board}
+    identity = by_name["identity"]
+    # Structural invariants of the framework:
+    assert identity.scores[R] < 0.05 and identity.scores[O] < 0.05
+    assert all(a.scores[U] == 0.0 for a in board)  # no PIR, no user privacy
+    # k-anonymity-style methods dominate the respondent column...
+    k_methods = [
+        by_name["microaggregation(k=5)"],
+        by_name["mondrian(k=5)"],
+        by_name["p-sensitive-microaggregation(k=5,p=2)"],
+    ]
+    weak = [by_name["top-bottom-coding(tail=0.05)"], by_name["rounding(base=0.5sd)"]]
+    assert min(m.scores[R] for m in k_methods) > max(w.scores[R] for w in weak)
+    # ...while distribution-replacement methods dominate the owner column.
+    assert by_name["synthetic-copula"].scores[O] >= by_name["microaggregation(k=5)"].scores[O]
+    assert by_name["condensation(k=14)"].scores[O] > by_name["identity"].scores[O]
+
+
+def test_a6_pir_composition_lifts_user_only(benchmark):
+    pop = patients(300, seed=1).drop(["patient_id"])
+
+    def run():
+        plain = masking_scoreboard([Microaggregation(5)], pop, with_pir=False)
+        pired = masking_scoreboard([Microaggregation(5)], pop, with_pir=True)
+        return plain[0], pired[0]
+
+    plain, pired = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("A6: PIR composition (microaggregation k=5)")
+    print("    " + plain.summary())
+    print("    " + pired.summary())
+    assert plain.scores[U] == 0.0
+    assert pired.scores[U] > 0.9
+    assert abs(plain.scores[R] - pired.scores[R]) < 1e-9
+    assert abs(plain.scores[O] - pired.scores[O]) < 1e-9

@@ -1,0 +1,49 @@
+"""A3 — the microaggregation k frontier (ablation).
+
+Sweeps the anonymity parameter k and prints the disclosure-risk /
+information-loss frontier: linkage risk must fall like 1/k while IL1s
+rises — the trade-off every Section 6 deployment must navigate.
+"""
+
+import numpy as np
+
+from repro.data import patients
+from repro.sdc import (
+    Microaggregation,
+    anonymity_level,
+    assess_utility,
+    distance_linkage_rate,
+)
+
+QI = ["height", "weight", "age"]
+KS = [2, 3, 5, 10, 20]
+
+
+def test_a3_microaggregation_frontier(benchmark):
+    pop = patients(500, seed=13)
+
+    def run():
+        rows = []
+        for k in KS:
+            release = Microaggregation(k).mask(pop)
+            linkage = distance_linkage_rate(pop, release, QI)
+            utility = assess_utility(pop, release, QI)
+            rows.append((k, anonymity_level(release, QI), linkage,
+                         utility.il1s))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("A3: microaggregation frontier (risk falls, loss rises)")
+    print(f"    {'k':>4s} {'k-anon':>7s} {'linkage':>8s} {'IL1s':>6s}")
+    for k, level, linkage, il in rows:
+        print(f"    {k:>4d} {level:>7d} {linkage:>8.3f} {il:>6.3f}")
+
+    linkages = [r[2] for r in rows]
+    losses = [r[3] for r in rows]
+    # Shape: linkage ~ 1/k (monotone down), information loss monotone up.
+    assert all(a >= b - 0.02 for a, b in zip(linkages, linkages[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(losses, losses[1:]))
+    for (k, level, linkage, _il) in rows:
+        assert level >= k
+        assert linkage <= 1.0 / k + 0.05

@@ -1,0 +1,98 @@
+"""A2 — PIR cost scaling (ablation).
+
+Communication and latency of the retrieval schemes versus database size:
+the O(n) two-server scheme, its O(sqrt n) square refinement, and
+single-server computational PIR (linear and matrix layouts).
+"""
+
+import random
+
+from repro.pir import (
+    LinearCPIR,
+    MatrixCPIR,
+    MultiServerXorPIR,
+    SquareSchemePIR,
+    TwoServerXorPIR,
+)
+
+SIZES = [64, 256, 1024]
+
+
+def test_a2_itpir_scaling(benchmark):
+    def run():
+        rows = []
+        for n in SIZES:
+            records = list(range(n))
+            linear = TwoServerXorPIR(records)
+            square = SquareSchemePIR(records)
+            linear.retrieve(n // 2, 0)
+            square.retrieve(n // 2, 0)
+            rows.append((n, linear.upstream_bits, square.upstream_bits))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("A2: IT-PIR upstream communication (bits per query)")
+    print(f"    {'n':>6s} {'linear O(n)':>12s} {'square O(sqrt n)':>17s}")
+    for n, linear_bits, square_bits in rows:
+        print(f"    {n:>6d} {linear_bits:>12d} {square_bits:>17d}")
+    # Shape: square grows ~4x slower than linear across a 16x size range.
+    assert rows[-1][1] / rows[0][1] > 10
+    assert rows[-1][2] / rows[0][2] < 6
+
+
+def test_a2_itpir_latency(benchmark):
+    pir = TwoServerXorPIR(list(range(1024)))
+    result = benchmark(lambda: pir.retrieve_int(777, 0))
+    assert result == 777
+
+
+def test_a2_cpir_upstream(benchmark):
+    def run():
+        rows = []
+        for n in (16, 64, 144):
+            linear = LinearCPIR(list(range(n)), key_bits=128,
+                                rng=random.Random(1))
+            matrix = MatrixCPIR(list(range(n)), key_bits=128,
+                                rng=random.Random(2))
+            assert linear.retrieve(n // 2) == n // 2
+            assert matrix.retrieve(n // 2) == n // 2
+            rows.append((n, linear.upstream_ciphertexts,
+                         matrix.upstream_ciphertexts))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("A2: cPIR upstream ciphertexts per query")
+    print(f"    {'n':>6s} {'linear':>8s} {'matrix':>8s}")
+    for n, linear_c, matrix_c in rows:
+        print(f"    {n:>6d} {linear_c:>8d} {matrix_c:>8d}")
+    assert all(m < l for _, l, m in rows[1:])
+
+
+def test_a2_cpir_latency(benchmark):
+    pir = LinearCPIR(list(range(32)), key_bits=128, rng=random.Random(3))
+    result = benchmark.pedantic(lambda: pir.retrieve(7), rounds=1, iterations=1)
+    assert result == 7
+
+
+def test_a2_multiserver_cost(benchmark):
+    """More servers buy a stronger collusion threshold at linear cost."""
+    def run():
+        rows = []
+        for k in (2, 3, 5):
+            pir = MultiServerXorPIR(list(range(256)), n_servers=k)
+            assert pir.retrieve_int(100, 0) == 100
+            rows.append((k, pir.upstream_bits, pir.downstream_bits))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("A2: k-server XOR PIR cost vs collusion threshold (n=256)")
+    print(f"    {'servers':>8s} {'up bits':>8s} {'down bits':>10s} "
+          f"{'tolerates':>10s}")
+    for k, up, down in rows:
+        print(f"    {k:>8d} {up:>8d} {down:>10d} {k - 1:>8d}-collusion")
+    ups = [u for _, u, _ in rows]
+    assert ups == sorted(ups)
+    assert rows[0][1] == 2 * 256 and rows[2][1] == 5 * 256

@@ -1,0 +1,114 @@
+"""S2a/S2c/S3b/S4b — the quadrant demonstrations of Sections 2-4.
+
+Each benchmark realizes one quadrant (a dimension held with/without
+another) and prints the measured privacy scores for both dimensions.
+"""
+
+import random
+
+import numpy as np
+
+from repro.attacks import (
+    extraction_from_release,
+    extraction_via_pir_download,
+    isolation_attack,
+)
+from repro.core import (
+    owner_privacy_from_transcript,
+    respondent_privacy_score,
+)
+from repro.data import dataset_1, dataset_2, patients
+from repro.pir import PrivateAggregateIndex, TwoServerXorPIR, profile_itpir
+from repro.sdc import Condensation, Microaggregation, is_k_anonymous
+from repro.smc import Transcript, ring_secure_sum
+
+QI = ["height", "weight"]
+
+
+def test_s2a_respondent_without_owner(benchmark):
+    """Publishing Dataset 1 raw: respondents fine (3-anonymous), the
+    owner's asset fully extractable."""
+    def run():
+        ds1 = dataset_1()
+        anonymous = is_k_anonymous(ds1, 3, QI)
+        extraction = extraction_from_release(ds1, ds1, QI)
+        return anonymous, extraction.extraction_rate
+
+    anonymous, extraction = benchmark(run)
+    print()
+    print("S2a respondent w/o owner: Dataset 1 published unmasked")
+    print(f"    3-anonymous (respondent privacy): {anonymous}")
+    print(f"    competitor extraction rate (owner privacy lost): {extraction:.0%}")
+    assert anonymous and extraction == 1.0
+
+
+def test_s2c_owner_without_respondent(benchmark):
+    """Releasing one unique Dataset 2 record: respondent disclosed, the
+    owner's asset essentially intact."""
+    def run():
+        ds2 = dataset_2()
+        single = ds2.select(np.array([3]))
+        respondent = respondent_privacy_score(single, single, QI)
+        owner_loss = extraction_from_release(ds2, single, QI).extraction_rate
+        return respondent, owner_loss
+
+    respondent, owner_loss = benchmark(run)
+    print()
+    print("S2c owner w/o respondent: one unique Dataset 2 record released")
+    print(f"    respondent privacy of the released record: {respondent:.2f}")
+    print(f"    fraction of the owner's asset exposed: {owner_loss:.0%}")
+    assert respondent < 0.1
+    assert owner_loss <= 0.2
+
+
+def test_s3b_respondent_and_user(benchmark):
+    """k-anonymized records behind PIR: nobody isolated, queries hidden."""
+    pop = patients(300, seed=4)
+
+    def run():
+        masked = Microaggregation(5).mask(pop)
+        index = PrivateAggregateIndex(
+            masked, QI, "blood_pressure",
+            edges={
+                "height": list(np.linspace(140, 210, 8)),
+                "weight": list(np.linspace(30, 140, 8)),
+            },
+        )
+        sweep = isolation_attack(index, pop.n_rows)
+        profiling = profile_itpir(TwoServerXorPIR(list(range(64))), 150, 0)
+        return len(sweep.victims), profiling.user_privacy
+
+    victims, user = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("S3b respondent + user: k-anonymous release behind PIR")
+    print(f"    respondents isolated by a full grid sweep: {victims}")
+    print(f"    user privacy against the PIR servers: {user:.2f}")
+    assert victims == 0 and user > 0.9
+
+
+def test_s4b_owner_and_user(benchmark):
+    """Condensed release + PIR; and the crypto-PPDM owner-only contrast."""
+    pop = patients(300, seed=4)
+
+    def run():
+        release = Condensation(14).mask(pop, np.random.default_rng(1))
+        owner = 1.0 - extraction_from_release(
+            pop, release, ["height", "weight", "age"], 0.15
+        ).extraction_rate
+        pir_owner_loss = extraction_via_pir_download(pop).extraction_rate
+        transcript = Transcript()
+        ring_secure_sum([1, 2, 3], rng=random.Random(0), transcript=transcript)
+        smc_owner = owner_privacy_from_transcript(
+            transcript, {"P0": [1], "P1": [2], "P2": [3]}
+        )
+        return owner, pir_owner_loss, smc_owner
+
+    owner, pir_loss, smc_owner = benchmark(run)
+    print()
+    print("S4b owner + user: condensation behind PIR")
+    print(f"    owner privacy of the condensed release: {owner:.2f}")
+    print(f"    (contrast) PIR over raw data, owner loss: {pir_loss:.0%}")
+    print(f"    (contrast) crypto PPDM transcript owner privacy: {smc_owner:.2f}")
+    assert owner > 0.55
+    assert pir_loss == 1.0
+    assert smc_owner == 1.0

@@ -1,0 +1,49 @@
+"""T2 — Table 2: empirical scoring of the eight technology classes.
+
+The headline reproduction: every technology class is deployed on a
+synthetic patient population and attacked on all three dimensions; the
+measured grades are compared cell by cell against the paper's Table 2.
+"""
+
+from repro.core import (
+    Grade,
+    PrivacyDimension,
+    format_table2,
+    score_technologies,
+)
+
+R, O, U = (
+    PrivacyDimension.RESPONDENT,
+    PrivacyDimension.OWNER,
+    PrivacyDimension.USER,
+)
+
+
+def test_table2_reproduction(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: score_technologies(seed=0), rounds=1, iterations=1
+    )
+
+    print()
+    print("=" * 70)
+    print("T2: Table 2 reproduction (empirical grades vs paper grades)")
+    print("=" * 70)
+    print(format_table2(comparison))
+
+    # Shape assertions: exact agreement plus the orderings Section 5 argues.
+    assert comparison.agreement == 1.0
+    assert comparison.row("Crypto PPDM").grades[O] is Grade.HIGH
+    assert comparison.row("PIR").grades[U] is Grade.HIGH
+    assert comparison.row("PIR").grades[R] is Grade.NONE
+    assert (
+        comparison.row("Use-specific non-crypto PPDM + PIR").scores[U]
+        < comparison.row("Generic non-crypto PPDM + PIR").scores[U]
+    )
+    assert (
+        comparison.row("SDC").scores[R]
+        > comparison.row("Generic non-crypto PPDM").scores[R]
+    )
+    assert (
+        comparison.row("Generic non-crypto PPDM").scores[O]
+        > comparison.row("SDC").scores[O]
+    )

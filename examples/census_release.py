@@ -1,0 +1,82 @@
+"""Releasing census microdata with categorical masking (Sections 2 & 6).
+
+Statistical offices — the paper's original SDC setting — face categorical
+quasi-identifiers (zip code, sex) next to numeric ones (age).  This
+example builds generalization hierarchies, searches the full-domain
+lattice for the minimal recoding achieving k-anonymity, applies PRAM to
+the sensitive categorical attribute, and reports what each step costs.
+
+Run:  python examples/census_release.py
+"""
+
+import collections
+
+import numpy as np
+
+from repro.data import IntervalHierarchy, TaxonomyHierarchy, census
+from repro.sdc import (
+    Pram,
+    anonymity_level,
+    is_k_anonymous,
+    minimal_generalization,
+    sensitivity_level,
+    uniqueness_rate,
+)
+
+QI = ["age", "zipcode", "sex"]
+
+
+def main() -> None:
+    pop = census(500, seed=17, n_zipcodes=12).drop(["person_id"])
+    print(f"Census file: {pop.n_rows} respondents, quasi-identifiers {QI}")
+    print(f"  sample uniques on {QI}: {uniqueness_rate(pop, QI):.0%}")
+    print(f"  3-anonymous: {is_k_anonymous(pop, 3, QI)}\n")
+
+    # Hierarchies: age in doubling intervals; zip codes up a geography
+    # tree; sex only suppressible.
+    zip_tree = {z: f"district-{z[:4]}" for z in sorted(set(pop["zipcode"]))}
+    zip_tree.update({d: "Tarragona-province"
+                     for d in set(zip_tree.values())})
+    hierarchies = {
+        "age": IntervalHierarchy(base_width=5, n_levels=4, origin=0),
+        "zipcode": TaxonomyHierarchy(zip_tree),
+        "sex": TaxonomyHierarchy({"M": "*", "F": "*"}),
+    }
+
+    for k in (3, 5, 10):
+        result = minimal_generalization(
+            pop, hierarchies, k=k, max_suppression=0.03
+        )
+        print(
+            f"k={k:<3d} minimal recoding levels {result.levels} "
+            f"(+{len(result.suppressed)} records suppressed) -> "
+            f"achieved k={anonymity_level(result.data, QI)}"
+        )
+
+    # Release at k = 5 and check the confidential attribute's diversity.
+    recoded = minimal_generalization(pop, hierarchies, 5, 0.03).data
+    p = sensitivity_level(recoded, ["disease"], QI)
+    print(f"\np-sensitivity of 'disease' within classes: p = {p}")
+
+    # PRAM the confidential attribute regardless: record-level plausible
+    # deniability on top of class-level diversity (paper footnote 3 names
+    # the homogeneity risk p-sensitivity addresses).
+    print("applying invariant PRAM to 'disease' (retention 0.85)...")
+    release = Pram(retention=0.85, columns=["disease"]).mask(
+        recoded, np.random.default_rng(3)
+    )
+
+    before = collections.Counter(recoded["disease"])
+    after = collections.Counter(release["disease"])
+    print("\ndisease frequencies (recoded -> PRAMmed, invariant PRAM):")
+    for value in sorted(before):
+        print(f"  {value:14s} {before[value]:>4d} -> {after[value]:>4d}")
+
+    flipped = float(np.mean(release["disease"] != recoded["disease"]))
+    print(f"\nrecord-level flips: {flipped:.0%} "
+          "(plausible deniability for every respondent)")
+    print(f"release is 5-anonymous: {is_k_anonymous(release, 5, QI)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""The pharmaceutical-company scenario (paper, Section 2).
+
+A company ran a hypertension drug trial.  It wants to let researchers
+analyze the data without (a) re-identifying any patient and (b) handing
+competitors its dataset.  This example compares every masking method in
+the library on the risk/utility frontier, then publishes the winner
+behind a PIR aggregate endpoint so querying researchers keep their
+privacy too (Section 6's full stack).
+
+Run:  python examples/clinical_trial_release.py
+"""
+
+import numpy as np
+
+from repro.attacks import extraction_from_release
+from repro.core import KAnonymousPIRPipeline
+from repro.data import patients
+from repro.sdc import (
+    Condensation,
+    CorrelatedNoise,
+    Microaggregation,
+    MondrianKAnonymizer,
+    RankSwap,
+    UncorrelatedNoise,
+    anonymity_level,
+    assess_risk,
+    assess_utility,
+)
+
+QI = ["height", "weight", "age"]
+
+
+def main() -> None:
+    trial = patients(600, seed=42)
+    print(f"Trial data: {trial.n_rows} patients, "
+          f"quasi-identifiers {QI}, confidential: blood_pressure, aids\n")
+
+    methods = [
+        Microaggregation(3), Microaggregation(10),
+        MondrianKAnonymizer(5),
+        Condensation(10),
+        UncorrelatedNoise(0.5), CorrelatedNoise(0.3),
+        RankSwap(15),
+    ]
+
+    header = (f"{'method':26s} {'k-anon':>6s} {'linkage':>8s} "
+              f"{'owner-extr':>10s} {'IL1s':>6s} {'cov-err':>8s}")
+    print(header)
+    print("-" * len(header))
+    rng = np.random.default_rng(7)
+    for method in methods:
+        release = method.mask(trial, rng)
+        risk = assess_risk(trial, release, QI)
+        utility = assess_utility(trial, release, QI)
+        extraction = extraction_from_release(trial, release, QI, 0.15)
+        k = anonymity_level(release, QI)
+        print(
+            f"{method.name:26s} {k:>6d} {risk.linkage_rate:>8.3f} "
+            f"{extraction.extraction_rate:>10.3f} {utility.il1s:>6.3f} "
+            f"{utility.covariance_discrepancy:>8.3f}"
+        )
+
+    # Publish: k-anonymous masking + PIR endpoint (Section 6 stack).
+    print("\nPublishing microaggregated (k=5) data behind a PIR endpoint...")
+    pipeline = KAnonymousPIRPipeline(
+        trial, k=5, value_column="blood_pressure",
+        edges={
+            "height": list(np.linspace(140, 210, 8)),
+            "weight": list(np.linspace(40, 140, 8)),
+        },
+    )
+    audit = pipeline.audit()
+    print(f"release k-anonymity: {audit.k_achieved} (required {audit.k_required})")
+    print(f"grid cells isolating < k respondents: {audit.singleton_cells}")
+    print(f"audit passed: {audit.passed}")
+
+    result = pipeline.query({"height": (160.0, 180.0)})
+    print(
+        f"\nA researcher privately asks AVG pressure for heights in "
+        f"[160, 180): count={result.count}, avg={result.average:.1f} mmHg"
+    )
+    print("The PIR servers saw only random-looking cell subsets.")
+
+
+if __name__ == "__main__":
+    main()

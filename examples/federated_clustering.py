@@ -1,0 +1,59 @@
+"""Federated clustering: secure k-means across three clinics (Section 4).
+
+Three clinics each hold part of a patient cohort whose biomarkers form
+natural clusters.  They jointly compute the k-means centroids — every
+Lloyd statistic travels as a masked secure sum — and verify against the
+trusted-third-party baseline.  A wiretapper recovers 0% of the records.
+
+Run:  python examples/federated_clustering.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.data import sparse_clusters
+from repro.smc import plaintext_exposure, pooled_kmeans, secure_kmeans
+
+
+def main() -> None:
+    cohort = sparse_clusters(
+        360, 2, n_clusters=3, cluster_std=0.4, seed=5
+    ).rename({"x0": "marker_a", "x1": "marker_b"})
+    clinics = [cohort.select(np.arange(i, 360, 3)) for i in range(3)]
+    columns = ["marker_a", "marker_b"]
+    for i, clinic in enumerate(clinics):
+        print(f"clinic {i}: {clinic.n_rows} patients")
+
+    secure = secure_kmeans(
+        clinics, columns, n_clusters=3, rng=random.Random(1)
+    )
+    pooled = pooled_kmeans(cohort, columns, n_clusters=3)
+
+    print(f"\nsecure k-means converged in {secure.iterations} iterations, "
+          f"{secure.secure_sums} secure sums, "
+          f"{len(secure.transcript)} messages")
+    print("centroids (secure vs pooled baseline):")
+    for s, p in zip(
+        sorted(secure.centroids.tolist()), sorted(pooled.centroids.tolist())
+    ):
+        print(f"  ({s[0]:7.3f}, {s[1]:7.3f})   vs   "
+              f"({p[0]:7.3f}, {p[1]:7.3f})")
+
+    assignments = secure.assign(cohort.matrix(columns))
+    sizes = np.bincount(assignments, minlength=3)
+    print(f"joint cluster sizes: {sizes.tolist()}")
+
+    private = {
+        f"P{i}": [float(v) for c in columns for v in clinic[c]]
+        for i, clinic in enumerate(clinics)
+    }
+    exposure = plaintext_exposure(secure.transcript, private)
+    print(f"\nwiretapper's record recovery from the transcript: "
+          f"{exposure:.0%}")
+    print("every clinic observed every aggregation step — "
+          "owner privacy without user privacy, as the paper says.")
+
+
+if __name__ == "__main__":
+    main()

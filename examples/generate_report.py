@@ -1,0 +1,24 @@
+"""Generate the one-file markdown reproduction report.
+
+Run:  python examples/generate_report.py [output.md]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core.report import full_report
+
+
+def main() -> None:
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "reproduction_report.md"
+    )
+    report = full_report(seed=0)
+    target.write_text(report)
+    print(f"wrote {target} ({len(report.splitlines())} lines)")
+    print()
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

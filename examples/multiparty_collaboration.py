@@ -1,0 +1,92 @@
+"""Crypto PPDM: three hospitals mine jointly, sharing nothing (Section 4).
+
+Three hospitals hold horizontal partitions of a patient registry.  They
+want (a) the patients they share, (b) joint statistics, and (c) a joint
+decision tree — all without any record leaving its silo.  The transcripts
+prove it: a competitor reading every exchanged message recovers 0% of the
+records, versus 100% under naive pooling.  The flip side, per the paper:
+every party sees every computation — no user privacy is possible.
+
+Run:  python examples/multiparty_collaboration.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.data import census, horizontal_partition
+from repro.mining import accuracy
+from repro.smc import (
+    SecureID3,
+    Transcript,
+    naive_pooled_datasets,
+    plaintext_exposure,
+    private_set_intersection,
+    ring_secure_sum,
+    secure_mean,
+)
+
+
+def main() -> None:
+    registry = census(360, seed=8)
+    rich = np.where(registry["income"] > np.median(registry["income"]), "Y", "N")
+    registry = registry.with_column("rich", rich)
+    hospitals = horizontal_partition(registry, 3, seed=1)
+    names = ["General", "Mercy", "StJude"]
+    for name, part in zip(names, hospitals):
+        print(f"{name:8s} holds {part.n_rows} records")
+
+    # (a) Which patient ids do General and Mercy share?  (PSI)
+    shared_ids = private_set_intersection(
+        list(hospitals[0]["person_id"]) + ["C999999"],
+        list(hospitals[1]["person_id"]) + ["C999999"],
+        rng=random.Random(2),
+    )
+    print(f"\nPSI: General and Mercy share {len(shared_ids)} patient id(s): "
+          f"{sorted(shared_ids)}")
+
+    # (b) Joint statistics by secure sum.
+    transcript = Transcript()
+    rng = random.Random(3)
+    counts = [h.n_rows for h in hospitals]
+    total = ring_secure_sum(counts, rng=rng, transcript=transcript)
+    income_sums = [float(h["income"].sum()) for h in hospitals]
+    joint_income = secure_mean(income_sums, rng=rng, transcript=transcript)
+    # secure_mean averages the per-party sums; rescale to the per-patient mean.
+    mean_income = joint_income * len(hospitals) / total
+    print(f"\nSecure sums: joint cohort n={total}, "
+          f"joint mean income={mean_income:,.0f}")
+
+    # (c) Joint decision tree by secure ID3.
+    model = SecureID3(["sex", "education", "disease"], "rich", max_depth=3)
+    model.fit(hospitals, random.Random(4))
+    predictions = model.predict(registry)
+    print(
+        f"Secure ID3: {model.count_queries} secure count queries, "
+        f"{len(model.transcript)} messages, joint-tree accuracy "
+        f"{accuracy(registry['rich'], predictions):.2f}"
+    )
+
+    # Leakage audit: what does a wiretapping competitor learn?
+    private = {
+        f"P{i}": [float(v) for v in h["income"]]
+        for i, h in enumerate(hospitals)
+    }
+    secure_exposure = plaintext_exposure(model.transcript, private)
+    naive_transcript = Transcript()
+    naive_pooled_datasets(hospitals, naive_transcript)
+    naive_exposure = plaintext_exposure(naive_transcript, private)
+    print(
+        f"\nRecord exposure on the wire: secure protocols "
+        f"{secure_exposure * 100:.0f}% vs naive pooling "
+        f"{naive_exposure * 100:.0f}%"
+    )
+    print(
+        "\nNote (the paper's point): the analyses run here were known to "
+        "all three\nhospitals — crypto PPDM offers owner privacy but no "
+        "user privacy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""User privacy: private retrieval after the AOL incident (Section 1).
+
+The paper's motivating scandal: in August 2006 AOL published 36 million
+user queries; users were re-identified from their query histories.  This
+example runs the same workload against (a) a plaintext search index and
+(b) the same index behind two PIR schemes, and measures what the server
+can learn — plus the paper's warning that PIR over *sensitive* records
+protects the user while destroying respondent privacy (Section 3 attack).
+
+Run:  python examples/private_search.py
+"""
+
+import numpy as np
+
+from repro.attacks import isolation_attack
+from repro.data import dataset_2
+from repro.pir import (
+    KeywordPIR,
+    PrivateAggregateIndex,
+    SquareSchemePIR,
+    TwoServerXorPIR,
+    log_matching_attack,
+    make_user_population,
+    profile_itpir,
+    profile_plaintext_retrieval,
+    run_search_sessions,
+)
+
+
+def main() -> None:
+    # A tiny "search engine" index: 128 cached result blocks.
+    documents = [f"result-page-{i}".encode() for i in range(128)]
+
+    # (a) Plaintext retrieval: the server sees every request.
+    plain = profile_plaintext_retrieval(len(documents), trials=300)
+    print("Plaintext search server:")
+    print(f"  server guesses the user's query {plain.success_rate * 100:.0f}% "
+          f"of the time -> user privacy {plain.user_privacy:.2f}")
+
+    # (b) The same index behind two-server XOR PIR.
+    pir = TwoServerXorPIR(documents)
+    fetched = pir.retrieve(17, 0).rstrip(b"\0").decode()
+    report = profile_itpir(pir, trials=300, rng=1)
+    print("\nTwo-server XOR PIR:")
+    print(f"  retrieved: {fetched!r}")
+    print(f"  adversarial server success {report.success_rate * 100:.1f}% "
+          f"(chance {100 / pir.n:.1f}%) -> user privacy {report.user_privacy:.2f}")
+
+    # Communication: linear vs square scheme.
+    square = SquareSchemePIR(documents)
+    square.retrieve(17, 0)
+    print("\nCommunication per query (upstream):")
+    print(f"  linear scheme : {2 * pir.n} bits")
+    print(f"  square scheme : {square.upstream_bits} bits")
+
+    # Keyword lookups: private binary search, hit or miss in the same
+    # number of rounds.
+    directory = KeywordPIR({f"handle-{i:03d}": 1000 + i for i in range(64)})
+    hit = directory.lookup("handle-042", 3)
+    miss = directory.lookup("nobody", 4)
+    print(f"\nKeyword PIR: handle-042 -> {hit}; unknown key -> {miss} "
+          f"({directory.retrievals} positional retrievals total)")
+
+    # The AOL effect itself: histories fingerprint users.
+    users = make_user_population(80, seed=9)
+    plain_log = run_search_sessions(users, 40, use_pir=False, seed=10)
+    pir_log = run_search_sessions(users, 40, use_pir=True, seed=10)
+    matched_plain = log_matching_attack(plain_log, users, 11)
+    matched_pir = log_matching_attack(pir_log, users, 11)
+    print(
+        f"\nAOL-style log matching over 80 users: plaintext "
+        f"{matched_plain.reidentification_rate:.0%} re-identified, "
+        f"PIR {matched_pir.reidentification_rate:.0%} "
+        f"(chance {matched_plain.chance_rate:.0%})"
+    )
+
+    # The paper's warning: PIR over unmasked confidential records lets a
+    # *user* privately re-identify respondents (Section 3).
+    ds2 = dataset_2()
+    index = PrivateAggregateIndex(
+        ds2, ["height", "weight"], "blood_pressure",
+        edges={"height": [150, 165, 180, 200], "weight": [50, 80, 105, 130]},
+    )
+    sweep = isolation_attack(index, ds2.n_rows)
+    print(
+        f"\nBut PIR over raw patient data (Dataset 2): a client privately "
+        f"sweeps\n{sweep.cells_probed} cells and isolates "
+        f"{len(sweep.victims)} respondents, e.g. blood pressure "
+        f"{sweep.victims[0].confidential_value:.0f} mmHg —"
+    )
+    print("user privacy without respondent privacy, exactly as the paper warns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP 660
+editable installs (``pip install -e .``) cannot build a wheel.  This shim
+lets ``python setup.py develop`` provide the equivalent editable install.
+"""
+
+from setuptools import setup
+
+setup()

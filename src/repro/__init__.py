@@ -1,0 +1,55 @@
+"""repro — the three-dimensional database-privacy framework.
+
+A full reproduction of Josep Domingo-Ferrer, *"A Three-Dimensional
+Conceptual Framework for Database Privacy"* (SDM workshop at VLDB, LNCS
+4721, 2007): the framework itself (:mod:`repro.core`) plus working
+implementations of every technology class the paper scores —
+
+* :mod:`repro.sdc` — statistical disclosure control (respondent privacy);
+* :mod:`repro.ppdm` — non-cryptographic privacy-preserving data mining
+  (owner privacy);
+* :mod:`repro.smc` — cryptographic PPDM / secure multiparty computation;
+* :mod:`repro.pir` — private information retrieval (user privacy);
+* :mod:`repro.qdb` — interactive statistical databases with inference
+  controls and the tracker attack;
+* :mod:`repro.attacks` — the adversaries that measure each dimension;
+* :mod:`repro.data`, :mod:`repro.crypto`, :mod:`repro.mining` — substrates.
+
+Quickstart::
+
+    from repro.core import score_technologies, format_table2
+    print(format_table2(score_technologies()))
+"""
+
+from . import attacks, core, crypto, data, mining, pir, ppdm, qdb, sdc
+from .core import (
+    Grade,
+    PrivacyDimension,
+    format_table2,
+    recommend,
+    score_technologies,
+)
+from .data import Dataset, Schema, dataset_1, dataset_2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "Grade",
+    "PrivacyDimension",
+    "Schema",
+    "attacks",
+    "core",
+    "crypto",
+    "data",
+    "dataset_1",
+    "dataset_2",
+    "format_table2",
+    "mining",
+    "pir",
+    "ppdm",
+    "qdb",
+    "recommend",
+    "score_technologies",
+    "sdc",
+]

@@ -1,0 +1,50 @@
+"""Adversaries measuring the three privacy dimensions."""
+
+from .homogeneity import HomogeneityReport, homogeneity_attack
+from .intersection import IntersectionReport, intersection_attack
+from .msu import MsuReport, minimal_sample_uniques
+from .linkage import (
+    DistanceLinkageAttack,
+    LinkageOutcome,
+    ProbabilisticLinkageAttack,
+    best_linkage_rate,
+)
+from .owner_extraction import (
+    ExtractionReport,
+    extraction_from_release,
+    extraction_from_transcript,
+    extraction_via_pir_download,
+)
+from .pir_isolation import (
+    IsolatedRespondent,
+    IsolationReport,
+    isolation_attack,
+)
+from .sparse_reconstruction import (
+    SparseDisclosureReport,
+    dimensionality_sweep,
+    reconstruction_attack,
+)
+
+__all__ = [
+    "DistanceLinkageAttack",
+    "ExtractionReport",
+    "HomogeneityReport",
+    "IntersectionReport",
+    "IsolatedRespondent",
+    "IsolationReport",
+    "LinkageOutcome",
+    "MsuReport",
+    "ProbabilisticLinkageAttack",
+    "SparseDisclosureReport",
+    "best_linkage_rate",
+    "dimensionality_sweep",
+    "extraction_from_release",
+    "homogeneity_attack",
+    "intersection_attack",
+    "minimal_sample_uniques",
+    "extraction_from_transcript",
+    "extraction_via_pir_download",
+    "isolation_attack",
+    "reconstruction_attack",
+]

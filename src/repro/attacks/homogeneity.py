@@ -1,0 +1,48 @@
+"""The homogeneity attack (paper, footnote 3).
+
+k-Anonymity without p-sensitivity leaks: when every record of an
+equivalence class shares a confidential value, an intruder who can place
+a target in that class (from its key attributes) learns the value with
+certainty — *no record linkage needed*.  This adversary quantifies that
+channel, completing the respondent-privacy picture for k-anonymous
+releases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..data.table import Dataset
+from ..sdc.kanonymity import equivalence_classes
+
+
+@dataclass(frozen=True)
+class HomogeneityReport:
+    """Outcome of the homogeneity adversary."""
+
+    population: int
+    victims: int
+    homogeneous_classes: int
+
+    @property
+    def disclosure_rate(self) -> float:
+        """Fraction of respondents whose confidential value is learned."""
+        return self.victims / self.population if self.population else 0.0
+
+
+def homogeneity_attack(
+    release: Dataset,
+    confidential_attribute: str,
+    quasi_identifiers: Sequence[str] | None = None,
+) -> HomogeneityReport:
+    """Count respondents disclosed through confidential-value homogeneity."""
+    column = release.column(confidential_attribute)
+    victims = 0
+    homogeneous = 0
+    for cls in equivalence_classes(release, quasi_identifiers):
+        values = {column[i] for i in cls.indices}
+        if len(values) == 1:
+            homogeneous += 1
+            victims += cls.size
+    return HomogeneityReport(release.n_rows, victims, homogeneous)

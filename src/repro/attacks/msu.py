@@ -1,0 +1,89 @@
+"""Minimal sample uniques (SUDA-style special-uniques risk).
+
+A record is riskier the *smaller* the attribute subset on which it is
+unique: being the only person with (zip=43012, age=87) is worse than
+being unique only on the full key.  This module enumerates each record's
+minimal unique attribute subsets (MSUs) and derives a SUDA-like per-record
+risk score — a finer-grained respondent-risk signal than plain
+k-anonymity, used by statistical offices to target suppression.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Dataset
+
+
+@dataclass(frozen=True)
+class MsuReport:
+    """Per-record minimal-unique-subset analysis."""
+
+    columns: tuple[str, ...]
+    minimal_uniques: tuple[tuple[tuple[str, ...], ...], ...]
+    scores: np.ndarray
+
+    @property
+    def risky_records(self) -> np.ndarray:
+        """Indices of records with at least one MSU."""
+        return np.flatnonzero([len(m) > 0 for m in self.minimal_uniques])
+
+    @property
+    def mean_score(self) -> float:
+        """Population-average risk score."""
+        return float(self.scores.mean()) if self.scores.size else 0.0
+
+
+def minimal_sample_uniques(
+    data: Dataset,
+    columns: Sequence[str] | None = None,
+    max_subset: int = 3,
+) -> MsuReport:
+    """Enumerate minimal unique subsets up to size *max_subset*.
+
+    The SUDA-like score of a record sums ``2 ** (max_subset - |M|)`` over
+    its MSUs M: smaller subsets contribute exponentially more risk.
+    """
+    if columns is None:
+        columns = list(data.quasi_identifiers) or list(data.column_names)
+    columns = list(columns)
+    if max_subset < 1:
+        raise ValueError("max_subset must be >= 1")
+    max_subset = min(max_subset, len(columns))
+    n = data.n_rows
+
+    unique_on: dict[tuple[str, ...], np.ndarray] = {}
+    for size in range(1, max_subset + 1):
+        for subset in itertools.combinations(columns, size):
+            groups = data.group_by(list(subset))
+            flags = np.zeros(n, dtype=bool)
+            for indices in groups.values():
+                if indices.size == 1:
+                    flags[indices[0]] = True
+            unique_on[subset] = flags
+
+    minimal: list[tuple[tuple[str, ...], ...]] = []
+    scores = np.zeros(n)
+    for i in range(n):
+        msus: list[tuple[str, ...]] = []
+        for subset, flags in sorted(unique_on.items(), key=lambda kv: len(kv[0])):
+            if not flags[i]:
+                continue
+            # Minimality: no already-found MSU may be a proper subset.
+            if any(set(m) < set(subset) or set(m) == set(subset) for m in msus):
+                continue
+            # And no strict subset of this one may itself be unique.
+            if any(
+                unique_on.get(sub, np.zeros(n, dtype=bool))[i]
+                for size in range(1, len(subset))
+                for sub in itertools.combinations(subset, size)
+            ):
+                continue
+            msus.append(subset)
+        minimal.append(tuple(msus))
+        scores[i] = sum(2.0 ** (max_subset - len(m)) for m in msus)
+    return MsuReport(tuple(columns), tuple(minimal), scores)

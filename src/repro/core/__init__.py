@@ -1,0 +1,94 @@
+"""The three-dimensional privacy framework (the paper's contribution)."""
+
+from .assessment import MaskingAssessment, assess_masking, masking_scoreboard
+from .composition import (
+    CONTRIBUTES,
+    INCOMPATIBLE,
+    Mechanism,
+    StackReport,
+    check_stack,
+    full_coverage_stacks,
+)
+from .dimensions import (
+    GRADE_THRESHOLDS,
+    Grade,
+    PAPER_TABLE2,
+    PrivacyDimension,
+    grade_from_score,
+)
+from .guidelines import Recommendation, recommend
+from .report import full_report
+from .meters import (
+    EXTRACTION_TOLERANCE_SD,
+    INTERVAL_PCT,
+    owner_privacy_from_release,
+    owner_privacy_from_transcript,
+    respondent_privacy_score,
+    user_privacy_from_posterior,
+    user_privacy_plaintext,
+    user_privacy_use_specific,
+)
+from .pipelines import (
+    HippocraticPipeline,
+    KAnonymousPIRPipeline,
+    PipelineAudit,
+)
+from .scoring import Table2Comparison, format_table2, score_technologies
+from .technologies import (
+    CryptoPPDM,
+    EmpiricalAssessment,
+    GenericPPDM,
+    GenericPPDMPlusPIR,
+    PIRTechnology,
+    SDCPlusPIR,
+    SDCTechnology,
+    TechnologyClass,
+    UseSpecificPPDM,
+    UseSpecificPPDMPlusPIR,
+    default_technology_classes,
+)
+
+__all__ = [
+    "CONTRIBUTES",
+    "CryptoPPDM",
+    "EXTRACTION_TOLERANCE_SD",
+    "EmpiricalAssessment",
+    "GRADE_THRESHOLDS",
+    "GenericPPDM",
+    "GenericPPDMPlusPIR",
+    "Grade",
+    "HippocraticPipeline",
+    "INCOMPATIBLE",
+    "INTERVAL_PCT",
+    "KAnonymousPIRPipeline",
+    "MaskingAssessment",
+    "Mechanism",
+    "PAPER_TABLE2",
+    "PIRTechnology",
+    "PipelineAudit",
+    "PrivacyDimension",
+    "Recommendation",
+    "SDCPlusPIR",
+    "SDCTechnology",
+    "StackReport",
+    "Table2Comparison",
+    "TechnologyClass",
+    "UseSpecificPPDM",
+    "UseSpecificPPDMPlusPIR",
+    "assess_masking",
+    "check_stack",
+    "default_technology_classes",
+    "format_table2",
+    "full_report",
+    "full_coverage_stacks",
+    "grade_from_score",
+    "masking_scoreboard",
+    "owner_privacy_from_release",
+    "owner_privacy_from_transcript",
+    "recommend",
+    "respondent_privacy_score",
+    "score_technologies",
+    "user_privacy_from_posterior",
+    "user_privacy_plaintext",
+    "user_privacy_use_specific",
+]

@@ -1,0 +1,109 @@
+"""Score any masking method on the three privacy dimensions.
+
+:mod:`repro.core.technologies` evaluates the paper's eight *classes*;
+this module generalizes the same meters to arbitrary
+:class:`~repro.sdc.base.MaskingMethod` instances, so a practitioner can
+put their own masking configuration on the Table 2 scale — with or
+without a PIR front-end — plus the utility figures Section 6 says must be
+weighed against privacy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Dataset
+from ..pir.itpir import TwoServerXorPIR
+from ..pir.profiling import profile_itpir
+from ..sdc.base import MaskingMethod
+from ..sdc.utility import UtilityReport, assess_utility
+from .dimensions import Grade, PrivacyDimension, grade_from_score
+from .meters import (
+    owner_privacy_from_release,
+    respondent_privacy_score,
+    user_privacy_plaintext,
+)
+
+
+@dataclass(frozen=True)
+class MaskingAssessment:
+    """Three-dimensional scores plus utility for one masking deployment."""
+
+    method_name: str
+    with_pir: bool
+    scores: dict[PrivacyDimension, float]
+    utility: UtilityReport
+
+    @property
+    def grades(self) -> dict[PrivacyDimension, Grade]:
+        """Scores on the paper's ordinal scale."""
+        return {d: grade_from_score(s) for d, s in self.scores.items()}
+
+    def summary(self) -> str:
+        """One-line report string."""
+        r = self.scores[PrivacyDimension.RESPONDENT]
+        o = self.scores[PrivacyDimension.OWNER]
+        u = self.scores[PrivacyDimension.USER]
+        il = self.utility.il1s
+        return (
+            f"{self.method_name:30s} R={r:.2f}({self.grades[PrivacyDimension.RESPONDENT]}) "
+            f"O={o:.2f}({self.grades[PrivacyDimension.OWNER]}) "
+            f"U={u:.2f}({self.grades[PrivacyDimension.USER]}) IL1s={il:.3f}"
+        )
+
+
+def assess_masking(
+    method: MaskingMethod,
+    population: Dataset,
+    with_pir: bool = False,
+    seed: int = 0,
+    profiling_trials: int = 120,
+) -> MaskingAssessment:
+    """Deploy *method* on *population* and run the three meters.
+
+    ``with_pir = True`` models serving the release through two-server PIR
+    (lifting the user dimension without changing the other two — the
+    paper's composition result).
+    """
+    release = method.mask(population, np.random.default_rng(seed))
+    qi = [
+        c for c in population.quasi_identifiers if population.is_numeric(c)
+    ] or list(population.numeric_columns())
+    respondent = respondent_privacy_score(population, release, qi, rng=seed)
+    owner = owner_privacy_from_release(population, release, qi)
+    if with_pir:
+        pir = TwoServerXorPIR(list(range(max(release.n_rows, 8))))
+        user = profile_itpir(pir, profiling_trials, seed).user_privacy
+    else:
+        user = user_privacy_plaintext()
+    utility = assess_utility(population, release, qi)
+    return MaskingAssessment(
+        method_name=method.name + (" + PIR" if with_pir else ""),
+        with_pir=with_pir,
+        scores={
+            PrivacyDimension.RESPONDENT: respondent,
+            PrivacyDimension.OWNER: owner,
+            PrivacyDimension.USER: user,
+        },
+        utility=utility,
+    )
+
+
+def masking_scoreboard(
+    methods: list[MaskingMethod],
+    population: Dataset,
+    with_pir: bool = False,
+    seed: int = 0,
+) -> list[MaskingAssessment]:
+    """Assess several methods on the same population, sorted by
+    respondent-privacy score (descending)."""
+    assessments = [
+        assess_masking(m, population, with_pir=with_pir, seed=seed)
+        for m in methods
+    ]
+    assessments.sort(
+        key=lambda a: -a.scores[PrivacyDimension.RESPONDENT]
+    )
+    return assessments

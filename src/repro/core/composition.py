@@ -1,0 +1,113 @@
+"""Composition rules: which technologies can be stacked.
+
+Section 6 distils the paper's pairwise analyses into two hard
+incompatibilities:
+
+* **query control vs user privacy** — auditing/size control requires the
+  owner to see queries, which PIR hides; and
+* **crypto PPDM vs user privacy** — interactive multiparty computation
+  makes the joint computation known to all parties.
+
+The :func:`check_stack` validator encodes these, plus the positive rules
+(masking composes with PIR; microaggregation-grade masking yields both
+respondent and owner privacy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .dimensions import PrivacyDimension
+
+
+class Mechanism(enum.Enum):
+    """Mechanism families a deployment can stack."""
+
+    DATA_MASKING = "data masking"
+    QUERY_CONTROL = "query control"
+    CRYPTO_PPDM = "crypto PPDM"
+    NON_CRYPTO_PPDM = "non-crypto PPDM"
+    PIR = "PIR"
+
+
+#: Which dimensions each mechanism family contributes to.
+CONTRIBUTES: dict[Mechanism, frozenset[PrivacyDimension]] = {
+    Mechanism.DATA_MASKING: frozenset(
+        {PrivacyDimension.RESPONDENT, PrivacyDimension.OWNER}
+    ),
+    Mechanism.QUERY_CONTROL: frozenset({PrivacyDimension.RESPONDENT}),
+    Mechanism.CRYPTO_PPDM: frozenset(
+        {PrivacyDimension.OWNER, PrivacyDimension.RESPONDENT}
+    ),
+    Mechanism.NON_CRYPTO_PPDM: frozenset(
+        {PrivacyDimension.OWNER, PrivacyDimension.RESPONDENT}
+    ),
+    Mechanism.PIR: frozenset({PrivacyDimension.USER}),
+}
+
+#: Pairs that cannot coexist in one deployment, with the paper's reason.
+INCOMPATIBLE: dict[frozenset[Mechanism], str] = {
+    frozenset({Mechanism.QUERY_CONTROL, Mechanism.PIR}): (
+        "query control requires the owner to inspect queries, which PIR "
+        "hides (paper, Sections 3 and 6)"
+    ),
+    frozenset({Mechanism.CRYPTO_PPDM, Mechanism.PIR}): (
+        "interactive multiparty computation is known to all parties, "
+        "which is incompatible with private queries (paper, Sections 4 and 6)"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class StackReport:
+    """Validation outcome for a proposed mechanism stack."""
+
+    mechanisms: tuple[Mechanism, ...]
+    valid: bool
+    conflicts: tuple[str, ...]
+    covered: frozenset[PrivacyDimension]
+
+    @property
+    def uncovered(self) -> frozenset[PrivacyDimension]:
+        """Dimensions the stack leaves unprotected."""
+        return frozenset(PrivacyDimension) - self.covered
+
+
+def check_stack(mechanisms: list[Mechanism]) -> StackReport:
+    """Validate a deployment stack against the paper's composition rules."""
+    unique = tuple(dict.fromkeys(mechanisms))
+    conflicts = []
+    for pair, reason in INCOMPATIBLE.items():
+        if pair <= set(unique):
+            conflicts.append(reason)
+    covered: set[PrivacyDimension] = set()
+    for mech in unique:
+        covered |= CONTRIBUTES[mech]
+    return StackReport(
+        mechanisms=unique,
+        valid=not conflicts,
+        conflicts=tuple(conflicts),
+        covered=frozenset(covered),
+    )
+
+
+def full_coverage_stacks() -> list[tuple[Mechanism, ...]]:
+    """Enumerate the valid stacks covering all three dimensions.
+
+    The paper's conclusion — k-anonymizing masking plus PIR — appears here
+    as (DATA_MASKING, PIR); crypto-PPDM-based stacks never qualify because
+    they exclude PIR.
+    """
+    import itertools
+
+    stacks = []
+    mechanisms = list(Mechanism)
+    for r in range(1, len(mechanisms) + 1):
+        for combo in itertools.combinations(mechanisms, r):
+            report = check_stack(list(combo))
+            if report.valid and not report.uncovered:
+                # Keep minimal stacks only.
+                if not any(set(s) < set(combo) for s in stacks):
+                    stacks.append(combo)
+    return stacks

@@ -1,0 +1,125 @@
+"""The three privacy dimensions and the grade scale of Table 2.
+
+The paper's central claim: database privacy splits into three independent
+dimensions according to *whose* privacy is sought —
+
+* :attr:`PrivacyDimension.RESPONDENT` — the individuals the records refer
+  to (patients, census respondents): prevent re-identification.
+* :attr:`PrivacyDimension.OWNER` — the entity holding the database as an
+  asset: reveal query results, never the dataset.
+* :attr:`PrivacyDimension.USER` — whoever queries the database: prevent
+  profiling of the queries themselves.
+
+Table 2 grades each technology class on each dimension with the ordinal
+scale none < medium < medium-high < high; we add ``low`` so the empirical
+harness can express intermediate outcomes honestly.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+
+
+class PrivacyDimension(enum.Enum):
+    """Whose privacy a mechanism protects."""
+
+    RESPONDENT = "respondent"
+    OWNER = "owner"
+    USER = "user"
+
+
+@functools.total_ordering
+class Grade(enum.Enum):
+    """Ordinal privacy grade, as used in the paper's Table 2."""
+
+    NONE = 0
+    LOW = 1
+    MEDIUM = 2
+    MEDIUM_HIGH = 3
+    HIGH = 4
+
+    def __lt__(self, other: "Grade") -> bool:
+        if not isinstance(other, Grade):
+            return NotImplemented
+        return self.value < other.value
+
+    @property
+    def label(self) -> str:
+        """The paper's spelling of the grade."""
+        return {
+            Grade.NONE: "none",
+            Grade.LOW: "low",
+            Grade.MEDIUM: "medium",
+            Grade.MEDIUM_HIGH: "medium-high",
+            Grade.HIGH: "high",
+        }[self]
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: Score thresholds mapping a [0, 1] privacy score to a grade.  Chosen once
+#: (see DESIGN.md §4) and frozen; all benches and tests use these.
+GRADE_THRESHOLDS: tuple[tuple[float, Grade], ...] = (
+    (0.90, Grade.HIGH),
+    (0.70, Grade.MEDIUM_HIGH),
+    (0.45, Grade.MEDIUM),
+    (0.15, Grade.LOW),
+    (0.00, Grade.NONE),
+)
+
+
+def grade_from_score(score: float) -> Grade:
+    """Map a privacy score in [0, 1] to the ordinal grade scale."""
+    if not 0.0 <= score <= 1.0 + 1e-9:
+        raise ValueError(f"score must be in [0, 1], got {score}")
+    for threshold, grade in GRADE_THRESHOLDS:
+        if score >= threshold:
+            return grade
+    return Grade.NONE
+
+
+#: The paper's Table 2, verbatim.
+PAPER_TABLE2: dict[str, dict[PrivacyDimension, Grade]] = {
+    "SDC": {
+        PrivacyDimension.RESPONDENT: Grade.MEDIUM_HIGH,
+        PrivacyDimension.OWNER: Grade.MEDIUM,
+        PrivacyDimension.USER: Grade.NONE,
+    },
+    "Use-specific non-crypto PPDM": {
+        PrivacyDimension.RESPONDENT: Grade.MEDIUM,
+        PrivacyDimension.OWNER: Grade.MEDIUM_HIGH,
+        PrivacyDimension.USER: Grade.NONE,
+    },
+    "Generic non-crypto PPDM": {
+        PrivacyDimension.RESPONDENT: Grade.MEDIUM,
+        PrivacyDimension.OWNER: Grade.MEDIUM_HIGH,
+        PrivacyDimension.USER: Grade.NONE,
+    },
+    "Crypto PPDM": {
+        PrivacyDimension.RESPONDENT: Grade.HIGH,
+        PrivacyDimension.OWNER: Grade.HIGH,
+        PrivacyDimension.USER: Grade.NONE,
+    },
+    "PIR": {
+        PrivacyDimension.RESPONDENT: Grade.NONE,
+        PrivacyDimension.OWNER: Grade.NONE,
+        PrivacyDimension.USER: Grade.HIGH,
+    },
+    "SDC + PIR": {
+        PrivacyDimension.RESPONDENT: Grade.MEDIUM_HIGH,
+        PrivacyDimension.OWNER: Grade.MEDIUM,
+        PrivacyDimension.USER: Grade.HIGH,
+    },
+    "Use-specific non-crypto PPDM + PIR": {
+        PrivacyDimension.RESPONDENT: Grade.MEDIUM,
+        PrivacyDimension.OWNER: Grade.MEDIUM_HIGH,
+        PrivacyDimension.USER: Grade.MEDIUM,
+    },
+    "Generic non-crypto PPDM + PIR": {
+        PrivacyDimension.RESPONDENT: Grade.MEDIUM,
+        PrivacyDimension.OWNER: Grade.MEDIUM_HIGH,
+        PrivacyDimension.USER: Grade.HIGH,
+    },
+}

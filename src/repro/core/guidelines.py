@@ -1,0 +1,119 @@
+"""The Section 6 guideline engine.
+
+The paper closes with "lessons learned which can be used as guidelines to
+simultaneous fulfillment of the three privacy dimensions".  Given the set
+of dimensions a deployment must protect, :func:`recommend` returns the
+paper-consistent technology stacks, each with the rationale quoted from
+the relevant section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .composition import Mechanism, check_stack
+from .dimensions import PrivacyDimension
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended deployment stack."""
+
+    mechanisms: tuple[Mechanism, ...]
+    rationale: str
+
+    @property
+    def description(self) -> str:
+        """Human-readable stack."""
+        return " + ".join(m.value for m in self.mechanisms)
+
+
+_R = PrivacyDimension.RESPONDENT
+_O = PrivacyDimension.OWNER
+_U = PrivacyDimension.USER
+
+_RULES: list[tuple[frozenset[PrivacyDimension], tuple[Mechanism, ...], str]] = [
+    (
+        frozenset({_R}),
+        (Mechanism.QUERY_CONTROL,),
+        "Respondent privacy alone over an interactive interface: query "
+        "control (size control plus auditing) — but beware trackers and "
+        "note this forecloses user privacy later.",
+    ),
+    (
+        frozenset({_R}),
+        (Mechanism.DATA_MASKING,),
+        "Respondent privacy by release: mask to k-anonymity "
+        "(microaggregation, recoding or suppression).",
+    ),
+    (
+        frozenset({_O}),
+        (Mechanism.CRYPTO_PPDM,),
+        "Owner privacy among co-operating owners: cryptographic PPDM "
+        "(secure multiparty computation) reveals only the result.",
+    ),
+    (
+        frozenset({_O}),
+        (Mechanism.NON_CRYPTO_PPDM,),
+        "Owner privacy by release: non-crypto PPDM masking (randomization "
+        "or condensation).",
+    ),
+    (
+        frozenset({_U}),
+        (Mechanism.PIR,),
+        "User privacy alone (public, non-confidential data — e.g. a search "
+        "engine): PIR is all that is needed.",
+    ),
+    (
+        frozenset({_R, _O}),
+        (Mechanism.DATA_MASKING,),
+        "k-Anonymity-grade masking of the key attributes protects "
+        "respondents and, by distorting the asset, the owner too "
+        "(Section 2: condensation/microaggregation).",
+    ),
+    (
+        frozenset({_R, _U}),
+        (Mechanism.DATA_MASKING, Mechanism.PIR),
+        "Section 3: if the records are k-anonymous, no query can "
+        "jeopardize respondent privacy, so PIR can be afforded.",
+    ),
+    (
+        frozenset({_O, _U}),
+        (Mechanism.NON_CRYPTO_PPDM, Mechanism.PIR),
+        "Section 4: non-crypto PPDM is non-interactive, so the owner need "
+        "not see the queries — PIR-compatible.  Crypto PPDM is not.",
+    ),
+    (
+        frozenset({_R, _O, _U}),
+        (Mechanism.DATA_MASKING, Mechanism.PIR),
+        "Section 6: k-anonymize (via microaggregation-condensation, "
+        "recoding, suppression) and add a PIR protocol for user queries — "
+        "the paper's route to all three dimensions.",
+    ),
+]
+
+
+def recommend(required: set[PrivacyDimension]) -> list[Recommendation]:
+    """Stacks satisfying *required*, most specific first.
+
+    Every returned stack passes :func:`repro.core.composition.check_stack`
+    and covers at least the requested dimensions.
+    """
+    if not required:
+        raise ValueError("at least one privacy dimension must be required")
+    required = frozenset(required)
+    out = []
+    for covers, mechanisms, rationale in _RULES:
+        if covers == required:
+            report = check_stack(list(mechanisms))
+            if report.valid and required <= report.covered:
+                out.append(Recommendation(mechanisms, rationale))
+    if out:
+        return out
+    # No exact rule: fall back to superset rules (still valid stacks).
+    for covers, mechanisms, rationale in _RULES:
+        if required <= covers:
+            report = check_stack(list(mechanisms))
+            if report.valid and required <= report.covered:
+                out.append(Recommendation(mechanisms, rationale))
+    return out

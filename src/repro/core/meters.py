@@ -1,0 +1,121 @@
+"""The three privacy meters.
+
+Each meter returns a score in [0, 1] (1 = perfect privacy for that
+entity), computed by running the corresponding adversary from
+:mod:`repro.attacks`:
+
+* respondent — the strongest of record linkage and interval disclosure
+  (optionally plus the [11] joint-reconstruction disclosure for
+  randomization-based releases);
+* owner — 1 minus the fraction of the dataset a competitor extracts from
+  whatever leaves the owner's control (release, transcript, or PIR
+  interface);
+* user — either the empirical profiling score of the retrieval mechanism
+  or the entropy of the server's posterior over the query space.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..attacks.linkage import best_linkage_rate
+from ..attacks.owner_extraction import (
+    extraction_from_release,
+    extraction_from_transcript,
+)
+from ..data.table import Dataset
+from ..sdc.risk import unique_interval_disclosure_rate
+from ..smc.party import Transcript
+
+#: Interval half-width (fraction of an attribute's std) under which a
+#: masked value counts as disclosing the original.  Frozen calibration.
+INTERVAL_PCT = 20.0
+
+#: Tolerance (fraction of std) for the owner-extraction adversary.
+EXTRACTION_TOLERANCE_SD = 0.15
+
+
+def respondent_privacy_score(
+    original: Dataset,
+    release: Dataset,
+    numeric_qi: Sequence[str] | None = None,
+    categorical_qi: Sequence[str] | None = None,
+    extra_disclosure: float = 0.0,
+    rng: np.random.Generator | int | None = 0,
+) -> float:
+    """1 minus the strongest respondent-level disclosure channel."""
+    linkage = best_linkage_rate(
+        original, release, numeric_qi, categorical_qi, rng
+    )
+    if release.n_rows == original.n_rows:
+        interval = unique_interval_disclosure_rate(
+            original, release, numeric_qi, INTERVAL_PCT
+        )
+    else:
+        interval = 0.0
+    risk = max(linkage, interval, extra_disclosure)
+    return float(np.clip(1.0 - risk, 0.0, 1.0))
+
+
+def owner_privacy_from_release(
+    original: Dataset,
+    release: Dataset,
+    columns: Sequence[str] | None = None,
+) -> float:
+    """1 minus the competitor's extraction rate from a published release."""
+    report = extraction_from_release(
+        original, release, columns, EXTRACTION_TOLERANCE_SD
+    )
+    return report.owner_privacy
+
+
+def owner_privacy_from_transcript(
+    transcript: Transcript, private_values: dict[str, Iterable[float]]
+) -> float:
+    """1 minus the exposure of owners' raw values in protocol messages."""
+    return extraction_from_transcript(transcript, private_values).owner_privacy
+
+
+def user_privacy_from_posterior(posterior: Sequence[float]) -> float:
+    """Normalized entropy of the server's posterior over the query space.
+
+    1.0 when the server's belief stays uniform over all possible queries
+    (perfect user privacy); 0.0 when the query is known exactly.
+    """
+    p = np.asarray(posterior, dtype=np.float64)
+    if p.size <= 1:
+        return 0.0
+    total = p.sum()
+    if total <= 0:
+        raise ValueError("posterior must have positive mass")
+    p = p / total
+    nonzero = p[p > 0]
+    entropy = float(-(nonzero * np.log2(nonzero)).sum())
+    return entropy / math.log2(p.size)
+
+
+def user_privacy_use_specific(
+    n_analysis_classes: int, n_targets: int
+) -> float:
+    """User privacy of PIR behind a *use-specific* PPDM release.
+
+    The paper (Section 5): "when use-specific non-crypto PPDM is combined
+    with PIR, there is some clue on the queries made by the user (they are
+    likely to correspond to the uses the PPDM method is intended for)".
+    Model: the query space is (analysis class) x (target); the release
+    supports exactly one class, so the server's posterior collapses to the
+    n_targets queries of that class while remaining uniform within it.
+    """
+    if n_analysis_classes < 1 or n_targets < 1:
+        raise ValueError("need positive space sizes")
+    full = np.zeros(n_analysis_classes * n_targets)
+    full[:n_targets] = 1.0 / n_targets
+    return user_privacy_from_posterior(full)
+
+
+def user_privacy_plaintext() -> float:
+    """User privacy when the server sees queries in the clear: zero."""
+    return 0.0

@@ -1,0 +1,96 @@
+"""The empirical Table 2 harness.
+
+Runs every technology class of :mod:`repro.core.technologies` against the
+three adversaries on a common synthetic population and renders the result
+side by side with the paper's qualitative grades.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..data.synthetic import patients
+from ..data.table import Dataset
+from .dimensions import PrivacyDimension
+from .technologies import (
+    EmpiricalAssessment,
+    TechnologyClass,
+    default_technology_classes,
+)
+
+_DIMS = (
+    PrivacyDimension.RESPONDENT,
+    PrivacyDimension.OWNER,
+    PrivacyDimension.USER,
+)
+
+
+@dataclass(frozen=True)
+class Table2Comparison:
+    """All assessments plus aggregate agreement with the paper."""
+
+    assessments: tuple[EmpiricalAssessment, ...]
+
+    @property
+    def agreement(self) -> float:
+        """Mean per-cell agreement with the paper across all rows."""
+        if not self.assessments:
+            return 0.0
+        return sum(a.agreement for a in self.assessments) / len(self.assessments)
+
+    def row(self, technology: str) -> EmpiricalAssessment:
+        """Look up one technology's assessment by name."""
+        for assessment in self.assessments:
+            if assessment.technology == technology:
+                return assessment
+        raise KeyError(technology)
+
+
+def score_technologies(
+    population: Dataset | None = None,
+    classes: Sequence[TechnologyClass] | None = None,
+    seed: int = 0,
+) -> Table2Comparison:
+    """Evaluate all technology classes (defaults: 400 patients, 8 classes)."""
+    if population is None:
+        population = patients(400, seed=seed).drop(["patient_id"])
+    if classes is None:
+        classes = default_technology_classes()
+    assessments = tuple(tech.evaluate(population, seed) for tech in classes)
+    return Table2Comparison(assessments)
+
+
+def format_table2(comparison: Table2Comparison, show_scores: bool = True) -> str:
+    """Render the measured Table 2 next to the paper's grades."""
+    header = (
+        f"{'Technology class':38s} "
+        f"{'Respondent':>24s} {'Owner':>24s} {'User':>24s}"
+    )
+    lines = [
+        "Table 2 (reproduced): measured grade [score] vs paper grade",
+        header,
+        "-" * len(header),
+    ]
+    for a in comparison.assessments:
+        cells = []
+        for dim in _DIMS:
+            measured = a.grades[dim].label
+            paper = a.paper_grades[dim].label
+            mark = "=" if a.matches(dim) else "!"
+            if show_scores:
+                cells.append(
+                    f"{measured}[{a.scores[dim]:.2f}]{mark}{paper}"
+                )
+            else:
+                cells.append(f"{measured}{mark}{paper}")
+        lines.append(
+            f"{a.technology:38s} "
+            f"{cells[0]:>24s} {cells[1]:>24s} {cells[2]:>24s}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"cell agreement with the paper: {comparison.agreement * 100:.0f}%  "
+        "( '=' match, '!' mismatch )"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Cryptographic substrate: number theory, Paillier, RSA, OT, sharing."""
+
+from . import commutative, numbertheory, oblivious_transfer, paillier, rsa, secret_sharing
+from .commutative import CommutativeKey, generate_key, hash_to_group, shared_modulus
+from .numbertheory import (
+    crt_pair,
+    egcd,
+    invmod,
+    is_probable_prime,
+    lcm,
+    random_coprime,
+    random_prime,
+    random_safe_prime,
+)
+from .oblivious_transfer import (
+    ObliviousTransferReceiver,
+    ObliviousTransferSender,
+    transfer,
+)
+from .paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+)
+from .rsa import RsaPrivateKey, RsaPublicKey
+from .secret_sharing import (
+    DEFAULT_PRIME,
+    additive_reconstruct,
+    additive_shares,
+    shamir_reconstruct,
+    shamir_shares,
+)
+
+__all__ = [
+    "CommutativeKey",
+    "DEFAULT_PRIME",
+    "ObliviousTransferReceiver",
+    "ObliviousTransferSender",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "additive_reconstruct",
+    "additive_shares",
+    "commutative",
+    "crt_pair",
+    "egcd",
+    "generate_key",
+    "hash_to_group",
+    "invmod",
+    "is_probable_prime",
+    "lcm",
+    "numbertheory",
+    "oblivious_transfer",
+    "paillier",
+    "random_coprime",
+    "random_prime",
+    "random_safe_prime",
+    "rsa",
+    "secret_sharing",
+    "shamir_reconstruct",
+    "shamir_shares",
+    "shared_modulus",
+    "transfer",
+]

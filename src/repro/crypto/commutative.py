@@ -1,0 +1,62 @@
+"""SRA / Pohlig–Hellman commutative encryption.
+
+Exponentiation ciphers over a shared safe prime commute:
+``E_a(E_b(x)) == E_b(E_a(x))``.  This property powers the private
+set-intersection protocol of :mod:`repro.smc.set_intersection`, which the
+paper's Section 4 uses as an example of cryptographic PPDM (owner privacy
+without user privacy).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .numbertheory import egcd, invmod, random_safe_prime
+
+
+def shared_modulus(bits: int = 128, rng: random.Random | None = None) -> int:
+    """Generate a safe prime all parties agree on."""
+    rng = rng or random.Random(193)
+    return random_safe_prime(bits, rng)
+
+
+@dataclass(frozen=True)
+class CommutativeKey:
+    """A private exponent for the shared safe-prime group."""
+
+    p: int
+    exponent: int
+
+    def encrypt(self, value: int) -> int:
+        """Encrypt *value* (must be in [1, p))."""
+        v = value % self.p
+        if v == 0:
+            raise ValueError("0 is not encryptable in the multiplicative group")
+        return pow(v, self.exponent, self.p)
+
+    def decrypt(self, value: int) -> int:
+        """Invert :meth:`encrypt`."""
+        inverse = invmod(self.exponent, self.p - 1)
+        return pow(value % self.p, inverse, self.p)
+
+
+def generate_key(p: int, rng: random.Random | None = None) -> CommutativeKey:
+    """Pick a random exponent coprime with p - 1."""
+    rng = rng or random.Random()
+    while True:
+        e = rng.randrange(3, p - 1)
+        if egcd(e, p - 1)[0] == 1:
+            return CommutativeKey(p, e)
+
+
+def hash_to_group(value: object, p: int) -> int:
+    """Deterministically map an arbitrary value into [1, p).
+
+    Uses Python's stable-for-a-process ``hash`` of the ``repr`` digest via
+    SHA-256 so results are stable across processes.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(repr(value).encode()).digest()
+    return int.from_bytes(digest, "big") % (p - 1) + 1

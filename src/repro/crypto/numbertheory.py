@@ -1,0 +1,111 @@
+"""Number-theoretic primitives for the cryptographic substrate.
+
+Everything the Paillier cryptosystem, RSA-based oblivious transfer, the
+SRA commutative cipher and Shamir secret sharing need: extended gcd,
+modular inverses, Miller–Rabin primality testing and prime generation.
+
+These primitives back a *simulation* of cryptographic protocols used to
+measure what protocol transcripts reveal; randomness therefore comes from a
+seedable :class:`random.Random` so experiments are reproducible.  Key sizes
+default to small-but-meaningful values (256–512 bits) to keep laptop-scale
+benchmarks fast.
+"""
+
+from __future__ import annotations
+
+import random
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def invmod(a: int, m: int) -> int:
+    """Modular inverse of *a* modulo *m*; raises if it does not exist."""
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m} (gcd={g})")
+    return x % m
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Chinese remainder for two coprime moduli: x ≡ r1 (m1), x ≡ r2 (m2)."""
+    g, p, _ = egcd(m1, m2)
+    if g != 1:
+        raise ValueError("moduli must be coprime")
+    return (r1 + (r2 - r1) * p % m2 * m1) % (m1 * m2)
+
+
+def is_probable_prime(n: int, rounds: int = 32, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test (probabilistic, error ≤ 4^-rounds)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Return a random prime with exactly *bits* bits."""
+    if bits < 3:
+        raise ValueError("need at least 3 bits")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: random.Random) -> int:
+    """Return a safe prime p = 2q + 1 with *bits* bits (q also prime)."""
+    while True:
+        q = random_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return p
+
+
+def random_coprime(n: int, rng: random.Random) -> int:
+    """Return a uniform element of (Z/nZ)*."""
+    while True:
+        candidate = rng.randrange(2, n)
+        if egcd(candidate, n)[0] == 1:
+            return candidate
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple."""
+    return a // egcd(a, b)[0] * b

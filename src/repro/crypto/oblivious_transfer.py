@@ -1,0 +1,88 @@
+"""1-out-of-2 oblivious transfer (Even–Goldreich–Lempel).
+
+The sender holds two messages; the receiver learns exactly one of them and
+the sender does not learn which.  OT is the classical foundation of the
+secure two-party computations the paper groups under *crypto PPDM*
+(Lindell–Pinkas [18,19]); :mod:`repro.smc.millionaires` builds on it.
+
+Protocol (RSA-based):
+
+1. Sender publishes an RSA key and two random group elements x0, x1.
+2. Receiver picks choice bit b and random k, sends v = x_b + Enc(k).
+3. Sender computes k_i = Dec(v - x_i) for i in {0, 1} and returns
+   m_i + k_i; only the chosen branch decodes for the receiver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from . import rsa
+
+
+@dataclass
+class ObliviousTransferSender:
+    """The sender side of a 1-of-2 OT, holding messages ``(m0, m1)``."""
+
+    m0: int
+    m1: int
+    bits: int = 256
+    rng: random.Random = field(default_factory=lambda: random.Random(8))
+
+    def __post_init__(self) -> None:
+        self.public, self._private = rsa.generate_keypair(self.bits, rng=self.rng)
+        n = self.public.n
+        if not (0 <= self.m0 < n and 0 <= self.m1 < n):
+            raise ValueError("messages must fit in the RSA modulus")
+        self.x0 = self.rng.randrange(n)
+        self.x1 = self.rng.randrange(n)
+
+    def offer(self) -> tuple[rsa.RsaPublicKey, int, int]:
+        """First flow: public key and the two random elements."""
+        return self.public, self.x0, self.x1
+
+    def respond(self, v: int) -> tuple[int, int]:
+        """Second flow: blinded messages ``(m0 + k0, m1 + k1) mod n``."""
+        n = self.public.n
+        k0 = rsa.decrypt(self._private, (v - self.x0) % n)
+        k1 = rsa.decrypt(self._private, (v - self.x1) % n)
+        return (self.m0 + k0) % n, (self.m1 + k1) % n
+
+
+@dataclass
+class ObliviousTransferReceiver:
+    """The receiver side, holding choice bit ``b``."""
+
+    b: int
+    rng: random.Random = field(default_factory=lambda: random.Random(9))
+
+    def __post_init__(self) -> None:
+        if self.b not in (0, 1):
+            raise ValueError("choice bit must be 0 or 1")
+        self._k: int | None = None
+        self._public: rsa.RsaPublicKey | None = None
+
+    def request(self, offer: tuple[rsa.RsaPublicKey, int, int]) -> int:
+        """Blind the chosen element with a fresh secret ``k``."""
+        public, x0, x1 = offer
+        self._public = public
+        self._k = self.rng.randrange(public.n)
+        x_b = (x0, x1)[self.b]
+        return (x_b + rsa.encrypt(public, self._k)) % public.n
+
+    def receive(self, response: tuple[int, int]) -> int:
+        """Unblind the chosen branch."""
+        if self._k is None or self._public is None:
+            raise RuntimeError("request() must run before receive()")
+        return (response[self.b] - self._k) % self._public.n
+
+
+def transfer(m0: int, m1: int, choice: int, bits: int = 256,
+             seed: int = 0) -> int:
+    """Run a complete 1-of-2 OT locally and return the chosen message."""
+    rng = random.Random(seed)
+    sender = ObliviousTransferSender(m0, m1, bits=bits, rng=rng)
+    receiver = ObliviousTransferReceiver(choice, rng=random.Random(seed + 1))
+    v = receiver.request(sender.offer())
+    return receiver.receive(sender.respond(v))

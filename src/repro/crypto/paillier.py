@@ -1,0 +1,119 @@
+"""Paillier additively homomorphic public-key encryption.
+
+Paillier encryption is the workhorse of single-server computational PIR
+(:mod:`repro.pir.cpir`) and of several secure-computation protocols
+(:mod:`repro.smc`): ciphertexts can be *added* and *scaled by plaintext
+constants* without the secret key.
+
+Standard scheme (simplified g = n + 1 variant):
+
+* key: n = p*q, λ = lcm(p-1, q-1), μ = λ^{-1} mod n
+* Enc(m; r) = (1 + n)^m * r^n  mod n²
+* Dec(c)    = L(c^λ mod n²) * μ mod n,   L(u) = (u - 1) / n
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .numbertheory import invmod, lcm, random_coprime, random_prime
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Paillier public key (the modulus)."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        """Ciphertext modulus n²."""
+        return self.n * self.n
+
+    @property
+    def plaintext_space(self) -> int:
+        """Plaintexts live in Z_n."""
+        return self.n
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Paillier private key (Carmichael value and its inverse)."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+
+def generate_keypair(
+    bits: int = 256, rng: random.Random | None = None
+) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a Paillier keypair with an *bits*-bit modulus."""
+    rng = rng or random.Random(2007)
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p != q:
+            break
+    n = p * q
+    lam = lcm(p - 1, q - 1)
+    public = PaillierPublicKey(n)
+    mu = invmod(lam, n)
+    return public, PaillierPrivateKey(public, lam, mu)
+
+
+def encrypt(
+    public: PaillierPublicKey, message: int, rng: random.Random | None = None
+) -> int:
+    """Encrypt *message* (reduced mod n) under *public*."""
+    rng = rng or random.Random()
+    n, n2 = public.n, public.n_squared
+    m = message % n
+    r = random_coprime(n, rng)
+    # (1 + n)^m = 1 + m*n  (mod n^2), which avoids a full modexp.
+    return (1 + m * n) % n2 * pow(r, n, n2) % n2
+
+
+def decrypt(private: PaillierPrivateKey, ciphertext: int) -> int:
+    """Decrypt *ciphertext*; result is in [0, n)."""
+    n, n2 = private.public.n, private.public.n_squared
+    u = pow(ciphertext, private.lam, n2)
+    ell = (u - 1) // n
+    return ell * private.mu % n
+
+
+def decrypt_signed(private: PaillierPrivateKey, ciphertext: int) -> int:
+    """Decrypt, mapping the upper half of Z_n to negative integers."""
+    n = private.public.n
+    value = decrypt(private, ciphertext)
+    return value - n if value > n // 2 else value
+
+
+def add(public: PaillierPublicKey, c1: int, c2: int) -> int:
+    """Homomorphic addition: Dec(add(c1, c2)) = m1 + m2 mod n."""
+    return c1 * c2 % public.n_squared
+
+
+def add_plain(public: PaillierPublicKey, c: int, k: int) -> int:
+    """Homomorphic addition of a plaintext constant."""
+    n, n2 = public.n, public.n_squared
+    return c * ((1 + (k % n) * n) % n2) % n2
+
+
+def mul_plain(public: PaillierPublicKey, c: int, k: int) -> int:
+    """Homomorphic multiplication by a plaintext constant."""
+    return pow(c, k % public.n, public.n_squared)
+
+
+def encrypt_zero(public: PaillierPublicKey, rng: random.Random | None = None) -> int:
+    """A fresh encryption of zero (useful for re-randomization)."""
+    return encrypt(public, 0, rng)
+
+
+def rerandomize(
+    public: PaillierPublicKey, c: int, rng: random.Random | None = None
+) -> int:
+    """Refresh the randomness of *c* without changing the plaintext."""
+    return add(public, c, encrypt_zero(public, rng))

@@ -1,0 +1,58 @@
+"""Textbook RSA, used as a building block for oblivious transfer.
+
+This is *textbook* (unpadded) RSA: sufficient for the Even–Goldreich–Lempel
+oblivious-transfer construction simulated here, not for production use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .numbertheory import invmod, random_prime
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key (n, e)."""
+
+    n: int
+    e: int
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key (n, d)."""
+
+    public: RsaPublicKey
+    d: int
+
+
+def generate_keypair(
+    bits: int = 256, e: int = 65537, rng: random.Random | None = None
+) -> tuple[RsaPublicKey, RsaPrivateKey]:
+    """Generate an RSA keypair with an *bits*-bit modulus."""
+    rng = rng or random.Random(4721)
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = invmod(e, phi)
+        except ValueError:
+            continue
+        public = RsaPublicKey(p * q, e)
+        return public, RsaPrivateKey(public, d)
+
+
+def encrypt(public: RsaPublicKey, message: int) -> int:
+    """Raw RSA encryption m^e mod n."""
+    return pow(message % public.n, public.e, public.n)
+
+
+def decrypt(private: RsaPrivateKey, ciphertext: int) -> int:
+    """Raw RSA decryption c^d mod n."""
+    return pow(ciphertext % private.public.n, private.d, private.public.n)

@@ -1,0 +1,78 @@
+"""Secret sharing: additive (mod m) and Shamir threshold shares.
+
+Additive sharing is the basis of the secure-sum protocol; Shamir sharing
+provides (t, n)-threshold reconstruction used by robust variants of the
+crypto-PPDM protocols in :mod:`repro.smc`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from .numbertheory import invmod
+
+#: A 127-bit Mersenne prime; the default Shamir field.
+DEFAULT_PRIME = (1 << 127) - 1
+
+
+def additive_shares(
+    secret: int, n_shares: int, modulus: int, rng: random.Random | None = None
+) -> list[int]:
+    """Split *secret* into *n_shares* values summing to it mod *modulus*."""
+    if n_shares < 1:
+        raise ValueError("need at least one share")
+    rng = rng or random.Random()
+    shares = [rng.randrange(modulus) for _ in range(n_shares - 1)]
+    shares.append((secret - sum(shares)) % modulus)
+    return shares
+
+
+def additive_reconstruct(shares: Sequence[int], modulus: int) -> int:
+    """Recombine additive shares."""
+    return sum(shares) % modulus
+
+
+def _eval_poly(coeffs: Sequence[int], x: int, prime: int) -> int:
+    result = 0
+    for c in reversed(coeffs):
+        result = (result * x + c) % prime
+    return result
+
+
+def shamir_shares(
+    secret: int,
+    n_shares: int,
+    threshold: int,
+    prime: int = DEFAULT_PRIME,
+    rng: random.Random | None = None,
+) -> list[tuple[int, int]]:
+    """Split *secret* into ``(x, y)`` points; any *threshold* reconstruct it."""
+    if not 1 <= threshold <= n_shares:
+        raise ValueError("need 1 <= threshold <= n_shares")
+    if not 0 <= secret < prime:
+        raise ValueError("secret must be in [0, prime)")
+    rng = rng or random.Random()
+    coeffs = [secret] + [rng.randrange(prime) for _ in range(threshold - 1)]
+    return [(x, _eval_poly(coeffs, x, prime)) for x in range(1, n_shares + 1)]
+
+
+def shamir_reconstruct(
+    shares: Sequence[tuple[int, int]], prime: int = DEFAULT_PRIME
+) -> int:
+    """Lagrange-interpolate the secret (value at x = 0) from *shares*."""
+    if not shares:
+        raise ValueError("need at least one share")
+    xs = [x for x, _ in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("shares must have distinct x coordinates")
+    secret = 0
+    for i, (xi, yi) in enumerate(shares):
+        num, den = 1, 1
+        for j, (xj, _) in enumerate(shares):
+            if i == j:
+                continue
+            num = num * (-xj) % prime
+            den = den * (xi - xj) % prime
+        secret = (secret + yi * num * invmod(den, prime)) % prime
+    return secret

@@ -1,0 +1,53 @@
+"""Tabular substrate: datasets, schemas, hierarchies and generators."""
+
+from .hierarchy import (
+    SUPPRESSED,
+    Hierarchy,
+    IntervalHierarchy,
+    TaxonomyHierarchy,
+)
+from .io import read_csv, write_csv
+from .paper_tables import (
+    PATIENT_SCHEMA,
+    dataset_1,
+    dataset_2,
+    format_table_1,
+)
+from .roles import AttributeRole, Schema
+from .synthetic import (
+    CENSUS_SCHEMA,
+    PATIENTS_SCHEMA,
+    census,
+    horizontal_partition,
+    market_baskets,
+    patients,
+    sparse_clusters,
+    sparse_uniform,
+    vertical_partition,
+)
+from .table import Dataset
+
+__all__ = [
+    "AttributeRole",
+    "CENSUS_SCHEMA",
+    "Dataset",
+    "Hierarchy",
+    "IntervalHierarchy",
+    "PATIENTS_SCHEMA",
+    "PATIENT_SCHEMA",
+    "SUPPRESSED",
+    "Schema",
+    "TaxonomyHierarchy",
+    "census",
+    "dataset_1",
+    "dataset_2",
+    "format_table_1",
+    "horizontal_partition",
+    "market_baskets",
+    "patients",
+    "read_csv",
+    "sparse_clusters",
+    "sparse_uniform",
+    "vertical_partition",
+    "write_csv",
+]

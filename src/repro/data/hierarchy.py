@@ -1,0 +1,140 @@
+"""Generalization hierarchies for global recoding.
+
+k-Anonymization by recoding (Samarati–Sweeney [21], Aggarwal et al. [2])
+replaces quasi-identifier values by progressively coarser ones.  Two kinds of
+hierarchy are provided:
+
+* :class:`IntervalHierarchy` — numeric values are binned into intervals whose
+  width doubles at each level, up to full suppression (``"*"``).
+* :class:`TaxonomyHierarchy` — categorical values climb an explicit tree
+  (e.g. ``"Tarragona" -> "Catalonia" -> "Spain" -> "*"``).
+
+Both expose the same interface: ``levels`` (0 = raw) and
+``generalize(values, level)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+SUPPRESSED = "*"
+
+
+class IntervalHierarchy:
+    """Numeric generalization by fixed-origin intervals of doubling width.
+
+    Level 0 returns values unchanged; level ``i`` (1-based) bins values into
+    intervals of width ``base_width * 2**(i-1)``; the top level suppresses to
+    ``"*"``.
+
+    >>> h = IntervalHierarchy(base_width=5, n_levels=3)
+    >>> h.generalize([163.0], 1)[0]
+    '[160,165)'
+    """
+
+    def __init__(self, base_width: float, n_levels: int = 4, origin: float = 0.0):
+        if base_width <= 0:
+            raise ValueError("base_width must be positive")
+        if n_levels < 1:
+            raise ValueError("need at least one generalization level")
+        self.base_width = float(base_width)
+        self.origin = float(origin)
+        self._n_levels = int(n_levels)
+
+    @property
+    def levels(self) -> int:
+        """Total levels: raw (0), the interval levels, suppression (top)."""
+        return self._n_levels + 2
+
+    def width_at(self, level: int) -> float:
+        """Interval width at 1-based generalization *level*."""
+        if not 1 <= level <= self._n_levels:
+            raise ValueError(f"level must be in [1, {self._n_levels}]")
+        return self.base_width * (2 ** (level - 1))
+
+    def generalize(self, values: Sequence[float], level: int):
+        """Generalize numeric *values* to *level*; returns an object array."""
+        values = np.asarray(values, dtype=np.float64)
+        if level == 0:
+            return values.copy()
+        if not 0 <= level <= self.levels - 1:
+            raise ValueError(f"level must be in [0, {self.levels - 1}]")
+        if level == self.levels - 1:
+            return np.full(values.shape, SUPPRESSED, dtype=object)
+        width = self.width_at(level)
+        lo = self.origin + np.floor((values - self.origin) / width) * width
+        hi = lo + width
+        out = np.empty(values.shape, dtype=object)
+        for i, (a, b) in enumerate(zip(lo, hi)):
+            out[i] = f"[{a:g},{b:g})"
+        return out
+
+    def interval_bounds(self, label: str) -> tuple[float, float]:
+        """Parse a ``"[lo,hi)"`` label back into numeric bounds."""
+        if label == SUPPRESSED:
+            return (float("-inf"), float("inf"))
+        body = label.strip("[)")
+        lo_s, hi_s = body.split(",")
+        return float(lo_s), float(hi_s)
+
+
+class TaxonomyHierarchy:
+    """Categorical generalization along an explicit parent tree.
+
+    Parameters
+    ----------
+    parents:
+        Mapping from each value to its immediate generalization.  Chains must
+        terminate at :data:`SUPPRESSED` (added implicitly for roots).
+    """
+
+    def __init__(self, parents: Mapping[str, str]):
+        self._parents = {str(k): str(v) for k, v in parents.items()}
+        self._chains: dict[str, list[str]] = {}
+        for leaf in self._parents:
+            chain = [leaf]
+            node = leaf
+            seen = {leaf}
+            while node in self._parents:
+                node = self._parents[node]
+                if node in seen:
+                    raise ValueError(f"cycle in hierarchy at {node!r}")
+                seen.add(node)
+                chain.append(node)
+            if chain[-1] != SUPPRESSED:
+                chain.append(SUPPRESSED)
+            self._chains[leaf] = chain
+        self._max_depth = max((len(c) for c in self._chains.values()), default=1)
+
+    @property
+    def levels(self) -> int:
+        """Number of levels including raw (0)."""
+        return self._max_depth
+
+    def generalize_value(self, value: str, level: int) -> str:
+        """Generalize a single value by *level* steps (clamped at the root)."""
+        chain = self._chains.get(str(value))
+        if chain is None:
+            if level == 0:
+                return str(value)
+            return SUPPRESSED
+        idx = min(level, len(chain) - 1)
+        return chain[idx]
+
+    def generalize(self, values: Sequence, level: int):
+        """Generalize *values* by *level* steps; returns an object array."""
+        out = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            out[i] = self.generalize_value(v, level)
+        return out
+
+    def leaves_under(self, label: str) -> set[str]:
+        """Return the raw values that generalize to *label* at some level."""
+        if label == SUPPRESSED:
+            return set(self._chains)
+        return {leaf for leaf, chain in self._chains.items() if label in chain}
+
+
+Hierarchy = IntervalHierarchy | TaxonomyHierarchy

@@ -1,0 +1,57 @@
+"""CSV round-tripping for :class:`~repro.data.table.Dataset`.
+
+A thin layer over :mod:`csv` that preserves column order and restores
+numeric columns on read (a column is numeric when every non-empty cell
+parses as a float).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .roles import Schema
+from .table import Dataset
+
+
+def write_csv(data: Dataset, path: str | Path) -> None:
+    """Write *data* to *path* as a header-first CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(data.column_names)
+        for row in data.iter_rows():
+            writer.writerow(
+                [f"{v:g}" if isinstance(v, float) else v for v in row]
+            )
+
+
+def _parse_column(cells: list[str]) -> np.ndarray:
+    values: list[float] = []
+    for cell in cells:
+        if cell == "":
+            return np.asarray(cells, dtype=object)
+        try:
+            values.append(float(cell))
+        except ValueError:
+            return np.asarray(cells, dtype=object)
+    return np.asarray(values, dtype=np.float64)
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Dataset:
+    """Read a header-first CSV file written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            names = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty — no header row") from None
+        rows = [row + [""] * (len(names) - len(row)) for row in reader]
+    columns = {
+        name: _parse_column([row[i] for row in rows])
+        for i, name in enumerate(names)
+    }
+    return Dataset(columns, schema=schema)

@@ -1,0 +1,97 @@
+"""The paper's Table 1 toy patient datasets.
+
+Table 1 of the paper shows two 10-record datasets obtained by a
+pharmaceutical company testing a hypertension drug.  Attributes:
+
+* ``height`` (cm) and ``weight`` (kg) — key attributes (quasi-identifiers);
+* ``blood_pressure`` (systolic, mmHg) and ``aids`` (Y/N) — confidential.
+
+The properties the paper asserts and that these constants must satisfy:
+
+* **Dataset 1** spontaneously satisfies k-anonymity for ``k = 3`` on
+  ``(height, weight)``: every combination appears at least three times.
+* **Dataset 2** is *not* 3-anonymous; in particular it contains exactly one
+  individual with ``height < 165`` and ``weight > 105`` whose systolic blood
+  pressure is **146** — the record isolated by the Section 3 PIR COUNT/AVG
+  attack.
+* All patients are hypertensive (the trial enrolled only hypertension
+  sufferers), so every systolic value is at or above 140 mmHg.
+
+The published PDF's numeric cells did not survive the text extraction used
+for this reproduction (only the AIDS Y/N columns did), so heights, weights
+and pressures are reconstructed to meet every stated property; the AIDS
+columns are verbatim from the paper.
+"""
+
+from __future__ import annotations
+
+from .roles import AttributeRole, Schema
+from .table import Dataset
+
+#: Schema shared by both toy datasets.
+PATIENT_SCHEMA = Schema(
+    {
+        "height": AttributeRole.QUASI_IDENTIFIER,
+        "weight": AttributeRole.QUASI_IDENTIFIER,
+        "blood_pressure": AttributeRole.CONFIDENTIAL,
+        "aids": AttributeRole.CONFIDENTIAL,
+    }
+)
+
+_COLUMNS = ("height", "weight", "blood_pressure", "aids")
+
+# Dataset 1: three (height, weight) groups of sizes 3, 3 and 4 -> 3-anonymous.
+# AIDS column verbatim from the paper: Y N N N Y N N Y N N.
+_DATASET_1_ROWS = [
+    (170, 72, 158, "Y"),
+    (170, 72, 151, "N"),
+    (170, 72, 162, "N"),
+    (175, 84, 149, "N"),
+    (175, 84, 170, "Y"),
+    (175, 84, 155, "N"),
+    (180, 95, 160, "N"),
+    (180, 95, 166, "Y"),
+    (180, 95, 145, "N"),
+    (180, 95, 152, "N"),
+]
+
+# Dataset 2: not 3-anonymous.  Row 4 (160, 110) is the unique small-and-heavy
+# individual with systolic pressure 146 used by the Section 3 PIR attack.
+# AIDS column verbatim from the paper: N Y N N N Y N Y N N.
+_DATASET_2_ROWS = [
+    (170, 72, 158, "N"),
+    (170, 72, 151, "Y"),
+    (170, 72, 162, "N"),
+    (160, 110, 146, "N"),
+    (175, 84, 149, "N"),
+    (175, 84, 170, "Y"),
+    (182, 68, 160, "N"),
+    (182, 95, 166, "Y"),
+    (190, 102, 145, "N"),
+    (158, 64, 152, "N"),
+]
+
+
+def dataset_1() -> Dataset:
+    """Return patient Dataset 1 (Table 1, left): spontaneously 3-anonymous."""
+    return Dataset.from_rows(_COLUMNS, _DATASET_1_ROWS, schema=PATIENT_SCHEMA)
+
+
+def dataset_2() -> Dataset:
+    """Return patient Dataset 2 (Table 1, right): not 3-anonymous."""
+    return Dataset.from_rows(_COLUMNS, _DATASET_2_ROWS, schema=PATIENT_SCHEMA)
+
+
+def format_table_1() -> str:
+    """Render both datasets side by side, shaped like the paper's Table 1."""
+    ds1, ds2 = dataset_1(), dataset_2()
+    header = (
+        f"{'Height':>7} {'Weight':>7} {'BP':>5} {'AIDS':>5}"
+    )
+    lines = ["Table 1. Left, patient data set no. 1. Right, patient data set no. 2.",
+             f"{header}   |   {header}"]
+    for r1, r2 in zip(ds1.iter_rows(), ds2.iter_rows()):
+        left = f"{r1[0]:>7.0f} {r1[1]:>7.0f} {r1[2]:>5.0f} {r1[3]:>5}"
+        right = f"{r2[0]:>7.0f} {r2[1]:>7.0f} {r2[2]:>5.0f} {r2[3]:>5}"
+        lines.append(f"{left}   |   {right}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Attribute roles and dataset schemas.
+
+The paper (Section 2, following Dalenius [9] and Samarati [20]) divides the
+attributes of a microdata file into:
+
+* **identifiers** — attributes that unambiguously identify the respondent
+  (name, social security number).  These are removed before any release.
+* **key attributes** (quasi-identifiers) — attributes that identify the
+  respondent *with some ambiguity* (height, weight, zip code, age): an
+  intruder can plausibly learn them for a target individual and use them
+  for record linkage.
+* **confidential attributes** — the sensitive payload (blood pressure,
+  AIDS status) whose association with an identity must be protected.
+* **non-confidential attributes** — everything else.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+
+
+class AttributeRole(enum.Enum):
+    """Role an attribute plays in disclosure-risk analysis."""
+
+    IDENTIFIER = "identifier"
+    QUASI_IDENTIFIER = "quasi-identifier"
+    CONFIDENTIAL = "confidential"
+    NON_CONFIDENTIAL = "non-confidential"
+
+
+class Schema:
+    """Immutable mapping from attribute name to :class:`AttributeRole`.
+
+    >>> schema = Schema({"height": AttributeRole.QUASI_IDENTIFIER,
+    ...                  "aids": AttributeRole.CONFIDENTIAL})
+    >>> schema.quasi_identifiers
+    ('height',)
+    """
+
+    def __init__(self, roles: Mapping[str, AttributeRole]):
+        self._roles = dict(roles)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._roles
+
+    def __getitem__(self, name: str) -> AttributeRole:
+        return self._roles[name]
+
+    def __iter__(self):
+        return iter(self._roles)
+
+    def __len__(self) -> int:
+        return len(self._roles)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._roles == other._roles
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}={role.value}" for name, role in self._roles.items())
+        return f"Schema({parts})"
+
+    def role(self, name: str, default: AttributeRole | None = None) -> AttributeRole | None:
+        """Return the role of *name*, or *default* when unknown."""
+        return self._roles.get(name, default)
+
+    def _names_with(self, role: AttributeRole) -> tuple[str, ...]:
+        return tuple(name for name, r in self._roles.items() if r is role)
+
+    @property
+    def identifiers(self) -> tuple[str, ...]:
+        """Names of directly identifying attributes."""
+        return self._names_with(AttributeRole.IDENTIFIER)
+
+    @property
+    def quasi_identifiers(self) -> tuple[str, ...]:
+        """Names of key attributes, in schema order."""
+        return self._names_with(AttributeRole.QUASI_IDENTIFIER)
+
+    @property
+    def confidential(self) -> tuple[str, ...]:
+        """Names of confidential attributes."""
+        return self._names_with(AttributeRole.CONFIDENTIAL)
+
+    @property
+    def non_confidential(self) -> tuple[str, ...]:
+        """Names of non-confidential attributes."""
+        return self._names_with(AttributeRole.NON_CONFIDENTIAL)
+
+    def with_roles(self, updates: Mapping[str, AttributeRole]) -> "Schema":
+        """Return a new schema with *updates* applied on top of this one."""
+        merged = dict(self._roles)
+        merged.update(updates)
+        return Schema(merged)
+
+    def restricted_to(self, names: Iterable[str]) -> "Schema":
+        """Return a schema containing only *names* (those present here)."""
+        keep = set(names)
+        return Schema({n: r for n, r in self._roles.items() if n in keep})
+
+    def as_dict(self) -> dict[str, AttributeRole]:
+        """Return a plain-dict copy of the role mapping."""
+        return dict(self._roles)

@@ -1,0 +1,215 @@
+"""Synthetic population generators.
+
+The paper's scenarios concern clinical-trial microdata, census-style
+microdata, high-dimensional sparse data (for the noise-reconstruction
+disclosure attack of [11]) and market-basket data (for association-rule
+hiding [25]).  All generators are deterministic given a seed and are sized
+for a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .roles import AttributeRole, Schema
+from .table import Dataset
+
+#: Schema for :func:`patients`.
+PATIENTS_SCHEMA = Schema(
+    {
+        "patient_id": AttributeRole.IDENTIFIER,
+        "height": AttributeRole.QUASI_IDENTIFIER,
+        "weight": AttributeRole.QUASI_IDENTIFIER,
+        "age": AttributeRole.QUASI_IDENTIFIER,
+        "blood_pressure": AttributeRole.CONFIDENTIAL,
+        "cholesterol": AttributeRole.CONFIDENTIAL,
+        "aids": AttributeRole.CONFIDENTIAL,
+    }
+)
+
+#: Schema for :func:`census`.
+CENSUS_SCHEMA = Schema(
+    {
+        "person_id": AttributeRole.IDENTIFIER,
+        "age": AttributeRole.QUASI_IDENTIFIER,
+        "zipcode": AttributeRole.QUASI_IDENTIFIER,
+        "sex": AttributeRole.QUASI_IDENTIFIER,
+        "education": AttributeRole.NON_CONFIDENTIAL,
+        "income": AttributeRole.CONFIDENTIAL,
+        "disease": AttributeRole.CONFIDENTIAL,
+    }
+)
+
+_EDUCATION_LEVELS = ("primary", "secondary", "bachelor", "master", "doctorate")
+_DISEASES = ("none", "flu", "diabetes", "hypertension", "cancer", "hiv")
+
+
+def _rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def patients(n: int, seed: int | np.random.Generator | None = 0) -> Dataset:
+    """Generate a hypertension-trial population like the paper's Table 1.
+
+    Heights and weights are correlated (taller people are heavier); systolic
+    blood pressure is at least 140 mmHg for everyone (the trial enrolled
+    only hypertensive patients); AIDS status is a rare binary confidential
+    attribute.
+    """
+    rng = _rng(seed)
+    height = rng.normal(170.0, 9.0, size=n)
+    # Weight correlates with height (r ~ 0.6) plus its own variation.
+    weight = 0.9 * (height - 170.0) + rng.normal(80.0, 11.0, size=n)
+    age = rng.integers(30, 81, size=n).astype(np.float64)
+    # Pressure rises with weight and age so classifiers have real signal.
+    blood_pressure = (
+        140.0
+        + 0.35 * (weight - 80.0)
+        + 0.25 * (age - 55.0)
+        + rng.gamma(shape=2.0, scale=5.0, size=n)
+    )
+    cholesterol = rng.normal(210.0, 30.0, size=n) + 0.3 * (weight - 80.0)
+    aids = np.where(rng.random(n) < 0.08, "Y", "N").astype(object)
+    ids = np.array([f"P{i:05d}" for i in range(n)], dtype=object)
+    return Dataset(
+        {
+            "patient_id": ids,
+            "height": np.round(height),
+            "weight": np.round(weight),
+            "age": age,
+            "blood_pressure": np.round(blood_pressure),
+            "cholesterol": np.round(cholesterol),
+            "aids": aids,
+        },
+        schema=PATIENTS_SCHEMA,
+    )
+
+
+def census(n: int, seed: int | np.random.Generator | None = 0,
+           n_zipcodes: int = 20) -> Dataset:
+    """Generate census-style microdata with categorical quasi-identifiers."""
+    rng = _rng(seed)
+    age = rng.integers(18, 91, size=n).astype(np.float64)
+    zipcode = np.array(
+        [f"43{z:03d}" for z in rng.integers(0, n_zipcodes, size=n)], dtype=object
+    )
+    sex = np.where(rng.random(n) < 0.5, "M", "F").astype(object)
+    edu_idx = np.minimum(
+        rng.geometric(0.45, size=n) - 1, len(_EDUCATION_LEVELS) - 1
+    )
+    education = np.array([_EDUCATION_LEVELS[i] for i in edu_idx], dtype=object)
+    income = np.round(
+        np.exp(rng.normal(10.2, 0.5, size=n)) * (1.0 + 0.15 * edu_idx)
+    )
+    disease = np.array(
+        [_DISEASES[i] for i in rng.choice(
+            len(_DISEASES), size=n, p=[0.42, 0.25, 0.12, 0.12, 0.05, 0.04])],
+        dtype=object,
+    )
+    ids = np.array([f"C{i:06d}" for i in range(n)], dtype=object)
+    return Dataset(
+        {
+            "person_id": ids,
+            "age": age,
+            "zipcode": zipcode,
+            "sex": sex,
+            "education": education,
+            "income": income,
+            "disease": disease,
+        },
+        schema=CENSUS_SCHEMA,
+    )
+
+
+def sparse_clusters(
+    n: int,
+    n_dims: int,
+    n_clusters: int = 8,
+    cluster_std: float = 0.5,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """Generate high-dimensional clustered numeric data.
+
+    As dimensionality grows the data become sparse: most attribute-value
+    combinations are rare, which is exactly the regime in which
+    Domingo-Ferrer, Sebé and Castellà [11] show that distribution
+    reconstruction from noise-added data discloses original records.
+    """
+    rng = _rng(seed)
+    centers = rng.uniform(-4.0, 4.0, size=(n_clusters, n_dims))
+    assignment = rng.integers(0, n_clusters, size=n)
+    points = centers[assignment] + rng.normal(0.0, cluster_std, size=(n, n_dims))
+    names = [f"x{i}" for i in range(n_dims)]
+    roles = {name: AttributeRole.QUASI_IDENTIFIER for name in names}
+    return Dataset.from_matrix(points, names=names, schema=Schema(roles))
+
+
+def sparse_uniform(
+    n: int,
+    n_dims: int,
+    low: float = 0.0,
+    high: float = 10.0,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """Uniform high-dimensional numeric data — maximal sparsity.
+
+    With n records spread over ``bins ** d`` grid cells, most cells are
+    empty or singly occupied once d grows: the regime where the
+    reconstruction attack of [11] discloses respondents.
+    """
+    rng = _rng(seed)
+    points = rng.uniform(low, high, size=(n, n_dims))
+    names = [f"x{i}" for i in range(n_dims)]
+    roles = {name: AttributeRole.QUASI_IDENTIFIER for name in names}
+    return Dataset.from_matrix(points, names=names, schema=Schema(roles))
+
+
+def market_baskets(
+    n_transactions: int,
+    n_items: int = 20,
+    avg_basket: float = 4.0,
+    seed: int | np.random.Generator | None = 0,
+) -> list[frozenset[str]]:
+    """Generate market-basket transactions with planted frequent itemsets.
+
+    Items ``i0 .. i{n-1}``; a handful of item pairs/triples co-occur far more
+    often than chance so Apriori finds non-trivial rules to hide.
+    """
+    rng = _rng(seed)
+    items = [f"i{j}" for j in range(n_items)]
+    planted = [("i0", "i1"), ("i2", "i3", "i4"), ("i1", "i5")]
+    transactions: list[frozenset[str]] = []
+    for _ in range(n_transactions):
+        basket: set[str] = set()
+        size = max(1, rng.poisson(avg_basket))
+        basket.update(rng.choice(items, size=min(size, n_items), replace=False))
+        for group in planted:
+            if rng.random() < 0.35:
+                basket.update(group)
+        transactions.append(frozenset(basket))
+    return transactions
+
+
+def horizontal_partition(
+    data: Dataset, n_parties: int, seed: int | np.random.Generator | None = 0
+) -> list[Dataset]:
+    """Split *data* row-wise among *n_parties* (crypto-PPDM scenario [18])."""
+    if n_parties < 1:
+        raise ValueError("need at least one party")
+    rng = _rng(seed)
+    perm = rng.permutation(data.n_rows)
+    chunks = np.array_split(perm, n_parties)
+    return [data.take(chunk) for chunk in chunks]
+
+
+def vertical_partition(data: Dataset, column_groups: list[list[str]]) -> list[Dataset]:
+    """Split *data* column-wise among parties (vertical PPDM scenario)."""
+    seen: set[str] = set()
+    for group in column_groups:
+        overlap = seen.intersection(group)
+        if overlap:
+            raise ValueError(f"columns assigned to two parties: {sorted(overlap)}")
+        seen.update(group)
+    return [data.project(group) for group in column_groups]

@@ -1,0 +1,302 @@
+"""A small column-oriented tabular container.
+
+``Dataset`` is the tabular substrate every other subsystem builds on.  It is
+deliberately minimal: named columns backed by numpy arrays, an optional
+:class:`~repro.data.roles.Schema` assigning disclosure roles, and the handful
+of relational operations (project, filter, group-by) the privacy algorithms
+need.  Numeric columns are stored as ``float64``; everything else is stored
+as object arrays and treated as categorical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .roles import AttributeRole, Schema
+
+_NUMERIC_KINDS = "iuf"
+
+
+def _as_column(values: Sequence | np.ndarray) -> np.ndarray:
+    """Coerce *values* to a 1-D numpy array (float64 if numeric)."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"columns must be one-dimensional, got shape {arr.shape}")
+    if arr.dtype.kind in _NUMERIC_KINDS:
+        return arr.astype(np.float64)
+    if arr.dtype.kind == "b":
+        return arr.astype(object)
+    return arr.astype(object)
+
+
+class Dataset:
+    """An ordered collection of equal-length named columns.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from column name to a 1-D sequence of values.  Order is
+        preserved and significant.
+    schema:
+        Optional attribute-role schema.  Columns without a role default to
+        :attr:`AttributeRole.NON_CONFIDENTIAL` in role queries.
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence], schema: Schema | None = None):
+        self._columns: dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for name, values in columns.items():
+            arr = _as_column(values)
+            if n_rows is None:
+                n_rows = arr.shape[0]
+            elif arr.shape[0] != n_rows:
+                raise ValueError(
+                    f"column {name!r} has {arr.shape[0]} rows, expected {n_rows}"
+                )
+            self._columns[name] = arr
+        self._n_rows = n_rows or 0
+        self.schema = schema or Schema({})
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        names: Sequence[str],
+        rows: Iterable[Sequence],
+        schema: Schema | None = None,
+    ) -> "Dataset":
+        """Build a dataset from an iterable of row tuples."""
+        rows = list(rows)
+        if rows and any(len(row) != len(names) for row in rows):
+            raise ValueError("all rows must have one value per column name")
+        columns = {
+            name: [row[i] for row in rows] if rows else []
+            for i, name in enumerate(names)
+        }
+        if not rows:
+            columns = {name: np.empty(0, dtype=object) for name in names}
+        return cls(columns, schema=schema)
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        names: Sequence[str] | None = None,
+        schema: Schema | None = None,
+    ) -> "Dataset":
+        """Build an all-numeric dataset from a 2-D array (rows x columns)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be two-dimensional")
+        if names is None:
+            names = [f"x{i}" for i in range(matrix.shape[1])]
+        if len(names) != matrix.shape[1]:
+            raise ValueError("one name per matrix column is required")
+        return cls({n: matrix[:, i] for i, n in enumerate(names)}, schema=schema)
+
+    def copy(self) -> "Dataset":
+        """Return a deep copy (column arrays are copied)."""
+        return Dataset(
+            {name: arr.copy() for name, arr in self._columns.items()},
+            schema=self.schema,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of records."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes."""
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Attribute names in order."""
+        return tuple(self._columns)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(
+            np.array_equal(self._columns[n], other._columns[n], equal_nan=True)
+            if self._columns[n].dtype.kind in _NUMERIC_KINDS
+            else np.array_equal(self._columns[n], other._columns[n])
+            for n in self.column_names
+        )
+
+    def __repr__(self) -> str:
+        return f"Dataset({self._n_rows} rows x {self.n_columns} columns: {list(self._columns)})"
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the array backing column *name* (not a copy)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r}; have {list(self._columns)}") from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def is_numeric(self, name: str) -> bool:
+        """True when column *name* holds floating-point data."""
+        return self.column(name).dtype.kind in _NUMERIC_KINDS
+
+    def role(self, name: str) -> AttributeRole:
+        """Disclosure role of column *name* (non-confidential by default)."""
+        if name not in self._columns:
+            raise KeyError(f"no column named {name!r}")
+        return self.schema.role(name, AttributeRole.NON_CONFIDENTIAL)
+
+    @property
+    def quasi_identifiers(self) -> tuple[str, ...]:
+        """Quasi-identifier columns present in this dataset."""
+        return tuple(n for n in self.schema.quasi_identifiers if n in self._columns)
+
+    @property
+    def confidential_attributes(self) -> tuple[str, ...]:
+        """Confidential columns present in this dataset."""
+        return tuple(n for n in self.schema.confidential if n in self._columns)
+
+    def row(self, index: int) -> tuple:
+        """Return record *index* as a tuple in column order."""
+        return tuple(self._columns[name][index] for name in self._columns)
+
+    def iter_rows(self) -> Iterable[tuple]:
+        """Yield records as tuples in column order."""
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    def to_rows(self) -> list[tuple]:
+        """Materialise all records as a list of tuples."""
+        return list(self.iter_rows())
+
+    # ------------------------------------------------------------------
+    # Relational operations (all return new Datasets)
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Dataset":
+        """Keep only the columns in *names* (in the given order)."""
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise KeyError(f"unknown columns: {missing}")
+        return Dataset(
+            {n: self._columns[n] for n in names},
+            schema=self.schema.restricted_to(names),
+        )
+
+    def drop(self, names: Sequence[str]) -> "Dataset":
+        """Remove the columns in *names*."""
+        drop = set(names)
+        keep = [n for n in self._columns if n not in drop]
+        return self.project(keep)
+
+    def select(self, mask: np.ndarray) -> "Dataset":
+        """Keep the rows where boolean *mask* is true (or fancy-index rows)."""
+        mask = np.asarray(mask)
+        return Dataset(
+            {n: arr[mask] for n, arr in self._columns.items()}, schema=self.schema
+        )
+
+    def take(self, indices: Sequence[int]) -> "Dataset":
+        """Return the rows at *indices*, in that order."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return self.select(idx)
+
+    def with_column(self, name: str, values: Sequence) -> "Dataset":
+        """Return a copy with column *name* added or replaced."""
+        columns = dict(self._columns)
+        columns[name] = _as_column(values)
+        if columns[name].shape[0] != self._n_rows and self._columns:
+            raise ValueError("new column length must match the dataset")
+        return Dataset(columns, schema=self.schema)
+
+    def with_schema(self, schema: Schema) -> "Dataset":
+        """Return a shallow copy carrying *schema*."""
+        return Dataset(self._columns, schema=schema)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Dataset":
+        """Return a copy with columns renamed per *mapping*."""
+        columns = {mapping.get(n, n): arr for n, arr in self._columns.items()}
+        roles = {
+            mapping.get(n, n): r for n, r in self.schema.as_dict().items()
+        }
+        return Dataset(columns, schema=Schema(roles))
+
+    def vstack(self, other: "Dataset") -> "Dataset":
+        """Concatenate rows of two datasets with identical column names."""
+        if self.column_names != other.column_names:
+            raise ValueError("datasets must share column names to vstack")
+        columns = {}
+        for name in self.column_names:
+            left, right = self._columns[name], other._columns[name]
+            if left.dtype.kind in _NUMERIC_KINDS and right.dtype.kind in _NUMERIC_KINDS:
+                columns[name] = np.concatenate([left, right])
+            else:
+                columns[name] = np.concatenate(
+                    [left.astype(object), right.astype(object)]
+                )
+        return Dataset(columns, schema=self.schema)
+
+    def group_by(self, names: Sequence[str]) -> dict[tuple, np.ndarray]:
+        """Group rows by their values on *names*.
+
+        Returns a mapping from value tuple to the array of row indices that
+        share it — the *equivalence classes* of SDC.
+        """
+        arrays = [self._columns[n] for n in names]
+        groups: dict[tuple, list[int]] = {}
+        for i in range(self._n_rows):
+            key = tuple(arr[i] for arr in arrays)
+            groups.setdefault(key, []).append(i)
+        return {k: np.asarray(v, dtype=np.intp) for k, v in groups.items()}
+
+    # ------------------------------------------------------------------
+    # Numeric views
+    # ------------------------------------------------------------------
+    def numeric_columns(self) -> tuple[str, ...]:
+        """Names of all numeric columns."""
+        return tuple(n for n in self._columns if self.is_numeric(n))
+
+    def matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Return the named numeric columns as a 2-D float array (copy)."""
+        if names is None:
+            names = self.numeric_columns()
+        bad = [n for n in names if not self.is_numeric(n)]
+        if bad:
+            raise TypeError(f"non-numeric columns requested: {bad}")
+        if not names:
+            return np.empty((self._n_rows, 0))
+        return np.column_stack([self._columns[n] for n in names])
+
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Per-numeric-column summary statistics (mean/std/min/max)."""
+        summary = {}
+        for name in self.numeric_columns():
+            col = self._columns[name]
+            if col.size == 0:
+                summary[name] = {"mean": float("nan"), "std": float("nan"),
+                                 "min": float("nan"), "max": float("nan")}
+                continue
+            summary[name] = {
+                "mean": float(np.mean(col)),
+                "std": float(np.std(col)),
+                "min": float(np.min(col)),
+                "max": float(np.max(col)),
+            }
+        return summary

@@ -1,0 +1,26 @@
+"""Data-mining substrate: trees, rules, naive Bayes and metrics."""
+
+from .apriori import (
+    AssociationRule,
+    association_rules,
+    frequent_itemsets,
+    itemset_support,
+)
+from .decision_tree import DecisionTree, TreeNode, fit_from_distributions
+from .metrics import accuracy, confusion_counts, f1_score, train_test_split_indices
+from .naive_bayes import GaussianNaiveBayes
+
+__all__ = [
+    "AssociationRule",
+    "DecisionTree",
+    "GaussianNaiveBayes",
+    "TreeNode",
+    "accuracy",
+    "association_rules",
+    "confusion_counts",
+    "f1_score",
+    "fit_from_distributions",
+    "frequent_itemsets",
+    "itemset_support",
+    "train_test_split_indices",
+]

@@ -1,0 +1,119 @@
+"""Apriori frequent-itemset and association-rule mining.
+
+The substrate for association-rule hiding (Verykios et al. [25], cited by
+the paper as use-specific non-crypto PPDM): transactions are sets of item
+labels; Apriori enumerates frequent itemsets level-wise and derives rules
+``antecedent -> consequent`` above support and confidence thresholds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule with its support and confidence."""
+
+    antecedent: frozenset[str]
+    consequent: frozenset[str]
+    support: float
+    confidence: float
+
+    @property
+    def itemset(self) -> frozenset[str]:
+        """Union of antecedent and consequent."""
+        return self.antecedent | self.consequent
+
+    def __str__(self) -> str:
+        lhs = ",".join(sorted(self.antecedent))
+        rhs = ",".join(sorted(self.consequent))
+        return f"{{{lhs}}} -> {{{rhs}}} (sup={self.support:.3f}, conf={self.confidence:.3f})"
+
+
+def itemset_support(
+    transactions: Sequence[frozenset[str]], itemset: Iterable[str]
+) -> float:
+    """Fraction of transactions containing every item of *itemset*."""
+    if not transactions:
+        return 0.0
+    target = frozenset(itemset)
+    hits = sum(1 for t in transactions if target <= t)
+    return hits / len(transactions)
+
+
+def frequent_itemsets(
+    transactions: Sequence[frozenset[str]],
+    min_support: float,
+    max_size: int = 4,
+) -> dict[frozenset[str], float]:
+    """Level-wise Apriori enumeration of frequent itemsets."""
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    n = len(transactions)
+    if n == 0:
+        return {}
+    # Level 1.
+    counts: dict[frozenset[str], int] = {}
+    for t in transactions:
+        for item in t:
+            key = frozenset([item])
+            counts[key] = counts.get(key, 0) + 1
+    frequent: dict[frozenset[str], float] = {
+        s: c / n for s, c in counts.items() if c / n >= min_support
+    }
+    current = [s for s in frequent if len(s) == 1]
+    size = 1
+    while current and size < max_size:
+        size += 1
+        # Candidate generation: join pairs sharing size-2 items.
+        items = sorted({item for s in current for item in s})
+        candidates = set()
+        current_set = set(current)
+        for combo in combinations(items, size):
+            cand = frozenset(combo)
+            # Apriori pruning: all (size-1)-subsets must be frequent.
+            if all(
+                frozenset(sub) in current_set
+                for sub in combinations(combo, size - 1)
+            ):
+                candidates.add(cand)
+        level: list[frozenset[str]] = []
+        for cand in candidates:
+            sup = itemset_support(transactions, cand)
+            if sup >= min_support:
+                frequent[cand] = sup
+                level.append(cand)
+        current = level
+    return frequent
+
+
+def association_rules(
+    transactions: Sequence[frozenset[str]],
+    min_support: float,
+    min_confidence: float,
+    max_size: int = 4,
+) -> list[AssociationRule]:
+    """Mine rules above the support and confidence thresholds."""
+    frequent = frequent_itemsets(transactions, min_support, max_size)
+    rules: list[AssociationRule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for r in range(1, len(itemset)):
+            for antecedent in combinations(sorted(itemset), r):
+                ant = frozenset(antecedent)
+                ant_support = frequent.get(ant)
+                if ant_support is None:
+                    ant_support = itemset_support(transactions, ant)
+                if ant_support == 0:
+                    continue
+                confidence = support / ant_support
+                if confidence >= min_confidence:
+                    rules.append(
+                        AssociationRule(ant, itemset - ant, support, confidence)
+                    )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support, str(rule)))
+    return rules

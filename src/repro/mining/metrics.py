@@ -1,0 +1,48 @@
+"""Evaluation metrics for the mining substrate."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of matching labels."""
+    t = np.asarray(y_true)
+    p = np.asarray(y_pred)
+    if t.shape != p.shape:
+        raise ValueError("label arrays must have the same shape")
+    if t.size == 0:
+        return 0.0
+    return float((t == p).mean())
+
+
+def confusion_counts(y_true: Sequence, y_pred: Sequence, positive) -> tuple[int, int, int, int]:
+    """Return (tp, fp, fn, tn) for a binary task with the given positive label."""
+    t = np.asarray(y_true) == positive
+    p = np.asarray(y_pred) == positive
+    tp = int((t & p).sum())
+    fp = int((~t & p).sum())
+    fn = int((t & ~p).sum())
+    tn = int((~t & ~p).sum())
+    return tp, fp, fn, tn
+
+
+def f1_score(y_true: Sequence, y_pred: Sequence, positive) -> float:
+    """Harmonic mean of precision and recall for the positive label."""
+    tp, fp, fn, _ = confusion_counts(y_true, y_pred, positive)
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom else 0.0
+
+
+def train_test_split_indices(
+    n: int, test_fraction: float = 0.3, rng: np.random.Generator | int | None = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffled train/test index split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    perm = gen.permutation(n)
+    cut = int(round(n * (1.0 - test_fraction)))
+    return perm[:cut], perm[cut:]

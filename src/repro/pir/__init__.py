@@ -1,0 +1,47 @@
+"""User privacy: private information retrieval and query profiling."""
+
+from .cpir import LinearCPIR, MatrixCPIR
+from .keyword import KeywordPIR
+from .log_attack import (
+    LogAttackReport,
+    QueryLog,
+    UserProfile,
+    log_matching_attack,
+    make_user_population,
+    run_search_sessions,
+)
+from .itpir import (
+    MultiServerXorPIR,
+    PIRAnswer,
+    SquareSchemePIR,
+    TwoServerXorPIR,
+)
+from .profiling import (
+    ProfilingReport,
+    profile_custom,
+    profile_itpir,
+    profile_plaintext_retrieval,
+)
+from .sql_bridge import AggregateResult, PrivateAggregateIndex
+
+__all__ = [
+    "AggregateResult",
+    "KeywordPIR",
+    "LogAttackReport",
+    "LinearCPIR",
+    "MultiServerXorPIR",
+    "MatrixCPIR",
+    "PIRAnswer",
+    "PrivateAggregateIndex",
+    "ProfilingReport",
+    "QueryLog",
+    "SquareSchemePIR",
+    "TwoServerXorPIR",
+    "UserProfile",
+    "log_matching_attack",
+    "make_user_population",
+    "profile_custom",
+    "profile_itpir",
+    "profile_plaintext_retrieval",
+    "run_search_sessions",
+]

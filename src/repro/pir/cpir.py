@@ -1,0 +1,111 @@
+"""Single-server computational PIR on Paillier.
+
+With a single server, information-theoretic privacy is impossible (the
+server would have to send the whole database), but *computational* privacy
+is achievable (Kushilevitz–Ostrovsky; the single-database schemes surveyed
+by Aguilar–Deswarte [6], which the paper cites): the client sends an
+encrypted selection vector; under Paillier the server can evaluate
+``Enc(sum_j e_j * x_j) = Enc(x_i)`` without learning i.
+
+Two layouts:
+
+* :class:`LinearCPIR` — one ciphertext per record upstream.
+* :class:`MatrixCPIR` — records in an r x c matrix; the client selects a
+  row with c = O(√n) ciphertexts and receives the encrypted row,
+  decrypting only the wanted column client-side.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..crypto import paillier
+
+
+class LinearCPIR:
+    """Computational PIR with a full encrypted selection vector."""
+
+    def __init__(
+        self,
+        records: Sequence[int],
+        key_bits: int = 192,
+        rng: random.Random | None = None,
+    ):
+        self._records = [int(r) for r in records]
+        self.n = len(self._records)
+        self._rng = rng or random.Random(61)
+        self.public, self._private = paillier.generate_keypair(key_bits, self._rng)
+        self.upstream_ciphertexts = 0
+        self.downstream_ciphertexts = 0
+        self.last_query_length: int | None = None
+
+    def _server_eval(self, selection: Sequence[int]) -> int:
+        acc = paillier.encrypt(self.public, 0, self._rng)
+        for cipher, record in zip(selection, self._records):
+            term = paillier.mul_plain(self.public, cipher, record)
+            acc = paillier.add(self.public, acc, term)
+        return acc
+
+    def retrieve(self, index: int) -> int:
+        """Privately retrieve record *index*."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        selection = [
+            paillier.encrypt(self.public, 1 if j == index else 0, self._rng)
+            for j in range(self.n)
+        ]
+        self.upstream_ciphertexts += self.n
+        self.last_query_length = self.n
+        answer = self._server_eval(selection)
+        self.downstream_ciphertexts += 1
+        return paillier.decrypt_signed(self._private, answer)
+
+
+class MatrixCPIR:
+    """Computational PIR with O(√n) upstream ciphertexts."""
+
+    def __init__(
+        self,
+        records: Sequence[int],
+        key_bits: int = 192,
+        rng: random.Random | None = None,
+    ):
+        import math
+
+        self._records = [int(r) for r in records]
+        self.n = len(self._records)
+        self.cols = max(1, int(math.isqrt(max(self.n, 1))))
+        self.rows = -(-self.n // self.cols)
+        self._rng = rng or random.Random(67)
+        self.public, self._private = paillier.generate_keypair(key_bits, self._rng)
+        self.upstream_ciphertexts = 0
+        self.downstream_ciphertexts = 0
+
+    def _cell(self, row: int, col: int) -> int:
+        idx = row * self.cols + col
+        return self._records[idx] if idx < self.n else 0
+
+    def retrieve(self, index: int) -> int:
+        """Privately retrieve record *index*."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        row, col = divmod(index, self.cols)
+        # Row-selection vector of length `rows`.
+        selection = [
+            paillier.encrypt(self.public, 1 if r == row else 0, self._rng)
+            for r in range(self.rows)
+        ]
+        self.upstream_ciphertexts += self.rows
+        # Server returns one ciphertext per column: Enc(matrix[row][c]).
+        answer = []
+        for c in range(self.cols):
+            acc = paillier.encrypt(self.public, 0, self._rng)
+            for r in range(self.rows):
+                term = paillier.mul_plain(
+                    self.public, selection[r], self._cell(r, c)
+                )
+                acc = paillier.add(self.public, acc, term)
+            answer.append(acc)
+        self.downstream_ciphertexts += self.cols
+        return paillier.decrypt_signed(self._private, answer[col])

@@ -1,0 +1,236 @@
+"""Information-theoretic private information retrieval (Chor et al. [8]).
+
+Two non-colluding servers hold the same database of fixed-size blocks; the
+client retrieves block ``i`` while each server's view (a uniformly random
+subset of indices) is statistically independent of ``i``.
+
+Two schemes are provided:
+
+* :class:`TwoServerXorPIR` — the basic linear scheme: the client sends a
+  random index-set S to server 1 and S Δ {i} to server 2; each server
+  answers with the XOR of the selected blocks; XOR of the answers is
+  block i.  Communication O(n) bits upstream.
+* :class:`SquareSchemePIR` — the classical O(√n) refinement: the database
+  is arranged as a √n x √n matrix; the client runs the basic scheme on
+  *columns* and receives whole-column XORs, cutting upstream cost to
+  O(√n) per server.
+
+Both implementations count communication so the scaling benchmark (A2 in
+DESIGN.md) can regenerate cost curves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sdc.base import resolve_rng
+
+
+@dataclass(frozen=True)
+class PIRAnswer:
+    """One server's reply plus the query it saw (for leakage analysis)."""
+
+    server: int
+    query_indices: tuple[int, ...]
+    payload: bytes
+
+
+class _Server:
+    """A PIR server holding the block database."""
+
+    def __init__(self, blocks: list[bytes]):
+        self._blocks = blocks
+
+    def answer(self, server_id: int, indices: Sequence[int]) -> PIRAnswer:
+        """XOR of the requested blocks."""
+        size = len(self._blocks[0]) if self._blocks else 0
+        acc = bytearray(size)
+        for i in indices:
+            block = self._blocks[i]
+            for j in range(size):
+                acc[j] ^= block[j]
+        return PIRAnswer(server_id, tuple(int(i) for i in indices), bytes(acc))
+
+
+def _normalize_blocks(blocks: Sequence[bytes | int]) -> list[bytes]:
+    out: list[bytes] = []
+    width = 8
+    for b in blocks:
+        if isinstance(b, bytes):
+            width = max(width, len(b))
+    for b in blocks:
+        if isinstance(b, bytes):
+            out.append(b.ljust(width, b"\0"))
+        else:
+            out.append(int(b).to_bytes(width, "big", signed=True))
+    return out
+
+
+class TwoServerXorPIR:
+    """The basic two-server XOR scheme of Chor–Goldreich–Kushilevitz–Sudan.
+
+    Parameters
+    ----------
+    blocks:
+        Database records, as ``bytes`` or signed integers (encoded to a
+        common width).
+    """
+
+    def __init__(self, blocks: Sequence[bytes | int]):
+        self._blocks = _normalize_blocks(blocks)
+        self.n = len(self._blocks)
+        # Each server holds its own replica (they are distinct machines;
+        # a byzantine server corrupting its copy must not affect the other).
+        self._servers = (_Server(list(self._blocks)), _Server(list(self._blocks)))
+        self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+        self.upstream_bits = 0
+        self.downstream_bits = 0
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per block."""
+        return len(self._blocks[0]) if self._blocks else 0
+
+    def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
+        """Privately retrieve block *index*."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        rng = resolve_rng(rng)
+        subset = rng.random(self.n) < 0.5
+        s1 = set(np.flatnonzero(subset).tolist())
+        s2 = set(s1)
+        s2 ^= {index}
+        a1 = self._servers[0].answer(0, sorted(s1))
+        a2 = self._servers[1].answer(1, sorted(s2))
+        self.last_queries = (a1.query_indices, a2.query_indices)
+        self.upstream_bits += 2 * self.n  # one characteristic bit-vector each
+        self.downstream_bits += 8 * (len(a1.payload) + len(a2.payload))
+        return bytes(x ^ y for x, y in zip(a1.payload, a2.payload))
+
+    def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
+        """Retrieve a block and decode it as a signed integer."""
+        return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
+
+
+class MultiServerXorPIR:
+    """k-server XOR PIR with (k-1)-collusion resistance.
+
+    Generalizes the two-server scheme: the client picks k-1 independent
+    uniformly random index sets S_1 .. S_{k-1} and sends server k the set
+    ``S_1 Δ ... Δ S_{k-1} Δ {i}``; XOR of all answers is block i.  Any
+    coalition of at most k-1 servers sees jointly uniform sets independent
+    of the target (each proper subset misses at least one random mask).
+    """
+
+    def __init__(self, blocks: Sequence[bytes | int], n_servers: int = 3):
+        if n_servers < 2:
+            raise ValueError("need at least 2 servers")
+        self._blocks = _normalize_blocks(blocks)
+        self.n = len(self._blocks)
+        self.n_servers = n_servers
+        self._servers = tuple(
+            _Server(list(self._blocks)) for _ in range(n_servers)
+        )
+        self.last_queries: tuple[tuple[int, ...], ...] | None = None
+        self.upstream_bits = 0
+        self.downstream_bits = 0
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per block."""
+        return len(self._blocks[0]) if self._blocks else 0
+
+    def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
+        """Privately retrieve block *index*."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        rng = resolve_rng(rng)
+        sets: list[set[int]] = []
+        combined: set[int] = {index}
+        for _ in range(self.n_servers - 1):
+            subset = set(np.flatnonzero(rng.random(self.n) < 0.5).tolist())
+            sets.append(subset)
+            combined ^= subset
+        sets.append(combined)
+        answers = [
+            server.answer(sid, sorted(s))
+            for sid, (server, s) in enumerate(zip(self._servers, sets))
+        ]
+        self.last_queries = tuple(a.query_indices for a in answers)
+        self.upstream_bits += self.n_servers * self.n
+        self.downstream_bits += 8 * sum(len(a.payload) for a in answers)
+        result = bytearray(self.block_size)
+        for answer in answers:
+            for j, byte in enumerate(answer.payload):
+                result[j] ^= byte
+        return bytes(result)
+
+    def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
+        """Retrieve a block and decode it as a signed integer."""
+        return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
+
+
+class SquareSchemePIR:
+    """Two-server scheme with O(√n) upstream communication.
+
+    The database is laid out as an r x c matrix (r = c = ceil(√n)); the
+    client retrieves the *column* containing the target using the XOR
+    trick across columns, receiving per-row XORs from which it extracts
+    the target cell.
+    """
+
+    def __init__(self, blocks: Sequence[bytes | int]):
+        self._blocks = _normalize_blocks(blocks)
+        self.n = len(self._blocks)
+        self.cols = int(np.ceil(np.sqrt(max(self.n, 1))))
+        self.rows = int(np.ceil(self.n / max(self.cols, 1)))
+        self.upstream_bits = 0
+        self.downstream_bits = 0
+        self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per block."""
+        return len(self._blocks[0]) if self._blocks else 0
+
+    def _cell(self, row: int, col: int) -> bytes:
+        idx = row * self.cols + col
+        if idx < self.n:
+            return self._blocks[idx]
+        return b"\0" * self.block_size
+
+    def _answer(self, columns: Sequence[int]) -> list[bytes]:
+        size = self.block_size
+        out = []
+        for row in range(self.rows):
+            acc = bytearray(size)
+            for col in columns:
+                cell = self._cell(row, col)
+                for j in range(size):
+                    acc[j] ^= cell[j]
+            out.append(bytes(acc))
+        return out
+
+    def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
+        """Privately retrieve block *index*."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        rng = resolve_rng(rng)
+        row, col = divmod(index, self.cols)
+        subset = rng.random(self.cols) < 0.5
+        s1 = set(np.flatnonzero(subset).tolist())
+        s2 = set(s1)
+        s2 ^= {col}
+        a1 = self._answer(sorted(s1))
+        a2 = self._answer(sorted(s2))
+        self.last_queries = (tuple(sorted(s1)), tuple(sorted(s2)))
+        self.upstream_bits += 2 * self.cols
+        self.downstream_bits += 8 * self.block_size * 2 * self.rows
+        return bytes(x ^ y for x, y in zip(a1[row], a2[row]))
+
+    def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
+        """Retrieve a block and decode it as a signed integer."""
+        return int.from_bytes(self.retrieve(index, rng), "big", signed=True)

@@ -1,0 +1,90 @@
+"""Keyword PIR (Chor–Gilboa–Naor style, via private binary search).
+
+Plain PIR retrieves by *position*; real lookups are by *key* (a patient
+id, a word).  The classical reduction: the server publishes only the
+database size; the client binary-searches the key-sorted database with
+O(log n) positional PIR retrievals, each fetching a (key, value) block —
+the servers see only the usual random-looking PIR queries, never the key.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..sdc.base import resolve_rng
+from .itpir import TwoServerXorPIR
+
+_KEY_BYTES = 24
+_VALUE_BYTES = 16
+
+
+def _pack(key: str, value: int) -> bytes:
+    key_bytes = key.encode()[:_KEY_BYTES].ljust(_KEY_BYTES, b"\0")
+    return key_bytes + int(value).to_bytes(_VALUE_BYTES, "big", signed=True)
+
+
+def _unpack(block: bytes) -> tuple[str, int]:
+    key = block[:_KEY_BYTES].rstrip(b"\0").decode()
+    value = int.from_bytes(
+        block[_KEY_BYTES:_KEY_BYTES + _VALUE_BYTES], "big", signed=True
+    )
+    return key, value
+
+
+class KeywordPIR:
+    """Private lookups by key over a two-server PIR database.
+
+    Parameters
+    ----------
+    mapping:
+        key -> integer value.  Keys are sorted at build time; the sorted
+        *order* (but not the keys) is what binary search exploits.
+    """
+
+    def __init__(self, mapping: Mapping[str, int]):
+        items = sorted(mapping.items())
+        self._keys = [k for k, _ in items]
+        self._pir = TwoServerXorPIR([_pack(k, v) for k, v in items])
+        self.n = len(items)
+        self.retrievals = 0
+
+    def lookup(
+        self, key: str, rng: np.random.Generator | int | None = None
+    ) -> int | None:
+        """Privately fetch the value for *key* (None when absent).
+
+        Performs ceil(log2 n) + 1 positional PIR retrievals regardless of
+        hit or miss, so even the *number* of rounds leaks nothing about
+        whether the key exists.
+        """
+        if self.n == 0:
+            return None
+        rng = resolve_rng(rng)
+        lo, hi = 0, self.n - 1
+        found: int | None = None
+        # Fixed number of rounds: ceil(log2(n)) + 1.
+        rounds = max(1, int(np.ceil(np.log2(self.n))) + 1)
+        for _ in range(rounds):
+            mid = (lo + hi) // 2
+            block_key, value = _unpack(self._pir.retrieve(mid, rng))
+            self.retrievals += 1
+            if block_key == key:
+                found = value
+                # Keep issuing dummy retrievals to fix the round count.
+                lo, hi = mid, mid
+            elif block_key < key:
+                lo = min(mid + 1, self.n - 1)
+            else:
+                hi = max(mid - 1, 0)
+        return found
+
+    @property
+    def upstream_bits(self) -> int:
+        """Total client-to-server communication so far."""
+        return self._pir.upstream_bits
+
+    def server_view(self):
+        """The servers' most recent query pair (for leakage tests)."""
+        return self._pir.last_queries

@@ -1,0 +1,42 @@
+"""Owner-privacy methods: non-cryptographic privacy-preserving data mining."""
+
+from .association_hiding import (
+    HidingResult,
+    hide_rules,
+    rule_is_visible,
+    side_effects,
+)
+from .randomization import AgrawalSrikantRandomizer, NoiseModel
+from .randomized_response import (
+    RandomizedResponse,
+    RandomizedResponseEstimate,
+    estimate_proportion,
+    per_record_posterior,
+    randomize_binary,
+)
+from .reconstruction import (
+    ReconstructedDistribution,
+    posterior_cells,
+    reconstruct_joint,
+    reconstruct_univariate,
+    reconstruction_error,
+)
+
+__all__ = [
+    "AgrawalSrikantRandomizer",
+    "HidingResult",
+    "NoiseModel",
+    "RandomizedResponse",
+    "RandomizedResponseEstimate",
+    "ReconstructedDistribution",
+    "estimate_proportion",
+    "hide_rules",
+    "per_record_posterior",
+    "posterior_cells",
+    "randomize_binary",
+    "reconstruct_joint",
+    "reconstruct_univariate",
+    "reconstruction_error",
+    "rule_is_visible",
+    "side_effects",
+]

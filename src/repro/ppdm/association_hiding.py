@@ -1,0 +1,132 @@
+"""Association-rule hiding (Verykios et al. [25]).
+
+Use-specific non-crypto PPDM: the owner wants to release transaction data
+that still supports association-rule mining, *except* for a designated set
+of sensitive rules, which must fall below the mining thresholds.  The
+classic sanitization strategy implemented here lowers a sensitive rule's
+support (and hence confidence) by removing one item of the rule from
+carefully chosen supporting transactions until the rule drops below
+``min_support`` or its confidence below ``min_confidence``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mining.apriori import AssociationRule, itemset_support
+from ..sdc.base import resolve_rng
+
+
+@dataclass(frozen=True)
+class HidingResult:
+    """Outcome of a sanitization run."""
+
+    transactions: list[frozenset[str]]
+    removed_items: int
+    hidden_rules: tuple[AssociationRule, ...]
+    failed_rules: tuple[AssociationRule, ...]
+
+    @property
+    def all_hidden(self) -> bool:
+        """True when every sensitive rule fell below the thresholds."""
+        return not self.failed_rules
+
+
+def rule_is_visible(
+    transactions: Sequence[frozenset[str]],
+    rule: AssociationRule,
+    min_support: float,
+    min_confidence: float,
+) -> bool:
+    """Would Apriori at these thresholds still report *rule*?"""
+    support = itemset_support(transactions, rule.itemset)
+    if support < min_support:
+        return False
+    ant = itemset_support(transactions, rule.antecedent)
+    if ant == 0:
+        return False
+    return support / ant >= min_confidence
+
+
+def hide_rules(
+    transactions: Sequence[frozenset[str]],
+    sensitive: Sequence[AssociationRule],
+    min_support: float,
+    min_confidence: float,
+    rng: np.random.Generator | int | None = 0,
+    max_removals_per_rule: int | None = None,
+) -> HidingResult:
+    """Sanitize *transactions* so every sensitive rule is hidden.
+
+    Greedy support-reduction: while a rule is visible, pick a supporting
+    transaction (largest first, to spare small baskets) and delete from it
+    one item of the rule's *consequent* (which lowers support and
+    confidence simultaneously).
+    """
+    rng = resolve_rng(rng)
+    sanitized = [set(t) for t in transactions]
+    removed = 0
+    hidden: list[AssociationRule] = []
+    failed: list[AssociationRule] = []
+    for rule in sensitive:
+        budget = (
+            max_removals_per_rule
+            if max_removals_per_rule is not None
+            else len(sanitized)
+        )
+        spent = 0
+        while (
+            rule_is_visible(
+                [frozenset(t) for t in sanitized], rule, min_support, min_confidence
+            )
+            and spent < budget
+        ):
+            supporting = [
+                i for i, t in enumerate(sanitized) if rule.itemset <= t
+            ]
+            if not supporting:
+                break
+            # Largest supporting basket loses one consequent item.
+            victim = max(supporting, key=lambda i: len(sanitized[i]))
+            item = sorted(rule.consequent & sanitized[victim])[0]
+            sanitized[victim].discard(item)
+            removed += 1
+            spent += 1
+        final = [frozenset(t) for t in sanitized]
+        if rule_is_visible(final, rule, min_support, min_confidence):
+            failed.append(rule)
+        else:
+            hidden.append(rule)
+    return HidingResult(
+        transactions=[frozenset(t) for t in sanitized],
+        removed_items=removed,
+        hidden_rules=tuple(hidden),
+        failed_rules=tuple(failed),
+    )
+
+
+def side_effects(
+    before: Sequence[AssociationRule],
+    after: Sequence[AssociationRule],
+    sensitive: Sequence[AssociationRule],
+) -> tuple[list[AssociationRule], list[AssociationRule]]:
+    """Collateral damage of sanitization.
+
+    Returns ``(lost, ghost)``: non-sensitive rules that disappeared, and
+    rules that newly appeared.  Rule identity is (antecedent, consequent).
+    """
+    def key(rule: AssociationRule) -> tuple:
+        return (tuple(sorted(rule.antecedent)), tuple(sorted(rule.consequent)))
+
+    sensitive_keys = {key(r) for r in sensitive}
+    before_keys = {key(r): r for r in before}
+    after_keys = {key(r): r for r in after}
+    lost = [
+        rule for k, rule in before_keys.items()
+        if k not in after_keys and k not in sensitive_keys
+    ]
+    ghost = [rule for k, rule in after_keys.items() if k not in before_keys]
+    return lost, ghost

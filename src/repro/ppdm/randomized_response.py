@@ -1,0 +1,121 @@
+"""Randomized response (Warner; Du–Zhan [13]).
+
+Each respondent (or, as the paper's footnote 1 argues, more realistically
+the *data owner* on the respondents' behalf) reports the true binary value
+with probability ``p`` and its complement with probability ``1 - p``.  The
+aggregate true proportion remains estimable:
+
+    pi_hat = (lambda_hat + p - 1) / (2p - 1)
+
+where ``lambda_hat`` is the observed "yes" proportion.  Related-question
+and unrelated-question designs reduce to the same estimator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Dataset
+from ..sdc.base import MaskingMethod, resolve_rng
+
+
+@dataclass(frozen=True)
+class RandomizedResponseEstimate:
+    """Unbiased estimate of a true proportion from randomized reports."""
+
+    proportion: float
+    variance: float
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the estimate."""
+        return float(np.sqrt(max(self.variance, 0.0)))
+
+
+def randomize_binary(
+    values: Sequence[bool] | np.ndarray,
+    p_truth: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Warner mechanism: report the truth w.p. ``p_truth``, else flip."""
+    if not 0.0 <= p_truth <= 1.0:
+        raise ValueError("p_truth must be in [0, 1]")
+    if abs(p_truth - 0.5) < 1e-12:
+        raise ValueError("p_truth = 1/2 destroys all information")
+    rng = resolve_rng(rng)
+    truth = np.asarray(values, dtype=bool)
+    flip = rng.random(truth.shape[0]) >= p_truth
+    return np.where(flip, ~truth, truth)
+
+
+def estimate_proportion(
+    reports: Sequence[bool] | np.ndarray, p_truth: float
+) -> RandomizedResponseEstimate:
+    """Invert the Warner mechanism to estimate the true 'yes' proportion."""
+    reports = np.asarray(reports, dtype=bool)
+    n = reports.shape[0]
+    if n == 0:
+        raise ValueError("no reports")
+    lam = float(reports.mean())
+    denom = 2.0 * p_truth - 1.0
+    pi_hat = (lam + p_truth - 1.0) / denom
+    variance = lam * (1.0 - lam) / (n * denom * denom)
+    return RandomizedResponseEstimate(
+        proportion=float(np.clip(pi_hat, 0.0, 1.0)), variance=variance
+    )
+
+
+def per_record_posterior(report: bool, p_truth: float, prior: float) -> float:
+    """P(true value = yes | report), the record-level leakage of RR.
+
+    Used by the respondent-privacy meter: the closer this stays to the
+    prior, the better the mechanism protects individual respondents.
+    """
+    like_yes = p_truth if report else 1.0 - p_truth
+    like_no = 1.0 - p_truth if report else p_truth
+    denom = like_yes * prior + like_no * (1.0 - prior)
+    if denom == 0:
+        return prior
+    return like_yes * prior / denom
+
+
+class RandomizedResponse(MaskingMethod):
+    """Masking method applying Warner randomization to Y/N columns.
+
+    Columns listed in *columns* (default: all object columns whose values
+    are within {"Y", "N"}) are randomized; the mechanism parameter is kept
+    on the instance so analysts can unbias their estimates.
+    """
+
+    def __init__(self, p_truth: float = 0.75, columns: Sequence[str] | None = None):
+        if abs(p_truth - 0.5) < 1e-12:
+            raise ValueError("p_truth = 1/2 destroys all information")
+        self.p_truth = float(p_truth)
+        self.columns = columns
+        self.name = f"randomized-response(p={p_truth:g})"
+
+    def _target_columns(self, data: Dataset) -> list[str]:
+        if self.columns is not None:
+            return list(self.columns)
+        targets = []
+        for name in data.column_names:
+            if data.is_numeric(name):
+                continue
+            values = set(data.column(name))
+            if values <= {"Y", "N"} and values:
+                targets.append(name)
+        return targets
+
+    def mask(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        rng = resolve_rng(rng)
+        out = data.copy()
+        for name in self._target_columns(data):
+            truth = data.column(name) == "Y"
+            randomized = randomize_binary(truth, self.p_truth, rng)
+            out = out.with_column(
+                name, np.where(randomized, "Y", "N").astype(object)
+            )
+        return out

@@ -1,0 +1,73 @@
+"""Interactive statistical databases: query language, policies, trackers."""
+
+from .engine import (
+    Answer,
+    OverlapControl,
+    CamouflageIntervals,
+    LogEntry,
+    NoisePerturbation,
+    ProtectionPolicy,
+    QuerySetSizeControl,
+    RandomSampleQueries,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+from .parser import ParseError, parse_predicate, parse_query
+from .tabular import (
+    FrequencyTable,
+    margin_reconstruction_attack,
+    protect_table,
+)
+from .query import (
+    Aggregate,
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    TruePredicate,
+)
+from .tracker import (
+    GeneralTracker,
+    TrackerResult,
+    find_general_tracker,
+    identifying_predicate,
+    split_predicate,
+    tracker_attack,
+    tracker_success_rate,
+)
+
+__all__ = [
+    "Aggregate",
+    "And",
+    "Answer",
+    "CamouflageIntervals",
+    "Comparison",
+    "FrequencyTable",
+    "LogEntry",
+    "GeneralTracker",
+    "NoisePerturbation",
+    "Not",
+    "Or",
+    "OverlapControl",
+    "ParseError",
+    "Predicate",
+    "ProtectionPolicy",
+    "Query",
+    "QuerySetSizeControl",
+    "RandomSampleQueries",
+    "StatisticalDatabase",
+    "SumAuditPolicy",
+    "TrackerResult",
+    "TruePredicate",
+    "find_general_tracker",
+    "identifying_predicate",
+    "margin_reconstruction_attack",
+    "parse_predicate",
+    "parse_query",
+    "protect_table",
+    "split_predicate",
+    "tracker_attack",
+    "tracker_success_rate",
+]

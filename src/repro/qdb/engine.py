@@ -1,0 +1,371 @@
+"""The interactive statistical database engine with protection policies.
+
+The paper's Section 3 scenario: users submit statistical queries; the data
+owner, who *sees every query* (hence no user privacy), applies inference
+controls — restriction, perturbation or interval answers, the three
+strategies the paper cites ([7] auditing, [14] noise, [16] camouflage) —
+to protect respondents.
+
+Policies are composable; each query passes every policy's review (which may
+refuse) and then its transform (which may perturb or widen the answer).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Dataset
+from ..sdc.base import resolve_rng
+from .parser import parse_query
+from .query import Aggregate, Query
+
+
+@dataclass(frozen=True)
+class Answer:
+    """The database's reply to one query."""
+
+    query: Query
+    value: float | None = None
+    interval: tuple[float, float] | None = None
+    refused: bool = False
+    reason: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the query was answered (point or interval)."""
+        return not self.refused
+
+
+@dataclass
+class LogEntry:
+    """Audit-trail record of an answered or refused query."""
+
+    query: Query
+    mask: np.ndarray
+    answered: bool
+    value: float | None
+
+
+class ProtectionPolicy(abc.ABC):
+    """One inference-control mechanism."""
+
+    name: str = "abstract"
+
+    def review(
+        self,
+        query: Query,
+        mask: np.ndarray,
+        data: Dataset,
+        history: list[LogEntry],
+    ) -> str | None:
+        """Return a refusal reason, or None to allow the query."""
+        return None
+
+    def transform(
+        self,
+        query: Query,
+        answer: Answer,
+        mask: np.ndarray,
+        data: Dataset,
+        rng: np.random.Generator,
+    ) -> Answer:
+        """Optionally modify the outgoing answer."""
+        return answer
+
+
+class StatisticalDatabase:
+    """An interactively queryable database guarded by policies.
+
+    Parameters
+    ----------
+    data:
+        The underlying microdata (never released directly).
+    policies:
+        Ordered protection policies.  An empty list reproduces the paper's
+        unprotected baseline (no respondent, no user privacy).
+    seed:
+        Seed for stochastic policies (perturbation).
+    """
+
+    def __init__(
+        self,
+        data: Dataset,
+        policies: list[ProtectionPolicy] | None = None,
+        seed: int | None = 0,
+    ):
+        self._data = data
+        self.policies = list(policies or [])
+        self._rng = resolve_rng(seed)
+        self.history: list[LogEntry] = []
+        self.queries_asked = 0
+        self.queries_refused = 0
+
+    @property
+    def n_records(self) -> int:
+        """Number of records behind the interface."""
+        return self._data.n_rows
+
+    def ask(self, query: Query | str) -> Answer:
+        """Submit one query; returns an :class:`Answer`.
+
+        Note the privacy model: the engine evaluates the query on plaintext
+        data — the owner sees the query in full.  This is exactly why the
+        paper scores query-controlled SDC as offering *no* user privacy.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.queries_asked += 1
+        mask = query.predicate.mask(self._data)
+        for policy in self.policies:
+            reason = policy.review(query, mask, self._data, self.history)
+            if reason is not None:
+                self.queries_refused += 1
+                self.history.append(LogEntry(query, mask, False, None))
+                return Answer(query, refused=True, reason=f"{policy.name}: {reason}")
+        answer = Answer(query, value=query.evaluate(self._data))
+        for policy in self.policies:
+            answer = policy.transform(query, answer, mask, self._data, self._rng)
+        self.history.append(LogEntry(query, mask, True, answer.value))
+        return answer
+
+    def true_answer(self, query: Query | str) -> float:
+        """Evaluate without protection (test/bench oracle only)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return query.evaluate(self._data)
+
+
+class QuerySetSizeControl(ProtectionPolicy):
+    """Refuse queries whose query set is too small or too large.
+
+    The classical first line of defence: |Q| must lie in [k, n - k].
+    Schlörer [22] showed trackers defeat it — reproduced in
+    :mod:`repro.qdb.tracker`.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"size-control(k={k})"
+
+    def review(self, query, mask, data, history):
+        size = int(mask.sum())
+        if size < self.k:
+            return f"query set too small ({size} < {self.k})"
+        if size > data.n_rows - self.k:
+            return f"query set too large ({size} > n - {self.k})"
+        return None
+
+
+class SumAuditPolicy(ProtectionPolicy):
+    """Exact auditing for linear aggregates (Chin–Ozsoyoglu [7]).
+
+    Maintains the subspace spanned by answered query-set indicator vectors;
+    a new query is refused when answering it would make some individual
+    record's value exactly deducible — i.e. when some unit vector e_i
+    enters the row space of the answered-query matrix.
+
+    VARIANCE/STDDEV answers reveal a *pair* of linear statistics (Σx and
+    Σx² over the query set), so they are audited in the same basis: a
+    variance query whose query set would make a record's (x, x²) pair
+    deducible is refused like the equivalent SUM.
+    """
+
+    _LINEAR = (Aggregate.SUM, Aggregate.COUNT, Aggregate.AVG,
+               Aggregate.VARIANCE, Aggregate.STDDEV)
+
+    def __init__(self, tolerance: float = 1e-8):
+        self.tolerance = tolerance
+        self.name = "sum-audit"
+        self._basis: np.ndarray | None = None  # orthonormal rows
+
+    def _would_disclose(self, candidate: np.ndarray) -> bool:
+        rows = [candidate.astype(np.float64)]
+        if self._basis is not None:
+            rows = [self._basis, candidate[None, :].astype(np.float64)]
+            stacked = np.vstack(rows)
+        else:
+            stacked = candidate[None, :].astype(np.float64)
+        # Orthonormal basis of the prospective row space.
+        q, r = np.linalg.qr(stacked.T, mode="reduced")
+        keep = np.abs(np.diag(r)) > self.tolerance
+        basis = q[:, keep].T
+        if basis.size == 0:
+            return False
+        # e_i lies in the row space iff its projection has norm 1.
+        proj_norms = (basis ** 2).sum(axis=0)
+        return bool(np.any(proj_norms >= 1.0 - self.tolerance))
+
+    def review(self, query, mask, data, history):
+        if query.aggregate not in self._LINEAR:
+            return None
+        candidate = mask.astype(np.float64)
+        if self._would_disclose(candidate):
+            return "answer would make an individual record deducible"
+        return None
+
+    def transform(self, query, answer, mask, data, rng):
+        if answer.ok and query.aggregate in self._LINEAR:
+            candidate = mask.astype(np.float64)[None, :]
+            stacked = (
+                np.vstack([self._basis, candidate])
+                if self._basis is not None
+                else candidate
+            )
+            q, r = np.linalg.qr(stacked.T, mode="reduced")
+            keep = np.abs(np.diag(r)) > self.tolerance
+            self._basis = q[:, keep].T
+        return answer
+
+
+class RandomSampleQueries(ProtectionPolicy):
+    """Denning's random-sample-queries control (1980).
+
+    Each answer is computed on a pseudo-random subsample of the query set
+    and rescaled.  The sample is a *deterministic* function of the query
+    set (hashed), so repeating a query cannot average the sampling error
+    away, yet two different paddings of a tracker pair sample different
+    records — breaking the tracker's exact arithmetic.
+    """
+
+    def __init__(self, sample_fraction: float = 0.9, seed: int = 0):
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        self.sample_fraction = sample_fraction
+        self.seed = seed
+        self.name = f"random-sample(f={sample_fraction:g})"
+
+    def _sample_mask(self, mask: np.ndarray) -> np.ndarray:
+        indices = np.flatnonzero(mask)
+        digest = hash((self.seed, tuple(indices.tolist()))) & 0x7FFFFFFF
+        local = np.random.default_rng(digest)
+        keep = local.random(indices.size) < self.sample_fraction
+        sampled = np.zeros_like(mask)
+        sampled[indices[keep]] = True
+        return sampled
+
+    def transform(self, query, answer, mask, data, rng):
+        if not answer.ok or answer.value is None:
+            return answer
+        agg = query.aggregate
+        supported = (Aggregate.COUNT, Aggregate.SUM, Aggregate.AVG)
+        if agg not in supported:
+            return answer
+        sampled = self._sample_mask(mask)
+        if agg is Aggregate.COUNT:
+            value = float(sampled.sum()) / self.sample_fraction
+            return Answer(answer.query, value=round(value))
+        values = data.column(query.column)[sampled].astype(np.float64)
+        if values.size == 0:
+            return Answer(answer.query, value=float("nan"))
+        if agg is Aggregate.SUM:
+            return Answer(
+                answer.query, value=float(values.sum()) / self.sample_fraction
+            )
+        return Answer(answer.query, value=float(values.mean()))
+
+
+class OverlapControl(ProtectionPolicy):
+    """Dobkin–Jones–Lipton-style overlap restriction.
+
+    Refuses a query when its query set shares more than ``max_overlap``
+    records with some previously *answered* query set — the classical
+    response to difference attacks, cheaper than exact auditing but
+    coarser (it also refuses many harmless queries).
+    """
+
+    def __init__(self, max_overlap: int):
+        if max_overlap < 0:
+            raise ValueError("max_overlap must be >= 0")
+        self.max_overlap = max_overlap
+        self.name = f"overlap-control(r={max_overlap})"
+
+    def review(self, query, mask, data, history):
+        for entry in history:
+            if not entry.answered:
+                continue
+            overlap = int(np.sum(mask & entry.mask))
+            if overlap > self.max_overlap:
+                return (
+                    f"query set overlaps a previous one in {overlap} "
+                    f"records (> {self.max_overlap})"
+                )
+        return None
+
+
+class NoisePerturbation(ProtectionPolicy):
+    """Additive output noise (Duncan–Mukherjee [14]) to deter trackers."""
+
+    def __init__(self, sd: float = 1.0, kind: str = "gaussian"):
+        if sd < 0:
+            raise ValueError("sd must be non-negative")
+        if kind not in ("gaussian", "laplace"):
+            raise ValueError("kind must be gaussian or laplace")
+        self.sd = float(sd)
+        self.kind = kind
+        self.name = f"perturbation(sd={sd:g})"
+
+    def transform(self, query, answer, mask, data, rng):
+        if not answer.ok or answer.value is None or self.sd == 0:
+            return answer
+        if self.kind == "gaussian":
+            noise = float(rng.normal(0.0, self.sd))
+        else:
+            noise = float(rng.laplace(0.0, self.sd / np.sqrt(2.0)))
+        value = answer.value + noise
+        if query.aggregate is Aggregate.COUNT:
+            value = max(0.0, round(value))
+        return Answer(answer.query, value=value)
+
+
+class CamouflageIntervals(ProtectionPolicy):
+    """Interval answers in the spirit of confidentiality-via-camouflage [16].
+
+    Instead of the exact statistic, the user receives an interval
+    guaranteed to contain it: the range the statistic takes over all
+    subsets of the query set obtained by deleting up to ``k`` records.
+    A COUNT of c becomes [max(0, c-k), c]; a SUM sheds its k largest /
+    smallest contributions; AVG is recomputed on trimmed sets.
+    """
+
+    def __init__(self, k: int = 2):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"camouflage(k={k})"
+
+    def transform(self, query, answer, mask, data, rng):
+        if not answer.ok or answer.value is None:
+            return answer
+        size = int(mask.sum())
+        drop = min(self.k, size)
+        agg = query.aggregate
+        if agg is Aggregate.COUNT:
+            lo, hi = max(0.0, answer.value - drop), answer.value
+        elif agg in (Aggregate.SUM, Aggregate.AVG):
+            values = np.sort(
+                data.column(query.column)[mask].astype(np.float64)
+            )
+            if values.size == 0:
+                return answer
+            if agg is Aggregate.SUM:
+                lo = answer.value - float(values[-drop:].sum()) if drop else answer.value
+                hi = answer.value - float(values[:drop].sum()) if drop else answer.value
+                lo, hi = min(lo, hi), max(lo, hi)
+            else:
+                trims = [values]
+                for d in range(1, drop + 1):
+                    trims.append(values[d:])
+                    trims.append(values[:-d] if d < values.size else values[:1])
+                means = [float(t.mean()) for t in trims if t.size]
+                lo, hi = min(means), max(means)
+        else:
+            return Answer(
+                answer.query, refused=True,
+                reason=f"{self.name}: {agg.value} not supported by camouflage",
+            )
+        return Answer(answer.query, value=None, interval=(lo, hi))

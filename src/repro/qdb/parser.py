@@ -1,0 +1,171 @@
+"""A tiny SQL-ish parser for statistical queries.
+
+Grammar (case-insensitive keywords)::
+
+    query    := SELECT agg '(' target ')' [FROM name] [WHERE expr]
+    agg      := COUNT | SUM | AVG | MIN | MAX | MEDIAN
+    target   := '*' | identifier
+    expr     := term (OR term)*
+    term     := factor (AND factor)*
+    factor   := NOT factor | '(' expr ')' | comparison
+    comparison := identifier op literal
+    op       := < | <= | > | >= | = | !=
+    literal  := number | quoted string | bareword
+
+Covers exactly the queries the paper writes out in Section 3, e.g.
+``SELECT AVG(blood_pressure) FROM ds WHERE height < 165 AND weight > 105``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .query import (
+    Aggregate,
+    Comparison,
+    Not,
+    Predicate,
+    Query,
+    TruePredicate,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<op><=|>=|!=|<|>|=)"
+    r"|(?P<punct>[(),*])"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<string>'[^']*'|\"[^\"]*\")"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*))"
+)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "OR", "NOT"}
+_AGGREGATES = {a.value for a in Aggregate}
+
+
+class ParseError(ValueError):
+    """Raised for malformed query strings."""
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize near {remainder[:20]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "word" and value.upper() in _KEYWORDS | _AGGREGATES:
+            tokens.append(("keyword", value.upper()))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> str:
+        token = self._next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ParseError(f"expected {value or kind}, got {token[1]!r}")
+        return token[1]
+
+    def parse_query(self) -> Query:
+        self._expect("keyword", "SELECT")
+        agg_name = self._expect("keyword")
+        if agg_name not in _AGGREGATES:
+            raise ParseError(f"unknown aggregate {agg_name!r}")
+        aggregate = Aggregate(agg_name)
+        self._expect("punct", "(")
+        token = self._next()
+        if token == ("punct", "*"):
+            column = None
+        elif token[0] == "word":
+            column = token[1]
+        else:
+            raise ParseError(f"expected column or *, got {token[1]!r}")
+        self._expect("punct", ")")
+        # Optional FROM <name> (the table name is cosmetic; the engine holds
+        # exactly one dataset).
+        if self._peek() == ("keyword", "FROM"):
+            self._next()
+            self._expect("word")
+        predicate: Predicate = TruePredicate()
+        if self._peek() == ("keyword", "WHERE"):
+            self._next()
+            predicate = self.parse_expr()
+        if self._peek() is not None:
+            raise ParseError(f"trailing tokens from {self._peek()[1]!r}")
+        return Query(aggregate, column, predicate)
+
+    def parse_expr(self) -> Predicate:
+        node = self.parse_term()
+        while self._peek() == ("keyword", "OR"):
+            self._next()
+            node = node | self.parse_term()
+        return node
+
+    def parse_term(self) -> Predicate:
+        node = self.parse_factor()
+        while self._peek() == ("keyword", "AND"):
+            self._next()
+            node = node & self.parse_factor()
+        return node
+
+    def parse_factor(self) -> Predicate:
+        token = self._peek()
+        if token == ("keyword", "NOT"):
+            self._next()
+            return Not(self.parse_factor())
+        if token == ("punct", "("):
+            self._next()
+            node = self.parse_expr()
+            self._expect("punct", ")")
+            return node
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Predicate:
+        column = self._expect("word")
+        op = self._expect("op")
+        kind, raw = self._next()
+        if kind == "number":
+            value: object = float(raw)
+        elif kind == "string":
+            value = raw[1:-1]
+        elif kind == "word":
+            value = raw
+        else:
+            raise ParseError(f"expected literal, got {raw!r}")
+        return Comparison(column, op, value)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a :class:`~repro.qdb.query.Query`."""
+    return _Parser(_tokenize(text)).parse_query()
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a bare predicate expression (the WHERE body)."""
+    parser = _Parser(_tokenize(text))
+    node = parser.parse_expr()
+    if parser._peek() is not None:
+        raise ParseError("trailing tokens in predicate")
+    return node

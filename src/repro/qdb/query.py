@@ -1,0 +1,179 @@
+"""Query AST for the interactive statistical database.
+
+Queries are aggregates (COUNT/SUM/AVG/MIN/MAX/MEDIAN) over a boolean
+predicate on attributes — the query model of the classical SDC literature
+on interactive databases (Chin–Ozsoyoglu [7], Schlörer [22]).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Dataset
+
+
+class Aggregate(enum.Enum):
+    """Supported aggregate functions."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+    MEDIAN = "MEDIAN"
+    VARIANCE = "VARIANCE"
+    STDDEV = "STDDEV"
+
+
+class Predicate:
+    """Abstract boolean predicate over records."""
+
+    def mask(self, data: Dataset) -> np.ndarray:
+        """Boolean vector selecting the records satisfying the predicate."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every record (a WHERE-less query)."""
+
+    def mask(self, data: Dataset) -> np.ndarray:
+        return np.ones(data.n_rows, dtype=bool)
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "=": np.equal,
+    "!=": np.not_equal,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column op value`` where op in {<, <=, >, >=, =, !=}."""
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def mask(self, data: Dataset) -> np.ndarray:
+        col = data.column(self.column)
+        value = self.value
+        if col.dtype.kind == "f":
+            value = float(value)
+        elif self.op not in ("=", "!="):
+            raise TypeError(
+                f"ordering comparison on non-numeric column {self.column!r}"
+            )
+        return _OPS[self.op](col, value)
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction."""
+
+    left: Predicate
+    right: Predicate
+
+    def mask(self, data: Dataset) -> np.ndarray:
+        return self.left.mask(data) & self.right.mask(data)
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction."""
+
+    left: Predicate
+    right: Predicate
+
+    def mask(self, data: Dataset) -> np.ndarray:
+        return self.left.mask(data) | self.right.mask(data)
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation."""
+
+    operand: Predicate
+
+    def mask(self, data: Dataset) -> np.ndarray:
+        return ~self.operand.mask(data)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class Query:
+    """An aggregate query: ``SELECT agg(column) WHERE predicate``."""
+
+    aggregate: Aggregate
+    column: str | None
+    predicate: Predicate
+
+    def __post_init__(self):
+        if self.aggregate is not Aggregate.COUNT and self.column is None:
+            raise ValueError(f"{self.aggregate.value} requires a column")
+
+    def query_set(self, data: Dataset) -> np.ndarray:
+        """Indices of the records the predicate selects."""
+        return np.flatnonzero(self.predicate.mask(data))
+
+    def evaluate(self, data: Dataset) -> float:
+        """True (unprotected) answer on *data*."""
+        mask = self.predicate.mask(data)
+        if self.aggregate is Aggregate.COUNT:
+            return float(mask.sum())
+        values = data.column(self.column)[mask]
+        if values.size == 0:
+            return float("nan")
+        values = values.astype(np.float64)
+        if self.aggregate is Aggregate.SUM:
+            return float(values.sum())
+        if self.aggregate is Aggregate.AVG:
+            return float(values.mean())
+        if self.aggregate is Aggregate.MIN:
+            return float(values.min())
+        if self.aggregate is Aggregate.MAX:
+            return float(values.max())
+        if self.aggregate is Aggregate.VARIANCE:
+            return float(values.var())
+        if self.aggregate is Aggregate.STDDEV:
+            return float(values.std())
+        return float(np.median(values))
+
+    def __str__(self) -> str:
+        target = "*" if self.column is None else self.column
+        where = "" if isinstance(self.predicate, TruePredicate) else f" WHERE {self.predicate}"
+        return f"SELECT {self.aggregate.value}({target}){where}"

@@ -1,0 +1,252 @@
+"""The Schlörer tracker attack [22].
+
+Query-set-size control refuses queries isolating few records, but if a
+predicate C = C1 AND C2 uniquely identifies a target, the attacker asks
+two *large* legal queries instead:
+
+    q(C1)                — the padding set
+    q(C1 AND NOT C2)     — the individual tracker T
+
+and infers q(C) = q(C1) - q(T).  With COUNT confirming |C| = 1, a SUM
+query pair discloses the target's confidential value exactly — the attack
+that makes SDC of interactive databases "known to be difficult since the
+1980s" (paper, Section 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..data.table import Dataset
+from .engine import StatisticalDatabase
+from .query import Aggregate, Comparison, Not, Predicate, Query
+
+
+@dataclass(frozen=True)
+class TrackerResult:
+    """Outcome of a tracker attack against one target."""
+
+    succeeded: bool
+    inferred_count: float | None
+    inferred_value: float | None
+    true_value: float | None
+    queries_asked: int
+    refusals: int
+    detail: str = ""
+
+    @property
+    def exact(self) -> bool:
+        """True when the inferred value matches the truth exactly."""
+        return (
+            self.succeeded
+            and self.inferred_value is not None
+            and self.true_value is not None
+            and abs(self.inferred_value - self.true_value) < 1e-6
+        )
+
+
+def identifying_predicate(
+    data: Dataset, target_index: int, columns: Sequence[str]
+) -> Predicate:
+    """Conjunction of equalities pinning the target's values on *columns*."""
+    predicate: Predicate | None = None
+    for name in columns:
+        value = data.column(name)[target_index]
+        value = float(value) if data.is_numeric(name) else value
+        comparison = Comparison(name, "=", value)
+        predicate = comparison if predicate is None else predicate & comparison
+    if predicate is None:
+        raise ValueError("need at least one identifying column")
+    return predicate
+
+
+def split_predicate(
+    data: Dataset, target_index: int, columns: Sequence[str]
+) -> tuple[Predicate, Predicate]:
+    """Split the identifying conjunction into (C1, C2) with C1 the first
+    comparison and C2 the rest (Schlörer's individual-tracker split)."""
+    if len(columns) < 2:
+        raise ValueError("tracker split needs at least two identifying columns")
+    c1 = identifying_predicate(data, target_index, columns[:1])
+    c2 = identifying_predicate(data, target_index, columns[1:])
+    return c1, c2
+
+
+def tracker_attack(
+    db: StatisticalDatabase,
+    data: Dataset,
+    target_index: int,
+    identifying_columns: Sequence[str],
+    value_column: str,
+) -> TrackerResult:
+    """Run the individual tracker against *db* for one target record.
+
+    ``data`` is the attacker's *knowledge of the schema and the target's
+    key attributes only* (we pass the dataset for convenience of looking up
+    the target's quasi-identifier values; confidential values are read only
+    to verify success, never used by the attack).
+    """
+    c1, c2 = split_predicate(db._data, target_index, identifying_columns)
+    tracker = c1 & Not(c2)
+    queries = 0
+    refusals = 0
+
+    def ask(aggregate: Aggregate, column: str | None, predicate: Predicate):
+        nonlocal queries, refusals
+        queries += 1
+        answer = db.ask(Query(aggregate, column, predicate))
+        if answer.refused or answer.value is None:
+            refusals += 1
+            return None
+        return answer.value
+
+    count_c1 = ask(Aggregate.COUNT, None, c1)
+    count_t = ask(Aggregate.COUNT, None, tracker)
+    if count_c1 is None or count_t is None:
+        return TrackerResult(
+            False, None, None, None, queries, refusals,
+            detail="padding or tracker COUNT refused",
+        )
+    inferred_count = count_c1 - count_t
+    if round(inferred_count) != 1:
+        return TrackerResult(
+            False, inferred_count, None, None, queries, refusals,
+            detail=f"target not isolated (inferred count {inferred_count:g})",
+        )
+    sum_c1 = ask(Aggregate.SUM, value_column, c1)
+    sum_t = ask(Aggregate.SUM, value_column, tracker)
+    if sum_c1 is None or sum_t is None:
+        return TrackerResult(
+            False, inferred_count, None, None, queries, refusals,
+            detail="padding or tracker SUM refused",
+        )
+    inferred_value = sum_c1 - sum_t
+    true_value = float(db._data.column(value_column)[target_index])
+    return TrackerResult(
+        succeeded=True,
+        inferred_count=inferred_count,
+        inferred_value=inferred_value,
+        true_value=true_value,
+        queries_asked=queries,
+        refusals=refusals,
+    )
+
+
+class GeneralTracker:
+    """Schlörer's *general* tracker [22].
+
+    A predicate T with ``2k <= |T| <= n - 2k`` lets an attacker evaluate
+    ANY count — even of predicates whose own query set would be refused —
+    using only legal queries:
+
+        count(C) = count(C OR T) + count(C OR NOT T) - n
+
+    where n itself is obtained as ``count(T) + count(NOT T)``.  The same
+    identity with SUM aggregates recovers any sum.
+    """
+
+    def __init__(self, db: StatisticalDatabase, tracker_predicate: Predicate):
+        self._db = db
+        self.tracker = tracker_predicate
+        self.queries_asked = 0
+        self.refused = False
+        self._n = None
+
+    def _ask(self, aggregate: Aggregate, column: str | None,
+             predicate: Predicate) -> float | None:
+        self.queries_asked += 1
+        answer = self._db.ask(Query(aggregate, column, predicate))
+        if answer.refused or answer.value is None:
+            self.refused = True
+            return None
+        return answer.value
+
+    def population_size(self) -> float | None:
+        """n = count(T) + count(NOT T), via two legal queries."""
+        if self._n is None:
+            t = self._ask(Aggregate.COUNT, None, self.tracker)
+            not_t = self._ask(Aggregate.COUNT, None, Not(self.tracker))
+            if t is None or not_t is None:
+                return None
+            self._n = t + not_t
+        return self._n
+
+    def count(self, predicate: Predicate) -> float | None:
+        """Evaluate count(predicate) through the tracker identity."""
+        n = self.population_size()
+        if n is None:
+            return None
+        a = self._ask(Aggregate.COUNT, None, predicate | self.tracker)
+        b = self._ask(Aggregate.COUNT, None, predicate | Not(self.tracker))
+        if a is None or b is None:
+            return None
+        return a + b - n
+
+    def sum(self, column: str, predicate: Predicate) -> float | None:
+        """Evaluate sum(column, predicate) through the tracker identity."""
+        t = self._ask(Aggregate.SUM, column, self.tracker)
+        not_t = self._ask(Aggregate.SUM, column, Not(self.tracker))
+        if t is None or not_t is None:
+            return None
+        total = t + not_t
+        a = self._ask(Aggregate.SUM, column, predicate | self.tracker)
+        b = self._ask(Aggregate.SUM, column, predicate | Not(self.tracker))
+        if a is None or b is None:
+            return None
+        return a + b - total
+
+
+def find_general_tracker(
+    data: Dataset, db: StatisticalDatabase, k: int,
+    candidate_columns: Sequence[str] | None = None,
+) -> Predicate | None:
+    """Search simple threshold predicates for a legal general tracker.
+
+    Tries ``column <= median-ish`` cuts on numeric columns until one has a
+    query set size in [2k, n - 2k].
+    """
+    import numpy as np
+
+    columns = list(candidate_columns) if candidate_columns is not None else [
+        c for c in data.column_names if data.is_numeric(c)
+    ]
+    n = data.n_rows
+    for name in columns:
+        values = np.unique(data.column(name))
+        for value in values:
+            predicate = Comparison(name, "<=", float(value))
+            size = int(predicate.mask(data).sum())
+            if 2 * k <= size <= n - 2 * k:
+                return predicate
+    return None
+
+
+def tracker_success_rate(
+    db_factory,
+    data: Dataset,
+    identifying_columns: Sequence[str],
+    value_column: str,
+    targets: Sequence[int],
+    tolerance: float = 0.5,
+) -> float:
+    """Fraction of *targets* whose value a fresh tracker attack recovers.
+
+    ``db_factory()`` must return a fresh database per target so stateful
+    policies (auditing) start clean — the strongest setting for the
+    defender.  ``tolerance`` is the absolute error under which a
+    perturbation-protected answer still counts as disclosed.
+    """
+    if not targets:
+        return 0.0
+    hits = 0
+    for target in targets:
+        db = db_factory()
+        result = tracker_attack(db, data, target, identifying_columns, value_column)
+        if (
+            result.succeeded
+            and result.inferred_value is not None
+            and abs(result.inferred_value - result.true_value) <= tolerance
+        ):
+            hits += 1
+    return hits / len(targets)

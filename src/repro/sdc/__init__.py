@@ -1,0 +1,140 @@
+"""Statistical disclosure control: respondent-privacy masking and metrics."""
+
+from .base import IdentityMasking, MaskingMethod, resolve_rng
+from .blocking import BlockedMicroaggregation, tree_blocks
+from .coarsening import Rounding, TopBottomCoding
+from .condensation import Condensation, GroupStatistics, group_statistics
+from .diversity import (
+    distinct_l_diversity,
+    homogeneous_classes,
+    is_p_sensitive_k_anonymous,
+    sensitivity_level,
+)
+from .generalization import (
+    GlobalRecoding,
+    RecodingResult,
+    apply_recoding,
+    minimal_generalization,
+)
+from .kanonymity import (
+    EquivalenceClass,
+    anonymity_level,
+    class_size_histogram,
+    equivalence_classes,
+    is_k_anonymous,
+    violating_indices,
+)
+from .microaggregation import (
+    Microaggregation,
+    mdav_groups,
+    univariate_microaggregation,
+)
+from .mondrian import MondrianKAnonymizer, mondrian_partition
+from .noise import (
+    CorrelatedNoise,
+    LaplaceNoise,
+    MultiplicativeNoise,
+    UncorrelatedNoise,
+)
+from .psensitive import PSensitiveMicroaggregation, merge_to_p_sensitive
+from .pram import (
+    Pram,
+    TransitionMatrix,
+    invariant_matrix,
+    retention_matrix,
+    unbiased_frequencies,
+)
+from .rankswap import RankSwap, rank_swap_column
+from .risk import (
+    class_linkage_rate,
+    RiskReport,
+    assess_risk,
+    distance_linkage_rate,
+    interval_disclosure_rate,
+    unique_interval_disclosure_rate,
+    uniqueness_rate,
+)
+from .synthetic_release import SyntheticRelease, fit_copula, sample_copula
+from .suppression import (
+    CellSuppression,
+    RecordSuppression,
+    suppress_cells,
+    suppress_records,
+)
+from .utility import (
+    UtilityReport,
+    assess_utility,
+    correlation_discrepancy,
+    covariance_discrepancy,
+    distinguishability,
+    il1s,
+    mean_discrepancy,
+    quantile_distortion,
+)
+
+__all__ = [
+    "BlockedMicroaggregation",
+    "CellSuppression",
+    "Condensation",
+    "CorrelatedNoise",
+    "EquivalenceClass",
+    "GlobalRecoding",
+    "GroupStatistics",
+    "IdentityMasking",
+    "LaplaceNoise",
+    "MaskingMethod",
+    "Microaggregation",
+    "MondrianKAnonymizer",
+    "MultiplicativeNoise",
+    "PSensitiveMicroaggregation",
+    "Pram",
+    "RankSwap",
+    "RecodingResult",
+    "RecordSuppression",
+    "Rounding",
+    "RiskReport",
+    "SyntheticRelease",
+    "TopBottomCoding",
+    "TransitionMatrix",
+    "UncorrelatedNoise",
+    "UtilityReport",
+    "anonymity_level",
+    "apply_recoding",
+    "assess_risk",
+    "assess_utility",
+    "class_linkage_rate",
+    "class_size_histogram",
+    "correlation_discrepancy",
+    "covariance_discrepancy",
+    "distance_linkage_rate",
+    "distinguishability",
+    "distinct_l_diversity",
+    "equivalence_classes",
+    "fit_copula",
+    "group_statistics",
+    "homogeneous_classes",
+    "il1s",
+    "invariant_matrix",
+    "interval_disclosure_rate",
+    "is_k_anonymous",
+    "is_p_sensitive_k_anonymous",
+    "mdav_groups",
+    "mean_discrepancy",
+    "merge_to_p_sensitive",
+    "minimal_generalization",
+    "mondrian_partition",
+    "quantile_distortion",
+    "rank_swap_column",
+    "retention_matrix",
+    "resolve_rng",
+    "sample_copula",
+    "sensitivity_level",
+    "suppress_cells",
+    "suppress_records",
+    "tree_blocks",
+    "unbiased_frequencies",
+    "univariate_microaggregation",
+    "unique_interval_disclosure_rate",
+    "uniqueness_rate",
+    "violating_indices",
+]

@@ -1,0 +1,80 @@
+"""Common interface for masking methods.
+
+Every SDC / non-crypto-PPDM masking method transforms a
+:class:`~repro.data.table.Dataset` into a protected release.  A uniform
+interface lets the framework layer (:mod:`repro.core.scoring`) drive any
+method through the three privacy meters without special-casing.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..data.table import Dataset
+
+
+class MaskingMethod(abc.ABC):
+    """A data-masking transform ``original -> protected release``.
+
+    Subclasses must set :attr:`name` and implement :meth:`mask`.  Methods
+    must not mutate the input dataset.
+    """
+
+    #: Human-readable method name used in reports and registries.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def mask(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        """Return a protected copy of *data*."""
+
+    def __call__(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        return self.mask(data, rng=rng)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class IdentityMasking(MaskingMethod):
+    """The no-op release: publish the original data unmasked.
+
+    The paper's baseline (Section 2 opening): publishing without masking
+    in general violates both respondent and owner privacy.
+    """
+
+    name = "identity"
+
+    def mask(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        return data.copy()
+
+
+def resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Accept a Generator, a seed, or None and return a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def quasi_identifier_columns(data: Dataset, columns=None) -> list[str]:
+    """Resolve the columns a masking method should operate on.
+
+    Defaults to the schema's quasi-identifiers; falls back to all numeric
+    columns when the schema declares none.  Numeric target columns must be
+    finite: a NaN would silently poison whole microaggregation groups, so
+    it is rejected up front with a clear error.
+    """
+    if columns is not None:
+        resolved = list(columns)
+    else:
+        qi = list(data.quasi_identifiers)
+        resolved = qi if qi else list(data.numeric_columns())
+    for name in resolved:
+        if name in data and data.is_numeric(name):
+            col = data.column(name)
+            if col.size and not np.all(np.isfinite(col)):
+                raise ValueError(
+                    f"column {name!r} contains NaN/inf values; clean the "
+                    "data before masking"
+                )
+    return resolved

@@ -1,0 +1,87 @@
+"""Coarsening masks: top/bottom coding and rounding.
+
+Two more masking methods from the SDC handbook [17] the paper builds on:
+
+* **top/bottom coding** — extreme values (the most identifying ones: the
+  tallest patient, the highest income) are truncated to a threshold;
+* **rounding** — values are snapped to a public rounding base, collapsing
+  near-neighbours into identical published values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..data.table import Dataset
+from .base import MaskingMethod, quasi_identifier_columns
+
+
+class TopBottomCoding(MaskingMethod):
+    """Truncate each numeric quasi-identifier to central quantiles.
+
+    Values above the ``1 - tail`` quantile are set to that quantile, and
+    symmetrically below the ``tail`` quantile — removing exactly the
+    outliers a linkage intruder finds easiest to re-identify.
+    """
+
+    def __init__(self, tail: float = 0.05, columns: Sequence[str] | None = None):
+        if not 0.0 < tail < 0.5:
+            raise ValueError("tail must be in (0, 0.5)")
+        self.tail = float(tail)
+        self.columns = columns
+        self.name = f"top-bottom-coding(tail={tail:g})"
+
+    def mask(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        del rng  # deterministic
+        out = data.copy()
+        for name in quasi_identifier_columns(data, self.columns):
+            if not data.is_numeric(name):
+                continue
+            col = data.column(name)
+            if col.size == 0:
+                continue
+            lo = float(np.quantile(col, self.tail))
+            hi = float(np.quantile(col, 1.0 - self.tail))
+            out = out.with_column(name, np.clip(col, lo, hi))
+        return out
+
+
+class Rounding(MaskingMethod):
+    """Round numeric quasi-identifiers to a public base per column.
+
+    The base defaults to ``base_fraction`` of the column's standard
+    deviation, so coarseness adapts to each attribute's scale.
+    """
+
+    def __init__(
+        self,
+        base_fraction: float = 0.5,
+        columns: Sequence[str] | None = None,
+        bases: dict[str, float] | None = None,
+    ):
+        if base_fraction <= 0:
+            raise ValueError("base_fraction must be positive")
+        self.base_fraction = float(base_fraction)
+        self.columns = columns
+        self.bases = dict(bases or {})
+        self.name = f"rounding(base={base_fraction:g}sd)"
+
+    def base_for(self, data: Dataset, name: str) -> float:
+        """The rounding base used for column *name*."""
+        if name in self.bases:
+            return self.bases[name]
+        sd = data.column(name).std()
+        return self.base_fraction * (sd if sd > 0 else 1.0)
+
+    def mask(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        del rng  # deterministic
+        out = data.copy()
+        for name in quasi_identifier_columns(data, self.columns):
+            if not data.is_numeric(name):
+                continue
+            col = data.column(name)
+            base = self.base_for(data, name)
+            out = out.with_column(name, np.round(col / base) * base)
+        return out

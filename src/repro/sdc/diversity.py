@@ -1,0 +1,90 @@
+"""Refinements of k-anonymity for confidential attributes.
+
+Footnote 3 of the paper: if all records in an equivalence class share the
+value of a confidential attribute, k-anonymity does not protect the
+respondents — *p-sensitive k-anonymity* (Truta–Vinay [24]) additionally
+requires at least p distinct confidential values per class.  We also
+provide the closely related distinct l-diversity check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..data.table import Dataset
+from .kanonymity import equivalence_classes, is_k_anonymous
+
+
+def sensitivity_level(
+    data: Dataset,
+    confidential: Sequence[str] | None = None,
+    quasi_identifiers: Sequence[str] | None = None,
+) -> int:
+    """Largest p such that every class has >= p distinct values of every
+    confidential attribute (0 for an empty dataset)."""
+    if data.n_rows == 0:
+        return 0
+    conf = list(confidential) if confidential is not None else list(
+        data.confidential_attributes
+    )
+    if not conf:
+        raise ValueError("no confidential attributes specified or in schema")
+    p = data.n_rows
+    for cls in equivalence_classes(data, quasi_identifiers):
+        for attr in conf:
+            column = data.column(attr)
+            distinct = len({column[i] for i in cls.indices})
+            p = min(p, distinct)
+    return p
+
+
+def is_p_sensitive_k_anonymous(
+    data: Dataset,
+    p: int,
+    k: int,
+    confidential: Sequence[str] | None = None,
+    quasi_identifiers: Sequence[str] | None = None,
+) -> bool:
+    """Truta–Vinay p-sensitive k-anonymity check [24]."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if not is_k_anonymous(data, k, quasi_identifiers):
+        return False
+    return sensitivity_level(data, confidential, quasi_identifiers) >= p
+
+
+def distinct_l_diversity(
+    data: Dataset,
+    confidential_attribute: str,
+    quasi_identifiers: Sequence[str] | None = None,
+) -> int:
+    """Distinct l-diversity of one confidential attribute.
+
+    Returns the minimum, over equivalence classes, of the number of distinct
+    values the attribute takes within the class.
+    """
+    if data.n_rows == 0:
+        return 0
+    column = data.column(confidential_attribute)
+    return min(
+        len({column[i] for i in cls.indices})
+        for cls in equivalence_classes(data, quasi_identifiers)
+    )
+
+
+def homogeneous_classes(
+    data: Dataset,
+    confidential_attribute: str,
+    quasi_identifiers: Sequence[str] | None = None,
+) -> list[tuple]:
+    """Keys of classes where the confidential attribute is constant.
+
+    These are the classes subject to the *homogeneity attack* that
+    p-sensitive k-anonymity exists to prevent.
+    """
+    column = data.column(confidential_attribute)
+    keys = []
+    for cls in equivalence_classes(data, quasi_identifiers):
+        if len({column[i] for i in cls.indices}) == 1:
+            keys.append(cls.key)
+    return keys

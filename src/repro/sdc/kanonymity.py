@@ -1,0 +1,87 @@
+"""k-Anonymity verification (Samarati–Sweeney [20, 21, 23]).
+
+A dataset is k-anonymous with respect to a set of quasi-identifier (key)
+attributes when every combination of values of those attributes is shared
+by at least k records.  The paper's Dataset 1 satisfies this *spontaneously*
+for k = 3 on (height, weight); Dataset 2 does not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Dataset
+
+
+@dataclass(frozen=True)
+class EquivalenceClass:
+    """A maximal set of records sharing quasi-identifier values."""
+
+    key: tuple
+    indices: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of records in the class."""
+        return len(self.indices)
+
+
+def equivalence_classes(
+    data: Dataset, quasi_identifiers: Sequence[str] | None = None
+) -> list[EquivalenceClass]:
+    """Partition records into equivalence classes on the quasi-identifiers."""
+    qi = list(quasi_identifiers) if quasi_identifiers is not None else list(
+        data.quasi_identifiers
+    )
+    if not qi:
+        raise ValueError("no quasi-identifier columns specified or in schema")
+    groups = data.group_by(qi)
+    return [
+        EquivalenceClass(key, tuple(int(i) for i in idx))
+        for key, idx in groups.items()
+    ]
+
+
+def anonymity_level(
+    data: Dataset, quasi_identifiers: Sequence[str] | None = None
+) -> int:
+    """Return the largest k for which *data* is k-anonymous (0 if empty)."""
+    if data.n_rows == 0:
+        return 0
+    classes = equivalence_classes(data, quasi_identifiers)
+    return min(c.size for c in classes)
+
+
+def is_k_anonymous(
+    data: Dataset, k: int, quasi_identifiers: Sequence[str] | None = None
+) -> bool:
+    """True when every equivalence class has at least *k* records."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if data.n_rows == 0:
+        return True
+    return anonymity_level(data, quasi_identifiers) >= k
+
+
+def violating_indices(
+    data: Dataset, k: int, quasi_identifiers: Sequence[str] | None = None
+) -> np.ndarray:
+    """Row indices belonging to equivalence classes smaller than *k*."""
+    bad: list[int] = []
+    for cls in equivalence_classes(data, quasi_identifiers):
+        if cls.size < k:
+            bad.extend(cls.indices)
+    return np.asarray(sorted(bad), dtype=np.intp)
+
+
+def class_size_histogram(
+    data: Dataset, quasi_identifiers: Sequence[str] | None = None
+) -> dict[int, int]:
+    """Map equivalence-class size -> number of classes of that size."""
+    histogram: dict[int, int] = {}
+    for cls in equivalence_classes(data, quasi_identifiers):
+        histogram[cls.size] = histogram.get(cls.size, 0) + 1
+    return dict(sorted(histogram.items()))

@@ -1,0 +1,130 @@
+"""Enforcing p-sensitive k-anonymity (Truta–Vinay [24]).
+
+:mod:`repro.sdc.diversity` *checks* the property; this module *achieves*
+it: starting from a k-anonymous partition (e.g. MDAV groups), equivalence
+classes whose confidential attributes take fewer than p distinct values
+are greedily merged with their nearest neighbouring class until every
+class is both >= k in size and p-diverse on every confidential attribute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..data.table import Dataset
+from .base import MaskingMethod, quasi_identifier_columns
+from .microaggregation import mdav_groups
+
+
+def _distinct_counts(
+    data: Dataset, confidential: Sequence[str], indices: np.ndarray
+) -> int:
+    return min(
+        len({data.column(attr)[i] for i in indices}) for attr in confidential
+    )
+
+
+def merge_to_p_sensitive(
+    data: Dataset,
+    groups: list[np.ndarray],
+    confidential: Sequence[str],
+    p: int,
+    matrix: np.ndarray,
+) -> list[np.ndarray]:
+    """Greedily merge *groups* until each is p-diverse.
+
+    ``matrix`` holds the (standardized) quasi-identifier coordinates used
+    to pick the nearest neighbouring group for each deficient one.
+    Raises ``ValueError`` when the whole dataset cannot support p distinct
+    values for some confidential attribute.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    whole = np.arange(matrix.shape[0], dtype=np.intp)
+    if _distinct_counts(data, confidential, whole) < p:
+        raise ValueError(
+            "the dataset has fewer than p distinct values of some "
+            "confidential attribute; p-sensitivity is unachievable"
+        )
+    groups = [np.asarray(g, dtype=np.intp) for g in groups]
+    while True:
+        deficient = [
+            gi for gi, g in enumerate(groups)
+            if _distinct_counts(data, confidential, g) < p
+        ]
+        if not deficient:
+            return groups
+        if len(groups) == 1:
+            return groups  # diverse by the whole-dataset precondition
+        gi = deficient[0]
+        centroid = matrix[groups[gi]].mean(axis=0)
+        best, best_d = None, np.inf
+        for gj, other in enumerate(groups):
+            if gj == gi:
+                continue
+            d = float(np.linalg.norm(matrix[other].mean(axis=0) - centroid))
+            if d < best_d:
+                best, best_d = gj, d
+        merged = np.concatenate([groups[gi], groups[best]])
+        groups = [
+            g for gj, g in enumerate(groups) if gj not in (gi, best)
+        ] + [merged]
+
+
+class PSensitiveMicroaggregation(MaskingMethod):
+    """Microaggregation whose release is p-sensitive k-anonymous.
+
+    MDAV builds size->=k groups on the quasi-identifiers; groups that are
+    homogeneous on a confidential attribute are merged with neighbours
+    until every class shows at least p distinct values of every
+    confidential attribute (footnote 3 of the paper), and quasi-identifier
+    values are then replaced by group centroids.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        p: int,
+        columns: Sequence[str] | None = None,
+        confidential: Sequence[str] | None = None,
+    ):
+        if k < 1 or p < 1:
+            raise ValueError("k and p must be >= 1")
+        self.k = k
+        self.p = p
+        self.columns = columns
+        self.confidential = confidential
+        self.name = f"p-sensitive-microaggregation(k={k},p={p})"
+
+    def mask(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        del rng  # deterministic
+        columns = [
+            c for c in quasi_identifier_columns(data, self.columns)
+            if data.is_numeric(c)
+        ]
+        confidential = (
+            list(self.confidential)
+            if self.confidential is not None
+            else list(data.confidential_attributes)
+        )
+        if not columns:
+            return data.copy()
+        if not confidential:
+            raise ValueError("no confidential attributes specified or in schema")
+        matrix = data.matrix(columns)
+        std = matrix.std(axis=0)
+        std[std == 0] = 1.0
+        normalized = (matrix - matrix.mean(axis=0)) / std
+        groups = mdav_groups(matrix, self.k)
+        groups = merge_to_p_sensitive(
+            data, groups, confidential, self.p, normalized
+        )
+        masked = matrix.copy()
+        for group in groups:
+            masked[group] = matrix[group].mean(axis=0)
+        out = data.copy()
+        for j, name in enumerate(columns):
+            out = out.with_column(name, masked[:, j])
+        return out

@@ -1,0 +1,81 @@
+"""Local suppression.
+
+The bluntest masking instrument: delete records (or blank individual cells)
+that violate k-anonymity.  The paper lists suppression among the ways to
+k-anonymize in Section 6 ("via microaggregation-condensation, recoding,
+suppression, etc.").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..data.hierarchy import SUPPRESSED
+from ..data.table import Dataset
+from .base import MaskingMethod
+from .kanonymity import violating_indices
+
+
+def suppress_records(
+    data: Dataset, k: int, quasi_identifiers: Sequence[str] | None = None
+) -> Dataset:
+    """Drop every record in an equivalence class smaller than *k*."""
+    bad = violating_indices(data, k, quasi_identifiers)
+    if bad.size == 0:
+        return data.copy()
+    keep = np.setdiff1d(np.arange(data.n_rows), bad)
+    return data.select(keep)
+
+
+def suppress_cells(
+    data: Dataset, k: int, quasi_identifiers: Sequence[str] | None = None
+) -> Dataset:
+    """Blank the quasi-identifier cells of violating records to ``"*"``.
+
+    Keeps the record count (and the confidential payload) intact while
+    removing the linkable key values.
+    """
+    qi = list(quasi_identifiers) if quasi_identifiers is not None else list(
+        data.quasi_identifiers
+    )
+    bad = violating_indices(data, k, qi)
+    out = data.copy()
+    if bad.size == 0:
+        return out
+    for name in qi:
+        col = out.column(name).astype(object)
+        col[bad] = SUPPRESSED
+        out = out.with_column(name, col)
+    return out
+
+
+class RecordSuppression(MaskingMethod):
+    """Masking method that deletes k-anonymity-violating records."""
+
+    def __init__(self, k: int, quasi_identifiers: Sequence[str] | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.quasi_identifiers = quasi_identifiers
+        self.name = f"record-suppression(k={k})"
+
+    def mask(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        del rng  # deterministic
+        return suppress_records(data, self.k, self.quasi_identifiers)
+
+
+class CellSuppression(MaskingMethod):
+    """Masking method that blanks violating quasi-identifier cells."""
+
+    def __init__(self, k: int, quasi_identifiers: Sequence[str] | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.quasi_identifiers = quasi_identifiers
+        self.name = f"cell-suppression(k={k})"
+
+    def mask(self, data: Dataset, rng: np.random.Generator | None = None) -> Dataset:
+        del rng  # deterministic
+        return suppress_cells(data, self.k, self.quasi_identifiers)

@@ -1,0 +1,193 @@
+"""Information-loss (data-utility) measures.
+
+Section 6 of the paper poses "the impact on data utility of offering the
+three dimensions of privacy" as the open research question; the ablation
+benchmark ``bench_utility_ablation.py`` answers it with these measures:
+
+* **IL1s** — mean per-cell absolute deviation scaled by each attribute's
+  standard deviation (the standard SDC information-loss component).
+* **Moment discrepancies** — how far means, variances, covariances and
+  correlations of the masked file drift from the original (condensation
+  [1] is designed to keep these near zero).
+* **Quantile distortion** — average displacement of the deciles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Dataset
+
+
+def _common_numeric(original: Dataset, masked: Dataset,
+                    columns: Sequence[str] | None) -> list[str]:
+    if columns is not None:
+        return list(columns)
+    return [
+        c for c in original.numeric_columns()
+        if c in masked.column_names and masked.is_numeric(c)
+    ]
+
+
+def il1s(
+    original: Dataset, masked: Dataset, columns: Sequence[str] | None = None
+) -> float:
+    """Scaled per-cell absolute deviation (0 = identical release)."""
+    columns = _common_numeric(original, masked, columns)
+    if not columns:
+        return 0.0
+    if masked.n_rows != original.n_rows:
+        raise ValueError("IL1s needs row-aligned datasets")
+    x, y = original.matrix(columns), masked.matrix(columns)
+    std = x.std(axis=0)
+    std[std == 0] = 1.0
+    return float(np.mean(np.abs(x - y) / (np.sqrt(2.0) * std)))
+
+
+def mean_discrepancy(
+    original: Dataset, masked: Dataset, columns: Sequence[str] | None = None
+) -> float:
+    """Mean absolute difference of attribute means, scaled by std."""
+    columns = _common_numeric(original, masked, columns)
+    if not columns:
+        return 0.0
+    x, y = original.matrix(columns), masked.matrix(columns)
+    std = x.std(axis=0)
+    std[std == 0] = 1.0
+    return float(np.mean(np.abs(x.mean(axis=0) - y.mean(axis=0)) / std))
+
+
+def covariance_discrepancy(
+    original: Dataset, masked: Dataset, columns: Sequence[str] | None = None
+) -> float:
+    """Relative Frobenius distance between covariance matrices."""
+    columns = _common_numeric(original, masked, columns)
+    if len(columns) == 0:
+        return 0.0
+    x, y = original.matrix(columns), masked.matrix(columns)
+    if x.shape[0] < 2 or y.shape[0] < 2:
+        return 0.0
+    cov_x = np.atleast_2d(np.cov(x, rowvar=False))
+    cov_y = np.atleast_2d(np.cov(y, rowvar=False))
+    denom = np.linalg.norm(cov_x)
+    if denom == 0:
+        return float(np.linalg.norm(cov_y))
+    return float(np.linalg.norm(cov_x - cov_y) / denom)
+
+
+def correlation_discrepancy(
+    original: Dataset, masked: Dataset, columns: Sequence[str] | None = None
+) -> float:
+    """Mean absolute difference between correlation matrices."""
+    columns = _common_numeric(original, masked, columns)
+    if len(columns) < 2:
+        return 0.0
+    x, y = original.matrix(columns), masked.matrix(columns)
+    if x.shape[0] < 2 or y.shape[0] < 2:
+        return 0.0
+    with np.errstate(invalid="ignore"):
+        corr_x = np.corrcoef(x, rowvar=False)
+        corr_y = np.corrcoef(y, rowvar=False)
+    corr_x = np.nan_to_num(corr_x)
+    corr_y = np.nan_to_num(corr_y)
+    mask = ~np.eye(len(columns), dtype=bool)
+    return float(np.mean(np.abs(corr_x[mask] - corr_y[mask])))
+
+
+def quantile_distortion(
+    original: Dataset, masked: Dataset, columns: Sequence[str] | None = None,
+    deciles: int = 9,
+) -> float:
+    """Average scaled displacement of the deciles per attribute."""
+    columns = _common_numeric(original, masked, columns)
+    if not columns:
+        return 0.0
+    qs = np.linspace(0.1, 0.9, deciles)
+    total = 0.0
+    for name in columns:
+        x, y = original.column(name), masked.column(name)
+        std = x.std() if x.std() > 0 else 1.0
+        total += float(np.mean(np.abs(
+            np.quantile(x, qs) - np.quantile(y, qs)
+        )) / std)
+    return total / len(columns)
+
+
+def distinguishability(
+    original: Dataset,
+    masked: Dataset,
+    columns: Sequence[str] | None = None,
+    seed: int = 0,
+) -> float:
+    """Propensity-style utility: can a classifier tell the files apart?
+
+    Pools original and masked records with source labels, trains a
+    Gaussian naive Bayes discriminator, and reports its held-out
+    accuracy.  0.5 means the masked file is statistically
+    indistinguishable from the original (ideal utility); values towards
+    1.0 mean the masking visibly changed the distribution (the
+    propensity-score idea of Woo, Reiter, Oganian and Karr).
+    """
+    from ..mining.metrics import accuracy, train_test_split_indices
+    from ..mining.naive_bayes import GaussianNaiveBayes
+
+    columns = _common_numeric(original, masked, columns)
+    if not columns:
+        return 0.5
+    x = np.vstack([original.matrix(columns), masked.matrix(columns)])
+    y = np.asarray(
+        [0] * original.n_rows + [1] * masked.n_rows, dtype=object
+    )
+    tr, te = train_test_split_indices(x.shape[0], 0.3, seed)
+    model = GaussianNaiveBayes().fit(x[tr], y[tr])
+    score = accuracy(y[te], model.predict(x[te]))
+    # Below-chance accuracy still signals distinguishability; fold it back.
+    return max(score, 1.0 - score)
+
+
+@dataclass(frozen=True)
+class UtilityReport:
+    """Bundle of information-loss measures for one release."""
+
+    il1s: float
+    mean_discrepancy: float
+    covariance_discrepancy: float
+    correlation_discrepancy: float
+    quantile_distortion: float
+
+    @property
+    def utility_score(self) -> float:
+        """A single utility figure in [0, 1] (1 = lossless).
+
+        Exponential decay of the combined loss; only used for ranking
+        releases, never as an absolute claim.
+        """
+        loss = (
+            self.il1s
+            + self.mean_discrepancy
+            + self.covariance_discrepancy
+            + self.correlation_discrepancy
+            + self.quantile_distortion
+        )
+        return float(np.exp(-loss))
+
+
+def assess_utility(
+    original: Dataset, masked: Dataset, columns: Sequence[str] | None = None
+) -> UtilityReport:
+    """Run all information-loss measures and return a :class:`UtilityReport`.
+
+    When the masked release dropped records (suppression), only the
+    distributional measures are meaningful; IL1s is reported as NaN.
+    """
+    aligned = masked.n_rows == original.n_rows
+    return UtilityReport(
+        il1s=il1s(original, masked, columns) if aligned else float("nan"),
+        mean_discrepancy=mean_discrepancy(original, masked, columns),
+        covariance_discrepancy=covariance_discrepancy(original, masked, columns),
+        correlation_discrepancy=correlation_discrepancy(original, masked, columns),
+        quantile_distortion=quantile_distortion(original, masked, columns),
+    )

@@ -1,0 +1,48 @@
+"""Crypto PPDM: secure multiparty computation protocols with transcripts."""
+
+from .millionaires import millionaires
+from .naive_pooling import naive_pooled_datasets, naive_pooled_sum
+from .party import Message, Transcript, plaintext_exposure
+from .scalar_product import ScalarProductShares, secure_scalar_product
+from .secure_id3 import CategoricalNode, SecureID3, pooled_id3
+from .secure_kmeans import SecureKMeansResult, pooled_kmeans, secure_kmeans
+from .secure_sum import (
+    DEFAULT_MODULUS,
+    ring_secure_sum,
+    secure_mean,
+    shares_secure_sum,
+)
+from .set_intersection import private_set_intersection
+from .vertical_arm import SecureVerticalMiner, VerticalItemBase
+from .vertical_nb import (
+    VerticalNbResult,
+    secure_vertical_naive_bayes,
+    vertical_nb_feature_order,
+)
+
+__all__ = [
+    "CategoricalNode",
+    "DEFAULT_MODULUS",
+    "Message",
+    "ScalarProductShares",
+    "SecureID3",
+    "SecureKMeansResult",
+    "SecureVerticalMiner",
+    "Transcript",
+    "VerticalItemBase",
+    "VerticalNbResult",
+    "millionaires",
+    "naive_pooled_datasets",
+    "naive_pooled_sum",
+    "plaintext_exposure",
+    "pooled_id3",
+    "pooled_kmeans",
+    "private_set_intersection",
+    "ring_secure_sum",
+    "secure_kmeans",
+    "secure_mean",
+    "secure_scalar_product",
+    "secure_vertical_naive_bayes",
+    "shares_secure_sum",
+    "vertical_nb_feature_order",
+]

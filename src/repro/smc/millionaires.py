@@ -1,0 +1,69 @@
+"""Yao's millionaires' problem (the original 1982 small-range protocol).
+
+Alice has wealth ``i``, Bob has wealth ``j``, both integers in ``[1, N]``;
+they learn whether ``i >= j`` and nothing else.  The protocol underlies the
+comparison steps of secure decision-tree induction (crypto PPDM).
+
+Original protocol:
+
+1. Bob picks a random x, computes ``k = Enc_A(x)`` and sends ``k - j``.
+2. Alice computes ``y_u = Dec_A(k - j + u)`` for ``u = 1..N``, picks a
+   random prime p, reduces ``z_u = y_u mod p``; if any two z differ by
+   less than 2 she retries with another prime.
+3. Alice sends ``z_1, .., z_i, z_{i+1}+1, .., z_N + 1`` (mod p).
+4. Bob checks position j: it equals ``x mod p`` iff ``j <= i``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..crypto import rsa
+from ..crypto.numbertheory import random_prime
+from .party import Transcript
+
+
+def millionaires(
+    alice_wealth: int,
+    bob_wealth: int,
+    max_wealth: int = 32,
+    key_bits: int = 128,
+    rng: random.Random | None = None,
+    transcript: Transcript | None = None,
+) -> bool:
+    """Return True iff ``alice_wealth >= bob_wealth``, via Yao's protocol."""
+    if not (1 <= alice_wealth <= max_wealth and 1 <= bob_wealth <= max_wealth):
+        raise ValueError(f"wealth values must be in [1, {max_wealth}]")
+    rng = rng or random.Random(37)
+    transcript = transcript if transcript is not None else Transcript()
+
+    public, private = rsa.generate_keypair(key_bits, rng=rng)
+    n = public.n
+    i, j = alice_wealth, bob_wealth
+
+    # Bob: random x, send Enc_A(x) - j.
+    x = rng.randrange(2, n - max_wealth - 2)
+    k = rsa.encrypt(public, x)
+    transcript.record("Bob", "Alice", "blinded-cipher", (k - j) % n)
+    m = (k - j) % n
+
+    # Alice: decrypt the N candidates, reduce mod a prime with spacing >= 2.
+    ys = [rsa.decrypt(private, (m + u) % n) for u in range(1, max_wealth + 1)]
+    while True:
+        p = random_prime(key_bits // 2, rng)
+        zs = [y % p for y in ys]
+        ok = all(
+            abs(a - b) >= 2
+            for idx, a in enumerate(zs)
+            for b in zs[idx + 1:]
+        )
+        if ok:
+            break
+    payload = [
+        zs[u - 1] % p if u <= i else (zs[u - 1] + 1) % p
+        for u in range(1, max_wealth + 1)
+    ]
+    transcript.record("Alice", "Bob", "masked-candidates", (p, payload))
+
+    # Bob: compare position j with x mod p.
+    return payload[j - 1] == x % p

@@ -1,0 +1,43 @@
+"""The insecure baseline: parties pool plaintext data.
+
+Every secure protocol in this package is benchmarked against the thing it
+replaces — sending the records in the clear to whoever runs the analysis.
+Running the naive protocol through the same :class:`Transcript` machinery
+makes the owner-privacy difference measurable (exposure 1.0 vs ~0.0).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..data.table import Dataset
+from .party import Transcript
+
+
+def naive_pooled_sum(
+    values: Sequence[int], transcript: Transcript | None = None
+) -> int:
+    """Each party mails its raw value to P0, who sums in the clear."""
+    transcript = transcript if transcript is not None else Transcript()
+    for i, value in enumerate(values[1:], start=1):
+        transcript.record(f"P{i}", "P0", "raw-value", int(value))
+    return int(sum(values))
+
+
+def naive_pooled_datasets(
+    parties: list[Dataset], transcript: Transcript | None = None
+) -> Dataset:
+    """Every party ships its full table to P0; P0 returns the union."""
+    if not parties:
+        raise ValueError("need at least one party")
+    transcript = transcript if transcript is not None else Transcript()
+    pooled = parties[0]
+    for i, party in enumerate(parties[1:], start=1):
+        numeric_payload = [
+            float(v)
+            for name in party.numeric_columns()
+            for v in party.column(name)
+        ]
+        transcript.record(f"P{i}", "P0", "raw-table", numeric_payload)
+        pooled = pooled.vstack(party)
+    return pooled

@@ -1,0 +1,110 @@
+"""Message-passing simulation for secure multiparty computation.
+
+The paper's Section 4 argues that crypto PPDM gives owner privacy but no
+user privacy because "all parties interactively co-operate to obtain the
+result of the analysis" — the computation is known to everyone, and privacy
+claims are claims about *what the exchanged messages reveal*.  Running the
+protocols through an explicit :class:`Transcript` lets the framework layer
+measure that leakage directly instead of asserting it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message."""
+
+    sender: str
+    receiver: str
+    tag: str
+    payload: object
+
+    def payload_numbers(self) -> list[float]:
+        """Flatten any numeric content of the payload."""
+        return list(_iter_numbers(self.payload))
+
+
+def _iter_numbers(value: object) -> Iterable[float]:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield float(value)
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            yield from _iter_numbers(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _iter_numbers(item)
+
+
+@dataclass
+class Transcript:
+    """An ordered record of every message exchanged in a protocol run."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def record(self, sender: str, receiver: str, tag: str, payload: object) -> None:
+        """Append a message."""
+        self.messages.append(Message(sender, receiver, tag, payload))
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def visible_to(self, party: str) -> list[Message]:
+        """Messages the named party saw (sent or received)."""
+        return [
+            m for m in self.messages if party in (m.sender, m.receiver)
+        ]
+
+    def numbers_seen_by(self, party: str, exclude_own: bool = True) -> list[float]:
+        """Numeric values *party* observed in messages from other parties."""
+        values: list[float] = []
+        for message in self.messages:
+            if message.receiver != party:
+                continue
+            if exclude_own and message.sender == party:
+                continue
+            values.extend(message.payload_numbers())
+        return values
+
+    def all_numbers(self) -> list[float]:
+        """Every numeric value on the wire."""
+        values: list[float] = []
+        for message in self.messages:
+            values.extend(message.payload_numbers())
+        return values
+
+
+def plaintext_exposure(
+    transcript: Transcript, private_values: dict[str, Iterable[float]]
+) -> float:
+    """Fraction of parties' private values visible verbatim to other parties.
+
+    ``private_values`` maps party name -> that party's raw private inputs.
+    A value is exposed when some *other* party receives a message containing
+    it exactly.  Secure protocols mask inputs with randomness, so exposure
+    is ~0; a naive pooling protocol scores 1.0.  This is the transcript
+    half of the owner-privacy meter.
+    """
+    exposed = 0
+    total = 0
+    parties = set(private_values)
+    for owner, values in private_values.items():
+        values = [float(v) for v in values]
+        total += len(values)
+        others = parties - {owner}
+        seen: set[float] = set()
+        for other in others:
+            seen.update(transcript.numbers_seen_by(other))
+        # Also count messages to parties outside private_values (e.g. a server).
+        for message in transcript.messages:
+            if message.sender == owner and message.receiver not in private_values:
+                seen.update(message.payload_numbers())
+        exposed += sum(1 for v in values if v in seen)
+    if total == 0:
+        return 0.0
+    return exposed / total

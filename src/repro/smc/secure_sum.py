@@ -1,0 +1,87 @@
+"""Secure sum.
+
+The canonical crypto-PPDM building block: n >= 3 parties compute the sum of
+their private values revealing nothing but the result.  Two variants:
+
+* :func:`ring_secure_sum` — the classic ring protocol: the initiator adds a
+  random mask, each party adds its value, the initiator removes the mask.
+  Every intermediate message is uniformly random modulo m.
+* :func:`shares_secure_sum` — each party additively shares its value among
+  all parties; everyone publishes the sum of the shares it holds.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..crypto.secret_sharing import additive_shares
+from .party import Transcript
+
+#: Default ring modulus (large enough for any benchmark sum).
+DEFAULT_MODULUS = 1 << 64
+
+
+def ring_secure_sum(
+    values: Sequence[int],
+    modulus: int = DEFAULT_MODULUS,
+    rng: random.Random | None = None,
+    transcript: Transcript | None = None,
+) -> int:
+    """Ring-based secure sum of integer *values* (one per party)."""
+    if len(values) < 3:
+        raise ValueError("the ring protocol needs at least 3 parties for privacy")
+    rng = rng or random.Random()
+    transcript = transcript if transcript is not None else Transcript()
+    names = [f"P{i}" for i in range(len(values))]
+    mask = rng.randrange(modulus)
+    running = (mask + values[0]) % modulus
+    transcript.record(names[0], names[1], "partial-sum", running)
+    for i in range(1, len(values)):
+        running = (running + values[i]) % modulus
+        nxt = names[(i + 1) % len(values)]
+        transcript.record(names[i], nxt, "partial-sum", running)
+    return (running - mask) % modulus
+
+
+def shares_secure_sum(
+    values: Sequence[int],
+    modulus: int = DEFAULT_MODULUS,
+    rng: random.Random | None = None,
+    transcript: Transcript | None = None,
+) -> int:
+    """Additive-sharing secure sum (robust to one party dropping the ring)."""
+    if len(values) < 2:
+        raise ValueError("need at least 2 parties")
+    rng = rng or random.Random()
+    transcript = transcript if transcript is not None else Transcript()
+    n = len(values)
+    names = [f"P{i}" for i in range(n)]
+    held: list[list[int]] = [[] for _ in range(n)]
+    for i, value in enumerate(values):
+        shares = additive_shares(int(value), n, modulus, rng)
+        for j, share in enumerate(shares):
+            if i != j:
+                transcript.record(names[i], names[j], "share", share)
+            held[j].append(share)
+    partials = [sum(h) % modulus for h in held]
+    for j in range(n):
+        for i in range(n):
+            if i != j:
+                transcript.record(names[j], names[i], "partial", partials[j])
+    return sum(partials) % modulus
+
+
+def secure_mean(
+    values: Sequence[float],
+    scale: int = 10**6,
+    modulus: int = DEFAULT_MODULUS,
+    rng: random.Random | None = None,
+    transcript: Transcript | None = None,
+) -> float:
+    """Secure mean via fixed-point encoding and the ring protocol."""
+    encoded = [int(round(v * scale)) for v in values]
+    total = ring_secure_sum(encoded, modulus, rng, transcript)
+    if total > modulus // 2:
+        total -= modulus
+    return total / scale / len(values)

@@ -1,0 +1,53 @@
+"""Private set intersection via commutative encryption.
+
+Two database owners learn which keys they share (e.g. common patients)
+and nothing about the rest of each other's sets — the Agrawal–Evfimievski–
+Srikant style PSI built on the SRA commutative cipher
+(:mod:`repro.crypto.commutative`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from ..crypto.commutative import generate_key, hash_to_group, shared_modulus
+from .party import Transcript
+
+
+def private_set_intersection(
+    set_a: Iterable[object],
+    set_b: Iterable[object],
+    modulus_bits: int = 96,
+    rng: random.Random | None = None,
+    transcript: Transcript | None = None,
+) -> set[object]:
+    """Return the intersection, leaking only doubly-encrypted values.
+
+    Protocol: both parties hash items into the group and encrypt with
+    private exponents; each re-encrypts the other's singly-encrypted set;
+    matches among the doubly-encrypted values are the intersection (the
+    cipher commutes).  Alice learns which of *her* items matched.
+    """
+    rng = rng or random.Random(29)
+    transcript = transcript if transcript is not None else Transcript()
+    p = shared_modulus(modulus_bits, rng)
+    key_a = generate_key(p, rng)
+    key_b = generate_key(p, rng)
+    items_a = list(dict.fromkeys(set_a))
+    items_b = list(dict.fromkeys(set_b))
+
+    enc_a = [key_a.encrypt(hash_to_group(v, p)) for v in items_a]
+    enc_b = [key_b.encrypt(hash_to_group(v, p)) for v in items_b]
+    # Shuffle before sending so positions leak nothing.
+    rng.shuffle(enc_b)
+    transcript.record("Alice", "Bob", "enc-set", enc_a)
+    transcript.record("Bob", "Alice", "enc-set", enc_b)
+
+    double_a = [key_b.encrypt(c) for c in enc_a]  # Bob re-encrypts Alice's
+    double_b = {key_a.encrypt(c) for c in enc_b}  # Alice re-encrypts Bob's
+    transcript.record("Bob", "Alice", "double-enc-set", double_a)
+
+    return {
+        item for item, dd in zip(items_a, double_a) if dd in double_b
+    }

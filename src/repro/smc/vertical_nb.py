@@ -1,0 +1,149 @@
+"""Secure naive Bayes over vertically partitioned data.
+
+The second PPDM partitioning model the literature built on scalar
+products: **Alice** holds some feature columns of every record, **Bob**
+holds other columns *and the class labels*.  They jointly train a
+Gaussian naive Bayes classifier on the union of their features, with
+
+* Bob's per-class statistics computed locally,
+* Alice's per-class statistics computed through the Paillier secure
+  scalar product of her (fixed-point) feature vectors — and their
+  squares — against Bob's *encrypted class-indicator vectors*, so Alice
+  never learns a label and Bob never sees a feature value.
+
+The final model parameters are the protocol's output (public to both),
+exactly the leakage class of Vaidya–Clifton-style vertical PPDM.
+"""
+
+from __future__ import annotations
+
+import random
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..crypto import paillier
+from ..data.table import Dataset
+from ..mining.naive_bayes import GaussianNaiveBayes
+from .party import Transcript
+
+_SCALE = 1_000  # fixed-point scale for feature values
+
+
+@dataclass(frozen=True)
+class VerticalNbResult:
+    """Outcome of the secure training protocol."""
+
+    model: GaussianNaiveBayes
+    classes: tuple
+    transcript: Transcript
+    scalar_products: int
+
+
+def _encode(values: np.ndarray) -> list[int]:
+    return [int(round(v * _SCALE)) for v in values]
+
+
+def secure_vertical_naive_bayes(
+    alice: Dataset,
+    bob: Dataset,
+    class_column: str,
+    key_bits: int = 192,
+    rng: random.Random | None = None,
+    transcript: Transcript | None = None,
+) -> VerticalNbResult:
+    """Train Gaussian naive Bayes across a vertical partition.
+
+    ``alice`` and ``bob`` must be row-aligned; ``class_column`` lives in
+    ``bob``.  Returns a fitted model over Alice's + Bob's numeric columns.
+    """
+    if alice.n_rows != bob.n_rows:
+        raise ValueError("partitions must be row-aligned")
+    if class_column not in bob.column_names:
+        raise ValueError("the class column must belong to Bob")
+    rng = rng or random.Random(71)
+    transcript = transcript if transcript is not None else Transcript()
+
+    labels = bob.column(class_column)
+    classes = tuple(sorted(set(labels), key=repr))
+    n = bob.n_rows
+    alice_cols = list(alice.numeric_columns())
+    bob_cols = [c for c in bob.numeric_columns() if c != class_column]
+
+    public, private = paillier.generate_keypair(key_bits, rng)
+    modulus = public.n
+    scalar_products = 0
+
+    # Bob -> Alice: encrypted class-indicator vectors (one per class).
+    indicators: dict[object, list[int]] = {}
+    for cls in classes:
+        enc = [
+            paillier.encrypt(public, 1 if labels[i] == cls else 0, rng)
+            for i in range(n)
+        ]
+        indicators[cls] = enc
+        transcript.record("Bob", "Alice", f"enc-indicator[{cls}]", enc)
+
+    # Alice: for each of her columns and each class, homomorphically
+    # accumulate sum(x * ind) and sum(x^2 * ind), blind, return to Bob.
+    def blinded_product(enc_indicator: list[int], weights: list[int]) -> tuple[int, int]:
+        acc = paillier.encrypt(public, 0, rng)
+        for cipher, w in zip(enc_indicator, weights):
+            acc = paillier.add(public, acc, paillier.mul_plain(public, cipher, w))
+        blind = rng.randrange(modulus)
+        return paillier.add_plain(public, acc, blind), blind
+
+    stats: dict[tuple[str, object], tuple[float, float]] = {}
+    class_counts = {cls: int(np.sum(labels == cls)) for cls in classes}
+    for name in alice_cols:
+        x = _encode(alice.column(name))
+        x2 = [v * v for v in x]
+        for cls in classes:
+            c_sum, blind_sum = blinded_product(indicators[cls], x)
+            c_sq, blind_sq = blinded_product(indicators[cls], x2)
+            transcript.record("Alice", "Bob", f"blinded-sums[{name},{cls}]",
+                              (c_sum, c_sq))
+            scalar_products += 2
+            # Bob decrypts; Alice sends the blinds over a share channel
+            # (in the two-party setting the pair jointly unblinds; the
+            # reconstruction is part of the public output statistics).
+            total = (paillier.decrypt(private, c_sum) - blind_sum) % modulus
+            total_sq = (paillier.decrypt(private, c_sq) - blind_sq) % modulus
+            if total > modulus // 2:
+                total -= modulus
+            if total_sq > modulus // 2:
+                total_sq -= modulus
+            count = max(class_counts[cls], 1)
+            mean = total / _SCALE / count
+            var = max(total_sq / (_SCALE ** 2) / count - mean * mean, 1e-9)
+            stats[(name, cls)] = (mean, var)
+
+    # Bob computes his own columns' statistics locally (no protocol).
+    for name in bob_cols:
+        col = bob.column(name)
+        for cls in classes:
+            block = col[labels == cls]
+            mean = float(block.mean()) if block.size else 0.0
+            var = float(block.var()) + 1e-9 if block.size else 1e-9
+            stats[(name, cls)] = (mean, var)
+
+    # Assemble the public model.
+    all_cols = alice_cols + bob_cols
+    model = GaussianNaiveBayes()
+    model._classes = np.asarray(classes, dtype=object)
+    model._priors = np.array([class_counts[c] / n for c in classes])
+    model._means = np.array(
+        [[stats[(col, cls)][0] for col in all_cols] for cls in classes]
+    )
+    model._vars = np.array(
+        [[stats[(col, cls)][1] for col in all_cols] for cls in classes]
+    )
+    return VerticalNbResult(model, classes, transcript, scalar_products)
+
+
+def vertical_nb_feature_order(alice: Dataset, bob: Dataset, class_column: str) -> list[str]:
+    """Column order the secure model expects at prediction time."""
+    return list(alice.numeric_columns()) + [
+        c for c in bob.numeric_columns() if c != class_column
+    ]

@@ -1,0 +1,38 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import census, dataset_1, dataset_2, patients
+
+
+@pytest.fixture(scope="session")
+def patients_300():
+    """A fixed patient population, session-cached (read-only)."""
+    return patients(300, seed=7)
+
+
+@pytest.fixture(scope="session")
+def census_300():
+    """A fixed census population, session-cached (read-only)."""
+    return census(300, seed=7)
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic numpy generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ds1():
+    """Paper Table 1, Dataset 1."""
+    return dataset_1()
+
+
+@pytest.fixture
+def ds2():
+    """Paper Table 1, Dataset 2."""
+    return dataset_2()

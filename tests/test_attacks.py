@@ -1,0 +1,167 @@
+"""Tests for the attack adversaries."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    DistanceLinkageAttack,
+    ProbabilisticLinkageAttack,
+    best_linkage_rate,
+    dimensionality_sweep,
+    extraction_from_release,
+    extraction_from_transcript,
+    extraction_via_pir_download,
+    isolation_attack,
+    reconstruction_attack,
+)
+from repro.data import dataset_2, patients, sparse_uniform
+from repro.pir import PrivateAggregateIndex
+from repro.ppdm import AgrawalSrikantRandomizer
+from repro.sdc import IdentityMasking, Microaggregation, UncorrelatedNoise
+from repro.smc import Transcript
+
+
+class TestLinkage:
+    def test_distance_attack_identity(self, patients_300):
+        outcome = DistanceLinkageAttack(["height", "weight", "age"]).run(
+            patients_300, patients_300
+        )
+        assert outcome.success_rate > 0.95
+
+    def test_probabilistic_attack_identity(self, patients_300):
+        outcome = ProbabilisticLinkageAttack(["height", "weight"]).run(
+            patients_300, patients_300
+        )
+        assert outcome.success_rate > 0.8
+
+    def test_probabilistic_prefers_rare_values(self):
+        """Agreement on a rare value outweighs agreement on a common one."""
+        from repro.data import Dataset
+        release = Dataset({
+            "a": ["common"] * 9 + ["rare"],
+            "b": [str(i) for i in range(10)],
+        })
+        attack = ProbabilisticLinkageAttack(["a"])
+        outcome = attack.run(release, release)
+        # The rare record links perfectly; commons are 1/9 each.
+        assert outcome.correct == pytest.approx(9 * (1 / 9) + 1.0)
+
+    def test_probabilistic_needs_columns(self):
+        with pytest.raises(ValueError):
+            ProbabilisticLinkageAttack([])
+
+    def test_best_linkage_uses_class_model_for_suppressed(self, patients_300):
+        from repro.sdc import RecordSuppression
+        release = RecordSuppression(2).mask(patients_300)
+        rate = best_linkage_rate(patients_300, release, ["height", "weight"])
+        assert 0.0 <= rate <= 1.0
+
+    def test_masking_reduces_best_linkage(self, patients_300, rng):
+        masked = UncorrelatedNoise(1.0).mask(patients_300, rng)
+        assert best_linkage_rate(
+            patients_300, masked, ["height", "weight", "age"]
+        ) < best_linkage_rate(
+            patients_300, patients_300, ["height", "weight", "age"]
+        )
+
+
+class TestSparseReconstruction:
+    def test_disclosure_rises_with_dimension(self):
+        """The [11] effect: same per-value noise, more dimensions, more
+        respondents pinned into singleton cells."""
+        def make_pop(d):
+            return sparse_uniform(150, d, seed=7)
+
+        def randomize(data):
+            r = AgrawalSrikantRandomizer(
+                relative_scale=0.3, columns=list(data.column_names)
+            )
+            rel = r.mask(data, np.random.default_rng(1))
+            return rel, [r.noise_models[c] for c in data.column_names]
+
+        reports = dimensionality_sweep(make_pop, randomize, dims=[2, 6], bins=3)
+        assert reports[0].disclosure_rate < 0.05
+        assert reports[1].disclosure_rate > 0.15
+
+    def test_report_arithmetic(self):
+        from repro.attacks import SparseDisclosureReport
+        report = SparseDisclosureReport(100, 4, 3, 40, 10)
+        assert report.cell_recovery_rate == 0.4
+        assert report.disclosure_rate == 0.1
+
+    def test_attack_runs_on_dataset(self):
+        pop = sparse_uniform(80, 3, seed=2)
+        r = AgrawalSrikantRandomizer(0.4, columns=["x0", "x1", "x2"])
+        rel = r.mask(pop, np.random.default_rng(3))
+        report = reconstruction_attack(
+            pop, rel, [r.noise_models[c] for c in ["x0", "x1", "x2"]],
+            ["x0", "x1", "x2"], bins=3, max_iter=20,
+        )
+        assert report.n_records == 80
+        assert 0 <= report.disclosure_rate <= report.cell_recovery_rate <= 1
+
+
+class TestPIRIsolation:
+    def test_dataset_2_attack(self):
+        ds2 = dataset_2()
+        index = PrivateAggregateIndex(
+            ds2, ["height", "weight"], "blood_pressure",
+            edges={"height": [150, 165, 180, 200],
+                   "weight": [50, 80, 105, 130]},
+        )
+        report = isolation_attack(index, ds2.n_rows)
+        assert report.cells_probed == 9
+        values = {v.confidential_value for v in report.victims}
+        assert 146.0 in values  # the paper's victim
+
+    def test_k_anonymous_data_yields_fewer_victims(self, patients_300):
+        masked = Microaggregation(5).mask(patients_300)
+        edges = {
+            "height": list(np.linspace(140, 210, 8)),
+            "weight": list(np.linspace(30, 140, 8)),
+        }
+        raw_index = PrivateAggregateIndex(
+            patients_300, ["height", "weight"], "blood_pressure", edges
+        )
+        masked_index = PrivateAggregateIndex(
+            masked, ["height", "weight"], "blood_pressure", edges
+        )
+        raw_report = isolation_attack(raw_index, 300)
+        masked_report = isolation_attack(masked_index, 300)
+        assert masked_report.disclosure_rate < raw_report.disclosure_rate
+
+
+class TestOwnerExtraction:
+    def test_identity_release_total(self, patients_300):
+        report = extraction_from_release(
+            patients_300, IdentityMasking().mask(patients_300)
+        )
+        assert report.extraction_rate == 1.0
+        assert report.owner_privacy == 0.0
+
+    def test_masking_reduces_extraction(self, patients_300, rng):
+        noisy = UncorrelatedNoise(1.5).mask(patients_300, rng)
+        report = extraction_from_release(
+            patients_300, noisy, ["height", "weight", "age"]
+        )
+        assert report.extraction_rate < 0.4
+
+    def test_shuffled_release_matched_by_nearest(self, patients_300):
+        shuffled = patients_300.take(
+            np.random.default_rng(1).permutation(300)
+        )
+        report = extraction_from_release(
+            patients_300, shuffled, ["height", "weight"]
+        )
+        # Values are all still there; nearest-neighbour matching finds them.
+        assert report.extraction_rate == 1.0
+
+    def test_transcript_extraction(self):
+        t = Transcript()
+        t.record("P0", "P1", "raw", [1.5, 2.5])
+        report = extraction_from_transcript(t, {"P0": [1.5, 2.5], "P1": [9.9]})
+        assert report.extraction_rate == pytest.approx(2 / 3)
+
+    def test_pir_download_is_total(self, patients_300):
+        report = extraction_via_pir_download(patients_300)
+        assert report.extraction_rate == 1.0

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import patients, read_csv, write_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestTable1(object):
+    def test_prints_table(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "data set no. 1" in out
+        assert "Dataset 1 anonymity level: 3" in out
+        assert "Dataset 2 anonymity level: 1" in out
+
+
+class TestTable2:
+    def test_full_agreement_exit_zero(self, capsys):
+        assert main(["table2", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "cell agreement with the paper: 100%" in out
+
+
+class TestRecommend:
+    def test_all_dimensions(self, capsys):
+        assert main(["recommend", "r,o,u"]) == 0
+        out = capsys.readouterr().out
+        assert "data masking + PIR" in out
+
+    def test_long_names(self, capsys):
+        assert main(["recommend", "owner,user"]) == 0
+        assert "PIR" in capsys.readouterr().out
+
+    def test_unknown_dimension(self):
+        with pytest.raises(SystemExit):
+            main(["recommend", "everything"])
+
+
+class TestMask:
+    def test_masks_csv(self, tmp_path, capsys):
+        source = tmp_path / "pop.csv"
+        write_csv(patients(80, seed=1), source)
+        assert main([
+            "mask", str(source), "--method", "microaggregation", "--k", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pop.masked.csv" in out
+        masked = read_csv(tmp_path / "pop.masked.csv")
+        assert masked.n_rows == 80
+
+    def test_pram_method(self, tmp_path, capsys):
+        source = tmp_path / "pop.csv"
+        write_csv(patients(60, seed=2), source)
+        assert main([
+            "mask", str(source), "--method", "pram", "--scale", "0.2",
+        ]) == 0
+        assert (tmp_path / "pop.masked.csv").exists()
+
+    def test_missing_method_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["mask", str(tmp_path / "x.csv")])
+
+
+class TestScoreboard:
+    def test_scoreboard_lists_methods(self, capsys):
+        assert main(["scoreboard", "--records", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "identity" in out
+        assert "microaggregation(k=5)" in out
+        assert "R=" in out
+
+    def test_scoreboard_with_pir(self, capsys):
+        assert main(["scoreboard", "--records", "120", "--pir"]) == 0
+        out = capsys.readouterr().out
+        assert "+ PIR" in out
+        assert "U=1.00" in out or "U=0.9" in out
+
+
+class TestAttacks:
+    def test_tracker_demo(self, capsys):
+        assert main(["tracker", "--records", "200", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "tracker succeeded: True" in out
+
+    def test_attack_pir(self, capsys):
+        assert main(["attack-pir"]) == 0
+        out = capsys.readouterr().out
+        assert "-> 1" in out
+        assert "146" in out

@@ -1,0 +1,75 @@
+"""Tests for the generic masking assessment and the report generator."""
+
+import pytest
+
+from repro.core import (
+    PrivacyDimension,
+    assess_masking,
+    full_report,
+    masking_scoreboard,
+)
+from repro.sdc import IdentityMasking, Microaggregation, UncorrelatedNoise
+
+R, O, U = (
+    PrivacyDimension.RESPONDENT,
+    PrivacyDimension.OWNER,
+    PrivacyDimension.USER,
+)
+
+
+class TestAssessMasking:
+    def test_identity_scores(self, patients_300):
+        assessment = assess_masking(IdentityMasking(), patients_300)
+        assert assessment.scores[R] < 0.05
+        assert assessment.scores[O] < 0.05
+        assert assessment.scores[U] == 0.0
+        assert assessment.utility.il1s == 0.0
+
+    def test_masking_improves_privacy_costs_utility(self, patients_300):
+        identity = assess_masking(IdentityMasking(), patients_300)
+        masked = assess_masking(Microaggregation(5), patients_300)
+        assert masked.scores[R] > identity.scores[R]
+        assert masked.utility.il1s > identity.utility.il1s
+
+    def test_pir_flag_lifts_user_dimension_only(self, patients_300):
+        plain = assess_masking(UncorrelatedNoise(0.5), patients_300)
+        pired = assess_masking(
+            UncorrelatedNoise(0.5), patients_300, with_pir=True
+        )
+        assert plain.scores[U] == 0.0
+        assert pired.scores[U] > 0.9
+        assert plain.scores[R] == pytest.approx(pired.scores[R])
+        assert "+ PIR" in pired.method_name
+
+    def test_summary_format(self, patients_300):
+        text = assess_masking(Microaggregation(5), patients_300).summary()
+        assert "R=" in text and "IL1s=" in text
+
+
+class TestScoreboard:
+    def test_sorted_by_respondent_score(self, patients_300):
+        board = masking_scoreboard(
+            [IdentityMasking(), Microaggregation(5), UncorrelatedNoise(0.5)],
+            patients_300,
+        )
+        scores = [a.scores[R] for a in board]
+        assert scores == sorted(scores, reverse=True)
+        assert board[-1].method_name == "identity"
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return full_report(seed=0)
+
+    def test_contains_all_sections(self, report):
+        for heading in (
+            "## Table 1", "## Table 2", "PIR attack", "tracker attack",
+            "Section 6 stack",
+        ):
+            assert heading in report
+
+    def test_headline_claims(self, report):
+        assert "cell agreement with the paper: 100%" in report
+        assert "-> 146" in report or "146" in report
+        assert "Overall: Table 2 cell agreement 100%" in report

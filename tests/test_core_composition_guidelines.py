@@ -1,0 +1,151 @@
+"""Tests for composition rules, guidelines and pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HippocraticPipeline,
+    KAnonymousPIRPipeline,
+    Mechanism,
+    PrivacyDimension,
+    check_stack,
+    full_coverage_stacks,
+    recommend,
+)
+from repro.data import patients
+
+R, O, U = (
+    PrivacyDimension.RESPONDENT,
+    PrivacyDimension.OWNER,
+    PrivacyDimension.USER,
+)
+
+
+class TestComposition:
+    def test_query_control_pir_incompatible(self):
+        report = check_stack([Mechanism.QUERY_CONTROL, Mechanism.PIR])
+        assert not report.valid
+        assert "inspect queries" in report.conflicts[0]
+
+    def test_crypto_ppdm_pir_incompatible(self):
+        report = check_stack([Mechanism.CRYPTO_PPDM, Mechanism.PIR])
+        assert not report.valid
+
+    def test_masking_pir_compatible_and_complete(self):
+        report = check_stack([Mechanism.DATA_MASKING, Mechanism.PIR])
+        assert report.valid
+        assert report.uncovered == frozenset()
+
+    def test_masking_alone_leaves_user_uncovered(self):
+        report = check_stack([Mechanism.DATA_MASKING])
+        assert report.valid
+        assert report.uncovered == frozenset({U})
+
+    def test_duplicates_collapsed(self):
+        report = check_stack([Mechanism.PIR, Mechanism.PIR])
+        assert report.mechanisms == (Mechanism.PIR,)
+
+    def test_full_coverage_stacks_match_paper(self):
+        """The paper's Section 6 conclusion: masking + PIR (crypto PPDM
+        routes never qualify)."""
+        stacks = full_coverage_stacks()
+        assert (Mechanism.DATA_MASKING, Mechanism.PIR) in stacks
+        for stack in stacks:
+            assert Mechanism.CRYPTO_PPDM not in stack
+            assert Mechanism.QUERY_CONTROL not in stack
+
+
+class TestGuidelines:
+    def test_all_three_dimensions(self):
+        recs = recommend({R, O, U})
+        assert len(recs) >= 1
+        assert recs[0].mechanisms == (Mechanism.DATA_MASKING, Mechanism.PIR)
+        assert "k-anonymize" in recs[0].rationale.lower()
+
+    def test_owner_only_offers_crypto(self):
+        mechanisms = {rec.mechanisms for rec in recommend({O})}
+        assert (Mechanism.CRYPTO_PPDM,) in mechanisms
+
+    def test_user_only_is_pir(self):
+        recs = recommend({U})
+        assert recs[0].mechanisms == (Mechanism.PIR,)
+
+    def test_owner_user_excludes_crypto(self):
+        """Section 4: crypto PPDM is incompatible with user privacy."""
+        for rec in recommend({O, U}):
+            assert Mechanism.CRYPTO_PPDM not in rec.mechanisms
+
+    def test_every_recommendation_is_valid_stack(self):
+        import itertools
+        dims = [R, O, U]
+        for r in range(1, 4):
+            for combo in itertools.combinations(dims, r):
+                for rec in recommend(set(combo)):
+                    report = check_stack(list(rec.mechanisms))
+                    assert report.valid
+                    assert set(combo) <= report.covered
+
+    def test_empty_requirement_rejected(self):
+        with pytest.raises(ValueError):
+            recommend(set())
+
+    def test_description(self):
+        rec = recommend({U})[0]
+        assert rec.description == "PIR"
+
+
+class TestKAnonymousPIRPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        pop = patients(300, seed=4)
+        return KAnonymousPIRPipeline(
+            pop, k=5, value_column="blood_pressure",
+            edges={"height": [140, 160, 180, 210],
+                   "weight": [40, 70, 100, 140]},
+        )
+
+    def test_audit_passes(self, pipeline):
+        audit = pipeline.audit()
+        assert audit.passed
+        assert audit.k_achieved >= 5
+        assert audit.singleton_cells == 0
+
+    def test_queries_answered(self, pipeline):
+        result = pipeline.query({"height": (140, 160)})
+        assert result.count >= 0
+
+    def test_no_isolating_cell(self, pipeline):
+        """The Section 3 PIR attack cannot find a COUNT=1 cell."""
+        from repro.attacks import isolation_attack
+        report = isolation_attack(pipeline.index, 300)
+        assert len(report.victims) == 0
+
+
+class TestHippocraticPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return HippocraticPipeline(
+            patients(200, seed=6), k=5, allowed_purposes=["research"],
+        )
+
+    def test_purpose_enforced(self, pipeline):
+        with pytest.raises(PermissionError):
+            pipeline.request_release("insurer", "underwriting")
+
+    def test_release_granted_and_logged(self, pipeline):
+        release = pipeline.request_release("lab", "research")
+        assert release.n_rows == 200
+        assert ("lab", "research") in pipeline.disclosure_log
+
+    def test_release_is_k_anonymous_on_qi(self, pipeline):
+        assert pipeline.audit().passed
+
+    def test_noise_models_published(self, pipeline):
+        assert "blood_pressure" in pipeline.noise_models
+
+    def test_release_masks_confidential_numerics(self, pipeline):
+        pop = patients(200, seed=6)
+        release = pipeline.request_release("lab", "research")
+        assert not np.array_equal(
+            release["blood_pressure"], pop["blood_pressure"]
+        )

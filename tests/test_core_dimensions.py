@@ -1,0 +1,66 @@
+"""Tests for dimensions, grades, and the paper's Table 2 constants."""
+
+import pytest
+
+from repro.core import (
+    Grade,
+    PAPER_TABLE2,
+    PrivacyDimension,
+    grade_from_score,
+)
+
+
+class TestGrade:
+    def test_ordering(self):
+        assert Grade.NONE < Grade.LOW < Grade.MEDIUM < Grade.MEDIUM_HIGH < Grade.HIGH
+
+    def test_labels_match_paper_spelling(self):
+        assert Grade.MEDIUM_HIGH.label == "medium-high"
+        assert str(Grade.NONE) == "none"
+
+    def test_grade_from_score_boundaries(self):
+        assert grade_from_score(0.0) is Grade.NONE
+        assert grade_from_score(0.14) is Grade.NONE
+        assert grade_from_score(0.15) is Grade.LOW
+        assert grade_from_score(0.45) is Grade.MEDIUM
+        assert grade_from_score(0.70) is Grade.MEDIUM_HIGH
+        assert grade_from_score(0.90) is Grade.HIGH
+        assert grade_from_score(1.0) is Grade.HIGH
+
+    def test_grade_from_score_validation(self):
+        with pytest.raises(ValueError):
+            grade_from_score(-0.1)
+        with pytest.raises(ValueError):
+            grade_from_score(1.2)
+
+
+class TestPaperTable2:
+    def test_eight_rows(self):
+        assert len(PAPER_TABLE2) == 8
+
+    def test_every_row_grades_all_dimensions(self):
+        for grades in PAPER_TABLE2.values():
+            assert set(grades) == set(PrivacyDimension)
+
+    def test_verbatim_cells(self):
+        """Spot-check cells against the paper text."""
+        assert PAPER_TABLE2["SDC"][PrivacyDimension.RESPONDENT] is Grade.MEDIUM_HIGH
+        assert PAPER_TABLE2["Crypto PPDM"][PrivacyDimension.OWNER] is Grade.HIGH
+        assert PAPER_TABLE2["PIR"][PrivacyDimension.RESPONDENT] is Grade.NONE
+        assert PAPER_TABLE2["PIR"][PrivacyDimension.USER] is Grade.HIGH
+        assert PAPER_TABLE2["Use-specific non-crypto PPDM + PIR"][
+            PrivacyDimension.USER
+        ] is Grade.MEDIUM
+
+    def test_no_pir_no_user_privacy(self):
+        """Every technology class without PIR has user privacy 'none'."""
+        for name, grades in PAPER_TABLE2.items():
+            if "PIR" not in name:
+                assert grades[PrivacyDimension.USER] is Grade.NONE
+
+    def test_pir_combinations_inherit_masking_grades(self):
+        for base in ("SDC", "Use-specific non-crypto PPDM",
+                     "Generic non-crypto PPDM"):
+            combined = PAPER_TABLE2[f"{base} + PIR"]
+            for dim in (PrivacyDimension.RESPONDENT, PrivacyDimension.OWNER):
+                assert combined[dim] is PAPER_TABLE2[base][dim]

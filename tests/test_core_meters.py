@@ -1,0 +1,93 @@
+"""Tests for the three privacy meters."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    owner_privacy_from_release,
+    owner_privacy_from_transcript,
+    respondent_privacy_score,
+    user_privacy_from_posterior,
+    user_privacy_plaintext,
+    user_privacy_use_specific,
+)
+from repro.sdc import IdentityMasking, Microaggregation, UncorrelatedNoise
+from repro.smc import Transcript
+
+
+QI = ["height", "weight", "age"]
+
+
+class TestRespondentMeter:
+    def test_identity_release_scores_zero(self, patients_300):
+        score = respondent_privacy_score(
+            patients_300, patients_300, QI
+        )
+        assert score < 0.05
+
+    def test_k_anonymous_release_scores_high(self, patients_300):
+        release = Microaggregation(10).mask(patients_300)
+        score = respondent_privacy_score(patients_300, release, QI)
+        assert score > 0.85
+
+    def test_extra_disclosure_channel(self, patients_300):
+        release = Microaggregation(10).mask(patients_300)
+        base = respondent_privacy_score(patients_300, release, QI)
+        worse = respondent_privacy_score(
+            patients_300, release, QI, extra_disclosure=0.5
+        )
+        assert worse == pytest.approx(0.5)
+        assert worse < base
+
+
+class TestOwnerMeter:
+    def test_identity_release_zero(self, patients_300):
+        assert owner_privacy_from_release(
+            patients_300, IdentityMasking().mask(patients_300), QI
+        ) == 0.0
+
+    def test_masking_raises_owner_privacy(self, patients_300, rng):
+        noisy = UncorrelatedNoise(1.0).mask(patients_300, rng)
+        assert owner_privacy_from_release(patients_300, noisy, QI) > 0.5
+
+    def test_transcript_meter(self):
+        t = Transcript()
+        t.record("P0", "P1", "raw", 5.0)
+        assert owner_privacy_from_transcript(t, {"P0": [5.0], "P1": [7.0]}) == 0.5
+        assert owner_privacy_from_transcript(Transcript(), {"P0": [5.0]}) == 1.0
+
+
+class TestUserMeter:
+    def test_plaintext_zero(self):
+        assert user_privacy_plaintext() == 0.0
+
+    def test_uniform_posterior_is_one(self):
+        assert user_privacy_from_posterior([0.25] * 4) == pytest.approx(1.0)
+
+    def test_point_mass_is_zero(self):
+        assert user_privacy_from_posterior([1.0, 0.0, 0.0]) == 0.0
+
+    def test_normalization(self):
+        assert user_privacy_from_posterior([2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_degenerate_space(self):
+        assert user_privacy_from_posterior([1.0]) == 0.0
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            user_privacy_from_posterior([0.0, 0.0])
+
+    def test_use_specific_lands_medium(self):
+        """The paper's 'some clue on the queries' argument: 4 analysis
+        classes x 16 targets -> log(16)/log(64) = 2/3, a medium grade."""
+        score = user_privacy_use_specific(4, 16)
+        assert score == pytest.approx(np.log2(16) / np.log2(64))
+        from repro.core import Grade, grade_from_score
+        assert grade_from_score(score) is Grade.MEDIUM
+
+    def test_use_specific_validation(self):
+        with pytest.raises(ValueError):
+            user_privacy_use_specific(0, 4)
+
+    def test_more_classes_known_hurts_more(self):
+        assert user_privacy_use_specific(16, 16) < user_privacy_use_specific(2, 16)

@@ -1,0 +1,105 @@
+"""Tests for the empirical Table 2 harness — the headline reproduction."""
+
+import pytest
+
+from repro.core import (
+    Grade,
+    PrivacyDimension,
+    default_technology_classes,
+    format_table2,
+    score_technologies,
+)
+
+R, O, U = (
+    PrivacyDimension.RESPONDENT,
+    PrivacyDimension.OWNER,
+    PrivacyDimension.USER,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return score_technologies(seed=0)
+
+
+class TestHeadline:
+    def test_full_agreement_with_paper(self, comparison):
+        """Every one of the 24 Table 2 cells must land on the paper's
+        grade under the frozen calibration."""
+        assert comparison.agreement == 1.0
+
+    def test_eight_technologies(self, comparison):
+        assert len(comparison.assessments) == 8
+
+    def test_row_lookup(self, comparison):
+        assert comparison.row("SDC").technology == "SDC"
+        with pytest.raises(KeyError):
+            comparison.row("nope")
+
+
+class TestPaperOrderings:
+    """The orderings the paper's Section 5 argues for, checked on raw
+    scores (stronger than grade equality)."""
+
+    def test_crypto_ppdm_highest_owner_privacy(self, comparison):
+        crypto = comparison.row("Crypto PPDM").scores[O]
+        for name in ("SDC", "Use-specific non-crypto PPDM",
+                     "Generic non-crypto PPDM", "PIR"):
+            assert crypto >= comparison.row(name).scores[O]
+
+    def test_ppdm_beats_sdc_on_owner(self, comparison):
+        """PPDM is designed for owner privacy; SDC only provides 'some
+        level' of it."""
+        sdc = comparison.row("SDC").scores[O]
+        assert comparison.row("Use-specific non-crypto PPDM").scores[O] > sdc
+        assert comparison.row("Generic non-crypto PPDM").scores[O] > sdc
+
+    def test_sdc_beats_ppdm_on_respondent(self, comparison):
+        sdc = comparison.row("SDC").scores[R]
+        assert sdc > comparison.row("Use-specific non-crypto PPDM").scores[R]
+        assert sdc > comparison.row("Generic non-crypto PPDM").scores[R]
+
+    def test_pir_alone_protects_nobody_but_the_user(self, comparison):
+        row = comparison.row("PIR")
+        assert row.scores[R] < 0.15
+        assert row.scores[O] < 0.15
+        assert row.scores[U] > 0.9
+
+    def test_no_pir_means_no_user_privacy(self, comparison):
+        for name in ("SDC", "Use-specific non-crypto PPDM",
+                     "Generic non-crypto PPDM", "Crypto PPDM"):
+            assert comparison.row(name).scores[U] == 0.0
+
+    def test_use_specific_pir_weaker_user_privacy_than_generic(self, comparison):
+        """Section 5: the query class leaks with use-specific PPDM."""
+        specific = comparison.row("Use-specific non-crypto PPDM + PIR").scores[U]
+        generic = comparison.row("Generic non-crypto PPDM + PIR").scores[U]
+        assert specific < generic
+
+    def test_pir_composition_preserves_masking_grades(self, comparison):
+        for base in ("SDC", "Generic non-crypto PPDM"):
+            plain = comparison.row(base)
+            combined = comparison.row(f"{base} + PIR")
+            for dim in (R, O):
+                assert combined.grades[dim] is plain.grades[dim]
+
+
+class TestFormatting:
+    def test_format_contains_all_rows(self, comparison):
+        text = format_table2(comparison)
+        for assessment in comparison.assessments:
+            assert assessment.technology in text
+
+    def test_format_shows_agreement(self, comparison):
+        assert "cell agreement" in format_table2(comparison)
+
+    def test_format_without_scores(self, comparison):
+        text = format_table2(comparison, show_scores=False)
+        assert "[0." not in text
+
+
+class TestDefaults:
+    def test_default_classes_cover_paper_rows(self):
+        from repro.core import PAPER_TABLE2
+        names = {tech.name for tech in default_technology_classes()}
+        assert names == set(PAPER_TABLE2)

@@ -1,0 +1,96 @@
+"""Tests for number-theoretic primitives."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    crt_pair,
+    egcd,
+    invmod,
+    is_probable_prime,
+    lcm,
+    random_coprime,
+    random_prime,
+    random_safe_prime,
+)
+
+
+class TestEgcd:
+    def test_bezout_identity(self):
+        for a, b in [(240, 46), (17, 5), (100, 100), (0, 7)]:
+            g, x, y = egcd(a, b)
+            assert a * x + b * y == g
+
+    def test_gcd_values(self):
+        assert egcd(12, 18)[0] == 6
+        assert egcd(17, 31)[0] == 1
+
+
+class TestInvmod:
+    def test_inverse_property(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            m = rng.randrange(3, 10**6) | 1
+            a = rng.randrange(1, m)
+            if egcd(a, m)[0] != 1:
+                continue
+            assert a * invmod(a, m) % m == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ValueError, match="not invertible"):
+            invmod(6, 9)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 97, 7919, 104729, (1 << 61) - 1):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for n in (1, 0, -7, 4, 100, 561, 1105, 7919 * 104729):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes that Miller-Rabin must catch.
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(n)
+
+
+class TestGeneration:
+    def test_random_prime_bits(self):
+        rng = random.Random(1)
+        p = random_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+    def test_random_prime_minimum_bits(self):
+        with pytest.raises(ValueError):
+            random_prime(2, random.Random(0))
+
+    def test_safe_prime(self):
+        rng = random.Random(2)
+        p = random_safe_prime(32, rng)
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+    def test_random_coprime(self):
+        rng = random.Random(3)
+        n = 2 * 3 * 5 * 7 * 11
+        for _ in range(10):
+            c = random_coprime(n, rng)
+            assert egcd(c, n)[0] == 1
+
+
+class TestCrtLcm:
+    def test_crt_pair(self):
+        x = crt_pair(2, 3, 3, 5)
+        assert x % 3 == 2 and x % 5 == 3
+
+    def test_crt_requires_coprime(self):
+        with pytest.raises(ValueError):
+            crt_pair(1, 4, 2, 6)
+
+    def test_lcm(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 13) == 91

@@ -1,0 +1,75 @@
+"""Tests for the Paillier cryptosystem."""
+
+import random
+
+import pytest
+
+from repro.crypto import paillier
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return paillier.generate_keypair(bits=128, rng=random.Random(5))
+
+
+class TestCorrectness:
+    def test_encrypt_decrypt(self, keypair):
+        pub, priv = keypair
+        rng = random.Random(1)
+        for m in (0, 1, 42, pub.n - 1):
+            assert paillier.decrypt(priv, paillier.encrypt(pub, m, rng)) == m
+
+    def test_randomized_ciphertexts_differ(self, keypair):
+        pub, _ = keypair
+        c1 = paillier.encrypt(pub, 7, random.Random(1))
+        c2 = paillier.encrypt(pub, 7, random.Random(2))
+        assert c1 != c2
+
+    def test_negative_via_signed_decrypt(self, keypair):
+        pub, priv = keypair
+        c = paillier.encrypt(pub, -5, random.Random(3))
+        assert paillier.decrypt_signed(priv, c) == -5
+
+
+class TestHomomorphism:
+    def test_addition(self, keypair):
+        pub, priv = keypair
+        rng = random.Random(4)
+        c = paillier.add(
+            pub, paillier.encrypt(pub, 20, rng), paillier.encrypt(pub, 22, rng)
+        )
+        assert paillier.decrypt(priv, c) == 42
+
+    def test_add_plain(self, keypair):
+        pub, priv = keypair
+        c = paillier.add_plain(pub, paillier.encrypt(pub, 10, random.Random(5)), 32)
+        assert paillier.decrypt(priv, c) == 42
+
+    def test_mul_plain(self, keypair):
+        pub, priv = keypair
+        c = paillier.mul_plain(pub, paillier.encrypt(pub, 6, random.Random(6)), 7)
+        assert paillier.decrypt(priv, c) == 42
+
+    def test_sum_wraps_mod_n(self, keypair):
+        pub, priv = keypair
+        rng = random.Random(7)
+        c = paillier.add(
+            pub,
+            paillier.encrypt(pub, pub.n - 1, rng),
+            paillier.encrypt(pub, 2, rng),
+        )
+        assert paillier.decrypt(priv, c) == 1
+
+    def test_rerandomize_keeps_plaintext(self, keypair):
+        pub, priv = keypair
+        c = paillier.encrypt(pub, 99, random.Random(8))
+        c2 = paillier.rerandomize(pub, c, random.Random(9))
+        assert c2 != c
+        assert paillier.decrypt(priv, c2) == 99
+
+
+def test_keypair_properties():
+    pub, priv = paillier.generate_keypair(bits=96, rng=random.Random(11))
+    assert pub.n.bit_length() in (95, 96)
+    assert pub.n_squared == pub.n * pub.n
+    assert priv.public is pub

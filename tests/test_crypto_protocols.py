@@ -1,0 +1,121 @@
+"""Tests for RSA, oblivious transfer, commutative cipher and secret sharing."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    ObliviousTransferReceiver,
+    ObliviousTransferSender,
+    additive_reconstruct,
+    additive_shares,
+    commutative,
+    rsa,
+    shamir_reconstruct,
+    shamir_shares,
+    transfer,
+)
+
+
+class TestRsa:
+    def test_round_trip(self):
+        pub, priv = rsa.generate_keypair(bits=128, rng=random.Random(1))
+        for m in (0, 1, 12345, pub.n - 1):
+            assert rsa.decrypt(priv, rsa.encrypt(pub, m)) == m
+
+    def test_keys_deterministic_by_seed(self):
+        a = rsa.generate_keypair(bits=64, rng=random.Random(2))[0]
+        b = rsa.generate_keypair(bits=64, rng=random.Random(2))[0]
+        assert a.n == b.n
+
+
+class TestObliviousTransfer:
+    def test_chosen_message_delivered(self):
+        assert transfer(111, 222, 0, bits=128, seed=3) == 111
+        assert transfer(111, 222, 1, bits=128, seed=3) == 222
+
+    def test_invalid_choice_bit(self):
+        with pytest.raises(ValueError):
+            ObliviousTransferReceiver(2)
+
+    def test_receive_before_request(self):
+        receiver = ObliviousTransferReceiver(0)
+        with pytest.raises(RuntimeError):
+            receiver.receive((1, 2))
+
+    def test_unchosen_branch_is_garbage(self):
+        """The receiver's unblinding only decodes the chosen branch."""
+        rng = random.Random(5)
+        sender = ObliviousTransferSender(10, 20, bits=128, rng=rng)
+        receiver = ObliviousTransferReceiver(0, rng=random.Random(6))
+        v = receiver.request(sender.offer())
+        resp = sender.respond(v)
+        n = sender.public.n
+        wrong = (resp[1] - receiver._k) % n
+        assert wrong != 20  # with overwhelming probability
+
+    def test_message_must_fit_modulus(self):
+        with pytest.raises(ValueError, match="fit"):
+            ObliviousTransferSender(1 << 200, 0, bits=64)
+
+
+class TestCommutative:
+    @pytest.fixture(scope="class")
+    def group(self):
+        p = commutative.shared_modulus(64, random.Random(7))
+        ka = commutative.generate_key(p, random.Random(8))
+        kb = commutative.generate_key(p, random.Random(9))
+        return p, ka, kb
+
+    def test_commutes(self, group):
+        _, ka, kb = group
+        for v in (2, 99, 123456):
+            assert ka.encrypt(kb.encrypt(v)) == kb.encrypt(ka.encrypt(v))
+
+    def test_decrypt_inverts(self, group):
+        _, ka, _ = group
+        assert ka.decrypt(ka.encrypt(777)) == 777
+
+    def test_zero_rejected(self, group):
+        p, ka, _ = group
+        with pytest.raises(ValueError):
+            ka.encrypt(p)  # p % p == 0
+
+    def test_hash_to_group_in_range(self, group):
+        p, _, _ = group
+        for value in ("alice", 42, ("x", 1)):
+            h = commutative.hash_to_group(value, p)
+            assert 1 <= h < p
+
+    def test_hash_deterministic(self, group):
+        p, _, _ = group
+        assert commutative.hash_to_group("bob", p) == commutative.hash_to_group("bob", p)
+
+
+class TestSecretSharing:
+    def test_additive_round_trip(self):
+        rng = random.Random(1)
+        shares = additive_shares(12345, 5, 1 << 32, rng)
+        assert len(shares) == 5
+        assert additive_reconstruct(shares, 1 << 32) == 12345
+
+    def test_additive_single_share(self):
+        assert additive_shares(7, 1, 100)[0] == 7
+
+    def test_shamir_threshold_reconstructs(self):
+        shares = shamir_shares(999, 6, 3, rng=random.Random(2))
+        assert shamir_reconstruct(shares[:3]) == 999
+        assert shamir_reconstruct(shares[2:5]) == 999
+        assert shamir_reconstruct(shares) == 999
+
+    def test_shamir_below_threshold_wrong(self):
+        shares = shamir_shares(999, 6, 3, rng=random.Random(3))
+        assert shamir_reconstruct(shares[:2]) != 999
+
+    def test_shamir_validation(self):
+        with pytest.raises(ValueError):
+            shamir_shares(1, 3, 4)
+        with pytest.raises(ValueError):
+            shamir_reconstruct([])
+        with pytest.raises(ValueError, match="distinct"):
+            shamir_reconstruct([(1, 5), (1, 6)])

@@ -1,0 +1,106 @@
+"""Tests for generalization hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.data import SUPPRESSED, IntervalHierarchy, TaxonomyHierarchy
+
+
+class TestIntervalHierarchy:
+    def test_level_zero_identity(self):
+        h = IntervalHierarchy(base_width=5, n_levels=3)
+        values = [161.0, 174.5]
+        assert np.array_equal(h.generalize(values, 0), values)
+
+    def test_binning(self):
+        h = IntervalHierarchy(base_width=5, n_levels=3)
+        out = h.generalize([163.0, 167.0], 1)
+        assert out[0] == "[160,165)"
+        assert out[1] == "[165,170)"
+
+    def test_width_doubles(self):
+        h = IntervalHierarchy(base_width=5, n_levels=3)
+        assert h.width_at(1) == 5
+        assert h.width_at(2) == 10
+        assert h.width_at(3) == 20
+
+    def test_top_level_suppresses(self):
+        h = IntervalHierarchy(base_width=5, n_levels=2)
+        out = h.generalize([1.0, 2.0], h.levels - 1)
+        assert all(v == SUPPRESSED for v in out)
+
+    def test_levels_counts_raw_and_suppression(self):
+        h = IntervalHierarchy(base_width=5, n_levels=3)
+        assert h.levels == 5  # raw + 3 interval levels + suppression
+
+    def test_out_of_range_level(self):
+        h = IntervalHierarchy(base_width=5, n_levels=2)
+        with pytest.raises(ValueError, match="level"):
+            h.generalize([1.0], h.levels)
+
+    def test_same_bin_merges(self):
+        h = IntervalHierarchy(base_width=10, n_levels=2)
+        out = h.generalize([161.0, 168.0], 1)
+        assert out[0] == out[1] == "[160,170)"
+
+    def test_interval_bounds_round_trip(self):
+        h = IntervalHierarchy(base_width=5, n_levels=2)
+        label = h.generalize([163.0], 1)[0]
+        lo, hi = h.interval_bounds(label)
+        assert lo <= 163.0 < hi
+
+    def test_suppressed_bounds_are_infinite(self):
+        h = IntervalHierarchy(base_width=5)
+        lo, hi = h.interval_bounds(SUPPRESSED)
+        assert lo == float("-inf") and hi == float("inf")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IntervalHierarchy(base_width=0)
+        with pytest.raises(ValueError):
+            IntervalHierarchy(base_width=5, n_levels=0)
+
+    def test_origin_shifts_bins(self):
+        h = IntervalHierarchy(base_width=5, n_levels=1, origin=2.0)
+        assert h.generalize([2.0], 1)[0] == "[2,7)"
+
+
+class TestTaxonomyHierarchy:
+    @pytest.fixture
+    def geo(self):
+        return TaxonomyHierarchy(
+            {
+                "Tarragona": "Catalonia",
+                "Barcelona": "Catalonia",
+                "Catalonia": "Spain",
+                "Madrid": "Spain",
+            }
+        )
+
+    def test_levels(self, geo):
+        # Tarragona -> Catalonia -> Spain -> * is 4 levels.
+        assert geo.levels == 4
+
+    def test_single_step(self, geo):
+        assert geo.generalize_value("Tarragona", 1) == "Catalonia"
+        assert geo.generalize_value("Tarragona", 2) == "Spain"
+
+    def test_clamped_at_root(self, geo):
+        assert geo.generalize_value("Tarragona", 99) == SUPPRESSED
+
+    def test_unknown_value(self, geo):
+        assert geo.generalize_value("Paris", 0) == "Paris"
+        assert geo.generalize_value("Paris", 1) == SUPPRESSED
+
+    def test_vectorized(self, geo):
+        out = geo.generalize(["Tarragona", "Madrid"], 1)
+        assert list(out) == ["Catalonia", "Spain"]
+
+    def test_leaves_under(self, geo):
+        assert geo.leaves_under("Catalonia") == {"Tarragona", "Barcelona",
+                                                 "Catalonia"}
+        assert "Madrid" in geo.leaves_under(SUPPRESSED)
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            TaxonomyHierarchy({"a": "b", "b": "a"})

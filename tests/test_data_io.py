@@ -1,0 +1,54 @@
+"""Tests for CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, dataset_1, read_csv, write_csv
+from repro.data.roles import AttributeRole, Schema
+
+
+def test_round_trip_preserves_values(tmp_path, ds1):
+    path = tmp_path / "ds1.csv"
+    write_csv(ds1, path)
+    back = read_csv(path)
+    assert back.column_names == ds1.column_names
+    assert np.array_equal(back["height"], ds1["height"])
+    assert list(back["aids"]) == list(ds1["aids"])
+
+
+def test_numeric_columns_restored(tmp_path, ds1):
+    path = tmp_path / "ds1.csv"
+    write_csv(ds1, path)
+    back = read_csv(path)
+    assert back.is_numeric("blood_pressure")
+    assert not back.is_numeric("aids")
+
+
+def test_schema_can_be_attached(tmp_path, ds1):
+    path = tmp_path / "ds1.csv"
+    write_csv(ds1, path)
+    schema = Schema({"height": AttributeRole.QUASI_IDENTIFIER})
+    back = read_csv(path, schema=schema)
+    assert back.quasi_identifiers == ("height",)
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="no header"):
+        read_csv(path)
+
+
+def test_mixed_column_stays_categorical(tmp_path):
+    path = tmp_path / "mixed.csv"
+    ds = Dataset({"v": np.asarray(["1", "x", "3"], dtype=object)})
+    write_csv(ds, path)
+    back = read_csv(path)
+    assert not back.is_numeric("v")
+
+
+def test_empty_cell_keeps_column_categorical(tmp_path):
+    path = tmp_path / "gap.csv"
+    path.write_text("v\n1\n\n3\n")
+    back = read_csv(path)
+    assert not back.is_numeric("v")

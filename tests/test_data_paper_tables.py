@@ -1,0 +1,63 @@
+"""Tests pinning every property the paper asserts about Table 1."""
+
+import numpy as np
+
+from repro.data import PATIENT_SCHEMA, dataset_1, dataset_2, format_table_1
+from repro.sdc import anonymity_level, is_k_anonymous
+
+
+class TestDataset1:
+    def test_ten_records(self, ds1):
+        assert ds1.n_rows == 10
+
+    def test_spontaneously_3_anonymous(self, ds1):
+        """Paper: 'the dataset turns out to spontaneously satisfy
+        k-anonymity for k = 3 with respect to (height, weight)'."""
+        assert is_k_anonymous(ds1, 3, ["height", "weight"])
+        assert anonymity_level(ds1, ["height", "weight"]) == 3
+
+    def test_all_hypertensive(self, ds1):
+        """Paper: all patients suffered from hypertension (syst >= 140)."""
+        assert np.all(ds1["blood_pressure"] >= 140)
+
+    def test_aids_column_verbatim(self, ds1):
+        assert list(ds1["aids"]) == list("YNNNYNNYNN")
+
+    def test_schema_roles(self, ds1):
+        assert ds1.quasi_identifiers == ("height", "weight")
+        assert set(ds1.confidential_attributes) == {"blood_pressure", "aids"}
+
+
+class TestDataset2:
+    def test_ten_records(self, ds2):
+        assert ds2.n_rows == 10
+
+    def test_not_3_anonymous(self, ds2):
+        """Paper: 'The new dataset is no longer 3-anonymous'."""
+        assert not is_k_anonymous(ds2, 3, ["height", "weight"])
+        assert anonymity_level(ds2, ["height", "weight"]) == 1
+
+    def test_unique_small_heavy_individual(self, ds2):
+        """Paper: exactly one individual with height < 165 and
+        weight > 105, whose average blood pressure is 146."""
+        mask = (ds2["height"] < 165) & (ds2["weight"] > 105)
+        assert int(mask.sum()) == 1
+        assert float(ds2["blood_pressure"][mask][0]) == 146.0
+
+    def test_all_hypertensive(self, ds2):
+        assert np.all(ds2["blood_pressure"] >= 140)
+
+    def test_aids_column_verbatim(self, ds2):
+        assert list(ds2["aids"]) == list("NYNNNYNYNN")
+
+
+def test_format_table_1_renders_both():
+    text = format_table_1()
+    assert "data set no. 1" in text
+    assert "146" in text
+    assert len(text.splitlines()) == 12  # title + header + 10 rows
+
+
+def test_shared_schema_object():
+    assert dataset_1().schema == PATIENT_SCHEMA
+    assert dataset_2().schema == PATIENT_SCHEMA

@@ -1,0 +1,59 @@
+"""Tests for attribute roles and schemas."""
+
+import pytest
+
+from repro.data import AttributeRole, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        {
+            "name": AttributeRole.IDENTIFIER,
+            "height": AttributeRole.QUASI_IDENTIFIER,
+            "weight": AttributeRole.QUASI_IDENTIFIER,
+            "aids": AttributeRole.CONFIDENTIAL,
+            "notes": AttributeRole.NON_CONFIDENTIAL,
+        }
+    )
+
+
+def test_role_buckets(schema):
+    assert schema.identifiers == ("name",)
+    assert schema.quasi_identifiers == ("height", "weight")
+    assert schema.confidential == ("aids",)
+    assert schema.non_confidential == ("notes",)
+
+
+def test_contains_and_len(schema):
+    assert "height" in schema
+    assert "zzz" not in schema
+    assert len(schema) == 5
+
+
+def test_getitem_and_default(schema):
+    assert schema["aids"] is AttributeRole.CONFIDENTIAL
+    assert schema.role("zzz") is None
+    assert schema.role("zzz", AttributeRole.NON_CONFIDENTIAL) is (
+        AttributeRole.NON_CONFIDENTIAL
+    )
+
+
+def test_with_roles_is_nondestructive(schema):
+    updated = schema.with_roles({"notes": AttributeRole.CONFIDENTIAL})
+    assert updated["notes"] is AttributeRole.CONFIDENTIAL
+    assert schema["notes"] is AttributeRole.NON_CONFIDENTIAL
+
+
+def test_restricted_to(schema):
+    sub = schema.restricted_to(["height", "aids"])
+    assert set(sub) == {"height", "aids"}
+
+
+def test_equality(schema):
+    assert schema == Schema(schema.as_dict())
+    assert schema != Schema({})
+
+
+def test_repr_mentions_roles(schema):
+    assert "quasi-identifier" in repr(schema)

@@ -1,0 +1,109 @@
+"""Tests for the synthetic population generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    census,
+    horizontal_partition,
+    market_baskets,
+    patients,
+    sparse_clusters,
+    sparse_uniform,
+    vertical_partition,
+)
+
+
+class TestPatients:
+    def test_deterministic(self):
+        assert patients(50, seed=3) == patients(50, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert patients(50, seed=3) != patients(50, seed=4)
+
+    def test_all_hypertensive_floor(self, patients_300):
+        # Pressure has weight/age terms, but stays near-clinical range.
+        assert np.all(patients_300["blood_pressure"] >= 120)
+
+    def test_height_weight_correlated(self, patients_300):
+        r = np.corrcoef(patients_300["height"], patients_300["weight"])[0, 1]
+        assert r > 0.3
+
+    def test_pressure_has_signal(self, patients_300):
+        r = np.corrcoef(patients_300["weight"], patients_300["blood_pressure"])[0, 1]
+        assert r > 0.3
+
+    def test_schema(self, patients_300):
+        assert "height" in patients_300.quasi_identifiers
+        assert "blood_pressure" in patients_300.confidential_attributes
+
+    def test_aids_is_rare_binary(self, patients_300):
+        values = set(patients_300["aids"])
+        assert values <= {"Y", "N"}
+        assert (patients_300["aids"] == "Y").mean() < 0.3
+
+
+class TestCensus:
+    def test_columns(self, census_300):
+        assert set(census_300.column_names) >= {
+            "age", "zipcode", "sex", "education", "income", "disease"
+        }
+
+    def test_zipcode_cardinality(self):
+        data = census(500, seed=1, n_zipcodes=5)
+        assert len(set(data["zipcode"])) <= 5
+
+    def test_income_positive(self, census_300):
+        assert np.all(census_300["income"] > 0)
+
+    def test_deterministic(self):
+        assert census(40, seed=9) == census(40, seed=9)
+
+
+class TestSparse:
+    def test_clusters_shape(self):
+        data = sparse_clusters(100, 6, seed=0)
+        assert data.n_rows == 100
+        assert data.n_columns == 6
+
+    def test_uniform_bounds(self):
+        data = sparse_uniform(100, 3, low=-1, high=1, seed=0)
+        m = data.matrix()
+        assert m.min() >= -1 and m.max() <= 1
+
+    def test_all_quasi_identifiers(self):
+        data = sparse_uniform(10, 4)
+        assert len(data.quasi_identifiers) == 4
+
+
+class TestBasketsAndPartitions:
+    def test_baskets_are_frozensets(self):
+        baskets = market_baskets(50, seed=2)
+        assert len(baskets) == 50
+        assert all(isinstance(b, frozenset) for b in baskets)
+
+    def test_planted_pattern_frequent(self):
+        baskets = market_baskets(400, seed=2)
+        both = sum(1 for b in baskets if {"i0", "i1"} <= b)
+        assert both / len(baskets) > 0.2
+
+    def test_horizontal_partition_covers(self, patients_300):
+        parts = horizontal_partition(patients_300, 3, seed=0)
+        assert sum(p.n_rows for p in parts) == 300
+        ids = sorted(i for p in parts for i in p["patient_id"])
+        assert ids == sorted(patients_300["patient_id"])
+
+    def test_horizontal_partition_needs_party(self, patients_300):
+        with pytest.raises(ValueError):
+            horizontal_partition(patients_300, 0)
+
+    def test_vertical_partition(self, patients_300):
+        parts = vertical_partition(
+            patients_300, [["height", "weight"], ["blood_pressure"]]
+        )
+        assert parts[0].column_names == ("height", "weight")
+        assert parts[1].column_names == ("blood_pressure",)
+
+    def test_vertical_partition_rejects_overlap(self, patients_300):
+        with pytest.raises(ValueError, match="two parties"):
+            vertical_partition(patients_300, [["height"], ["height"]])

@@ -1,0 +1,157 @@
+"""Tests for the Dataset tabular substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeRole, Dataset, Schema
+
+
+@pytest.fixture
+def small():
+    return Dataset(
+        {
+            "a": [1.0, 2.0, 3.0],
+            "b": ["x", "y", "x"],
+            "c": [10, 20, 30],
+        },
+        schema=Schema({"a": AttributeRole.QUASI_IDENTIFIER,
+                       "c": AttributeRole.CONFIDENTIAL}),
+    )
+
+
+class TestConstruction:
+    def test_shape(self, small):
+        assert small.n_rows == 3
+        assert small.n_columns == 3
+        assert small.column_names == ("a", "b", "c")
+
+    def test_numeric_coercion(self, small):
+        assert small.column("c").dtype == np.float64
+        assert small.is_numeric("a")
+        assert not small.is_numeric("b")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            Dataset({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Dataset({"a": np.zeros((2, 2))})
+
+    def test_from_rows_round_trip(self, small):
+        rebuilt = Dataset.from_rows(small.column_names, small.to_rows())
+        assert rebuilt.to_rows() == small.to_rows()
+
+    def test_from_rows_mismatched_width(self):
+        with pytest.raises(ValueError, match="one value per column"):
+            Dataset.from_rows(["a", "b"], [(1,)])
+
+    def test_from_matrix(self):
+        ds = Dataset.from_matrix(np.arange(6).reshape(3, 2))
+        assert ds.column_names == ("x0", "x1")
+        assert ds.n_rows == 3
+
+    def test_from_matrix_name_mismatch(self):
+        with pytest.raises(ValueError, match="one name"):
+            Dataset.from_matrix(np.zeros((2, 2)), names=["only"])
+
+    def test_empty_dataset(self):
+        ds = Dataset.from_rows(["a", "b"], [])
+        assert ds.n_rows == 0
+        assert len(ds) == 0
+
+
+class TestAccess:
+    def test_unknown_column(self, small):
+        with pytest.raises(KeyError, match="no column named"):
+            small.column("zzz")
+
+    def test_getitem(self, small):
+        assert np.array_equal(small["a"], [1.0, 2.0, 3.0])
+
+    def test_row(self, small):
+        assert small.row(1) == (2.0, "y", 20.0)
+
+    def test_roles(self, small):
+        assert small.role("a") is AttributeRole.QUASI_IDENTIFIER
+        assert small.role("b") is AttributeRole.NON_CONFIDENTIAL
+        assert small.quasi_identifiers == ("a",)
+        assert small.confidential_attributes == ("c",)
+
+    def test_role_unknown_column(self, small):
+        with pytest.raises(KeyError):
+            small.role("zzz")
+
+
+class TestOperations:
+    def test_project_preserves_schema(self, small):
+        proj = small.project(["a"])
+        assert proj.column_names == ("a",)
+        assert proj.quasi_identifiers == ("a",)
+
+    def test_project_unknown(self, small):
+        with pytest.raises(KeyError, match="unknown columns"):
+            small.project(["a", "zzz"])
+
+    def test_drop(self, small):
+        assert small.drop(["b"]).column_names == ("a", "c")
+
+    def test_select_mask(self, small):
+        sel = small.select(np.array([True, False, True]))
+        assert sel.n_rows == 2
+        assert list(sel["b"]) == ["x", "x"]
+
+    def test_take_order(self, small):
+        taken = small.take([2, 0])
+        assert list(taken["a"]) == [3.0, 1.0]
+
+    def test_with_column_replaces(self, small):
+        new = small.with_column("a", [9.0, 9.0, 9.0])
+        assert new["a"][0] == 9.0
+        assert small["a"][0] == 1.0  # original untouched
+
+    def test_rename(self, small):
+        renamed = small.rename({"a": "alpha"})
+        assert "alpha" in renamed
+        assert renamed.quasi_identifiers == ("alpha",)
+
+    def test_vstack(self, small):
+        stacked = small.vstack(small)
+        assert stacked.n_rows == 6
+
+    def test_vstack_mismatch(self, small):
+        with pytest.raises(ValueError, match="share column names"):
+            small.vstack(small.project(["a"]))
+
+    def test_group_by(self, small):
+        groups = small.group_by(["b"])
+        assert set(groups) == {("x",), ("y",)}
+        assert list(groups[("x",)]) == [0, 2]
+
+    def test_copy_independent(self, small):
+        dup = small.copy()
+        dup.column("a")[0] = 99.0
+        assert small["a"][0] == 1.0
+
+    def test_equality(self, small):
+        assert small == small.copy()
+        assert small != small.drop(["b"])
+
+
+class TestNumericViews:
+    def test_matrix(self, small):
+        m = small.matrix(["a", "c"])
+        assert m.shape == (3, 2)
+        assert m[1, 1] == 20.0
+
+    def test_matrix_rejects_categorical(self, small):
+        with pytest.raises(TypeError, match="non-numeric"):
+            small.matrix(["b"])
+
+    def test_matrix_default_all_numeric(self, small):
+        assert small.matrix().shape == (3, 2)
+
+    def test_describe(self, small):
+        d = small.describe()
+        assert d["a"]["mean"] == pytest.approx(2.0)
+        assert "b" not in d

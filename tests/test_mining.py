@@ -1,0 +1,167 @@
+"""Tests for the mining substrate (trees, Apriori, naive Bayes, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.data import market_baskets, patients
+from repro.mining import (
+    DecisionTree,
+    GaussianNaiveBayes,
+    accuracy,
+    association_rules,
+    confusion_counts,
+    f1_score,
+    fit_from_distributions,
+    frequent_itemsets,
+    itemset_support,
+    train_test_split_indices,
+)
+
+
+class TestDecisionTree:
+    @pytest.fixture(scope="class")
+    def xor_free_problem(self):
+        """A cleanly separable 2-D problem."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=(400, 2))
+        y = np.asarray(x[:, 0] + x[:, 1] > 10, dtype=object)
+        return x, y
+
+    def test_separable_problem_learned(self, xor_free_problem):
+        x, y = xor_free_problem
+        tree = DecisionTree(max_depth=6).fit(x, y)
+        assert accuracy(y, tree.predict(x)) > 0.9
+
+    def test_generalizes(self, xor_free_problem):
+        x, y = xor_free_problem
+        tr, te = train_test_split_indices(len(y), 0.25, 0)
+        tree = DecisionTree(max_depth=6).fit(x[tr], y[tr])
+        assert accuracy(y[te], tree.predict(x[te])) > 0.85
+
+    def test_depth_limit(self, xor_free_problem):
+        x, y = xor_free_problem
+        tree = DecisionTree(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_pure_node_is_leaf(self):
+        x = np.zeros((20, 1))
+        y = np.asarray(["a"] * 20, dtype=object)
+        tree = DecisionTree().fit(x, y)
+        assert tree.depth() == 0
+        assert all(tree.predict(np.zeros((3, 1))) == "a")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 1)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((3, 2)), ["a", "b"])
+
+    def test_fit_from_distributions(self):
+        """The AS 'ByClass' route: reconstruct per class, then train."""
+        from repro.ppdm import NoiseModel, reconstruct_univariate
+        rng = np.random.default_rng(1)
+        lo = rng.normal(0, 1, 300)
+        hi = rng.normal(8, 1, 300)
+        model = NoiseModel("gaussian", 1.0)
+        dist_lo = reconstruct_univariate(lo + model.sample(300, rng), model, bins=30)
+        dist_hi = reconstruct_univariate(hi + model.sample(300, rng), model, bins=30)
+        tree = fit_from_distributions(
+            {"lo": (dist_lo, 300), "hi": (dist_hi, 300)},
+            samples_per_class=300, rng=2, max_depth=3,
+        )
+        x_test = np.array([[0.0], [8.0]])
+        pred = tree.predict(x_test)
+        assert pred[0] == "lo" and pred[1] == "hi"
+
+
+class TestApriori:
+    @pytest.fixture(scope="class")
+    def tx(self):
+        return market_baskets(300, seed=3)
+
+    def test_support_counts(self):
+        tx = [frozenset("ab"), frozenset("bc"), frozenset("abc")]
+        assert itemset_support(tx, {"b"}) == 1.0
+        assert itemset_support(tx, {"a", "b"}) == pytest.approx(2 / 3)
+        assert itemset_support([], {"a"}) == 0.0
+
+    def test_apriori_monotonicity(self, tx):
+        frequent = frequent_itemsets(tx, 0.1, max_size=3)
+        for itemset, support in frequent.items():
+            for item in itemset:
+                subset = itemset - {item}
+                if subset:
+                    assert frequent[subset] >= support - 1e-12
+
+    def test_planted_pair_found(self, tx):
+        frequent = frequent_itemsets(tx, 0.15, max_size=2)
+        assert frozenset({"i0", "i1"}) in frequent
+
+    def test_rules_meet_thresholds(self, tx):
+        rules = association_rules(tx, 0.12, 0.55, max_size=3)
+        assert rules
+        for rule in rules:
+            assert rule.support >= 0.12
+            assert rule.confidence >= 0.55
+
+    def test_rule_confidence_consistent(self, tx):
+        rules = association_rules(tx, 0.12, 0.55, max_size=3)
+        rule = rules[0]
+        sup_all = itemset_support(tx, rule.itemset)
+        sup_ant = itemset_support(tx, rule.antecedent)
+        assert rule.confidence == pytest.approx(sup_all / sup_ant)
+
+    def test_min_support_validation(self, tx):
+        with pytest.raises(ValueError):
+            frequent_itemsets(tx, 0.0)
+
+    def test_rule_str(self, tx):
+        rule = association_rules(tx, 0.12, 0.55)[0]
+        assert "->" in str(rule)
+
+
+class TestNaiveBayes:
+    def test_learns_patients_signal(self, patients_300):
+        x = patients_300.matrix(["weight", "age"])
+        y = np.asarray(
+            patients_300["blood_pressure"]
+            > np.median(patients_300["blood_pressure"]),
+            dtype=object,
+        )
+        tr, te = train_test_split_indices(300, 0.3, 1)
+        model = GaussianNaiveBayes().fit(x[tr], y[tr])
+        assert accuracy(y[te], model.predict(x[te])) > 0.6
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict(np.zeros((1, 1)))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(["a", "b"], ["a", "a"]) == 0.5
+        assert accuracy([], []) == 0.0
+
+    def test_accuracy_shape_check(self):
+        with pytest.raises(ValueError):
+            accuracy(["a"], ["a", "b"])
+
+    def test_confusion_and_f1(self):
+        y_true = ["p", "p", "n", "n"]
+        y_pred = ["p", "n", "p", "n"]
+        assert confusion_counts(y_true, y_pred, "p") == (1, 1, 1, 1)
+        assert f1_score(y_true, y_pred, "p") == pytest.approx(0.5)
+
+    def test_f1_degenerate(self):
+        assert f1_score(["n"], ["n"], positive="p") == 0.0
+
+    def test_split_partitions(self):
+        tr, te = train_test_split_indices(100, 0.3, 0)
+        assert len(tr) == 70 and len(te) == 30
+        assert sorted(np.concatenate([tr, te])) == list(range(100))
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, 1.5)

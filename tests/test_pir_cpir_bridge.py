@@ -1,0 +1,117 @@
+"""Tests for computational PIR and the PIR-SQL bridge."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_2, patients
+from repro.pir import (
+    LinearCPIR,
+    MatrixCPIR,
+    PrivateAggregateIndex,
+)
+
+
+class TestLinearCPIR:
+    @pytest.fixture(scope="class")
+    def pir(self):
+        return LinearCPIR([10, 20, 30, 40, 50], key_bits=128,
+                          rng=random.Random(0))
+
+    def test_retrieval(self, pir):
+        for i in range(5):
+            assert pir.retrieve(i) == (i + 1) * 10
+
+    def test_out_of_range(self, pir):
+        with pytest.raises(IndexError):
+            pir.retrieve(5)
+
+    def test_upstream_is_linear(self, pir):
+        before = pir.upstream_ciphertexts
+        pir.retrieve(2)
+        assert pir.upstream_ciphertexts - before == pir.n
+
+    def test_negative_records(self):
+        pir = LinearCPIR([-7, 3], key_bits=128, rng=random.Random(1))
+        assert pir.retrieve(0) == -7
+
+
+class TestMatrixCPIR:
+    def test_retrieval(self):
+        pir = MatrixCPIR(list(range(30)), key_bits=128, rng=random.Random(2))
+        for i in (0, 13, 29):
+            assert pir.retrieve(i) == i
+
+    def test_upstream_sublinear(self):
+        n = 64
+        linear = LinearCPIR(list(range(n)), key_bits=128, rng=random.Random(3))
+        matrix = MatrixCPIR(list(range(n)), key_bits=128, rng=random.Random(4))
+        linear.retrieve(5)
+        matrix.retrieve(5)
+        assert matrix.upstream_ciphertexts < linear.upstream_ciphertexts / 4
+
+
+class TestPrivateAggregateIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return PrivateAggregateIndex(
+            dataset_2(), ["height", "weight"], "blood_pressure",
+            edges={"height": [150, 165, 180, 200],
+                   "weight": [50, 80, 105, 130]},
+        )
+
+    def test_paper_count_query(self, index):
+        result = index.query({"height": (0, 165), "weight": (105, 1000)})
+        assert result.count == 1
+
+    def test_paper_avg_query(self, index):
+        """The Section 3 attack: AVG(blood_pressure) of the isolated
+        individual is 146."""
+        result = index.query({"height": (0, 165), "weight": (105, 1000)})
+        assert result.average == pytest.approx(146.0)
+
+    def test_unconstrained_query_counts_everyone(self, index):
+        result = index.query({})
+        assert result.count == 10
+
+    def test_sum_consistency(self, index):
+        result = index.query({})
+        assert result.total == pytest.approx(float(dataset_2()["blood_pressure"].sum()))
+
+    def test_empty_selection(self, index):
+        result = index.query({"height": (195, 200), "weight": (105, 130)})
+        assert result.count == 0
+        assert np.isnan(result.average)
+
+    def test_unknown_column_rejected(self, index):
+        with pytest.raises(KeyError):
+            index.query({"age": (0, 100)})
+
+    def test_boundary_cells_excluded(self, index):
+        """Predicates not aligned on published edges return partial cells
+        only — the straddling cell is excluded, never approximated."""
+        aligned = index.query({"height": (150, 165)})
+        narrower = index.query({"height": (150, 160)})
+        assert narrower.count == 0  # no cell fits inside [150, 160)
+        assert aligned.count >= 1
+
+    def test_server_sees_only_subsets(self, index):
+        index.query({"height": (0, 165), "weight": (105, 1000)}, rng=9)
+        q1, q2 = index.server_observations()
+        assert set(q1) ^ set(q2)  # they differ in exactly the target cell
+
+    def test_edges_validation(self):
+        with pytest.raises(ValueError, match="increasing"):
+            PrivateAggregateIndex(
+                dataset_2(), ["height"], "blood_pressure",
+                edges={"height": [10, 5]},
+            )
+
+    def test_values_outside_edges_clamped(self):
+        index = PrivateAggregateIndex(
+            dataset_2(), ["height"], "blood_pressure",
+            edges={"height": [160, 170, 180]},
+        )
+        # Every record lands somewhere; total count preserved.
+        assert index.query({}).count == 10

@@ -1,0 +1,82 @@
+"""Tests for information-theoretic PIR."""
+
+import numpy as np
+import pytest
+
+from repro.pir import SquareSchemePIR, TwoServerXorPIR
+
+
+class TestTwoServerXor:
+    @pytest.fixture(scope="class")
+    def pir(self):
+        return TwoServerXorPIR(list(range(0, 500, 7)))
+
+    def test_every_index_retrievable(self, pir):
+        for i in range(pir.n):
+            assert pir.retrieve_int(i, i) == i * 7
+
+    def test_negative_integers(self):
+        pir = TwoServerXorPIR([-5, 10, -300])
+        assert pir.retrieve_int(0, 1) == -5
+        assert pir.retrieve_int(2, 2) == -300
+
+    def test_bytes_blocks(self):
+        pir = TwoServerXorPIR([b"alpha", b"beta", b"gamma"])
+        assert pir.retrieve(1, 0).rstrip(b"\0") == b"beta"
+
+    def test_out_of_range(self, pir):
+        with pytest.raises(IndexError):
+            pir.retrieve(pir.n)
+
+    def test_queries_differ_in_exactly_target(self, pir):
+        pir.retrieve(13, 3)
+        s1, s2 = map(set, pir.last_queries)
+        assert s1 ^ s2 == {13}
+
+    def test_single_server_view_independent_of_target(self):
+        """The marginal distribution of server 1's query set must not
+        depend on the retrieved index: compare inclusion frequencies."""
+        pir = TwoServerXorPIR(list(range(16)))
+        rng = np.random.default_rng(0)
+        freq_a = np.zeros(16)
+        freq_b = np.zeros(16)
+        trials = 400
+        for t in range(trials):
+            pir.retrieve(0, rng)
+            for i in pir.last_queries[0]:
+                freq_a[i] += 1
+            pir.retrieve(7, rng)
+            for i in pir.last_queries[0]:
+                freq_b[i] += 1
+        # Both should hover around 1/2 inclusion for every index.
+        assert np.abs(freq_a / trials - 0.5).max() < 0.12
+        assert np.abs(freq_b / trials - 0.5).max() < 0.12
+
+    def test_communication_counters(self, pir):
+        before = pir.upstream_bits
+        pir.retrieve(0, 0)
+        assert pir.upstream_bits == before + 2 * pir.n
+
+
+class TestSquareScheme:
+    def test_correctness(self):
+        pir = SquareSchemePIR(list(range(100, 150)))
+        for i in (0, 7, 23, 49):
+            assert pir.retrieve_int(i, i) == 100 + i
+
+    def test_upstream_sublinear(self):
+        n = 400
+        linear = TwoServerXorPIR(list(range(n)))
+        square = SquareSchemePIR(list(range(n)))
+        linear.retrieve(5, 0)
+        square.retrieve(5, 0)
+        assert square.upstream_bits < linear.upstream_bits / 5
+
+    def test_non_square_n(self):
+        pir = SquareSchemePIR(list(range(7)))  # 3x3 grid with padding
+        for i in range(7):
+            assert pir.retrieve_int(i, i) == i
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            SquareSchemePIR([1, 2]).retrieve(2)

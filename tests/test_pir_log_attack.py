@@ -1,0 +1,91 @@
+"""Tests for the AOL-style query-log re-identification attack."""
+
+import numpy as np
+import pytest
+
+from repro.pir import (
+    QueryLog,
+    log_matching_attack,
+    make_user_population,
+    run_search_sessions,
+)
+
+
+@pytest.fixture(scope="module")
+def users():
+    return make_user_population(60, n_topics=15, seed=1)
+
+
+class TestPopulation:
+    def test_profiles_are_distributions(self, users):
+        for user in users:
+            assert user.topic_weights.sum() == pytest.approx(1.0)
+            assert np.all(user.topic_weights >= 0)
+
+    def test_profiles_are_peaky(self, users):
+        """Low concentration => identifying profiles."""
+        peak = np.mean([u.topic_weights.max() for u in users])
+        assert peak > 0.3
+
+    def test_deterministic(self):
+        a = make_user_population(5, seed=3)
+        b = make_user_population(5, seed=3)
+        assert all(
+            np.array_equal(x.topic_weights, y.topic_weights)
+            for x, y in zip(a, b)
+        )
+
+    def test_sampling_follows_profile(self, users):
+        rng = np.random.default_rng(0)
+        user = users[0]
+        draws = user.sample_queries(3000, rng)
+        top = int(np.argmax(user.topic_weights))
+        freq = draws.count(top) / len(draws)
+        assert freq == pytest.approx(float(user.topic_weights[top]), abs=0.05)
+
+
+class TestQueryLog:
+    def test_plaintext_log_records_topics(self, users):
+        log = run_search_sessions(users[:3], 10, use_pir=False, seed=2)
+        assert all(len(v) == 10 for v in log.entries.values())
+
+    def test_pir_log_is_empty_of_topics(self, users):
+        log = run_search_sessions(users[:3], 10, use_pir=True, seed=2)
+        assert all(len(v) == 0 for v in log.entries.values())
+
+    def test_histogram_normalized(self, users):
+        log = run_search_sessions(users[:1], 20, use_pir=False, seed=2)
+        hist = log.histogram("anon-0000", 15)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_histogram_of_unknown_pseudonym_is_uniform(self):
+        log = QueryLog()
+        hist = log.histogram("ghost", 10)
+        assert np.allclose(hist, 0.1)
+
+
+class TestAttack:
+    def test_plaintext_logs_reidentify(self, users):
+        """The AOL effect: query histories are fingerprints."""
+        log = run_search_sessions(users, 40, use_pir=False, seed=2)
+        report = log_matching_attack(log, users, 3)
+        assert report.reidentification_rate > 0.8
+
+    def test_pir_logs_are_at_chance(self, users):
+        log = run_search_sessions(users, 40, use_pir=True, seed=2)
+        report = log_matching_attack(log, users, 3)
+        assert report.reidentification_rate < 0.15
+
+    def test_more_queries_more_identifying(self, users):
+        short = log_matching_attack(
+            run_search_sessions(users, 3, seed=4), users, 5
+        )
+        long = log_matching_attack(
+            run_search_sessions(users, 60, seed=4), users, 5
+        )
+        assert long.reidentification_rate >= short.reidentification_rate
+
+    def test_chance_rate(self, users):
+        log = run_search_sessions(users, 5, use_pir=True, seed=2)
+        report = log_matching_attack(log, users, 3)
+        assert report.chance_rate == pytest.approx(1 / 60)

@@ -1,0 +1,63 @@
+"""Tests for the k-server XOR PIR generalization."""
+
+import numpy as np
+import pytest
+
+from repro.pir import MultiServerXorPIR
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_servers", [2, 3, 5])
+    def test_every_index(self, n_servers):
+        records = list(range(0, 120, 3))
+        pir = MultiServerXorPIR(records, n_servers=n_servers)
+        for i in range(0, len(records), 5):
+            assert pir.retrieve_int(i, i) == records[i]
+
+    def test_negative_and_bytes(self):
+        pir = MultiServerXorPIR([-9, b"hello", 12], n_servers=3)
+        assert pir.retrieve_int(0, 0) == -9
+        assert pir.retrieve(1, 1).rstrip(b"\0") == b"hello"
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            MultiServerXorPIR([1, 2], n_servers=3).retrieve(2)
+
+    def test_needs_two_servers(self):
+        with pytest.raises(ValueError):
+            MultiServerXorPIR([1], n_servers=1)
+
+
+class TestPrivacy:
+    def test_queries_xor_to_target(self):
+        pir = MultiServerXorPIR(list(range(32)), n_servers=4)
+        pir.retrieve(11, 0)
+        combined: set[int] = set()
+        for query in pir.last_queries:
+            combined ^= set(query)
+        assert combined == {11}
+
+    def test_proper_coalition_view_uniform(self):
+        """Any k-1 servers' joint view is independent of the target: the
+        per-index inclusion frequency of every proper subset's combined
+        view stays near 1/2 regardless of the retrieved index."""
+        pir = MultiServerXorPIR(list(range(16)), n_servers=3)
+        rng = np.random.default_rng(1)
+        freq = {0: np.zeros(16), 7: np.zeros(16)}
+        trials = 300
+        for target in freq:
+            for _ in range(trials):
+                pir.retrieve(target, rng)
+                # coalition of servers 0 and 1 (misses server 2's mask)
+                for i in pir.last_queries[0]:
+                    freq[target][i] += 0.5
+                for i in pir.last_queries[1]:
+                    freq[target][i] += 0.5
+        for target, counts in freq.items():
+            assert np.abs(counts / trials - 0.5).max() < 0.15
+
+    def test_communication_counters(self):
+        pir = MultiServerXorPIR(list(range(64)), n_servers=3)
+        pir.retrieve(5, 0)
+        assert pir.upstream_bits == 3 * 64
+        assert pir.downstream_bits == 8 * 3 * pir.block_size

@@ -1,0 +1,65 @@
+"""Tests for query profiling (the user-privacy meter)."""
+
+import numpy as np
+import pytest
+
+from repro.pir import (
+    ProfilingReport,
+    TwoServerXorPIR,
+    profile_custom,
+    profile_itpir,
+    profile_plaintext_retrieval,
+)
+
+
+class TestReport:
+    def test_plaintext_has_zero_privacy(self):
+        report = profile_plaintext_retrieval(32, trials=100)
+        assert report.success_rate == 1.0
+        assert report.user_privacy == 0.0
+
+    def test_pir_near_chance(self):
+        pir = TwoServerXorPIR(list(range(64)))
+        report = profile_itpir(pir, trials=300, rng=1)
+        assert report.success_rate < 0.08
+        assert report.user_privacy > 0.95
+
+    def test_single_record_degenerate(self):
+        report = ProfilingReport(1, 10, 10)
+        assert report.user_privacy == 0.0
+
+    def test_zero_trials(self):
+        assert ProfilingReport(10, 0, 0).success_rate == 0.0
+
+    def test_privacy_monotone_in_success(self):
+        low = ProfilingReport(100, 100, 2)
+        high = ProfilingReport(100, 100, 80)
+        assert low.user_privacy > high.user_privacy
+
+
+class TestCustomProfiling:
+    def test_leaky_mechanism_detected(self):
+        """A mechanism that leaks the target mod 4 gives the server a
+        measurable advantage over chance."""
+        rng_master = np.random.default_rng(2)
+
+        def run_query(target, rng):
+            return target % 4
+
+        def server_guess(view, rng):
+            candidates = [i for i in range(16) if i % 4 == view]
+            return int(rng.choice(candidates))
+
+        report = profile_custom(16, run_query, server_guess, trials=400, rng=3)
+        assert report.success_rate == pytest.approx(0.25, abs=0.06)
+        assert 0.6 < report.user_privacy < 0.9
+
+    def test_perfect_mechanism(self):
+        report = profile_custom(
+            16,
+            run_query=lambda target, rng: None,
+            server_guess=lambda view, rng: int(rng.integers(16)),
+            trials=300,
+            rng=4,
+        )
+        assert report.user_privacy > 0.9

@@ -1,0 +1,65 @@
+"""Tests for Agrawal-Srikant randomization and the noise model."""
+
+import numpy as np
+import pytest
+
+from repro.ppdm import AgrawalSrikantRandomizer, NoiseModel
+
+
+class TestNoiseModel:
+    def test_gaussian_density_integrates(self):
+        model = NoiseModel("gaussian", 2.0)
+        xs = np.linspace(-20, 20, 4001)
+        mass = np.trapezoid(model.density(xs), xs)
+        assert mass == pytest.approx(1.0, abs=1e-3)
+
+    def test_uniform_density(self):
+        model = NoiseModel("uniform", 4.0)
+        assert model.density(np.array([0.0]))[0] == pytest.approx(0.25)
+        assert model.density(np.array([2.1]))[0] == 0.0
+
+    def test_sample_statistics(self):
+        model = NoiseModel("gaussian", 3.0)
+        sample = model.sample(20000, np.random.default_rng(0))
+        assert sample.std() == pytest.approx(3.0, rel=0.05)
+        assert sample.mean() == pytest.approx(0.0, abs=0.1)
+
+    def test_uniform_sample_bounds(self):
+        model = NoiseModel("uniform", 4.0)
+        sample = model.sample(1000, np.random.default_rng(1))
+        assert np.all(np.abs(sample) <= 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel("cauchy", 1.0)
+        with pytest.raises(ValueError):
+            NoiseModel("gaussian", 0.0)
+
+
+class TestRandomizer:
+    def test_noise_models_published(self, patients_300, rng):
+        randomizer = AgrawalSrikantRandomizer(0.5)
+        randomizer.mask(patients_300, rng)
+        assert set(randomizer.noise_models) == {"height", "weight", "age"}
+        model = randomizer.noise_models["height"]
+        assert model.scale == pytest.approx(
+            0.5 * patients_300["height"].std()
+        )
+
+    def test_perturbation_matches_model(self, patients_300, rng):
+        randomizer = AgrawalSrikantRandomizer(1.0, kind="uniform")
+        release = randomizer.mask(patients_300, rng)
+        delta = release["height"] - patients_300["height"]
+        width = randomizer.noise_models["height"].scale
+        assert np.all(np.abs(delta) <= width / 2 + 1e-9)
+
+    def test_categorical_untouched(self, patients_300, rng):
+        randomizer = AgrawalSrikantRandomizer(0.5)
+        release = randomizer.mask(patients_300, rng)
+        assert np.array_equal(release["aids"], patients_300["aids"])
+
+    def test_explicit_columns(self, patients_300, rng):
+        randomizer = AgrawalSrikantRandomizer(0.5, columns=["height"])
+        release = randomizer.mask(patients_300, rng)
+        assert np.array_equal(release["weight"], patients_300["weight"])
+        assert list(randomizer.noise_models) == ["height"]

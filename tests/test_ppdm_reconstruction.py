@@ -1,0 +1,109 @@
+"""Tests for the AS distribution-reconstruction algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.ppdm import (
+    NoiseModel,
+    posterior_cells,
+    reconstruct_joint,
+    reconstruct_univariate,
+    reconstruction_error,
+)
+
+
+@pytest.fixture(scope="module")
+def bimodal():
+    """A sharply bimodal original sample — reconstruction must find both
+    modes that raw randomized data blur together."""
+    rng = np.random.default_rng(42)
+    return np.concatenate([
+        rng.normal(-5.0, 0.5, 400),
+        rng.normal(5.0, 0.5, 400),
+    ])
+
+
+class TestUnivariate:
+    def test_beats_naive_histogram(self, bimodal):
+        model = NoiseModel("gaussian", 2.0)
+        rng = np.random.default_rng(1)
+        randomized = bimodal + model.sample(bimodal.size, rng)
+        dist = reconstruct_univariate(randomized, model, bins=40)
+        err_rec = reconstruction_error(bimodal, dist)
+        naive_counts, _ = np.histogram(randomized, bins=dist.edges[0])
+        truth_counts, _ = np.histogram(bimodal, bins=dist.edges[0])
+        err_naive = 0.5 * np.abs(
+            truth_counts / truth_counts.sum()
+            - naive_counts / naive_counts.sum()
+        ).sum()
+        assert err_rec < err_naive / 2
+
+    def test_recovers_bimodality(self, bimodal):
+        model = NoiseModel("gaussian", 2.0)
+        randomized = bimodal + model.sample(
+            bimodal.size, np.random.default_rng(2)
+        )
+        dist = reconstruct_univariate(randomized, model, bins=40)
+        centers = dist.centers()
+        # Mass near the true modes must dominate mass near zero.
+        near_modes = dist.probabilities[np.abs(np.abs(centers) - 5) < 1].sum()
+        near_zero = dist.probabilities[np.abs(centers) < 1].sum()
+        assert near_modes > 5 * near_zero
+
+    def test_probabilities_normalized(self, bimodal):
+        model = NoiseModel("gaussian", 1.0)
+        randomized = bimodal + model.sample(
+            bimodal.size, np.random.default_rng(3)
+        )
+        dist = reconstruct_univariate(randomized, model, bins=30)
+        assert dist.probabilities.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(dist.probabilities >= 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct_univariate([], NoiseModel("gaussian", 1.0))
+
+    def test_marginal_of_univariate(self, bimodal):
+        model = NoiseModel("gaussian", 1.0)
+        randomized = bimodal[:100] + model.sample(100, np.random.default_rng(4))
+        dist = reconstruct_univariate(randomized, model, bins=10)
+        assert np.allclose(dist.marginal(0), dist.probabilities)
+
+
+class TestJoint:
+    def test_shape_and_normalization(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 10, size=(120, 3))
+        models = [NoiseModel("gaussian", 1.0)] * 3
+        w = x + np.column_stack([m.sample(120, rng) for m in models])
+        dist = reconstruct_joint(w, models, bins=4, max_iter=30)
+        assert dist.probabilities.shape == (4, 4, 4)
+        assert dist.probabilities.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            reconstruct_joint(np.zeros(5), [NoiseModel("gaussian", 1.0)])
+        with pytest.raises(ValueError, match="one noise model"):
+            reconstruct_joint(np.zeros((5, 2)), [NoiseModel("gaussian", 1.0)])
+
+    def test_cell_index_clipping(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0, 1, size=(50, 2))
+        models = [NoiseModel("gaussian", 0.1)] * 2
+        dist = reconstruct_joint(x, models, bins=3, max_iter=5)
+        assert dist.cell_index([-100, -100]) == (0, 0)
+        assert dist.cell_index([100, 100]) == (2, 2)
+
+    def test_posterior_cells_confidence(self):
+        rng = np.random.default_rng(7)
+        # Two tight clusters, tiny noise: MAP cells must be near-certain.
+        x = np.vstack([
+            rng.normal(0, 0.05, size=(40, 2)),
+            rng.normal(5, 0.05, size=(40, 2)),
+        ])
+        models = [NoiseModel("gaussian", 0.2)] * 2
+        w = x + np.column_stack([m.sample(80, rng) for m in models])
+        dist = reconstruct_joint(w, models, bins=4, max_iter=40)
+        cells = posterior_cells(w, models, dist)
+        confidences = [c for _, c in cells]
+        assert np.mean(confidences) > 0.9

@@ -1,0 +1,108 @@
+"""Tests for randomized response and association-rule hiding."""
+
+import numpy as np
+import pytest
+
+from repro.data import market_baskets, patients
+from repro.mining import association_rules, itemset_support
+from repro.ppdm import (
+    RandomizedResponse,
+    estimate_proportion,
+    hide_rules,
+    per_record_posterior,
+    randomize_binary,
+    rule_is_visible,
+    side_effects,
+)
+
+
+class TestRandomizedResponse:
+    def test_estimator_unbiased(self):
+        rng = np.random.default_rng(0)
+        truth = rng.random(20000) < 0.3
+        reports = randomize_binary(truth, 0.8, rng)
+        est = estimate_proportion(reports, 0.8)
+        assert est.proportion == pytest.approx(0.3, abs=0.02)
+
+    def test_variance_shrinks_with_p(self):
+        rng = np.random.default_rng(1)
+        truth = rng.random(5000) < 0.3
+        strong = estimate_proportion(randomize_binary(truth, 0.95, rng), 0.95)
+        weak = estimate_proportion(randomize_binary(truth, 0.6, rng), 0.6)
+        assert strong.variance < weak.variance
+
+    def test_p_half_rejected(self):
+        with pytest.raises(ValueError):
+            randomize_binary([True], 0.5)
+
+    def test_posterior_bounds(self):
+        post = per_record_posterior(True, 0.8, prior=0.1)
+        assert 0.1 < post < 1.0
+        assert per_record_posterior(True, 0.5 + 1e-13, 0.1) == pytest.approx(0.1, abs=1e-6)
+
+    def test_masking_method_targets_yn_columns(self):
+        pop = patients(200, seed=1)
+        release = RandomizedResponse(0.7).mask(pop, np.random.default_rng(2))
+        assert set(release["aids"]) <= {"Y", "N"}
+        flipped = np.mean(release["aids"] != pop["aids"])
+        assert 0.1 < flipped < 0.5
+
+    def test_numeric_columns_untouched(self):
+        pop = patients(100, seed=1)
+        release = RandomizedResponse(0.7).mask(pop, np.random.default_rng(3))
+        assert np.array_equal(release["height"], pop["height"])
+
+
+class TestRuleHiding:
+    @pytest.fixture(scope="class")
+    def mined(self):
+        tx = market_baskets(300, seed=5)
+        rules = association_rules(tx, 0.15, 0.6, max_size=3)
+        return tx, rules
+
+    def test_sensitive_rule_hidden(self, mined):
+        tx, rules = mined
+        sensitive = rules[:1]
+        result = hide_rules(tx, sensitive, 0.15, 0.6)
+        assert result.all_hidden
+        assert not rule_is_visible(result.transactions, sensitive[0], 0.15, 0.6)
+
+    def test_hidden_rule_not_mined_again(self, mined):
+        tx, rules = mined
+        sensitive = rules[:1]
+        result = hide_rules(tx, sensitive, 0.15, 0.6)
+        after = association_rules(result.transactions, 0.15, 0.6, max_size=3)
+        keys_after = {(r.antecedent, r.consequent) for r in after}
+        assert (sensitive[0].antecedent, sensitive[0].consequent) not in keys_after
+
+    def test_transaction_count_preserved(self, mined):
+        tx, rules = mined
+        result = hide_rules(tx, rules[:1], 0.15, 0.6)
+        assert len(result.transactions) == len(tx)
+
+    def test_removals_counted(self, mined):
+        tx, rules = mined
+        result = hide_rules(tx, rules[:1], 0.15, 0.6)
+        removed = sum(len(a) for a in tx) - sum(
+            len(a) for a in result.transactions
+        )
+        assert removed == result.removed_items > 0
+
+    def test_side_effects_reported(self, mined):
+        tx, rules = mined
+        sensitive = rules[:1]
+        result = hide_rules(tx, sensitive, 0.15, 0.6)
+        after = association_rules(result.transactions, 0.15, 0.6, max_size=3)
+        lost, ghost = side_effects(rules, after, sensitive)
+        sens_keys = {(r.antecedent, r.consequent) for r in sensitive}
+        assert all((r.antecedent, r.consequent) not in sens_keys for r in lost)
+
+    def test_budget_respected(self, mined):
+        tx, rules = mined
+        result = hide_rules(tx, rules[:1], 0.15, 0.6, max_removals_per_rule=1)
+        assert result.removed_items <= 1
+
+    def test_hiding_nothing(self, mined):
+        tx, _ = mined
+        result = hide_rules(tx, [], 0.15, 0.6)
+        assert result.all_hidden and result.removed_items == 0

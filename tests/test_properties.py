@@ -1,0 +1,319 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    invmod,
+    paillier,
+    shamir_reconstruct,
+    shamir_shares,
+)
+from repro.crypto.secret_sharing import additive_reconstruct, additive_shares
+from repro.data import Dataset
+from repro.pir import TwoServerXorPIR
+from repro.sdc import (
+    Microaggregation,
+    anonymity_level,
+    is_k_anonymous,
+    mdav_groups,
+    rank_swap_column,
+    univariate_microaggregation,
+)
+from repro.smc import ring_secure_sum
+
+# A module-level Paillier key so each example doesn't regenerate primes.
+_PUB, _PRIV = paillier.generate_keypair(bits=96, rng=random.Random(99))
+
+_slow = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestCryptoProperties:
+    @given(
+        m1=st.integers(min_value=0, max_value=10**9),
+        m2=st.integers(min_value=0, max_value=10**9),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_paillier_homomorphism(self, m1, m2, seed):
+        rng = random.Random(seed)
+        c = paillier.add(
+            _PUB,
+            paillier.encrypt(_PUB, m1, rng),
+            paillier.encrypt(_PUB, m2, rng),
+        )
+        assert paillier.decrypt(_PRIV, c) == (m1 + m2) % _PUB.n
+
+    @given(
+        m=st.integers(min_value=0, max_value=10**9),
+        k=st.integers(min_value=0, max_value=10**4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_paillier_scalar_mult(self, m, k, seed):
+        c = paillier.mul_plain(
+            _PUB, paillier.encrypt(_PUB, m, random.Random(seed)), k
+        )
+        assert paillier.decrypt(_PRIV, c) == (m * k) % _PUB.n
+
+    @given(
+        secret=st.integers(min_value=0, max_value=2**64),
+        n=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+        data=st.data(),
+    )
+    @_slow
+    def test_shamir_any_threshold_subset(self, secret, n, seed, data):
+        t = data.draw(st.integers(min_value=1, max_value=n))
+        shares = shamir_shares(secret, n, t, rng=random.Random(seed))
+        subset = data.draw(
+            st.permutations(shares).map(lambda p: p[:t])
+        )
+        assert shamir_reconstruct(subset) == secret
+
+    @given(
+        secret=st.integers(min_value=0, max_value=2**32),
+        n=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_additive_sharing(self, secret, n, seed):
+        shares = additive_shares(secret, n, 1 << 40, random.Random(seed))
+        assert additive_reconstruct(shares, 1 << 40) == secret % (1 << 40)
+
+    @given(
+        a=st.integers(min_value=1, max_value=10**6),
+        p=st.sampled_from([10007, 104729, (1 << 31) - 1]),
+    )
+    @_slow
+    def test_invmod_property(self, a, p):
+        assert a % p == 0 or a * invmod(a, p) % p == 1
+
+
+class TestSecureSumProperties:
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=2**32),
+            min_size=3, max_size=8,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_ring_sum_correct(self, values, seed):
+        assert ring_secure_sum(values, rng=random.Random(seed)) == sum(values)
+
+
+class TestPIRProperties:
+    @given(
+        records=st.lists(
+            st.integers(min_value=-(2**31), max_value=2**31),
+            min_size=1, max_size=40,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+        data=st.data(),
+    )
+    @_slow
+    def test_itpir_retrieves_any_index(self, records, seed, data):
+        pir = TwoServerXorPIR(records)
+        index = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+        assert pir.retrieve_int(index, seed) == records[index]
+
+
+class TestSdcProperties:
+    @given(
+        n=st.integers(min_value=4, max_value=80),
+        k=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_mdav_group_size_invariant(self, n, k, seed):
+        matrix = np.random.default_rng(seed).normal(size=(n, 2))
+        groups = mdav_groups(matrix, k)
+        sizes = [g.size for g in groups]
+        assert sum(sizes) == n
+        if n >= 2 * k:
+            assert all(k <= s <= 2 * k - 1 for s in sizes)
+
+    @given(
+        n=st.integers(min_value=6, max_value=60),
+        k=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_microaggregation_always_k_anonymous(self, n, k, seed):
+        """The [12] theorem as a property: for any data, microaggregating
+        the key attributes yields a k-anonymous release (when n >= k)."""
+        rng = np.random.default_rng(seed)
+        data = Dataset({"a": rng.normal(size=n), "b": rng.normal(size=n)})
+        release = Microaggregation(k, columns=["a", "b"]).mask(data)
+        if n >= k:
+            assert is_k_anonymous(release, min(k, n), ["a", "b"])
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=60,
+        ),
+        window=st.floats(min_value=1.0, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_rank_swap_preserves_multiset(self, values, window, seed):
+        swapped = rank_swap_column(
+            values, window, np.random.default_rng(seed)
+        )
+        assert sorted(swapped) == sorted(values)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=60,
+        ),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @_slow
+    def test_univariate_microagg_preserves_mean(self, values, k):
+        out = univariate_microaggregation(values, k)
+        np.testing.assert_allclose(
+            np.mean(out), np.mean(values), rtol=1e-9, atol=1e-6
+        )
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_anonymity_level_bounds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        data = Dataset({"a": rng.integers(0, 4, size=n).astype(float)})
+        level = anonymity_level(data, ["a"])
+        assert 1 <= level <= n
+
+
+class TestParserProperties:
+    @given(
+        col=st.sampled_from(["height", "weight", "blood_pressure"]),
+        op=st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+        value=st.integers(min_value=0, max_value=300),
+        agg=st.sampled_from(["COUNT", "SUM", "AVG", "MIN", "MAX"]),
+    )
+    @_slow
+    def test_parse_str_round_trip(self, col, op, value, agg):
+        from repro.qdb import parse_query
+        target = "*" if agg == "COUNT" else "blood_pressure"
+        text = f"SELECT {agg}({target}) WHERE {col} {op} {value}"
+        query = parse_query(text)
+        assert parse_query(str(query)) == query
+
+
+class TestPramProperties:
+    @given(
+        counts=st.lists(st.integers(min_value=1, max_value=50),
+                        min_size=2, max_size=6),
+        retention=st.floats(min_value=0.05, max_value=0.99),
+    )
+    @_slow
+    def test_invariant_matrix_property(self, counts, retention):
+        """t P = t for every column composition and retention level."""
+        from repro.sdc import invariant_matrix
+        column = [f"v{i}" for i, c in enumerate(counts) for _ in range(c)]
+        m = invariant_matrix(column, retention)
+        total = sum(counts)
+        t = np.array([
+            column.count(v) / total for v in m.values
+        ])
+        assert np.allclose(t @ m.matrix, t, atol=1e-9)
+        assert np.allclose(m.matrix.sum(axis=1), 1.0)
+        assert np.all(m.matrix >= -1e-12)
+
+
+class TestKeywordPirProperties:
+    @given(
+        mapping=st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=8),
+            st.integers(min_value=-(2**40), max_value=2**40),
+            min_size=1, max_size=24,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+        data=st.data(),
+    )
+    @_slow
+    def test_lookup_hits_and_misses(self, mapping, seed, data):
+        from repro.pir import KeywordPIR
+        pir = KeywordPIR(mapping)
+        key = data.draw(st.sampled_from(sorted(mapping)))
+        assert pir.lookup(key, seed) == mapping[key]
+        absent = key + "zz"
+        if absent not in mapping:
+            assert pir.lookup(absent, seed + 1) is None
+
+
+class TestIntersectionProperties:
+    @given(
+        labels_a=st.lists(st.integers(min_value=0, max_value=3),
+                          min_size=2, max_size=40),
+        data=st.data(),
+    )
+    @_slow
+    def test_self_intersection_never_reidentifies_beyond_singletons(
+        self, labels_a, data
+    ):
+        """Intersecting a release with itself re-identifies exactly its
+        own singletons — composition adds nothing."""
+        from repro.attacks import intersection_attack
+        from repro.sdc import uniqueness_rate
+        release = Dataset({"g": [float(v) for v in labels_a]})
+        report = intersection_attack(release, release, ["g"], ["g"])
+        assert report.reidentified_rate == pytest.approx(
+            uniqueness_rate(release, ["g"])
+        )
+
+
+class TestTabularProperties:
+    @given(
+        n=st.integers(min_value=20, max_value=120),
+        n_rows=st.integers(min_value=2, max_value=5),
+        n_cols=st.integers(min_value=2, max_value=5),
+        threshold=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_complementary_suppression_always_safe(
+        self, n, n_rows, n_cols, threshold, seed
+    ):
+        """For any random contingency table, after complementary
+        suppression the margin attack recovers nothing."""
+        from repro.qdb import margin_reconstruction_attack, protect_table
+        rng = np.random.default_rng(seed)
+        data = Dataset({
+            "r": rng.integers(0, n_rows, size=n).astype(float),
+            "c": rng.integers(0, n_cols, size=n).astype(float),
+        })
+        table = protect_table(data, "r", "c", threshold)
+        assert margin_reconstruction_attack(table) == {}
+
+    @given(
+        n=st.integers(min_value=10, max_value=80),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @_slow
+    def test_margins_never_suppressed(self, n, seed):
+        """Published margins always equal the true totals."""
+        from repro.qdb import protect_table
+        rng = np.random.default_rng(seed)
+        data = Dataset({
+            "r": rng.integers(0, 3, size=n).astype(float),
+            "c": rng.integers(0, 3, size=n).astype(float),
+        })
+        table = protect_table(data, "r", "c", 3)
+        assert table.row_margins.sum() == n
+        assert table.col_margins.sum() == n

@@ -1,0 +1,193 @@
+"""Tests for the statistical database engine and its policies."""
+
+import numpy as np
+import pytest
+
+from repro.data import patients
+from repro.qdb import (
+    Aggregate,
+    CamouflageIntervals,
+    Comparison,
+    NoisePerturbation,
+    Query,
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
+    TruePredicate,
+)
+
+
+@pytest.fixture
+def db(patients_300):
+    return StatisticalDatabase(patients_300)
+
+
+class TestUnprotected:
+    def test_exact_answers(self, db, patients_300):
+        answer = db.ask("SELECT AVG(blood_pressure) WHERE height > 150")
+        assert answer.ok
+        truth = patients_300["blood_pressure"][
+            patients_300["height"] > 150
+        ].mean()
+        assert answer.value == pytest.approx(truth)
+
+    def test_history_recorded(self, db):
+        db.ask("SELECT COUNT(*)")
+        db.ask("SELECT COUNT(*) WHERE height > 170")
+        assert db.queries_asked == 2
+        assert len(db.history) == 2
+        assert all(entry.answered for entry in db.history)
+
+
+class TestSizeControl:
+    def test_small_query_refused(self, patients_300):
+        db = StatisticalDatabase(patients_300, [QuerySetSizeControl(5)])
+        h = patients_300["height"][0]
+        w = patients_300["weight"][0]
+        a = patients_300["age"][0]
+        answer = db.ask(
+            f"SELECT SUM(blood_pressure) WHERE height = {h} "
+            f"AND weight = {w} AND age = {a}"
+        )
+        assert answer.refused
+        assert "too small" in answer.reason
+
+    def test_complement_query_refused(self, patients_300):
+        """|Q| > n - k is as dangerous as |Q| < k."""
+        db = StatisticalDatabase(patients_300, [QuerySetSizeControl(5)])
+        answer = db.ask("SELECT COUNT(*)")  # selects all n records
+        assert answer.refused
+        assert "too large" in answer.reason
+
+    def test_legal_query_answered(self, patients_300):
+        db = StatisticalDatabase(patients_300, [QuerySetSizeControl(5)])
+        answer = db.ask("SELECT AVG(blood_pressure) WHERE height > 170")
+        assert answer.ok
+
+    def test_refusals_counted(self, patients_300):
+        db = StatisticalDatabase(patients_300, [QuerySetSizeControl(5)])
+        db.ask("SELECT COUNT(*)")
+        assert db.queries_refused == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            QuerySetSizeControl(0)
+
+
+class TestSumAudit:
+    def test_difference_attack_blocked(self, patients_300):
+        """Q1 and Q2 differing in one record: answering both pins that
+        record's value; the audit must refuse the second."""
+        db = StatisticalDatabase(patients_300, [SumAuditPolicy()])
+        target_age = float(patients_300["age"][0])
+        a1 = db.ask(f"SELECT SUM(blood_pressure) WHERE age >= {target_age}")
+        # Not guaranteed unique; craft explicit difference instead:
+        h = float(patients_300["height"][0])
+        w = float(patients_300["weight"][0])
+        a2 = db.ask(
+            "SELECT SUM(blood_pressure) WHERE height > 0"
+        )
+        a3 = db.ask(
+            f"SELECT SUM(blood_pressure) WHERE NOT (height = {h} "
+            f"AND weight = {w} AND age = {patients_300['age'][0]})"
+        )
+        answered = [a for a in (a1, a2, a3) if a.ok]
+        refused = [a for a in (a1, a2, a3) if a.refused]
+        assert refused, "the audit must refuse at least one query"
+
+    def test_identical_repeats_allowed(self, patients_300):
+        db = StatisticalDatabase(patients_300, [SumAuditPolicy()])
+        q = "SELECT SUM(blood_pressure) WHERE height > 170"
+        assert db.ask(q).ok
+        assert db.ask(q).ok  # re-answering the same span adds nothing
+
+    def test_non_sum_queries_ignored(self, patients_300):
+        db = StatisticalDatabase(patients_300, [SumAuditPolicy()])
+        assert db.ask("SELECT MEDIAN(blood_pressure) WHERE height > 0").ok
+
+    def test_singleton_query_refused_outright(self, patients_300):
+        db = StatisticalDatabase(patients_300, [SumAuditPolicy()])
+        h = float(patients_300["height"][0])
+        w = float(patients_300["weight"][0])
+        a = float(patients_300["age"][0])
+        answer = db.ask(
+            f"SELECT SUM(blood_pressure) WHERE height = {h} "
+            f"AND weight = {w} AND age = {a}"
+        )
+        # A singleton query-set indicator IS a unit vector.
+        if patients_300.group_by(["height", "weight", "age"])[(h, w, a)].size == 1:
+            assert answer.refused
+
+
+class TestPerturbation:
+    def test_answers_noisy_but_close(self, patients_300):
+        db = StatisticalDatabase(
+            patients_300, [NoisePerturbation(sd=5.0)], seed=3
+        )
+        truth = StatisticalDatabase(patients_300).ask(
+            "SELECT SUM(blood_pressure) WHERE height > 170"
+        ).value
+        answer = db.ask("SELECT SUM(blood_pressure) WHERE height > 170")
+        assert answer.value != truth
+        assert abs(answer.value - truth) < 25  # 5 sigma
+
+    def test_counts_stay_integral_nonnegative(self, patients_300):
+        db = StatisticalDatabase(
+            patients_300, [NoisePerturbation(sd=4.0)], seed=4
+        )
+        answer = db.ask("SELECT COUNT(*) WHERE height > 210")
+        assert answer.value >= 0
+        assert answer.value == round(answer.value)
+
+    def test_laplace_variant(self, patients_300):
+        db = StatisticalDatabase(
+            patients_300, [NoisePerturbation(sd=2.0, kind="laplace")], seed=5
+        )
+        assert db.ask("SELECT AVG(blood_pressure) WHERE height > 160").ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoisePerturbation(sd=-1)
+        with pytest.raises(ValueError):
+            NoisePerturbation(kind="cauchy")
+
+
+class TestCamouflage:
+    def test_interval_contains_truth(self, patients_300):
+        truth = StatisticalDatabase(patients_300).ask(
+            "SELECT AVG(blood_pressure) WHERE height > 170"
+        ).value
+        db = StatisticalDatabase(patients_300, [CamouflageIntervals(3)])
+        answer = db.ask("SELECT AVG(blood_pressure) WHERE height > 170")
+        assert answer.value is None
+        lo, hi = answer.interval
+        assert lo <= truth <= hi
+
+    def test_count_interval(self, patients_300):
+        db = StatisticalDatabase(patients_300, [CamouflageIntervals(2)])
+        answer = db.ask("SELECT COUNT(*) WHERE height > 170")
+        lo, hi = answer.interval
+        assert hi - lo == 2
+
+    def test_sum_interval_widens_with_k(self, patients_300):
+        narrow = StatisticalDatabase(patients_300, [CamouflageIntervals(1)])
+        wide = StatisticalDatabase(patients_300, [CamouflageIntervals(5)])
+        q = "SELECT SUM(blood_pressure) WHERE height > 170"
+        n = narrow.ask(q).interval
+        w = wide.ask(q).interval
+        assert (w[1] - w[0]) > (n[1] - n[0])
+
+    def test_unsupported_aggregate_refused(self, patients_300):
+        db = StatisticalDatabase(patients_300, [CamouflageIntervals(2)])
+        answer = db.ask("SELECT MAX(blood_pressure) WHERE height > 170")
+        assert answer.refused
+
+
+class TestPolicyStacking:
+    def test_size_control_runs_before_perturbation(self, patients_300):
+        db = StatisticalDatabase(
+            patients_300,
+            [QuerySetSizeControl(5), NoisePerturbation(2.0)],
+        )
+        assert db.ask("SELECT COUNT(*)").refused  # size control fires first
+        assert db.ask("SELECT AVG(blood_pressure) WHERE height > 170").ok

@@ -1,0 +1,146 @@
+"""Tests for the general tracker, overlap control and keyword PIR."""
+
+import numpy as np
+import pytest
+
+from repro.data import patients
+from repro.pir import KeywordPIR
+from repro.qdb import (
+    Comparison,
+    GeneralTracker,
+    OverlapControl,
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
+    find_general_tracker,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return patients(200, seed=11)
+
+
+def _pin(pop, index):
+    return (
+        Comparison("height", "=", float(pop["height"][index]))
+        & Comparison("weight", "=", float(pop["weight"][index]))
+        & Comparison("age", "=", float(pop["age"][index]))
+    )
+
+
+class TestGeneralTracker:
+    def test_finds_legal_tracker(self, population):
+        db = StatisticalDatabase(population, [QuerySetSizeControl(5)])
+        predicate = find_general_tracker(population, db, 5, ["age"])
+        assert predicate is not None
+        size = int(predicate.mask(population).sum())
+        assert 10 <= size <= 190
+
+    def test_counts_arbitrary_predicates(self, population):
+        """Any count — even of a singleton — through legal queries only."""
+        db = StatisticalDatabase(population, [QuerySetSizeControl(5)])
+        tracker = GeneralTracker(
+            db, find_general_tracker(population, db, 5, ["age"])
+        )
+        pred = _pin(population, 0)
+        assert tracker.count(pred) == float(pred.mask(population).sum())
+        assert not tracker.refused
+
+    def test_population_size_recovered(self, population):
+        db = StatisticalDatabase(population, [QuerySetSizeControl(5)])
+        tracker = GeneralTracker(
+            db, find_general_tracker(population, db, 5, ["age"])
+        )
+        assert tracker.population_size() == 200
+
+    def test_sums_disclose_confidential_values(self, population):
+        db = StatisticalDatabase(population, [QuerySetSizeControl(5)])
+        tracker = GeneralTracker(
+            db, find_general_tracker(population, db, 5, ["age"])
+        )
+        pred = _pin(population, 0)
+        if float(pred.mask(population).sum()) == 1.0:
+            value = tracker.sum("blood_pressure", pred)
+            assert value == float(population["blood_pressure"][0])
+
+    def test_audit_stops_general_tracker(self, population):
+        db = StatisticalDatabase(
+            population, [QuerySetSizeControl(5), SumAuditPolicy()]
+        )
+        tracker = GeneralTracker(
+            db, find_general_tracker(population, db, 5, ["age"])
+        )
+        pred = _pin(population, 0)
+        tracker.count(pred)
+        result = tracker.sum("blood_pressure", pred)
+        assert tracker.refused or result is None
+
+    def test_no_tracker_in_tiny_database(self):
+        pop = patients(6, seed=1)
+        db = StatisticalDatabase(pop, [QuerySetSizeControl(3)])
+        assert find_general_tracker(pop, db, 3, ["age"]) is None
+
+
+class TestOverlapControl:
+    def test_near_duplicate_refused(self, population):
+        db = StatisticalDatabase(population, [OverlapControl(50)])
+        assert db.ask("SELECT SUM(blood_pressure) WHERE height > 170").ok
+        second = db.ask("SELECT SUM(blood_pressure) WHERE height > 169")
+        assert second.refused
+        assert "overlaps" in second.reason
+
+    def test_disjoint_queries_allowed(self, population):
+        db = StatisticalDatabase(population, [OverlapControl(10)])
+        assert db.ask("SELECT COUNT(*) WHERE height > 180").ok
+        assert db.ask("SELECT COUNT(*) WHERE height < 160").ok
+
+    def test_refused_queries_not_remembered(self, population):
+        db = StatisticalDatabase(
+            population, [QuerySetSizeControl(5), OverlapControl(300)]
+        )
+        db.ask("SELECT COUNT(*)")  # refused by size control
+        # The refused query's mask must not block future queries.
+        assert db.ask("SELECT COUNT(*) WHERE height > 170").ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverlapControl(-1)
+
+
+class TestKeywordPIR:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return KeywordPIR({f"P{i:03d}": i * 10 for i in range(50)})
+
+    def test_hit(self, index):
+        assert index.lookup("P007", 1) == 70
+        assert index.lookup("P049", 2) == 490
+        assert index.lookup("P000", 3) == 0
+
+    def test_miss_returns_none(self, index):
+        assert index.lookup("ZZZ", 4) is None
+        assert index.lookup("", 5) is None
+
+    def test_logarithmic_retrievals(self):
+        pir = KeywordPIR({f"k{i:04d}": i for i in range(256)})
+        pir.lookup("k0100", 0)
+        # ceil(log2(256)) + 1 = 9 retrievals, hit or miss.
+        assert pir.retrievals == 9
+        pir.lookup("nope", 1)
+        assert pir.retrievals == 18
+
+    def test_round_count_hides_membership(self):
+        """Hit and miss cost the same number of retrievals."""
+        pir = KeywordPIR({f"k{i}": i for i in range(30)})
+        pir.lookup("k5", 0)
+        hit_cost = pir.retrievals
+        pir.lookup("absent", 1)
+        assert pir.retrievals == 2 * hit_cost
+
+    def test_empty_index(self):
+        assert KeywordPIR({}).lookup("x") is None
+
+    def test_negative_values(self):
+        pir = KeywordPIR({"a": -42})
+        assert pir.lookup("a", 0) == -42

@@ -1,0 +1,147 @@
+"""Tests for the query AST and the SQL-ish parser."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.qdb import (
+    Aggregate,
+    Comparison,
+    Not,
+    ParseError,
+    Query,
+    TruePredicate,
+    parse_predicate,
+    parse_query,
+)
+
+
+class TestPredicates:
+    def test_comparison_mask(self, ds2):
+        mask = Comparison("height", "<", 165).mask(ds2)
+        assert list(np.flatnonzero(mask)) == [3, 9]
+
+    def test_equality_on_categorical(self, ds2):
+        mask = Comparison("aids", "=", "Y").mask(ds2)
+        assert mask.sum() == 3
+
+    def test_ordering_on_categorical_rejected(self, ds2):
+        with pytest.raises(TypeError):
+            Comparison("aids", "<", "Y").mask(ds2)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("x", "~", 1)
+
+    def test_boolean_algebra(self, ds2):
+        p = Comparison("height", "<", 165) & Comparison("weight", ">", 105)
+        assert p.mask(ds2).sum() == 1
+        q = Comparison("height", "<", 160) | Comparison("height", ">", 185)
+        assert q.mask(ds2).sum() == 2
+        assert (~q).mask(ds2).sum() == 8
+
+    def test_true_predicate(self, ds2):
+        assert TruePredicate().mask(ds2).all()
+
+
+class TestQueryEvaluation:
+    def test_count(self, ds2):
+        q = Query(Aggregate.COUNT, None, Comparison("height", "<", 165))
+        assert q.evaluate(ds2) == 2.0
+
+    def test_aggregates(self, ds2):
+        pred = TruePredicate()
+        values = ds2["blood_pressure"]
+        assert Query(Aggregate.SUM, "blood_pressure", pred).evaluate(ds2) == values.sum()
+        assert Query(Aggregate.AVG, "blood_pressure", pred).evaluate(ds2) == pytest.approx(values.mean())
+        assert Query(Aggregate.MIN, "blood_pressure", pred).evaluate(ds2) == values.min()
+        assert Query(Aggregate.MAX, "blood_pressure", pred).evaluate(ds2) == values.max()
+        assert Query(Aggregate.MEDIAN, "blood_pressure", pred).evaluate(ds2) == np.median(values)
+
+    def test_empty_selection_nan(self, ds2):
+        q = Query(Aggregate.AVG, "blood_pressure", Comparison("height", ">", 999))
+        assert np.isnan(q.evaluate(ds2))
+
+    def test_non_count_requires_column(self):
+        with pytest.raises(ValueError):
+            Query(Aggregate.AVG, None, TruePredicate())
+
+    def test_query_set(self, ds2):
+        q = Query(Aggregate.COUNT, None, Comparison("weight", ">", 105))
+        assert list(q.query_set(ds2)) == [3]
+
+    def test_str_round_trippable(self, ds2):
+        q = Query(
+            Aggregate.AVG, "blood_pressure",
+            Comparison("height", "<", 165) & Comparison("weight", ">", 105),
+        )
+        reparsed = parse_query(str(q))
+        assert reparsed.evaluate(ds2) == q.evaluate(ds2)
+
+
+class TestParser:
+    def test_paper_queries(self, ds2):
+        q1 = parse_query(
+            "SELECT COUNT(*) FROM Dataset2 WHERE height < 165 AND weight > 105"
+        )
+        q2 = parse_query(
+            "SELECT AVG(blood_pressure) FROM Dataset2 "
+            "WHERE height < 165 AND weight > 105"
+        )
+        assert q1.evaluate(ds2) == 1.0
+        assert q2.evaluate(ds2) == 146.0
+
+    def test_case_insensitive_keywords(self, ds2):
+        q = parse_query("select count(*) where height < 165")
+        assert q.evaluate(ds2) == 2.0
+
+    def test_precedence_not_and_or(self, ds2):
+        q = parse_query(
+            "SELECT COUNT(*) WHERE NOT height < 165 AND weight > 100 "
+            "OR aids = 'Y'"
+        )
+        manual = (
+            (~Comparison("height", "<", 165) & Comparison("weight", ">", 100))
+            | Comparison("aids", "=", "Y")
+        )
+        assert q.evaluate(ds2) == float(manual.mask(ds2).sum())
+
+    def test_parentheses(self, ds2):
+        q = parse_query(
+            "SELECT COUNT(*) WHERE NOT (height < 165 OR weight > 100)"
+        )
+        assert q.evaluate(ds2) == float(
+            (~(Comparison("height", "<", 165)
+               | Comparison("weight", ">", 100))).mask(ds2).sum()
+        )
+
+    def test_quoted_strings(self, ds2):
+        q = parse_query("SELECT COUNT(*) WHERE aids = 'Y'")
+        assert q.evaluate(ds2) == 3.0
+        q2 = parse_query('SELECT COUNT(*) WHERE aids = "N"')
+        assert q2.evaluate(ds2) == 7.0
+
+    def test_bareword_literal(self, ds2):
+        q = parse_query("SELECT COUNT(*) WHERE aids = Y")
+        assert q.evaluate(ds2) == 3.0
+
+    def test_without_from_or_where(self, ds2):
+        assert parse_query("SELECT COUNT(*)").evaluate(ds2) == 10.0
+
+    def test_parse_predicate_helper(self, ds2):
+        p = parse_predicate("height >= 180 AND aids = 'N'")
+        assert p.mask(ds2).sum() == 2
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT",
+        "SELECT FOO(*)",
+        "SELECT COUNT(*) WHERE",
+        "SELECT COUNT(*) WHERE height <",
+        "SELECT COUNT(*) WHERE height < 10 trailing",
+        "SELECT COUNT(*) WHERE (height < 10",
+        "SELECT COUNT *",
+    ])
+    def test_malformed_queries(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)

@@ -1,0 +1,110 @@
+"""Tests for random-sample-queries control and variance aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.data import patients
+from repro.qdb import (
+    Aggregate,
+    QuerySetSizeControl,
+    RandomSampleQueries,
+    StatisticalDatabase,
+    SumAuditPolicy,
+    tracker_success_rate,
+)
+from repro.sdc import equivalence_classes
+
+
+@pytest.fixture(scope="module")
+def population():
+    return patients(250, seed=3)
+
+
+class TestVarianceAggregates:
+    def test_variance_exact_unprotected(self, population):
+        db = StatisticalDatabase(population)
+        value = db.ask("SELECT VARIANCE(blood_pressure) WHERE height > 0").value
+        assert value == pytest.approx(float(population["blood_pressure"].var()))
+
+    def test_stddev_is_sqrt_variance(self, population):
+        db = StatisticalDatabase(population)
+        var = db.ask("SELECT VARIANCE(age) WHERE height > 160").value
+        sd = db.ask("SELECT STDDEV(age) WHERE height > 160").value
+        assert sd == pytest.approx(np.sqrt(var))
+
+    def test_parser_accepts_variance(self, population):
+        from repro.qdb import parse_query
+        query = parse_query("SELECT VARIANCE(age) WHERE height > 150")
+        assert query.aggregate is Aggregate.VARIANCE
+
+    def test_audit_covers_variance(self, population):
+        """A VARIANCE difference attack must be refused like a SUM one."""
+        db = StatisticalDatabase(population, [SumAuditPolicy()])
+        h = float(population["height"][0])
+        w = float(population["weight"][0])
+        a = float(population["age"][0])
+        db.ask("SELECT VARIANCE(blood_pressure) WHERE height > 0")
+        second = db.ask(
+            f"SELECT VARIANCE(blood_pressure) WHERE NOT (height = {h} "
+            f"AND weight = {w} AND age = {a})"
+        )
+        if population.group_by(["height", "weight", "age"])[(h, w, a)].size == 1:
+            assert second.refused
+
+
+class TestRandomSampleQueries:
+    def test_repeat_queries_identical(self, population):
+        """The sample is query-set-deterministic: averaging cannot help."""
+        db = StatisticalDatabase(population, [RandomSampleQueries(0.8)])
+        q = "SELECT SUM(blood_pressure) WHERE height > 170"
+        values = {db.ask(q).value for _ in range(5)}
+        assert len(values) == 1
+
+    def test_answers_near_truth(self, population):
+        db = StatisticalDatabase(population, [RandomSampleQueries(0.9)])
+        q = "SELECT COUNT(*) WHERE height > 170"
+        truth = db.true_answer(q)
+        answer = db.ask(q).value
+        assert abs(answer - truth) < 0.2 * truth
+
+    def test_different_query_sets_sample_differently(self, population):
+        db = StatisticalDatabase(population, [RandomSampleQueries(0.7)])
+        a = db.ask("SELECT SUM(blood_pressure) WHERE height > 170").value
+        b = db.ask("SELECT SUM(blood_pressure) WHERE height >= 170").value
+        # Almost surely different samples and hence different errors.
+        truth_a = db.true_answer("SELECT SUM(blood_pressure) WHERE height > 170")
+        truth_b = db.true_answer("SELECT SUM(blood_pressure) WHERE height >= 170")
+        assert (a - truth_a) != pytest.approx(b - truth_b, abs=1e-9)
+
+    def test_defeats_tracker(self, population):
+        unique = [
+            cls.indices[0]
+            for cls in equivalence_classes(population, ["height", "weight"])
+            if cls.size == 1
+            and (population["height"] == population["height"][cls.indices[0]]).sum() >= 6
+        ][:8]
+        rate = tracker_success_rate(
+            lambda: StatisticalDatabase(
+                population,
+                [QuerySetSizeControl(5), RandomSampleQueries(0.9)],
+            ),
+            population, ["height", "weight"], "blood_pressure",
+            unique, tolerance=2.0,
+        )
+        assert rate <= 0.15
+
+    def test_full_fraction_is_exact(self, population):
+        db = StatisticalDatabase(population, [RandomSampleQueries(1.0)])
+        q = "SELECT AVG(blood_pressure) WHERE height > 160"
+        assert db.ask(q).value == pytest.approx(db.true_answer(q))
+
+    def test_unsupported_aggregates_passthrough(self, population):
+        db = StatisticalDatabase(population, [RandomSampleQueries(0.8)])
+        q = "SELECT MEDIAN(blood_pressure) WHERE height > 160"
+        assert db.ask(q).value == pytest.approx(db.true_answer(q))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSampleQueries(0.0)
+        with pytest.raises(ValueError):
+            RandomSampleQueries(1.5)

@@ -1,0 +1,164 @@
+"""Tests for tabular cell suppression, MSU risk and multiplicative noise."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import minimal_sample_uniques
+from repro.data import Dataset, census, patients
+from repro.qdb import (
+    FrequencyTable,
+    margin_reconstruction_attack,
+    protect_table,
+)
+from repro.sdc import MultiplicativeNoise
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return census(300, seed=6)
+
+
+class TestFrequencyTable:
+    def test_counts_sum_to_population(self, pop):
+        table = FrequencyTable.from_microdata(pop, "education", "disease")
+        assert table.counts.sum() == 300
+        assert table.row_margins.sum() == 300
+        assert table.col_margins.sum() == 300
+
+    def test_cell_values(self, pop):
+        table = FrequencyTable.from_microdata(pop, "sex", "disease")
+        i = table.row_values.index("M")
+        j = table.col_values.index("flu")
+        expected = int(np.sum(
+            (pop["sex"] == "M") & (pop["disease"] == "flu")
+        ))
+        assert table.counts[i, j] == expected
+
+    def test_published_cell_none_when_suppressed(self, pop):
+        table = FrequencyTable.from_microdata(pop, "sex", "disease")
+        table.suppressed.add((0, 0))
+        assert table.published_cell(0, 0) is None
+        assert table.published()[0][0] is None
+
+    def test_format_marks_suppressed(self, pop):
+        table = protect_table(pop, "education", "disease", 3)
+        text = table.format()
+        assert "x" in text
+        assert "total" in text
+
+
+class TestSuppression:
+    def test_primary_targets_small_cells(self, pop):
+        table = FrequencyTable.from_microdata(pop, "education", "disease")
+        primary = table.primary_suppress(3)
+        for (i, j) in primary:
+            assert 0 < table.counts[i, j] < 3
+        # Zero cells are not suppressed (they are public knowledge anyway).
+        for i in range(len(table.row_values)):
+            for j in range(len(table.col_values)):
+                if table.counts[i, j] == 0:
+                    assert (i, j) not in primary
+
+    def test_primary_alone_is_breakable(self, pop):
+        """The margin attack recovers every primarily suppressed cell."""
+        table = FrequencyTable.from_microdata(pop, "education", "disease")
+        primary = table.primary_suppress(3)
+        recovered = margin_reconstruction_attack(table)
+        assert set(recovered) == primary
+        for cell, value in recovered.items():
+            assert value == int(table.counts[cell])
+
+    def test_complementary_defeats_the_attack(self, pop):
+        table = protect_table(pop, "education", "disease", 3)
+        assert margin_reconstruction_attack(table) == {}
+
+    def test_complementary_is_additive(self, pop):
+        plain = FrequencyTable.from_microdata(pop, "education", "disease")
+        primary = plain.primary_suppress(3)
+        protected = protect_table(pop, "education", "disease", 3)
+        assert primary <= protected.suppressed
+        assert len(protected.suppressed) > len(primary)
+
+    def test_threshold_validation(self, pop):
+        table = FrequencyTable.from_microdata(pop, "sex", "disease")
+        with pytest.raises(ValueError):
+            table.primary_suppress(0)
+
+    def test_no_small_cells_no_suppression(self):
+        data = Dataset({
+            "a": ["x"] * 10 + ["y"] * 10,
+            "b": ["p", "q"] * 10,
+        })
+        table = protect_table(data, "a", "b", 3)
+        assert table.suppressed == set()
+
+
+class TestMinimalSampleUniques:
+    def test_unique_single_attribute_is_msu(self):
+        data = Dataset({
+            "a": [1.0, 1.0, 2.0],
+            "b": [5.0, 6.0, 5.0],
+        })
+        report = minimal_sample_uniques(data, ["a", "b"], max_subset=2)
+        # Record 2 is unique on {a}; records 0/1 unique on {a,b} only...
+        assert ("a",) in report.minimal_uniques[2]
+
+    def test_minimality(self):
+        data = Dataset({
+            "a": [1.0, 2.0],
+            "b": [5.0, 6.0],
+        })
+        report = minimal_sample_uniques(data, ["a", "b"], max_subset=2)
+        for msus in report.minimal_uniques:
+            # A record unique on {a} must not also list {a, b}.
+            for m in msus:
+                assert len(m) == 1
+
+    def test_scores_favor_small_subsets(self):
+        data = Dataset({
+            "a": [1.0, 2.0, 2.0],
+            "b": [5.0, 6.0, 7.0],
+        })
+        report = minimal_sample_uniques(data, ["a", "b"], max_subset=2)
+        # Record 0 unique on {a} (score 2); records 1, 2 unique only via b.
+        assert report.scores[0] >= report.scores[1]
+
+    def test_no_uniques_no_risk(self):
+        data = Dataset({"a": [1.0, 1.0], "b": [2.0, 2.0]})
+        report = minimal_sample_uniques(data, ["a", "b"], max_subset=2)
+        assert report.risky_records.size == 0
+        assert report.mean_score == 0.0
+
+    def test_masking_lowers_msu_risk(self):
+        pop = patients(150, seed=1)
+        from repro.sdc import Microaggregation
+        masked = Microaggregation(5).mask(pop)
+        raw = minimal_sample_uniques(pop, ["height", "weight"], 2)
+        safe = minimal_sample_uniques(masked, ["height", "weight"], 2)
+        assert safe.mean_score < raw.mean_score
+
+    def test_validation(self):
+        data = Dataset({"a": [1.0]})
+        with pytest.raises(ValueError):
+            minimal_sample_uniques(data, ["a"], max_subset=0)
+
+
+class TestMultiplicativeNoise:
+    def test_relative_perturbation(self, rng):
+        pop = patients(400, seed=2)
+        release = MultiplicativeNoise(0.1).mask(pop, rng)
+        ratio = release["height"] / pop["height"]
+        assert ratio.std() == pytest.approx(0.1, abs=0.03)
+        assert ratio.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_large_values_perturbed_more(self, rng):
+        data = Dataset({"v": [10.0] * 200 + [1000.0] * 200})
+        release = MultiplicativeNoise(0.1, columns=["v"]).mask(data, rng)
+        delta = np.abs(release["v"] - data["v"])
+        small = delta[:200].mean()
+        large = delta[200:].mean()
+        assert large > 10 * small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiplicativeNoise(-0.1)

@@ -1,0 +1,73 @@
+"""Tests for condensation masking."""
+
+import numpy as np
+import pytest
+
+from repro.sdc import Condensation, group_statistics
+from repro.sdc.microaggregation import mdav_groups
+
+
+class TestGroupStatistics:
+    def test_moments(self):
+        matrix = np.array([[0.0, 0.0], [2.0, 2.0], [4.0, 4.0]])
+        stats = group_statistics(matrix, [np.arange(3)])
+        assert np.allclose(stats[0].mean, [2.0, 2.0])
+        assert stats[0].size == 3
+        assert stats[0].covariance.shape == (2, 2)
+
+    def test_singleton_group_zero_cov(self):
+        matrix = np.array([[1.0, 2.0]])
+        stats = group_statistics(matrix, [np.array([0])])
+        assert np.allclose(stats[0].covariance, 0.0)
+
+
+class TestCondensationMasking:
+    def test_covariance_preserved(self, patients_300, rng):
+        """Paper Section 2 / [1]: 'the covariance structure of the original
+        attributes is preserved'."""
+        release = Condensation(10).mask(patients_300, rng)
+        cols = ["height", "weight", "age"]
+        cov_orig = np.cov(patients_300.matrix(cols), rowvar=False)
+        cov_rel = np.cov(release.matrix(cols), rowvar=False)
+        rel_err = np.linalg.norm(cov_orig - cov_rel) / np.linalg.norm(cov_orig)
+        assert rel_err < 0.15
+
+    def test_means_preserved_exactly_per_group(self, patients_300, rng):
+        release = Condensation(10).mask(patients_300, rng)
+        for col in ("height", "weight"):
+            assert release[col].mean() == pytest.approx(
+                patients_300[col].mean(), abs=1e-6
+            )
+
+    def test_values_are_synthetic(self, patients_300, rng):
+        release = Condensation(10).mask(patients_300, rng)
+        overlap = np.mean(
+            np.isin(release["height"], patients_300["height"])
+        )
+        assert overlap < 0.2  # almost no original value survives
+
+    def test_deterministic_given_rng(self, patients_300):
+        a = Condensation(5).mask(patients_300, np.random.default_rng(42))
+        b = Condensation(5).mask(patients_300, np.random.default_rng(42))
+        assert a == b
+
+    def test_confidential_untouched(self, patients_300, rng):
+        release = Condensation(5).mask(patients_300, rng)
+        assert np.array_equal(release["aids"], patients_300["aids"])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            Condensation(0)
+
+    def test_no_numeric_columns_noop(self):
+        from repro.data import Dataset
+        ds = Dataset({"c": ["a", "b"]})
+        assert Condensation(2, columns=[]).mask(ds) == ds
+
+
+def test_condensation_uses_same_grouping_as_mdav(patients_300):
+    """Condensation is 'a special case of multivariate microaggregation'
+    (paper Section 2): it partitions with the same MDAV groups."""
+    matrix = patients_300.matrix(["height", "weight", "age"])
+    groups = mdav_groups(matrix, 10)
+    assert all(10 <= g.size <= 19 for g in groups)

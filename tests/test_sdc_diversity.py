@@ -1,0 +1,88 @@
+"""Tests for p-sensitive k-anonymity and l-diversity."""
+
+import pytest
+
+from repro.data import AttributeRole, Dataset, Schema
+from repro.sdc import (
+    distinct_l_diversity,
+    homogeneous_classes,
+    is_p_sensitive_k_anonymous,
+    sensitivity_level,
+)
+
+
+@pytest.fixture
+def homogeneous():
+    """2-anonymous but with a class where 'disease' is constant."""
+    return Dataset(
+        {
+            "zip": ["A", "A", "B", "B"],
+            "disease": ["flu", "flu", "flu", "cancer"],
+        },
+        schema=Schema({
+            "zip": AttributeRole.QUASI_IDENTIFIER,
+            "disease": AttributeRole.CONFIDENTIAL,
+        }),
+    )
+
+
+def test_paper_footnote_3_scenario(homogeneous):
+    """k-anonymity alone does not protect when a class shares the
+    confidential value (paper footnote 3)."""
+    assert is_p_sensitive_k_anonymous(homogeneous, p=1, k=2)
+    assert not is_p_sensitive_k_anonymous(homogeneous, p=2, k=2)
+
+
+def test_sensitivity_level(homogeneous):
+    assert sensitivity_level(homogeneous) == 1
+
+
+def test_sensitivity_level_diverse():
+    ds = Dataset(
+        {
+            "zip": ["A", "A", "B", "B"],
+            "disease": ["flu", "cancer", "flu", "cancer"],
+        },
+        schema=Schema({
+            "zip": AttributeRole.QUASI_IDENTIFIER,
+            "disease": AttributeRole.CONFIDENTIAL,
+        }),
+    )
+    assert sensitivity_level(ds) == 2
+    assert is_p_sensitive_k_anonymous(ds, p=2, k=2)
+
+
+def test_l_diversity(homogeneous):
+    assert distinct_l_diversity(homogeneous, "disease", ["zip"]) == 1
+
+
+def test_homogeneous_classes_found(homogeneous):
+    keys = homogeneous_classes(homogeneous, "disease", ["zip"])
+    assert ("A",) in keys
+    assert ("B",) not in keys
+
+
+def test_p_sensitive_fails_without_k(homogeneous):
+    assert not is_p_sensitive_k_anonymous(homogeneous, p=1, k=3)
+
+
+def test_validation():
+    ds = Dataset({"zip": ["A"], "d": ["x"]})
+    with pytest.raises(ValueError, match="confidential"):
+        sensitivity_level(ds, confidential=None, quasi_identifiers=["zip"])
+    with pytest.raises(ValueError):
+        is_p_sensitive_k_anonymous(ds, p=0, k=1, confidential=["d"],
+                                   quasi_identifiers=["zip"])
+
+
+def test_empty_dataset_sensitivity():
+    ds = Dataset.from_rows(["zip", "d"], [])
+    assert sensitivity_level(ds, ["d"], ["zip"]) == 0
+    assert distinct_l_diversity(ds, "d", ["zip"]) == 0
+
+
+def test_dataset_1_aids_not_diverse(ds1):
+    """In the reconstructed Dataset 1, checking both confidential columns:
+    blood pressure varies within groups; AIDS has both values only in some."""
+    level = distinct_l_diversity(ds1, "blood_pressure", ["height", "weight"])
+    assert level >= 3  # all pressures distinct within groups

@@ -1,0 +1,106 @@
+"""Tests for global recoding and the Mondrian anonymizer."""
+
+import numpy as np
+import pytest
+
+from repro.data import IntervalHierarchy, SUPPRESSED
+from repro.sdc import (
+    GlobalRecoding,
+    MondrianKAnonymizer,
+    anonymity_level,
+    apply_recoding,
+    is_k_anonymous,
+    minimal_generalization,
+    mondrian_partition,
+)
+
+
+@pytest.fixture
+def hierarchies():
+    return {
+        "height": IntervalHierarchy(base_width=5, n_levels=3, origin=100),
+        "weight": IntervalHierarchy(base_width=5, n_levels=3, origin=0),
+    }
+
+
+class TestApplyRecoding:
+    def test_level_zero_identity(self, ds2, hierarchies):
+        out = apply_recoding(ds2, hierarchies, {"height": 0, "weight": 0})
+        assert np.array_equal(out["height"], ds2["height"])
+
+    def test_recoded_to_labels(self, ds2, hierarchies):
+        out = apply_recoding(ds2, hierarchies, {"height": 1, "weight": 0})
+        assert out["height"][0] == "[170,175)"
+
+
+class TestMinimalGeneralization:
+    def test_achieves_k(self, ds2, hierarchies):
+        result = minimal_generalization(ds2, hierarchies, k=3)
+        assert is_k_anonymous(result.data, 3, ["height", "weight"])
+
+    def test_already_anonymous_needs_nothing(self, ds1, hierarchies):
+        result = minimal_generalization(ds1, hierarchies, k=3)
+        assert result.total_level == 0
+        assert result.suppressed == ()
+
+    def test_minimality(self, ds2, hierarchies):
+        """No node with a smaller total level achieves 3-anonymity."""
+        result = minimal_generalization(ds2, hierarchies, k=3)
+        assert result.total_level > 0
+        for h_level in range(hierarchies["height"].levels):
+            for w_level in range(hierarchies["weight"].levels):
+                if h_level + w_level >= result.total_level:
+                    continue
+                recoded = apply_recoding(
+                    ds2, hierarchies,
+                    {"height": h_level, "weight": w_level},
+                )
+                assert not is_k_anonymous(recoded, 3, ["height", "weight"])
+
+    def test_suppression_budget_reduces_generalization(self, ds2, hierarchies):
+        tight = minimal_generalization(ds2, hierarchies, k=3, max_suppression=0.0)
+        loose = minimal_generalization(ds2, hierarchies, k=3, max_suppression=0.5)
+        assert loose.total_level <= tight.total_level
+
+    def test_invalid_k(self, ds2, hierarchies):
+        with pytest.raises(ValueError):
+            minimal_generalization(ds2, hierarchies, k=0)
+
+    def test_masking_wrapper(self, ds2, hierarchies, patients_300):
+        method = GlobalRecoding(hierarchies, k=3)
+        release = method.mask(ds2)
+        assert is_k_anonymous(release, 3, ["height", "weight"])
+
+
+class TestMondrianPartition:
+    def test_leaf_sizes(self):
+        matrix = np.random.default_rng(0).normal(size=(97, 3))
+        for k in (2, 5, 10):
+            leaves = mondrian_partition(matrix, k)
+            assert all(leaf.size >= k for leaf in leaves)
+            assert sum(leaf.size for leaf in leaves) == 97
+
+    def test_single_leaf_small_input(self):
+        matrix = np.zeros((3, 2))
+        assert len(mondrian_partition(matrix, 5)) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            mondrian_partition(np.zeros((5, 2)), 0)
+
+    def test_constant_data_one_leaf(self):
+        matrix = np.ones((20, 2))
+        assert len(mondrian_partition(matrix, 5)) == 1
+
+
+class TestMondrianMasking:
+    def test_k_anonymity(self, patients_300):
+        release = MondrianKAnonymizer(5).mask(patients_300)
+        assert anonymity_level(release, ["height", "weight", "age"]) >= 5
+
+    def test_finer_than_global_recoding(self, patients_300):
+        """Mondrian (local) should lose less information than heavy global
+        recoding — its leaf means stay close to the records."""
+        release = MondrianKAnonymizer(5).mask(patients_300)
+        err = np.abs(release["height"] - patients_300["height"]).mean()
+        assert err < patients_300["height"].std()

@@ -1,0 +1,81 @@
+"""Tests for k-anonymity verification."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.sdc import (
+    anonymity_level,
+    class_size_histogram,
+    equivalence_classes,
+    is_k_anonymous,
+    violating_indices,
+)
+
+
+class TestEquivalenceClasses:
+    def test_partition_is_exact(self, ds1):
+        classes = equivalence_classes(ds1, ["height", "weight"])
+        covered = sorted(i for c in classes for i in c.indices)
+        assert covered == list(range(ds1.n_rows))
+
+    def test_sizes(self, ds1):
+        sizes = sorted(c.size for c in equivalence_classes(ds1, ["height", "weight"]))
+        assert sizes == [3, 3, 4]
+
+    def test_default_schema_qi(self, ds1):
+        # Schema marks height/weight as key attributes.
+        assert len(equivalence_classes(ds1)) == 3
+
+    def test_no_qi_raises(self):
+        ds = Dataset({"x": [1.0, 2.0]})
+        with pytest.raises(ValueError, match="quasi-identifier"):
+            equivalence_classes(ds)
+
+
+class TestAnonymityLevel:
+    def test_dataset_1_is_3(self, ds1):
+        assert anonymity_level(ds1) == 3
+
+    def test_dataset_2_is_1(self, ds2):
+        assert anonymity_level(ds2) == 1
+
+    def test_empty_dataset(self):
+        ds = Dataset.from_rows(["a"], [])
+        assert anonymity_level(ds, ["a"]) == 0
+
+    def test_monotone_in_k(self, ds1):
+        assert is_k_anonymous(ds1, 1)
+        assert is_k_anonymous(ds1, 3)
+        assert not is_k_anonymous(ds1, 4)
+
+    def test_invalid_k(self, ds1):
+        with pytest.raises(ValueError):
+            is_k_anonymous(ds1, 0)
+
+    def test_empty_is_trivially_anonymous(self):
+        ds = Dataset.from_rows(["a"], [])
+        assert is_k_anonymous(ds, 5, ["a"])
+
+
+class TestViolations:
+    def test_dataset_2_violators(self, ds2):
+        bad = violating_indices(ds2, 3, ["height", "weight"])
+        # Every record outside the one 3-group violates.
+        assert 3 in bad  # the unique (160, 110) record
+        assert 0 not in bad  # member of the (170, 72) x3 group
+
+    def test_dataset_1_no_violators(self, ds1):
+        assert violating_indices(ds1, 3).size == 0
+
+    def test_histogram(self, ds2):
+        hist = class_size_histogram(ds2, ["height", "weight"])
+        assert hist[1] == 5  # five singleton key combinations
+        assert hist[3] == 1
+
+
+class TestSingleColumn:
+    def test_categorical_key(self):
+        ds = Dataset({"city": ["A", "A", "B", "B", "B"]})
+        assert anonymity_level(ds, ["city"]) == 2
+        assert is_k_anonymous(ds, 2, ["city"])

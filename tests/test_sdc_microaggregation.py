@@ -1,0 +1,115 @@
+"""Tests for MDAV microaggregation."""
+
+import numpy as np
+import pytest
+
+from repro.sdc import (
+    Microaggregation,
+    anonymity_level,
+    is_k_anonymous,
+    mdav_groups,
+    univariate_microaggregation,
+)
+
+
+class TestMdavGroups:
+    def test_group_sizes(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(53, 3))
+        for k in (2, 3, 5, 10):
+            groups = mdav_groups(matrix, k)
+            sizes = [g.size for g in groups]
+            assert all(k <= s <= 2 * k - 1 for s in sizes)
+            assert sum(sizes) == 53
+
+    def test_partition_is_exact(self):
+        matrix = np.random.default_rng(1).normal(size=(40, 2))
+        groups = mdav_groups(matrix, 4)
+        indices = sorted(i for g in groups for i in g)
+        assert indices == list(range(40))
+
+    def test_small_n_single_group(self):
+        matrix = np.arange(6, dtype=float).reshape(3, 2)
+        groups = mdav_groups(matrix, 5)
+        assert len(groups) == 1
+        assert groups[0].size == 3
+
+    def test_empty(self):
+        assert mdav_groups(np.empty((0, 2)), 3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            mdav_groups(np.zeros((5, 1)), 0)
+
+    def test_groups_are_spatially_coherent(self):
+        """Two well-separated blobs must not be mixed in one group."""
+        rng = np.random.default_rng(2)
+        left = rng.normal(0, 0.1, size=(10, 2))
+        right = rng.normal(100, 0.1, size=(10, 2))
+        matrix = np.vstack([left, right])
+        for group in mdav_groups(matrix, 5):
+            sides = set(i < 10 for i in group)
+            assert len(sides) == 1
+
+
+class TestMicroaggregationMasking:
+    def test_k_anonymity_guarantee(self, patients_300):
+        """Paper Section 2 / [12]: microaggregation with minimum group
+        size k on the key attributes guarantees k-anonymity."""
+        for k in (3, 5, 10):
+            release = Microaggregation(k).mask(patients_300)
+            assert is_k_anonymous(
+                release, k, ["height", "weight", "age"]
+            )
+
+    def test_group_means_preserved(self, patients_300):
+        release = Microaggregation(5).mask(patients_300)
+        for col in ("height", "weight", "age"):
+            assert release[col].mean() == pytest.approx(
+                patients_300[col].mean()
+            )
+
+    def test_confidential_untouched(self, patients_300):
+        release = Microaggregation(5).mask(patients_300)
+        assert np.array_equal(
+            release["blood_pressure"], patients_300["blood_pressure"]
+        )
+
+    def test_explicit_columns(self, patients_300):
+        release = Microaggregation(5, columns=["height"]).mask(patients_300)
+        assert not np.array_equal(release["height"], patients_300["height"])
+        assert np.array_equal(release["weight"], patients_300["weight"])
+
+    def test_no_numeric_qi_is_noop(self):
+        from repro.data import Dataset
+        ds = Dataset({"city": ["A", "B"]})
+        out = Microaggregation(2, columns=[]).mask(ds)
+        assert out == ds
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            Microaggregation(0)
+
+
+class TestUnivariate:
+    def test_groups_of_k_consecutive_ranks(self):
+        values = np.array([5.0, 1.0, 9.0, 2.0, 8.0, 4.0])
+        out = univariate_microaggregation(values, 3)
+        # sorted: 1,2,4 | 5,8,9 -> means 7/3 and 22/3
+        assert sorted(set(np.round(out, 4))) == [
+            pytest.approx(7 / 3, abs=1e-4), pytest.approx(22 / 3, abs=1e-4)
+        ]
+
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=101)
+        out = univariate_microaggregation(values, 4)
+        assert out.mean() == pytest.approx(values.mean())
+
+    def test_small_input_collapses_to_mean(self):
+        values = np.array([1.0, 2.0, 3.0])
+        out = univariate_microaggregation(values, 5)
+        assert np.allclose(out, 2.0)
+
+    def test_empty(self):
+        assert univariate_microaggregation([], 3).size == 0

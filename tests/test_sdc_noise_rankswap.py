@@ -1,0 +1,90 @@
+"""Tests for noise addition and rank swapping."""
+
+import numpy as np
+import pytest
+
+from repro.sdc import (
+    CorrelatedNoise,
+    LaplaceNoise,
+    RankSwap,
+    UncorrelatedNoise,
+    rank_swap_column,
+)
+
+
+class TestUncorrelatedNoise:
+    def test_noise_scale(self, patients_300, rng):
+        release = UncorrelatedNoise(0.5).mask(patients_300, rng)
+        delta = release["height"] - patients_300["height"]
+        expected = 0.5 * patients_300["height"].std()
+        assert delta.std() == pytest.approx(expected, rel=0.2)
+        assert abs(delta.mean()) < expected / 3
+
+    def test_zero_noise_identity(self, patients_300, rng):
+        release = UncorrelatedNoise(0.0).mask(patients_300, rng)
+        assert np.array_equal(release["height"], patients_300["height"])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UncorrelatedNoise(-1)
+
+    def test_only_qi_columns_touched(self, patients_300, rng):
+        release = UncorrelatedNoise(0.5).mask(patients_300, rng)
+        assert np.array_equal(
+            release["blood_pressure"], patients_300["blood_pressure"]
+        )
+
+
+class TestCorrelatedNoise:
+    def test_correlations_roughly_preserved(self, patients_300, rng):
+        release = CorrelatedNoise(0.3).mask(patients_300, rng)
+        cols = ["height", "weight", "age"]
+        corr_orig = np.corrcoef(patients_300.matrix(cols), rowvar=False)
+        corr_rel = np.corrcoef(release.matrix(cols), rowvar=False)
+        assert np.abs(corr_orig - corr_rel).max() < 0.15
+
+    def test_alpha_zero_identity(self, patients_300, rng):
+        release = CorrelatedNoise(0.0).mask(patients_300, rng)
+        assert release == patients_300
+
+    def test_variance_inflated_by_alpha(self, patients_300, rng):
+        release = CorrelatedNoise(0.5).mask(patients_300, rng)
+        v_orig = patients_300["height"].var()
+        v_rel = release["height"].var()
+        assert v_rel == pytest.approx(1.5 * v_orig, rel=0.25)
+
+
+class TestLaplaceNoise:
+    def test_perturbs(self, patients_300, rng):
+        release = LaplaceNoise(0.3).mask(patients_300, rng)
+        assert not np.array_equal(release["height"], patients_300["height"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaplaceNoise(-0.1)
+
+
+class TestRankSwap:
+    def test_multiset_preserved(self, patients_300, rng):
+        """Rank swapping never changes the univariate distribution."""
+        release = RankSwap(15).mask(patients_300, rng)
+        for col in ("height", "weight", "age"):
+            assert sorted(release[col]) == sorted(patients_300[col])
+
+    def test_links_broken(self, patients_300, rng):
+        release = RankSwap(15).mask(patients_300, rng)
+        moved = np.mean(release["height"] != patients_300["height"])
+        assert moved > 0.5
+
+    def test_swap_window_respected(self, rng):
+        values = np.arange(100, dtype=float)
+        swapped = rank_swap_column(values, 10.0, rng)
+        # Ranks equal values here; no displacement may exceed the window.
+        assert np.abs(swapped - values).max() <= 10
+
+    def test_single_value(self, rng):
+        assert rank_swap_column([5.0], 10, rng)[0] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankSwap(0)

@@ -1,0 +1,166 @@
+"""Tests for PRAM and coarsening masks."""
+
+import numpy as np
+import pytest
+
+from repro.data import census
+from repro.sdc import (
+    Pram,
+    Rounding,
+    TopBottomCoding,
+    TransitionMatrix,
+    invariant_matrix,
+    retention_matrix,
+    unbiased_frequencies,
+)
+
+
+class TestTransitionMatrix:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            TransitionMatrix(("a", "b"), np.ones((2, 3)))
+        with pytest.raises(ValueError, match="sum to 1"):
+            TransitionMatrix(("a", "b"), np.array([[0.5, 0.4], [0.5, 0.5]]))
+        with pytest.raises(ValueError, match="non-negative"):
+            TransitionMatrix(("a", "b"), np.array([[1.5, -0.5], [0.0, 1.0]]))
+
+    def test_unknown_value(self):
+        m = retention_matrix(["a", "b"], 0.9)
+        with pytest.raises(KeyError):
+            m.index_of("z")
+
+    def test_apply_with_identity_matrix(self):
+        m = TransitionMatrix(("a", "b"), np.eye(2))
+        out = m.apply(["a", "b", "a"], np.random.default_rng(0))
+        assert list(out) == ["a", "b", "a"]
+
+
+class TestRetentionMatrix:
+    def test_diagonal(self):
+        m = retention_matrix(["a", "b", "c"], 0.7)
+        assert np.allclose(np.diag(m.matrix), 0.7)
+        assert np.allclose(m.matrix.sum(axis=1), 1.0)
+
+    def test_needs_two_categories(self):
+        with pytest.raises(ValueError):
+            retention_matrix(["only"], 0.5)
+
+    def test_retention_bounds(self):
+        with pytest.raises(ValueError):
+            retention_matrix(["a", "b"], 1.5)
+
+
+class TestInvariantMatrix:
+    def test_invariance_property(self):
+        """t P = t — the defining property of invariant PRAM."""
+        column = ["x"] * 70 + ["y"] * 25 + ["z"] * 5
+        m = invariant_matrix(column, 0.8)
+        t = np.array([0.70, 0.25, 0.05])
+        order = [m.values.index(v) for v in ("x", "y", "z")]
+        t_ordered = np.zeros(3)
+        t_ordered[order] = t
+        assert np.allclose(t_ordered @ m.matrix, t_ordered)
+
+    def test_rows_stochastic(self):
+        m = invariant_matrix(["a"] * 5 + ["b"] * 3, 0.6)
+        assert np.allclose(m.matrix.sum(axis=1), 1.0)
+        assert np.all(m.matrix >= 0)
+
+    def test_missing_value_rejected(self):
+        # invariant construction needs every value to occur
+        with pytest.raises(ValueError):
+            # build domain manually with a zero-frequency value
+            invariant_matrix([], 0.8)
+
+
+class TestPramMasking:
+    @pytest.fixture(scope="class")
+    def pop(self):
+        return census(2000, seed=2)
+
+    def test_frequencies_preserved_in_expectation(self, pop):
+        release = Pram(0.8, columns=["disease"]).mask(
+            pop, np.random.default_rng(1)
+        )
+        for value in set(pop["disease"]):
+            orig = float(np.mean(pop["disease"] == value))
+            rel = float(np.mean(release["disease"] == value))
+            assert rel == pytest.approx(orig, abs=0.03)
+
+    def test_records_actually_flip(self, pop):
+        release = Pram(0.8, columns=["disease"]).mask(
+            pop, np.random.default_rng(2)
+        )
+        flipped = float(np.mean(release["disease"] != pop["disease"]))
+        assert 0.05 < flipped < 0.5
+
+    def test_matrices_published(self, pop):
+        method = Pram(0.8, columns=["disease"])
+        method.mask(pop, np.random.default_rng(3))
+        assert "disease" in method.matrices
+
+    def test_default_targets_skip_identifiers(self, pop):
+        method = Pram(0.9)
+        targets = method._target_columns(pop)
+        assert "person_id" not in targets  # all-unique, identifier-like
+        assert "disease" in targets
+
+    def test_non_invariant_variant(self, pop):
+        method = Pram(0.7, columns=["sex"], invariant=False)
+        release = method.mask(pop, np.random.default_rng(4))
+        matrix = method.matrices["sex"]
+        assert np.allclose(np.diag(matrix.matrix), 0.7)
+        # Aggregate inversion recovers the original frequencies.
+        estimated = unbiased_frequencies(release["sex"], matrix)
+        truth = float(np.mean(pop["sex"] == "M"))
+        assert estimated["M"] == pytest.approx(truth, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pram(retention=-0.1)
+
+
+class TestTopBottomCoding:
+    def test_extremes_clipped(self, patients_300):
+        release = TopBottomCoding(0.1).mask(patients_300)
+        lo = np.quantile(patients_300["height"], 0.1)
+        hi = np.quantile(patients_300["height"], 0.9)
+        assert release["height"].min() >= lo - 1e-9
+        assert release["height"].max() <= hi + 1e-9
+
+    def test_interior_untouched(self, patients_300):
+        release = TopBottomCoding(0.05).mask(patients_300)
+        col = patients_300["height"]
+        lo, hi = np.quantile(col, [0.05, 0.95])
+        interior = (col > lo) & (col < hi)
+        assert np.array_equal(release["height"][interior], col[interior])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopBottomCoding(0.0)
+        with pytest.raises(ValueError):
+            TopBottomCoding(0.5)
+
+
+class TestRounding:
+    def test_values_on_grid(self, patients_300):
+        method = Rounding(0.5)
+        release = method.mask(patients_300)
+        base = method.base_for(patients_300, "height")
+        remainders = np.abs(
+            release["height"] / base - np.round(release["height"] / base)
+        )
+        assert np.all(remainders < 1e-9)
+
+    def test_coarsening_reduces_cardinality(self, patients_300):
+        release = Rounding(1.0).mask(patients_300)
+        assert len(set(release["height"])) < len(set(patients_300["height"]))
+
+    def test_explicit_base(self, patients_300):
+        method = Rounding(bases={"height": 10.0}, columns=["height"])
+        release = method.mask(patients_300)
+        assert np.all(release["height"] % 10 == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rounding(0.0)

@@ -1,0 +1,159 @@
+"""Tests for p-sensitive enforcement and the synthetic-copula release."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import homogeneity_attack
+from repro.data import AttributeRole, Dataset, Schema, patients
+from repro.sdc import (
+    Microaggregation,
+    PSensitiveMicroaggregation,
+    SyntheticRelease,
+    anonymity_level,
+    fit_copula,
+    is_p_sensitive_k_anonymous,
+    merge_to_p_sensitive,
+    sample_copula,
+    sensitivity_level,
+)
+
+QI = ["height", "weight", "age"]
+
+
+class TestPSensitiveMicroaggregation:
+    def test_achieves_both_properties(self, patients_300):
+        release = PSensitiveMicroaggregation(
+            k=5, p=2, confidential=["aids"]
+        ).mask(patients_300)
+        assert anonymity_level(release, QI) >= 5
+        assert sensitivity_level(release, ["aids"], QI) >= 2
+        assert is_p_sensitive_k_anonymous(
+            release, 2, 5, ["aids"], QI
+        )
+
+    def test_removes_homogeneity_victims(self, patients_300):
+        plain = Microaggregation(5).mask(patients_300)
+        sensitive = PSensitiveMicroaggregation(
+            5, 2, confidential=["aids"]
+        ).mask(patients_300)
+        before = homogeneity_attack(plain, "aids", QI).victims
+        after = homogeneity_attack(sensitive, "aids", QI).victims
+        assert before > 0
+        assert after == 0
+
+    def test_unachievable_p_rejected(self):
+        data = Dataset(
+            {"x": [1.0, 2.0, 3.0, 4.0], "c": ["a", "a", "a", "a"]},
+            schema=Schema({"x": AttributeRole.QUASI_IDENTIFIER,
+                           "c": AttributeRole.CONFIDENTIAL}),
+        )
+        with pytest.raises(ValueError, match="unachievable"):
+            PSensitiveMicroaggregation(2, 2).mask(data)
+
+    def test_needs_confidential(self):
+        data = Dataset({"x": [1.0, 2.0]},
+                       schema=Schema({"x": AttributeRole.QUASI_IDENTIFIER}))
+        with pytest.raises(ValueError, match="confidential"):
+            PSensitiveMicroaggregation(1, 1).mask(data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PSensitiveMicroaggregation(0, 1)
+        with pytest.raises(ValueError):
+            PSensitiveMicroaggregation(1, 0)
+
+
+class TestMergeHelper:
+    def test_merging_preserves_partition(self, patients_300):
+        from repro.sdc import mdav_groups
+        matrix = patients_300.matrix(QI)
+        groups = mdav_groups(matrix, 5)
+        merged = merge_to_p_sensitive(
+            patients_300, groups, ["aids"], 2, matrix
+        )
+        indices = sorted(i for g in merged for i in g)
+        assert indices == list(range(patients_300.n_rows))
+
+    def test_p_one_is_noop(self, patients_300):
+        from repro.sdc import mdav_groups
+        matrix = patients_300.matrix(QI)
+        groups = mdav_groups(matrix, 5)
+        merged = merge_to_p_sensitive(
+            patients_300, groups, ["aids"], 1, matrix
+        )
+        assert len(merged) == len(groups)
+
+
+class TestSyntheticRelease:
+    def test_no_original_record_survives(self, patients_300, rng):
+        release = SyntheticRelease().mask(patients_300, rng)
+        overlap = np.mean(
+            [
+                np.any(np.all(
+                    patients_300.matrix(QI) == release.matrix(QI)[i], axis=1
+                ))
+                for i in range(release.n_rows)
+            ]
+        )
+        assert overlap < 0.05
+
+    def test_correlations_preserved(self, patients_300, rng):
+        release = SyntheticRelease().mask(patients_300, rng)
+        corr_orig = np.corrcoef(patients_300.matrix(QI), rowvar=False)
+        corr_rel = np.corrcoef(release.matrix(QI), rowvar=False)
+        assert np.abs(corr_orig - corr_rel).max() < 0.15
+
+    def test_marginals_preserved(self, patients_300, rng):
+        release = SyntheticRelease().mask(patients_300, rng)
+        for col in QI:
+            for q in (0.25, 0.5, 0.75):
+                assert np.quantile(release[col], q) == pytest.approx(
+                    np.quantile(patients_300[col], q),
+                    abs=0.2 * patients_300[col].std(),
+                )
+
+    def test_values_within_observed_range(self, patients_300, rng):
+        release = SyntheticRelease().mask(patients_300, rng)
+        for col in QI:
+            assert release[col].min() >= patients_300[col].min() - 1e-9
+            assert release[col].max() <= patients_300[col].max() + 1e-9
+
+    def test_confidential_untouched(self, patients_300, rng):
+        release = SyntheticRelease().mask(patients_300, rng)
+        assert np.array_equal(
+            release["blood_pressure"], patients_300["blood_pressure"]
+        )
+
+    def test_tiny_dataset_passthrough(self, rng):
+        data = Dataset({"x": [1.0]})
+        assert SyntheticRelease(columns=["x"]).mask(data, rng) == data
+
+    def test_copula_round_trip_statistics(self, rng):
+        x = rng.multivariate_normal(
+            [0, 0], [[1, 0.8], [0.8, 1]], size=800
+        )
+        sorted_values, corr = fit_copula(x)
+        sample = sample_copula(sorted_values, corr, 800, rng)
+        assert np.corrcoef(sample, rowvar=False)[0, 1] == pytest.approx(
+            0.8, abs=0.1
+        )
+
+
+class TestHomogeneityAttack:
+    def test_counts_constant_classes(self):
+        data = Dataset(
+            {
+                "zip": ["A", "A", "B", "B"],
+                "d": ["flu", "flu", "flu", "cancer"],
+            },
+        )
+        report = homogeneity_attack(data, "d", ["zip"])
+        assert report.victims == 2
+        assert report.homogeneous_classes == 1
+        assert report.disclosure_rate == 0.5
+
+    def test_diverse_release_safe(self):
+        data = Dataset(
+            {"zip": ["A", "A"], "d": ["flu", "cancer"]},
+        )
+        assert homogeneity_attack(data, "d", ["zip"]).victims == 0

@@ -1,0 +1,123 @@
+"""Tests for disclosure-risk measures."""
+
+import numpy as np
+import pytest
+
+from repro.sdc import (
+    IdentityMasking,
+    Microaggregation,
+    UncorrelatedNoise,
+    assess_risk,
+    class_linkage_rate,
+    distance_linkage_rate,
+    interval_disclosure_rate,
+    unique_interval_disclosure_rate,
+    uniqueness_rate,
+)
+
+
+class TestDistanceLinkage:
+    def test_identity_release_fully_linkable(self, patients_300):
+        rate = distance_linkage_rate(
+            patients_300, patients_300, ["height", "weight", "age"]
+        )
+        assert rate > 0.95
+
+    def test_k_anonymous_release_caps_at_1_over_k(self, patients_300):
+        release = Microaggregation(5).mask(patients_300)
+        rate = distance_linkage_rate(
+            patients_300, release, ["height", "weight", "age"]
+        )
+        assert rate == pytest.approx(1 / 5, abs=0.06)
+
+    def test_noise_reduces_linkage(self, patients_300, rng):
+        release = UncorrelatedNoise(1.0).mask(patients_300, rng)
+        rate = distance_linkage_rate(
+            patients_300, release, ["height", "weight", "age"]
+        )
+        assert rate < 0.3
+
+    def test_intruder_noise_lowers_success(self, patients_300):
+        exact = distance_linkage_rate(
+            patients_300, patients_300, ["height", "weight"], 0.0
+        )
+        fuzzy = distance_linkage_rate(
+            patients_300, patients_300, ["height", "weight"], 1.0
+        )
+        assert fuzzy < exact
+
+    def test_misaligned_rejected(self, patients_300):
+        with pytest.raises(ValueError, match="row-aligned"):
+            distance_linkage_rate(
+                patients_300, patients_300.select(np.arange(10))
+            )
+
+    def test_empty(self):
+        from repro.data import Dataset
+        empty = Dataset.from_rows(["a"], [])
+        assert distance_linkage_rate(empty, empty, ["a"]) == 0.0
+
+
+class TestClassLinkage:
+    def test_unique_records(self, ds2):
+        assert class_linkage_rate(ds2, ["height", "weight"]) == pytest.approx(
+            7 / 10  # 7 classes (5 singletons, one pair, one triple) / 10
+        )
+
+    def test_k_anonymous(self, ds1):
+        rate = class_linkage_rate(ds1, ["height", "weight"])
+        assert rate == pytest.approx(3 / 10)  # 3 classes / 10 records
+
+
+class TestUniqueness:
+    def test_dataset_2(self, ds2):
+        assert uniqueness_rate(ds2, ["height", "weight"]) == pytest.approx(0.5)
+
+    def test_dataset_1(self, ds1):
+        assert uniqueness_rate(ds1, ["height", "weight"]) == 0.0
+
+
+class TestIntervalDisclosure:
+    def test_identity_is_total(self, patients_300):
+        assert interval_disclosure_rate(
+            patients_300, patients_300, ["height", "weight"]
+        ) == 1.0
+
+    def test_heavy_noise_low(self, patients_300, rng):
+        release = UncorrelatedNoise(2.0).mask(patients_300, rng)
+        rate = interval_disclosure_rate(
+            patients_300, release, ["height", "weight"], 10.0
+        )
+        assert rate < 0.2
+
+    def test_unique_variant_zero_for_k_anonymous(self, patients_300):
+        """k-Anonymous releases defeat interval re-identification: no
+        released key combination is unique."""
+        release = Microaggregation(5).mask(patients_300)
+        rate = unique_interval_disclosure_rate(
+            patients_300, release, ["height", "weight", "age"]
+        )
+        assert rate == 0.0
+
+    def test_unique_variant_positive_for_noise(self, patients_300, rng):
+        release = UncorrelatedNoise(0.3).mask(patients_300, rng)
+        rate = unique_interval_disclosure_rate(
+            patients_300, release, ["height", "weight", "age"]
+        )
+        assert rate > 0.2
+
+
+class TestAssessRisk:
+    def test_report_fields(self, patients_300, rng):
+        release = UncorrelatedNoise(0.5).mask(patients_300, rng)
+        report = assess_risk(patients_300, release,
+                             ["height", "weight", "age"])
+        assert 0 <= report.linkage_rate <= 1
+        assert 0 <= report.respondent_privacy <= 1
+
+    def test_identity_release_no_privacy(self, patients_300):
+        report = assess_risk(
+            patients_300, IdentityMasking().mask(patients_300),
+            ["height", "weight", "age"],
+        )
+        assert report.respondent_privacy < 0.05

@@ -1,0 +1,67 @@
+"""Tests for record and cell suppression."""
+
+import numpy as np
+import pytest
+
+from repro.data import SUPPRESSED
+from repro.sdc import (
+    CellSuppression,
+    RecordSuppression,
+    anonymity_level,
+    is_k_anonymous,
+    suppress_cells,
+    suppress_records,
+)
+
+
+class TestRecordSuppression:
+    def test_achieves_k(self, ds2):
+        out = suppress_records(ds2, 3, ["height", "weight"])
+        assert is_k_anonymous(out, 3, ["height", "weight"])
+
+    def test_only_violators_dropped(self, ds2):
+        out = suppress_records(ds2, 3, ["height", "weight"])
+        assert out.n_rows == 3  # only the (170, 72) x3 group survives
+        assert set(out["height"]) == {170.0}
+
+    def test_already_anonymous_untouched(self, ds1):
+        out = suppress_records(ds1, 3, ["height", "weight"])
+        assert out.n_rows == ds1.n_rows
+
+    def test_wrapper(self, ds2):
+        release = RecordSuppression(3, ["height", "weight"]).mask(ds2)
+        assert is_k_anonymous(release, 3, ["height", "weight"])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RecordSuppression(0)
+
+
+class TestCellSuppression:
+    def test_row_count_preserved(self, ds2):
+        out = suppress_cells(ds2, 3, ["height", "weight"])
+        assert out.n_rows == ds2.n_rows
+
+    def test_violators_blanked(self, ds2):
+        out = suppress_cells(ds2, 3, ["height", "weight"])
+        assert out["height"][3] == SUPPRESSED  # the unique (160, 110) record
+        assert out["weight"][3] == SUPPRESSED
+
+    def test_survivors_keep_values(self, ds2):
+        out = suppress_cells(ds2, 3, ["height", "weight"])
+        assert out["height"][0] == 170.0
+
+    def test_confidential_never_blanked(self, ds2):
+        out = suppress_cells(ds2, 3, ["height", "weight"])
+        assert np.array_equal(out["blood_pressure"], ds2["blood_pressure"])
+
+    def test_suppressed_records_form_one_class(self, ds2):
+        out = suppress_cells(ds2, 3, ["height", "weight"])
+        level = anonymity_level(out, ["height", "weight"])
+        # The blanked records all share ("*", "*"), the rest keep their group.
+        assert level >= 3
+
+    def test_wrapper_and_validation(self, ds2):
+        assert CellSuppression(3).mask(ds2).n_rows == ds2.n_rows
+        with pytest.raises(ValueError):
+            CellSuppression(0)

@@ -1,0 +1,142 @@
+"""Tests for information-loss measures."""
+
+import numpy as np
+import pytest
+
+from repro.sdc import (
+    Condensation,
+    IdentityMasking,
+    Microaggregation,
+    RecordSuppression,
+    UncorrelatedNoise,
+    assess_utility,
+    correlation_discrepancy,
+    covariance_discrepancy,
+    il1s,
+    mean_discrepancy,
+    quantile_distortion,
+)
+
+
+class TestIl1s:
+    def test_zero_for_identity(self, patients_300):
+        assert il1s(patients_300, patients_300) == 0.0
+
+    def test_grows_with_noise(self, patients_300):
+        low = UncorrelatedNoise(0.2).mask(patients_300, np.random.default_rng(1))
+        high = UncorrelatedNoise(1.0).mask(patients_300, np.random.default_rng(1))
+        assert il1s(patients_300, low) < il1s(patients_300, high)
+
+    def test_misaligned_rejected(self, patients_300):
+        short = patients_300.select(np.arange(10))
+        with pytest.raises(ValueError):
+            il1s(patients_300, short, ["height"])
+
+
+class TestMoments:
+    def test_mean_discrepancy_zero_for_microagg(self, patients_300):
+        release = Microaggregation(5).mask(patients_300)
+        assert mean_discrepancy(
+            patients_300, release, ["height", "weight"]
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_condensation_keeps_covariance(self, patients_300, rng):
+        release = Condensation(10).mask(patients_300, rng)
+        noise = UncorrelatedNoise(1.0).mask(
+            patients_300, np.random.default_rng(2)
+        )
+        cols = ["height", "weight", "age"]
+        assert covariance_discrepancy(patients_300, release, cols) < (
+            covariance_discrepancy(patients_300, noise, cols)
+        )
+
+    def test_correlation_discrepancy_range(self, patients_300, rng):
+        release = UncorrelatedNoise(0.8).mask(patients_300, rng)
+        d = correlation_discrepancy(patients_300, release,
+                                    ["height", "weight", "age"])
+        assert 0 < d < 1
+
+    def test_single_column_correlation_zero(self, patients_300):
+        assert correlation_discrepancy(
+            patients_300, patients_300, ["height"]
+        ) == 0.0
+
+
+class TestQuantiles:
+    def test_rankswap_preserves_quantiles(self, patients_300, rng):
+        from repro.sdc import RankSwap
+        release = RankSwap(15).mask(patients_300, rng)
+        assert quantile_distortion(
+            patients_300, release, ["height", "weight"]
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_data_distorts(self, patients_300):
+        shifted = patients_300.with_column(
+            "height", patients_300["height"] + 50
+        )
+        assert quantile_distortion(patients_300, shifted, ["height"]) > 1
+
+
+class TestDistinguishability:
+    QI = ["height", "weight", "age"]
+
+    def test_bounded(self, patients_300):
+        from repro.sdc import distinguishability
+        value = distinguishability(patients_300, patients_300, self.QI)
+        assert 0.5 <= value <= 1.0
+
+    def test_identity_near_chance(self, patients_300):
+        from repro.sdc import distinguishability
+        value = distinguishability(patients_300, patients_300, self.QI)
+        assert value < 0.65  # finite-sample baseline band
+
+    def test_variance_inflating_noise_detected(self, patients_300):
+        from repro.sdc import distinguishability
+        noisy = UncorrelatedNoise(1.5).mask(
+            patients_300, np.random.default_rng(1)
+        )
+        baseline = distinguishability(patients_300, patients_300, self.QI)
+        detected = distinguishability(patients_300, noisy, self.QI)
+        assert detected > baseline + 0.05
+
+    def test_rank_swap_stays_indistinguishable(self, patients_300):
+        """Rank swapping preserves marginals exactly, so the propensity
+        discriminator stays near its baseline."""
+        from repro.sdc import RankSwap, distinguishability
+        swapped = RankSwap(15).mask(patients_300, np.random.default_rng(2))
+        noisy = UncorrelatedNoise(1.5).mask(
+            patients_300, np.random.default_rng(2)
+        )
+        assert distinguishability(patients_300, swapped, self.QI) < (
+            distinguishability(patients_300, noisy, self.QI)
+        )
+
+    def test_no_common_columns(self, patients_300):
+        from repro.sdc import distinguishability
+        assert distinguishability(
+            patients_300, patients_300.project(["aids"]), None
+        ) == 0.5
+
+
+class TestReport:
+    def test_identity_scores_one(self, patients_300):
+        report = assess_utility(patients_300, patients_300)
+        assert report.utility_score == pytest.approx(1.0)
+
+    def test_suppressed_release_il1s_nan(self, patients_300):
+        release = RecordSuppression(2).mask(patients_300)
+        report = assess_utility(patients_300, release,
+                                ["height", "weight"])
+        assert np.isnan(report.il1s)
+
+    def test_utility_ordering(self, patients_300):
+        gentle = UncorrelatedNoise(0.1).mask(
+            patients_300, np.random.default_rng(3)
+        )
+        brutal = UncorrelatedNoise(2.0).mask(
+            patients_300, np.random.default_rng(3)
+        )
+        assert (
+            assess_utility(patients_300, gentle).utility_score
+            > assess_utility(patients_300, brutal).utility_score
+        )

@@ -1,0 +1,129 @@
+"""Tests for secure k-means and blocked microaggregation."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import patients, sparse_clusters
+from repro.sdc import (
+    BlockedMicroaggregation,
+    Microaggregation,
+    anonymity_level,
+    il1s,
+    is_k_anonymous,
+    tree_blocks,
+)
+from repro.smc import plaintext_exposure, pooled_kmeans, secure_kmeans
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    pop = sparse_clusters(240, 2, n_clusters=3, cluster_std=0.4, seed=5)
+    parts = [pop.select(np.arange(i, 240, 3)) for i in range(3)]
+    return pop, parts
+
+
+class TestSecureKMeans:
+    def test_matches_pooled_baseline(self, clustered):
+        pop, parts = clustered
+        secure = secure_kmeans(parts, ["x0", "x1"], 3, rng=random.Random(1))
+        pooled = pooled_kmeans(pop, ["x0", "x1"], 3)
+        assert np.allclose(
+            np.sort(secure.centroids, axis=0),
+            np.sort(pooled.centroids, axis=0),
+            atol=1e-3,
+        )
+
+    def test_recovers_planted_clusters(self, clustered):
+        pop, parts = clustered
+        result = secure_kmeans(parts, ["x0", "x1"], 3, rng=random.Random(2))
+        assignments = result.assign(pop.matrix(["x0", "x1"]))
+        # Each found cluster should be dominated by one planted cluster:
+        # within-cluster spread far below the between-centroid spread.
+        matrix = pop.matrix(["x0", "x1"])
+        within = np.mean([
+            np.linalg.norm(
+                matrix[assignments == c] - result.centroids[c], axis=1
+            ).mean()
+            for c in range(3)
+            if np.any(assignments == c)
+        ])
+        between = np.linalg.norm(
+            result.centroids[0] - result.centroids[-1]
+        )
+        assert within < between / 2
+
+    def test_no_record_exposure(self, clustered):
+        _pop, parts = clustered
+        result = secure_kmeans(parts, ["x0", "x1"], 3, rng=random.Random(3))
+        private = {
+            f"P{i}": [float(v) for col in ("x0", "x1") for v in part[col]]
+            for i, part in enumerate(parts)
+        }
+        assert plaintext_exposure(result.transcript, private) == 0.0
+
+    def test_converges(self, clustered):
+        _pop, parts = clustered
+        result = secure_kmeans(
+            parts, ["x0", "x1"], 3, max_iter=25, rng=random.Random(4)
+        )
+        assert result.iterations < 25
+
+    def test_validation(self, clustered):
+        _pop, parts = clustered
+        with pytest.raises(ValueError):
+            secure_kmeans(parts, ["x0"], 0)
+        with pytest.raises(ValueError):
+            secure_kmeans([], ["x0"], 2)
+
+
+class TestTreeBlocks:
+    def test_partition_exact(self):
+        matrix = np.random.default_rng(0).normal(size=(500, 3))
+        blocks = tree_blocks(matrix, max_block=64, min_block=5)
+        covered = sorted(i for b in blocks for i in b)
+        assert covered == list(range(500))
+
+    def test_block_size_bounds(self):
+        matrix = np.random.default_rng(1).normal(size=(800, 2))
+        blocks = tree_blocks(matrix, max_block=100, min_block=5)
+        assert all(b.size >= 5 for b in blocks)
+        # Blocks may exceed max_block only in degenerate tie cases.
+        assert np.mean([b.size <= 100 for b in blocks]) > 0.9
+
+    def test_constant_data_single_block(self):
+        matrix = np.ones((50, 2))
+        blocks = tree_blocks(matrix, max_block=10, min_block=2)
+        assert len(blocks) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_blocks(np.zeros((10, 1)), max_block=2, min_block=5)
+
+
+class TestBlockedMicroaggregation:
+    def test_k_anonymity_preserved(self):
+        pop = patients(1200, seed=2)
+        release = BlockedMicroaggregation(5, 128).mask(pop)
+        assert is_k_anonymous(release, 5, ["height", "weight", "age"])
+
+    def test_information_loss_near_plain_mdav(self):
+        pop = patients(1200, seed=2)
+        qi = ["height", "weight", "age"]
+        blocked = BlockedMicroaggregation(5, 128).mask(pop)
+        plain = Microaggregation(5).mask(pop)
+        assert il1s(pop, blocked, qi) < 2.0 * il1s(pop, plain, qi)
+
+    def test_means_preserved(self):
+        pop = patients(600, seed=3)
+        release = BlockedMicroaggregation(5, 128).mask(pop)
+        assert release["height"].mean() == pytest.approx(
+            pop["height"].mean()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockedMicroaggregation(0)
+        with pytest.raises(ValueError):
+            BlockedMicroaggregation(10, max_block=15)

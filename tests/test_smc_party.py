@@ -1,0 +1,62 @@
+"""Tests for the transcript machinery and exposure meter."""
+
+from repro.smc import Message, Transcript, plaintext_exposure
+
+
+class TestMessage:
+    def test_payload_numbers_flattening(self):
+        m = Message("A", "B", "t", {"x": [1, 2.5], "y": (3,), "z": "text"})
+        assert sorted(m.payload_numbers()) == [1.0, 2.5, 3.0]
+
+    def test_booleans_not_numbers(self):
+        m = Message("A", "B", "t", [True, False, 2])
+        assert m.payload_numbers() == [2.0]
+
+
+class TestTranscript:
+    def test_record_and_len(self):
+        t = Transcript()
+        t.record("A", "B", "x", 1)
+        t.record("B", "A", "y", 2)
+        assert len(t) == 2
+
+    def test_visible_to(self):
+        t = Transcript()
+        t.record("A", "B", "x", 1)
+        t.record("B", "C", "y", 2)
+        assert len(t.visible_to("A")) == 1
+        assert len(t.visible_to("B")) == 2
+        assert len(t.visible_to("C")) == 1
+
+    def test_numbers_seen_by_excludes_own(self):
+        t = Transcript()
+        t.record("A", "B", "x", 10)
+        t.record("B", "B", "self", 99)
+        assert t.numbers_seen_by("B") == [10.0]
+
+    def test_all_numbers(self):
+        t = Transcript()
+        t.record("A", "B", "x", [1, 2])
+        t.record("B", "A", "y", 3)
+        assert sorted(t.all_numbers()) == [1.0, 2.0, 3.0]
+
+
+class TestExposure:
+    def test_naive_sharing_fully_exposed(self):
+        t = Transcript()
+        t.record("P0", "P1", "raw", 42)
+        exposure = plaintext_exposure(t, {"P0": [42], "P1": [7]})
+        assert exposure == 0.5  # P0's value seen by P1; P1 sent nothing
+
+    def test_masked_sharing_not_exposed(self):
+        t = Transcript()
+        t.record("P0", "P1", "masked", 42 + 12345)
+        assert plaintext_exposure(t, {"P0": [42], "P1": [7]}) == 0.0
+
+    def test_exposure_to_external_receiver(self):
+        t = Transcript()
+        t.record("P0", "server", "raw", 42)
+        assert plaintext_exposure(t, {"P0": [42]}) == 1.0
+
+    def test_empty(self):
+        assert plaintext_exposure(Transcript(), {}) == 0.0

@@ -1,0 +1,158 @@
+"""Tests for the secure-computation protocols."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import census, horizontal_partition
+from repro.smc import (
+    Transcript,
+    millionaires,
+    naive_pooled_datasets,
+    naive_pooled_sum,
+    plaintext_exposure,
+    private_set_intersection,
+    ring_secure_sum,
+    secure_mean,
+    secure_scalar_product,
+    shares_secure_sum,
+)
+
+
+class TestSecureSum:
+    def test_ring_correct(self):
+        values = [17, -3 % (1 << 64), 25, 8]
+        rng = random.Random(0)
+        assert ring_secure_sum([17, 3, 25, 8], rng=rng) == 53
+
+    def test_ring_needs_three_parties(self):
+        with pytest.raises(ValueError, match="3 parties"):
+            ring_secure_sum([1, 2])
+
+    def test_ring_intermediate_messages_masked(self):
+        """No partial sum on the wire equals any prefix of real values."""
+        values = [100, 200, 300]
+        transcript = Transcript()
+        ring_secure_sum(values, rng=random.Random(1), transcript=transcript)
+        on_wire = set(transcript.all_numbers())
+        prefixes = {100.0, 300.0, 600.0}
+        assert not (on_wire & prefixes)
+
+    def test_ring_exposure_zero_vs_naive(self):
+        values = [11, 22, 33, 44]
+        priv = {f"P{i}": [v] for i, v in enumerate(values)}
+        t_secure, t_naive = Transcript(), Transcript()
+        ring_secure_sum(values, rng=random.Random(2), transcript=t_secure)
+        naive_pooled_sum(values, t_naive)
+        assert plaintext_exposure(t_secure, priv) == 0.0
+        assert plaintext_exposure(t_naive, priv) == 0.75
+
+    def test_shares_variant_correct(self):
+        assert shares_secure_sum([5, 6, 7], rng=random.Random(3)) == 18
+        assert shares_secure_sum([0, 0], rng=random.Random(4)) == 0
+
+    def test_shares_needs_two(self):
+        with pytest.raises(ValueError):
+            shares_secure_sum([1])
+
+    def test_secure_mean_fixed_point(self):
+        mean = secure_mean([1.25, 2.50, 3.75], rng=random.Random(5))
+        assert mean == pytest.approx(2.5)
+
+    def test_secure_mean_negative_values(self):
+        mean = secure_mean([-1.0, -2.0, -3.0], rng=random.Random(6))
+        assert mean == pytest.approx(-2.0)
+
+
+class TestScalarProduct:
+    def test_correct(self):
+        shares = secure_scalar_product(
+            [1, 2, 3], [4, 5, 6], key_bits=128, rng=random.Random(7)
+        )
+        assert shares.reveal() == 32
+
+    def test_negative_result(self):
+        shares = secure_scalar_product(
+            [1, -2], [3, 4], key_bits=128, rng=random.Random(8)
+        )
+        assert shares.reveal() == -5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            secure_scalar_product([1], [1, 2])
+
+    def test_alice_vector_not_on_wire_in_clear(self):
+        transcript = Transcript()
+        secure_scalar_product(
+            [9, 8, 7], [1, 1, 1], key_bits=128,
+            rng=random.Random(9), transcript=transcript,
+        )
+        bob_view = set(transcript.numbers_seen_by("Bob"))
+        assert not ({9.0, 8.0, 7.0} & bob_view)
+
+
+class TestSetIntersection:
+    def test_intersection_found(self):
+        result = private_set_intersection(
+            ["ann", "bob", "eve"], ["bob", "eve", "zoe"],
+            rng=random.Random(10),
+        )
+        assert result == {"bob", "eve"}
+
+    def test_disjoint(self):
+        assert private_set_intersection(
+            ["a"], ["b"], rng=random.Random(11)
+        ) == set()
+
+    def test_duplicates_tolerated(self):
+        result = private_set_intersection(
+            ["x", "x", "y"], ["x"], rng=random.Random(12)
+        )
+        assert result == {"x"}
+
+    def test_raw_items_not_on_wire(self):
+        transcript = Transcript()
+        private_set_intersection(
+            [101, 102], [102, 103], rng=random.Random(13),
+            transcript=transcript,
+        )
+        assert not ({101.0, 102.0, 103.0} & set(transcript.all_numbers()))
+
+
+class TestMillionaires:
+    @pytest.mark.parametrize("a,b,expected", [
+        (10, 7, True), (3, 7, False), (7, 7, True), (1, 32, False),
+        (32, 1, True),
+    ])
+    def test_comparisons(self, a, b, expected):
+        assert millionaires(a, b, rng=random.Random(a * 37 + b)) is expected
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            millionaires(0, 5)
+        with pytest.raises(ValueError):
+            millionaires(5, 33)
+
+
+class TestNaivePooling:
+    def test_pooled_datasets(self):
+        pop = census(60, seed=0)
+        parts = horizontal_partition(pop, 3, seed=0)
+        transcript = Transcript()
+        pooled = naive_pooled_datasets(parts, transcript)
+        assert pooled.n_rows == 60
+        assert len(transcript) == 2  # two parties shipped tables to P0
+
+    def test_pooled_exposes_numeric_data(self):
+        pop = census(30, seed=1)
+        parts = horizontal_partition(pop, 2, seed=0)
+        transcript = Transcript()
+        naive_pooled_datasets(parts, transcript)
+        incomes = set(parts[1]["income"])
+        seen = set(transcript.all_numbers())
+        assert incomes <= seen
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            naive_pooled_datasets([])

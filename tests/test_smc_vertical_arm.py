@@ -1,0 +1,113 @@
+"""Tests for secure vertically partitioned association-rule mining."""
+
+import random
+
+import pytest
+
+from repro.data import market_baskets
+from repro.mining import association_rules, itemset_support
+from repro.smc import SecureVerticalMiner, VerticalItemBase
+
+
+@pytest.fixture(scope="module")
+def split_baskets():
+    tx = market_baskets(150, n_items=10, seed=4)
+    alice = VerticalItemBase.from_transactions(tx, [f"i{j}" for j in range(5)])
+    bob = VerticalItemBase.from_transactions(
+        tx, [f"i{j}" for j in range(5, 10)]
+    )
+    return tx, alice, bob
+
+
+def _miner(alice, bob, seed=1):
+    return SecureVerticalMiner(alice, bob, key_bits=128,
+                               rng=random.Random(seed))
+
+
+class TestItemBase:
+    def test_indicator_shapes(self, split_baskets):
+        tx, alice, _bob = split_baskets
+        assert alice.indicators.shape == (len(tx), 5)
+        assert set(alice.indicators.reshape(-1)) <= {0, 1}
+
+    def test_local_indicator_and(self, split_baskets):
+        tx, alice, _bob = split_baskets
+        joint = alice.local_indicator(["i0", "i1"])
+        expected = [1 if {"i0", "i1"} <= t else 0 for t in tx]
+        assert joint.tolist() == expected
+
+    def test_foreign_items_ignored(self, split_baskets):
+        _tx, alice, _bob = split_baskets
+        assert alice.local_indicator(["i9"]).all()  # not Alice's item
+
+
+class TestSecureSupport:
+    def test_cross_party_support_exact(self, split_baskets):
+        tx, alice, bob = split_baskets
+        miner = _miner(alice, bob)
+        for itemset in ({"i0", "i5"}, {"i1", "i6"}, {"i0", "i1", "i5"}):
+            assert miner.support(sorted(itemset)) == pytest.approx(
+                itemset_support(tx, itemset)
+            )
+
+    def test_single_party_support_is_local(self, split_baskets):
+        tx, alice, bob = split_baskets
+        miner = _miner(alice, bob)
+        value = miner.support(["i0", "i1"])
+        assert value == pytest.approx(itemset_support(tx, {"i0", "i1"}))
+        assert miner.secure_products == 0  # no protocol needed
+
+    def test_unknown_item(self, split_baskets):
+        _tx, alice, bob = split_baskets
+        with pytest.raises(KeyError):
+            _miner(alice, bob).support(["zz"])
+
+    def test_overlapping_items_rejected(self, split_baskets):
+        _tx, alice, _bob = split_baskets
+        with pytest.raises(ValueError, match="both parties"):
+            SecureVerticalMiner(alice, alice)
+
+    def test_misaligned_transactions_rejected(self, split_baskets):
+        tx, alice, _bob = split_baskets
+        short = VerticalItemBase.from_transactions(tx[:10], ["i9"])
+        with pytest.raises(ValueError, match="same transactions"):
+            SecureVerticalMiner(alice, short)
+
+
+class TestRuleMining:
+    def test_rules_match_plaintext_miner(self, split_baskets):
+        tx, alice, bob = split_baskets
+        miner = _miner(alice, bob)
+        secure_rules = miner.mine_pairs(0.2, 0.6)
+        plain = association_rules(tx, 0.2, 0.6, max_size=2)
+        cross_plain = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent)))
+            for r in plain
+            if any(i in alice.items for i in r.itemset)
+            and any(i in bob.items for i in r.itemset)
+        }
+        cross_secure = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent)))
+            for r in secure_rules
+        }
+        assert cross_secure == cross_plain
+
+    def test_check_rule(self, split_baskets):
+        tx, alice, bob = split_baskets
+        miner = _miner(alice, bob)
+        rule = miner.check_rule(["i0"], ["i5"], 0.05, 0.1)
+        assert rule is not None
+        assert rule.support == pytest.approx(itemset_support(tx, {"i0", "i5"}))
+
+    def test_check_rule_below_threshold(self, split_baskets):
+        _tx, alice, bob = split_baskets
+        miner = _miner(alice, bob)
+        assert miner.check_rule(["i0"], ["i5"], 0.99, 0.99) is None
+
+    def test_no_raw_indicators_on_wire(self, split_baskets):
+        _tx, alice, bob = split_baskets
+        miner = _miner(alice, bob)
+        miner.support(["i0", "i5"])
+        # Indicator vectors are 0/1; nothing that small on the wire.
+        small = [v for v in miner.transcript.all_numbers() if v in (0.0, 1.0)]
+        assert not small

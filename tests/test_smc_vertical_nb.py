@@ -1,0 +1,104 @@
+"""Tests for secure vertically partitioned naive Bayes."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import patients
+from repro.mining import GaussianNaiveBayes, accuracy
+from repro.smc import (
+    secure_vertical_naive_bayes,
+    vertical_nb_feature_order,
+)
+
+
+@pytest.fixture(scope="module")
+def partitioned():
+    pop = patients(180, seed=9)
+    label = np.where(
+        pop["blood_pressure"] > np.median(pop["blood_pressure"]), "hi", "lo"
+    )
+    table = pop.project(
+        ["height", "weight", "age", "cholesterol"]
+    ).with_column("risk", label)
+    alice = table.project(["height", "weight"])
+    bob = table.project(["age", "cholesterol", "risk"])
+    return table, alice, bob
+
+
+class TestCorrectness:
+    def test_matches_plaintext_model(self, partitioned):
+        table, alice, bob = partitioned
+        result = secure_vertical_naive_bayes(
+            alice, bob, "risk", key_bits=160, rng=random.Random(5)
+        )
+        order = vertical_nb_feature_order(alice, bob, "risk")
+        x = table.matrix(order)
+        plain = GaussianNaiveBayes().fit(x, table["risk"])
+        assert np.array_equal(result.model.predict(x), plain.predict(x))
+
+    def test_parameters_match_plaintext(self, partitioned):
+        table, alice, bob = partitioned
+        result = secure_vertical_naive_bayes(
+            alice, bob, "risk", key_bits=160, rng=random.Random(6)
+        )
+        order = vertical_nb_feature_order(alice, bob, "risk")
+        x = table.matrix(order)
+        plain = GaussianNaiveBayes().fit(x, table["risk"])
+        assert np.allclose(result.model._means, plain._means, atol=1e-2)
+        assert np.allclose(result.model._priors, plain._priors)
+
+    def test_learns_signal(self, partitioned):
+        table, alice, bob = partitioned
+        result = secure_vertical_naive_bayes(
+            alice, bob, "risk", key_bits=160, rng=random.Random(7)
+        )
+        order = vertical_nb_feature_order(alice, bob, "risk")
+        acc = accuracy(table["risk"], result.model.predict(table.matrix(order)))
+        assert acc > 0.6
+
+
+class TestPrivacy:
+    def test_no_raw_features_on_wire(self, partitioned):
+        _table, alice, bob = partitioned
+        result = secure_vertical_naive_bayes(
+            alice, bob, "risk", key_bits=160, rng=random.Random(8)
+        )
+        alice_values = {
+            float(v) for c in ("height", "weight") for v in alice[c]
+        }
+        wire = set(result.transcript.all_numbers())
+        assert not (alice_values & wire)
+
+    def test_no_plain_indicator_on_wire(self, partitioned):
+        """Bob's class labels travel only as Paillier ciphertexts, which
+        are astronomically larger than 0/1."""
+        _table, alice, bob = partitioned
+        result = secure_vertical_naive_bayes(
+            alice, bob, "risk", key_bits=160, rng=random.Random(9)
+        )
+        small = [v for v in result.transcript.all_numbers() if v in (0.0, 1.0)]
+        assert not small
+
+    def test_scalar_product_count(self, partitioned):
+        _table, alice, bob = partitioned
+        result = secure_vertical_naive_bayes(
+            alice, bob, "risk", key_bits=160, rng=random.Random(10)
+        )
+        # 2 Alice columns x 2 classes x (sum, sum of squares).
+        assert result.scalar_products == 8
+
+
+class TestValidation:
+    def test_misaligned_rejected(self, partitioned):
+        _table, alice, bob = partitioned
+        with pytest.raises(ValueError, match="row-aligned"):
+            secure_vertical_naive_bayes(
+                alice.select(np.arange(10)), bob, "risk"
+            )
+
+    def test_class_column_must_be_bobs(self, partitioned):
+        _table, alice, bob = partitioned
+        with pytest.raises(ValueError, match="belong to Bob"):
+            secure_vertical_naive_bayes(alice, bob, "height")
