@@ -1,0 +1,19 @@
+PYTHON ?= python
+
+.PHONY: test bench bench-check bench-refresh
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Time the hot-path kernels and write BENCH_hotpaths.json.
+bench:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.runner
+
+# Fail (exit nonzero) when any kernel regresses past baseline x tolerance.
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.runner --check
+
+# Refresh the committed benchmark record after an intentional perf change;
+# copy the printed normalized values into benchmarks/baselines.py too.
+bench-refresh:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.runner --output BENCH_hotpaths.json

@@ -1,0 +1,36 @@
+"""Committed baselines for the hot-path benchmark harness.
+
+Values are *normalized* wall times: kernel median seconds divided by the
+:func:`benchmarks.runner.calibrate` loop's seconds on the same machine,
+so they transfer (roughly) across hardware.  A kernel regresses when its
+normalized time exceeds ``baseline * TOLERANCE``.
+
+To refresh after an intentional perf change::
+
+    python -m benchmarks.runner --output BENCH_hotpaths.json
+
+then copy the ``normalized`` numbers printed (or from the JSON) into
+``BASELINES`` below and commit both files — this is the trajectory every
+future perf PR appends to.
+"""
+
+# Normalized medians measured for the vectorized kernels introduced with
+# this harness (see BENCH_hotpaths.json for the raw record).
+BASELINES: dict[str, float] = {
+    "pir_single_retrieve_n1024": 0.35,
+    "pir_single_retrieve_n4096": 1.25,
+    "pir_batch64_retrieve_n4096": 15.0,
+    "pir_square_retrieve_n4096": 0.15,
+    "pir_multiserver3_retrieve_n1024": 0.55,
+    "mdav_n1000_k5": 30.0,
+    "mdav_n2000_k10": 50.0,
+    "linkage_n600": 12.0,
+}
+
+# Allowed slowdown factor before --check fails; generous because the
+# calibration loop cannot fully cancel scheduler noise on busy machines.
+TOLERANCE = 2.0
+
+# The vectorized single-retrieve kernel must beat a faithful replica of
+# the seed's per-byte Python XOR loop by at least this factor.
+MIN_SPEEDUP_VS_SEED = 10.0

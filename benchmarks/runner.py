@@ -1,0 +1,321 @@
+"""Benchmark-regression harness for the vectorized hot-path kernels.
+
+Times the named kernels (PIR single/batch retrieval at several database
+sizes, MDAV microaggregation at several n x k, probabilistic linkage),
+normalizes wall times against a machine calibration loop, writes the
+results to ``BENCH_hotpaths.json``, and — with ``--check`` — compares the
+normalized times against the committed baselines in
+:mod:`benchmarks.baselines`, exiting nonzero on regression.
+
+Usage::
+
+    python -m benchmarks.runner                      # time + write JSON
+    python -m benchmarks.runner --check              # fail on regression
+    python -m benchmarks.runner --trials 1 --no-compare   # CI smoke
+
+A pure-Python replica of the seed's per-byte XOR loop is timed alongside
+the vectorized kernel so the recorded ``speedup_vs_seed`` stays honest on
+every machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks import ProbabilisticLinkageAttack
+from repro.data import patients
+from repro.pir import MultiServerXorPIR, SquareSchemePIR, TwoServerXorPIR
+from repro.sdc.microaggregation import mdav_groups
+
+from .baselines import BASELINES, MIN_SPEEDUP_VS_SEED, TOLERANCE
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+SEED_REFERENCE_KERNEL = "seed_pir_single_retrieve_n4096"
+SPEEDUP_KERNEL = "pir_single_retrieve_n4096"
+
+
+def _pir_blocks(n: int, block_size: int = 64) -> list[bytes]:
+    return [bytes([i % 256]) * block_size for i in range(n)]
+
+
+def _seed_style_retrieve(blocks: list[bytes], index: int, seed: int) -> bytes:
+    """Faithful replica of the seed's per-byte two-server retrieval loop."""
+    rng = np.random.default_rng(seed)
+    n = len(blocks)
+    subset = rng.random(n) < 0.5
+    s1 = set(np.flatnonzero(subset).tolist())
+    s2 = set(s1)
+    s2 ^= {index}
+    size = len(blocks[0])
+
+    def answer(indices):
+        acc = bytearray(size)
+        for i in indices:
+            block = blocks[i]
+            for j in range(size):
+                acc[j] ^= block[j]
+        return bytes(acc)
+
+    a1 = answer(sorted(s1))
+    a2 = answer(sorted(s2))
+    return bytes(x ^ y for x, y in zip(a1, a2))
+
+
+@dataclass
+class Kernel:
+    """One named hot-path workload: setup once, time ``reps`` runs."""
+
+    name: str
+    setup: Callable[[], Callable[[], object]]
+    reps: int = 1
+    # Reference kernels document a comparison point (the seed's pure-Python
+    # loop); they are never compared against baselines.
+    reference_only: bool = False
+
+
+def _pir_single(n: int) -> Callable[[], Callable[[], object]]:
+    def setup():
+        pir = TwoServerXorPIR(_pir_blocks(n))
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return pir.retrieve(n // 2, state["seed"])
+
+        return run
+
+    return setup
+
+
+def _pir_batch(n: int, batch: int) -> Callable[[], Callable[[], object]]:
+    def setup():
+        pir = TwoServerXorPIR(_pir_blocks(n))
+        indices = list(range(0, n, max(1, n // batch)))[:batch]
+        pir.retrieve_batch(indices[:2], 0)  # build the bit matrix once
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return pir.retrieve_batch(indices, state["seed"])
+
+        return run
+
+    return setup
+
+
+def _pir_square(n: int) -> Callable[[], Callable[[], object]]:
+    def setup():
+        pir = SquareSchemePIR(_pir_blocks(n))
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return pir.retrieve(n // 2, state["seed"])
+
+        return run
+
+    return setup
+
+
+def _pir_multiserver(n: int, servers: int) -> Callable[[], Callable[[], object]]:
+    def setup():
+        pir = MultiServerXorPIR(_pir_blocks(n), n_servers=servers)
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return pir.retrieve(n // 2, state["seed"])
+
+        return run
+
+    return setup
+
+
+def _seed_pir_single(n: int) -> Callable[[], Callable[[], object]]:
+    def setup():
+        blocks = _pir_blocks(n)
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return _seed_style_retrieve(blocks, n // 2, state["seed"])
+
+        return run
+
+    return setup
+
+
+def _mdav(n: int, k: int) -> Callable[[], Callable[[], object]]:
+    def setup():
+        matrix = np.random.default_rng(7).normal(size=(n, 4))
+        return lambda: mdav_groups(matrix, k)
+
+    return setup
+
+
+def _linkage(n: int) -> Callable[[], Callable[[], object]]:
+    def setup():
+        pop = patients(n, seed=3)
+        attack = ProbabilisticLinkageAttack(["height", "weight", "age"])
+        return lambda: attack.run(pop, pop)
+
+    return setup
+
+
+KERNELS: list[Kernel] = [
+    Kernel("pir_single_retrieve_n1024", _pir_single(1024), reps=10),
+    Kernel("pir_single_retrieve_n4096", _pir_single(4096), reps=5),
+    Kernel("pir_batch64_retrieve_n4096", _pir_batch(4096, 64), reps=2),
+    Kernel("pir_square_retrieve_n4096", _pir_square(4096), reps=10),
+    Kernel("pir_multiserver3_retrieve_n1024", _pir_multiserver(1024, 3), reps=5),
+    Kernel(SEED_REFERENCE_KERNEL, _seed_pir_single(4096), reps=1,
+           reference_only=True),
+    Kernel("mdav_n1000_k5", _mdav(1000, 5), reps=1),
+    Kernel("mdav_n2000_k10", _mdav(2000, 10), reps=1),
+    Kernel("linkage_n600", _linkage(600), reps=1),
+]
+
+
+def calibrate() -> float:
+    """Seconds for a fixed numpy workload; the machine-speed yardstick."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(192, 192))
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(5):
+            b = a @ a
+            float(np.sort(b, axis=None)[-10:].sum())
+        best = min(best, (time.perf_counter() - t0) / 5)
+    return best
+
+
+def time_kernel(kernel: Kernel, trials: int) -> float:
+    """Median over *trials* of the mean per-rep wall time."""
+    run = kernel.setup()
+    run()  # warm-up (bit matrices, caches) outside the timed region
+    samples = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        for _ in range(kernel.reps):
+            run()
+        samples.append((time.perf_counter() - t0) / kernel.reps)
+    return statistics.median(samples)
+
+
+def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
+    calibration = calibrate()
+    results: dict = {
+        "schema": 1,
+        "generated_by": "python -m benchmarks.runner",
+        "calibration_seconds": calibration,
+        "trials": trials,
+        "kernels": {},
+        "speedups": {},
+    }
+    for kernel in KERNELS:
+        if names and kernel.name not in names:
+            continue
+        median = time_kernel(kernel, trials)
+        results["kernels"][kernel.name] = {
+            "median_seconds": median,
+            "normalized": median / calibration,
+            "reps": kernel.reps,
+            "reference_only": kernel.reference_only,
+        }
+    seed = results["kernels"].get(SEED_REFERENCE_KERNEL)
+    fast = results["kernels"].get(SPEEDUP_KERNEL)
+    if seed and fast:
+        results["speedups"][f"{SPEEDUP_KERNEL}_vs_seed"] = (
+            seed["median_seconds"] / fast["median_seconds"]
+        )
+    return results
+
+
+def check_regressions(results: dict, tolerance: float) -> list[str]:
+    """Normalized-time comparison against the committed baselines."""
+    failures = []
+    for name, entry in results["kernels"].items():
+        if entry["reference_only"]:
+            continue
+        baseline = BASELINES.get(name)
+        if baseline is None:
+            continue
+        if entry["normalized"] > baseline * tolerance:
+            failures.append(
+                f"{name}: normalized {entry['normalized']:.2f} exceeds "
+                f"baseline {baseline:.2f} x tolerance {tolerance:.2f}"
+            )
+    speedup = results["speedups"].get(f"{SPEEDUP_KERNEL}_vs_seed")
+    if speedup is not None and speedup < MIN_SPEEDUP_VS_SEED:
+        failures.append(
+            f"{SPEEDUP_KERNEL}: only {speedup:.1f}x faster than the seed "
+            f"loop (required: {MIN_SPEEDUP_VS_SEED}x)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.runner",
+        description="Time the hot-path kernels and check for regressions.",
+    )
+    parser.add_argument("--trials", type=int, default=5,
+                        help="timing trials per kernel (median is kept)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero when a kernel regresses past "
+                             "baseline x tolerance")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the baseline comparison entirely")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed slowdown factor over the baseline")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        help="where to write the JSON record")
+    parser.add_argument("--kernels", nargs="*", default=None,
+                        help="subset of kernel names to run")
+    args = parser.parse_args(argv)
+
+    if args.kernels is not None:
+        known = {k.name for k in KERNELS}
+        unknown = [name for name in args.kernels if name not in known]
+        if unknown:
+            parser.error(
+                f"unknown kernel(s): {', '.join(unknown)} "
+                f"(choose from: {', '.join(sorted(known))})"
+            )
+
+    results = run_benchmarks(args.trials, args.kernels)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+
+    width = max(len(k) for k in results["kernels"])
+    print(f"calibration: {results['calibration_seconds'] * 1e3:.2f} ms")
+    for name, entry in results["kernels"].items():
+        print(f"  {name:<{width}s} {entry['median_seconds'] * 1e3:10.3f} ms "
+              f"(normalized {entry['normalized']:8.2f})")
+    for name, value in results["speedups"].items():
+        print(f"  {name}: {value:.1f}x")
+
+    if args.no_compare:
+        return 0
+    failures = check_regressions(results, args.tolerance)
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if failures and args.check:
+        return 1
+    if not failures:
+        print("all kernels within baseline tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

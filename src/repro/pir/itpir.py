@@ -17,6 +17,14 @@ Two schemes are provided:
 
 Both implementations count communication so the scaling benchmark (A2 in
 DESIGN.md) can regenerate cost curves.
+
+The compute layer is fully vectorized: each server stores its replica as
+a single ``np.uint8`` matrix of shape ``(n, block_size)``, a single
+answer is one fancy-indexed ``np.bitwise_xor.reduce``, and batched
+answers are one GF(2) matrix product over the bit-unpacked database.
+``retrieve_batch`` consumes the rng stream exactly as the equivalent
+sequence of ``retrieve`` calls would, so batched results are
+byte-identical to sequential ones under the same seed.
 """
 
 from __future__ import annotations
@@ -38,53 +46,137 @@ class PIRAnswer:
     payload: bytes
 
 
-class _Server:
-    """A PIR server holding the block database."""
+def _normalize_blocks(blocks: Sequence[bytes | int]) -> np.ndarray:
+    """Encode heterogeneous blocks into one ``(n, width)`` uint8 matrix.
 
-    def __init__(self, blocks: list[bytes]):
-        self._blocks = blocks
-
-    def answer(self, server_id: int, indices: Sequence[int]) -> PIRAnswer:
-        """XOR of the requested blocks."""
-        size = len(self._blocks[0]) if self._blocks else 0
-        acc = bytearray(size)
-        for i in indices:
-            block = self._blocks[i]
-            for j in range(size):
-                acc[j] ^= block[j]
-        return PIRAnswer(server_id, tuple(int(i) for i in indices), bytes(acc))
-
-
-def _normalize_blocks(blocks: Sequence[bytes | int]) -> list[bytes]:
-    out: list[bytes] = []
+    Bytes blocks are right-padded with NUL to the common width (at least 8
+    bytes); integer blocks are big-endian two's-complement at that width.
+    An integer that does not fit the common width raises ``ValueError``.
+    """
     width = 8
     for b in blocks:
-        if isinstance(b, bytes):
+        if isinstance(b, (bytes, bytearray)):
             width = max(width, len(b))
-    for b in blocks:
-        if isinstance(b, bytes):
-            out.append(b.ljust(width, b"\0"))
+    db = np.zeros((len(blocks), width), dtype=np.uint8)
+    for i, b in enumerate(blocks):
+        if isinstance(b, (bytes, bytearray)):
+            if len(b):
+                db[i, : len(b)] = np.frombuffer(bytes(b), dtype=np.uint8)
         else:
-            out.append(int(b).to_bytes(width, "big", signed=True))
-    return out
+            try:
+                raw = int(b).to_bytes(width, "big", signed=True)
+            except OverflowError:
+                raise ValueError(
+                    f"integer block {b!r} does not fit the common block "
+                    f"width of {width} bytes"
+                ) from None
+            db[i] = np.frombuffer(raw, dtype=np.uint8)
+    return db
 
 
-class TwoServerXorPIR:
+def _require_nonempty(db: np.ndarray) -> np.ndarray:
+    if db.shape[0] == 0:
+        raise ValueError("PIR database must contain at least one block")
+    return db
+
+
+def _xor_payloads(payloads: Sequence[bytes]) -> bytes:
+    """Client-side combine: bytewise XOR of equal-length payloads."""
+    acc = np.frombuffer(payloads[0], dtype=np.uint8).copy()
+    for payload in payloads[1:]:
+        acc ^= np.frombuffer(payload, dtype=np.uint8)
+    return acc.tobytes()
+
+
+def _masks_to_queries(masks: np.ndarray) -> tuple[tuple[int, ...], ...]:
+    """Per-query sorted index tuples from a (B, n) boolean query matrix."""
+    return tuple(tuple(np.flatnonzero(m).tolist()) for m in masks)
+
+
+class _BatchViewMixin:
+    """Lazy per-query server views for the most recent ``retrieve_batch``.
+
+    Materializing index tuples for every query in a large batch costs more
+    than answering the batch itself, so the boolean query matrices are
+    kept and converted only when ``last_batch_queries`` is actually read
+    (leakage tests, profiling adversaries).
+    """
+
+    _batch_masks: tuple[np.ndarray, ...] | None = None
+    _batch_queries_cache: tuple[tuple[tuple[int, ...], ...], ...] | None = None
+
+    def _set_batch_masks(self, per_server_masks: Sequence[np.ndarray]) -> None:
+        """Record one (B, n) boolean matrix per server; update last_queries."""
+        self._batch_masks = tuple(per_server_masks)
+        self._batch_queries_cache = None
+        self.last_queries = tuple(
+            tuple(np.flatnonzero(m[-1]).tolist()) for m in self._batch_masks
+        )
+
+    @property
+    def last_batch_queries(
+        self,
+    ) -> tuple[tuple[tuple[int, ...], ...], ...] | None:
+        """Per-query tuple of per-server index views of the last batch."""
+        if self._batch_masks is None:
+            return None
+        if self._batch_queries_cache is None:
+            per_server = [_masks_to_queries(m) for m in self._batch_masks]
+            self._batch_queries_cache = tuple(zip(*per_server))
+        return self._batch_queries_cache
+
+
+class _Server:
+    """A PIR server holding the block database as a uint8 matrix."""
+
+    def __init__(self, db: np.ndarray):
+        self._db = db
+        # Bit-unpacked replica for batched GF(2) matmul answers; built
+        # lazily on the first batch so single-shot use pays nothing.
+        self._bits: np.ndarray | None = None
+
+    def answer(self, server_id: int, indices: Sequence[int]) -> PIRAnswer:
+        """XOR of the requested blocks (one vectorized reduce)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size:
+            payload = np.bitwise_xor.reduce(self._db[idx], axis=0).tobytes()
+        else:
+            payload = bytes(self._db.shape[1])
+        return PIRAnswer(server_id, tuple(int(i) for i in indices), payload)
+
+    def answer_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Answer every query of a (B, n) boolean matrix at once.
+
+        Returns a ``(B, block_size)`` uint8 matrix whose row b is the XOR
+        of the blocks selected by ``masks[b]`` — computed as one GF(2)
+        matrix product (bit-count parity) over the unpacked database.
+        """
+        if self._bits is None:
+            # Bit counts are bounded by n, so float32 stays exact for any
+            # database below 2**24 blocks (and is ~2x faster in BLAS).
+            dtype = np.float32 if self._db.shape[0] < 2**24 else np.float64
+            self._bits = np.unpackbits(self._db, axis=1).astype(dtype)
+        counts = masks.astype(self._bits.dtype) @ self._bits
+        bits = (counts.astype(np.int64) & np.int64(1)).astype(np.uint8)
+        return np.packbits(bits, axis=1)
+
+
+class TwoServerXorPIR(_BatchViewMixin):
     """The basic two-server XOR scheme of Chor–Goldreich–Kushilevitz–Sudan.
 
     Parameters
     ----------
     blocks:
         Database records, as ``bytes`` or signed integers (encoded to a
-        common width).
+        common width).  Must be non-empty.
     """
 
     def __init__(self, blocks: Sequence[bytes | int]):
-        self._blocks = _normalize_blocks(blocks)
-        self.n = len(self._blocks)
+        self._db = _require_nonempty(_normalize_blocks(blocks))
+        self.n = int(self._db.shape[0])
         # Each server holds its own replica (they are distinct machines;
         # a byzantine server corrupting its copy must not affect the other).
-        self._servers = (_Server(list(self._blocks)), _Server(list(self._blocks)))
+        self._servers = (_Server(self._db.copy()), _Server(self._db.copy()))
         self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
         self.upstream_bits = 0
         self.downstream_bits = 0
@@ -92,30 +184,69 @@ class TwoServerXorPIR:
     @property
     def block_size(self) -> int:
         """Bytes per block."""
-        return len(self._blocks[0]) if self._blocks else 0
+        return int(self._db.shape[1])
 
     def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
         """Privately retrieve block *index*."""
         if not 0 <= index < self.n:
             raise IndexError(f"index {index} out of range [0, {self.n})")
         rng = resolve_rng(rng)
-        subset = rng.random(self.n) < 0.5
-        s1 = set(np.flatnonzero(subset).tolist())
-        s2 = set(s1)
-        s2 ^= {index}
-        a1 = self._servers[0].answer(0, sorted(s1))
-        a2 = self._servers[1].answer(1, sorted(s2))
+        mask1 = rng.random(self.n) < 0.5
+        mask2 = mask1.copy()
+        mask2[index] = ~mask2[index]
+        a1 = self._servers[0].answer(0, np.flatnonzero(mask1))
+        a2 = self._servers[1].answer(1, np.flatnonzero(mask2))
         self.last_queries = (a1.query_indices, a2.query_indices)
         self.upstream_bits += 2 * self.n  # one characteristic bit-vector each
         self.downstream_bits += 8 * (len(a1.payload) + len(a2.payload))
-        return bytes(x ^ y for x, y in zip(a1.payload, a2.payload))
+        return _xor_payloads([a1.payload, a2.payload])
+
+    def retrieve_batch(
+        self,
+        indices: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[bytes]:
+        """Privately retrieve many blocks with one query matrix per server.
+
+        Equivalent — byte for byte, under the same rng — to calling
+        :meth:`retrieve` once per index, but each server computes all of
+        its answers in a single vectorized pass.
+        """
+        idx = np.asarray(indices, dtype=np.intp).reshape(-1)
+        if idx.size and not (0 <= idx.min() and idx.max() < self.n):
+            bad = idx[(idx < 0) | (idx >= self.n)][0]
+            raise IndexError(f"index {bad} out of range [0, {self.n})")
+        if idx.size == 0:
+            return []
+        rng = resolve_rng(rng)
+        masks1 = rng.random((idx.size, self.n)) < 0.5
+        masks2 = masks1.copy()
+        rows = np.arange(idx.size)
+        masks2[rows, idx] = ~masks2[rows, idx]
+        a1 = self._servers[0].answer_batch(masks1)
+        a2 = self._servers[1].answer_batch(masks2)
+        self._set_batch_masks((masks1, masks2))
+        self.upstream_bits += idx.size * 2 * self.n
+        self.downstream_bits += idx.size * 8 * 2 * self.block_size
+        return [row.tobytes() for row in np.bitwise_xor(a1, a2)]
 
     def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
         """Retrieve a block and decode it as a signed integer."""
         return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
 
+    def retrieve_batch_int(
+        self,
+        indices: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[int]:
+        """Batched retrieval decoded as signed integers."""
+        return [
+            int.from_bytes(b, "big", signed=True)
+            for b in self.retrieve_batch(indices, rng)
+        ]
 
-class MultiServerXorPIR:
+
+class MultiServerXorPIR(_BatchViewMixin):
     """k-server XOR PIR with (k-1)-collusion resistance.
 
     Generalizes the two-server scheme: the client picks k-1 independent
@@ -128,11 +259,11 @@ class MultiServerXorPIR:
     def __init__(self, blocks: Sequence[bytes | int], n_servers: int = 3):
         if n_servers < 2:
             raise ValueError("need at least 2 servers")
-        self._blocks = _normalize_blocks(blocks)
-        self.n = len(self._blocks)
+        self._db = _require_nonempty(_normalize_blocks(blocks))
+        self.n = int(self._db.shape[0])
         self.n_servers = n_servers
         self._servers = tuple(
-            _Server(list(self._blocks)) for _ in range(n_servers)
+            _Server(self._db.copy()) for _ in range(n_servers)
         )
         self.last_queries: tuple[tuple[int, ...], ...] | None = None
         self.upstream_bits = 0
@@ -141,39 +272,79 @@ class MultiServerXorPIR:
     @property
     def block_size(self) -> int:
         """Bytes per block."""
-        return len(self._blocks[0]) if self._blocks else 0
+        return int(self._db.shape[1])
+
+    def _query_masks(
+        self, indices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """(B, n_servers, n) boolean query matrix for a batch of targets."""
+        batch = indices.size
+        masks = np.empty((batch, self.n_servers, self.n), dtype=bool)
+        masks[:, :-1] = rng.random((batch, self.n_servers - 1, self.n)) < 0.5
+        combined = np.logical_xor.reduce(masks[:, :-1], axis=1)
+        rows = np.arange(batch)
+        combined[rows, indices] = ~combined[rows, indices]
+        masks[:, -1] = combined
+        return masks
 
     def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
         """Privately retrieve block *index*."""
         if not 0 <= index < self.n:
             raise IndexError(f"index {index} out of range [0, {self.n})")
         rng = resolve_rng(rng)
-        sets: list[set[int]] = []
-        combined: set[int] = {index}
-        for _ in range(self.n_servers - 1):
-            subset = set(np.flatnonzero(rng.random(self.n) < 0.5).tolist())
-            sets.append(subset)
-            combined ^= subset
-        sets.append(combined)
+        masks = self._query_masks(np.asarray([index], dtype=np.intp), rng)[0]
         answers = [
-            server.answer(sid, sorted(s))
-            for sid, (server, s) in enumerate(zip(self._servers, sets))
+            server.answer(sid, np.flatnonzero(masks[sid]))
+            for sid, server in enumerate(self._servers)
         ]
         self.last_queries = tuple(a.query_indices for a in answers)
         self.upstream_bits += self.n_servers * self.n
         self.downstream_bits += 8 * sum(len(a.payload) for a in answers)
-        result = bytearray(self.block_size)
-        for answer in answers:
-            for j, byte in enumerate(answer.payload):
-                result[j] ^= byte
-        return bytes(result)
+        return _xor_payloads([a.payload for a in answers])
+
+    def retrieve_batch(
+        self,
+        indices: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[bytes]:
+        """Batched private retrieval; one vectorized answer per server."""
+        idx = np.asarray(indices, dtype=np.intp).reshape(-1)
+        if idx.size and not (0 <= idx.min() and idx.max() < self.n):
+            bad = idx[(idx < 0) | (idx >= self.n)][0]
+            raise IndexError(f"index {bad} out of range [0, {self.n})")
+        if idx.size == 0:
+            return []
+        rng = resolve_rng(rng)
+        masks = self._query_masks(idx, rng)
+        result = self._servers[0].answer_batch(masks[:, 0])
+        for sid in range(1, self.n_servers):
+            result ^= self._servers[sid].answer_batch(masks[:, sid])
+        self._set_batch_masks(
+            tuple(masks[:, sid] for sid in range(self.n_servers))
+        )
+        self.upstream_bits += idx.size * self.n_servers * self.n
+        self.downstream_bits += (
+            idx.size * 8 * self.n_servers * self.block_size
+        )
+        return [row.tobytes() for row in result]
 
     def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
         """Retrieve a block and decode it as a signed integer."""
         return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
 
+    def retrieve_batch_int(
+        self,
+        indices: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[int]:
+        """Batched retrieval decoded as signed integers."""
+        return [
+            int.from_bytes(b, "big", signed=True)
+            for b in self.retrieve_batch(indices, rng)
+        ]
 
-class SquareSchemePIR:
+
+class SquareSchemePIR(_BatchViewMixin):
     """Two-server scheme with O(√n) upstream communication.
 
     The database is laid out as an r x c matrix (r = c = ceil(√n)); the
@@ -183,10 +354,20 @@ class SquareSchemePIR:
     """
 
     def __init__(self, blocks: Sequence[bytes | int]):
-        self._blocks = _normalize_blocks(blocks)
-        self.n = len(self._blocks)
-        self.cols = int(np.ceil(np.sqrt(max(self.n, 1))))
-        self.rows = int(np.ceil(self.n / max(self.cols, 1)))
+        db = _require_nonempty(_normalize_blocks(blocks))
+        self.n = int(db.shape[0])
+        self.cols = int(np.ceil(np.sqrt(self.n)))
+        self.rows = int(np.ceil(self.n / self.cols))
+        width = int(db.shape[1])
+        # (rows, cols, width) grid, zero-padded past index n.
+        grid = np.zeros((self.rows * self.cols, width), dtype=np.uint8)
+        grid[: self.n] = db
+        self._grid = grid.reshape(self.rows, self.cols, width)
+        # Column-major flattening for batched GF(2) matmul answers.
+        self._by_column = np.ascontiguousarray(
+            self._grid.transpose(1, 0, 2).reshape(self.cols, -1)
+        )
+        self._column_bits: np.ndarray | None = None
         self.upstream_bits = 0
         self.downstream_bits = 0
         self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
@@ -194,25 +375,26 @@ class SquareSchemePIR:
     @property
     def block_size(self) -> int:
         """Bytes per block."""
-        return len(self._blocks[0]) if self._blocks else 0
+        return int(self._grid.shape[2])
 
-    def _cell(self, row: int, col: int) -> bytes:
-        idx = row * self.cols + col
-        if idx < self.n:
-            return self._blocks[idx]
-        return b"\0" * self.block_size
+    def _answer(self, columns: np.ndarray) -> np.ndarray:
+        """One server's reply: per-row XOR over the selected columns."""
+        if columns.size:
+            return np.bitwise_xor.reduce(self._grid[:, columns, :], axis=1)
+        return np.zeros((self.rows, self.block_size), dtype=np.uint8)
 
-    def _answer(self, columns: Sequence[int]) -> list[bytes]:
-        size = self.block_size
-        out = []
-        for row in range(self.rows):
-            acc = bytearray(size)
-            for col in columns:
-                cell = self._cell(row, col)
-                for j in range(size):
-                    acc[j] ^= cell[j]
-            out.append(bytes(acc))
-        return out
+    def _answer_batch(self, masks: np.ndarray) -> np.ndarray:
+        """(B, cols) boolean query matrix -> (B, rows, block_size) replies."""
+        if self._column_bits is None:
+            dtype = np.float32 if self.cols < 2**24 else np.float64
+            self._column_bits = np.unpackbits(
+                self._by_column, axis=1
+            ).astype(dtype)
+        counts = masks.astype(self._column_bits.dtype) @ self._column_bits
+        bits = (counts.astype(np.int64) & np.int64(1)).astype(np.uint8)
+        return np.packbits(bits, axis=1).reshape(
+            masks.shape[0], self.rows, self.block_size
+        )
 
     def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
         """Privately retrieve block *index*."""
@@ -220,17 +402,57 @@ class SquareSchemePIR:
             raise IndexError(f"index {index} out of range [0, {self.n})")
         rng = resolve_rng(rng)
         row, col = divmod(index, self.cols)
-        subset = rng.random(self.cols) < 0.5
-        s1 = set(np.flatnonzero(subset).tolist())
-        s2 = set(s1)
-        s2 ^= {col}
-        a1 = self._answer(sorted(s1))
-        a2 = self._answer(sorted(s2))
-        self.last_queries = (tuple(sorted(s1)), tuple(sorted(s2)))
+        mask1 = rng.random(self.cols) < 0.5
+        mask2 = mask1.copy()
+        mask2[col] = ~mask2[col]
+        c1 = np.flatnonzero(mask1)
+        c2 = np.flatnonzero(mask2)
+        a1 = self._answer(c1)
+        a2 = self._answer(c2)
+        self.last_queries = (
+            tuple(c1.tolist()), tuple(c2.tolist())
+        )
         self.upstream_bits += 2 * self.cols
         self.downstream_bits += 8 * self.block_size * 2 * self.rows
-        return bytes(x ^ y for x, y in zip(a1[row], a2[row]))
+        return np.bitwise_xor(a1[row], a2[row]).tobytes()
+
+    def retrieve_batch(
+        self,
+        indices: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[bytes]:
+        """Batched private retrieval over the column scheme."""
+        idx = np.asarray(indices, dtype=np.intp).reshape(-1)
+        if idx.size and not (0 <= idx.min() and idx.max() < self.n):
+            bad = idx[(idx < 0) | (idx >= self.n)][0]
+            raise IndexError(f"index {bad} out of range [0, {self.n})")
+        if idx.size == 0:
+            return []
+        rng = resolve_rng(rng)
+        rows, cols = np.divmod(idx, self.cols)
+        masks1 = rng.random((idx.size, self.cols)) < 0.5
+        masks2 = masks1.copy()
+        order = np.arange(idx.size)
+        masks2[order, cols] = ~masks2[order, cols]
+        a1 = self._answer_batch(masks1)
+        a2 = self._answer_batch(masks2)
+        self._set_batch_masks((masks1, masks2))
+        self.upstream_bits += idx.size * 2 * self.cols
+        self.downstream_bits += idx.size * 8 * self.block_size * 2 * self.rows
+        combined = np.bitwise_xor(a1, a2)
+        return [combined[b, rows[b]].tobytes() for b in range(idx.size)]
 
     def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
         """Retrieve a block and decode it as a signed integer."""
         return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
+
+    def retrieve_batch_int(
+        self,
+        indices: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[int]:
+        """Batched retrieval decoded as signed integers."""
+        return [
+            int.from_bytes(b, "big", signed=True)
+            for b in self.retrieve_batch(indices, rng)
+        ]

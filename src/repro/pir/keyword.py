@@ -9,7 +9,7 @@ the servers see only the usual random-looking PIR queries, never the key.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -46,7 +46,10 @@ class KeywordPIR:
     def __init__(self, mapping: Mapping[str, int]):
         items = sorted(mapping.items())
         self._keys = [k for k, _ in items]
-        self._pir = TwoServerXorPIR([_pack(k, v) for k, v in items])
+        # An empty directory has no PIR database (every lookup misses).
+        self._pir = (
+            TwoServerXorPIR([_pack(k, v) for k, v in items]) if items else None
+        )
         self.n = len(items)
         self.retrievals = 0
 
@@ -59,32 +62,52 @@ class KeywordPIR:
         hit or miss, so even the *number* of rounds leaks nothing about
         whether the key exists.
         """
+        return self.lookup_batch([key], rng)[0]
+
+    def lookup_batch(
+        self,
+        keys: Sequence[str],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[int | None]:
+        """Privately fetch many keys, binary-searching them in lockstep.
+
+        Every round issues one ``retrieve_batch`` covering all keys'
+        probes, so the per-round Python overhead is paid once per round
+        instead of once per key per round.  Each key still performs the
+        fixed ceil(log2 n) + 1 rounds of :meth:`lookup`.
+        """
         if self.n == 0:
-            return None
+            return [None] * len(keys)
+        if not keys:
+            return []
         rng = resolve_rng(rng)
-        lo, hi = 0, self.n - 1
-        found: int | None = None
+        batch = len(keys)
+        lo = np.zeros(batch, dtype=np.intp)
+        hi = np.full(batch, self.n - 1, dtype=np.intp)
+        found: list[int | None] = [None] * batch
         # Fixed number of rounds: ceil(log2(n)) + 1.
         rounds = max(1, int(np.ceil(np.log2(self.n))) + 1)
         for _ in range(rounds):
             mid = (lo + hi) // 2
-            block_key, value = _unpack(self._pir.retrieve(mid, rng))
-            self.retrievals += 1
-            if block_key == key:
-                found = value
-                # Keep issuing dummy retrievals to fix the round count.
-                lo, hi = mid, mid
-            elif block_key < key:
-                lo = min(mid + 1, self.n - 1)
-            else:
-                hi = max(mid - 1, 0)
+            blocks = self._pir.retrieve_batch(mid, rng)
+            self.retrievals += batch
+            for j, raw in enumerate(blocks):
+                block_key, value = _unpack(raw)
+                if block_key == keys[j]:
+                    found[j] = value
+                    # Keep issuing dummy retrievals to fix the round count.
+                    lo[j] = hi[j] = mid[j]
+                elif block_key < keys[j]:
+                    lo[j] = min(mid[j] + 1, self.n - 1)
+                else:
+                    hi[j] = max(mid[j] - 1, 0)
         return found
 
     @property
     def upstream_bits(self) -> int:
         """Total client-to-server communication so far."""
-        return self._pir.upstream_bits
+        return self._pir.upstream_bits if self._pir is not None else 0
 
     def server_view(self):
         """The servers' most recent query pair (for leakage tests)."""
-        return self._pir.last_queries
+        return self._pir.last_queries if self._pir is not None else None

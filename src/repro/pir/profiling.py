@@ -73,13 +73,18 @@ def profile_itpir(
     is in the subset with probability exactly 1/2 regardless of i).  We let
     the adversary guess uniformly from its observed subset when non-empty —
     an aggressive strategy whose measured success still hovers at chance.
+
+    All trial retrievals run as one ``retrieve_batch``; the adversary then
+    replays the per-query server views from ``last_batch_queries``.
     """
     rng = resolve_rng(rng)
+    if trials <= 0:
+        return ProfilingReport(pir.n, 0, 0)
+    targets = [int(rng.integers(pir.n)) for _ in range(trials)]
+    pir.retrieve_batch(targets, rng)
     successes = 0
-    for _ in range(trials):
-        target = int(rng.integers(pir.n))
-        pir.retrieve(target, rng)
-        view = pir.last_queries[server]
+    for target, views in zip(targets, pir.last_batch_queries):
+        view = views[server]
         if view:
             guess = int(rng.choice(view))
         else:

@@ -167,8 +167,9 @@ class PrivateAggregateIndex:
             raise KeyError(f"predicate on non-grid columns: {sorted(unknown)}")
         count, total = 0, 0.0
         cells = self._cells_for_ranges(ranges)
-        for cell in cells:
-            c, t = _unpack(self._pir.retrieve(cell, rng))
+        # One batched PIR round-trip for the whole predicate.
+        for raw in self._pir.retrieve_batch(cells, rng):
+            c, t = _unpack(raw)
             count += c
             total += t
         self.cells_fetched += len(cells)

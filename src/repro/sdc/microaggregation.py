@@ -34,6 +34,14 @@ def mdav_groups(matrix: np.ndarray, k: int) -> list[np.ndarray]:
 
     Returns a list of index arrays; all groups have exactly k records except
     possibly the last, which has between k and 2k - 1.
+
+    The records still to be grouped are tracked with a boolean ``alive``
+    mask over precomputed standardized points (no per-round
+    ``np.setdiff1d`` re-materialization), the k nearest neighbours are
+    selected with ``np.argpartition`` (O(m) instead of a full O(m log m)
+    sort, with a stable tie-break on the partition boundary so results
+    match a stable full sort exactly), and the pool centroid is maintained
+    as a running sum updated as groups are carved off.
     """
     n = matrix.shape[0]
     if k < 1:
@@ -43,34 +51,49 @@ def mdav_groups(matrix: np.ndarray, k: int) -> list[np.ndarray]:
     if n < 2 * k:
         return [np.arange(n, dtype=np.intp)]
     points = _standardize(np.asarray(matrix, dtype=np.float64))
-    remaining = np.arange(n, dtype=np.intp)
+    alive = np.ones(n, dtype=bool)
+    n_alive = n
+    pool_sum = points.sum(axis=0)
     groups: list[np.ndarray] = []
 
-    def nearest(idx_pool: np.ndarray, anchor: np.ndarray, count: int) -> np.ndarray:
-        d = np.linalg.norm(points[idx_pool] - anchor, axis=1)
-        order = np.argsort(d, kind="stable")
-        return idx_pool[order[:count]]
+    def nearest(pool: np.ndarray, d: np.ndarray, count: int) -> np.ndarray:
+        # k smallest distances; ties on the boundary value are broken by
+        # pool position (ascending index), matching a stable argsort.
+        if d.size <= count:
+            return pool
+        kth = np.partition(d, count - 1)[count - 1]
+        cand = np.flatnonzero(d <= kth)
+        order = np.argsort(d[cand], kind="stable")[:count]
+        return pool[cand[order]]
 
-    while remaining.size >= 3 * k:
-        centroid = points[remaining].mean(axis=0)
-        d = np.linalg.norm(points[remaining] - centroid, axis=1)
-        r = remaining[int(np.argmax(d))]
-        group_r = nearest(remaining, points[r], k)
-        remaining = np.setdiff1d(remaining, group_r, assume_unique=True)
-        groups.append(group_r)
-        d2 = np.linalg.norm(points[remaining] - points[r], axis=1)
-        s = remaining[int(np.argmax(d2))]
-        group_s = nearest(remaining, points[s], k)
-        remaining = np.setdiff1d(remaining, group_s, assume_unique=True)
-        groups.append(group_s)
-    if remaining.size >= 2 * k:
-        centroid = points[remaining].mean(axis=0)
-        d = np.linalg.norm(points[remaining] - centroid, axis=1)
-        r = remaining[int(np.argmax(d))]
-        group_r = nearest(remaining, points[r], k)
-        remaining = np.setdiff1d(remaining, group_r, assume_unique=True)
-        groups.append(group_r)
-    groups.append(remaining)
+    def carve(anchor: np.ndarray) -> np.ndarray:
+        nonlocal n_alive, pool_sum
+        pool = np.flatnonzero(alive)
+        d = np.linalg.norm(points[pool] - anchor, axis=1)
+        group = nearest(pool, d, k)
+        alive[group] = False
+        n_alive -= group.size
+        pool_sum = pool_sum - points[group].sum(axis=0)
+        groups.append(group)
+        return group
+
+    def farthest_from_centroid() -> int:
+        pool = np.flatnonzero(alive)
+        centroid = pool_sum / n_alive
+        d = np.linalg.norm(points[pool] - centroid, axis=1)
+        return int(pool[int(np.argmax(d))])
+
+    while n_alive >= 3 * k:
+        r = farthest_from_centroid()
+        carve(points[r])
+        pool = np.flatnonzero(alive)
+        d2 = np.linalg.norm(points[pool] - points[r], axis=1)
+        s = int(pool[int(np.argmax(d2))])
+        carve(points[s])
+    if n_alive >= 2 * k:
+        r = farthest_from_centroid()
+        carve(points[r])
+    groups.append(np.flatnonzero(alive).astype(np.intp))
     return groups
 
 

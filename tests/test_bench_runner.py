@@ -1,0 +1,56 @@
+"""Smoke test for the benchmark-regression harness.
+
+Runs the real runner with ``--trials 1 --no-compare`` (the `make
+bench-check` smoke entry) so the tier-1 suite exercises kernel setup,
+timing, JSON emission, and the speedup bookkeeping without depending on
+wall-clock stability.
+"""
+
+import json
+
+from benchmarks import runner
+from benchmarks.baselines import BASELINES
+
+
+def test_runner_smoke(tmp_path):
+    out = tmp_path / "bench.json"
+    code = runner.main(["--trials", "1", "--no-compare",
+                        "--output", str(out)])
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["kernels"]
+    assert data["calibration_seconds"] > 0
+    for entry in data["kernels"].values():
+        assert entry["median_seconds"] > 0
+        assert entry["normalized"] > 0
+    # The speedup over the seed's per-byte loop is recorded (its exact
+    # value is asserted by --check, not here, to stay timing-robust).
+    assert data["speedups"]["pir_single_retrieve_n4096_vs_seed"] > 1.0
+
+
+def test_kernel_subset_and_check_logic(tmp_path):
+    out = tmp_path / "bench.json"
+    code = runner.main([
+        "--trials", "1", "--no-compare", "--output", str(out),
+        "--kernels", "pir_square_retrieve_n4096", "mdav_n1000_k5",
+    ])
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert set(data["kernels"]) == {
+        "pir_square_retrieve_n4096", "mdav_n1000_k5"
+    }
+    # check_regressions flags a kernel that blows past its baseline and
+    # accepts one comfortably under it.
+    data["kernels"]["mdav_n1000_k5"]["normalized"] = (
+        BASELINES["mdav_n1000_k5"] * 100
+    )
+    data["kernels"]["pir_square_retrieve_n4096"]["normalized"] = (
+        BASELINES["pir_square_retrieve_n4096"] * 0.5
+    )
+    failures = runner.check_regressions(data, tolerance=2.0)
+    assert len(failures) == 1 and "mdav_n1000_k5" in failures[0]
+
+
+def test_every_baseline_names_a_kernel():
+    kernel_names = {k.name for k in runner.KERNELS}
+    assert set(BASELINES) <= kernel_names

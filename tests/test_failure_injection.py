@@ -74,8 +74,8 @@ class TestCorruptedProtocols:
         pir = TwoServerXorPIR([100, 200, 300])
         honest = pir.retrieve_int(1, 0)
         assert honest == 200
-        # Corrupt one server's database copy.
-        pir._servers[1]._blocks[0] = b"\xff" * pir.block_size
+        # Corrupt one server's database copy (one row of its matrix).
+        pir._servers[1]._db[0] = 0xFF
         rng = np.random.default_rng(1)
         results = {pir.retrieve_int(1, rng) for _ in range(20)}
         assert results != {200}  # corruption visible in some retrievals

@@ -58,6 +58,86 @@ class TestTwoServerXor:
         assert pir.upstream_bits == before + 2 * pir.n
 
 
+class TestBatchRetrieval:
+    INDICES = [3, 77, 127, 0, 42, 127, 9]
+
+    @pytest.mark.parametrize("scheme_cls", [TwoServerXorPIR, SquareSchemePIR])
+    def test_batch_equals_sequential_byte_for_byte(self, scheme_cls):
+        pir = scheme_cls(list(range(128)))
+        # Same master seed: sequential calls consume the rng stream exactly
+        # as the single batch call does, so payloads must be identical.
+        rng_seq = np.random.default_rng(99)
+        sequential = [pir.retrieve(i, rng_seq) for i in self.INDICES]
+        batched = pir.retrieve_batch(self.INDICES, np.random.default_rng(99))
+        assert batched == sequential
+
+    def test_batch_int_decoding(self):
+        pir = TwoServerXorPIR(list(range(0, 500, 7)))
+        idx = [0, 5, 71, 33]
+        assert pir.retrieve_batch_int(idx, 4) == [7 * i for i in idx]
+
+    def test_empty_batch(self):
+        pir = TwoServerXorPIR(list(range(8)))
+        assert pir.retrieve_batch([], 0) == []
+
+    def test_batch_out_of_range(self):
+        pir = TwoServerXorPIR(list(range(8)))
+        with pytest.raises(IndexError):
+            pir.retrieve_batch([2, 8], 0)
+        with pytest.raises(IndexError):
+            pir.retrieve_batch([-1], 0)
+
+    def test_batch_accounting_matches_sequential(self):
+        seq = TwoServerXorPIR(list(range(64)))
+        bat = TwoServerXorPIR(list(range(64)))
+        for i in (1, 2, 3):
+            seq.retrieve(i, i)
+        bat.retrieve_batch([1, 2, 3], 0)
+        assert bat.upstream_bits == seq.upstream_bits
+        assert bat.downstream_bits == seq.downstream_bits
+
+    def test_batch_views_differ_in_exactly_each_target(self):
+        pir = TwoServerXorPIR(list(range(32)))
+        idx = [5, 0, 31, 5]
+        pir.retrieve_batch(idx, 1)
+        views = pir.last_batch_queries
+        assert len(views) == len(idx)
+        for (q1, q2), i in zip(views, idx):
+            assert set(q1) ^ set(q2) == {i}
+        assert pir.last_queries == views[-1]
+
+    def test_square_batch_views_are_column_queries(self):
+        pir = SquareSchemePIR(list(range(49)))
+        idx = [3, 44]
+        pir.retrieve_batch(idx, 2)
+        for (q1, q2), i in zip(pir.last_batch_queries, idx):
+            assert set(q1) ^ set(q2) == {i % pir.cols}
+
+
+class TestConstructionErrors:
+    @pytest.mark.parametrize("scheme_cls", [TwoServerXorPIR, SquareSchemePIR])
+    def test_empty_database_rejected(self, scheme_cls):
+        with pytest.raises(ValueError, match="at least one block"):
+            scheme_cls([])
+
+    def test_oversized_int_raises_value_error(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            TwoServerXorPIR([1, 2 ** 100])
+
+    def test_int_fits_when_bytes_widen_the_blocks(self):
+        # A 16-byte bytes block widens the common width, so 2**100 fits.
+        pir = TwoServerXorPIR([b"x" * 16, 2 ** 100])
+        assert pir.retrieve_int(1, 0) == 2 ** 100
+
+    def test_no_per_byte_python_loops(self):
+        """The kernel contract: answers come from vectorized numpy ops."""
+        import inspect
+        from repro.pir import itpir
+        source = inspect.getsource(itpir)
+        assert "for j in range(size)" not in source
+        assert "acc[j] ^=" not in source
+
+
 class TestSquareScheme:
     def test_correctness(self):
         pir = SquareSchemePIR(list(range(100, 150)))

@@ -28,6 +28,37 @@ class TestCorrectness:
             MultiServerXorPIR([1], n_servers=1)
 
 
+class TestBatchRetrieval:
+    @pytest.mark.parametrize("n_servers", [2, 3, 5])
+    def test_batch_equals_sequential_byte_for_byte(self, n_servers):
+        pir = MultiServerXorPIR(list(range(90)), n_servers=n_servers)
+        indices = [0, 89, 13, 13, 47]
+        rng_seq = np.random.default_rng(5)
+        sequential = [pir.retrieve(i, rng_seq) for i in indices]
+        batched = pir.retrieve_batch(indices, np.random.default_rng(5))
+        assert batched == sequential
+
+    def test_batch_views_xor_to_each_target(self):
+        pir = MultiServerXorPIR(list(range(32)), n_servers=4)
+        indices = [11, 0, 31]
+        pir.retrieve_batch(indices, 0)
+        for views, target in zip(pir.last_batch_queries, indices):
+            combined: set[int] = set()
+            for query in views:
+                combined ^= set(query)
+            assert combined == {target}
+
+    def test_batch_accounting(self):
+        pir = MultiServerXorPIR(list(range(64)), n_servers=3)
+        pir.retrieve_batch([1, 2, 3, 4], 0)
+        assert pir.upstream_bits == 4 * 3 * 64
+        assert pir.downstream_bits == 4 * 8 * 3 * pir.block_size
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError, match="at least one block"):
+            MultiServerXorPIR([], n_servers=3)
+
+
 class TestPrivacy:
     def test_queries_xor_to_target(self):
         pir = MultiServerXorPIR(list(range(32)), n_servers=4)

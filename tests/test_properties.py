@@ -125,6 +125,28 @@ class TestPIRProperties:
         index = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
         assert pir.retrieve_int(index, seed) == records[index]
 
+    @given(
+        records=st.lists(
+            st.integers(min_value=-(2**31), max_value=2**31),
+            min_size=1, max_size=40,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+        data=st.data(),
+    )
+    @_slow
+    def test_itpir_batch_equals_sequential(self, records, seed, data):
+        """retrieve_batch is byte-identical to sequential retrieve calls
+        under the same rng stream, for any database and index list."""
+        indices = data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(records) - 1),
+            min_size=1, max_size=10,
+        ))
+        batched = TwoServerXorPIR(records).retrieve_batch(
+            indices, np.random.default_rng(seed))
+        single = TwoServerXorPIR(records)
+        rng = np.random.default_rng(seed)
+        assert batched == [single.retrieve(i, rng) for i in indices]
+
 
 class TestSdcProperties:
     @given(

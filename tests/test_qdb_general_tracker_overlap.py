@@ -144,3 +144,18 @@ class TestKeywordPIR:
     def test_negative_values(self):
         pir = KeywordPIR({"a": -42})
         assert pir.lookup("a", 0) == -42
+
+    def test_lookup_batch_mixed_hits_and_misses(self, index):
+        keys = ["P007", "ZZZ", "P000", "P049", ""]
+        assert index.lookup_batch(keys, 6) == [70, None, 0, 490, None]
+
+    def test_lookup_batch_fixed_round_cost(self):
+        pir = KeywordPIR({f"k{i:04d}": i for i in range(256)})
+        pir.lookup_batch(["k0100", "nope", "k0000"], 0)
+        # Each key still pays ceil(log2(256)) + 1 = 9 rounds, batched.
+        assert pir.retrievals == 3 * 9
+
+    def test_lookup_batch_empty_inputs(self):
+        assert KeywordPIR({}).lookup_batch(["x", "y"]) == [None, None]
+        pir = KeywordPIR({"a": 1})
+        assert pir.lookup_batch([]) == []

@@ -52,6 +52,65 @@ class TestMdavGroups:
             assert len(sides) == 1
 
 
+class TestMdavGoldenVectors:
+    """The vectorized mdav_groups must reproduce the seed implementation
+    (setdiff1d pools + full stable sorts) group-for-group, in order."""
+
+    GOLDEN = {
+        (0, 53, 3, 4): [
+            [13, 29, 38, 24], [46, 28, 18, 33], [15, 39, 45, 31],
+            [48, 32, 52, 51], [16, 22, 14, 40], [4, 41, 36, 42],
+            [26, 44, 30, 6], [20, 49, 34, 25], [2, 8, 47, 11],
+            [23, 17, 35, 3], [7, 1, 0, 37], [27, 50, 5, 10],
+            [9, 12, 19, 21, 43],
+        ],
+        (1, 40, 2, 5): [
+            [12, 31, 20, 29, 18], [11, 2, 24, 17, 0], [15, 35, 27, 26, 28],
+            [16, 37, 36, 33, 7], [34, 6, 9, 3, 22], [1, 25, 21, 38, 32],
+            [5, 30, 14, 4, 19], [8, 10, 13, 23, 39],
+        ],
+        (2, 30, 4, 3): [
+            [16, 0, 24], [6, 12, 29], [7, 25, 3], [14, 8, 15],
+            [27, 22, 4], [11, 13, 19], [28, 2, 20], [26, 10, 1],
+            [17, 5, 23], [9, 18, 21],
+        ],
+    }
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN))
+    def test_seed_groupings_reproduced(self, key):
+        seed, n, dims, k = key
+        matrix = np.random.default_rng(seed).normal(size=(n, dims))
+        groups = [g.tolist() for g in mdav_groups(matrix, k)]
+        assert groups == self.GOLDEN[key]
+
+    @pytest.mark.parametrize("k", [3, 5])
+    @pytest.mark.parametrize("boundary", ["2k-1", "2k", "3k-1", "3k"])
+    def test_boundary_sizes(self, k, boundary):
+        n = {"2k-1": 2 * k - 1, "2k": 2 * k,
+             "3k-1": 3 * k - 1, "3k": 3 * k}[boundary]
+        matrix = np.random.default_rng(42).normal(size=(n, 2))
+        sizes = [g.size for g in mdav_groups(matrix, k)]
+        assert sum(sizes) == n
+        if n < 2 * k:
+            assert sizes == [n]
+        else:
+            assert all(k <= s <= 2 * k - 1 for s in sizes)
+            assert all(s == k for s in sizes[:-1])
+
+    def test_groups_ordered_by_distance_to_anchor(self):
+        """Within a group, indices are ordered nearest-first from the
+        anchor (the seed's stable-sort contract, kept by argpartition
+        plus a stable tie-break)."""
+        rng = np.random.default_rng(9)
+        matrix = rng.normal(size=(60, 2))
+        groups = mdav_groups(matrix, 6)
+        points = (matrix - matrix.mean(axis=0)) / matrix.std(axis=0)
+        for group in groups[:-1]:
+            anchor = points[group[0]]
+            d = np.linalg.norm(points[group] - anchor, axis=1)
+            assert np.all(np.diff(d) >= -1e-12)
+
+
 class TestMicroaggregationMasking:
     def test_k_anonymity_guarantee(self, patients_300):
         """Paper Section 2 / [12]: microaggregation with minimum group
