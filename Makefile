@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-check bench-refresh
+.PHONY: test bench bench-check bench-qdb bench-refresh
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -12,6 +12,14 @@ bench:
 # Fail (exit nonzero) when any kernel regresses past baseline x tolerance.
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m benchmarks.runner --check
+
+# Query-engine kernels only (packed overlap, incremental sum audit, batched
+# workloads) against their timed seed replicas; `--list` self-diagnoses
+# kernel-name typos.
+bench-qdb:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.runner --check --output /dev/null \
+		--kernels qdb_overlap seed_qdb_overlap qdb_sum_audit \
+		seed_qdb_sum_audit qdb_ask_batch
 
 # Refresh the committed benchmark record after an intentional perf change;
 # copy the printed normalized values into benchmarks/baselines.py too.

@@ -7,10 +7,21 @@ query logs to identities almost perfectly; under PIR the server's log is
 content-free and matching collapses to chance.
 """
 
+import numpy as np
+
+from repro.data import patients
 from repro.pir import (
     log_matching_attack,
     make_user_population,
     run_search_sessions,
+)
+from repro.qdb import (
+    Aggregate,
+    Comparison,
+    Query,
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
 )
 
 
@@ -61,3 +72,50 @@ def test_s1_history_length_sweep(benchmark):
     # Shape: longer histories are monotonically (weakly) more identifying.
     assert all(a <= b + 0.05 for a, b in zip(rates, rates[1:]))
     assert rates[-1] > 0.8
+
+
+def test_s1_qdb_log_replay_batched(benchmark):
+    """The flip side of S1: the *statistical database* owner's query log.
+
+    Because the owner sees every query in full (no user privacy — the
+    paper's Section 3 point), the whole log can be replayed through the
+    audited engine as one batched workload.  Real logs repeat heavily:
+    the mask cache turns the repeats into hits and ``ask_batch`` keeps
+    the refusal sequence identical to the live session.
+    """
+    pop = patients(2000, seed=9)
+    rng = np.random.default_rng(4)
+    columns = ("height", "weight", "age")
+    unique = []
+    for i in range(60):
+        column = columns[i % len(columns)]
+        value = float(np.quantile(pop[column], (i % 19 + 1) / 20.0))
+        unique.append(Comparison(column, "<=" if i % 2 else ">", value))
+    aggregates = (Aggregate.COUNT, Aggregate.SUM, Aggregate.AVG)
+    log = []
+    for i in range(600):  # heavy-tailed repetition, like a real query log
+        predicate = unique[int(rng.zipf(1.6)) % len(unique)]
+        aggregate = aggregates[i % len(aggregates)]
+        column = None if aggregate is Aggregate.COUNT else "blood_pressure"
+        log.append(Query(aggregate, column, predicate))
+
+    def run():
+        db = StatisticalDatabase(
+            pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+        )
+        answers = db.ask_batch(log)
+        return db, answers
+
+    db, answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    answered = sum(a.ok for a in answers)
+    print()
+    print(
+        f"S1/qdb: replayed {len(log)}-query log, {answered} answered; "
+        f"mask cache {db.mask_cache_hits} hits / "
+        f"{db.mask_cache_misses} misses"
+    )
+    assert len(answers) == len(log)
+    # The log's repetition shows up as cache hits (one miss per unique
+    # predicate at most).
+    assert db.mask_cache_misses <= len(unique)
+    assert db.mask_cache_hits == len(log) - db.mask_cache_misses

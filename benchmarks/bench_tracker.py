@@ -9,11 +9,14 @@ queries (no user privacy).
 
 from repro.data import patients
 from repro.qdb import (
+    GeneralTracker,
     NoisePerturbation,
     QuerySetSizeControl,
     RandomSampleQueries,
     StatisticalDatabase,
     SumAuditPolicy,
+    find_general_tracker,
+    identifying_predicate,
     tracker_success_rate,
 )
 from repro.sdc import equivalence_classes
@@ -70,3 +73,41 @@ def test_s3a_tracker_arms_race(benchmark):
     assert rates["size control + audit"] == 0.0
     assert rates["size control + noise"] <= 0.1
     assert rates["size control + sampling"] <= 0.15
+
+
+def test_s3a_general_tracker_batched_sweep(benchmark):
+    """The general tracker sweeping *every* target through `ask_batch`.
+
+    Each tracker identity consumes its queries in pairs, which ride the
+    engine's batched workload API; the tracker predicate T / NOT T masks
+    repeat across the whole sweep and hit the engine's predicate-mask
+    cache, so the per-target cost collapses to the two fresh C OR T /
+    C OR NOT T masks.
+    """
+    pop, targets = _setup()
+    db = StatisticalDatabase(pop, [QuerySetSizeControl(5)])
+    predicate = find_general_tracker(pop, db, 5, ["age"])
+    assert predicate is not None
+
+    def run():
+        tracker = GeneralTracker(db, predicate)
+        return [
+            tracker.count(
+                identifying_predicate(pop, t, ["height", "weight"])
+            )
+            for t in targets
+        ]
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    hits, misses = db.mask_cache_hits, db.mask_cache_misses
+    print()
+    print(
+        f"S3a [22]: general tracker swept {len(targets)} targets in "
+        f"{db.queries_asked} queries; mask cache {hits} hits / "
+        f"{misses} misses"
+    )
+    # Every swept target is unique on (height, weight): count == 1, through
+    # legal queries only.
+    assert all(c == 1.0 for c in counts)
+    # The tracker-side predicates are shared across the sweep.
+    assert hits >= len(targets)

@@ -1,21 +1,25 @@
 """Benchmark-regression harness for the vectorized hot-path kernels.
 
 Times the named kernels (PIR single/batch retrieval at several database
-sizes, MDAV microaggregation at several n x k, probabilistic linkage),
-normalizes wall times against a machine calibration loop, writes the
-results to ``BENCH_hotpaths.json``, and — with ``--check`` — compares the
-normalized times against the committed baselines in
-:mod:`benchmarks.baselines`, exiting nonzero on regression.
+sizes, MDAV microaggregation at several n x k, probabilistic linkage,
+and the query-engine auditing hot paths at session depth H=2000 over
+n=5000 records), normalizes wall times against a machine calibration
+loop, writes the results to ``BENCH_hotpaths.json``, and — with
+``--check`` — compares the normalized times against the committed
+baselines in :mod:`benchmarks.baselines`, exiting nonzero on regression.
 
 Usage::
 
     python -m benchmarks.runner                      # time + write JSON
     python -m benchmarks.runner --check              # fail on regression
+    python -m benchmarks.runner --list               # print kernel names
     python -m benchmarks.runner --trials 1 --no-compare   # CI smoke
 
-A pure-Python replica of the seed's per-byte XOR loop is timed alongside
-the vectorized kernel so the recorded ``speedup_vs_seed`` stays honest on
-every machine.
+Replicas of the seed implementations (the per-byte XOR PIR loop, the
+per-entry overlap loop, the full-QR audit — see
+:mod:`benchmarks.seed_replicas`) are timed alongside the optimized
+kernels so every recorded ``*_vs_seed`` speedup stays honest on any
+machine.
 """
 
 from __future__ import annotations
@@ -34,14 +38,33 @@ import numpy as np
 from repro.attacks import ProbabilisticLinkageAttack
 from repro.data import patients
 from repro.pir import MultiServerXorPIR, SquareSchemePIR, TwoServerXorPIR
+from repro.qdb import (
+    Aggregate,
+    Answer,
+    Comparison,
+    LogEntry,
+    OverlapControl,
+    Query,
+    QueryHistory,
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
+    TruePredicate,
+)
 from repro.sdc.microaggregation import mdav_groups
 
-from .baselines import BASELINES, MIN_SPEEDUP_VS_SEED, TOLERANCE
+from .baselines import BASELINES, MIN_SPEEDUPS, TOLERANCE
+from .seed_replicas import SeedOverlapControl, SeedSumAuditPolicy
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 
-SEED_REFERENCE_KERNEL = "seed_pir_single_retrieve_n4096"
-SPEEDUP_KERNEL = "pir_single_retrieve_n4096"
+# (optimized kernel, timed seed replica) pairs; the recorded speedup for
+# each pair must stay above MIN_SPEEDUPS[kernel] under --check.
+SPEEDUP_PAIRS = [
+    ("pir_single_retrieve_n4096", "seed_pir_single_retrieve_n4096"),
+    ("qdb_overlap", "seed_qdb_overlap"),
+    ("qdb_sum_audit", "seed_qdb_sum_audit"),
+]
 
 
 def _pir_blocks(n: int, block_size: int = 64) -> list[bytes]:
@@ -172,17 +195,157 @@ def _linkage(n: int) -> Callable[[], Callable[[], object]]:
     return setup
 
 
+_QDB_DUMMY_QUERY = Query(Aggregate.SUM, "x", TruePredicate())
+
+
+def _qdb_overlap(
+    h: int, n: int, seed_impl: bool = False
+) -> Callable[[], Callable[[], object]]:
+    """Overlap review at session depth *h* over *n* records.
+
+    The history holds ``h`` answered ~n/2-sized random query sets; each
+    rep audits 8 probe query sets against the full history.
+    ``max_overlap`` sits above every actual overlap (~n/4) but below the
+    probe sizes (~n/2), so neither implementation can refuse or skip the
+    scan — the timed work is the complete history pass.
+    """
+    max_overlap = (2 * n) // 5
+
+    def setup():
+        rng = np.random.default_rng(11)
+        hist_masks = rng.random((h, n)) < 0.5
+        probes = list(rng.random((8, n)) < 0.5)
+        if seed_impl:
+            policy = SeedOverlapControl(max_overlap)
+            history: list = [
+                LogEntry(_QDB_DUMMY_QUERY, m, True, 1.0) for m in hist_masks
+            ]
+        else:
+            policy = OverlapControl(max_overlap)
+            history = QueryHistory(n)
+            for m in hist_masks:
+                history.record(LogEntry(_QDB_DUMMY_QUERY, m, True, 1.0))
+
+        def run():
+            for probe in probes:
+                reason = policy.review(_QDB_DUMMY_QUERY, probe, None, history)
+                if reason is not None:  # would skew the timing
+                    raise RuntimeError(f"unexpected refusal: {reason}")
+
+        return run
+
+    return setup
+
+
+def _qdb_sum_audit(
+    h: int, n: int, n_unique: int, seed_impl: bool = False
+) -> Callable[[], Callable[[], object]]:
+    """Sum-audit review+transform at session depth *h* over *n* records.
+
+    The answered session is ``h`` queries cycling over ``n_unique``
+    nested threshold predicates, so the audit basis holds ``n_unique``
+    orthonormal rows — exactly the state both implementations carry after
+    those ``h`` answers (the basis depends only on the answered span).
+    Each rep audits and re-commits 4 already-answered query sets, the
+    steady-state cost of one more query at that depth.
+    """
+
+    def setup():
+        rng = np.random.default_rng(13)
+        col = rng.integers(0, n_unique, n)
+        unique_masks = [col <= t for t in range(n_unique)]
+        assert h >= len(unique_masks)
+        if seed_impl:
+            policy = SeedSumAuditPolicy()
+            # The seed basis after the session: orthonormalize the unique
+            # indicator span in one shot (state-equivalent, setup-cheap).
+            stacked = np.array(unique_masks, dtype=np.float64)
+            q, r = np.linalg.qr(stacked.T, mode="reduced")
+            keep = np.abs(np.diag(r)) > policy.tolerance
+            policy._basis = q[:, keep].T
+        else:
+            policy = SumAuditPolicy()
+            for mask in unique_masks:
+                policy.review(_QDB_DUMMY_QUERY, mask, None, [])
+                policy.transform(
+                    _QDB_DUMMY_QUERY, Answer(_QDB_DUMMY_QUERY, value=1.0),
+                    mask, None, None,
+                )
+        probes = unique_masks[:4]
+
+        def run():
+            for mask in probes:
+                reason = policy.review(_QDB_DUMMY_QUERY, mask, None, [])
+                if reason is not None:
+                    raise RuntimeError(f"unexpected refusal: {reason}")
+                policy.transform(
+                    _QDB_DUMMY_QUERY, Answer(_QDB_DUMMY_QUERY, value=1.0),
+                    mask, None, None,
+                )
+
+        return run
+
+    return setup
+
+
+def _qdb_ask_batch(
+    n: int, n_queries: int, n_unique: int
+) -> Callable[[], Callable[[], object]]:
+    """End-to-end batched workload: mask cache + policy pipeline.
+
+    Replays a ``n_queries``-query workload with ``n_unique`` distinct
+    threshold predicates (COUNT/SUM/AVG mix) through ``ask_batch`` on a
+    fresh size-control + sum-audit database each rep.
+    """
+
+    def setup():
+        pop = patients(n, seed=3)
+        columns = ("height", "weight", "age")
+        predicates = []
+        for i in range(n_unique):
+            column = columns[i % len(columns)]
+            quantile = (i % 17 + 1) / 18.0
+            value = float(np.quantile(pop[column], quantile))
+            predicates.append(
+                Comparison(column, "<=" if i % 2 else ">", value)
+            )
+        aggregates = (Aggregate.COUNT, Aggregate.SUM, Aggregate.AVG)
+        queries = []
+        for i in range(n_queries):
+            aggregate = aggregates[i % len(aggregates)]
+            column = None if aggregate is Aggregate.COUNT else "blood_pressure"
+            queries.append(Query(aggregate, column, predicates[i % n_unique]))
+
+        def run():
+            db = StatisticalDatabase(
+                pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+            )
+            return db.ask_batch(queries)
+
+        return run
+
+    return setup
+
+
 KERNELS: list[Kernel] = [
     Kernel("pir_single_retrieve_n1024", _pir_single(1024), reps=10),
     Kernel("pir_single_retrieve_n4096", _pir_single(4096), reps=5),
     Kernel("pir_batch64_retrieve_n4096", _pir_batch(4096, 64), reps=2),
     Kernel("pir_square_retrieve_n4096", _pir_square(4096), reps=10),
     Kernel("pir_multiserver3_retrieve_n1024", _pir_multiserver(1024, 3), reps=5),
-    Kernel(SEED_REFERENCE_KERNEL, _seed_pir_single(4096), reps=1,
+    Kernel("seed_pir_single_retrieve_n4096", _seed_pir_single(4096), reps=1,
            reference_only=True),
     Kernel("mdav_n1000_k5", _mdav(1000, 5), reps=1),
     Kernel("mdav_n2000_k10", _mdav(2000, 10), reps=1),
     Kernel("linkage_n600", _linkage(600), reps=1),
+    Kernel("qdb_overlap", _qdb_overlap(2000, 5000), reps=5),
+    Kernel("seed_qdb_overlap", _qdb_overlap(2000, 5000, seed_impl=True),
+           reps=1, reference_only=True),
+    Kernel("qdb_sum_audit", _qdb_sum_audit(2000, 5000, 400), reps=3),
+    Kernel("seed_qdb_sum_audit",
+           _qdb_sum_audit(2000, 5000, 400, seed_impl=True),
+           reps=1, reference_only=True),
+    Kernel("qdb_ask_batch", _qdb_ask_batch(5000, 256, 32), reps=1),
 ]
 
 
@@ -233,22 +396,38 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
             "reps": kernel.reps,
             "reference_only": kernel.reference_only,
         }
-    seed = results["kernels"].get(SEED_REFERENCE_KERNEL)
-    fast = results["kernels"].get(SPEEDUP_KERNEL)
-    if seed and fast:
-        results["speedups"][f"{SPEEDUP_KERNEL}_vs_seed"] = (
-            seed["median_seconds"] / fast["median_seconds"]
-        )
+    for fast_name, seed_name in SPEEDUP_PAIRS:
+        seed = results["kernels"].get(seed_name)
+        fast = results["kernels"].get(fast_name)
+        if seed and fast:
+            results["speedups"][f"{fast_name}_vs_seed"] = (
+                seed["median_seconds"] / fast["median_seconds"]
+            )
     return results
 
 
-def check_regressions(results: dict, tolerance: float) -> list[str]:
+def check_regressions(
+    results: dict, tolerance: float, baselines: dict | None = None
+) -> list[str]:
     """Normalized-time comparison against the committed baselines."""
+    if baselines is None:
+        baselines = BASELINES
     failures = []
+    if not baselines:
+        failures.append(
+            "the committed baseline contains no kernels — the check guards "
+            "nothing; regenerate benchmarks/baselines.py with `make "
+            "bench-refresh` (trials >= 5) and commit the normalized values"
+        )
+    if not results["kernels"]:
+        failures.append(
+            "no kernels were timed in this run — nothing to compare; run "
+            "without --kernels or pass at least one registered name"
+        )
     for name, entry in results["kernels"].items():
         if entry["reference_only"]:
             continue
-        baseline = BASELINES.get(name)
+        baseline = baselines.get(name)
         if baseline is None:
             continue
         if entry["normalized"] > baseline * tolerance:
@@ -256,12 +435,14 @@ def check_regressions(results: dict, tolerance: float) -> list[str]:
                 f"{name}: normalized {entry['normalized']:.2f} exceeds "
                 f"baseline {baseline:.2f} x tolerance {tolerance:.2f}"
             )
-    speedup = results["speedups"].get(f"{SPEEDUP_KERNEL}_vs_seed")
-    if speedup is not None and speedup < MIN_SPEEDUP_VS_SEED:
-        failures.append(
-            f"{SPEEDUP_KERNEL}: only {speedup:.1f}x faster than the seed "
-            f"loop (required: {MIN_SPEEDUP_VS_SEED}x)"
-        )
+    for fast_name, _ in SPEEDUP_PAIRS:
+        speedup = results["speedups"].get(f"{fast_name}_vs_seed")
+        required = MIN_SPEEDUPS.get(fast_name)
+        if speedup is not None and required is not None and speedup < required:
+            failures.append(
+                f"{fast_name}: only {speedup:.1f}x faster than the seed "
+                f"implementation (required: {required}x)"
+            )
     return failures
 
 
@@ -283,7 +464,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="where to write the JSON record")
     parser.add_argument("--kernels", nargs="*", default=None,
                         help="subset of kernel names to run")
+    parser.add_argument("--list", action="store_true",
+                        help="print the registered kernel names and exit")
     args = parser.parse_args(argv)
+
+    if args.list:
+        width = max(len(k.name) for k in KERNELS)
+        for kernel in KERNELS:
+            tag = "  [seed reference]" if kernel.reference_only else ""
+            print(f"{kernel.name:<{width}s}  reps={kernel.reps}{tag}")
+        return 0
 
     if args.kernels is not None:
         known = {k.name for k in KERNELS}

@@ -13,6 +13,7 @@ refuse) and then its transform (which may perturb or widen the answer).
 from __future__ import annotations
 
 import abc
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,7 +21,7 @@ import numpy as np
 from ..data.table import Dataset
 from ..sdc.base import resolve_rng
 from .parser import parse_query
-from .query import Aggregate, Query
+from .query import Aggregate, And, Not, Or, Query
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,94 @@ class LogEntry:
     mask: np.ndarray
     answered: bool
     value: float | None
+
+
+if hasattr(np, "bitwise_count"):
+    def _popcount_rows(packed: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a packed uint8 bit matrix."""
+        return np.bitwise_count(packed).sum(axis=-1, dtype=np.int64)
+else:  # pragma: no cover - numpy < 2.0 fallback
+    _POPCOUNT_TABLE = np.unpackbits(
+        np.arange(256, dtype=np.uint8)[:, None], axis=1
+    ).sum(axis=1).astype(np.uint8)
+
+    def _popcount_rows(packed: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a packed uint8 bit matrix (lookup table)."""
+        return _POPCOUNT_TABLE[packed].sum(axis=-1, dtype=np.int64)
+
+
+class PackedMaskLog:
+    """Answered-query masks as one incrementally grown packed bit matrix.
+
+    Each answered query set over ``n`` records occupies ``ceil(n / 8)``
+    bytes of one ``uint8`` row (``np.packbits`` layout).  Rows live in an
+    amortized-doubling buffer, so appending a mask is O(n / 8) and the
+    whole history stays contiguous — :class:`OverlapControl` intersects a
+    candidate against *every* historical query set with a single bitwise
+    AND + popcount pass instead of a Python loop over full boolean arrays.
+    """
+
+    def __init__(self, n_records: int, initial_capacity: int = 64):
+        self.n_records = n_records
+        self.n_bytes = (n_records + 7) // 8
+        self._rows = np.zeros((max(1, initial_capacity), self.n_bytes),
+                              dtype=np.uint8)
+        self._counts = np.zeros(self._rows.shape[0], dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def rows(self) -> np.ndarray:
+        """View of the packed rows appended so far, oldest first."""
+        return self._rows[: self._size]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Query-set sizes (popcounts) of the appended masks."""
+        return self._counts[: self._size]
+
+    def pack(self, mask: np.ndarray) -> np.ndarray:
+        """Pack a boolean mask into this log's row layout."""
+        return np.packbits(np.asarray(mask, dtype=bool))
+
+    def append(self, mask: np.ndarray) -> None:
+        """Append one answered query-set mask (boolean, length n_records)."""
+        if self._size == self._rows.shape[0]:
+            self._rows = np.vstack([self._rows, np.zeros_like(self._rows)])
+            self._counts = np.concatenate(
+                [self._counts, np.zeros_like(self._counts)]
+            )
+        self._rows[self._size] = self.pack(mask)
+        self._counts[self._size] = int(np.count_nonzero(mask))
+        self._size += 1
+
+    def overlaps(self, packed_candidate: np.ndarray,
+                 start: int = 0, stop: int | None = None) -> np.ndarray:
+        """|Q_i ∩ C| for the logged masks in ``[start, stop)``."""
+        block = self._rows[start: self._size if stop is None else stop]
+        return _popcount_rows(block & packed_candidate)
+
+
+class QueryHistory(list):
+    """The engine's audit trail: a ``list[LogEntry]`` plus packed state.
+
+    Iteration, indexing and ``len`` behave exactly like the seed's plain
+    list, so existing policies and tests are untouched; policies that know
+    about the packed representation (``OverlapControl``) pick it up via
+    the ``answered_masks`` attribute and skip the per-entry Python loop.
+    """
+
+    def __init__(self, n_records: int):
+        super().__init__()
+        self.answered_masks = PackedMaskLog(n_records)
+
+    def record(self, entry: LogEntry) -> None:
+        """Append an entry, mirroring answered masks into the packed log."""
+        self.append(entry)
+        if entry.answered:
+            self.answered_masks.append(entry.mask)
 
 
 class ProtectionPolicy(abc.ABC):
@@ -99,14 +188,49 @@ class StatisticalDatabase:
         self._data = data
         self.policies = list(policies or [])
         self._rng = resolve_rng(seed)
-        self.history: list[LogEntry] = []
+        self.history: QueryHistory = QueryHistory(data.n_rows)
         self.queries_asked = 0
         self.queries_refused = 0
+        self._mask_cache: dict[tuple, np.ndarray] = {}
+        self.mask_cache_hits = 0
+        self.mask_cache_misses = 0
 
     @property
     def n_records(self) -> int:
         """Number of records behind the interface."""
         return self._data.n_rows
+
+    def predicate_mask(self, predicate) -> np.ndarray:
+        """Memoized predicate mask (read-only; one walk per unique key).
+
+        Memoization is per AST *node*, keyed on
+        :meth:`~repro.qdb.query.Predicate.cache_key`: repeated workload
+        queries hit at the root, while tracker pairs such as ``C OR T`` /
+        ``C OR NOT T`` share the cached ``T`` sub-mask even though their
+        roots differ.  Hit/miss totals are exposed as
+        ``mask_cache_hits`` / ``mask_cache_misses`` for the benchmarks.
+        """
+        key = predicate.cache_key()
+        mask = self._mask_cache.get(key)
+        if mask is not None:
+            self.mask_cache_hits += 1
+            return mask
+        self.mask_cache_misses += 1
+        if isinstance(predicate, And):
+            mask = self.predicate_mask(predicate.left) & self.predicate_mask(
+                predicate.right
+            )
+        elif isinstance(predicate, Or):
+            mask = self.predicate_mask(predicate.left) | self.predicate_mask(
+                predicate.right
+            )
+        elif isinstance(predicate, Not):
+            mask = ~self.predicate_mask(predicate.operand)
+        else:
+            mask = predicate.mask(self._data)
+        mask.flags.writeable = False  # shared across history entries
+        self._mask_cache[key] = mask
+        return mask
 
     def ask(self, query: Query | str) -> Answer:
         """Submit one query; returns an :class:`Answer`.
@@ -117,18 +241,39 @@ class StatisticalDatabase:
         """
         if isinstance(query, str):
             query = parse_query(query)
+        return self._process(query, self.predicate_mask(query.predicate))
+
+    def ask_batch(self, queries: list[Query | str]) -> list[Answer]:
+        """Submit a workload of queries; returns one :class:`Answer` each.
+
+        Masks are resolved through the predicate cache before any query is
+        processed, so a batch with repeated predicates (tracker sweeps,
+        replayed logs) pays one vectorized mask pass per *unique*
+        predicate.  Policy review/transform then runs in submission order
+        against the live audit state, which makes the answer and refusal
+        sequence — including ``queries_asked`` / ``queries_refused`` and
+        the history — identical to issuing the same queries through
+        sequential :meth:`ask` calls.
+        """
+        parsed = [
+            parse_query(q) if isinstance(q, str) else q for q in queries
+        ]
+        masks = [self.predicate_mask(q.predicate) for q in parsed]
+        return [self._process(q, m) for q, m in zip(parsed, masks)]
+
+    def _process(self, query: Query, mask: np.ndarray) -> Answer:
+        """Run one parsed query with its precomputed mask through policy."""
         self.queries_asked += 1
-        mask = query.predicate.mask(self._data)
         for policy in self.policies:
             reason = policy.review(query, mask, self._data, self.history)
             if reason is not None:
                 self.queries_refused += 1
-                self.history.append(LogEntry(query, mask, False, None))
+                self.history.record(LogEntry(query, mask, False, None))
                 return Answer(query, refused=True, reason=f"{policy.name}: {reason}")
-        answer = Answer(query, value=query.evaluate(self._data))
+        answer = Answer(query, value=query.evaluate_masked(self._data, mask))
         for policy in self.policies:
             answer = policy.transform(query, answer, mask, self._data, self._rng)
-        self.history.append(LogEntry(query, mask, True, answer.value))
+        self.history.record(LogEntry(query, mask, True, answer.value))
         return answer
 
     def true_answer(self, query: Query | str) -> float:
@@ -173,6 +318,17 @@ class SumAuditPolicy(ProtectionPolicy):
     Σx² over the query set), so they are audited in the same basis: a
     variance query whose query set would make a record's (x, x²) pair
     deducible is refused like the equivalent SUM.
+
+    The basis is maintained *incrementally*: each candidate row is
+    orthogonalized against the existing orthonormal basis with one
+    (re-orthogonalized) Gram–Schmidt step — O(H·n) per query instead of
+    re-factorizing the whole stacked history (O(H²·n)) in both ``review``
+    and ``transform``.  The projection is computed once in ``review`` and
+    the resulting direction is committed by ``transform`` when the query
+    is answered, so the per-query linear-algebra work is done exactly
+    once.  Decisions match the seed's full-QR formulation: a unit vector
+    e_i lies in the prospective row space iff the basis columns' squared
+    norms (tracked incrementally in ``_col_norms``) reach 1 at index i.
     """
 
     _LINEAR = (Aggregate.SUM, Aggregate.COUNT, Aggregate.AVG,
@@ -181,44 +337,78 @@ class SumAuditPolicy(ProtectionPolicy):
     def __init__(self, tolerance: float = 1e-8):
         self.tolerance = tolerance
         self.name = "sum-audit"
-        self._basis: np.ndarray | None = None  # orthonormal rows
+        self._buffer: np.ndarray | None = None  # amortized-doubling rows
+        self._rank = 0
+        self._col_norms: np.ndarray | None = None  # Σ_r basis[r]² per column
+        self._pending: tuple[np.ndarray, np.ndarray | None] | None = None
 
-    def _would_disclose(self, candidate: np.ndarray) -> bool:
-        rows = [candidate.astype(np.float64)]
-        if self._basis is not None:
-            rows = [self._basis, candidate[None, :].astype(np.float64)]
-            stacked = np.vstack(rows)
-        else:
-            stacked = candidate[None, :].astype(np.float64)
-        # Orthonormal basis of the prospective row space.
-        q, r = np.linalg.qr(stacked.T, mode="reduced")
-        keep = np.abs(np.diag(r)) > self.tolerance
-        basis = q[:, keep].T
-        if basis.size == 0:
-            return False
-        # e_i lies in the row space iff its projection has norm 1.
-        proj_norms = (basis ** 2).sum(axis=0)
-        return bool(np.any(proj_norms >= 1.0 - self.tolerance))
+    @property
+    def _basis(self) -> np.ndarray | None:
+        """Orthonormal rows spanning the answered query-set indicators."""
+        if self._rank == 0:
+            return None
+        return self._buffer[: self._rank]
+
+    def _new_direction(self, mask: np.ndarray) -> np.ndarray | None:
+        """Unit vector extending the basis to cover *mask*, or None.
+
+        One classical-Gram–Schmidt projection, applied twice for the
+        numerical robustness of the textbook "twice is enough" rule; the
+        residual-norm threshold reproduces the seed's ``|diag(r)| >
+        tolerance`` column-keep criterion.
+        """
+        residual = mask.astype(np.float64)
+        basis = self._basis
+        if basis is not None:
+            residual = residual - basis.T @ (basis @ residual)
+            residual = residual - basis.T @ (basis @ residual)
+        norm = float(np.linalg.norm(residual))
+        if norm <= self.tolerance:
+            return None
+        return residual / norm
+
+    def _commit(self, direction: np.ndarray) -> None:
+        """Append an orthonormal row and update the column-norm profile."""
+        n = direction.shape[0]
+        if self._buffer is None:
+            self._buffer = np.zeros((16, n), dtype=np.float64)
+            self._col_norms = np.zeros(n, dtype=np.float64)
+        elif self._rank == self._buffer.shape[0]:
+            self._buffer = np.vstack([self._buffer, np.zeros_like(self._buffer)])
+        self._buffer[self._rank] = direction
+        self._rank += 1
+        self._col_norms += direction * direction
 
     def review(self, query, mask, data, history):
         if query.aggregate not in self._LINEAR:
             return None
-        candidate = mask.astype(np.float64)
-        if self._would_disclose(candidate):
+        direction = self._new_direction(mask)
+        # Share the projection with transform: keyed on the mask object so
+        # a direct transform call with a different mask recomputes.
+        self._pending = (mask, direction)
+        if self._rank == 0 and direction is None:
+            return None  # empty query set, empty basis: nothing disclosed
+        proj_norms = (
+            self._col_norms if self._col_norms is not None
+            else np.zeros(mask.shape[0], dtype=np.float64)
+        )
+        if direction is not None:
+            proj_norms = proj_norms + direction * direction
+        # e_i lies in the prospective row space iff its projection has
+        # norm 1.
+        if bool(np.any(proj_norms >= 1.0 - self.tolerance)):
             return "answer would make an individual record deducible"
         return None
 
     def transform(self, query, answer, mask, data, rng):
         if answer.ok and query.aggregate in self._LINEAR:
-            candidate = mask.astype(np.float64)[None, :]
-            stacked = (
-                np.vstack([self._basis, candidate])
-                if self._basis is not None
-                else candidate
-            )
-            q, r = np.linalg.qr(stacked.T, mode="reduced")
-            keep = np.abs(np.diag(r)) > self.tolerance
-            self._basis = q[:, keep].T
+            if self._pending is not None and self._pending[0] is mask:
+                direction = self._pending[1]
+            else:  # transform called without a matching review
+                direction = self._new_direction(mask)
+            if direction is not None:
+                self._commit(direction)
+        self._pending = None
         return answer
 
 
@@ -241,7 +431,13 @@ class RandomSampleQueries(ProtectionPolicy):
 
     def _sample_mask(self, mask: np.ndarray) -> np.ndarray:
         indices = np.flatnonzero(mask)
-        digest = hash((self.seed, tuple(indices.tolist()))) & 0x7FFFFFFF
+        # CRC32 over the packed mask bytes, seeded with the policy seed:
+        # O(n/8) (no Python tuple of indices) and stable across processes
+        # and interpreter configurations (unlike hash(), which varies with
+        # PYTHONHASHSEED).
+        packed = np.packbits(np.asarray(mask, dtype=bool))
+        digest = zlib.crc32(packed.tobytes(), self.seed & 0xFFFFFFFF)
+        digest &= 0x7FFFFFFF
         local = np.random.default_rng(digest)
         keep = local.random(indices.size) < self.sample_fraction
         sampled = np.zeros_like(mask)
@@ -276,7 +472,17 @@ class OverlapControl(ProtectionPolicy):
     records with some previously *answered* query set — the classical
     response to difference attacks, cheaper than exact auditing but
     coarser (it also refuses many harmless queries).
+
+    Overlaps against the whole answered history are computed in one
+    bitwise-AND + popcount pass over the engine's packed audit state
+    (:class:`PackedMaskLog`), chunked so a violating early query set
+    short-circuits the scan; a plain ``list`` history falls back to the
+    per-entry loop.  Refusal decisions (and messages) are identical to
+    the seed's loop: the *first* answered query set in history order
+    whose overlap exceeds the threshold is reported.
     """
+
+    _CHUNK = 512  # history rows per popcount pass (early-exit granularity)
 
     def __init__(self, max_overlap: int):
         if max_overlap < 0:
@@ -284,7 +490,26 @@ class OverlapControl(ProtectionPolicy):
         self.max_overlap = max_overlap
         self.name = f"overlap-control(r={max_overlap})"
 
+    def _review_packed(self, mask, log: PackedMaskLog):
+        if int(np.count_nonzero(mask)) <= self.max_overlap:
+            return None  # |Q ∩ C| <= |C| can never exceed the threshold
+        packed = log.pack(mask)
+        for start in range(0, len(log), self._CHUNK):
+            stop = min(start + self._CHUNK, len(log))
+            overlaps = log.overlaps(packed, start, stop)
+            hits = overlaps > self.max_overlap
+            if hits.any():
+                overlap = int(overlaps[int(np.argmax(hits))])
+                return (
+                    f"query set overlaps a previous one in {overlap} "
+                    f"records (> {self.max_overlap})"
+                )
+        return None
+
     def review(self, query, mask, data, history):
+        log = getattr(history, "answered_masks", None)
+        if log is not None:
+            return self._review_packed(mask, log)
         for entry in history:
             if not entry.answered:
                 continue

@@ -35,6 +35,14 @@ class Predicate:
         """Boolean vector selecting the records satisfying the predicate."""
         raise NotImplementedError
 
+    def cache_key(self) -> tuple:
+        """Stable structural key of the AST (for engine-side mask caching).
+
+        Two predicates with equal keys select the same records on every
+        dataset, so the engine may share one memoized mask between them.
+        """
+        raise NotImplementedError
+
     def __and__(self, other: "Predicate") -> "Predicate":
         return And(self, other)
 
@@ -51,6 +59,9 @@ class TruePredicate(Predicate):
 
     def mask(self, data: Dataset) -> np.ndarray:
         return np.ones(data.n_rows, dtype=bool)
+
+    def cache_key(self) -> tuple:
+        return ("true",)
 
     def __str__(self) -> str:
         return "TRUE"
@@ -89,6 +100,12 @@ class Comparison(Predicate):
             )
         return _OPS[self.op](col, value)
 
+    def cache_key(self) -> tuple:
+        value = self.value
+        # 1 and 1.0 hash alike but carry the dtype through the comparison,
+        # so the key records the type name alongside the value.
+        return ("cmp", self.column, self.op, type(value).__name__, value)
+
     def __str__(self) -> str:
         return f"{self.column} {self.op} {self.value}"
 
@@ -102,6 +119,9 @@ class And(Predicate):
 
     def mask(self, data: Dataset) -> np.ndarray:
         return self.left.mask(data) & self.right.mask(data)
+
+    def cache_key(self) -> tuple:
+        return ("and", self.left.cache_key(), self.right.cache_key())
 
     def __str__(self) -> str:
         return f"({self.left} AND {self.right})"
@@ -117,6 +137,9 @@ class Or(Predicate):
     def mask(self, data: Dataset) -> np.ndarray:
         return self.left.mask(data) | self.right.mask(data)
 
+    def cache_key(self) -> tuple:
+        return ("or", self.left.cache_key(), self.right.cache_key())
+
     def __str__(self) -> str:
         return f"({self.left} OR {self.right})"
 
@@ -129,6 +152,9 @@ class Not(Predicate):
 
     def mask(self, data: Dataset) -> np.ndarray:
         return ~self.operand.mask(data)
+
+    def cache_key(self) -> tuple:
+        return ("not", self.operand.cache_key())
 
     def __str__(self) -> str:
         return f"(NOT {self.operand})"
@@ -152,7 +178,14 @@ class Query:
 
     def evaluate(self, data: Dataset) -> float:
         """True (unprotected) answer on *data*."""
-        mask = self.predicate.mask(data)
+        return self.evaluate_masked(data, self.predicate.mask(data))
+
+    def evaluate_masked(self, data: Dataset, mask: np.ndarray) -> float:
+        """Like :meth:`evaluate` but on an already-computed predicate mask.
+
+        The engine's mask cache evaluates each unique predicate once per
+        dataset; this entry point lets it reuse that mask for the answer.
+        """
         if self.aggregate is Aggregate.COUNT:
             return float(mask.sum())
         values = data.column(self.column)[mask]

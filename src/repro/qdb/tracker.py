@@ -92,17 +92,27 @@ def tracker_attack(
     queries = 0
     refusals = 0
 
-    def ask(aggregate: Aggregate, column: str | None, predicate: Predicate):
+    def ask_pair(aggregate: Aggregate, column: str | None,
+                 first: Predicate, second: Predicate):
+        # The attack always issues the padding/tracker queries as a pair,
+        # so they go through the batched workload API (C1 is shared
+        # between the two predicates and hits the engine's mask cache).
         nonlocal queries, refusals
-        queries += 1
-        answer = db.ask(Query(aggregate, column, predicate))
-        if answer.refused or answer.value is None:
-            refusals += 1
-            return None
-        return answer.value
+        queries += 2
+        answers = db.ask_batch([
+            Query(aggregate, column, first),
+            Query(aggregate, column, second),
+        ])
+        values = []
+        for answer in answers:
+            if answer.refused or answer.value is None:
+                refusals += 1
+                values.append(None)
+            else:
+                values.append(answer.value)
+        return values[0], values[1]
 
-    count_c1 = ask(Aggregate.COUNT, None, c1)
-    count_t = ask(Aggregate.COUNT, None, tracker)
+    count_c1, count_t = ask_pair(Aggregate.COUNT, None, c1, tracker)
     if count_c1 is None or count_t is None:
         return TrackerResult(
             False, None, None, None, queries, refusals,
@@ -114,8 +124,7 @@ def tracker_attack(
             False, inferred_count, None, None, queries, refusals,
             detail=f"target not isolated (inferred count {inferred_count:g})",
         )
-    sum_c1 = ask(Aggregate.SUM, value_column, c1)
-    sum_t = ask(Aggregate.SUM, value_column, tracker)
+    sum_c1, sum_t = ask_pair(Aggregate.SUM, value_column, c1, tracker)
     if sum_c1 is None or sum_t is None:
         return TrackerResult(
             False, inferred_count, None, None, queries, refusals,
@@ -162,11 +171,37 @@ class GeneralTracker:
             return None
         return answer.value
 
+    def _ask_pair(self, aggregate: Aggregate, column: str | None,
+                  first: Predicate, second: Predicate
+                  ) -> tuple[float | None, float | None]:
+        """One tracker query pair through the engine's batched workload API.
+
+        The tracker identities always consume predicates two at a time
+        (T / NOT T, C OR T / C OR NOT T), so the pair rides
+        :meth:`~repro.qdb.engine.StatisticalDatabase.ask_batch`: the
+        shared sub-predicates hit the engine's mask cache and the answer
+        sequence is identical to two sequential asks.
+        """
+        self.queries_asked += 2
+        answers = self._db.ask_batch([
+            Query(aggregate, column, first),
+            Query(aggregate, column, second),
+        ])
+        values: list[float | None] = []
+        for answer in answers:
+            if answer.refused or answer.value is None:
+                self.refused = True
+                values.append(None)
+            else:
+                values.append(answer.value)
+        return values[0], values[1]
+
     def population_size(self) -> float | None:
         """n = count(T) + count(NOT T), via two legal queries."""
         if self._n is None:
-            t = self._ask(Aggregate.COUNT, None, self.tracker)
-            not_t = self._ask(Aggregate.COUNT, None, Not(self.tracker))
+            t, not_t = self._ask_pair(
+                Aggregate.COUNT, None, self.tracker, Not(self.tracker)
+            )
             if t is None or not_t is None:
                 return None
             self._n = t + not_t
@@ -177,21 +212,26 @@ class GeneralTracker:
         n = self.population_size()
         if n is None:
             return None
-        a = self._ask(Aggregate.COUNT, None, predicate | self.tracker)
-        b = self._ask(Aggregate.COUNT, None, predicate | Not(self.tracker))
+        a, b = self._ask_pair(
+            Aggregate.COUNT, None,
+            predicate | self.tracker, predicate | Not(self.tracker),
+        )
         if a is None or b is None:
             return None
         return a + b - n
 
     def sum(self, column: str, predicate: Predicate) -> float | None:
         """Evaluate sum(column, predicate) through the tracker identity."""
-        t = self._ask(Aggregate.SUM, column, self.tracker)
-        not_t = self._ask(Aggregate.SUM, column, Not(self.tracker))
+        t, not_t = self._ask_pair(
+            Aggregate.SUM, column, self.tracker, Not(self.tracker)
+        )
         if t is None or not_t is None:
             return None
         total = t + not_t
-        a = self._ask(Aggregate.SUM, column, predicate | self.tracker)
-        b = self._ask(Aggregate.SUM, column, predicate | Not(self.tracker))
+        a, b = self._ask_pair(
+            Aggregate.SUM, column,
+            predicate | self.tracker, predicate | Not(self.tracker),
+        )
         if a is None or b is None:
             return None
         return a + b - total

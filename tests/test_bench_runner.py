@@ -54,3 +54,47 @@ def test_kernel_subset_and_check_logic(tmp_path):
 def test_every_baseline_names_a_kernel():
     kernel_names = {k.name for k in runner.KERNELS}
     assert set(BASELINES) <= kernel_names
+
+
+def test_every_speedup_pair_names_kernels_with_minimums():
+    kernel_names = {k.name for k in runner.KERNELS}
+    for fast, seed in runner.SPEEDUP_PAIRS:
+        assert {fast, seed} <= kernel_names
+    from benchmarks.baselines import MIN_SPEEDUPS
+    assert set(MIN_SPEEDUPS) <= {fast for fast, _ in runner.SPEEDUP_PAIRS}
+
+
+def test_list_prints_registered_kernels(capsys):
+    assert runner.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for kernel in runner.KERNELS:
+        assert kernel.name in out
+
+
+def test_check_fails_on_empty_baseline():
+    """A baseline with no kernels guards nothing — --check must say so."""
+    results = {
+        "kernels": {"mdav_n1000_k5": {
+            "median_seconds": 0.01, "normalized": 1.0,
+            "reps": 1, "reference_only": False,
+        }},
+        "speedups": {},
+    }
+    failures = runner.check_regressions(results, tolerance=2.0, baselines={})
+    assert failures
+    assert "contains no kernels" in failures[0]
+
+
+def test_check_fails_when_nothing_was_timed():
+    failures = runner.check_regressions(
+        {"kernels": {}, "speedups": {}}, tolerance=2.0
+    )
+    assert any("no kernels were timed" in f for f in failures)
+
+
+def test_check_flags_speedup_shortfall():
+    results = {"kernels": {}, "speedups": {"qdb_overlap_vs_seed": 2.0}}
+    failures = runner.check_regressions(results, tolerance=2.0)
+    assert any(
+        "qdb_overlap" in f and "2.0x" in f for f in failures
+    )

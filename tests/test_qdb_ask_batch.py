@@ -1,0 +1,136 @@
+"""``ask_batch`` must be indistinguishable from sequential ``ask``.
+
+Every policy stack exercised by the integration quadrants (and the rest
+of the suite) is replayed twice — once through sequential :meth:`ask`,
+once through one :meth:`ask_batch` call — on identically-seeded engines;
+answers, refusal bookkeeping and history must agree entry for entry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import patients
+from repro.qdb import (
+    Aggregate,
+    CamouflageIntervals,
+    Comparison,
+    NoisePerturbation,
+    Not,
+    OverlapControl,
+    Query,
+    QuerySetSizeControl,
+    RandomSampleQueries,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+
+STACKS = {
+    "unprotected": lambda: [],
+    "size-control": lambda: [QuerySetSizeControl(5)],
+    "size+audit": lambda: [QuerySetSizeControl(5), SumAuditPolicy()],
+    "size+noise": lambda: [QuerySetSizeControl(5), NoisePerturbation(20.0)],
+    "size+sampling": lambda: [QuerySetSizeControl(5), RandomSampleQueries(0.9)],
+    "overlap": lambda: [OverlapControl(50)],
+    "camouflage": lambda: [CamouflageIntervals(2)],
+    "full-stack": lambda: [
+        QuerySetSizeControl(3),
+        OverlapControl(180),
+        SumAuditPolicy(),
+        NoisePerturbation(5.0),
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def population():
+    return patients(200, seed=11)
+
+
+def workload(pop, rng, n_queries=50):
+    """Mixed aggregates over random predicates, with repeats."""
+    columns = ["height", "weight", "age"]
+    aggregates = [
+        Aggregate.COUNT, Aggregate.SUM, Aggregate.AVG, Aggregate.MEDIAN,
+    ]
+    predicates = []
+    for _ in range(n_queries // 3):
+        column = columns[rng.integers(len(columns))]
+        op = ["<", "<=", ">", ">="][rng.integers(4)]
+        value = float(np.round(rng.choice(pop[column]), 1))
+        predicate = Comparison(column, op, value)
+        if rng.random() < 0.2:
+            predicate = Not(predicate)
+        predicates.append(predicate)
+    queries = []
+    for _ in range(n_queries):
+        aggregate = aggregates[rng.integers(len(aggregates))]
+        column = None if aggregate is Aggregate.COUNT else "blood_pressure"
+        queries.append(
+            Query(aggregate, column, predicates[rng.integers(len(predicates))])
+        )
+    return queries
+
+
+def same_value(x, y):
+    if x is None or y is None:
+        return x is y
+    return x == y or (np.isnan(x) and np.isnan(y))
+
+
+@pytest.mark.parametrize("stack", sorted(STACKS))
+def test_batch_equals_sequential(stack, population):
+    queries = workload(population, np.random.default_rng(7))
+    db_seq = StatisticalDatabase(population, STACKS[stack](), seed=3)
+    db_batch = StatisticalDatabase(population, STACKS[stack](), seed=3)
+    sequential = [db_seq.ask(q) for q in queries]
+    batched = db_batch.ask_batch(queries)
+    assert len(batched) == len(sequential)
+    for a, b in zip(batched, sequential):
+        assert a.refused == b.refused, (a, b)
+        assert a.reason == b.reason, (a, b)
+        assert same_value(a.value, b.value), (a, b)
+        assert a.interval == b.interval, (a, b)
+    # Refusal bookkeeping and the audit trail match exactly.
+    assert db_batch.queries_asked == db_seq.queries_asked == len(queries)
+    assert db_batch.queries_refused == db_seq.queries_refused
+    assert len(db_batch.history) == len(db_seq.history)
+    assert [e.answered for e in db_batch.history] == [
+        e.answered for e in db_seq.history
+    ]
+    assert len(db_batch.history.answered_masks) == len(
+        db_seq.history.answered_masks
+    )
+
+
+def test_batch_accepts_strings_and_queries(population):
+    db = StatisticalDatabase(population, [QuerySetSizeControl(5)])
+    answers = db.ask_batch([
+        "SELECT COUNT(*) WHERE height > 170",
+        Query(Aggregate.AVG, "blood_pressure", Comparison("height", ">", 170.0)),
+    ])
+    assert all(a.ok for a in answers)
+    assert db.queries_asked == 2
+
+
+def test_batch_shares_masks_across_repeated_predicates(population):
+    db = StatisticalDatabase(population)
+    q = "SELECT COUNT(*) WHERE height > 170"
+    db.ask_batch([q] * 10)
+    assert db.mask_cache_misses == 1
+    assert db.mask_cache_hits == 9
+
+
+def test_empty_batch(population):
+    db = StatisticalDatabase(population)
+    assert db.ask_batch([]) == []
+    assert db.queries_asked == 0
+
+
+def test_interleaved_batch_and_ask_share_state(population):
+    """A batch continues the same audit session as sequential asks."""
+    db = StatisticalDatabase(population, [OverlapControl(50)])
+    first = db.ask("SELECT SUM(blood_pressure) WHERE height > 170")
+    assert first.ok
+    batch = db.ask_batch(["SELECT SUM(blood_pressure) WHERE height > 169"])
+    assert batch[0].refused  # overlaps the sequentially answered query
+    assert "overlaps" in batch[0].reason

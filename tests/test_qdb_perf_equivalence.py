@@ -1,0 +1,243 @@
+"""The packed/incremental audit policies must match the seed, decision
+for decision.
+
+The throughput layer (packed-bitset ``OverlapControl``, incremental-QR
+``SumAuditPolicy``, predicate-mask cache) is only allowed to change *how
+fast* the engine answers, never *what* it answers: randomized workloads
+are replayed against frozen replicas of the seed implementations
+(:mod:`benchmarks.seed_replicas`) and every answer, refusal, reason and
+counter must be identical.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.seed_replicas import SeedOverlapControl, SeedSumAuditPolicy
+from repro.data import patients
+from repro.qdb import (
+    Aggregate,
+    Comparison,
+    Not,
+    OverlapControl,
+    PackedMaskLog,
+    Query,
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+
+
+def random_workload(pop, rng, n_queries):
+    """A mixed-aggregate query stream over random predicates on *pop*."""
+    columns = ["height", "weight", "age"]
+    aggregates = [
+        Aggregate.COUNT, Aggregate.SUM, Aggregate.AVG,
+        Aggregate.VARIANCE, Aggregate.STDDEV, Aggregate.MEDIAN,
+    ]
+    queries = []
+    for _ in range(n_queries):
+        column = columns[rng.integers(len(columns))]
+        op = ["<", "<=", ">", ">=", "=", "!="][rng.integers(6)]
+        value = float(np.round(rng.choice(pop[column]), 1))
+        predicate = Comparison(column, op, value)
+        if rng.random() < 0.3:
+            other = columns[rng.integers(len(columns))]
+            predicate = predicate & Comparison(
+                other, ">", float(np.quantile(pop[other], rng.random()))
+            )
+        if rng.random() < 0.15:
+            predicate = Not(predicate)
+        aggregate = aggregates[rng.integers(len(aggregates))]
+        column = None if aggregate is Aggregate.COUNT else "blood_pressure"
+        queries.append(Query(aggregate, column, predicate))
+    return queries
+
+
+def same_value(x, y):
+    """Bitwise-identical answer values (NaN for an empty query set is a
+    legitimate answer and must match NaN)."""
+    if x is None or y is None:
+        return x is y
+    return x == y or (np.isnan(x) and np.isnan(y))
+
+
+def assert_sessions_identical(pop, queries, new_policies, seed_policies):
+    """Replay *queries* through both stacks; every outcome must match."""
+    db_new = StatisticalDatabase(pop, new_policies, seed=0)
+    db_seed = StatisticalDatabase(pop, seed_policies, seed=0)
+    for query in queries:
+        a, b = db_new.ask(query), db_seed.ask(query)
+        assert a.refused == b.refused, (query, a, b)
+        assert a.reason == b.reason, (query, a, b)
+        assert same_value(a.value, b.value), (query, a, b)
+        assert a.interval == b.interval, (query, a, b)
+    assert db_new.queries_asked == db_seed.queries_asked
+    assert db_new.queries_refused == db_seed.queries_refused
+    assert len(db_new.history) == len(db_seed.history)
+    assert [e.answered for e in db_new.history] == [
+        e.answered for e in db_seed.history
+    ]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_overlap_control_matches_seed(seed):
+    """Packed popcount overlap == seed per-entry loop, random workloads
+    with varying n, k and max_overlap."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(60, 350))
+    pop = patients(n, seed=seed)
+    k = int(rng.integers(1, 8))
+    max_overlap = int(rng.integers(0, n // 2))
+    queries = random_workload(pop, rng, 80)
+    assert_sessions_identical(
+        pop, queries,
+        [QuerySetSizeControl(k), OverlapControl(max_overlap)],
+        [QuerySetSizeControl(k), SeedOverlapControl(max_overlap)],
+    )
+
+
+@pytest.mark.parametrize("seed", range(5, 10))
+def test_sum_audit_matches_seed(seed):
+    """Incremental Gram–Schmidt audit == seed full-QR audit, random
+    workloads with a mixed aggregate profile."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(60, 350))
+    pop = patients(n, seed=seed)
+    k = int(rng.integers(1, 6))
+    queries = random_workload(pop, rng, 80)
+    assert_sessions_identical(
+        pop, queries,
+        [QuerySetSizeControl(k), SumAuditPolicy()],
+        [QuerySetSizeControl(k), SeedSumAuditPolicy()],
+    )
+
+
+@pytest.mark.parametrize("seed", range(10, 13))
+def test_combined_stack_matches_seed(seed):
+    """Both optimized policies together == both seed replicas together."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(80, 300))
+    pop = patients(n, seed=seed)
+    max_overlap = int(rng.integers(n // 4, n))
+    queries = random_workload(pop, rng, 60)
+    assert_sessions_identical(
+        pop, queries,
+        [OverlapControl(max_overlap), SumAuditPolicy()],
+        [SeedOverlapControl(max_overlap), SeedSumAuditPolicy()],
+    )
+
+
+class TestGoldenSession:
+    """A fixed seed session with a frozen answer/refusal fingerprint.
+
+    Guards against *both* implementations drifting together (which the
+    replica comparison cannot see).
+    """
+
+    def _run(self, policies):
+        pop = patients(150, seed=42)
+        rng = np.random.default_rng(99)
+        db = StatisticalDatabase(pop, policies, seed=0)
+        answers = [db.ask(q) for q in random_workload(pop, rng, 60)]
+        refusals = "".join("R" if a.refused else "A" for a in answers)
+        # nansum: empty-query-set SUM/AVG answers are NaN by contract.
+        checksum = float(
+            np.nansum([a.value for a in answers if a.value is not None])
+        )
+        return refusals, checksum
+
+    def test_overlap_golden_vector(self):
+        refusals, checksum = self._run([OverlapControl(40)])
+        assert refusals == (
+            "AAAAARRAARAARAAAAARRRAARAAARAAAARAARARRARRRAARARRARRRAAARRRA"
+        )
+        assert checksum == pytest.approx(12866.158211603071, rel=1e-12)
+
+    def test_sum_audit_golden_vector(self):
+        refusals, checksum = self._run([SumAuditPolicy()])
+        assert refusals == (
+            "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAARAAAAARAAR"
+        )
+        assert checksum == pytest.approx(63104.77017914514, rel=1e-12)
+
+
+class TestPackedMaskLog:
+    def test_append_and_views(self):
+        log = PackedMaskLog(20, initial_capacity=2)
+        rng = np.random.default_rng(0)
+        masks = [rng.random(20) < 0.5 for _ in range(9)]
+        for mask in masks:
+            log.append(mask)
+        assert len(log) == 9
+        assert log.rows.shape == (9, 3)  # ceil(20 / 8) bytes per row
+        np.testing.assert_array_equal(
+            log.counts, [int(m.sum()) for m in masks]
+        )
+
+    def test_overlaps_match_boolean_intersection(self):
+        rng = np.random.default_rng(1)
+        log = PackedMaskLog(77)
+        masks = [rng.random(77) < 0.4 for _ in range(30)]
+        for mask in masks:
+            log.append(mask)
+        candidate = rng.random(77) < 0.6
+        expected = [int(np.sum(candidate & m)) for m in masks]
+        np.testing.assert_array_equal(
+            log.overlaps(log.pack(candidate)), expected
+        )
+        np.testing.assert_array_equal(
+            log.overlaps(log.pack(candidate), 10, 20), expected[10:20]
+        )
+
+    def test_growth_beyond_initial_capacity(self):
+        log = PackedMaskLog(8, initial_capacity=1)
+        for i in range(70):
+            mask = np.zeros(8, dtype=bool)
+            mask[i % 8] = True
+            log.append(mask)
+        assert len(log) == 70
+        assert log.counts.sum() == 70
+
+    def test_engine_history_mirrors_answered_queries(self):
+        pop = patients(100, seed=5)
+        db = StatisticalDatabase(pop, [QuerySetSizeControl(5)])
+        db.ask("SELECT COUNT(*) WHERE height > 170")
+        db.ask("SELECT COUNT(*)")  # refused: query set too large
+        db.ask("SELECT AVG(blood_pressure) WHERE weight > 60")
+        answered = [e for e in db.history if e.answered]
+        assert len(db.history.answered_masks) == len(answered) == 2
+        for row, entry in zip(db.history.answered_masks.rows, answered):
+            np.testing.assert_array_equal(row, np.packbits(entry.mask))
+
+
+class TestMaskCache:
+    def test_repeated_predicates_hit_the_cache(self):
+        pop = patients(120, seed=2)
+        db = StatisticalDatabase(pop)
+        q = "SELECT COUNT(*) WHERE height > 170"
+        db.ask(q)
+        assert (db.mask_cache_hits, db.mask_cache_misses) == (0, 1)
+        db.ask(q)
+        db.ask("SELECT SUM(blood_pressure) WHERE height > 170")
+        assert (db.mask_cache_hits, db.mask_cache_misses) == (2, 1)
+
+    def test_structurally_equal_predicates_share_one_mask(self):
+        pop = patients(120, seed=2)
+        db = StatisticalDatabase(pop)
+        a = Comparison("height", ">", 170.0) & Comparison("weight", "<", 90.0)
+        b = Comparison("height", ">", 170.0) & Comparison("weight", "<", 90.0)
+        m1 = db.predicate_mask(a)
+        m2 = db.predicate_mask(b)
+        assert m1 is m2
+        assert not m1.flags.writeable  # shared masks are frozen
+
+    def test_distinct_value_types_do_not_collide(self):
+        pop = patients(120, seed=2)
+        db = StatisticalDatabase(pop)
+        assert (
+            Comparison("height", ">", 170).cache_key()
+            != Comparison("height", ">", 170.0).cache_key()
+        )
+        db.predicate_mask(Comparison("height", ">", 170))
+        db.predicate_mask(Comparison("height", ">", 170.0))
+        assert db.mask_cache_misses == 2

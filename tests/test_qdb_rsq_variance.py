@@ -108,3 +108,47 @@ class TestRandomSampleQueries:
             RandomSampleQueries(0.0)
         with pytest.raises(ValueError):
             RandomSampleQueries(1.5)
+
+    def test_sample_digest_stable_across_processes(self):
+        """The sample stream is a CRC32 of the packed query-set mask, so
+        it cannot depend on PYTHONHASHSEED or any interpreter config —
+        the same query must sample identically in a fresh process."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent(
+            """
+            from repro.data import patients
+            from repro.qdb import RandomSampleQueries, StatisticalDatabase
+
+            db = StatisticalDatabase(
+                patients(80, seed=3), [RandomSampleQueries(0.7, seed=5)]
+            )
+            answer = db.ask("SELECT SUM(blood_pressure) WHERE height > 160")
+            print(repr(answer.value))
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "424242"  # would skew a hash()-based digest
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        db = StatisticalDatabase(
+            patients(80, seed=3), [RandomSampleQueries(0.7, seed=5)]
+        )
+        here = db.ask("SELECT SUM(blood_pressure) WHERE height > 160").value
+        assert float(result.stdout.strip()) == here
+
+    def test_packed_digest_distinguishes_nested_masks(self):
+        """Masks are packed to whole bytes; two nested query sets in the
+        same byte must still produce different digests and samples."""
+        policy = RandomSampleQueries(0.5, seed=0)
+        a = np.zeros(10, dtype=bool)
+        a[:4] = True
+        b = np.zeros(10, dtype=bool)
+        b[:5] = True
+        assert not np.array_equal(policy._sample_mask(a), policy._sample_mask(b))
