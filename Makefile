@@ -1,6 +1,11 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-check bench-qdb bench-refresh
+.PHONY: verify test bench bench-check bench-qdb bench-refresh telemetry-smoke
+
+.DEFAULT_GOAL := verify
+
+# The default gate: tests, benchmark regressions, telemetry schema drift.
+verify: test bench-check telemetry-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -25,3 +30,8 @@ bench-qdb:
 # copy the printed normalized values into benchmarks/baselines.py too.
 bench-refresh:
 	PYTHONPATH=src $(PYTHON) -m benchmarks.runner --output BENCH_hotpaths.json
+
+# Run the instrumented S1/S3a scenario and validate its JSONL capture
+# against the span schema; fails on schema drift or lost refusal forensics.
+telemetry-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro telemetry smoke

@@ -52,6 +52,7 @@ from repro.qdb import (
     TruePredicate,
 )
 from repro.sdc.microaggregation import mdav_groups
+from repro.telemetry import process_registry
 
 from .baselines import BASELINES, MIN_SPEEDUPS, TOLERANCE
 from .seed_replicas import SeedOverlapControl, SeedSumAuditPolicy
@@ -376,10 +377,15 @@ def time_kernel(kernel: Kernel, trials: int) -> float:
     return statistics.median(samples)
 
 
+def _counter_totals() -> dict[str, int]:
+    """Aggregated process-registry counter values (live + folded)."""
+    return process_registry().snapshot()["counters"]
+
+
 def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
     calibration = calibrate()
     results: dict = {
-        "schema": 1,
+        "schema": 2,
         "generated_by": "python -m benchmarks.runner",
         "calibration_seconds": calibration,
         "trials": trials,
@@ -389,12 +395,23 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
     for kernel in KERNELS:
         if names and kernel.name not in names:
             continue
+        before = _counter_totals()
         median = time_kernel(kernel, trials)
+        after = _counter_totals()
+        # What the kernel's workload cost in telemetry counters: the
+        # components die with the timing closure and fold their totals
+        # into the process registry, so the delta covers the whole run.
+        counters = {
+            name: value - before.get(name, 0)
+            for name, value in after.items()
+            if value != before.get(name, 0)
+        }
         results["kernels"][kernel.name] = {
             "median_seconds": median,
             "normalized": median / calibration,
             "reps": kernel.reps,
             "reference_only": kernel.reference_only,
+            "counters": counters,
         }
     for fast_name, seed_name in SPEEDUP_PAIRS:
         seed = results["kernels"].get(seed_name)

@@ -16,6 +16,13 @@ Commands
     Demonstrate the Schlörer tracker against a synthetic database.
 ``attack-pir``
     Run the Section 3 COUNT/AVG attack on Dataset 2.
+``telemetry report <trace.jsonl>``
+    Summarize a captured trace: latency table, slowest spans, refusals.
+``telemetry dashboard``
+    Render the privacy-meter dashboard beside live operational metrics.
+``telemetry smoke``
+    Run the instrumented S1/S3a scenario and validate its capture
+    against the span schema (the CI drift gate).
 """
 
 from __future__ import annotations
@@ -199,6 +206,69 @@ def _cmd_attack_pir(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry import SpanSchemaError
+
+    try:
+        return _TELEMETRY_COMMANDS[args.telemetry_command](args)
+    except (SpanSchemaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_telemetry_report(args: argparse.Namespace) -> int:
+    from .telemetry import load_trace
+
+    report = load_trace(args.trace, validate=not args.no_validate)
+    print(report.format(top=args.top))
+    return 0
+
+
+def _cmd_telemetry_dashboard(args: argparse.Namespace) -> int:
+    from .core import assess_masking
+    from .data import patients
+    from .sdc import Microaggregation, RankSwap, UncorrelatedNoise
+    from .telemetry import instrument as tele
+    from .telemetry import render_dashboard
+
+    population = patients(args.records, seed=args.seed).drop(["patient_id"])
+    methods = [Microaggregation(5), UncorrelatedNoise(0.5), RankSwap(15)]
+    with tele.session():
+        assessments = [
+            assess_masking(m, population, with_pir=args.pir, seed=args.seed)
+            for m in methods
+        ]
+        snapshot = tele.snapshot()
+    print(render_dashboard(assessments, snapshot))
+    return 0
+
+
+def _cmd_telemetry_smoke(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from .telemetry import SmokeError, run_smoke
+
+    trace = args.out or str(
+        Path(tempfile.gettempdir()) / "repro-telemetry-smoke.jsonl"
+    )
+    try:
+        summary = run_smoke(trace, records=args.records, seed=args.seed)
+    except SmokeError as exc:
+        print(f"telemetry smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print("telemetry smoke OK")
+    return 0
+
+
+_TELEMETRY_COMMANDS = {
+    "report": _cmd_telemetry_report,
+    "dashboard": _cmd_telemetry_dashboard,
+    "smoke": _cmd_telemetry_smoke,
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -239,6 +309,32 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--pir", action="store_true",
                     help="model a PIR front-end for the user dimension")
+
+    ptel = sub.add_parser("telemetry", help="observability consumers")
+    tel_sub = ptel.add_subparsers(dest="telemetry_command", required=True)
+
+    tr = tel_sub.add_parser("report", help="summarize a JSONL trace")
+    tr.add_argument("trace", help="path to a telemetry JSONL capture")
+    tr.add_argument("--top", type=int, default=10,
+                    help="slowest spans to list")
+    tr.add_argument("--no-validate", action="store_true",
+                    help="skip span-schema validation")
+
+    td = tel_sub.add_parser(
+        "dashboard", help="privacy meters + operational metrics"
+    )
+    td.add_argument("--records", type=int, default=300)
+    td.add_argument("--seed", type=int, default=0)
+    td.add_argument("--pir", action="store_true",
+                    help="model a PIR front-end for the user dimension")
+
+    tk = tel_sub.add_parser(
+        "smoke", help="instrumented S1/S3a scenario + schema gate"
+    )
+    tk.add_argument("--out", default=None,
+                    help="trace path (default: a temp file)")
+    tk.add_argument("--records", type=int, default=150)
+    tk.add_argument("--seed", type=int, default=3)
     return parser
 
 
@@ -250,6 +346,7 @@ _COMMANDS = {
     "tracker": _cmd_tracker,
     "attack-pir": _cmd_attack_pir,
     "scoreboard": _cmd_scoreboard,
+    "telemetry": _cmd_telemetry,
 }
 
 

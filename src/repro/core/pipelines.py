@@ -24,6 +24,7 @@ from ..pir.sql_bridge import AggregateResult, PrivateAggregateIndex
 from ..ppdm.randomization import AgrawalSrikantRandomizer
 from ..sdc.kanonymity import anonymity_level
 from ..sdc.microaggregation import Microaggregation
+from ..telemetry import instrument as tele
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,14 @@ class PipelineAudit:
     def passed(self) -> bool:
         """True when the release meets its declared guarantees."""
         return self.k_achieved >= self.k_required and self.singleton_cells == 0
+
+
+def _publish_audit(pipeline: str, audit: "PipelineAudit") -> None:
+    """Expose the latest audit outcome on the telemetry gauges."""
+    tele.gauge("sdc.k_required").set(audit.k_required)
+    tele.gauge("sdc.k_achieved").set(audit.k_achieved)
+    tele.gauge("sdc.singleton_cells").set(audit.singleton_cells)
+    tele.counter(f"sdc.audits[{pipeline}]").inc()
 
 
 class KAnonymousPIRPipeline:
@@ -89,25 +98,29 @@ class KAnonymousPIRPipeline:
         * no served grid cell isolates a single respondent (every
           non-empty cell holds >= k records).
         """
-        achieved = anonymity_level(self.release, self.quasi_identifiers)
-        singles = 0
-        import itertools
+        with tele.span("sdc.pipeline_audit", pipeline="k-anonymous-pir"):
+            achieved = anonymity_level(self.release, self.quasi_identifiers)
+            singles = 0
+            import itertools
 
-        per_dim = [
-            range(len(self.index.edges[c]) - 1) for c in self.index.group_columns
-        ]
-        for combo in itertools.product(*per_dim):
-            ranges = {
-                c: (
-                    float(self.index.edges[c][j]),
-                    float(self.index.edges[c][j + 1]),
-                )
-                for c, j in zip(self.index.group_columns, combo)
-            }
-            result = self.index.query(ranges, rng)
-            if 0 < result.count < self.k:
-                singles += 1
-        return PipelineAudit(self.k, achieved, singles)
+            per_dim = [
+                range(len(self.index.edges[c]) - 1)
+                for c in self.index.group_columns
+            ]
+            for combo in itertools.product(*per_dim):
+                ranges = {
+                    c: (
+                        float(self.index.edges[c][j]),
+                        float(self.index.edges[c][j + 1]),
+                    )
+                    for c, j in zip(self.index.group_columns, combo)
+                }
+                result = self.index.query(ranges, rng)
+                if 0 < result.count < self.k:
+                    singles += 1
+            audit = PipelineAudit(self.k, achieved, singles)
+        _publish_audit("k-anonymous-pir", audit)
+        return audit
 
 
 class HippocraticPipeline:
@@ -156,8 +169,11 @@ class HippocraticPipeline:
 
     def audit(self) -> PipelineAudit:
         """Check the k-anonymity invariant of the inner masking."""
-        achieved = anonymity_level(self._release, self._qi)
-        return PipelineAudit(self.k, achieved, 0)
+        with tele.span("sdc.pipeline_audit", pipeline="hippocratic"):
+            achieved = anonymity_level(self._release, self._qi)
+            audit = PipelineAudit(self.k, achieved, 0)
+        _publish_audit("hippocratic", audit)
+        return audit
 
     @property
     def noise_models(self):

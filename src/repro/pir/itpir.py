@@ -35,6 +35,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..sdc.base import resolve_rng
+from ..telemetry import instrument as tele
+from ..telemetry.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -161,45 +163,58 @@ class _Server:
         return np.packbits(bits, axis=1)
 
 
-class TwoServerXorPIR(_BatchViewMixin):
-    """The basic two-server XOR scheme of Chor–Goldreich–Kushilevitz–Sudan.
+class _XorPIRScheme(_BatchViewMixin):
+    """Shared accounting, telemetry, and integer codecs for XOR schemes.
 
-    Parameters
-    ----------
-    blocks:
-        Database records, as ``bytes`` or signed integers (encoded to a
-        common width).  Must be non-empty.
+    Every scheme funnels its communication tally through :meth:`_traffic`,
+    which feeds a per-instance telemetry registry (attached to the process
+    registry, so benchmark snapshots see aggregate totals).  The public
+    ``retrieve`` / ``retrieve_batch`` entry points add spans and latency
+    histograms when telemetry is enabled and are plain pass-throughs when
+    it is not; subclasses implement ``_retrieve_one`` / ``_retrieve_many``.
     """
 
-    def __init__(self, blocks: Sequence[bytes | int]):
-        self._db = _require_nonempty(_normalize_blocks(blocks))
-        self.n = int(self._db.shape[0])
-        # Each server holds its own replica (they are distinct machines;
-        # a byzantine server corrupting its copy must not affect the other).
-        self._servers = (_Server(self._db.copy()), _Server(self._db.copy()))
-        self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
-        self.upstream_bits = 0
-        self.downstream_bits = 0
+    #: Short scheme tag used for span attributes and registry ownership.
+    scheme = "xor"
+
+    def _init_accounting(self) -> None:
+        """Create the per-instance traffic counters (call from __init__)."""
+        self.metrics = MetricsRegistry(owner=f"pir.{self.scheme}")
+        self._c_upstream = self.metrics.counter("pir.upstream_bits")
+        self._c_downstream = self.metrics.counter("pir.downstream_bits")
+        self._c_retrievals = self.metrics.counter("pir.retrievals")
 
     @property
-    def block_size(self) -> int:
-        """Bytes per block."""
-        return int(self._db.shape[1])
+    def upstream_bits(self) -> int:
+        """Total client-to-server communication so far, in bits."""
+        return self._c_upstream.value
 
-    def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
+    @property
+    def downstream_bits(self) -> int:
+        """Total server-to-client communication so far, in bits."""
+        return self._c_downstream.value
+
+    @property
+    def retrievals(self) -> int:
+        """Number of block retrievals performed (batched ones included)."""
+        return self._c_retrievals.value
+
+    def _traffic(self, up: int, down: int, queries: int = 1) -> None:
+        """Account *queries* retrievals costing *up*/*down* bits."""
+        self._c_upstream.inc(up)
+        self._c_downstream.inc(down)
+        self._c_retrievals.inc(queries)
+
+    def retrieve(
+        self, index: int, rng: np.random.Generator | int | None = None
+    ) -> bytes:
         """Privately retrieve block *index*."""
-        if not 0 <= index < self.n:
-            raise IndexError(f"index {index} out of range [0, {self.n})")
-        rng = resolve_rng(rng)
-        mask1 = rng.random(self.n) < 0.5
-        mask2 = mask1.copy()
-        mask2[index] = ~mask2[index]
-        a1 = self._servers[0].answer(0, np.flatnonzero(mask1))
-        a2 = self._servers[1].answer(1, np.flatnonzero(mask2))
-        self.last_queries = (a1.query_indices, a2.query_indices)
-        self.upstream_bits += 2 * self.n  # one characteristic bit-vector each
-        self.downstream_bits += 8 * (len(a1.payload) + len(a2.payload))
-        return _xor_payloads([a1.payload, a2.payload])
+        if not tele.enabled():
+            return self._retrieve_one(index, rng)
+        with tele.span("pir.retrieve", scheme=self.scheme, n=self.n) as span:
+            block = self._retrieve_one(index, rng)
+        tele.histogram("pir.retrieve_seconds").observe(span.duration)
+        return block
 
     def retrieve_batch(
         self,
@@ -212,25 +227,21 @@ class TwoServerXorPIR(_BatchViewMixin):
         :meth:`retrieve` once per index, but each server computes all of
         its answers in a single vectorized pass.
         """
-        idx = np.asarray(indices, dtype=np.intp).reshape(-1)
-        if idx.size and not (0 <= idx.min() and idx.max() < self.n):
-            bad = idx[(idx < 0) | (idx >= self.n)][0]
-            raise IndexError(f"index {bad} out of range [0, {self.n})")
-        if idx.size == 0:
-            return []
-        rng = resolve_rng(rng)
-        masks1 = rng.random((idx.size, self.n)) < 0.5
-        masks2 = masks1.copy()
-        rows = np.arange(idx.size)
-        masks2[rows, idx] = ~masks2[rows, idx]
-        a1 = self._servers[0].answer_batch(masks1)
-        a2 = self._servers[1].answer_batch(masks2)
-        self._set_batch_masks((masks1, masks2))
-        self.upstream_bits += idx.size * 2 * self.n
-        self.downstream_bits += idx.size * 8 * 2 * self.block_size
-        return [row.tobytes() for row in np.bitwise_xor(a1, a2)]
+        if not tele.enabled():
+            return self._retrieve_many(indices, rng)
+        with tele.span(
+            "pir.retrieve_batch",
+            scheme=self.scheme,
+            n=self.n,
+            n_queries=len(indices),
+        ) as span:
+            blocks = self._retrieve_many(indices, rng)
+        tele.histogram("pir.batch_seconds").observe(span.duration)
+        return blocks
 
-    def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
+    def retrieve_int(
+        self, index: int, rng: np.random.Generator | int | None = None
+    ) -> int:
         """Retrieve a block and decode it as a signed integer."""
         return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
 
@@ -246,7 +257,76 @@ class TwoServerXorPIR(_BatchViewMixin):
         ]
 
 
-class MultiServerXorPIR(_BatchViewMixin):
+class TwoServerXorPIR(_XorPIRScheme):
+    """The basic two-server XOR scheme of Chor–Goldreich–Kushilevitz–Sudan.
+
+    Parameters
+    ----------
+    blocks:
+        Database records, as ``bytes`` or signed integers (encoded to a
+        common width).  Must be non-empty.
+    """
+
+    scheme = "two-server"
+
+    def __init__(self, blocks: Sequence[bytes | int]):
+        self._db = _require_nonempty(_normalize_blocks(blocks))
+        self.n = int(self._db.shape[0])
+        # Each server holds its own replica (they are distinct machines;
+        # a byzantine server corrupting its copy must not affect the other).
+        self._servers = (_Server(self._db.copy()), _Server(self._db.copy()))
+        self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+        self._init_accounting()
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per block."""
+        return int(self._db.shape[1])
+
+    def _retrieve_one(
+        self, index: int, rng: np.random.Generator | int | None = None
+    ) -> bytes:
+        if not 0 <= index < self.n:
+            raise IndexError(f"index {index} out of range [0, {self.n})")
+        rng = resolve_rng(rng)
+        mask1 = rng.random(self.n) < 0.5
+        mask2 = mask1.copy()
+        mask2[index] = ~mask2[index]
+        a1 = self._servers[0].answer(0, np.flatnonzero(mask1))
+        a2 = self._servers[1].answer(1, np.flatnonzero(mask2))
+        self.last_queries = (a1.query_indices, a2.query_indices)
+        # One characteristic bit-vector up per server; payloads back.
+        self._traffic(2 * self.n, 8 * (len(a1.payload) + len(a2.payload)))
+        return _xor_payloads([a1.payload, a2.payload])
+
+    def _retrieve_many(
+        self,
+        indices: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[bytes]:
+        idx = np.asarray(indices, dtype=np.intp).reshape(-1)
+        if idx.size and not (0 <= idx.min() and idx.max() < self.n):
+            bad = idx[(idx < 0) | (idx >= self.n)][0]
+            raise IndexError(f"index {bad} out of range [0, {self.n})")
+        if idx.size == 0:
+            return []
+        rng = resolve_rng(rng)
+        masks1 = rng.random((idx.size, self.n)) < 0.5
+        masks2 = masks1.copy()
+        rows = np.arange(idx.size)
+        masks2[rows, idx] = ~masks2[rows, idx]
+        a1 = self._servers[0].answer_batch(masks1)
+        a2 = self._servers[1].answer_batch(masks2)
+        self._set_batch_masks((masks1, masks2))
+        self._traffic(
+            idx.size * 2 * self.n,
+            idx.size * 8 * 2 * self.block_size,
+            queries=int(idx.size),
+        )
+        return [row.tobytes() for row in np.bitwise_xor(a1, a2)]
+
+
+class MultiServerXorPIR(_XorPIRScheme):
     """k-server XOR PIR with (k-1)-collusion resistance.
 
     Generalizes the two-server scheme: the client picks k-1 independent
@@ -255,6 +335,8 @@ class MultiServerXorPIR(_BatchViewMixin):
     coalition of at most k-1 servers sees jointly uniform sets independent
     of the target (each proper subset misses at least one random mask).
     """
+
+    scheme = "multi-server"
 
     def __init__(self, blocks: Sequence[bytes | int], n_servers: int = 3):
         if n_servers < 2:
@@ -266,8 +348,7 @@ class MultiServerXorPIR(_BatchViewMixin):
             _Server(self._db.copy()) for _ in range(n_servers)
         )
         self.last_queries: tuple[tuple[int, ...], ...] | None = None
-        self.upstream_bits = 0
-        self.downstream_bits = 0
+        self._init_accounting()
 
     @property
     def block_size(self) -> int:
@@ -287,8 +368,9 @@ class MultiServerXorPIR(_BatchViewMixin):
         masks[:, -1] = combined
         return masks
 
-    def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
-        """Privately retrieve block *index*."""
+    def _retrieve_one(
+        self, index: int, rng: np.random.Generator | int | None = None
+    ) -> bytes:
         if not 0 <= index < self.n:
             raise IndexError(f"index {index} out of range [0, {self.n})")
         rng = resolve_rng(rng)
@@ -298,16 +380,17 @@ class MultiServerXorPIR(_BatchViewMixin):
             for sid, server in enumerate(self._servers)
         ]
         self.last_queries = tuple(a.query_indices for a in answers)
-        self.upstream_bits += self.n_servers * self.n
-        self.downstream_bits += 8 * sum(len(a.payload) for a in answers)
+        self._traffic(
+            self.n_servers * self.n,
+            8 * sum(len(a.payload) for a in answers),
+        )
         return _xor_payloads([a.payload for a in answers])
 
-    def retrieve_batch(
+    def _retrieve_many(
         self,
         indices: Sequence[int],
         rng: np.random.Generator | int | None = None,
     ) -> list[bytes]:
-        """Batched private retrieval; one vectorized answer per server."""
         idx = np.asarray(indices, dtype=np.intp).reshape(-1)
         if idx.size and not (0 <= idx.min() and idx.max() < self.n):
             bad = idx[(idx < 0) | (idx >= self.n)][0]
@@ -322,29 +405,15 @@ class MultiServerXorPIR(_BatchViewMixin):
         self._set_batch_masks(
             tuple(masks[:, sid] for sid in range(self.n_servers))
         )
-        self.upstream_bits += idx.size * self.n_servers * self.n
-        self.downstream_bits += (
-            idx.size * 8 * self.n_servers * self.block_size
+        self._traffic(
+            idx.size * self.n_servers * self.n,
+            idx.size * 8 * self.n_servers * self.block_size,
+            queries=int(idx.size),
         )
         return [row.tobytes() for row in result]
 
-    def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
-        """Retrieve a block and decode it as a signed integer."""
-        return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
 
-    def retrieve_batch_int(
-        self,
-        indices: Sequence[int],
-        rng: np.random.Generator | int | None = None,
-    ) -> list[int]:
-        """Batched retrieval decoded as signed integers."""
-        return [
-            int.from_bytes(b, "big", signed=True)
-            for b in self.retrieve_batch(indices, rng)
-        ]
-
-
-class SquareSchemePIR(_BatchViewMixin):
+class SquareSchemePIR(_XorPIRScheme):
     """Two-server scheme with O(√n) upstream communication.
 
     The database is laid out as an r x c matrix (r = c = ceil(√n)); the
@@ -352,6 +421,8 @@ class SquareSchemePIR(_BatchViewMixin):
     trick across columns, receiving per-row XORs from which it extracts
     the target cell.
     """
+
+    scheme = "square"
 
     def __init__(self, blocks: Sequence[bytes | int]):
         db = _require_nonempty(_normalize_blocks(blocks))
@@ -368,9 +439,8 @@ class SquareSchemePIR(_BatchViewMixin):
             self._grid.transpose(1, 0, 2).reshape(self.cols, -1)
         )
         self._column_bits: np.ndarray | None = None
-        self.upstream_bits = 0
-        self.downstream_bits = 0
         self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+        self._init_accounting()
 
     @property
     def block_size(self) -> int:
@@ -396,8 +466,9 @@ class SquareSchemePIR(_BatchViewMixin):
             masks.shape[0], self.rows, self.block_size
         )
 
-    def retrieve(self, index: int, rng: np.random.Generator | int | None = None) -> bytes:
-        """Privately retrieve block *index*."""
+    def _retrieve_one(
+        self, index: int, rng: np.random.Generator | int | None = None
+    ) -> bytes:
         if not 0 <= index < self.n:
             raise IndexError(f"index {index} out of range [0, {self.n})")
         rng = resolve_rng(rng)
@@ -412,16 +483,14 @@ class SquareSchemePIR(_BatchViewMixin):
         self.last_queries = (
             tuple(c1.tolist()), tuple(c2.tolist())
         )
-        self.upstream_bits += 2 * self.cols
-        self.downstream_bits += 8 * self.block_size * 2 * self.rows
+        self._traffic(2 * self.cols, 8 * self.block_size * 2 * self.rows)
         return np.bitwise_xor(a1[row], a2[row]).tobytes()
 
-    def retrieve_batch(
+    def _retrieve_many(
         self,
         indices: Sequence[int],
         rng: np.random.Generator | int | None = None,
     ) -> list[bytes]:
-        """Batched private retrieval over the column scheme."""
         idx = np.asarray(indices, dtype=np.intp).reshape(-1)
         if idx.size and not (0 <= idx.min() and idx.max() < self.n):
             bad = idx[(idx < 0) | (idx >= self.n)][0]
@@ -437,22 +506,10 @@ class SquareSchemePIR(_BatchViewMixin):
         a1 = self._answer_batch(masks1)
         a2 = self._answer_batch(masks2)
         self._set_batch_masks((masks1, masks2))
-        self.upstream_bits += idx.size * 2 * self.cols
-        self.downstream_bits += idx.size * 8 * self.block_size * 2 * self.rows
+        self._traffic(
+            idx.size * 2 * self.cols,
+            idx.size * 8 * self.block_size * 2 * self.rows,
+            queries=int(idx.size),
+        )
         combined = np.bitwise_xor(a1, a2)
         return [combined[b, rows[b]].tobytes() for b in range(idx.size)]
-
-    def retrieve_int(self, index: int, rng: np.random.Generator | int | None = None) -> int:
-        """Retrieve a block and decode it as a signed integer."""
-        return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
-
-    def retrieve_batch_int(
-        self,
-        indices: Sequence[int],
-        rng: np.random.Generator | int | None = None,
-    ) -> list[int]:
-        """Batched retrieval decoded as signed integers."""
-        return [
-            int.from_bytes(b, "big", signed=True)
-            for b in self.retrieve_batch(indices, rng)
-        ]

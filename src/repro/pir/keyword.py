@@ -14,6 +14,8 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from ..sdc.base import resolve_rng
+from ..telemetry import instrument as tele
+from ..telemetry.registry import MetricsRegistry
 from .itpir import TwoServerXorPIR
 
 _KEY_BYTES = 24
@@ -51,7 +53,19 @@ class KeywordPIR:
             TwoServerXorPIR([_pack(k, v) for k, v in items]) if items else None
         )
         self.n = len(items)
-        self.retrievals = 0
+        self.metrics = MetricsRegistry(owner="pir.keyword")
+        self._c_lookups = self.metrics.counter("pir.keyword_lookups")
+        self._c_retrievals = self.metrics.counter("pir.keyword_retrievals")
+
+    @property
+    def retrievals(self) -> int:
+        """Total positional PIR retrievals issued so far."""
+        return self._c_retrievals.value
+
+    @property
+    def lookups(self) -> int:
+        """Total keyword lookups served so far."""
+        return self._c_lookups.value
 
     def lookup(
         self, key: str, rng: np.random.Generator | int | None = None
@@ -77,9 +91,27 @@ class KeywordPIR:
         fixed ceil(log2 n) + 1 rounds of :meth:`lookup`.
         """
         if self.n == 0:
+            self._c_lookups.inc(len(keys))
             return [None] * len(keys)
         if not keys:
             return []
+        self._c_lookups.inc(len(keys))
+        if not tele.enabled():
+            return self._lookup_batch(keys, rng)
+        rounds = max(1, int(np.ceil(np.log2(self.n))) + 1)
+        with tele.span(
+            "pir.keyword_lookup_batch", n_keys=len(keys), rounds=rounds
+        ) as span:
+            found = self._lookup_batch(keys, rng)
+            span.set("hits", sum(v is not None for v in found))
+        tele.histogram("pir.keyword_lookup_seconds").observe(span.duration)
+        return found
+
+    def _lookup_batch(
+        self,
+        keys: Sequence[str],
+        rng: np.random.Generator | int | None = None,
+    ) -> list[int | None]:
         rng = resolve_rng(rng)
         batch = len(keys)
         lo = np.zeros(batch, dtype=np.intp)
@@ -90,7 +122,7 @@ class KeywordPIR:
         for _ in range(rounds):
             mid = (lo + hi) // 2
             blocks = self._pir.retrieve_batch(mid, rng)
-            self.retrievals += batch
+            self._c_retrievals.inc(batch)
             for j, raw in enumerate(blocks):
                 block_key, value = _unpack(raw)
                 if block_key == keys[j]:
@@ -107,6 +139,11 @@ class KeywordPIR:
     def upstream_bits(self) -> int:
         """Total client-to-server communication so far."""
         return self._pir.upstream_bits if self._pir is not None else 0
+
+    @property
+    def downstream_bits(self) -> int:
+        """Total server-to-client communication so far."""
+        return self._pir.downstream_bits if self._pir is not None else 0
 
     def server_view(self):
         """The servers' most recent query pair (for leakage tests)."""

@@ -20,6 +20,8 @@ import numpy as np
 
 from ..data.table import Dataset
 from ..sdc.base import resolve_rng
+from ..telemetry import instrument as tele
+from ..telemetry.registry import MetricsRegistry
 from .parser import parse_query
 from .query import Aggregate, And, Not, Or, Query
 
@@ -189,16 +191,41 @@ class StatisticalDatabase:
         self.policies = list(policies or [])
         self._rng = resolve_rng(seed)
         self.history: QueryHistory = QueryHistory(data.n_rows)
-        self.queries_asked = 0
-        self.queries_refused = 0
         self._mask_cache: dict[tuple, np.ndarray] = {}
-        self.mask_cache_hits = 0
-        self.mask_cache_misses = 0
+        # Always-on per-instance accounting on the telemetry counters API
+        # (the seed's plain-int attributes survive as read-through
+        # properties below).  The registry aggregates into the process
+        # registry for dashboards and benchmark snapshots.
+        self.metrics = MetricsRegistry(owner="qdb")
+        self._c_asked = self.metrics.counter("qdb.queries_asked")
+        self._c_refused = self.metrics.counter("qdb.queries_refused")
+        self._c_cache_hits = self.metrics.counter("qdb.mask_cache_hits")
+        self._c_cache_misses = self.metrics.counter("qdb.mask_cache_misses")
 
     @property
     def n_records(self) -> int:
         """Number of records behind the interface."""
         return self._data.n_rows
+
+    @property
+    def queries_asked(self) -> int:
+        """Total queries submitted (read-through to the counter)."""
+        return self._c_asked.value
+
+    @property
+    def queries_refused(self) -> int:
+        """Total queries refused (read-through to the counter)."""
+        return self._c_refused.value
+
+    @property
+    def mask_cache_hits(self) -> int:
+        """Predicate-mask cache hits (read-through to the counter)."""
+        return self._c_cache_hits.value
+
+    @property
+    def mask_cache_misses(self) -> int:
+        """Predicate-mask cache misses (read-through to the counter)."""
+        return self._c_cache_misses.value
 
     def predicate_mask(self, predicate) -> np.ndarray:
         """Memoized predicate mask (read-only; one walk per unique key).
@@ -213,9 +240,9 @@ class StatisticalDatabase:
         key = predicate.cache_key()
         mask = self._mask_cache.get(key)
         if mask is not None:
-            self.mask_cache_hits += 1
+            self._c_cache_hits.inc()
             return mask
-        self.mask_cache_misses += 1
+        self._c_cache_misses.inc()
         if isinstance(predicate, And):
             mask = self.predicate_mask(predicate.left) & self.predicate_mask(
                 predicate.right
@@ -241,7 +268,13 @@ class StatisticalDatabase:
         """
         if isinstance(query, str):
             query = parse_query(query)
-        return self._process(query, self.predicate_mask(query.predicate))
+        if not tele.enabled():
+            return self._process(query, self.predicate_mask(query.predicate))
+        hits_before = self._c_cache_hits.value
+        mask = self.predicate_mask(query.predicate)
+        return self._process(
+            query, mask, cache_hit=self._c_cache_hits.value > hits_before
+        )
 
     def ask_batch(self, queries: list[Query | str]) -> list[Answer]:
         """Submit a workload of queries; returns one :class:`Answer` each.
@@ -258,16 +291,59 @@ class StatisticalDatabase:
         parsed = [
             parse_query(q) if isinstance(q, str) else q for q in queries
         ]
-        masks = [self.predicate_mask(q.predicate) for q in parsed]
-        return [self._process(q, m) for q, m in zip(parsed, masks)]
+        if not tele.enabled():
+            masks = [self.predicate_mask(q.predicate) for q in parsed]
+            return [self._process(q, m) for q, m in zip(parsed, masks)]
+        with tele.span("qdb.ask_batch", n_queries=len(parsed)) as span:
+            masks = []
+            cache_hits = []
+            for q in parsed:
+                hits_before = self._c_cache_hits.value
+                masks.append(self.predicate_mask(q.predicate))
+                cache_hits.append(self._c_cache_hits.value > hits_before)
+            answers = [
+                self._process(q, m, cache_hit=hit)
+                for q, m, hit in zip(parsed, masks, cache_hits)
+            ]
+            span.set("refused", sum(a.refused for a in answers))
+        return answers
 
-    def _process(self, query: Query, mask: np.ndarray) -> Answer:
-        """Run one parsed query with its precomputed mask through policy."""
-        self.queries_asked += 1
+    def _process(
+        self, query: Query, mask: np.ndarray, cache_hit: bool | None = None
+    ) -> Answer:
+        """Run one parsed query with its precomputed mask through policy.
+
+        With telemetry enabled, the decision is wrapped in a ``qdb.query``
+        span carrying the query text, query-set size, session depth,
+        mask-cache outcome, and — on refusal — the refusing policy's name
+        and reason; latency feeds the ``qdb.query_seconds`` histogram.
+        """
+        if not tele.enabled():
+            return self._decide(query, mask)
+        with tele.span(
+            "qdb.query",
+            query=str(query),
+            aggregate=query.aggregate.value,
+            query_set_size=int(np.count_nonzero(mask)),
+            history_depth=len(self.history),
+            cache_hit=cache_hit,
+        ) as span:
+            answer = self._decide(query, mask)
+            span.set("refused", answer.refused)
+            if answer.refused and answer.reason:
+                policy_name, _, reason = answer.reason.partition(": ")
+                span.set("policy", policy_name)
+                span.set("reason", reason)
+        tele.histogram("qdb.query_seconds").observe(span.duration)
+        return answer
+
+    def _decide(self, query: Query, mask: np.ndarray) -> Answer:
+        """The untraced policy pipeline (review -> evaluate -> transform)."""
+        self._c_asked.inc()
         for policy in self.policies:
             reason = policy.review(query, mask, self._data, self.history)
             if reason is not None:
-                self.queries_refused += 1
+                self._c_refused.inc()
                 self.history.record(LogEntry(query, mask, False, None))
                 return Answer(query, refused=True, reason=f"{policy.name}: {reason}")
         answer = Answer(query, value=query.evaluate_masked(self._data, mask))

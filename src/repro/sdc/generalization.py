@@ -16,6 +16,7 @@ import numpy as np
 
 from ..data.hierarchy import Hierarchy
 from ..data.table import Dataset
+from ..telemetry import instrument as tele
 from .base import MaskingMethod
 from .kanonymity import violating_indices
 
@@ -84,6 +85,9 @@ def minimal_generalization(
             released = recoded if bad.size == 0 else recoded.select(
                 np.setdiff1d(np.arange(recoded.n_rows), bad)
             )
+            generalized = sum(1 for lvl in levels.values() if lvl > 0)
+            tele.counter("sdc.columns_generalized").inc(generalized)
+            tele.counter("sdc.records_suppressed").inc(int(bad.size))
             return RecodingResult(levels, tuple(int(i) for i in bad), released)
     raise ValueError("no lattice node achieves k-anonymity within the budget")
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..data.hierarchy import SUPPRESSED
 from ..data.table import Dataset
+from ..telemetry import instrument as tele
 from .base import MaskingMethod
 from .kanonymity import violating_indices
 
@@ -23,6 +24,7 @@ def suppress_records(
 ) -> Dataset:
     """Drop every record in an equivalence class smaller than *k*."""
     bad = violating_indices(data, k, quasi_identifiers)
+    tele.counter("sdc.records_suppressed").inc(int(bad.size))
     if bad.size == 0:
         return data.copy()
     keep = np.setdiff1d(np.arange(data.n_rows), bad)
@@ -41,6 +43,7 @@ def suppress_cells(
         data.quasi_identifiers
     )
     bad = violating_indices(data, k, qi)
+    tele.counter("sdc.cells_suppressed").inc(int(bad.size) * len(qi))
     out = data.copy()
     if bad.size == 0:
         return out

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.table import Dataset
+from ..telemetry import instrument as tele
 
 
 def _common_numeric(original: Dataset, masked: Dataset,
@@ -184,10 +185,13 @@ def assess_utility(
     distributional measures are meaningful; IL1s is reported as NaN.
     """
     aligned = masked.n_rows == original.n_rows
-    return UtilityReport(
+    report = UtilityReport(
         il1s=il1s(original, masked, columns) if aligned else float("nan"),
         mean_discrepancy=mean_discrepancy(original, masked, columns),
         covariance_discrepancy=covariance_discrepancy(original, masked, columns),
         correlation_discrepancy=correlation_discrepancy(original, masked, columns),
         quantile_distortion=quantile_distortion(original, masked, columns),
     )
+    if aligned:
+        tele.gauge("sdc.il1s").set(report.il1s)
+    return report

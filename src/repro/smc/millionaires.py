@@ -36,6 +36,7 @@ def millionaires(
         raise ValueError(f"wealth values must be in [1, {max_wealth}]")
     rng = rng or random.Random(37)
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("millionaires")
 
     public, private = rsa.generate_keypair(key_bits, rng=rng)
     n = public.n

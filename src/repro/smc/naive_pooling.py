@@ -19,6 +19,7 @@ def naive_pooled_sum(
 ) -> int:
     """Each party mails its raw value to P0, who sums in the clear."""
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("naive-pooling")
     for i, value in enumerate(values[1:], start=1):
         transcript.record(f"P{i}", "P0", "raw-value", int(value))
     return int(sum(values))
@@ -31,6 +32,7 @@ def naive_pooled_datasets(
     if not parties:
         raise ValueError("need at least one party")
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("naive-pooling")
     pooled = parties[0]
     for i, party in enumerate(parties[1:], start=1):
         numeric_payload = [

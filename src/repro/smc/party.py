@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from ..telemetry.registry import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class Message:
@@ -26,6 +28,30 @@ class Message:
     def payload_numbers(self) -> list[float]:
         """Flatten any numeric content of the payload."""
         return list(_iter_numbers(self.payload))
+
+
+def _payload_nbytes(value: object) -> int:
+    """Wire-size estimate for a payload, in bytes.
+
+    Integers are costed at their two's-complement width (floor 8 bytes,
+    matching the protocols' 64-bit ring modulus); containers recurse.
+    """
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(8, (value.bit_length() + 7) // 8)
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_payload_nbytes(item) for item in value)
+    if isinstance(value, dict):
+        return sum(_payload_nbytes(item) for item in value.values())
+    nbytes = getattr(value, "nbytes", None)  # ndarray without importing numpy
+    return int(nbytes) if isinstance(nbytes, int) else 0
 
 
 def _iter_numbers(value: object) -> Iterable[float]:
@@ -43,13 +69,59 @@ def _iter_numbers(value: object) -> Iterable[float]:
 
 @dataclass
 class Transcript:
-    """An ordered record of every message exchanged in a protocol run."""
+    """An ordered record of every message exchanged in a protocol run.
+
+    Besides the message list, the transcript keeps telemetry counters —
+    message, payload-byte, and round totals, plus per-party-pair splits
+    tagged with the protocol name — in a per-instance registry attached to
+    the process-wide one, so an instrumented run's snapshot reports SMC
+    traffic next to qdb and PIR metrics.
+    """
 
     messages: list[Message] = field(default_factory=list)
+    protocol: str = ""
+
+    def __post_init__(self) -> None:
+        self.metrics = MetricsRegistry(owner="smc")
+        self._c_messages = self.metrics.counter("smc.messages")
+        self._c_bytes = self.metrics.counter("smc.payload_bytes")
+        self._c_rounds = self.metrics.counter("smc.rounds")
+        self._last_sender: str | None = None
+
+    def tag(self, protocol: str) -> "Transcript":
+        """Label the run with its protocol name (first tag wins)."""
+        if not self.protocol:
+            self.protocol = protocol
+        return self
 
     def record(self, sender: str, receiver: str, tag: str, payload: object) -> None:
-        """Append a message."""
+        """Append a message (and account its traffic)."""
         self.messages.append(Message(sender, receiver, tag, payload))
+        nbytes = _payload_nbytes(payload)
+        self._c_messages.inc()
+        self._c_bytes.inc(nbytes)
+        pair = f"{self.protocol or 'untagged'}|{sender}->{receiver}"
+        self.metrics.counter(f"smc.messages[{pair}]").inc()
+        self.metrics.counter(f"smc.payload_bytes[{pair}]").inc(nbytes)
+        # A round boundary every time the speaking party changes.
+        if sender != self._last_sender:
+            self._c_rounds.inc()
+            self._last_sender = sender
+
+    @property
+    def message_count(self) -> int:
+        """Messages recorded so far (same as ``len(transcript)``)."""
+        return self._c_messages.value
+
+    @property
+    def payload_bytes(self) -> int:
+        """Estimated total bytes on the wire."""
+        return self._c_bytes.value
+
+    @property
+    def rounds(self) -> int:
+        """Speaker changes observed (a proxy for communication rounds)."""
+        return self._c_rounds.value
 
     def __len__(self) -> int:
         return len(self.messages)

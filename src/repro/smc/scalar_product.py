@@ -48,6 +48,7 @@ def secure_scalar_product(
         raise ValueError("vectors must have equal length")
     rng = rng or random.Random(17)
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("scalar-product")
     public, private = paillier.generate_keypair(key_bits, rng)
     n = public.n
 

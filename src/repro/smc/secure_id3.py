@@ -80,7 +80,7 @@ class SecureID3:
         self.class_column = class_column
         self.max_depth = max_depth
         self.min_records = min_records
-        self.transcript = Transcript()
+        self.transcript = Transcript().tag("secure-id3")
         self.count_queries = 0
 
     # -- secure aggregation ------------------------------------------------

@@ -69,6 +69,7 @@ def secure_kmeans(
         raise ValueError("need at least one party")
     rng = rng or random.Random(97)
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("secure-kmeans")
     matrices = [p.matrix(columns) for p in parties]
     d = len(columns)
     sums_done = 0

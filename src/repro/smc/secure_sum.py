@@ -33,6 +33,7 @@ def ring_secure_sum(
         raise ValueError("the ring protocol needs at least 3 parties for privacy")
     rng = rng or random.Random()
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("ring-sum")
     names = [f"P{i}" for i in range(len(values))]
     mask = rng.randrange(modulus)
     running = (mask + values[0]) % modulus
@@ -55,6 +56,7 @@ def shares_secure_sum(
         raise ValueError("need at least 2 parties")
     rng = rng or random.Random()
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("shares-sum")
     n = len(values)
     names = [f"P{i}" for i in range(n)]
     held: list[list[int]] = [[] for _ in range(n)]

@@ -31,6 +31,7 @@ def private_set_intersection(
     """
     rng = rng or random.Random(29)
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("set-intersection")
     p = shared_modulus(modulus_bits, rng)
     key_a = generate_key(p, rng)
     key_b = generate_key(p, rng)

@@ -84,7 +84,7 @@ class SecureVerticalMiner:
         self.n = alice.n_transactions
         self._rng = rng or random.Random(83)
         self._key_bits = key_bits
-        self.transcript = Transcript()
+        self.transcript = Transcript().tag("vertical-arm")
         self.secure_products = 0
 
     def support(self, itemset: Sequence[str]) -> float:

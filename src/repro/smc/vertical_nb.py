@@ -64,6 +64,7 @@ def secure_vertical_naive_bayes(
         raise ValueError("the class column must belong to Bob")
     rng = rng or random.Random(71)
     transcript = transcript if transcript is not None else Transcript()
+    transcript.tag("vertical-nb")
 
     labels = bob.column(class_column)
     classes = tuple(sorted(set(labels), key=repr))

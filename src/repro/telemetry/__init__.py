@@ -1,0 +1,63 @@
+"""Unified observability: metrics registry, structured tracing, consumers.
+
+The subsystem the production-scale north star requires before the stack
+grows further: every layer (qdb engine, PIR, SMC transcripts, SDC
+pipelines) reports what it decided and what it cost through one substrate.
+
+* :mod:`~repro.telemetry.registry` — process-wide counters, gauges and
+  fixed-bucket histograms, with per-component child registries whose
+  totals aggregate (and survive component GC).
+* :mod:`~repro.telemetry.tracing` — nested spans with monotonic timings,
+  a bounded in-memory buffer, a JSONL sink, and the frozen span schema.
+* :mod:`~repro.telemetry.instrument` — the facade hot paths call; a
+  strict no-op while disabled (the default), so instrumentation costs
+  nothing until a session is enabled.
+* :mod:`~repro.telemetry.report` / :mod:`~repro.telemetry.dashboard` —
+  consumers: latency/refusal forensics from captures, and the
+  privacy-meter dashboard pairing three-dimension scores with the
+  operational metrics that produced them.
+"""
+
+from . import instrument
+from .dashboard import meter_bar, render_dashboard, render_metrics
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    process_registry,
+)
+from .report import TraceReport, load_trace, read_trace, refusal_decisions
+from .smoke import SmokeError, run_smoke
+from .tracing import (
+    TRACE_SCHEMA_VERSION,
+    JsonlSink,
+    Span,
+    SpanSchemaError,
+    Tracer,
+    validate_record,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "SmokeError",
+    "Span",
+    "SpanSchemaError",
+    "TRACE_SCHEMA_VERSION",
+    "TraceReport",
+    "Tracer",
+    "instrument",
+    "load_trace",
+    "meter_bar",
+    "process_registry",
+    "read_trace",
+    "refusal_decisions",
+    "render_dashboard",
+    "render_metrics",
+    "run_smoke",
+    "validate_record",
+]

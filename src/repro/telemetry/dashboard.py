@@ -1,0 +1,85 @@
+"""The privacy-meter dashboard.
+
+Renders the paper's three-dimension privacy scores (respondent / owner /
+user, with their Table 2 grades) next to the operational metrics the
+instrumented run produced — so "k-anonymity scored medium-high" sits
+beside "312 records generalized, 14 queries refused, 1.2 MB of PIR
+traffic", the measurement plumbing an information-theoretic view of
+privacy requires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["meter_bar", "render_dashboard", "render_metrics"]
+
+_BAR_WIDTH = 24
+
+
+def meter_bar(score: float, width: int = _BAR_WIDTH) -> str:
+    """An ASCII meter for a [0, 1] score: ``[#########---]``."""
+    score = min(1.0, max(0.0, float(score)))
+    filled = round(score * width)
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _histogram_row(name: str, data: dict) -> str:
+    return (
+        f"  {name:<34s} count={data['count']:<8d} "
+        f"mean={data['mean'] * 1e3:.3f} ms"
+    )
+
+
+def render_metrics(snapshot: dict) -> str:
+    """The operational half: counters, gauges, histogram summaries."""
+    lines = ["operational metrics"]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if not (counters or gauges or histograms):
+        return "operational metrics\n  (none recorded)"
+    for name, value in counters.items():
+        lines.append(f"  {name:<34s} {value:>14,}")
+    for name, value in gauges.items():
+        lines.append(f"  {name:<34s} {value:>14.4g}")
+    for name, data in histograms.items():
+        lines.append(_histogram_row(name, data))
+    return "\n".join(lines)
+
+
+def render_dashboard(
+    assessments: Sequence,
+    snapshot: dict | None = None,
+    title: str = "privacy meters",
+) -> str:
+    """Three-dimension score meters plus the metrics that produced them.
+
+    ``assessments`` are
+    :class:`~repro.core.assessment.MaskingAssessment` objects (anything
+    with ``method_name``, ``scores``, ``grades`` and ``utility`` duck-types).
+    """
+    from ..core.dimensions import PrivacyDimension
+
+    dims = (
+        ("respondent", PrivacyDimension.RESPONDENT),
+        ("owner", PrivacyDimension.OWNER),
+        ("user", PrivacyDimension.USER),
+    )
+    lines = [title, "=" * len(title)]
+    for assessment in assessments:
+        lines.append("")
+        lines.append(f"{assessment.method_name}")
+        for label, dim in dims:
+            score = assessment.scores[dim]
+            grade = assessment.grades[dim]
+            lines.append(
+                f"  {label:<11s} {meter_bar(score)} {score:5.2f}  {grade}"
+            )
+        utility = getattr(assessment, "utility", None)
+        if utility is not None:
+            lines.append(f"  {'IL1s loss':<11s} {utility.il1s:.3f}")
+    lines.append("")
+    if snapshot is not None:
+        lines.append(render_metrics(snapshot))
+    return "\n".join(lines)

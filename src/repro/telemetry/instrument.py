@@ -1,0 +1,188 @@
+"""The instrumentation facade: a strict no-op unless telemetry is enabled.
+
+Hot paths call :func:`enabled` / :func:`span` / :func:`histogram`
+unconditionally.  When telemetry is off (the default) these return
+module-level singletons — no span objects, no dictionaries, no registry
+writes are allocated, so instrumented code is indistinguishable from
+uninstrumented code (the property the benchmark gates enforce).
+
+Component-owned *always-on* counters (mask-cache hits, PIR byte traffic)
+do not go through this facade; they live in per-instance
+:class:`~repro.telemetry.registry.MetricsRegistry` objects because they
+replace accounting the seed already did unconditionally.  This facade
+gates only the *additional* observability work: spans, trace sinks,
+process-level gauges and latency histograms.
+
+Typical session::
+
+    from repro.telemetry import instrument as tele
+
+    tracer = tele.enable(jsonl_path="trace.jsonl")
+    ...  # run the instrumented workload
+    tele.disable()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+
+from .registry import DEFAULT_BUCKETS, process_registry
+from .tracing import JsonlSink, Tracer
+
+__all__ = [
+    "NOOP_METRIC",
+    "NOOP_SPAN",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "reset_metrics",
+    "session",
+    "snapshot",
+    "span",
+    "tracer",
+]
+
+
+class _NoopSpan:
+    """The disabled-path span: a shared, stateless, do-nothing singleton."""
+
+    __slots__ = ()
+    name = "noop"
+    duration = 0.0
+    attrs: dict = {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        """Discard the attribute."""
+
+
+class _NoopMetric:
+    """The disabled-path metric: accepts writes, records nothing."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    mean = 0.0
+
+    def inc(self, n=1) -> None:
+        """Discard the increment."""
+
+    def set(self, value) -> None:
+        """Discard the value."""
+
+    def observe(self, value) -> None:
+        """Discard the observation."""
+
+
+#: Shared singletons returned whenever telemetry is disabled; identity-
+#: tested by the no-allocation regression tests.
+NOOP_SPAN = _NoopSpan()
+NOOP_METRIC = _NoopMetric()
+
+_ENABLED = False
+_TRACER: Tracer | None = None
+_SINK: JsonlSink | None = None
+
+
+def enabled() -> bool:
+    """True when a telemetry session is active."""
+    return _ENABLED
+
+
+def enable(
+    jsonl_path: str | Path | None = None, buffer_size: int = 4096
+) -> Tracer:
+    """Start a telemetry session; returns the live tracer.
+
+    Re-enabling replaces the current tracer (the previous sink is closed).
+    """
+    global _ENABLED, _TRACER, _SINK
+    if _SINK is not None:
+        _SINK.close()
+    _SINK = JsonlSink(jsonl_path) if jsonl_path is not None else None
+    _TRACER = Tracer(buffer_size=buffer_size, sink=_SINK)
+    _ENABLED = True
+    return _TRACER
+
+
+def disable() -> None:
+    """End the telemetry session; spans become no-ops again.
+
+    The session's span totals are folded into the process registry
+    (``telemetry.spans_started`` / ``telemetry.spans_dropped``), so a
+    metrics snapshot records whether any tracing happened at all — the
+    disabled-fast-path tests assert these stay absent.
+    """
+    global _ENABLED, _TRACER, _SINK
+    if _TRACER is not None and _TRACER.spans_started:
+        registry = process_registry()
+        registry.counter("telemetry.spans_started").inc(_TRACER.spans_started)
+        registry.counter("telemetry.spans_dropped").inc(_TRACER.spans_dropped)
+    _ENABLED = False
+    _TRACER = None
+    if _SINK is not None:
+        _SINK.close()
+        _SINK = None
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, or None when disabled."""
+    return _TRACER
+
+
+def span(name: str, **attrs):
+    """A traced region when enabled; the shared no-op span otherwise."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+def counter(name: str):
+    """A process-registry counter when enabled; the no-op metric otherwise."""
+    if not _ENABLED:
+        return NOOP_METRIC
+    return process_registry().counter(name)
+
+
+def gauge(name: str):
+    """A process-registry gauge when enabled; the no-op metric otherwise."""
+    if not _ENABLED:
+        return NOOP_METRIC
+    return process_registry().gauge(name)
+
+
+def histogram(name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+    """A process-registry histogram when enabled; no-op metric otherwise."""
+    if not _ENABLED:
+        return NOOP_METRIC
+    return process_registry().histogram(name, bounds)
+
+
+def snapshot() -> dict:
+    """Aggregated process-wide metrics snapshot (works even when disabled,
+    so always-on component counters remain inspectable)."""
+    return process_registry().snapshot()
+
+
+def reset_metrics() -> None:
+    """Clear the process registry (test isolation)."""
+    process_registry().reset()
+
+
+@contextmanager
+def session(jsonl_path: str | Path | None = None, buffer_size: int = 4096):
+    """Enable telemetry for the duration of a ``with`` block."""
+    active_tracer = enable(jsonl_path, buffer_size=buffer_size)
+    try:
+        yield active_tracer
+    finally:
+        disable()

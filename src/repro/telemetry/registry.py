@@ -1,0 +1,260 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Zero-dependency observability substrate.  Components own a private
+:class:`MetricsRegistry` (so per-instance accounting such as the engine's
+mask-cache hit counters keeps its seed semantics), and every non-standalone
+registry is attached to the single process registry, whose
+:meth:`~MetricsRegistry.snapshot` aggregates the whole process:
+
+* live child registries are merged on demand (counters and histograms sum,
+  gauges take the child's value);
+* a child that is garbage-collected first *folds* its final totals into the
+  process registry, so aggregated counter totals are monotone even when the
+  instrumented object was short-lived (benchmark kernels, per-target
+  tracker databases).
+
+Everything here is single-threaded by design, like the rest of the
+library; increments are plain attribute adds with no locking.
+"""
+
+from __future__ import annotations
+
+import bisect
+import weakref
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "process_registry",
+]
+
+#: Default histogram bucket upper bounds, in seconds (latency-shaped).
+DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+
+class Counter:
+    """A monotonically increasing count (hits, bytes, refusals)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add *n* (default 1) to the count."""
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A last-write-wins instantaneous value (k achieved, IL1s)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style upper bounds + overflow).
+
+    ``bounds`` are sorted upper edges; an observation lands in the first
+    bucket whose bound is >= the value, or in the implicit ``+inf``
+    overflow bucket.  Bounds are fixed at creation so merging histograms
+    of the same name is exact.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary of the histogram state."""
+        labels = [f"le_{b:g}" for b in self.bounds] + ["inf"]
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "buckets": dict(zip(labels, self.bucket_counts)),
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* (same bounds) into this histogram."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+        self.count += other.count
+        self.total += other.total
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    Parameters
+    ----------
+    owner:
+        Diagnostic label of the owning component (``"qdb"``,
+        ``"pir.two-server-xor"``); carried into snapshots.
+    standalone:
+        When False (default), the registry attaches itself to the process
+        registry so its metrics appear in process-wide aggregation, and
+        its totals are folded into the process registry when it is
+        garbage-collected.
+    """
+
+    def __init__(self, owner: str = "", standalone: bool = False):
+        self.owner = owner
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._children: dict[int, weakref.ref] = {}
+        self._finalizers: dict[int, weakref.finalize] = {}
+        if not standalone:
+            process_registry()._adopt(self)
+
+    # -- accessors ---------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        return self._get_or_create(Counter, name)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        return self._get_or_create(Gauge, name)
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create the named histogram (bounds fixed at creation)."""
+        return self._get_or_create(Histogram, name, bounds)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- aggregation -------------------------------------------------------
+
+    def _adopt(self, child: "MetricsRegistry") -> None:
+        """Track *child* for aggregation; fold its totals when it dies."""
+        key = id(child)
+        self._children[key] = weakref.ref(child)
+        # The finalize callback holds the child's metrics dict (not the
+        # registry itself), so the final totals survive until folded.
+        self._finalizers[key] = weakref.finalize(
+            child, self._fold, key, child._metrics
+        )
+
+    def _fold(self, key: int, metrics: dict) -> None:
+        """Merge a dead child's final metric values into this registry."""
+        self._children.pop(key, None)
+        self._finalizers.pop(key, None)
+        self._merge_into_self(metrics)
+
+    def _merge_into_self(self, metrics: dict) -> None:
+        for name, metric in metrics.items():
+            if metric.kind == "counter":
+                self.counter(name).inc(metric.value)
+            elif metric.kind == "gauge":
+                self.gauge(name).set(metric.value)
+            else:
+                self.histogram(name, metric.bounds).merge(metric)
+
+    def _live_children(self) -> list["MetricsRegistry"]:
+        return [c for ref in self._children.values() if (c := ref()) is not None]
+
+    def snapshot(self, include_children: bool = True) -> dict:
+        """Aggregated point-in-time view: counters, gauges, histograms.
+
+        Counter and histogram values sum across this registry and (by
+        default) every live attached child; gauges take the most recently
+        visited child's value.  Keys are sorted for deterministic output.
+        """
+        merged = MetricsRegistry(owner=self.owner, standalone=True)
+        merged._merge_into_self(self._metrics)
+        if include_children:
+            for child in self._live_children():
+                merged._merge_into_self(child._metrics)
+        out: dict = {"owner": self.owner, "counters": {}, "gauges": {},
+                     "histograms": {}}
+        for name in sorted(merged._metrics):
+            metric = merged._metrics[name]
+            if metric.kind == "counter":
+                out["counters"][name] = metric.value
+            elif metric.kind == "gauge":
+                out["gauges"][name] = metric.value
+            else:
+                out["histograms"][name] = metric.as_dict()
+        return out
+
+    def reset(self) -> None:
+        """Drop all metrics and detach children (test isolation)."""
+        for finalizer in self._finalizers.values():
+            finalizer.detach()
+        self._finalizers.clear()
+        self._children.clear()
+        self._metrics.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(owner={self.owner!r}, "
+            f"metrics={len(self._metrics)}, children={len(self._children)})"
+        )
+
+
+_PROCESS: MetricsRegistry | None = None
+
+
+def process_registry() -> MetricsRegistry:
+    """The single process-wide registry all component registries attach to."""
+    global _PROCESS
+    if _PROCESS is None:
+        _PROCESS = MetricsRegistry(owner="process", standalone=True)
+    return _PROCESS

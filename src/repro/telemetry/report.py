@@ -1,0 +1,168 @@
+"""Trace-file consumers: summary tables, slowest spans, refusal forensics.
+
+Reads a JSONL capture produced by a telemetry session and reconstructs
+what the instrumented system did: per-span-name latency aggregates, the
+top-N slowest individual spans, and — the auditor's view — every refusal
+decision the statistical database took, with the policy that refused and
+its reason.  Backs the ``repro telemetry report`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .tracing import SpanSchemaError, validate_record
+
+__all__ = [
+    "TraceReport",
+    "load_trace",
+    "read_trace",
+    "refusal_decisions",
+    "summarize",
+]
+
+
+def read_trace(path: str | Path, validate: bool = True) -> list[dict]:
+    """Parse a JSONL trace into span records (meta lines checked, dropped).
+
+    With ``validate`` (the default) every line must conform to the span
+    schema; a malformed line raises :class:`SpanSchemaError` naming the
+    line number — this is the ``make telemetry-smoke`` drift gate.
+    """
+    spans: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SpanSchemaError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from None
+            if validate:
+                try:
+                    validate_record(record)
+                except SpanSchemaError as exc:
+                    raise SpanSchemaError(f"{path}:{lineno}: {exc}") from None
+            if record.get("type") == "span":
+                spans.append(record)
+    return spans
+
+
+@dataclass
+class SpanStats:
+    """Latency aggregate for one span name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    refused: int = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean span duration in seconds."""
+        return self.total / self.count if self.count else 0.0
+
+
+def summarize(spans: list[dict]) -> dict[str, SpanStats]:
+    """Per-name span statistics, sorted by total time (descending)."""
+    stats: dict[str, SpanStats] = {}
+    for span in spans:
+        entry = stats.setdefault(span["name"], SpanStats(span["name"]))
+        entry.count += 1
+        entry.total += span["duration"]
+        entry.max = max(entry.max, span["duration"])
+        if span["attrs"].get("refused") is True:
+            entry.refused += 1
+    return dict(
+        sorted(stats.items(), key=lambda kv: -kv[1].total)
+    )
+
+
+def slowest_spans(spans: list[dict], n: int = 10) -> list[dict]:
+    """The *n* individual spans with the longest durations."""
+    return sorted(spans, key=lambda s: -s["duration"])[:n]
+
+
+def refusal_decisions(spans: list[dict]) -> list[dict]:
+    """Every refused query span, with its policy name and reason.
+
+    Returns dictionaries ``{"query", "policy", "reason", "span_id"}`` in
+    trace order — the reconstruction the acceptance criteria require.
+    """
+    decisions = []
+    for span in spans:
+        attrs = span["attrs"]
+        if span["name"] == "qdb.query" and attrs.get("refused") is True:
+            decisions.append({
+                "span_id": span["span_id"],
+                "query": attrs.get("query", "?"),
+                "policy": attrs.get("policy", "?"),
+                "reason": attrs.get("reason", "?"),
+            })
+    return decisions
+
+
+@dataclass
+class TraceReport:
+    """Everything the report CLI prints, as data."""
+
+    path: str
+    spans: list[dict] = field(repr=False, default_factory=list)
+
+    @property
+    def stats(self) -> dict[str, SpanStats]:
+        """Per-name aggregates."""
+        return summarize(self.spans)
+
+    @property
+    def refusals(self) -> list[dict]:
+        """Reconstructed refusal decisions."""
+        return refusal_decisions(self.spans)
+
+    def format(self, top: int = 10) -> str:
+        """Human-readable report: summary table, slowest spans, refusals."""
+        lines = [f"trace: {self.path} ({len(self.spans)} spans)", ""]
+        stats = self.stats
+        if stats:
+            width = max(len(name) for name in stats)
+            lines.append(
+                f"{'span':<{width}s} {'count':>7s} {'total_ms':>10s} "
+                f"{'mean_ms':>9s} {'max_ms':>9s} {'refused':>8s}"
+            )
+            for name, s in stats.items():
+                lines.append(
+                    f"{name:<{width}s} {s.count:>7d} {s.total * 1e3:>10.3f} "
+                    f"{s.mean * 1e3:>9.3f} {s.max * 1e3:>9.3f} "
+                    f"{s.refused:>8d}"
+                )
+        else:
+            lines.append("(no spans)")
+        slow = slowest_spans(self.spans, top)
+        if slow:
+            lines += ["", f"top {len(slow)} slowest spans:"]
+            name_width = max(len(s["name"]) for s in slow)
+            for span in slow:
+                detail = span["attrs"].get("query") or ""
+                lines.append(
+                    f"  #{span['span_id']:<5d} {span['name']:<{name_width}s} "
+                    f"{span['duration'] * 1e3:9.3f} ms  {detail}"
+                )
+        refusals = self.refusals
+        lines += ["", f"refusal decisions: {len(refusals)}"]
+        for decision in refusals:
+            lines.append(
+                f"  [{decision['policy']}] {decision['query']}\n"
+                f"      -> {decision['reason']}"
+            )
+        return "\n".join(lines)
+
+
+def load_trace(path: str | Path, validate: bool = True) -> TraceReport:
+    """Read and wrap a trace file."""
+    return TraceReport(str(path), read_trace(path, validate=validate))

@@ -1,0 +1,141 @@
+"""The ``make telemetry-smoke`` scenario: instrument, capture, validate.
+
+Runs a short S1/S3a workload (a batched query-log replay and the Schlörer
+tracker against an audited database, with PIR and SMC garnish so every
+instrumented layer emits something) under an enabled telemetry session,
+then validates the JSONL capture line-by-line against the span schema and
+checks the forensic invariants the acceptance criteria name: at least one
+refusal decision must be reconstructable with a policy name and a reason.
+
+Any schema drift or missing instrumentation raises :class:`SmokeError`,
+which the CLI converts to a nonzero exit — the CI gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from . import instrument
+from .report import read_trace, refusal_decisions, summarize
+
+__all__ = ["SmokeError", "run_smoke"]
+
+#: Span names every smoke capture must contain (one per instrumented layer).
+REQUIRED_SPANS = (
+    "qdb.query",
+    "qdb.ask_batch",
+    "pir.retrieve_batch",
+    "pir.keyword_lookup_batch",
+)
+
+
+class SmokeError(RuntimeError):
+    """The smoke scenario's capture failed validation."""
+
+
+def _scenario(records: int, seed: int) -> dict:
+    """The instrumented workload; returns in-session ground truth."""
+    from ..data import patients
+    from ..pir.keyword import KeywordPIR
+    from ..qdb import (
+        QuerySetSizeControl,
+        StatisticalDatabase,
+        SumAuditPolicy,
+        tracker_attack,
+    )
+    from ..sdc import equivalence_classes
+    from ..smc.secure_sum import ring_secure_sum
+
+    pop = patients(records, seed=seed)
+
+    # S3a: the tracker against size control + exact auditing.  The audit
+    # refuses the disclosing queries, so the capture is guaranteed to
+    # contain refusal decisions with the sum-audit policy name.
+    targets = [
+        cls.indices[0]
+        for cls in equivalence_classes(pop, ["height", "weight"])
+        if cls.size == 1
+        and (pop["height"] == pop["height"][cls.indices[0]]).sum() >= 6
+    ]
+    db = StatisticalDatabase(
+        pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+    )
+    tracker_outcomes = [
+        tracker_attack(db, pop, t, ["height", "weight"], "blood_pressure")
+        for t in targets[:3]
+    ]
+    # One guaranteed size-control refusal regardless of population shape.
+    whole = db.ask("SELECT COUNT(*)")
+
+    # S1-style: a repetitive query log replayed through the batched API.
+    log = [
+        "SELECT COUNT(*) WHERE height > 170",
+        "SELECT AVG(blood_pressure) WHERE height > 170",
+        "SELECT COUNT(*) WHERE weight <= 80",
+        "SELECT COUNT(*) WHERE height > 170",
+    ] * 3
+    replay_db = StatisticalDatabase(pop, [QuerySetSizeControl(5)])
+    replay_answers = replay_db.ask_batch(log)
+
+    # PIR layer: keyword lookups ride batched positional retrievals.
+    directory = KeywordPIR({f"user{i:03d}": i * 7 for i in range(32)})
+    hits = [directory.lookup("user004", rng=0),
+            directory.lookup("no-such-key", rng=1)]
+
+    # SMC layer: transcript counters tagged by protocol.
+    total = ring_secure_sum([3, 5, 9], transcript=None)
+
+    return {
+        "tracker_refusals": sum(r.refusals for r in tracker_outcomes),
+        "whole_count_refused": whole.refused,
+        "replay_answered": sum(a.ok for a in replay_answers),
+        "keyword_hit": hits[0],
+        "secure_sum": total,
+    }
+
+
+def run_smoke(
+    trace_path: str | Path, records: int = 150, seed: int = 3
+) -> dict:
+    """Run the instrumented scenario and validate its capture.
+
+    Returns a summary dictionary (span counts, refusal count, ground
+    truth) on success; raises :class:`SmokeError` on schema drift or any
+    missing instrumentation.
+    """
+    trace_path = Path(trace_path)
+    with instrument.session(trace_path):
+        truth = _scenario(records, seed)
+
+    # Schema gate: every line must parse and validate.
+    spans = read_trace(trace_path, validate=True)
+    if not spans:
+        raise SmokeError("capture contains no spans")
+    names = {span["name"] for span in spans}
+    missing = [name for name in REQUIRED_SPANS if name not in names]
+    if missing:
+        raise SmokeError(
+            f"capture is missing spans from instrumented layers: {missing}"
+        )
+
+    # Forensics gate: refusal decisions must be reconstructable.
+    refusals = refusal_decisions(spans)
+    if not refusals:
+        raise SmokeError("capture contains no refusal decisions")
+    for decision in refusals:
+        if decision["policy"] == "?" or decision["reason"] == "?":
+            raise SmokeError(
+                f"refusal decision lost its policy or reason: {decision}"
+            )
+    if not truth["whole_count_refused"]:
+        raise SmokeError("the guaranteed size-control refusal did not refuse")
+
+    stats = summarize(spans)
+    return {
+        "trace": str(trace_path),
+        "spans": len(spans),
+        "span_names": sorted(names),
+        "refusal_decisions": len(refusals),
+        "per_name_counts": {name: s.count for name, s in stats.items()},
+        **truth,
+    }

@@ -1,0 +1,227 @@
+"""Lightweight structured tracing: nested spans, bounded buffer, JSONL sink.
+
+A :class:`Span` is a named, attributed, monotonic-clock-timed region of
+work.  Spans nest through the tracer's explicit stack (the library is
+single-threaded), so a batched engine call produces one parent span with
+per-query children without any context threading.
+
+Finished spans are JSON-scalar dictionaries with a frozen schema
+(:data:`SPAN_FIELDS`); they land in a bounded in-memory ring buffer and,
+when a sink is configured, one JSON object per line in a ``.jsonl`` file.
+:func:`validate_record` is the single source of truth for the wire format
+— the report CLI and the ``make telemetry-smoke`` schema gate both use it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = [
+    "JsonlSink",
+    "Span",
+    "SpanSchemaError",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "validate_record",
+]
+
+#: Version stamped into each trace's meta line; bump on schema changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Required span-record fields and their allowed types.
+SPAN_FIELDS: dict[str, tuple[type, ...]] = {
+    "type": (str,),
+    "span_id": (int,),
+    "parent_id": (int, type(None)),
+    "name": (str,),
+    "depth": (int,),
+    "start": (int, float),
+    "duration": (int, float),
+    "attrs": (dict,),
+}
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class SpanSchemaError(ValueError):
+    """A trace record does not conform to the span schema."""
+
+
+def _scalar(value):
+    """Coerce an attribute value to a JSON scalar (repr fallback)."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        import numpy as np
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+    except ImportError:  # pragma: no cover - numpy is always present here
+        pass
+    return repr(value)
+
+
+def validate_record(record: object) -> None:
+    """Raise :class:`SpanSchemaError` unless *record* is a valid trace line.
+
+    Accepts the two record types a trace file may contain: one ``meta``
+    header line and any number of ``span`` lines.
+    """
+    if not isinstance(record, dict):
+        raise SpanSchemaError(f"trace record must be an object, got {record!r}")
+    kind = record.get("type")
+    if kind == "meta":
+        if not isinstance(record.get("schema"), int):
+            raise SpanSchemaError("meta record must carry an integer 'schema'")
+        return
+    if kind != "span":
+        raise SpanSchemaError(f"unknown trace record type {kind!r}")
+    for field, types in SPAN_FIELDS.items():
+        if field not in record:
+            raise SpanSchemaError(f"span record missing field {field!r}")
+        value = record[field]
+        if not isinstance(value, types) or (
+            field in ("span_id", "depth") and isinstance(value, bool)
+        ):
+            raise SpanSchemaError(
+                f"span field {field!r} has invalid type "
+                f"{type(value).__name__}"
+            )
+    if record["span_id"] < 1:
+        raise SpanSchemaError("span_id must be >= 1")
+    if record["duration"] < 0 or record["start"] < 0:
+        raise SpanSchemaError("span timings must be non-negative")
+    if record["depth"] < 0:
+        raise SpanSchemaError("span depth must be >= 0")
+    for key, value in record["attrs"].items():
+        if not isinstance(key, str):
+            raise SpanSchemaError(f"attr key {key!r} is not a string")
+        if not isinstance(value, _SCALAR_TYPES):
+            raise SpanSchemaError(
+                f"attr {key!r} has non-scalar value {value!r}"
+            )
+
+
+class Span:
+    """One traced region; use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "depth",
+        "start", "duration", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.start = 0.0
+        self.duration = 0.0
+
+    def set(self, key: str, value) -> None:
+        """Attach (or overwrite) one attribute on the open span."""
+        self.attrs[key] = _scalar(value)
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._close(self)
+        return False
+
+    def to_record(self) -> dict:
+        """The finished span as a schema-conformant dictionary."""
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class JsonlSink:
+    """Write trace records to a file, one JSON object per line."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.write({"type": "meta", "schema": TRACE_SCHEMA_VERSION,
+                    "clock": "perf_counter_relative"})
+
+    def write(self, record: dict) -> None:
+        """Append one record."""
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class Tracer:
+    """Produces nested spans; keeps a bounded buffer of finished records.
+
+    Parameters
+    ----------
+    buffer_size:
+        Maximum finished span records held in memory (oldest dropped
+        first; drops are counted in :attr:`spans_dropped`).
+    sink:
+        Optional :class:`JsonlSink` receiving every finished record.
+    """
+
+    def __init__(self, buffer_size: int = 4096, sink: JsonlSink | None = None):
+        self.finished: deque[dict] = deque(maxlen=buffer_size)
+        self.sink = sink
+        self.spans_started = 0
+        self.spans_dropped = 0
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span context manager; attrs are coerced to JSON scalars."""
+        return Span(self, name, {k: _scalar(v) for k, v in attrs.items()})
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (number of open spans)."""
+        return len(self._stack)
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.depth = len(self._stack)
+        self._stack.append(span)
+        self.spans_started += 1
+        span.start = time.perf_counter() - self._epoch
+
+    def _close(self, span: Span) -> None:
+        span.duration = time.perf_counter() - self._epoch - span.start
+        # Tolerate exception-driven unwinding: pop through any abandoned
+        # children so the stack never corrupts subsequent nesting.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        if len(self.finished) == self.finished.maxlen:
+            self.spans_dropped += 1
+        record = span.to_record()
+        self.finished.append(record)
+        if self.sink is not None:
+            self.sink.write(record)

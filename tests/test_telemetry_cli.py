@@ -1,0 +1,58 @@
+"""The ``repro telemetry`` CLI group: report, dashboard, smoke."""
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import instrument as tele
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    tele.disable()
+    tele.reset_metrics()
+    yield
+    tele.disable()
+    tele.reset_metrics()
+
+
+class TestSmokeCommand:
+    def test_smoke_writes_trace_and_exits_zero(self, tmp_path, capsys):
+        trace = tmp_path / "smoke.jsonl"
+        assert main(["telemetry", "smoke", "--out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry smoke OK" in out
+        assert trace.exists()
+
+
+class TestReportCommand:
+    def test_report_summarizes_a_capture(self, tmp_path, capsys):
+        trace = tmp_path / "smoke.jsonl"
+        main(["telemetry", "smoke", "--out", str(trace)])
+        capsys.readouterr()
+        assert main(["telemetry", "report", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "qdb.query" in out
+        assert "refusal decisions:" in out
+        assert "sum-audit" in out
+
+    def test_report_missing_file_is_an_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["telemetry", "report", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_flags_corrupt_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"type":"meta","schema":1}\n{"type":"span"}\n')
+        assert main(["telemetry", "report", str(trace)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDashboardCommand:
+    def test_dashboard_renders_meters(self, capsys):
+        assert main([
+            "telemetry", "dashboard", "--records", "80", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "privacy meters" in out
+        assert "respondent" in out
+        assert "operational metrics" in out

@@ -1,0 +1,180 @@
+"""The disabled fast path: strict no-ops, byte-identical decisions.
+
+Telemetry must be invisible until a session is enabled: the facade hands
+out shared singletons (no allocation), the engine and PIR hot loops run
+the exact seed code paths, and enabling tracing must not change a single
+decision or output byte — only observe them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import patients
+from repro.pir import TwoServerXorPIR
+from repro.qdb import (
+    Aggregate,
+    Comparison,
+    Not,
+    OverlapControl,
+    Query,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+from repro.telemetry import instrument as tele
+
+pytestmark = pytest.mark.usefixtures("telemetry_disabled")
+
+
+@pytest.fixture
+def telemetry_disabled():
+    tele.disable()
+    tele.reset_metrics()
+    yield
+    tele.disable()
+    tele.reset_metrics()
+
+
+def _golden_workload(pop, rng, n_queries):
+    """The same mixed workload the perf-equivalence golden vectors use."""
+    columns = ["height", "weight", "age"]
+    aggregates = [
+        Aggregate.COUNT, Aggregate.SUM, Aggregate.AVG,
+        Aggregate.VARIANCE, Aggregate.STDDEV, Aggregate.MEDIAN,
+    ]
+    queries = []
+    for _ in range(n_queries):
+        column = columns[rng.integers(len(columns))]
+        op = ["<", "<=", ">", ">=", "=", "!="][rng.integers(6)]
+        value = float(np.round(rng.choice(pop[column]), 1))
+        predicate = Comparison(column, op, value)
+        if rng.random() < 0.3:
+            other = columns[rng.integers(len(columns))]
+            predicate = predicate & Comparison(
+                other, ">", float(np.quantile(pop[other], rng.random()))
+            )
+        if rng.random() < 0.15:
+            predicate = Not(predicate)
+        aggregate = aggregates[rng.integers(len(aggregates))]
+        column = None if aggregate is Aggregate.COUNT else "blood_pressure"
+        queries.append(Query(aggregate, column, predicate))
+    return queries
+
+
+def _golden_session(policies):
+    pop = patients(150, seed=42)
+    rng = np.random.default_rng(99)
+    db = StatisticalDatabase(pop, policies, seed=0)
+    answers = [db.ask(q) for q in _golden_workload(pop, rng, 60)]
+    refusals = "".join("R" if a.refused else "A" for a in answers)
+    checksum = float(
+        np.nansum([a.value for a in answers if a.value is not None])
+    )
+    return refusals, checksum
+
+
+GOLDEN_OVERLAP = "AAAAARRAARAARAAAAARRRAARAAARAAAARAARARRARRRAARARRARRRAAARRRA"
+GOLDEN_SUM_AUDIT = "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAARAAAAARAAR"
+
+
+class TestNoopFastPath:
+    def test_disabled_by_default(self):
+        assert not tele.enabled()
+
+    def test_span_returns_shared_singleton(self):
+        assert tele.span("a", x=1) is tele.span("b")
+        assert tele.span("a") is tele.NOOP_SPAN
+
+    def test_metrics_return_shared_singleton(self):
+        assert tele.counter("c") is tele.NOOP_METRIC
+        assert tele.gauge("g") is tele.NOOP_METRIC
+        assert tele.histogram("h") is tele.NOOP_METRIC
+
+    def test_noop_span_is_inert(self):
+        with tele.span("a", x=1) as span:
+            span.set("k", "v")
+        assert span.attrs == {}
+        assert span.duration == 0.0
+
+    def test_noop_metric_records_nothing(self):
+        metric = tele.counter("c")
+        metric.inc(100)
+        metric.observe(0.5)
+        metric.set(3)
+        assert metric.value == 0
+
+    def test_disabled_run_leaves_no_tracing_footprint(self):
+        pop = patients(80, seed=1)
+        db = StatisticalDatabase(pop, [SumAuditPolicy()])
+        db.ask_batch([
+            "SELECT COUNT(*) WHERE height > 170",
+            "SELECT SUM(blood_pressure) WHERE weight <= 90",
+        ])
+        counters = tele.snapshot()["counters"]
+        assert "telemetry.spans_started" not in counters
+        assert tele.snapshot()["histograms"] == {}
+        # Always-on component accounting still aggregates.
+        assert counters["qdb.queries_asked"] == 2
+
+
+class TestGoldenFingerprintsUnchanged:
+    """The PR-2 golden vectors, replayed disabled AND enabled."""
+
+    @pytest.mark.parametrize("enable", [False, True])
+    def test_overlap_golden_vector(self, tmp_path, enable):
+        if enable:
+            with tele.session(tmp_path / "t.jsonl"):
+                refusals, checksum = _golden_session([OverlapControl(40)])
+        else:
+            refusals, checksum = _golden_session([OverlapControl(40)])
+        assert refusals == GOLDEN_OVERLAP
+        assert checksum == pytest.approx(12866.158211603071, rel=1e-12)
+
+    @pytest.mark.parametrize("enable", [False, True])
+    def test_sum_audit_golden_vector(self, tmp_path, enable):
+        if enable:
+            with tele.session(tmp_path / "t.jsonl"):
+                refusals, checksum = _golden_session([SumAuditPolicy()])
+        else:
+            refusals, checksum = _golden_session([SumAuditPolicy()])
+        assert refusals == GOLDEN_SUM_AUDIT
+        assert checksum == pytest.approx(63104.77017914514, rel=1e-12)
+
+
+class TestPirBytesIdentical:
+    def test_retrievals_identical_disabled_vs_enabled(self):
+        blocks = [bytes([i % 251]) * 32 for i in range(64)]
+        plain = TwoServerXorPIR(blocks)
+        base = [plain.retrieve(7, 3), *plain.retrieve_batch([1, 9, 33], 5)]
+        traced = TwoServerXorPIR(blocks)
+        with tele.session():
+            seen = [
+                traced.retrieve(7, 3), *traced.retrieve_batch([1, 9, 33], 5)
+            ]
+        assert seen == base
+        assert traced.upstream_bits == plain.upstream_bits
+        assert traced.downstream_bits == plain.downstream_bits
+
+    def test_counter_migration_keeps_seed_attribute_semantics(self):
+        pir = TwoServerXorPIR([b"ab" * 8, b"cd" * 8])
+        assert pir.upstream_bits == 0
+        pir.retrieve(0, 1)
+        assert pir.upstream_bits == 2 * pir.n
+        assert pir.downstream_bits == 8 * 2 * pir.block_size
+        assert pir.retrievals == 1
+
+
+class TestMaskCacheCounterMigration:
+    def test_read_through_properties_match_seed_counts(self):
+        pop = patients(60, seed=2)
+        db = StatisticalDatabase(pop, [])
+        q = "SELECT COUNT(*) WHERE height > 170"
+        db.ask(q)
+        db.ask(q)
+        db.ask("SELECT COUNT(*) WHERE weight <= 80")
+        assert (db.mask_cache_hits, db.mask_cache_misses) == (1, 2)
+        assert db.queries_asked == 3
+        assert db.queries_refused == 0
+        # The same counts flow into the aggregated process snapshot.
+        counters = tele.snapshot()["counters"]
+        assert counters["qdb.mask_cache_hits"] == 1
+        assert counters["qdb.mask_cache_misses"] == 2

@@ -1,0 +1,242 @@
+"""End-to-end telemetry: traced attacks, SMC/SDC metrics, dashboards.
+
+The acceptance scenario: run the S3a tracker against an audited database
+with telemetry enabled, then reconstruct — from the JSONL capture alone —
+every refusal decision with the policy that refused and its reason.
+"""
+
+import pytest
+
+from repro.core import assess_masking
+from repro.core.pipelines import HippocraticPipeline
+from repro.data import patients
+from repro.pir.keyword import KeywordPIR
+from repro.qdb import (
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
+    tracker_attack,
+)
+from repro.sdc import Microaggregation, equivalence_classes
+from repro.smc.party import Transcript
+from repro.smc.secure_sum import ring_secure_sum, shares_secure_sum
+from repro.telemetry import (
+    SmokeError,
+    instrument as tele,
+    load_trace,
+    read_trace,
+    refusal_decisions,
+    render_dashboard,
+    render_metrics,
+    run_smoke,
+)
+
+pytestmark = pytest.mark.usefixtures("clean_telemetry")
+
+
+@pytest.fixture
+def clean_telemetry():
+    tele.disable()
+    tele.reset_metrics()
+    yield
+    tele.disable()
+    tele.reset_metrics()
+
+
+def _tracked_population(records=150, seed=3):
+    pop = patients(records, seed=seed)
+    targets = [
+        cls.indices[0]
+        for cls in equivalence_classes(pop, ["height", "weight"])
+        if cls.size == 1
+        and (pop["height"] == pop["height"][cls.indices[0]]).sum() >= 6
+    ]
+    return pop, targets
+
+
+class TestTrackerForensics:
+    def test_trace_reconstructs_every_refusal_decision(self, tmp_path):
+        pop, targets = _tracked_population()
+        assert targets, "seeded population must contain a trackable target"
+        trace = tmp_path / "s3a.jsonl"
+        with tele.session(trace):
+            db = StatisticalDatabase(
+                pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+            )
+            tracker_attack(
+                db, pop, targets[0], ["height", "weight"], "blood_pressure"
+            )
+        refused_in_session = db.queries_refused
+        spans = read_trace(trace, validate=True)
+        decisions = refusal_decisions(spans)
+        # Every refusal the engine recorded appears in the capture, and
+        # each one names its policy and reason.
+        assert len(decisions) == refused_in_session > 0
+        for decision in decisions:
+            assert decision["policy"] in (
+                "sum-audit", "size-control(k=5)"
+            )
+            assert decision["reason"] not in ("", "?")
+            assert decision["query"].startswith("SELECT")
+
+    def test_batch_spans_parent_their_query_children(self, tmp_path):
+        pop, _ = _tracked_population(records=100, seed=5)
+        trace = tmp_path / "batch.jsonl"
+        with tele.session(trace):
+            db = StatisticalDatabase(pop, [QuerySetSizeControl(5)])
+            db.ask_batch([
+                "SELECT COUNT(*) WHERE height > 170",
+                "SELECT AVG(blood_pressure) WHERE weight <= 85",
+            ])
+        spans = read_trace(trace)
+        batch = [s for s in spans if s["name"] == "qdb.ask_batch"]
+        children = [s for s in spans if s["name"] == "qdb.query"]
+        assert len(batch) == 1 and len(children) == 2
+        assert all(
+            c["parent_id"] == batch[0]["span_id"] for c in children
+        )
+        assert batch[0]["attrs"]["n_queries"] == 2
+
+    def test_report_formats_the_acceptance_view(self, tmp_path):
+        pop, targets = _tracked_population()
+        trace = tmp_path / "s3a.jsonl"
+        with tele.session(trace):
+            db = StatisticalDatabase(
+                pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+            )
+            tracker_attack(
+                db, pop, targets[0], ["height", "weight"], "blood_pressure"
+            )
+        text = load_trace(trace).format()
+        assert "refusal decisions:" in text
+        assert "sum-audit" in text or "size-control" in text
+        assert "qdb.query" in text
+
+
+class TestPirTelemetry:
+    def test_keyword_lookup_spans_nest_retrieve_batches(self, tmp_path):
+        directory = KeywordPIR({f"k{i:02d}": i for i in range(16)})
+        trace = tmp_path / "pir.jsonl"
+        with tele.session(trace):
+            assert directory.lookup("k04", rng=0) == 4
+            assert directory.lookup("absent", rng=1) is None
+        spans = read_trace(trace)
+        lookups = [
+            s for s in spans if s["name"] == "pir.keyword_lookup_batch"
+        ]
+        batches = [s for s in spans if s["name"] == "pir.retrieve_batch"]
+        assert len(lookups) == 2
+        assert lookups[0]["attrs"]["hits"] == 1
+        assert lookups[1]["attrs"]["hits"] == 0
+        rounds = lookups[0]["attrs"]["rounds"]
+        assert len(batches) == 2 * rounds
+        lookup_ids = {s["span_id"] for s in lookups}
+        assert all(b["parent_id"] in lookup_ids for b in batches)
+
+    def test_latency_histograms_populated_when_enabled(self):
+        pir_db = KeywordPIR({"a": 1, "b": 2, "c": 3})
+        with tele.session():
+            pir_db.lookup("b", rng=0)
+            histograms = tele.snapshot()["histograms"]
+            assert histograms["pir.keyword_lookup_seconds"]["count"] == 1
+            assert histograms["pir.batch_seconds"]["count"] >= 1
+
+
+class TestSmcTelemetry:
+    def test_transcript_counts_messages_bytes_rounds(self):
+        t = Transcript()
+        ring_secure_sum([3, 5, 9], transcript=t)
+        assert t.protocol == "ring-sum"
+        assert t.message_count == len(t.messages) == 3
+        assert t.payload_bytes == 3 * 8
+        assert t.rounds == 3  # every hop changes speaker
+
+    def test_per_pair_counters_tagged_by_protocol(self):
+        t = Transcript()
+        shares_secure_sum([4, 6], transcript=t)
+        snap = t.metrics.snapshot(include_children=False)
+        pair_keys = [
+            k for k in snap["counters"] if k.startswith("smc.messages[")
+        ]
+        assert pair_keys
+        assert all("shares-sum|" in k for k in pair_keys)
+        assert sum(snap["counters"][k] for k in pair_keys) == len(t.messages)
+
+    def test_smc_traffic_reaches_process_snapshot(self):
+        ring_secure_sum([1, 2, 3])
+        counters = tele.snapshot()["counters"]
+        assert counters["smc.messages"] >= 3
+        assert counters["smc.payload_bytes"] >= 24
+
+
+class TestSdcTelemetry:
+    def test_pipeline_audit_publishes_gauges_and_span(self, tmp_path):
+        pop = patients(80, seed=4).drop(["patient_id"])
+        trace = tmp_path / "sdc.jsonl"
+        with tele.session(trace):
+            pipeline = HippocraticPipeline(pop, k=3, allowed_purposes=["x"])
+            audit = pipeline.audit()
+            gauges = tele.snapshot()["gauges"]
+            assert gauges["sdc.k_required"] == 3
+            assert gauges["sdc.k_achieved"] == audit.k_achieved
+        spans = read_trace(trace)
+        assert any(s["name"] == "sdc.pipeline_audit" for s in spans)
+
+    def test_assessment_sets_il1s_gauge(self):
+        pop = patients(60, seed=7).drop(["patient_id"])
+        with tele.session():
+            assessment = assess_masking(Microaggregation(3), pop)
+            gauges = tele.snapshot()["gauges"]
+        assert gauges["sdc.il1s"] == pytest.approx(
+            assessment.utility.il1s
+        )
+
+
+class TestDashboard:
+    def test_dashboard_renders_scores_and_metrics(self):
+        pop = patients(60, seed=7).drop(["patient_id"])
+        with tele.session():
+            assessment = assess_masking(Microaggregation(3), pop)
+            snapshot = tele.snapshot()
+        text = render_dashboard([assessment], snapshot)
+        assert "microaggregation(k=3)" in text
+        assert "respondent" in text and "owner" in text and "user" in text
+        assert "operational metrics" in text
+        assert "sdc.il1s" in text
+
+    def test_render_metrics_empty_snapshot(self):
+        text = render_metrics({"counters": {}, "gauges": {}, "histograms": {}})
+        assert "(none recorded)" in text
+
+
+class TestSmoke:
+    def test_run_smoke_passes_and_summarizes(self, tmp_path):
+        summary = run_smoke(tmp_path / "smoke.jsonl")
+        assert summary["whole_count_refused"] is True
+        assert summary["refusal_decisions"] > 0
+        assert "qdb.query" in summary["per_name_counts"]
+
+    def test_run_smoke_rejects_schema_drift(self, tmp_path):
+        trace = tmp_path / "smoke.jsonl"
+        run_smoke(trace)
+        # Corrupt one span line: drop a required field.
+        lines = trace.read_text().splitlines()
+        import json
+
+        broken = json.loads(lines[-1])
+        broken.pop("duration")
+        lines[-1] = json.dumps(broken)
+        trace.write_text("\n".join(lines) + "\n")
+        with pytest.raises(Exception) as excinfo:
+            read_trace(trace, validate=True)
+        assert "duration" in str(excinfo.value)
+
+    def test_smoke_error_on_empty_capture(self, tmp_path, monkeypatch):
+        from repro.telemetry import smoke
+
+        monkeypatch.setattr(
+            smoke, "_scenario",
+            lambda records, seed: {"whole_count_refused": True},
+        )
+        with pytest.raises(SmokeError, match="no spans"):
+            smoke.run_smoke(tmp_path / "empty.jsonl")

@@ -1,0 +1,138 @@
+"""Metrics registry: counters, gauges, histograms, child aggregation."""
+
+import gc
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    process_registry,
+)
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("k")
+        g.set(5)
+        g.set(3)
+        assert g.value == 3
+
+    def test_histogram_buckets_and_mean(self):
+        h = Histogram("lat", bounds=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.mean == pytest.approx(5.0605 / 5)
+        data = h.as_dict()
+        assert data["buckets"] == {
+            "le_0.001": 1, "le_0.01": 2, "le_0.1": 1, "inf": 1
+        }
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(0.1, 0.01))
+
+    def test_histogram_merge_requires_equal_bounds(self):
+        a = Histogram("lat", bounds=(0.1, 1.0))
+        b = Histogram("lat", bounds=(0.2, 1.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_histogram_merge_sums(self):
+        a = Histogram("lat", bounds=(0.1, 1.0))
+        b = Histogram("lat", bounds=(0.1, 1.0))
+        a.observe(0.05)
+        b.observe(0.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.bucket_counts == [1, 1, 1]
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry(owner="t", standalone=True)
+        assert reg.counter("a") is reg.counter("a")
+        assert "a" in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry(owner="t", standalone=True)
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_snapshot_sorted_and_typed(self):
+        reg = MetricsRegistry(owner="t", standalone=True)
+        reg.counter("z").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("g").set(7.5)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["owner"] == "t"
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["gauges"]["g"] == 7.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_live_child_merges_into_snapshot(self):
+        parent = MetricsRegistry(owner="p", standalone=True)
+        child = MetricsRegistry(owner="c", standalone=True)
+        parent._adopt(child)
+        parent.counter("hits").inc(1)
+        child.counter("hits").inc(10)
+        assert parent.snapshot()["counters"]["hits"] == 11
+        # The child's own metrics are untouched by aggregation.
+        assert child.counter("hits").value == 10
+
+    def test_dead_child_folds_totals(self):
+        parent = MetricsRegistry(owner="p", standalone=True)
+        child = MetricsRegistry(owner="c", standalone=True)
+        parent._adopt(child)
+        child.counter("hits").inc(10)
+        child.histogram("lat").observe(0.5)
+        del child
+        gc.collect()
+        snap = parent.snapshot()
+        assert snap["counters"]["hits"] == 10
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_counters_stay_monotone_across_child_death(self):
+        parent = MetricsRegistry(owner="p", standalone=True)
+        for _ in range(3):
+            child = MetricsRegistry(owner="c", standalone=True)
+            parent._adopt(child)
+            child.counter("hits").inc(5)
+            assert parent.snapshot()["counters"]["hits"] >= 5
+            del child
+            gc.collect()
+        assert parent.snapshot()["counters"]["hits"] == 15
+
+    def test_reset_detaches_children(self):
+        parent = MetricsRegistry(owner="p", standalone=True)
+        child = MetricsRegistry(owner="c", standalone=True)
+        parent._adopt(child)
+        child.counter("hits").inc(3)
+        parent.reset()
+        del child
+        gc.collect()
+        assert parent.snapshot()["counters"] == {}
+
+    def test_process_registry_is_a_singleton(self):
+        assert process_registry() is process_registry()
+
+    def test_component_registries_attach_to_process(self):
+        process_registry().reset()
+        reg = MetricsRegistry(owner="component")
+        reg.counter("component.thing").inc(4)
+        assert process_registry().snapshot()["counters"][
+            "component.thing"
+        ] == 4
+        process_registry().reset()

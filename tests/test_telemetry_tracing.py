@@ -1,0 +1,169 @@
+"""Tracing: span nesting, bounded buffer, JSONL sink, schema validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    SpanSchemaError,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    read_trace,
+    validate_record,
+)
+
+
+class TestSpans:
+    def test_nesting_assigns_parents_and_depths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = list(tracer.finished)
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["depth"] == 1
+        assert outer["parent_id"] is None
+        assert outer["depth"] == 0
+
+    def test_span_ids_are_unique_and_ordered(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        ids = [r["span_id"] for r in tracer.finished]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 3
+
+    def test_durations_are_monotonic_clock_based(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = list(tracer.finished)
+        assert 0 <= inner["duration"] <= outer["duration"]
+        assert outer["start"] <= inner["start"]
+
+    def test_attrs_coerced_to_scalars(self):
+        tracer = Tracer()
+        with tracer.span(
+            "s", n=np.int64(3), x=np.float64(0.5), obj=[1, 2]
+        ) as span:
+            span.set("late", np.int32(7))
+        record = tracer.finished[-1]
+        assert record["attrs"]["n"] == 3
+        assert record["attrs"]["x"] == 0.5
+        assert record["attrs"]["late"] == 7
+        assert isinstance(record["attrs"]["obj"], str)  # repr fallback
+        validate_record(record)
+
+    def test_exception_records_error_and_unwinds_stack(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.depth == 0
+        records = {r["name"]: r for r in tracer.finished}
+        assert records["inner"]["attrs"]["error"] == "RuntimeError"
+        # A new span opened afterwards nests at the top level again.
+        with tracer.span("after"):
+            pass
+        assert tracer.finished[-1]["depth"] == 0
+
+    def test_buffer_bounds_and_drop_counting(self):
+        tracer = Tracer(buffer_size=4)
+        for i in range(7):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.finished) == 4
+        assert tracer.spans_started == 7
+        assert tracer.spans_dropped == 3
+        assert [r["name"] for r in tracer.finished] == [
+            "s3", "s4", "s5", "s6"
+        ]
+
+
+class TestJsonlSink:
+    def test_meta_header_and_span_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=JsonlSink(path))
+        with tracer.span("a", key="value"):
+            pass
+        tracer.sink.close()
+        lines = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert lines[1]["type"] == "span"
+        assert lines[1]["attrs"] == {"key": "value"}
+
+    def test_read_trace_validates_and_drops_meta(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=JsonlSink(path))
+        with tracer.span("a"):
+            pass
+        tracer.sink.close()
+        spans = read_trace(path)
+        assert [s["name"] for s in spans] == ["a"]
+
+    def test_read_trace_flags_bad_json_with_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type":"meta","schema":1}\nnot json\n')
+        with pytest.raises(SpanSchemaError, match=":2:"):
+            read_trace(path)
+
+    def test_read_trace_flags_schema_drift(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        record = {
+            "type": "span", "span_id": 1, "parent_id": None, "name": "a",
+            "depth": 0, "start": 0.0, "duration": 0.001, "attrs": {},
+        }
+        bad = dict(record)
+        del bad["duration"]  # a field renamed/removed = drift
+        path.write_text(
+            json.dumps(record) + "\n" + json.dumps(bad) + "\n"
+        )
+        with pytest.raises(SpanSchemaError, match="duration"):
+            read_trace(path)
+
+
+class TestValidateRecord:
+    def _span(self, **overrides):
+        record = {
+            "type": "span", "span_id": 1, "parent_id": None, "name": "a",
+            "depth": 0, "start": 0.0, "duration": 0.001, "attrs": {},
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_span_passes(self):
+        validate_record(self._span())
+
+    def test_meta_requires_integer_schema(self):
+        validate_record({"type": "meta", "schema": 1})
+        with pytest.raises(SpanSchemaError):
+            validate_record({"type": "meta", "schema": "1"})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SpanSchemaError):
+            validate_record({"type": "event"})
+
+    def test_bool_span_id_rejected(self):
+        with pytest.raises(SpanSchemaError):
+            validate_record(self._span(span_id=True))
+
+    def test_negative_timings_rejected(self):
+        with pytest.raises(SpanSchemaError):
+            validate_record(self._span(duration=-1.0))
+
+    def test_non_scalar_attr_rejected(self):
+        with pytest.raises(SpanSchemaError):
+            validate_record(self._span(attrs={"x": [1, 2]}))
+
+    def test_zero_span_id_rejected(self):
+        with pytest.raises(SpanSchemaError):
+            validate_record(self._span(span_id=0))
