@@ -1,11 +1,13 @@
 PYTHON ?= python
 
-.PHONY: verify test bench bench-check bench-qdb bench-refresh telemetry-smoke
+.PHONY: verify test bench bench-check bench-qdb bench-refresh telemetry-smoke \
+	chaos doctest-faults
 
 .DEFAULT_GOAL := verify
 
-# The default gate: tests, benchmark regressions, telemetry schema drift.
-verify: test bench-check telemetry-smoke
+# The default gate: tests, benchmark regressions, telemetry schema drift,
+# fault-layer doctests, and the chaos scenario's privacy invariants.
+verify: test bench-check telemetry-smoke doctest-faults chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -35,3 +37,14 @@ bench-refresh:
 # against the span schema; fails on schema drift or lost refusal forensics.
 telemetry-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro telemetry smoke
+
+# The fault layer's executable documentation: every module-level example
+# in src/repro/faults must keep running exactly as written.
+doctest-faults:
+	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules src/repro/faults -q
+
+# Scripted failure scenario at a fixed seed: byzantine PIR replicas,
+# crashed SMC parties, failing qdb backends; exits nonzero when any
+# privacy/integrity invariant breaks or a degradation decision is lost.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro faults chaos --seed 3

@@ -25,6 +25,8 @@ BASELINES: dict[str, float] = {
     "pir_batch64_retrieve_n4096": 15.0,
     "pir_square_retrieve_n4096": 0.15,
     "pir_multiserver3_retrieve_n1024": 0.55,
+    "pir_faulty_batch64_retrieve_n4096": 16.0,
+    "pir_faulty_retrieve_n1024": 2.3,
     "mdav_n1000_k5": 30.0,
     "mdav_n2000_k10": 50.0,
     "linkage_n600": 12.0,
@@ -49,3 +51,10 @@ MIN_SPEEDUPS: dict[str, float] = {
 
 # Backwards-compatible alias for the original single-pair constant.
 MIN_SPEEDUP_VS_SEED = MIN_SPEEDUPS["pir_single_retrieve_n4096"]
+
+# The fault-tolerance wrapping layer must stay within this factor of the
+# bare kernel when *no* faults are injected (pairs are OVERHEAD_PAIRS in
+# runner.py): resilience must not tax the healthy hot path.
+MAX_OVERHEADS: dict[str, float] = {
+    "pir_faulty_batch64_retrieve_n4096": 1.10,
+}

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.attacks import ProbabilisticLinkageAttack
 from repro.data import patients
+from repro.faults import Fault, FaultPlan, ResilientXorPIR
 from repro.pir import MultiServerXorPIR, SquareSchemePIR, TwoServerXorPIR
 from repro.qdb import (
     Aggregate,
@@ -54,7 +55,7 @@ from repro.qdb import (
 from repro.sdc.microaggregation import mdav_groups
 from repro.telemetry import process_registry
 
-from .baselines import BASELINES, MIN_SPEEDUPS, TOLERANCE
+from .baselines import BASELINES, MAX_OVERHEADS, MIN_SPEEDUPS, TOLERANCE
 from .seed_replicas import SeedOverlapControl, SeedSumAuditPolicy
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
@@ -65,6 +66,13 @@ SPEEDUP_PAIRS = [
     ("pir_single_retrieve_n4096", "seed_pir_single_retrieve_n4096"),
     ("qdb_overlap", "seed_qdb_overlap"),
     ("qdb_sum_audit", "seed_qdb_sum_audit"),
+]
+
+# (wrapped kernel, bare kernel) pairs; the recorded ratio for each pair
+# must stay below MAX_OVERHEADS[wrapped] under --check — the gate that
+# keeps the fault-tolerance layer out of the fault-free hot path.
+OVERHEAD_PAIRS = [
+    ("pir_faulty_batch64_retrieve_n4096", "pir_batch64_retrieve_n4096"),
 ]
 
 
@@ -154,6 +162,50 @@ def _pir_square(n: int) -> Callable[[], Callable[[], object]]:
 def _pir_multiserver(n: int, servers: int) -> Callable[[], Callable[[], object]]:
     def setup():
         pir = MultiServerXorPIR(_pir_blocks(n), n_servers=servers)
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return pir.retrieve(n // 2, state["seed"])
+
+        return run
+
+    return setup
+
+
+def _pir_faulty_batch(n: int, batch: int) -> Callable[[], Callable[[], object]]:
+    """The resilient front-end with no faults and f=0 (one replica group).
+
+    Same workload as ``pir_batch64_retrieve_n4096``; the measured delta
+    is the pure wrapping cost (plan bookkeeping, delivery fast path,
+    per-block reports) that OVERHEAD_PAIRS bounds at <10%.
+    """
+
+    def setup():
+        pir = ResilientXorPIR(_pir_blocks(n), f=0, plan=FaultPlan())
+        indices = list(range(0, n, max(1, n // batch)))[:batch]
+        pir.retrieve_batch(indices[:2], 0)  # build the bit matrices once
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return pir.retrieve_batch(indices, state["seed"])
+
+        return run
+
+    return setup
+
+
+def _pir_faulty_single(n: int) -> Callable[[], Callable[[], object]]:
+    """Resilient retrieval with f=1 and a byzantine replica actually lying.
+
+    Times the full fault path: 3 replica groups, per-delivery resolution
+    and majority voting that outvotes the byzantine candidate every call.
+    """
+
+    def setup():
+        plan = FaultPlan([Fault("byzantine", "pir.replica:0")], seed=9)
+        pir = ResilientXorPIR(_pir_blocks(n), f=1, plan=plan)
         state = {"seed": 0}
 
         def run():
@@ -334,6 +386,9 @@ KERNELS: list[Kernel] = [
     Kernel("pir_batch64_retrieve_n4096", _pir_batch(4096, 64), reps=2),
     Kernel("pir_square_retrieve_n4096", _pir_square(4096), reps=10),
     Kernel("pir_multiserver3_retrieve_n1024", _pir_multiserver(1024, 3), reps=5),
+    Kernel("pir_faulty_batch64_retrieve_n4096", _pir_faulty_batch(4096, 64),
+           reps=2),
+    Kernel("pir_faulty_retrieve_n1024", _pir_faulty_single(1024), reps=5),
     Kernel("seed_pir_single_retrieve_n4096", _seed_pir_single(4096), reps=1,
            reference_only=True),
     Kernel("mdav_n1000_k5", _mdav(1000, 5), reps=1),
@@ -391,6 +446,7 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
         "trials": trials,
         "kernels": {},
         "speedups": {},
+        "overheads": {},
     }
     for kernel in KERNELS:
         if names and kernel.name not in names:
@@ -419,6 +475,13 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
         if seed and fast:
             results["speedups"][f"{fast_name}_vs_seed"] = (
                 seed["median_seconds"] / fast["median_seconds"]
+            )
+    for wrapped_name, bare_name in OVERHEAD_PAIRS:
+        wrapped = results["kernels"].get(wrapped_name)
+        bare = results["kernels"].get(bare_name)
+        if wrapped and bare:
+            results["overheads"][f"{wrapped_name}_vs_bare"] = (
+                wrapped["median_seconds"] / bare["median_seconds"]
             )
     return results
 
@@ -459,6 +522,17 @@ def check_regressions(
             failures.append(
                 f"{fast_name}: only {speedup:.1f}x faster than the seed "
                 f"implementation (required: {required}x)"
+            )
+    for wrapped_name, bare_name in OVERHEAD_PAIRS:
+        overhead = results.get("overheads", {}).get(
+            f"{wrapped_name}_vs_bare"
+        )
+        allowed = MAX_OVERHEADS.get(wrapped_name)
+        if overhead is not None and allowed is not None and overhead > allowed:
+            failures.append(
+                f"{wrapped_name}: {overhead:.3f}x the bare {bare_name} "
+                f"(allowed: {allowed}x) — the fault layer leaked work into "
+                f"the fault-free path"
             )
     return failures
 
@@ -511,6 +585,8 @@ def main(argv: list[str] | None = None) -> int:
               f"(normalized {entry['normalized']:8.2f})")
     for name, value in results["speedups"].items():
         print(f"  {name}: {value:.1f}x")
+    for name, value in results["overheads"].items():
+        print(f"  {name}: {value:.3f}x")
 
     if args.no_compare:
         return 0

@@ -1,0 +1,104 @@
+"""A tracker-audited session surviving storage failures (DESIGN.md §7).
+
+A hospital's statistical database runs its usual defences (size control
++ exact SUM auditing) while the storage layer degrades underneath it:
+one replica crashes mid-session, the other occasionally stalls past its
+deadline, and finally the whole backend goes dark.  The engine's job is
+to keep the *session* — and its privacy accounting — alive:
+
+* failover-served answers come back correct but typed ``Degraded``;
+* a total blackout yields a typed ``Refusal`` (reason ``backend:``),
+  never an exception and never a wrong answer;
+* every fallback decision is logged to telemetry and printed back as
+  incident forensics at the end.
+
+Run:  python examples/chaos_tracker.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.data import patients
+from repro.faults import Fault, FaultPlan, ReplicatedBackend
+from repro.qdb import (
+    Degraded,
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+from repro.telemetry import TraceReport, instrument, read_trace
+
+
+def describe(answer) -> str:
+    if answer.refused:  # policy refusals and typed backend Refusals alike
+        return f"REFUSED  ({answer.reason})"
+    value = f"{answer.value:.2f}"
+    if isinstance(answer, Degraded):
+        return f"{value}  [degraded: {answer.detail}]"
+    return value
+
+
+def main() -> None:
+    pop = patients(150, seed=3)
+    plan = FaultPlan(
+        [
+            # Replica 0 dies after serving two reads.
+            Fault("crash", "qdb.replica:0", after=2),
+            # Replica 1 stalls 80 ms (past the 50 ms first deadline)
+            # on half of its reads -- survivable via retry.
+            Fault("delay", "qdb.replica:1", delay=0.08, probability=0.5),
+        ],
+        seed=11,
+    )
+    backend = ReplicatedBackend(pop, n_replicas=2, plan=plan)
+    db = StatisticalDatabase(
+        backend, [QuerySetSizeControl(5), SumAuditPolicy()]
+    )
+
+    workload = [
+        "SELECT COUNT(*) WHERE height > 170",
+        "SELECT AVG(blood_pressure) WHERE height > 170",
+        "SELECT SUM(weight) WHERE blood_pressure > 155",
+        "SELECT AVG(weight) WHERE height <= 170",
+        "SELECT COUNT(*)",  # refused by size control, storage aside
+    ]
+
+    trace = Path(tempfile.gettempdir()) / "chaos-tracker.jsonl"
+    with instrument.session(trace):
+        print(f"{pop.n_rows} patients, 2 storage replicas "
+              "(one crashing, one slow)\n")
+        for text in workload:
+            print(f"  {text:<48} -> {describe(db.ask(text))}")
+
+        # The backend goes completely dark: every replica down.
+        blackout = ReplicatedBackend(
+            pop, n_replicas=2,
+            plan=FaultPlan(
+                [Fault("crash", "qdb-dark.replica:0", after=0),
+                 Fault("crash", "qdb-dark.replica:1", after=0)],
+                seed=11,
+            ),
+            name="qdb-dark",
+        )
+        dark = StatisticalDatabase(blackout, [QuerySetSizeControl(5)])
+        print("\nblackout (all replicas down):")
+        answer = dark.ask("SELECT SUM(weight) WHERE height > 170")
+        print(f"  SELECT SUM(weight) WHERE height > 170"
+              f"            -> {describe(answer)}")
+
+    print(f"\nsession stats: {db.queries_asked} asked, "
+          f"{db.degraded_answers} degraded, "
+          f"{backend._c_failovers.value} failovers, "
+          f"{dark.backend_refusals} backend refusal(s)")
+
+    # The incident is reconstructable from the capture alone.
+    report = TraceReport(str(trace), read_trace(trace))
+    print("\nforensics from the trace "
+          f"({len(report.degradations)} degradation decisions):")
+    for event in report.degradations:
+        print(f"  [{event['component']}] {event['decision']}")
+    print(f"\nfull report: repro telemetry report {trace}")
+
+
+if __name__ == "__main__":
+    main()

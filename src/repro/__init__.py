@@ -13,6 +13,8 @@ implementations of every technology class the paper scores —
 * :mod:`repro.qdb` — interactive statistical databases with inference
   controls and the tracker attack;
 * :mod:`repro.attacks` — the adversaries that measure each dimension;
+* :mod:`repro.faults` — fault injection and graceful degradation for the
+  PIR / SMC / qdb runtimes;
 * :mod:`repro.data`, :mod:`repro.crypto`, :mod:`repro.mining` — substrates.
 
 Quickstart::
@@ -21,7 +23,7 @@ Quickstart::
     print(format_table2(score_technologies()))
 """
 
-from . import attacks, core, crypto, data, mining, pir, ppdm, qdb, sdc
+from . import attacks, core, crypto, data, faults, mining, pir, ppdm, qdb, sdc
 from .core import (
     Grade,
     PrivacyDimension,
@@ -44,6 +46,7 @@ __all__ = [
     "data",
     "dataset_1",
     "dataset_2",
+    "faults",
     "format_table2",
     "mining",
     "pir",

@@ -23,6 +23,10 @@ Commands
 ``telemetry smoke``
     Run the instrumented S1/S3a scenario and validate its capture
     against the span schema (the CI drift gate).
+``faults chaos``
+    Run the scripted chaos scenario: byzantine PIR replicas, crashed
+    SMC parties and failing qdb backends, asserting the privacy
+    invariants hold under fire (the ``make chaos`` gate).
 """
 
 from __future__ import annotations
@@ -269,6 +273,38 @@ _TELEMETRY_COMMANDS = {
 }
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    return _FAULTS_COMMANDS[args.faults_command](args)
+
+
+def _cmd_faults_chaos(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from .faults import ChaosError, run_chaos
+    from .telemetry import SpanSchemaError
+
+    trace = args.out or str(
+        Path(tempfile.gettempdir()) / "repro-faults-chaos.jsonl"
+    )
+    try:
+        summary = run_chaos(trace, records=args.records, seed=args.seed,
+                            f=args.f)
+    except (ChaosError, SpanSchemaError) as exc:
+        print(f"chaos FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"chaos OK: {summary['invariants_held']} invariants held, "
+          f"{summary['degradation_decisions']} degradation decisions "
+          f"logged to {summary['trace']}")
+    return 0
+
+
+_FAULTS_COMMANDS = {
+    "chaos": _cmd_faults_chaos,
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -335,6 +371,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="trace path (default: a temp file)")
     tk.add_argument("--records", type=int, default=150)
     tk.add_argument("--seed", type=int, default=3)
+
+    pf = sub.add_parser("faults", help="fault injection and chaos runs")
+    fl_sub = pf.add_subparsers(dest="faults_command", required=True)
+    fc = fl_sub.add_parser(
+        "chaos", help="scripted failure scenario + privacy-invariant gate"
+    )
+    fc.add_argument("--out", default=None,
+                    help="trace path (default: a temp file)")
+    fc.add_argument("--records", type=int, default=120)
+    fc.add_argument("--seed", type=int, default=3)
+    fc.add_argument("--f", type=int, default=1,
+                    help="byzantine replicas to tolerate (2f+1 groups)")
     return parser
 
 
@@ -347,6 +395,7 @@ _COMMANDS = {
     "attack-pir": _cmd_attack_pir,
     "scoreboard": _cmd_scoreboard,
     "telemetry": _cmd_telemetry,
+    "faults": _cmd_faults,
 }
 
 

@@ -1,0 +1,107 @@
+"""Fault tolerance and graceful degradation for the privacy runtime.
+
+The paper's guarantees are stated for perfect servers and lossless
+parties; this package is what makes them survive the production world
+the ROADMAP targets — byzantine PIR replicas, crashed SMC parties, and
+storage backends that lose replicas mid-session:
+
+* :mod:`~repro.faults.plan` — deterministic, seedable fault injection
+  (drop / delay / corrupt-bits / byzantine-answer / crash-after-k).
+* :mod:`~repro.faults.retry` — timeout + exponential backoff over
+  simulated time, and the telemetry hook every degradation decision
+  flows through.
+* :mod:`~repro.faults.pir` — :class:`ResilientXorPIR`: ``2f + 1``
+  replica groups with majority-vote reconciliation (tolerates any ``f``
+  byzantine or crashed replicas).
+* :mod:`~repro.faults.smc` — :class:`FaultyChannel` and
+  :func:`resilient_secure_sum` (ring protocol with retries, falling back
+  to additive shares among survivors).
+* :mod:`~repro.faults.backend` — :class:`ReplicatedBackend`: qdb column
+  reads with per-read replica failover; total loss surfaces as a typed
+  ``Refusal`` from the engine instead of an exception.
+* :mod:`~repro.faults.chaos` — the scripted ``repro faults chaos``
+  scenario asserting the privacy invariants under injected failures.
+
+Import layering: the exception and plan layers are dependency-light and
+imported eagerly (the qdb engine catches
+:class:`~repro.faults.errors.BackendUnavailable` at import time); the
+subsystem wrappers are loaded lazily on first attribute access so this
+package never drags pir/smc/qdb into an import cycle.
+"""
+
+from .errors import (
+    BackendUnavailable,
+    ChaosError,
+    FaultError,
+    MessageDropped,
+    PIRUnavailableError,
+    PartyCrashed,
+    QuorumLostError,
+)
+from .plan import FAULT_KINDS, Fault, FaultOutcome, FaultPlan, random_fault_plan
+from .retry import (
+    DEFAULT_RETRY,
+    DeliveryResult,
+    RetryPolicy,
+    emit_decision,
+    resolve_delivery,
+)
+
+__all__ = [
+    "BackendUnavailable",
+    "ChaosError",
+    "DEFAULT_RETRY",
+    "DeliveryResult",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultError",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultyChannel",
+    "FaultyServer",
+    "MessageDropped",
+    "PIRUnavailableError",
+    "PartyCrashed",
+    "QuorumLostError",
+    "ReplicatedBackend",
+    "ResilientXorPIR",
+    "RetrievalReport",
+    "RetryPolicy",
+    "SumOutcome",
+    "emit_decision",
+    "random_fault_plan",
+    "resilient_secure_sum",
+    "resolve_delivery",
+    "run_chaos",
+    "wrap_servers",
+]
+
+_LAZY = {
+    "FaultyServer": ("pir", "FaultyServer"),
+    "ResilientXorPIR": ("pir", "ResilientXorPIR"),
+    "RetrievalReport": ("pir", "RetrievalReport"),
+    "wrap_servers": ("pir", "wrap_servers"),
+    "FaultyChannel": ("smc", "FaultyChannel"),
+    "SumOutcome": ("smc", "SumOutcome"),
+    "resilient_secure_sum": ("smc", "resilient_secure_sum"),
+    "ReplicatedBackend": ("backend", "ReplicatedBackend"),
+    "run_chaos": ("chaos", "run_chaos"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module_name}", __name__), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

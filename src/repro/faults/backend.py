@@ -1,0 +1,151 @@
+"""A replicated storage backend for the statistical database engine.
+
+:class:`ReplicatedBackend` is a drop-in :class:`~repro.data.table.Dataset`
+whose column reads fan out over ``n_replicas`` simulated storage replicas.
+Every read walks the replicas in order through the
+:class:`~repro.faults.plan.FaultPlan` + retry schedule:
+
+* a replica that times out, drops, or has crashed is skipped (failover);
+* a replica whose delivery is *corrupted* (corrupt/byzantine outcome) is
+  treated as failed too — reads are checksummed, and the engine must
+  never compute statistics from corrupted microdata (answering wrongly
+  is a worse privacy failure than refusing: a perturbed-looking answer
+  with no policy accounting breaks the auditing invariants silently);
+* the first healthy replica serves the read; if any replica was skipped
+  on the way, the read is flagged *degraded* and the failover logged;
+* when every replica fails, :class:`BackendUnavailable` is raised — the
+  engine converts it into a typed ``Refusal`` answer.
+
+Since the replicas simulate copies of the same microdata, the data served
+after failover is bit-identical to the healthy path — degradation here
+costs availability and redundancy margin, never correctness.
+
+>>> import numpy as np
+>>> from repro.data import Dataset
+>>> from repro.faults.plan import Fault, FaultPlan
+>>> data = Dataset({"x": np.arange(6.0)})
+>>> plan = FaultPlan([Fault("crash", "qdb.replica:0", after=0)], seed=1)
+>>> backend = ReplicatedBackend(data, n_replicas=2, plan=plan)
+>>> float(backend.column("x").sum())      # replica 1 takes over
+15.0
+>>> backend.consume_degraded()
+True
+"""
+
+from __future__ import annotations
+
+from ..data.table import Dataset
+from ..telemetry.registry import MetricsRegistry
+from .errors import BackendUnavailable
+from .plan import FaultPlan
+from .retry import DEFAULT_RETRY, RetryPolicy, emit_decision, resolve_delivery
+
+__all__ = ["ReplicatedBackend"]
+
+
+class ReplicatedBackend(Dataset):
+    """Dataset proxy with per-read replica failover.
+
+    Threat model: replicas fail by crashing, timing out, or serving
+    corrupted bytes (caught by checksum); they are not adversarial toward
+    the privacy policies — policy state lives in the engine, above this
+    layer.  Failure behaviour: reads fail over silently-but-logged;
+    total replica loss raises :class:`BackendUnavailable`.
+
+    Parameters
+    ----------
+    data:
+        The microdata to replicate (columns are copied by reference; the
+        simulation does not duplicate memory per replica).
+    n_replicas:
+        Independent storage replicas (>= 1).
+    plan / retry:
+        Fault plan (targets ``"<name>.replica:<r>"``) and retry schedule.
+    name:
+        Target-name prefix, so several backends can share one plan.
+    """
+
+    def __init__(self, data: Dataset, n_replicas: int = 2,
+                 plan: FaultPlan | None = None,
+                 retry: RetryPolicy = DEFAULT_RETRY,
+                 name: str = "qdb"):
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        super().__init__(
+            {column: data.column(column) for column in data.column_names},
+            schema=data.schema,
+        )
+        self.n_replicas = int(n_replicas)
+        self.plan = plan if plan is not None else FaultPlan()
+        self.retry = retry
+        self.name = name
+        self._degraded_pending = False
+        self._any_faults = any(
+            self.plan.has_faults(self._target(r))
+            for r in range(self.n_replicas)
+        )
+        self.metrics = MetricsRegistry(owner="faults.qdb")
+        self._c_reads = self.metrics.counter("faults.qdb.reads")
+        self._c_failovers = self.metrics.counter("faults.qdb.failovers")
+        self._c_rejected = self.metrics.counter(
+            "faults.qdb.corrupt_reads_rejected"
+        )
+        self._c_blackouts = self.metrics.counter("faults.qdb.blackouts")
+
+    def _target(self, replica: int) -> str:
+        return f"{self.name}.replica:{replica}"
+
+    def column(self, name: str):
+        """Serve one column read through the replica set.
+
+        The engine reads columns in two places: resolving a predicate
+        mask (once per unique predicate, then cached) and evaluating
+        non-COUNT aggregates.  A COUNT over an already-cached predicate
+        therefore touches no replica at all and keeps working through a
+        blackout, while SUM/AVG queries refuse — the degradation ordering
+        DESIGN.md §7 documents.
+        """
+        self._c_reads.inc()
+        if not self._any_faults:
+            return super().column(name)
+        failed: list[str] = []
+        for replica in range(self.n_replicas):
+            target = self._target(replica)
+            op = self.plan.take_ops(target)
+            result = resolve_delivery(self.plan, target, op, self.retry)
+            if result.outcome is None:
+                failed.append(f"{target}: no reply "
+                              f"({result.attempts} attempts)")
+                continue
+            if result.outcome.corrupts:
+                # Checksum mismatch: never serve corrupted microdata.
+                self._c_rejected.inc()
+                failed.append(f"{target}: checksum rejected delivery")
+                continue
+            if failed:
+                self._degraded_pending = True
+                self._c_failovers.inc()
+                emit_decision(
+                    "qdb", "replica-failover",
+                    "; ".join(failed),
+                    column=name, served_by=target,
+                )
+            return super().column(name)
+        self._c_blackouts.inc()
+        detail = "; ".join(failed)
+        emit_decision("qdb", "refuse-backend-unavailable", detail,
+                      column=name)
+        raise BackendUnavailable(
+            f"all {self.n_replicas} replicas failed reading column "
+            f"{name!r} ({detail})"
+        )
+
+    def consume_degraded(self) -> bool:
+        """True when some read since the last call required failover.
+
+        The engine polls this after answering to mark the outgoing
+        answer :class:`~repro.qdb.Degraded`.
+        """
+        flag = self._degraded_pending
+        self._degraded_pending = False
+        return flag

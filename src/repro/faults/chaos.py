@@ -1,0 +1,313 @@
+"""The scripted chaos scenario behind ``repro faults chaos``.
+
+One deterministic run exercises every fault-tolerance path the runtime
+has — byzantine PIR replicas, delayed and crashed deliveries, a crashed
+SMC party, qdb replica failover and a full backend blackout — against the
+S3a-style tracker workload, and *asserts the privacy and integrity
+invariants hold under fire*:
+
+* resilient PIR answers are bit-identical to the fault-free truth while a
+  byzantine replica lies on every request (and the raw scheme, for
+  contrast, is shown silently corrupting);
+* every answered statistical query equals the pristine-database answer —
+  degradation costs availability, never correctness;
+* the answered-query masks still span no unit vector (no individual
+  record became deducible while the engine was failing over);
+* the secure-sum fallback excludes the crashed party *explicitly* and
+  exposes no surviving party's private input (transcript exposure 0.0);
+* the session never dies: total backend loss surfaces as a typed
+  :class:`~repro.qdb.Refusal`, not an exception;
+* every degradation decision taken along the way is reconstructable from
+  the telemetry capture (``faults.degrade`` spans for pir, smc and qdb).
+
+Any violated invariant raises :class:`~repro.faults.errors.ChaosError`,
+which the CLI converts into a nonzero exit — ``make chaos`` is the gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..telemetry import instrument
+from ..telemetry.report import (
+    degradation_decisions,
+    read_trace,
+    refusal_decisions,
+)
+from .errors import ChaosError
+from .plan import Fault, FaultPlan
+from .retry import RetryPolicy
+
+__all__ = ["run_chaos"]
+
+
+def _require(condition: bool, name: str, detail: str = "") -> str:
+    """Record one invariant; raise :class:`ChaosError` when it fails."""
+    if not condition:
+        suffix = f" ({detail})" if detail else ""
+        raise ChaosError(f"chaos invariant violated: {name}{suffix}")
+    return name
+
+
+def _qdb_phase(pop, seed: int, held: list[str]) -> dict:
+    """Tracker-era workload against a failing replicated backend."""
+    from ..qdb import (
+        Degraded,
+        QuerySetSizeControl,
+        Refusal,
+        StatisticalDatabase,
+        SumAuditPolicy,
+    )
+    from .backend import ReplicatedBackend
+
+    workload = [
+        "SELECT COUNT(*) WHERE height > 170",
+        "SELECT AVG(blood_pressure) WHERE height > 170",
+        "SELECT SUM(blood_pressure) WHERE weight <= 80",
+        "SELECT COUNT(*) WHERE weight <= 80",
+        "SELECT COUNT(*) WHERE height > 170 AND weight > 80",
+        "SELECT AVG(blood_pressure) WHERE height <= 170",
+        "SELECT COUNT(*)",  # guaranteed size-control refusal
+    ]
+    policies = lambda: [QuerySetSizeControl(5), SumAuditPolicy()]  # noqa: E731
+
+    pristine = StatisticalDatabase(pop, policies())
+    truth = pristine.ask_batch(workload)
+
+    # Replica 0 dies after two reads; replica 1 answers slowly enough to
+    # blow the first deadlines; replica 2 is healthy.  No blackout here.
+    plan = FaultPlan(
+        [
+            Fault("crash", "qdb.replica:0", after=2),
+            Fault("delay", "qdb.replica:1", delay=0.08, probability=0.5),
+        ],
+        seed=seed,
+    )
+    backend = ReplicatedBackend(pop, n_replicas=3, plan=plan)
+    faulted_db = StatisticalDatabase(backend, policies())
+    answers = faulted_db.ask_batch(workload)
+
+    for got, want in zip(answers, truth):
+        held.append(_require(
+            got.refused == want.refused,
+            "qdb refusal pattern matches pristine", str(got.query),
+        ))
+        if got.ok:
+            held.append(_require(
+                got.value == want.value and got.interval == want.interval,
+                "answered values identical to pristine database",
+                f"{got.query}: {got.value!r} != {want.value!r}",
+            ))
+    degraded = sum(isinstance(a, Degraded) for a in answers)
+    held.append(_require(degraded >= 1, "at least one Degraded answer"))
+    held.append(_require(
+        any(a.refused and a.reason.startswith("size-control")
+            for a in answers),
+        "policy refusals still enforced during failover",
+    ))
+
+    # Basis safety: the answered query sets must span no unit vector.
+    masks = [e.mask for e in faulted_db.history if e.answered]
+    if masks:
+        stacked = np.stack(masks).astype(np.float64)
+        q, r = np.linalg.qr(stacked.T)
+        keep = np.abs(np.diag(r)) > 1e-8
+        col_norms = (q[:, keep] ** 2).sum(axis=1)
+        held.append(_require(
+            float(col_norms.max(initial=0.0)) < 1.0 - 1e-6,
+            "no record deducible from answered masks",
+        ))
+
+    # Total loss: every replica of a second backend is down from read 0.
+    blackout_plan = FaultPlan(
+        [Fault("crash", "qdb-blackout.replica:0", after=0),
+         Fault("crash", "qdb-blackout.replica:1", after=0)],
+        seed=seed,
+    )
+    dead = ReplicatedBackend(pop, n_replicas=2, plan=blackout_plan,
+                             name="qdb-blackout")
+    dead_db = StatisticalDatabase(dead, policies())
+    refusal = dead_db.ask("SELECT COUNT(*) WHERE height > 170")
+    held.append(_require(
+        isinstance(refusal, Refusal)
+        and refusal.reason.startswith("backend: "),
+        "backend blackout yields a typed Refusal, not an exception",
+    ))
+
+    return {
+        "queries": len(workload),
+        "answered": sum(a.ok for a in answers),
+        "refused": sum(a.refused for a in answers),
+        "degraded_answers": degraded,
+        "backend_failovers": backend.metrics.counter(
+            "faults.qdb.failovers").value,
+        "blackout_refusals": dead_db.backend_refusals,
+    }
+
+
+def _pir_phase(pop, seed: int, f: int, held: list[str]) -> dict:
+    """Byzantine, slow and crashed PIR replicas against one database."""
+    from ..pir.itpir import TwoServerXorPIR
+    from .pir import ResilientXorPIR, wrap_servers
+
+    secrets = [int(v) for v in pop["blood_pressure"][:32]]
+    rng = np.random.default_rng(seed)
+    indices = [int(i) for i in rng.choice(len(secrets), size=8,
+                                          replace=False)]
+    truth = [secrets[i] for i in indices]
+
+    # Replica group 0 lies on every request; group 1 is slow enough to
+    # need retries; the remaining f+1 .. 2f honest groups carry the vote.
+    plan = FaultPlan(
+        [Fault("byzantine", "pir.replica:0"),
+         Fault("delay", "pir.replica:1", delay=0.12)],
+        seed=seed,
+    )
+    pir = ResilientXorPIR(secrets, f=max(1, f), plan=plan)
+    values = pir.retrieve_batch_int(indices, rng=seed)
+    held.append(_require(
+        values == truth,
+        "resilient PIR bit-identical to truth under byzantine replica",
+        f"{values} != {truth}",
+    ))
+    outvoted = sum(r.outvoted for r in pir.last_reports)
+    retries = sum(r.retries for r in pir.last_reports)
+    held.append(_require(outvoted >= len(indices),
+                         "byzantine candidates were outvoted"))
+
+    # Quorum loss with the degraded fallback enabled: only one replica
+    # group survives, the client logs the policy decision and serves.
+    lossy_plan = FaultPlan(
+        [Fault("crash", "pir-lossy.replica:0", after=0),
+         Fault("crash", "pir-lossy.replica:1", after=0)],
+        seed=seed,
+    )
+    lossy = ResilientXorPIR(secrets, f=1, plan=lossy_plan,
+                            allow_degraded=True, name="pir-lossy")
+    degraded_value = lossy.retrieve_int(indices[0], rng=seed + 1)
+    held.append(_require(
+        degraded_value == truth[0] and lossy.last_reports[0].degraded,
+        "single-replica fallback is explicit and (here) correct",
+    ))
+
+    # The contrast demo: the same byzantine behaviour inside a *raw*
+    # scheme silently corrupts the XOR reconstruction.
+    raw_plan = FaultPlan([Fault("byzantine", "pir.server:1")], seed=seed)
+    raw = wrap_servers(TwoServerXorPIR(secrets), raw_plan)
+    corrupted = raw.retrieve_int(indices[0], rng=seed)
+    held.append(_require(
+        corrupted != truth[0],
+        "raw scheme has no integrity (motivates the voting layer)",
+    ))
+
+    return {
+        "indices": len(indices),
+        "outvoted_candidates": outvoted,
+        "retries": retries,
+        "degraded_retrievals": int(
+            lossy.metrics.counter("faults.pir.degraded_retrievals").value),
+        "raw_scheme_corrupted": corrupted != truth[0],
+    }
+
+
+def _smc_phase(pop, seed: int, held: list[str]) -> dict:
+    """Secure sum with a crashed party: explicit exclusion, no exposure."""
+    from ..smc.party import Transcript, plaintext_exposure
+    from .smc import resilient_secure_sum
+
+    values = [int(v) for v in pop["weight"][:5]]
+    names = [f"P{i}" for i in range(len(values))]
+
+    healthy = resilient_secure_sum(values, FaultPlan(), rng=seed)
+    held.append(_require(
+        not healthy.degraded and healthy.value == sum(values),
+        "fault-free secure sum exact via the ring protocol",
+    ))
+
+    crash_plan = FaultPlan(
+        [Fault("crash", "smc.party:P1", after=0)], seed=seed
+    )
+    transcript = Transcript()
+    outcome = resilient_secure_sum(values, crash_plan, rng=seed,
+                                   transcript=transcript,
+                                   retry=RetryPolicy(max_attempts=2))
+    held.append(_require(
+        outcome.degraded and outcome.excluded == ("P1",),
+        "crashed party excluded explicitly, not silently",
+    ))
+    held.append(_require(
+        outcome.value == sum(values) - values[1],
+        "fallback sum exact over the survivors",
+        f"{outcome.value} != {sum(values) - values[1]}",
+    ))
+    exposure = plaintext_exposure(
+        transcript, {name: [float(v)] for name, v in zip(names, values)}
+    )
+    held.append(_require(
+        exposure == 0.0,
+        "no private input exposed in the degraded transcript",
+        f"exposure={exposure}",
+    ))
+    return {
+        "parties": len(values),
+        "excluded": list(outcome.excluded),
+        "fallback_protocol": outcome.protocol,
+        "transcript_messages": len(transcript.messages),
+        "exposure": exposure,
+    }
+
+
+def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
+              f: int = 1) -> dict:
+    """Run the chaos scenario; returns a summary, raises on violation.
+
+    Everything stochastic flows from *seed* (fault decisions, query
+    randomness, index choice), so a failing run is replayable bit-for-bit
+    with the same arguments.  The telemetry capture written to
+    *trace_path* is schema-validated and must contain the degradation
+    decisions of all three subsystems.
+    """
+    from ..data import patients
+
+    trace_path = Path(trace_path)
+    pop = patients(records, seed=seed)
+    held: list[str] = []
+    with instrument.session(trace_path):
+        qdb_stats = _qdb_phase(pop, seed, held)
+        pir_stats = _pir_phase(pop, seed, f, held)
+        smc_stats = _smc_phase(pop, seed, held)
+
+    spans = read_trace(trace_path, validate=True)
+    degradations = degradation_decisions(spans)
+    components = {d["component"] for d in degradations}
+    held.append(_require(
+        {"pir", "smc", "qdb"} <= components,
+        "all three subsystems logged degradation decisions",
+        f"got {sorted(components)}",
+    ))
+    held.append(_require(
+        any(d["decision"] == "refuse-backend-unavailable"
+            for d in degradations),
+        "the blackout refusal is reconstructable from the trace",
+    ))
+    refusals = refusal_decisions(spans)
+    held.append(_require(
+        any(d["policy"] == "backend" for d in refusals)
+        and any(d["policy"].startswith("size-control") for d in refusals),
+        "trace separates policy refusals from availability refusals",
+    ))
+
+    return {
+        "trace": str(trace_path),
+        "records": records,
+        "seed": seed,
+        "spans": len(spans),
+        "degradation_decisions": len(degradations),
+        "components_degraded": sorted(components),
+        "invariants_held": len(held),
+        "qdb": qdb_stats,
+        "pir": pir_stats,
+        "smc": smc_stats,
+    }

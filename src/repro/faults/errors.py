@@ -1,0 +1,75 @@
+"""Exception types for the fault-tolerance layer.
+
+This module is deliberately dependency-free (stdlib only, no imports from
+the rest of the package) so that low layers — the qdb engine, the SMC
+channel — can raise and catch these without creating import cycles with
+:mod:`repro.faults` proper.
+
+Hierarchy::
+
+    FaultError                    everything the fault layer can raise
+    ├── BackendUnavailable        a qdb storage backend lost all replicas
+    ├── MessageDropped            an SMC channel dropped one message
+    ├── PartyCrashed              an SMC party stopped sending permanently
+    ├── QuorumLostError           a PIR vote fell below f+1 agreement
+    │   └── PIRUnavailableError   no PIR replica answered at all
+    └── ChaosError                a chaos-scenario privacy invariant broke
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BackendUnavailable",
+    "ChaosError",
+    "FaultError",
+    "MessageDropped",
+    "PIRUnavailableError",
+    "PartyCrashed",
+    "QuorumLostError",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for every failure the fault layer surfaces."""
+
+
+class BackendUnavailable(FaultError):
+    """Every replica of a qdb storage backend failed to serve a read.
+
+    The engine converts this into a typed :class:`~repro.qdb.Refusal`
+    answer — the query is *refused*, never silently answered from stale
+    or corrupted state.
+    """
+
+
+class MessageDropped(FaultError):
+    """One SMC protocol message was lost in transit (transient)."""
+
+    def __init__(self, sender: str, receiver: str, op: int):
+        super().__init__(
+            f"message #{op} from {sender} to {receiver} was dropped"
+        )
+        self.sender = sender
+        self.receiver = receiver
+        self.op = op
+
+
+class PartyCrashed(FaultError):
+    """An SMC party crashed and will send no further messages (sticky)."""
+
+    def __init__(self, party: str, op: int):
+        super().__init__(f"party {party} crashed before message #{op}")
+        self.party = party
+        self.op = op
+
+
+class QuorumLostError(FaultError):
+    """Majority-vote PIR reconciliation found no f+1 agreeing replicas."""
+
+
+class PIRUnavailableError(QuorumLostError):
+    """No PIR replica delivered any answer within the retry budget."""
+
+
+class ChaosError(FaultError):
+    """A scripted chaos scenario violated a privacy or safety invariant."""

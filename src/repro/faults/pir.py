@@ -1,0 +1,386 @@
+"""Byzantine-tolerant PIR: replica groups, retries, majority voting.
+
+XOR-based IT-PIR has *zero* answer redundancy: the target block is the
+XOR of all server answers, so a single lying server flips the result
+silently (``tests/test_failure_injection.py`` demonstrates this on the
+raw scheme).  :class:`ResilientXorPIR` restores integrity the classical
+way — replication plus voting:
+
+* the client runs ``2f + 1`` *independent replica groups*, each a full
+  instance of the underlying XOR scheme over the same block database
+  (fresh query randomness per group, so no server appears in two groups);
+* each group reconstructs a candidate block; candidates pass through the
+  :class:`~repro.faults.plan.FaultPlan` (the group is the fault target,
+  modelling a whole byzantine or crashed replica site);
+* a candidate wins when at least ``f + 1`` groups agree bit-for-bit —
+  any ``f`` byzantine or crashed groups are outvoted or ignored.
+
+Privacy is per-group and unchanged: every group sees the scheme's usual
+uniformly random query sets, and groups share no servers, so the
+replication adds bandwidth, not leakage.  Integrity is what voting buys.
+
+When quorum is lost (more than ``f`` groups failed) the client either
+raises :class:`~repro.faults.errors.QuorumLostError` (the default) or —
+only when constructed with ``allow_degraded=True`` — falls back to the
+first surviving answer.  That fallback trusts a single replica, so both
+integrity and the multi-server trust assumption are weakened; it is
+therefore an explicit policy decision, and every occurrence is logged to
+telemetry as a ``faults.degrade`` span.
+
+:class:`FaultyServer` wraps one raw scheme *server* instead, for
+demonstrating what the resilient layer protects against.
+
+>>> from repro.faults.plan import Fault, FaultPlan
+>>> plan = FaultPlan([Fault("byzantine", "pir.replica:0")], seed=3)
+>>> pir = ResilientXorPIR([b"alpha---", b"beta----", b"gamma---"],
+...                       f=1, plan=plan)
+>>> pir.retrieve(1, rng=0)        # the lying replica is outvoted 2-to-1
+b'beta----'
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pir.itpir import (
+    MultiServerXorPIR,
+    PIRAnswer,
+    SquareSchemePIR,
+    TwoServerXorPIR,
+)
+from ..sdc.base import resolve_rng
+from ..telemetry import instrument as tele
+from ..telemetry.registry import MetricsRegistry
+from .errors import PIRUnavailableError, QuorumLostError
+from .plan import FaultPlan
+from .retry import DEFAULT_RETRY, RetryPolicy, emit_decision, resolve_delivery
+
+__all__ = ["FaultyServer", "ResilientXorPIR", "RetrievalReport",
+           "wrap_servers"]
+
+#: Salt for retry re-query randomness (batch-shape independent).
+_RETRY_SALT = 0x52455452  # "RETR"
+
+_SCHEMES = {
+    "two-server": lambda blocks, n_servers: TwoServerXorPIR(blocks),
+    "multi-server": lambda blocks, n_servers: MultiServerXorPIR(
+        blocks, n_servers=n_servers
+    ),
+    "square": lambda blocks, n_servers: SquareSchemePIR(blocks),
+}
+
+
+@dataclass(frozen=True)
+class RetrievalReport:
+    """Per-block forensics for the most recent resilient retrieval."""
+
+    index: int
+    votes: int            # replicas agreeing on the accepted block
+    delivered: int        # replicas that delivered any candidate
+    outvoted: int         # delivered candidates that disagreed
+    retries: int          # re-queries beyond the first attempt
+    timeouts: int         # attempts that hit the deadline
+    degraded: bool        # True when served by single-replica fallback
+    simulated_seconds: float
+
+
+class ResilientXorPIR:
+    """Majority-vote front-end over ``2f + 1`` XOR-PIR replica groups.
+
+    Threat model: up to ``f`` replica groups may be byzantine (answer
+    arbitrarily wrongly), crashed, or arbitrarily slow, in any mix; the
+    remaining ``f + 1`` honest groups guarantee a correct, bit-identical
+    answer.  Per-group query privacy is exactly the wrapped scheme's
+    (non-collusion within each group's server set).
+
+    Failure behaviour: more than ``f`` failed groups raises
+    :class:`QuorumLostError` — or, with ``allow_degraded=True``, returns
+    the first surviving answer and logs a ``single-replica-fallback``
+    degradation decision to telemetry.  No surviving answer at all raises
+    :class:`PIRUnavailableError`.
+
+    Parameters
+    ----------
+    blocks:
+        The block database, as for the wrapped schemes.
+    f:
+        Byzantine/crash failures to tolerate; ``2f + 1`` groups are built.
+    scheme:
+        ``"two-server"`` (default), ``"multi-server"``, or ``"square"``.
+    n_servers:
+        Servers per group for the multi-server scheme.
+    plan:
+        The :class:`FaultPlan` injecting failures (targets
+        ``"<name>.replica:<g>"``); an empty plan by default.
+    retry:
+        The :class:`RetryPolicy` for per-replica delivery.
+    allow_degraded:
+        Opt-in to the degraded single-replica fallback (see above).
+    name:
+        Target-name prefix, so several instances can share one plan.
+    """
+
+    def __init__(self, blocks: Sequence[bytes | int], f: int = 1,
+                 scheme: str = "two-server", n_servers: int = 3,
+                 plan: FaultPlan | None = None,
+                 retry: RetryPolicy = DEFAULT_RETRY,
+                 allow_degraded: bool = False,
+                 name: str = "pir"):
+        if f < 0:
+            raise ValueError("f must be >= 0")
+        if scheme not in _SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; choose from {sorted(_SCHEMES)}"
+            )
+        self.f = int(f)
+        self.n_replicas = 2 * self.f + 1
+        self.scheme = scheme
+        self.plan = plan if plan is not None else FaultPlan()
+        self.retry = retry
+        self.allow_degraded = bool(allow_degraded)
+        self.name = name
+        factory = _SCHEMES[scheme]
+        self._replicas = tuple(
+            factory(blocks, n_servers) for _ in range(self.n_replicas)
+        )
+        self.n = self._replicas[0].n
+        self.block_size = self._replicas[0].block_size
+        self.last_reports: list[RetrievalReport] = []
+        self.metrics = MetricsRegistry(owner="faults.pir")
+        self._c_requests = self.metrics.counter("faults.pir.replica_requests")
+        self._c_retrievals = self.metrics.counter("faults.pir.retrievals")
+        self._c_retries = self.metrics.counter("faults.pir.retries")
+        self._c_timeouts = self.metrics.counter("faults.pir.timeouts")
+        self._c_outvoted = self.metrics.counter("faults.pir.outvoted_answers")
+        self._c_quorum_lost = self.metrics.counter("faults.pir.quorum_lost")
+        self._c_degraded = self.metrics.counter(
+            "faults.pir.degraded_retrievals"
+        )
+
+    def _target(self, group: int) -> str:
+        return f"{self.name}.replica:{group}"
+
+    # ------------------------------------------------------------------
+    # Accounting read-throughs (summed over replica groups)
+    # ------------------------------------------------------------------
+    @property
+    def upstream_bits(self) -> int:
+        """Client-to-server bits across every replica group."""
+        return sum(r.upstream_bits for r in self._replicas)
+
+    @property
+    def downstream_bits(self) -> int:
+        """Server-to-client bits across every replica group."""
+        return sum(r.downstream_bits for r in self._replicas)
+
+    @property
+    def retrievals(self) -> int:
+        """Logical block retrievals served (not per-replica requests)."""
+        return self._c_retrievals.value
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def retrieve(self, index: int,
+                 rng: np.random.Generator | int | None = None) -> bytes:
+        """Privately retrieve block *index* with byzantine tolerance f."""
+        return self.retrieve_batch([index], rng)[0]
+
+    def retrieve_int(self, index: int,
+                     rng: np.random.Generator | int | None = None) -> int:
+        """Resilient retrieval decoded as a signed big-endian integer."""
+        return int.from_bytes(self.retrieve(index, rng), "big", signed=True)
+
+    def retrieve_batch(self, indices: Sequence[int],
+                       rng: np.random.Generator | int | None = None,
+                       ) -> list[bytes]:
+        """Resilient batched retrieval.
+
+        Observes the same plan faults — and returns the same bytes — as
+        the equivalent sequence of :meth:`retrieve` calls under the same
+        plan state, because fault decisions key on per-target operation
+        indices, not arrival order.
+        """
+        idx = [int(i) for i in indices]
+        if not idx:
+            return []
+        if not tele.enabled():
+            return self._retrieve_many(idx, rng)
+        with tele.span("faults.pir.retrieve_batch", scheme=self.scheme,
+                       f=self.f, n=self.n, n_queries=len(idx)) as span:
+            blocks = self._retrieve_many(idx, rng)
+            span.set("retries", sum(r.retries for r in self.last_reports))
+            span.set("degraded",
+                     sum(r.degraded for r in self.last_reports))
+        return blocks
+
+    def retrieve_batch_int(self, indices: Sequence[int],
+                           rng: np.random.Generator | int | None = None,
+                           ) -> list[int]:
+        """Batched resilient retrieval decoded as signed integers."""
+        return [int.from_bytes(b, "big", signed=True)
+                for b in self.retrieve_batch(indices, rng)]
+
+    def _retrieve_many(self, idx: list[int],
+                       rng: np.random.Generator | int | None) -> list[bytes]:
+        batch = len(idx)
+        rng = resolve_rng(rng)
+        bases = [self.plan.take_ops(self._target(g), batch)
+                 for g in range(self.n_replicas)]
+        raw = [replica._retrieve_many(idx, rng) for replica in self._replicas]
+        self._c_requests.inc(batch * self.n_replicas)
+        self._c_retrievals.inc(batch)
+        if all(not self.plan.has_faults(self._target(g))
+               for g in range(self.n_replicas)):
+            # No faults configured for any group: all candidates are the
+            # honest block; skip per-row delivery resolution and voting.
+            self.last_reports = [
+                RetrievalReport(i, self.n_replicas, self.n_replicas,
+                                0, 0, 0, False, 0.0)
+                for i in idx
+            ]
+            return list(raw[0])
+        candidates: list[list[bytes | None]] = [
+            [None] * self.n_replicas for _ in range(batch)
+        ]
+        retries = [0] * batch
+        timeouts = [0] * batch
+        simulated = [0.0] * batch
+        for g, replica in enumerate(self._replicas):
+            target = self._target(g)
+            for j in range(batch):
+                op = bases[g] + j
+                result = resolve_delivery(self.plan, target, op, self.retry)
+                retries[j] += result.attempts - 1
+                timeouts[j] += result.timeouts
+                simulated[j] = max(simulated[j], result.simulated_seconds)
+                if result.outcome is None:
+                    continue
+                if result.attempts == 1:
+                    payload = raw[g][j]
+                else:
+                    # The retried request re-queries this group with fresh
+                    # masks derived from the plan key, so the payload is
+                    # identical whether the caller batched or looped.
+                    payload = replica._retrieve_one(
+                        idx[j],
+                        self.plan.rng(target, op, result.attempts - 1,
+                                      salt=_RETRY_SALT),
+                    )
+                    self._c_requests.inc()
+                candidates[j][g] = result.outcome.apply_bytes(payload)
+        self._c_retries.inc(sum(retries))
+        self._c_timeouts.inc(sum(timeouts))
+        blocks = []
+        reports = []
+        for j in range(batch):
+            block, report = self._reconcile(
+                idx[j], candidates[j], retries[j], timeouts[j], simulated[j]
+            )
+            blocks.append(block)
+            reports.append(report)
+        self.last_reports = reports
+        return blocks
+
+    def _reconcile(self, index: int, candidates: list[bytes | None],
+                   retries: int, timeouts: int,
+                   simulated: float) -> tuple[bytes, RetrievalReport]:
+        """Majority vote over one block's delivered candidates."""
+        delivered = [c for c in candidates if c is not None]
+        counts: dict[bytes, int] = {}
+        for candidate in delivered:
+            counts[candidate] = counts.get(candidate, 0) + 1
+        best = max(counts, key=counts.get) if counts else b""
+        votes = counts.get(best, 0)
+        if votes >= self.f + 1:
+            outvoted = len(delivered) - votes
+            if outvoted:
+                self._c_outvoted.inc(outvoted)
+            return best, RetrievalReport(
+                index, votes, len(delivered), outvoted, retries, timeouts,
+                False, simulated,
+            )
+        self._c_quorum_lost.inc()
+        detail = (f"{len(delivered)}/{self.n_replicas} replicas delivered, "
+                  f"top agreement {votes} < required {self.f + 1}")
+        if not delivered:
+            emit_decision("pir", "unavailable", detail, index=index)
+            raise PIRUnavailableError(
+                f"no PIR replica answered for block {index}: {detail}"
+            )
+        if not self.allow_degraded:
+            raise QuorumLostError(
+                f"PIR quorum lost for block {index}: {detail}"
+            )
+        self._c_degraded.inc()
+        emit_decision("pir", "single-replica-fallback", detail, index=index)
+        return delivered[0], RetrievalReport(
+            index, votes, len(delivered), len(delivered) - votes,
+            retries, timeouts, True, simulated,
+        )
+
+
+class FaultyServer:
+    """Wrap one raw XOR-scheme server with plan-driven faults.
+
+    This is the *anti*-demonstration: injecting at server granularity
+    inside a raw scheme shows the scheme's documented lack of integrity
+    (a single corrupted answer silently corrupts the XOR reconstruction),
+    which is exactly what :class:`ResilientXorPIR`'s replica-group voting
+    exists to fix.  Crash/drop outcomes raise
+    :class:`~repro.faults.errors.PIRUnavailableError` since a raw scheme
+    cannot reconstruct anything with a server missing.
+    """
+
+    def __init__(self, inner, target: str, plan: FaultPlan):
+        self._inner = inner
+        self.target = target
+        self.plan = plan
+
+    def answer(self, server_id: int, indices) -> PIRAnswer:
+        """The wrapped server's answer, mutated by the plan."""
+        outcome = self.plan.outcome(self.target)
+        reply = self._inner.answer(server_id, indices)
+        if not outcome.delivered:
+            raise PIRUnavailableError(
+                f"server {self.target} did not answer operation {outcome.op}"
+            )
+        payload = outcome.apply_bytes(reply.payload)
+        return PIRAnswer(reply.server, reply.query_indices, payload)
+
+    def answer_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Batched answers with per-row fault outcomes (op per row)."""
+        base = self.plan.take_ops(self.target, int(masks.shape[0]))
+        answers = self._inner.answer_batch(masks)
+        rows = []
+        for j in range(answers.shape[0]):
+            outcome = self.plan.outcome(self.target, base + j)
+            if not outcome.delivered:
+                raise PIRUnavailableError(
+                    f"server {self.target} did not answer operation "
+                    f"{outcome.op}"
+                )
+            mutated = outcome.apply_bytes(answers[j].tobytes())
+            rows.append(np.frombuffer(mutated, dtype=np.uint8))
+        return np.stack(rows)
+
+
+def wrap_servers(scheme, plan: FaultPlan, prefix: str = "pir.server"):
+    """Wrap every server of a raw XOR scheme with :class:`FaultyServer`.
+
+    Only schemes that expose ``_servers`` (two-server, multi-server) can
+    be wrapped; the square scheme answers internally.  Returns *scheme*.
+    """
+    servers = getattr(scheme, "_servers", None)
+    if servers is None:
+        raise TypeError(
+            f"{type(scheme).__name__} does not expose per-server answering"
+        )
+    scheme._servers = tuple(
+        FaultyServer(server, f"{prefix}:{i}", plan)
+        for i, server in enumerate(servers)
+    )
+    return scheme

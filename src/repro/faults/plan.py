@@ -1,0 +1,345 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is the single source of randomness for every injected
+failure in a run.  Five fault kinds cover the failure modes the runtime
+must survive:
+
+``drop``
+    The message/answer is lost in transit (transient; retries may succeed).
+``delay``
+    Delivery takes ``delay`` extra simulated seconds; a reply slower than
+    the caller's timeout is indistinguishable from a drop.
+``corrupt``
+    ``bits`` random bit positions of the payload are flipped (models a
+    faulty link or disk; a checksum would catch it).
+``byzantine``
+    The payload is replaced wholesale with deterministic garbage (models
+    an adversarial server that answers *plausibly but wrongly* — no
+    checksum catches it, only cross-replica voting does).
+``crash``
+    The target stops responding permanently once it has served ``after``
+    operations (crash-after-k-messages; sticky, unlike ``drop``).
+
+Determinism contract
+--------------------
+Every decision is a *pure function* of ``(plan seed, target, op, attempt)``
+— no hidden stream state.  Two consequences the test suite relies on:
+
+* replaying the same plan reproduces the same failures, byte for byte;
+* a batched operation and the equivalent sequence of single operations
+  observe *identical* faults, because each (target, op) pair derives its
+  own generator instead of consuming a shared stream in arrival order.
+
+The only mutable state is the per-target operation counter, advanced
+explicitly via :meth:`FaultPlan.take_ops` by whoever issues operations.
+
+>>> plan = FaultPlan([Fault("crash", "pir.replica:2", after=1)], seed=7)
+>>> plan.outcome("pir.replica:2", op=0).crashed
+False
+>>> plan.outcome("pir.replica:2", op=1).crashed
+True
+>>> plan.outcome("pir.replica:0", op=0).delivered   # no fault configured
+True
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultOutcome", "FaultPlan", "NO_FAULT"]
+
+#: The fault kinds a plan understands.
+FAULT_KINDS = ("drop", "delay", "corrupt", "byzantine", "crash")
+
+#: Salt mixed into payload-replacement rng keys (vs. the decision key).
+_PAYLOAD_SALT = 0x50594C44  # "PYLD"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault specification bound to a named target.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    target:
+        The component the fault attaches to, e.g. ``"pir.replica:1"``,
+        ``"qdb.replica:0"``, ``"smc.party:P2"``.  Naming is by convention;
+        the plan never interprets the string beyond hashing it.
+    probability:
+        Per-operation trigger probability (ignored for ``crash``, which
+        is deterministic in ``after``).
+    after:
+        For ``crash``: operations served before the crash takes effect.
+    delay:
+        For ``delay``: added latency in simulated seconds.
+    bits:
+        For ``corrupt``: number of bit positions flipped per payload.
+    """
+
+    kind: str
+    target: str
+    probability: float = 1.0
+    after: int = 0
+    delay: float = 0.0
+    bits: int = 8
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+
+
+class FaultOutcome:
+    """What the plan decided for one (target, op, attempt) triple.
+
+    Immutable once constructed; payload mutation (:meth:`apply_bytes`,
+    :meth:`apply_int`) derives its randomness from the same key as the
+    decision, so corrupted payloads are reproducible too.
+    """
+
+    __slots__ = ("target", "op", "attempt", "crashed", "dropped",
+                 "latency", "flip_bits", "byzantine", "_key")
+
+    def __init__(self, target: str, op: int, attempt: int,
+                 crashed: bool = False, dropped: bool = False,
+                 latency: float = 0.0, flip_bits: int = 0,
+                 byzantine: bool = False,
+                 key: tuple[int, ...] = (0,)):
+        self.target = target
+        self.op = op
+        self.attempt = attempt
+        self.crashed = crashed
+        self.dropped = dropped
+        self.latency = latency
+        self.flip_bits = flip_bits
+        self.byzantine = byzantine
+        self._key = key
+
+    @property
+    def delivered(self) -> bool:
+        """True when a reply arrives at all (possibly late or corrupted)."""
+        return not (self.crashed or self.dropped)
+
+    @property
+    def corrupts(self) -> bool:
+        """True when the delivered payload differs from the honest one."""
+        return self.delivered and (self.byzantine or self.flip_bits > 0)
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(self._key + (_PAYLOAD_SALT,))
+        )
+
+    def apply_bytes(self, payload: bytes) -> bytes | None:
+        """The payload as the receiver sees it (None when not delivered)."""
+        if not self.delivered:
+            return None
+        if self.byzantine:
+            rng = self._rng()
+            return rng.integers(0, 256, len(payload), dtype=np.uint8).tobytes()
+        if self.flip_bits:
+            buf = np.frombuffer(payload, dtype=np.uint8).copy()
+            if buf.size:
+                rng = self._rng()
+                positions = rng.integers(0, buf.size * 8, self.flip_bits)
+                np.bitwise_xor.at(
+                    buf, positions // 8,
+                    np.uint8(1) << (positions % 8).astype(np.uint8),
+                )
+            return buf.tobytes()
+        return payload
+
+    def apply_int(self, value: int, modulus: int | None = None) -> int | None:
+        """Integer payloads: byzantine replacement / bit flips mod *modulus*."""
+        if not self.delivered:
+            return None
+        bound = modulus if modulus is not None else 1 << 64
+        if self.byzantine:
+            return int(self._rng().integers(0, min(bound, 1 << 63)))
+        if self.flip_bits:
+            rng = self._rng()
+            width = max(1, bound.bit_length() - 1)
+            flipped = int(value)
+            for position in rng.integers(0, width, self.flip_bits):
+                flipped ^= 1 << int(position)
+            return flipped % bound
+        return int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = [name for name in ("crashed", "dropped", "byzantine")
+                 if getattr(self, name)]
+        if self.flip_bits:
+            flags.append(f"flip_bits={self.flip_bits}")
+        if self.latency:
+            flags.append(f"latency={self.latency:g}")
+        state = ", ".join(flags) or "clean"
+        return (f"FaultOutcome({self.target!r}, op={self.op}, "
+                f"attempt={self.attempt}: {state})")
+
+
+#: Shared outcome for targets with no configured faults (fast path).
+NO_FAULT = FaultOutcome("", 0, 0)
+
+
+class FaultPlan:
+    """A seeded collection of :class:`Fault` specs plus per-target counters.
+
+    The plan is cheap to consult: targets with no configured faults get
+    the shared :data:`NO_FAULT` singleton without touching any rng — the
+    fault-wrapping layer costs (almost) nothing when no faults are
+    injected, which the benchmark overhead gate enforces.
+
+    >>> plan = FaultPlan([Fault("byzantine", "pir.replica:1")], seed=11)
+    >>> outcome = plan.outcome("pir.replica:1", op=0)
+    >>> outcome.byzantine and outcome.delivered
+    True
+    >>> outcome.apply_bytes(b"honest!!") == b"honest!!"
+    False
+    >>> again = plan.outcome("pir.replica:1", op=0)   # pure function of key
+    >>> again.apply_bytes(b"honest!!") == outcome.apply_bytes(b"honest!!")
+    True
+    """
+
+    def __init__(self, faults: Iterable[Fault] = (), seed: int = 0):
+        self.faults: tuple[Fault, ...] = tuple(faults)
+        self.seed = int(seed) & 0xFFFFFFFF
+        self._by_target: dict[str, tuple[Fault, ...]] = {}
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"expected Fault, got {type(fault).__name__}")
+            self._by_target.setdefault(fault.target, ())
+            self._by_target[fault.target] += (fault,)
+        self._ops: dict[str, int] = {}
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not self._by_target
+
+    def has_faults(self, target: str) -> bool:
+        """True when any fault is configured for *target*."""
+        return target in self._by_target
+
+    def faults_for(self, target: str) -> tuple[Fault, ...]:
+        """The fault specs attached to *target* (possibly empty)."""
+        return self._by_target.get(target, ())
+
+    def targets(self) -> tuple[str, ...]:
+        """Every target named by some fault spec, in spec order."""
+        return tuple(self._by_target)
+
+    def take_ops(self, target: str, count: int = 1) -> int:
+        """Advance *target*'s operation counter; returns the start index.
+
+        A batch of B operations against one target claims B consecutive
+        op indices up front — this is what makes batched and sequential
+        execution observe the same faults.
+        """
+        start = self._ops.get(target, 0)
+        self._ops[target] = start + count
+        return start
+
+    def ops_issued(self, target: str) -> int:
+        """Operations claimed against *target* so far."""
+        return self._ops.get(target, 0)
+
+    def reset(self) -> None:
+        """Zero every per-target operation counter (fresh run, same plan)."""
+        self._ops.clear()
+
+    def copy(self) -> "FaultPlan":
+        """Same specs and seed, fresh operation counters."""
+        return FaultPlan(self.faults, self.seed)
+
+    def _key(self, target: str, op: int, attempt: int) -> tuple[int, ...]:
+        return (self.seed, zlib.crc32(target.encode()), int(op), int(attempt))
+
+    def rng(self, target: str, op: int, attempt: int = 0,
+            salt: int = 0) -> np.random.Generator:
+        """A generator keyed on (seed, target, op, attempt, salt).
+
+        The retry path uses this for re-query randomness so that a retried
+        operation draws identical masks regardless of batch shape.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence(self._key(target, op, attempt) + (salt,))
+        )
+
+    def outcome(self, target: str, op: int | None = None,
+                attempt: int = 0) -> FaultOutcome:
+        """Decide what happens to operation *op* of *target* on *attempt*.
+
+        With ``op=None`` the target's counter is advanced by one (the
+        common single-operation case).
+        """
+        if op is None:
+            op = self.take_ops(target)
+        specs = self._by_target.get(target)
+        if not specs:
+            return NO_FAULT
+        key = self._key(target, op, attempt)
+        rng = np.random.default_rng(np.random.SeedSequence(key))
+        crashed = dropped = byzantine = False
+        latency = 0.0
+        flip_bits = 0
+        for fault in specs:
+            if fault.kind == "crash":
+                crashed = crashed or op >= fault.after
+                continue
+            # One draw per non-crash spec, unconditionally, so a single
+            # spec's decision never depends on which other specs fired.
+            if float(rng.random()) >= fault.probability:
+                continue
+            if fault.kind == "drop":
+                dropped = True
+            elif fault.kind == "delay":
+                latency += fault.delay
+            elif fault.kind == "corrupt":
+                flip_bits += fault.bits
+            elif fault.kind == "byzantine":
+                byzantine = True
+        return FaultOutcome(target, op, attempt, crashed, dropped,
+                            latency, flip_bits, byzantine, key=key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultPlan({len(self.faults)} faults over "
+                f"{len(self._by_target)} targets, seed={self.seed})")
+
+
+def random_fault_plan(rng: np.random.Generator,
+                      targets: Sequence[str],
+                      max_faults: int = 3,
+                      kinds: Sequence[str] = FAULT_KINDS) -> FaultPlan:
+    """A random plan over *targets* — the property tests' plan generator.
+
+    Drawn entirely from the caller's generator, so hypothesis /
+    randomized tests control reproducibility with a single seed.
+    """
+    n_faults = int(rng.integers(0, max_faults + 1))
+    faults = []
+    for _ in range(n_faults):
+        kind = str(kinds[int(rng.integers(0, len(kinds)))])
+        target = str(targets[int(rng.integers(0, len(targets)))])
+        faults.append(Fault(
+            kind, target,
+            probability=float(rng.uniform(0.25, 1.0)),
+            after=int(rng.integers(0, 4)),
+            delay=float(rng.uniform(0.0, 0.2)),
+            bits=int(rng.integers(1, 16)),
+        ))
+    return FaultPlan(faults, seed=int(rng.integers(0, 2**32)))

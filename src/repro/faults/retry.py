@@ -1,0 +1,132 @@
+"""Retry with timeout and exponential backoff — over *simulated* time.
+
+No wall-clock sleeping happens anywhere in the fault layer: timeouts and
+backoff pauses are accounted in simulated seconds so chaos runs are fast
+and fully deterministic.  :func:`resolve_delivery` walks one operation's
+retry schedule against a :class:`~repro.faults.plan.FaultPlan` and reports
+whether (and on which attempt) a reply got through.
+
+>>> from repro.faults.plan import Fault, FaultPlan
+>>> plan = FaultPlan([Fault("drop", "pir.replica:0", probability=0.9)],
+...                  seed=5)
+>>> policy = RetryPolicy(max_attempts=4)
+>>> result = resolve_delivery(plan, "pir.replica:0", op=0, policy=policy)
+>>> result.attempts >= 1 and (result.delivered or result.attempts == 4)
+True
+>>> replay = resolve_delivery(plan, "pir.replica:0", 0, policy)   # pure
+>>> (replay.attempts, replay.delivered) == (result.attempts, result.delivered)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import FaultOutcome, FaultPlan
+
+__all__ = ["DEFAULT_RETRY", "DeliveryResult", "RetryPolicy",
+           "emit_decision", "resolve_delivery"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/backoff schedule for one operation.
+
+    Attempt ``a`` (0-based) waits up to ``timeout * backoff**a`` simulated
+    seconds for a reply, then sleeps ``base_sleep * backoff**a`` before
+    the next attempt.  Defaults match DESIGN.md §7.
+    """
+
+    max_attempts: int = 3
+    timeout: float = 0.05
+    backoff: float = 2.0
+    base_sleep: float = 0.01
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.base_sleep < 0:
+            raise ValueError("base_sleep must be >= 0")
+
+    def timeout_for(self, attempt: int) -> float:
+        """The reply deadline for 0-based *attempt*, in simulated seconds."""
+        return self.timeout * self.backoff ** attempt
+
+    def sleep_for(self, attempt: int) -> float:
+        """Backoff pause after a failed 0-based *attempt*."""
+        return self.base_sleep * self.backoff ** attempt
+
+
+#: The documented default schedule (3 attempts: 50 ms, 100 ms, 200 ms).
+DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class DeliveryResult:
+    """How one operation's retry schedule played out.
+
+    ``outcome`` is the :class:`FaultOutcome` of the attempt that finally
+    delivered (its corruption flags still apply to the payload!), or None
+    when every attempt timed out, dropped, or hit a crashed target.
+    """
+
+    outcome: FaultOutcome | None
+    attempts: int
+    timeouts: int
+    simulated_seconds: float
+
+    @property
+    def delivered(self) -> bool:
+        """True when some attempt got a reply through."""
+        return self.outcome is not None
+
+
+def resolve_delivery(plan: FaultPlan, target: str, op: int,
+                     policy: RetryPolicy = DEFAULT_RETRY) -> DeliveryResult:
+    """Walk the retry schedule for (*target*, *op*) against *plan*.
+
+    Pure in (plan seed, target, op, policy): the attempt dimension is part
+    of the fault-decision key, so resolving the same operation twice —
+    or from a batch instead of a loop — yields the same result.
+
+    A crashed target short-circuits after the first detecting timeout:
+    ``crash`` is sticky, so further attempts cannot succeed by definition.
+    """
+    elapsed = 0.0
+    timeouts = 0
+    for attempt in range(policy.max_attempts):
+        outcome = plan.outcome(target, op, attempt)
+        deadline = policy.timeout_for(attempt)
+        if outcome.crashed:
+            return DeliveryResult(None, attempt + 1, timeouts + 1,
+                                  elapsed + deadline)
+        if outcome.dropped or outcome.latency > deadline:
+            timeouts += 1
+            elapsed += deadline + policy.sleep_for(attempt)
+            continue
+        return DeliveryResult(outcome, attempt + 1, timeouts,
+                              elapsed + outcome.latency)
+    return DeliveryResult(None, policy.max_attempts, timeouts, elapsed)
+
+
+def emit_decision(component: str, decision: str, reason: str,
+                  **attrs) -> None:
+    """Log one degradation/recovery decision to the telemetry trace.
+
+    Emits a zero-work ``faults.degrade`` span carrying the component, the
+    decision taken, and the reason — ``repro telemetry report`` lists
+    these so an incident is reconstructable end-to-end from the capture.
+    A strict no-op when no telemetry session is active.
+    """
+    from ..telemetry import instrument as tele
+
+    if not tele.enabled():
+        return
+    with tele.span("faults.degrade", component=component,
+                   decision=decision, reason=reason, **attrs):
+        pass
+    tele.counter("faults.degrade_decisions").inc()

@@ -1,0 +1,218 @@
+"""Fault-tolerant secure multiparty computation.
+
+:class:`FaultyChannel` injects a :class:`~repro.faults.plan.FaultPlan`
+into any protocol that routes messages through a
+:class:`~repro.smc.party.Channel`: per-message drop/delay/corrupt/
+byzantine outcomes keyed on the *sender* (target ``"smc.party:<name>"``),
+and sticky crash-after-k-messages semantics (the plan's per-target op
+counter counts messages the party has sent — once ``op >= after`` the
+party never speaks again).
+
+:func:`resilient_secure_sum` is the recovery driver: it retries the ring
+protocol across transient faults, and when a party has *crashed* it falls
+back to the additive-shares protocol over the surviving parties — an
+explicit, telemetry-logged degradation, because the fallback changes the
+computed statistic (the crashed party's value is excluded) and shrinks
+the collusion margin around the survivors.
+
+>>> from repro.faults.plan import Fault, FaultPlan
+>>> plan = FaultPlan([Fault("crash", "smc.party:P1", after=0)], seed=2)
+>>> outcome = resilient_secure_sum([3, 5, 9, 4], plan=plan, rng=0)
+>>> outcome.degraded, sorted(outcome.excluded), outcome.value
+(True, ['P1'], 16)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..smc.party import Channel, Transcript
+from ..smc.secure_sum import (
+    DEFAULT_MODULUS,
+    resolve_protocol_rng,
+    ring_secure_sum,
+    shares_secure_sum,
+)
+from ..telemetry.registry import MetricsRegistry
+from .errors import FaultError, MessageDropped, PartyCrashed
+from .plan import FaultPlan
+from .retry import DEFAULT_RETRY, RetryPolicy, emit_decision
+
+__all__ = ["FaultyChannel", "SumOutcome", "resilient_secure_sum"]
+
+
+class FaultyChannel(Channel):
+    """A channel that applies plan faults to every message it carries.
+
+    Threat model: the wire (and crashed endpoints), not the protocol —
+    parties follow the protocol; the channel drops, delays, corrupts, or
+    byzantine-replaces what they say.  Failure behaviour: crash and drop
+    raise (:class:`PartyCrashed` is sticky, :class:`MessageDropped` is
+    transient); corrupt/byzantine deliver a *wrong* payload, which the
+    caller cannot detect — exactly the failure the chaos scenario's
+    exposure invariant checks against.
+
+    Integer payloads are mutated modulo *modulus*; other payloads pass
+    through unmodified (the secure-sum protocols speak integers).
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 transcript: Transcript | None = None,
+                 attempt: int = 0,
+                 modulus: int = DEFAULT_MODULUS,
+                 excluded: frozenset[str] = frozenset()):
+        super().__init__(transcript)
+        self.plan = plan
+        self.attempt = int(attempt)
+        self.modulus = modulus
+        self.excluded = excluded
+        self.simulated_seconds = 0.0
+        self.metrics = MetricsRegistry(owner="faults.smc")
+        self._c_delivered = self.metrics.counter("faults.smc.delivered")
+        self._c_dropped = self.metrics.counter("faults.smc.dropped")
+        self._c_crashes = self.metrics.counter("faults.smc.crash_hits")
+        self._c_corrupted = self.metrics.counter("faults.smc.corrupted")
+
+    @staticmethod
+    def target_for(party: str) -> str:
+        """The plan target name for a party (fault key = sender)."""
+        return f"smc.party:{party}"
+
+    def send(self, sender: str, receiver: str, tag: str,
+             payload: object) -> object:
+        """Deliver one message through the plan; faults key on the sender."""
+        if sender in self.excluded or receiver in self.excluded:
+            raise PartyCrashed(sender if sender in self.excluded else receiver,
+                               -1)
+        target = self.target_for(sender)
+        outcome = self.plan.outcome(target, attempt=self.attempt)
+        if outcome.crashed:
+            self._c_crashes.inc()
+            raise PartyCrashed(sender, outcome.op)
+        if outcome.dropped:
+            self._c_dropped.inc()
+            raise MessageDropped(sender, receiver, outcome.op)
+        self.simulated_seconds += outcome.latency
+        if isinstance(payload, int) and not isinstance(payload, bool):
+            delivered = outcome.apply_int(payload, self.modulus)
+        else:
+            delivered = payload
+        if outcome.corrupts:
+            self._c_corrupted.inc()
+        self._c_delivered.inc()
+        self.transcript.record(sender, receiver, tag, delivered)
+        return delivered
+
+
+@dataclass(frozen=True)
+class SumOutcome:
+    """What :func:`resilient_secure_sum` computed, and how.
+
+    ``degraded`` means the fallback ran: ``value`` is the sum over the
+    *surviving* parties only (``excluded`` lists the crashed ones) and
+    ``protocol`` is ``"shares-sum"`` instead of ``"ring-sum"``.
+    """
+
+    value: int
+    protocol: str
+    degraded: bool
+    excluded: tuple[str, ...]
+    attempts: int
+    simulated_seconds: float
+
+
+def resilient_secure_sum(
+    values: Sequence[int],
+    plan: FaultPlan | None = None,
+    retry: RetryPolicy = DEFAULT_RETRY,
+    modulus: int = DEFAULT_MODULUS,
+    rng=None,
+    transcript: Transcript | None = None,
+) -> SumOutcome:
+    """Secure sum that survives dropped messages and crashed parties.
+
+    Strategy: run the ring protocol through a :class:`FaultyChannel`,
+    retrying up to ``retry.max_attempts`` times on any failure (drops are
+    transient; each retry advances the attempt key, and crash counters
+    advance with every message, so a crash-after-k party eventually stays
+    down).  If a party has crashed, fall back to the additive-shares
+    protocol over the surviving parties — logged via
+    :func:`~repro.faults.retry.emit_decision` as an ``smc``
+    ``exclude-crashed-parties`` decision.  If even the fallback cannot
+    complete, the last :class:`FaultError` propagates.
+
+    The ring needs >= 3 parties and the fallback >= 2 survivors; privacy
+    for the survivors is preserved (their inputs stay masked by fresh
+    shares), but the aggregate loses the crashed parties' contributions —
+    callers see that explicitly in the outcome, never silently.
+    """
+    if plan is None:
+        plan = FaultPlan()
+    rng = resolve_protocol_rng(rng)
+    transcript = transcript if transcript is not None else Transcript()
+    names = [f"P{i}" for i in range(len(values))]
+    crashed: set[str] = set()
+    simulated = 0.0
+    last_error: FaultError | None = None
+    for attempt in range(retry.max_attempts):
+        channel = FaultyChannel(plan, transcript, attempt=attempt,
+                                modulus=modulus)
+        try:
+            value = ring_secure_sum(values, modulus, rng, channel=channel)
+            return SumOutcome(value, "ring-sum", False, (), attempt + 1,
+                              simulated + channel.simulated_seconds)
+        except PartyCrashed as exc:
+            crashed.add(exc.party)
+            last_error = exc
+        except MessageDropped as exc:
+            last_error = exc
+        simulated += channel.simulated_seconds + retry.sleep_for(attempt)
+    survivors = [name for name in names if name not in crashed]
+    surviving_values = [int(v) for name, v in zip(names, values)
+                        if name not in crashed]
+    if len(survivors) < 2 or len(survivors) == len(names):
+        # Nothing to exclude (pure message loss) or not enough parties
+        # left for any secure protocol: surface the failure.
+        raise last_error if last_error is not None else FaultError(
+            "ring secure sum failed with no identifiable fault"
+        )
+    reason = (f"ring protocol failed {retry.max_attempts} times; "
+              f"crashed parties: {sorted(crashed)}")
+    emit_decision("smc", "exclude-crashed-parties", reason,
+                  survivors=len(survivors))
+    channel = FaultyChannel(plan, transcript,
+                            attempt=retry.max_attempts, modulus=modulus,
+                            excluded=frozenset(crashed))
+    # Rename survivors P0..Pm for the shares protocol, but keep the real
+    # names on the transcript by mapping through the channel subclass.
+    value = _shares_over_survivors(surviving_values, survivors, channel,
+                                   modulus, rng)
+    return SumOutcome(value, "shares-sum", True, tuple(sorted(crashed)),
+                      retry.max_attempts + 1,
+                      simulated + channel.simulated_seconds)
+
+
+class _RenamingChannel(Channel):
+    """Present survivor names to the transcript while reusing a channel."""
+
+    def __init__(self, inner: FaultyChannel, names: Sequence[str]):
+        self._inner = inner
+        self._names = list(names)
+        self.transcript = inner.transcript
+
+    def _rename(self, default_name: str) -> str:
+        index = int(default_name[1:])
+        return self._names[index]
+
+    def send(self, sender: str, receiver: str, tag: str,
+             payload: object) -> object:
+        return self._inner.send(self._rename(sender), self._rename(receiver),
+                                tag, payload)
+
+
+def _shares_over_survivors(values: list[int], names: Sequence[str],
+                           channel: FaultyChannel, modulus: int,
+                           rng) -> int:
+    renamed = _RenamingChannel(channel, names)
+    return shares_secure_sum(values, modulus, rng, channel=renamed)

@@ -24,7 +24,15 @@ from ..crypto import paillier
 
 
 class LinearCPIR:
-    """Computational PIR with a full encrypted selection vector."""
+    """Computational PIR with a full encrypted selection vector.
+
+    Threat model: a *single* honest-but-curious server; privacy is
+    computational (Paillier/DCRA), so it holds only against a
+    polynomially bounded server — the trade against the IT schemes'
+    non-collusion assumption.  Failure behaviour: none — the server
+    returns one ciphertext, and a malformed or malicious one decrypts
+    to an arbitrary wrong record without detection.
+    """
 
     def __init__(
         self,
@@ -63,7 +71,12 @@ class LinearCPIR:
 
 
 class MatrixCPIR:
-    """Computational PIR with O(√n) upstream ciphertexts."""
+    """Computational PIR with O(√n) upstream ciphertexts.
+
+    Threat model and failure behaviour match :class:`LinearCPIR` (single
+    computationally bounded server, no integrity); only the
+    communication layout differs.
+    """
 
     def __init__(
         self,

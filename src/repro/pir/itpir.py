@@ -25,6 +25,17 @@ answers are one GF(2) matrix product over the bit-unpacked database.
 ``retrieve_batch`` consumes the rng stream exactly as the equivalent
 sequence of ``retrieve`` calls would, so batched results are
 byte-identical to sequential ones under the same seed.
+
+Threat model (shared by every scheme here): servers are
+honest-but-curious and **non-colluding** — privacy is information-
+theoretic against any tolerated coalition, but there is *zero* answer
+integrity or availability tolerance: a server that lies flips the
+reconstructed XOR silently, and a server that does not answer leaves
+nothing reconstructable.  Deployments that need byzantine/crash
+tolerance wrap a scheme in
+:class:`repro.faults.ResilientXorPIR` (2f+1 replica groups, majority
+vote); ``tests/test_failure_injection.py`` demonstrates the raw
+schemes' silent-corruption behaviour.
 """
 
 from __future__ import annotations
@@ -260,6 +271,12 @@ class _XorPIRScheme(_BatchViewMixin):
 class TwoServerXorPIR(_XorPIRScheme):
     """The basic two-server XOR scheme of Chor–Goldreich–Kushilevitz–Sudan.
 
+    Threat model: the two servers do not collude; each sees a uniformly
+    random index set independent of the target.  Failure behaviour: none
+    — a corrupted or missing answer silently corrupts (or prevents) the
+    XOR reconstruction; see the module docstring for the resilient
+    wrapper.
+
     Parameters
     ----------
     blocks:
@@ -334,6 +351,11 @@ class MultiServerXorPIR(_XorPIRScheme):
     ``S_1 Δ ... Δ S_{k-1} Δ {i}``; XOR of all answers is block i.  Any
     coalition of at most k-1 servers sees jointly uniform sets independent
     of the target (each proper subset misses at least one random mask).
+
+    Threat model: privacy holds against up to k-1 colluding
+    honest-but-curious servers.  Failure behaviour: none — collusion
+    resistance buys no integrity; every server's answer enters the XOR,
+    so one byzantine server corrupts the block silently.
     """
 
     scheme = "multi-server"
@@ -420,6 +442,10 @@ class SquareSchemePIR(_XorPIRScheme):
     client retrieves the *column* containing the target using the XOR
     trick across columns, receiving per-row XORs from which it extracts
     the target cell.
+
+    Threat model and failure behaviour match :class:`TwoServerXorPIR`:
+    two non-colluding honest-but-curious servers, no integrity, no
+    availability tolerance.
     """
 
     scheme = "square"

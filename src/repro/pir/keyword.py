@@ -38,6 +38,14 @@ def _unpack(block: bytes) -> tuple[str, int]:
 class KeywordPIR:
     """Private lookups by key over a two-server PIR database.
 
+    Threat model: the wrapped :class:`TwoServerXorPIR`'s — two
+    non-colluding honest-but-curious servers; each binary-search probe
+    is an ordinary PIR retrieval, so servers learn the number of probes
+    (public: ceil(log2 n)) but not the key.  Failure behaviour: none of
+    its own — a corrupted retrieval mis-steers the binary search to a
+    wrong or absent key, silently, exactly as the underlying scheme's
+    corruption propagates.
+
     Parameters
     ----------
     mapping:

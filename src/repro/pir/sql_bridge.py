@@ -59,6 +59,16 @@ class AggregateResult:
 class PrivateAggregateIndex:
     """A PIR-served grid of (COUNT, SUM) aggregates.
 
+    Threat model: the grid servers are the PIR servers (two,
+    non-colluding, honest-but-curious); they learn that *some* cells
+    were fetched and how many, but not which — the predicate stays
+    private.  Note the inversion the paper builds on: this protects the
+    *user*, while the aggregates themselves get no query-set-size
+    control, so respondent privacy is out of scope here (the Section 3
+    COUNT/AVG isolation attack in ``repro.attacks`` exploits exactly
+    that).  Failure behaviour: the raw schemes' — a corrupted retrieval
+    yields a wrong aggregate silently.
+
     Parameters
     ----------
     data:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.table import Dataset
+from ..faults.errors import BackendUnavailable
 from ..sdc.base import resolve_rng
 from ..telemetry import instrument as tele
 from ..telemetry.registry import MetricsRegistry
@@ -40,6 +41,32 @@ class Answer:
     def ok(self) -> bool:
         """True when the query was answered (point or interval)."""
         return not self.refused
+
+
+@dataclass(frozen=True)
+class Refusal(Answer):
+    """A typed refusal — the engine declined to answer.
+
+    Policy refusals carry ``reason = "<policy>: <why>"``; infrastructure
+    refusals (every backend replica down) carry ``reason =
+    "backend: <why>"`` so trace forensics can tell a privacy decision
+    from an availability failure.  ``refused`` is always True.
+    """
+
+    refused: bool = True
+
+
+@dataclass(frozen=True)
+class Degraded(Answer):
+    """An answered query that was served in a degraded mode.
+
+    The value is correct — a storage replica failed and another served
+    the read bit-identically — but the redundancy margin shrank, and
+    operators should know.  ``detail`` says what degraded; the policy
+    pipeline's output is otherwise untouched.
+    """
+
+    detail: str | None = None
 
 
 @dataclass
@@ -141,7 +168,18 @@ class QueryHistory(list):
 
 
 class ProtectionPolicy(abc.ABC):
-    """One inference-control mechanism."""
+    """One inference-control mechanism.
+
+    Threat model (shared by every policy): the adversary is the
+    *querying user*, who issues adaptively chosen aggregate queries to
+    isolate individual respondents; the engine itself is trusted and
+    evaluates on plaintext (which is why the paper scores query control
+    as offering no user privacy).  Failure behaviour: policies never
+    raise on privacy grounds — :meth:`review` returns a refusal reason
+    (surfaced as a refused :class:`Answer` and audited in the history)
+    and :meth:`transform` only perturbs or widens an already-permitted
+    answer.
+    """
 
     name: str = "abstract"
 
@@ -201,6 +239,10 @@ class StatisticalDatabase:
         self._c_refused = self.metrics.counter("qdb.queries_refused")
         self._c_cache_hits = self.metrics.counter("qdb.mask_cache_hits")
         self._c_cache_misses = self.metrics.counter("qdb.mask_cache_misses")
+        self._c_backend_refusals = self.metrics.counter(
+            "qdb.backend_refusals"
+        )
+        self._c_degraded = self.metrics.counter("qdb.degraded_answers")
 
     @property
     def n_records(self) -> int:
@@ -226,6 +268,16 @@ class StatisticalDatabase:
     def mask_cache_misses(self) -> int:
         """Predicate-mask cache misses (read-through to the counter)."""
         return self._c_cache_misses.value
+
+    @property
+    def backend_refusals(self) -> int:
+        """Queries refused because the storage backend was unavailable."""
+        return self._c_backend_refusals.value
+
+    @property
+    def degraded_answers(self) -> int:
+        """Answers served after a backend replica failover."""
+        return self._c_degraded.value
 
     def predicate_mask(self, predicate) -> np.ndarray:
         """Memoized predicate mask (read-only; one walk per unique key).
@@ -259,19 +311,85 @@ class StatisticalDatabase:
         self._mask_cache[key] = mask
         return mask
 
+    def _resolve_mask(
+        self, query: Query
+    ) -> tuple[np.ndarray | None, BackendUnavailable | None]:
+        """Predicate mask, or the backend failure that prevented it."""
+        try:
+            return self.predicate_mask(query.predicate), None
+        except BackendUnavailable as exc:
+            return None, exc
+
+    def _consume_degraded(self) -> bool:
+        """Poll-and-clear the backend's failover flag (False if absent)."""
+        consume = getattr(self._data, "consume_degraded", None)
+        return bool(consume()) if consume is not None else False
+
+    def _backend_refusal(
+        self, query: Query, mask: np.ndarray | None, exc: BackendUnavailable
+    ) -> Refusal:
+        """Record and return a typed refusal for a backend blackout.
+
+        Degrading gracefully instead of raising: the session stays alive,
+        the refusal lands in the audit history (with an empty mask when
+        the backend died before the mask existed), and the counters and
+        ``faults.degrade`` telemetry emitted by the backend make the
+        decision reconstructable from the trace.
+        """
+        self._c_refused.inc()
+        self._c_backend_refusals.inc()
+        self._consume_degraded()  # discard partial failover from failed read
+        if mask is None:
+            mask = np.zeros(self.n_records, dtype=bool)
+        self.history.record(LogEntry(query, mask, False, None))
+        return Refusal(query, reason=f"backend: {exc}")
+
+    def _traced_mask_refusal(
+        self, query: Query, exc: BackendUnavailable
+    ) -> Refusal:
+        """Backend refusal raised before a mask existed, as a traced span."""
+        self._c_asked.inc()
+        with tele.span(
+            "qdb.query",
+            query=str(query),
+            aggregate=query.aggregate.value,
+            query_set_size=-1,
+            history_depth=len(self.history),
+            cache_hit=False,
+        ) as span:
+            answer = self._backend_refusal(query, None, exc)
+            span.set("refused", True)
+            span.set("policy", "backend")
+            span.set("reason", str(exc))
+        tele.histogram("qdb.query_seconds").observe(span.duration)
+        return answer
+
     def ask(self, query: Query | str) -> Answer:
         """Submit one query; returns an :class:`Answer`.
 
         Note the privacy model: the engine evaluates the query on plaintext
         data — the owner sees the query in full.  This is exactly why the
         paper scores query-controlled SDC as offering *no* user privacy.
+
+        Failure behaviour: when the backing store is a
+        :class:`~repro.faults.ReplicatedBackend` and every replica fails a
+        read, the query returns a typed :class:`Refusal` (``reason``
+        prefixed ``"backend:"``) instead of raising; a read served by
+        failover returns a :class:`Degraded` answer with the correct
+        value.  Plain :class:`Dataset` backends never take these paths.
         """
         if isinstance(query, str):
             query = parse_query(query)
         if not tele.enabled():
-            return self._process(query, self.predicate_mask(query.predicate))
+            mask, exc = self._resolve_mask(query)
+            if mask is None:
+                self._c_asked.inc()
+                return self._backend_refusal(query, None, exc)
+            return self._process(query, mask)
         hits_before = self._c_cache_hits.value
-        mask = self.predicate_mask(query.predicate)
+        mask, exc = self._resolve_mask(query)
+        if mask is None:
+            return self._traced_mask_refusal(query, exc)
         return self._process(
             query, mask, cache_hit=self._c_cache_hits.value > hits_before
         )
@@ -292,19 +410,28 @@ class StatisticalDatabase:
             parse_query(q) if isinstance(q, str) else q for q in queries
         ]
         if not tele.enabled():
-            masks = [self.predicate_mask(q.predicate) for q in parsed]
-            return [self._process(q, m) for q, m in zip(parsed, masks)]
+            resolved = [self._resolve_mask(q) for q in parsed]
+            answers = []
+            for q, (mask, exc) in zip(parsed, resolved):
+                if mask is None:
+                    self._c_asked.inc()
+                    answers.append(self._backend_refusal(q, None, exc))
+                else:
+                    answers.append(self._process(q, mask))
+            return answers
         with tele.span("qdb.ask_batch", n_queries=len(parsed)) as span:
-            masks = []
+            resolved = []
             cache_hits = []
             for q in parsed:
                 hits_before = self._c_cache_hits.value
-                masks.append(self.predicate_mask(q.predicate))
+                resolved.append(self._resolve_mask(q))
                 cache_hits.append(self._c_cache_hits.value > hits_before)
-            answers = [
-                self._process(q, m, cache_hit=hit)
-                for q, m, hit in zip(parsed, masks, cache_hits)
-            ]
+            answers = []
+            for q, (mask, exc), hit in zip(parsed, resolved, cache_hits):
+                if mask is None:
+                    answers.append(self._traced_mask_refusal(q, exc))
+                else:
+                    answers.append(self._process(q, mask, cache_hit=hit))
             span.set("refused", sum(a.refused for a in answers))
         return answers
 
@@ -330,6 +457,7 @@ class StatisticalDatabase:
         ) as span:
             answer = self._decide(query, mask)
             span.set("refused", answer.refused)
+            span.set("degraded", isinstance(answer, Degraded))
             if answer.refused and answer.reason:
                 policy_name, _, reason = answer.reason.partition(": ")
                 span.set("policy", policy_name)
@@ -344,12 +472,23 @@ class StatisticalDatabase:
             reason = policy.review(query, mask, self._data, self.history)
             if reason is not None:
                 self._c_refused.inc()
+                self._consume_degraded()  # don't leak onto the next answer
                 self.history.record(LogEntry(query, mask, False, None))
                 return Answer(query, refused=True, reason=f"{policy.name}: {reason}")
-        answer = Answer(query, value=query.evaluate_masked(self._data, mask))
-        for policy in self.policies:
-            answer = policy.transform(query, answer, mask, self._data, self._rng)
+        try:
+            answer = Answer(query, value=query.evaluate_masked(self._data, mask))
+            for policy in self.policies:
+                answer = policy.transform(query, answer, mask, self._data, self._rng)
+        except BackendUnavailable as exc:
+            return self._backend_refusal(query, mask, exc)
         self.history.record(LogEntry(query, mask, True, answer.value))
+        if self._consume_degraded():
+            self._c_degraded.inc()
+            answer = Degraded(
+                answer.query, value=answer.value, interval=answer.interval,
+                refused=answer.refused, reason=answer.reason,
+                detail="storage replica failover during read",
+            )
         return answer
 
     def true_answer(self, query: Query | str) -> float:
@@ -364,7 +503,9 @@ class QuerySetSizeControl(ProtectionPolicy):
 
     The classical first line of defence: |Q| must lie in [k, n - k].
     Schlörer [22] showed trackers defeat it — reproduced in
-    :mod:`repro.qdb.tracker`.
+    :mod:`repro.qdb.tracker`: the threat model it actually resists is a
+    *non-adaptive* user issuing isolating predicates directly.  Failure
+    behaviour: pure refusal (review-only, never transforms an answer).
     """
 
     def __init__(self, k: int):
@@ -394,6 +535,13 @@ class SumAuditPolicy(ProtectionPolicy):
     Σx² over the query set), so they are audited in the same basis: a
     variance query whose query set would make a record's (x, x²) pair
     deducible is refused like the equivalent SUM.
+
+    Threat model: an adaptive user combining *exact* answers linearly —
+    the strongest query-only adversary against unperturbed statistics;
+    the audit assumes answers are exact, which is why the storage layer
+    rejects corrupted replica reads rather than serving them (DESIGN.md
+    §7).  Failure behaviour: pure refusal; audit state only ever grows
+    with *answered* queries, so refusals never change future decisions.
 
     The basis is maintained *incrementally*: each candidate row is
     orthogonalized against the existing orthonormal basis with one
@@ -496,6 +644,11 @@ class RandomSampleQueries(ProtectionPolicy):
     set (hashed), so repeating a query cannot average the sampling error
     away, yet two different paddings of a tracker pair sample different
     records — breaking the tracker's exact arithmetic.
+
+    Threat model: the tracker-equipped adaptive user; resistance is
+    statistical (estimates survive, exact isolation does not).  Failure
+    behaviour: transform-only — answers are biased estimates, never
+    refused by this policy.
     """
 
     def __init__(self, sample_fraction: float = 0.9, seed: int = 0):
@@ -556,6 +709,10 @@ class OverlapControl(ProtectionPolicy):
     per-entry loop.  Refusal decisions (and messages) are identical to
     the seed's loop: the *first* answered query set in history order
     whose overlap exceeds the threshold is reported.
+
+    Threat model: the difference attacker (query pairs isolating a
+    record by subtraction).  Failure behaviour: pure refusal, judged
+    against answered history only.
     """
 
     _CHUNK = 512  # history rows per popcount pass (early-exit granularity)
@@ -599,7 +756,14 @@ class OverlapControl(ProtectionPolicy):
 
 
 class NoisePerturbation(ProtectionPolicy):
-    """Additive output noise (Duncan–Mukherjee [14]) to deter trackers."""
+    """Additive output noise (Duncan–Mukherjee [14]) to deter trackers.
+
+    Threat model: the adaptive tracker user — noise denies the exact
+    arithmetic difference attacks need, at the cost of answer utility.
+    Failure behaviour: transform-only; answers are perturbed, never
+    refused, and the perturbation is drawn from the engine's seeded rng
+    (so sessions replay deterministically).
+    """
 
     def __init__(self, sd: float = 1.0, kind: str = "gaussian"):
         if sd < 0:
@@ -631,6 +795,11 @@ class CamouflageIntervals(ProtectionPolicy):
     subsets of the query set obtained by deleting up to ``k`` records.
     A COUNT of c becomes [max(0, c-k), c]; a SUM sheds its k largest /
     smallest contributions; AVG is recomputed on trimmed sets.
+
+    Threat model: a user differencing exact answers — intervals make
+    record-level deduction ambiguous by construction.  Failure
+    behaviour: transform-only; every query is answered, as an interval
+    guaranteed to contain the true statistic.
     """
 
     def __init__(self, k: int = 2):

@@ -2,12 +2,13 @@
 
 from .millionaires import millionaires
 from .naive_pooling import naive_pooled_datasets, naive_pooled_sum
-from .party import Message, Transcript, plaintext_exposure
+from .party import Channel, Message, Transcript, plaintext_exposure
 from .scalar_product import ScalarProductShares, secure_scalar_product
 from .secure_id3 import CategoricalNode, SecureID3, pooled_id3
 from .secure_kmeans import SecureKMeansResult, pooled_kmeans, secure_kmeans
 from .secure_sum import (
     DEFAULT_MODULUS,
+    resolve_protocol_rng,
     ring_secure_sum,
     secure_mean,
     shares_secure_sum,
@@ -22,6 +23,7 @@ from .vertical_nb import (
 
 __all__ = [
     "CategoricalNode",
+    "Channel",
     "DEFAULT_MODULUS",
     "Message",
     "ScalarProductShares",
@@ -38,6 +40,7 @@ __all__ = [
     "pooled_id3",
     "pooled_kmeans",
     "private_set_intersection",
+    "resolve_protocol_rng",
     "ring_secure_sum",
     "secure_kmeans",
     "secure_mean",

@@ -4,6 +4,11 @@ Alice has wealth ``i``, Bob has wealth ``j``, both integers in ``[1, N]``;
 they learn whether ``i >= j`` and nothing else.  The protocol underlies the
 comparison steps of secure decision-tree induction (crypto PPDM).
 
+Threat model: two semi-honest parties, computational privacy (RSA-style
+public-key encryption over the small range).  Failure behaviour: none —
+the output bit is unverifiable, so a deviating party can report either
+answer.
+
 Original protocol:
 
 1. Bob picks a random x, computes ``k = Enc_A(x)`` and sends ``k - j``.

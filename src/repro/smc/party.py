@@ -151,6 +151,35 @@ class Transcript:
         return values
 
 
+class Channel:
+    """A point-to-point message channel recording onto a transcript.
+
+    Protocols route every payload through :meth:`send` and use the
+    *returned* value as what the receiver saw.  This base channel is
+    perfect — it delivers verbatim — so protocols behave exactly as they
+    did when they recorded onto a bare :class:`Transcript`.  The fault
+    layer subclasses it (:class:`repro.faults.FaultyChannel`) to drop,
+    delay, corrupt, or byzantine-replace messages and to model crashed
+    parties; routing through the return value is what lets those faults
+    actually change protocol outcomes instead of just being logged.
+
+    Threat model: the channel itself is the adversary interface — parties
+    are honest-but-curious, the wire is where faults and tampering live.
+    Failure behaviour: the base class never fails; subclasses raise
+    :class:`~repro.faults.errors.MessageDropped` /
+    :class:`~repro.faults.errors.PartyCrashed` from :meth:`send`.
+    """
+
+    def __init__(self, transcript: Transcript | None = None):
+        self.transcript = transcript if transcript is not None else Transcript()
+
+    def send(self, sender: str, receiver: str, tag: str,
+             payload: object) -> object:
+        """Deliver one message; returns the payload as received."""
+        self.transcript.record(sender, receiver, tag, payload)
+        return payload
+
+
 def plaintext_exposure(
     transcript: Transcript, private_values: dict[str, Iterable[float]]
 ) -> float:

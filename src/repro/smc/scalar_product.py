@@ -8,6 +8,13 @@ blinded result and the two end with additive shares of x·y.
 
 Scalar products are the workhorse of vertically partitioned PPDM
 (classification and association mining across two databases).
+
+Threat model: two semi-honest parties; privacy is computational
+(Paillier) and holds against each party alone — there is no third party
+to collude with.  Failure behaviour: none built in — a party that
+deviates or a corrupted message yields a wrong (blinded) share without
+detection; the transcript-based exposure meter only measures *leakage*,
+not integrity.
 """
 
 from __future__ import annotations

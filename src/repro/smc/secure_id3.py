@@ -59,6 +59,13 @@ def _entropy_from_counts(counts: Sequence[int]) -> float:
 class SecureID3:
     """Joint ID3 induction across horizontally partitioned datasets.
 
+    Threat model: semi-honest parties running masked secure sums; each
+    party learns the *global* counts (and hence the tree) but no other
+    party's records.  Failure behaviour: the ring secure sum has no
+    crash tolerance — a party failing mid-induction aborts the build;
+    wrap the sums with :mod:`repro.faults` (``resilient_secure_sum``)
+    when survivable aggregation matters more than exact membership.
+
     Parameters
     ----------
     features:

@@ -10,6 +10,13 @@ the others.  Assignment happens locally against the shared centroids.
 The output (the centroids) is public to all parties, and every party
 knows exactly which computation ran — the paper's "owner privacy without
 user privacy" profile once more.
+
+Threat model: semi-honest parties; the masked ring sum is private
+against any single party but not against a victim's colluding ring
+neighbours (who can difference the partials).  Failure behaviour: a
+party crashing mid-iteration aborts the run (the ring sum is
+all-or-nothing); see :mod:`repro.faults` for the crash-surviving sum
+variant.
 """
 
 from __future__ import annotations

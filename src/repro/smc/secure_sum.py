@@ -8,6 +8,23 @@ their private values revealing nothing but the result.  Two variants:
   Every intermediate message is uniformly random modulo m.
 * :func:`shares_secure_sum` — each party additively shares its value among
   all parties; everyone publishes the sum of the shares it holds.
+
+Threat model: honest-but-curious parties; what leaks is exactly what the
+:class:`~repro.smc.party.Transcript` records.  The ring tolerates no
+collusion around a victim (its neighbours can difference the partials);
+additive sharing tolerates up to n-2 colluders.
+
+Failure behaviour: both protocols route every message through a
+:class:`~repro.smc.party.Channel` and *use the delivered value*, so a
+faulty channel (drops, crashes, corruption — see :mod:`repro.faults`)
+either raises out of the protocol or corrupts the result exactly as it
+would on a real wire.  The ring dies with its first unreachable party;
+the shares variant survives pre-excluded parties, which is why the fault
+layer falls back to it (:func:`repro.faults.resilient_secure_sum`).
+
+Randomness: ``rng`` may be a :class:`random.Random`, an integer seed, a
+``numpy.random.Generator``, or None — every stochastic step flows through
+one explicit generator so runs are reproducible from a single seed.
 """
 
 from __future__ import annotations
@@ -15,48 +32,121 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..crypto.secret_sharing import additive_shares
-from .party import Transcript
+from .party import Channel, Transcript
 
 #: Default ring modulus (large enough for any benchmark sum).
 DEFAULT_MODULUS = 1 << 64
+
+ProtocolRng = "random.Random | np.random.Generator | int | None"
+
+
+class _GeneratorAdapter:
+    """Expose ``randrange`` on a numpy Generator (what the crypto needs)."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, generator: np.random.Generator):
+        self._generator = generator
+
+    def randrange(self, stop: int) -> int:
+        # Rejection-sample from raw bytes: Generator.integers() is capped
+        # at int64, but the ring modulus is 2**64 (and callers may go
+        # bigger).  For power-of-two stops the mask makes this one draw.
+        stop = int(stop)
+        if stop <= 0:
+            raise ValueError("randrange stop must be positive")
+        nbits = (stop - 1).bit_length()
+        if nbits == 0:
+            return 0
+        nbytes = (nbits + 7) // 8
+        mask = (1 << nbits) - 1
+        while True:
+            value = int.from_bytes(self._generator.bytes(nbytes), "little")
+            value &= mask
+            if value < stop:
+                return value
+
+
+def resolve_protocol_rng(rng=None):
+    """Accept Random / Generator / seed / None; return a ``randrange`` source.
+
+    The protocols (and :func:`repro.crypto.additive_shares`) only ever
+    call ``randrange``, so both stdlib and numpy generators — and a bare
+    integer seed, the reproducible-chaos-run spelling — are accepted.
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, (random.Random, random.SystemRandom)):
+        return rng
+    if isinstance(rng, np.random.Generator):
+        return _GeneratorAdapter(rng)
+    if isinstance(rng, (int, np.integer)):
+        return _GeneratorAdapter(np.random.default_rng(int(rng)))
+    if hasattr(rng, "randrange"):
+        return rng
+    raise TypeError(
+        f"rng must be random.Random, numpy Generator, int seed, or None; "
+        f"got {type(rng).__name__}"
+    )
+
+
+def _resolve_channel(channel: Channel | None,
+                     transcript: Transcript | None) -> Channel:
+    if channel is not None:
+        return channel
+    return Channel(transcript)
 
 
 def ring_secure_sum(
     values: Sequence[int],
     modulus: int = DEFAULT_MODULUS,
-    rng: random.Random | None = None,
+    rng=None,
     transcript: Transcript | None = None,
+    channel: Channel | None = None,
 ) -> int:
-    """Ring-based secure sum of integer *values* (one per party)."""
+    """Ring-based secure sum of integer *values* (one per party).
+
+    The returned value is computed from what the channel *delivered* back
+    to the initiator, so wire faults propagate into the result instead of
+    being silently ignored.
+    """
     if len(values) < 3:
         raise ValueError("the ring protocol needs at least 3 parties for privacy")
-    rng = rng or random.Random()
-    transcript = transcript if transcript is not None else Transcript()
-    transcript.tag("ring-sum")
+    rng = resolve_protocol_rng(rng)
+    channel = _resolve_channel(channel, transcript)
+    channel.transcript.tag("ring-sum")
     names = [f"P{i}" for i in range(len(values))]
     mask = rng.randrange(modulus)
     running = (mask + values[0]) % modulus
-    transcript.record(names[0], names[1], "partial-sum", running)
+    running = int(channel.send(names[0], names[1], "partial-sum", running))
     for i in range(1, len(values)):
         running = (running + values[i]) % modulus
         nxt = names[(i + 1) % len(values)]
-        transcript.record(names[i], nxt, "partial-sum", running)
+        running = int(channel.send(names[i], nxt, "partial-sum", running))
     return (running - mask) % modulus
 
 
 def shares_secure_sum(
     values: Sequence[int],
     modulus: int = DEFAULT_MODULUS,
-    rng: random.Random | None = None,
+    rng=None,
     transcript: Transcript | None = None,
+    channel: Channel | None = None,
 ) -> int:
-    """Additive-sharing secure sum (robust to one party dropping the ring)."""
+    """Additive-sharing secure sum (robust to one party dropping the ring).
+
+    The result is reconstructed from the partials as *delivered to P0*
+    (everyone publishes; P0 is the tallying observer), so channel faults
+    on the publish round propagate like real wire faults.
+    """
     if len(values) < 2:
         raise ValueError("need at least 2 parties")
-    rng = rng or random.Random()
-    transcript = transcript if transcript is not None else Transcript()
-    transcript.tag("shares-sum")
+    rng = resolve_protocol_rng(rng)
+    channel = _resolve_channel(channel, transcript)
+    channel.transcript.tag("shares-sum")
     n = len(values)
     names = [f"P{i}" for i in range(n)]
     held: list[list[int]] = [[] for _ in range(n)]
@@ -64,26 +154,32 @@ def shares_secure_sum(
         shares = additive_shares(int(value), n, modulus, rng)
         for j, share in enumerate(shares):
             if i != j:
-                transcript.record(names[i], names[j], "share", share)
+                share = int(channel.send(names[i], names[j], "share", share))
             held[j].append(share)
     partials = [sum(h) % modulus for h in held]
+    received = list(partials)
     for j in range(n):
         for i in range(n):
             if i != j:
-                transcript.record(names[j], names[i], "partial", partials[j])
-    return sum(partials) % modulus
+                delivered = int(
+                    channel.send(names[j], names[i], "partial", partials[j])
+                )
+                if i == 0:
+                    received[j] = delivered
+    return sum(received) % modulus
 
 
 def secure_mean(
     values: Sequence[float],
     scale: int = 10**6,
     modulus: int = DEFAULT_MODULUS,
-    rng: random.Random | None = None,
+    rng=None,
     transcript: Transcript | None = None,
+    channel: Channel | None = None,
 ) -> float:
     """Secure mean via fixed-point encoding and the ring protocol."""
     encoded = [int(round(v * scale)) for v in values]
-    total = ring_secure_sum(encoded, modulus, rng, transcript)
+    total = ring_secure_sum(encoded, modulus, rng, transcript, channel)
     if total > modulus // 2:
         total -= modulus
     return total / scale / len(values)

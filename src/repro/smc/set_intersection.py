@@ -4,6 +4,11 @@ Two database owners learn which keys they share (e.g. common patients)
 and nothing about the rest of each other's sets — the Agrawal–Evfimievski–
 Srikant style PSI built on the SRA commutative cipher
 (:mod:`repro.crypto.commutative`).
+
+Threat model: two semi-honest owners; set *sizes* are revealed (the
+protocol exchanges every double-encrypted key).  Failure behaviour:
+none — a malicious party can over- or under-report matches undetected;
+the protocol provides owner privacy, not verifiability.
 """
 
 from __future__ import annotations

@@ -65,6 +65,10 @@ class SecureVerticalMiner:
     Cross-party supports go through the secure scalar product; supports of
     itemsets owned entirely by one party are computed locally (they reveal
     nothing of the other party's data).
+
+    Threat model: the scalar-product protocol's — two semi-honest
+    parties, computational privacy.  Failure behaviour: none — corrupted
+    shares surface as wrong supports without detection.
     """
 
     def __init__(

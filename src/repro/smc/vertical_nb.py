@@ -11,6 +11,11 @@ Gaussian naive Bayes classifier on the union of their features, with
   squares — against Bob's *encrypted class-indicator vectors*, so Alice
   never learns a label and Bob never sees a feature value.
 
+Threat model: two semi-honest parties (the scalar-product protocol's);
+per-class record counts become public with the model.  Failure
+behaviour: none — a corrupted share yields wrong class statistics
+silently.
+
 The final model parameters are the protocol's output (public to both),
 exactly the leakage class of Vaidya–Clifton-style vertical PPDM.
 """

@@ -27,7 +27,13 @@ from .registry import (
     MetricsRegistry,
     process_registry,
 )
-from .report import TraceReport, load_trace, read_trace, refusal_decisions
+from .report import (
+    TraceReport,
+    degradation_decisions,
+    load_trace,
+    read_trace,
+    refusal_decisions,
+)
 from .smoke import SmokeError, run_smoke
 from .tracing import (
     TRACE_SCHEMA_VERSION,
@@ -50,6 +56,7 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "TraceReport",
     "Tracer",
+    "degradation_decisions",
     "instrument",
     "load_trace",
     "meter_bar",

@@ -17,6 +17,7 @@ from .tracing import SpanSchemaError, validate_record
 
 __all__ = [
     "TraceReport",
+    "degradation_decisions",
     "load_trace",
     "read_trace",
     "refusal_decisions",
@@ -108,6 +109,30 @@ def refusal_decisions(spans: list[dict]) -> list[dict]:
     return decisions
 
 
+def degradation_decisions(spans: list[dict]) -> list[dict]:
+    """Every fault-tolerance degradation decision recorded in the trace.
+
+    The fault layer (:mod:`repro.faults`) emits a ``faults.degrade`` span
+    for each policy decision taken in response to a failure — PIR
+    single-replica fallback, SMC party exclusion, qdb replica failover or
+    backend refusal.  Returns dictionaries ``{"component", "decision",
+    "reason", "span_id"}`` in trace order, so ``repro telemetry report``
+    can reconstruct the full degradation history of a run.
+    """
+    decisions = []
+    for span in spans:
+        if span["name"] != "faults.degrade":
+            continue
+        attrs = span["attrs"]
+        decisions.append({
+            "span_id": span["span_id"],
+            "component": attrs.get("component", "?"),
+            "decision": attrs.get("decision", "?"),
+            "reason": attrs.get("reason", "?"),
+        })
+    return decisions
+
+
 @dataclass
 class TraceReport:
     """Everything the report CLI prints, as data."""
@@ -124,6 +149,11 @@ class TraceReport:
     def refusals(self) -> list[dict]:
         """Reconstructed refusal decisions."""
         return refusal_decisions(self.spans)
+
+    @property
+    def degradations(self) -> list[dict]:
+        """Reconstructed fault-tolerance degradation decisions."""
+        return degradation_decisions(self.spans)
 
     def format(self, top: int = 10) -> str:
         """Human-readable report: summary table, slowest spans, refusals."""
@@ -158,6 +188,13 @@ class TraceReport:
         for decision in refusals:
             lines.append(
                 f"  [{decision['policy']}] {decision['query']}\n"
+                f"      -> {decision['reason']}"
+            )
+        degradations = self.degradations
+        lines += ["", f"degradation decisions: {len(degradations)}"]
+        for decision in degradations:
+            lines.append(
+                f"  [{decision['component']}] {decision['decision']}\n"
                 f"      -> {decision['reason']}"
             )
         return "\n".join(lines)

@@ -5,8 +5,6 @@ the library must fail loudly on unusable input and degrade gracefully on
 merely unusual input.
 """
 
-import random
-
 import numpy as np
 import pytest
 
@@ -70,7 +68,10 @@ class TestCorruptedProtocols:
     def test_tampered_pir_answer_detected_by_value(self):
         """IT-PIR has no integrity: a byzantine server corrupts the
         result silently — the documented trust assumption.  Verify the
-        corruption actually propagates (so callers know the model)."""
+        corruption actually propagates (so callers know the model).
+        ``repro.faults.ResilientXorPIR`` is the remedy: replica-group
+        voting outvotes exactly this behaviour (tests/test_faults_pir.py).
+        """
         pir = TwoServerXorPIR([100, 200, 300])
         honest = pir.retrieve_int(1, 0)
         assert honest == 200
@@ -81,15 +82,24 @@ class TestCorruptedProtocols:
         assert results != {200}  # corruption visible in some retrievals
 
     def test_secure_sum_modular_wraparound(self):
-        """Sums exceeding the modulus wrap — callers must size it."""
+        """Sums exceeding the modulus wrap — callers must size it.
+
+        The rng is an explicit integer seed resolved through
+        ``resolve_protocol_rng`` (a deterministic numpy Generator), not
+        process-global ``random`` state.
+        """
         modulus = 1 << 8
-        total = ring_secure_sum(
-            [200, 100, 50], modulus=modulus, rng=random.Random(0)
-        )
+        total = ring_secure_sum([200, 100, 50], modulus=modulus, rng=0)
         assert total == (200 + 100 + 50) % modulus
+        again = ring_secure_sum([200, 100, 50], modulus=modulus, rng=0)
+        assert again == total  # same seed, same masks, same transcript
 
     def test_shares_sum_with_zero_values(self):
-        assert shares_secure_sum([0, 0, 0], rng=random.Random(1)) == 0
+        assert shares_secure_sum([0, 0, 0], rng=1) == 0
+
+    def test_secure_sum_accepts_generator_directly(self):
+        rng = np.random.default_rng(5)
+        assert ring_secure_sum([3, 5, 9], rng=rng) == 17
 
 
 class TestEngineMisuse:

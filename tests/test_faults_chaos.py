@@ -1,0 +1,42 @@
+"""The chaos scenario and its CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults.chaos import run_chaos
+from repro.faults.errors import ChaosError
+
+
+class TestRunChaos:
+    def test_invariants_hold_at_default_seed(self, tmp_path):
+        trace = tmp_path / "chaos.jsonl"
+        summary = run_chaos(trace, records=80, seed=3)
+        assert summary["invariants_held"] > 20
+        assert summary["components_degraded"] == ["pir", "qdb", "smc"]
+        assert trace.exists()
+
+    def test_replay_is_deterministic(self, tmp_path):
+        first = run_chaos(tmp_path / "a.jsonl", records=60, seed=5)
+        second = run_chaos(tmp_path / "b.jsonl", records=60, seed=5)
+        for key in ("qdb", "pir", "smc", "invariants_held"):
+            assert first[key] == second[key]
+
+    def test_violations_raise_chaos_error(self):
+        from repro.faults.chaos import _require
+
+        with pytest.raises(ChaosError, match="chaos invariant violated"):
+            _require(False, "demo invariant", "why it broke")
+
+
+class TestChaosCli:
+    def test_cli_prints_summary_and_exits_zero(self, tmp_path, capsys):
+        trace = tmp_path / "cli-chaos.jsonl"
+        code = main(["faults", "chaos", "--out", str(trace),
+                     "--records", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out[: out.rindex("}") + 1])
+        assert summary["trace"] == str(trace)
+        assert "chaos OK" in out

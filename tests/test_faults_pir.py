@@ -1,0 +1,169 @@
+"""Byzantine-tolerant PIR: the two central resilience properties.
+
+1. For *any* fault plan touching at most ``f`` replica groups, the
+   majority vote returns blocks bit-identical to the fault-free scheme.
+2. Batched retrieval under a plan equals sequential retrieval under a
+   copy of the same plan — fault decisions key on operation indices, not
+   arrival order, so batching is not observable through the fault layer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    ResilientXorPIR,
+    random_fault_plan,
+    wrap_servers,
+)
+from repro.faults.errors import PIRUnavailableError, QuorumLostError
+from repro.pir import TwoServerXorPIR
+
+_slow = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+BLOCKS = [i.to_bytes(8, "big") for i in range(977, 993)]
+
+
+def _fault_for(draw, kind: str, target: str) -> Fault:
+    return Fault(
+        kind,
+        target,
+        probability=draw(st.sampled_from([0.25, 0.5, 1.0])),
+        after=draw(st.integers(0, 3)),
+        delay=draw(st.sampled_from([0.01, 0.08, 0.5])),
+        bits=draw(st.integers(1, 12)),
+    )
+
+
+class TestByzantineTolerance:
+    @given(f=st.integers(1, 2), seed=st.integers(0, 2**32 - 1),
+           data=st.data())
+    @_slow
+    def test_le_f_faulty_groups_bit_identical(self, f, seed, data):
+        """Any plan hitting <= f of the 2f+1 groups changes nothing."""
+        n_groups = 2 * f + 1
+        groups = data.draw(
+            st.lists(st.integers(0, n_groups - 1), min_size=1, max_size=f,
+                     unique=True)
+        )
+        faults = [
+            _fault_for(data.draw, data.draw(st.sampled_from(FAULT_KINDS)),
+                       f"pir.replica:{g}")
+            for g in groups
+        ]
+        indices = data.draw(
+            st.lists(st.integers(0, len(BLOCKS) - 1), min_size=1, max_size=6)
+        )
+        pir = ResilientXorPIR(BLOCKS, f=f,
+                              plan=FaultPlan(faults, seed=seed))
+        assert pir.retrieve_batch(indices, rng=0) == [
+            BLOCKS[i] for i in indices
+        ]
+
+    def test_f_byzantine_outvoted_and_counted(self):
+        plan = FaultPlan([Fault("byzantine", "pir.replica:0")], seed=7)
+        pir = ResilientXorPIR(BLOCKS, f=1, plan=plan)
+        values = pir.retrieve_batch(range(len(BLOCKS)), rng=1)
+        assert values == BLOCKS
+        assert all(r.votes == 2 and r.outvoted == 1 and not r.degraded
+                   for r in pir.last_reports)
+        assert pir._c_outvoted.value == len(BLOCKS)
+
+    def test_raw_scheme_has_no_such_tolerance(self):
+        """The contrast the resilient layer exists for: one byzantine
+        server inside a raw XOR scheme corrupts the answer silently."""
+        raw = wrap_servers(
+            TwoServerXorPIR(BLOCKS),
+            FaultPlan([Fault("byzantine", "pir.server:1")], seed=7),
+        )
+        assert raw.retrieve(3, np.random.default_rng(0)) != BLOCKS[3]
+
+
+class TestQuorumLoss:
+    TWO_DOWN = [Fault("crash", "pir.replica:0", after=0),
+                Fault("byzantine", "pir.replica:1")]
+
+    def test_beyond_f_failures_raise_by_default(self):
+        pir = ResilientXorPIR(BLOCKS, f=1,
+                              plan=FaultPlan(self.TWO_DOWN, seed=2))
+        with pytest.raises(QuorumLostError, match="quorum lost"):
+            pir.retrieve(4, rng=0)
+        assert pir._c_quorum_lost.value == 1
+
+    def test_degraded_fallback_is_explicit_policy(self):
+        pir = ResilientXorPIR(BLOCKS, f=1,
+                              plan=FaultPlan(self.TWO_DOWN, seed=2),
+                              allow_degraded=True)
+        # Replica 0 crashed, replica 1 lies: two delivered candidates
+        # disagree 1-1, and the fallback serves the first survivor --
+        # which may be the byzantine one.  Integrity is gone; the report
+        # says so.
+        pir.retrieve(4, rng=0)
+        (report,) = pir.last_reports
+        assert report.degraded and report.delivered == 2
+        assert pir._c_degraded.value == 1
+
+    def test_total_blackout_raises_unavailable_even_degraded(self):
+        plan = FaultPlan([Fault("crash", f"pir.replica:{g}", after=0)
+                          for g in range(3)], seed=0)
+        pir = ResilientXorPIR(BLOCKS, f=1, plan=plan, allow_degraded=True)
+        with pytest.raises(PIRUnavailableError):
+            pir.retrieve(0, rng=0)
+
+
+class TestBatchSequentialEquivalence:
+    @given(seed=st.integers(0, 2**32 - 1),
+           plan_seed=st.integers(0, 2**32 - 1),
+           allow_degraded=st.booleans())
+    @_slow
+    def test_batch_equals_sequential_under_same_plan(
+            self, seed, plan_seed, allow_degraded):
+        plan = random_fault_plan(
+            np.random.default_rng(plan_seed),
+            [f"pir.replica:{g}" for g in range(3)],
+        )
+        rng = np.random.default_rng(seed)
+        indices = [int(i) for i in
+                   rng.integers(0, len(BLOCKS), size=int(rng.integers(1, 8)))]
+
+        def run(pir, mode):
+            try:
+                if mode == "batch":
+                    return ("ok", pir.retrieve_batch(indices, rng=0))
+                return ("ok", [pir.retrieve(i, rng=0) for i in indices])
+            except (QuorumLostError, PIRUnavailableError) as exc:
+                return ("error", type(exc))
+
+        batch = run(ResilientXorPIR(BLOCKS, f=1, plan=plan.copy(),
+                                    allow_degraded=allow_degraded), "batch")
+        seq = run(ResilientXorPIR(BLOCKS, f=1, plan=plan.copy(),
+                                  allow_degraded=allow_degraded), "seq")
+        assert batch == seq
+
+
+class TestConstruction:
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            ResilientXorPIR(BLOCKS, scheme="three-server")
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError, match="f must be"):
+            ResilientXorPIR(BLOCKS, f=-1)
+
+    def test_retrieve_int_roundtrip(self):
+        pir = ResilientXorPIR([5, -17, 4096], f=1)
+        assert pir.retrieve_batch_int([1, 2, 0], rng=0) == [-17, 4096, 5]
+
+    @pytest.mark.parametrize("scheme,n_servers", [
+        ("two-server", 2), ("multi-server", 4), ("square", 2),
+    ])
+    def test_all_wrapped_schemes_vote(self, scheme, n_servers):
+        plan = FaultPlan([Fault("byzantine", "pir.replica:2")], seed=1)
+        pir = ResilientXorPIR(BLOCKS, f=1, scheme=scheme,
+                              n_servers=n_servers, plan=plan)
+        assert pir.retrieve(7, rng=0) == BLOCKS[7]

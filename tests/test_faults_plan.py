@@ -1,0 +1,143 @@
+"""The fault-plan layer: determinism, crash semantics, payload mutation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FAULT_KINDS, Fault, FaultPlan, random_fault_plan
+from repro.faults.plan import NO_FAULT
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("explode", "pir.replica:0")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"probability": 1.5},
+        {"probability": -0.1},
+        {"after": -1},
+        {"delay": -0.5},
+        {"bits": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Fault("drop", "pir.replica:0", **kwargs)
+
+    def test_non_fault_rejected_by_plan(self):
+        with pytest.raises(TypeError, match="expected Fault"):
+            FaultPlan(["not a fault"])
+
+
+class TestDeterminism:
+    def test_outcome_pure_in_key(self):
+        """Same (seed, target, op, attempt) -> identical decision+payload."""
+        plan = FaultPlan(
+            [Fault("corrupt", "a", bits=3), Fault("drop", "a",
+                                                  probability=0.5)],
+            seed=42,
+        )
+        for op in range(20):
+            first = plan.outcome("a", op=op)
+            second = plan.outcome("a", op=op)
+            assert first.delivered == second.delivered
+            if first.delivered:
+                assert (first.apply_bytes(b"payload!")
+                        == second.apply_bytes(b"payload!"))
+
+    def test_different_ops_decide_independently(self):
+        plan = FaultPlan([Fault("drop", "a", probability=0.5)], seed=0)
+        decisions = [plan.outcome("a", op=op).dropped for op in range(200)]
+        assert 20 < sum(decisions) < 180  # both outcomes occur
+
+    def test_copy_replays_identically(self):
+        rng = np.random.default_rng(5)
+        plan = random_fault_plan(rng, ["a", "b"], max_faults=3)
+        replay = plan.copy()
+        for _ in range(10):
+            first = plan.outcome("a")
+            second = replay.outcome("a")
+            assert first.delivered == second.delivered
+            assert first.op == second.op
+
+    def test_seed_changes_decisions(self):
+        fault = Fault("drop", "a", probability=0.5)
+        a = [FaultPlan([fault], seed=1).outcome("a", op=i).dropped
+             for i in range(64)]
+        b = [FaultPlan([fault], seed=2).outcome("a", op=i).dropped
+             for i in range(64)]
+        assert a != b
+
+
+class TestOpCounters:
+    def test_take_ops_claims_consecutive_ranges(self):
+        plan = FaultPlan()
+        assert plan.take_ops("t", 5) == 0
+        assert plan.take_ops("t", 3) == 5
+        assert plan.ops_issued("t") == 8
+        assert plan.take_ops("other") == 0
+
+    def test_outcome_without_op_advances_counter(self):
+        plan = FaultPlan([Fault("delay", "t", delay=0.1)], seed=0)
+        assert plan.outcome("t").op == 0
+        assert plan.outcome("t").op == 1
+        plan.reset()
+        assert plan.outcome("t").op == 0
+
+
+class TestCrash:
+    def test_crash_after_k_is_sticky(self):
+        plan = FaultPlan([Fault("crash", "t", after=3)], seed=0)
+        served = [not plan.outcome("t", op=op).crashed for op in range(6)]
+        assert served == [True, True, True, False, False, False]
+
+    def test_crash_ignores_attempt_dimension(self):
+        """Retrying a crashed target can never succeed."""
+        plan = FaultPlan([Fault("crash", "t", after=0)], seed=0)
+        assert all(plan.outcome("t", op=0, attempt=a).crashed
+                   for a in range(5))
+
+
+class TestPayloads:
+    def test_unfaulted_target_gets_shared_singleton(self):
+        plan = FaultPlan([Fault("drop", "elsewhere")], seed=0)
+        assert plan.outcome("t", op=0) is NO_FAULT
+        assert NO_FAULT.delivered and not NO_FAULT.corrupts
+        assert NO_FAULT.apply_bytes(b"x") == b"x"
+
+    def test_byzantine_replaces_payload(self):
+        plan = FaultPlan([Fault("byzantine", "t")], seed=3)
+        outcome = plan.outcome("t", op=0)
+        mutated = outcome.apply_bytes(b"honest--")
+        assert outcome.corrupts
+        assert mutated != b"honest--" and len(mutated) == 8
+
+    def test_corrupt_flips_bounded_bits(self):
+        plan = FaultPlan([Fault("corrupt", "t", bits=2)], seed=3)
+        outcome = plan.outcome("t", op=0)
+        payload = bytes(16)
+        mutated = outcome.apply_bytes(payload)
+        flipped = int.from_bytes(mutated, "big").bit_count()
+        assert 1 <= flipped <= 2  # <= bits (positions may collide)
+
+    def test_apply_int_stays_in_modulus(self):
+        plan = FaultPlan([Fault("corrupt", "t", bits=4)], seed=1)
+        for op in range(16):
+            outcome = plan.outcome("t", op=op)
+            value = outcome.apply_int(1234, modulus=1 << 16)
+            assert 0 <= value < (1 << 16)
+
+    def test_undelivered_payload_is_none(self):
+        plan = FaultPlan([Fault("drop", "t")], seed=0)
+        outcome = plan.outcome("t", op=0)
+        assert outcome.apply_bytes(b"x") is None
+        assert outcome.apply_int(7) is None
+
+
+class TestRandomPlans:
+    def test_generator_produces_valid_plans(self):
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            plan = random_fault_plan(rng, ["a", "b", "c"])
+            assert all(f.kind in FAULT_KINDS for f in plan.faults)
+            for target in plan.targets():
+                plan.outcome(target)  # must never raise

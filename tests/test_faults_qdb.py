@@ -1,0 +1,143 @@
+"""Graceful degradation in the statistical database engine.
+
+The engine over a :class:`ReplicatedBackend` must keep the session alive
+through replica failures: failover reads yield :class:`Degraded` answers
+with *correct* values, total blackouts yield typed ``Refusal`` answers
+(reason prefixed ``backend:``), and every path keeps the audit history
+and counters consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.faults import Fault, FaultPlan, ReplicatedBackend
+from repro.faults.errors import BackendUnavailable
+from repro.qdb import Degraded, QuerySetSizeControl, Refusal, StatisticalDatabase
+
+SUM_Q = "SELECT SUM(x) WHERE x > 5"
+AVG_Q = "SELECT AVG(x) WHERE x < 12"
+
+
+@pytest.fixture
+def data():
+    return Dataset({"x": np.arange(20.0)})
+
+
+def _crashed_backend(data, n_replicas=1, name="qdb"):
+    plan = FaultPlan(
+        [Fault("crash", f"{name}.replica:{r}", after=0)
+         for r in range(n_replicas)],
+        seed=0,
+    )
+    return ReplicatedBackend(data, n_replicas=n_replicas, plan=plan,
+                             name=name)
+
+
+class TestFailover:
+    def test_failover_answers_are_correct_and_marked(self, data):
+        plan = FaultPlan([Fault("crash", "qdb.replica:0", after=0)], seed=1)
+        backend = ReplicatedBackend(data, n_replicas=2, plan=plan)
+        db = StatisticalDatabase(backend, policies=[])
+        pristine = StatisticalDatabase(data, policies=[])
+        answer = db.ask(SUM_Q)
+        assert isinstance(answer, Degraded)
+        assert answer.value == pristine.ask(SUM_Q).value
+        assert "failover" in answer.detail
+        assert db.degraded_answers == 1
+        assert backend._c_failovers.value >= 1
+
+    def test_corrupt_replica_rejected_by_checksum(self, data):
+        """Corrupted microdata is never served: the replica is treated
+        as failed and the healthy one answers, correctly but degraded."""
+        plan = FaultPlan([Fault("corrupt", "qdb.replica:0", bits=8)],
+                         seed=4)
+        backend = ReplicatedBackend(data, n_replicas=2, plan=plan)
+        db = StatisticalDatabase(backend, policies=[])
+        answer = db.ask(AVG_Q)
+        assert isinstance(answer, Degraded)
+        assert answer.value == float(np.arange(12.0).mean())
+        assert backend._c_rejected.value >= 1
+
+
+class TestBlackout:
+    def test_blackout_refuses_typed_not_raises(self, data):
+        db = StatisticalDatabase(_crashed_backend(data), policies=[])
+        answer = db.ask(SUM_Q)
+        assert isinstance(answer, Refusal)
+        assert answer.refused and answer.reason.startswith("backend: ")
+        assert db.backend_refusals == 1
+        assert db.queries_refused == 1
+        assert db.queries_asked == 1
+        assert len(db.history) == 1  # refusal audited with an empty mask
+
+    def test_count_star_survives_blackout(self, data):
+        """COUNT(*) touches no replica (the mask is synthesized), so the
+        degradation ordering is: COUNT keeps working, SUM/AVG refuse."""
+        db = StatisticalDatabase(_crashed_backend(data), policies=[])
+        count = db.ask("SELECT COUNT(*)")
+        assert not count.refused and count.value == 20
+        assert isinstance(db.ask(SUM_Q), Refusal)
+
+    def test_evaluate_stage_failure_also_refuses(self, data):
+        """Crash mid-session: the mask is already cached, so the failure
+        surfaces from the aggregate's column read, not the mask walk."""
+        plan = FaultPlan([Fault("crash", "qdb.replica:0", after=2)], seed=0)
+        backend = ReplicatedBackend(data, n_replicas=1, plan=plan)
+        db = StatisticalDatabase(backend, policies=[])
+        first = db.ask(SUM_Q)  # mask read (op 0) + evaluate read (op 1)
+        assert not first.refused
+        second = db.ask(SUM_Q)  # cached mask; evaluate read (op 2) dies
+        assert isinstance(second, Refusal)
+        assert second.reason.startswith("backend: ")
+
+    def test_ask_batch_mixes_refusals_and_answers(self, data):
+        db = StatisticalDatabase(_crashed_backend(data), policies=[])
+        answers = db.ask_batch([SUM_Q, "SELECT COUNT(*)", AVG_Q])
+        assert isinstance(answers[0], Refusal)
+        assert not answers[1].refused
+        assert isinstance(answers[2], Refusal)
+        assert db.queries_asked == 3
+
+    def test_raw_backend_still_raises(self, data):
+        """Only the engine converts blackouts; direct column reads keep
+        the exception so non-engine callers cannot miss the failure."""
+        backend = _crashed_backend(data)
+        with pytest.raises(BackendUnavailable, match="all 1 replicas"):
+            backend.column("x")
+
+
+class TestDegradedFlagHygiene:
+    def test_policy_refusal_discards_pending_failover(self, data):
+        """A failover observed during a refused query must not mark the
+        *next* answered query as degraded."""
+        backend = ReplicatedBackend(data, n_replicas=2)
+        db = StatisticalDatabase(backend, policies=[QuerySetSizeControl(5)])
+        backend._degraded_pending = True
+        refused = db.ask("SELECT COUNT(*) WHERE x > 17")  # |Q| = 2 < k
+        assert refused.refused and refused.reason.startswith("size-control")
+        answer = db.ask(SUM_Q)
+        assert not isinstance(answer, Degraded)
+        assert db.degraded_answers == 0
+
+    def test_plain_dataset_backend_never_degrades(self, data):
+        db = StatisticalDatabase(data, policies=[])
+        assert not isinstance(db.ask(SUM_Q), Degraded)
+        assert db.degraded_answers == 0 and db.backend_refusals == 0
+
+
+class TestDeterminism:
+    def test_session_replays_bit_identically(self, data):
+        plan = FaultPlan([
+            Fault("crash", "qdb.replica:0", after=3),
+            Fault("delay", "qdb.replica:1", delay=0.08, probability=0.5),
+        ], seed=9)
+
+        def run(p):
+            backend = ReplicatedBackend(data, n_replicas=2, plan=p)
+            db = StatisticalDatabase(backend, policies=[])
+            return [(type(a).__name__, a.value, a.reason)
+                    for a in db.ask_batch([SUM_Q, AVG_Q, SUM_Q,
+                                           "SELECT COUNT(*) WHERE x > 5"])]
+
+        assert run(plan.copy()) == run(plan.copy())

@@ -1,0 +1,112 @@
+"""Fault-tolerant secure sum: faulty channels, retries, crash fallback."""
+
+import pytest
+
+from repro.faults import (
+    Fault,
+    FaultPlan,
+    FaultyChannel,
+    resilient_secure_sum,
+)
+from repro.faults.errors import MessageDropped, PartyCrashed
+from repro.faults.retry import RetryPolicy
+from repro.smc import ring_secure_sum
+from repro.smc.party import Transcript, plaintext_exposure
+
+
+class TestFaultyChannel:
+    def test_empty_plan_is_transparent(self):
+        """Without faults the channel is a plain recording channel."""
+        transcript = Transcript()
+        channel = FaultyChannel(FaultPlan(), transcript)
+        total = ring_secure_sum([10, 20, 30], rng=0, channel=channel)
+        assert total == 60
+        assert len(transcript.messages) > 0
+
+    def test_drop_fault_raises_message_dropped(self):
+        plan = FaultPlan([Fault("drop", "smc.party:P1")], seed=0)
+        channel = FaultyChannel(plan)
+        channel.send("P0", "P1", "mask", 5)  # P0 is not faulted
+        with pytest.raises(MessageDropped):
+            channel.send("P1", "P2", "partial", 7)
+        assert channel._c_dropped.value == 1
+
+    def test_crash_counts_messages_not_rounds(self):
+        plan = FaultPlan([Fault("crash", "smc.party:P1", after=2)], seed=0)
+        channel = FaultyChannel(plan)
+        channel.send("P1", "P2", "a", 1)
+        channel.send("P1", "P2", "b", 2)
+        with pytest.raises(PartyCrashed):
+            channel.send("P1", "P2", "c", 3)
+
+    def test_corrupt_fault_mutates_integer_payloads(self):
+        plan = FaultPlan([Fault("corrupt", "smc.party:P0", bits=4)], seed=3)
+        channel = FaultyChannel(plan, modulus=1 << 16)
+        delivered = channel.send("P0", "P1", "mask", 1234)
+        assert delivered != 1234 and 0 <= delivered < (1 << 16)
+        assert channel._c_corrupted.value == 1
+
+
+class TestResilientSecureSum:
+    def test_healthy_plan_runs_ring_once(self):
+        outcome = resilient_secure_sum([3, 5, 9, 4], rng=0)
+        assert (outcome.value, outcome.protocol) == (21, "ring-sum")
+        assert not outcome.degraded and outcome.attempts == 1
+
+    def test_crashed_party_excluded_and_logged(self):
+        plan = FaultPlan([Fault("crash", "smc.party:P2", after=0)], seed=2)
+        outcome = resilient_secure_sum([3, 5, 9, 4], plan=plan, rng=0)
+        assert outcome.degraded
+        assert outcome.excluded == ("P2",)
+        assert outcome.protocol == "shares-sum"
+        assert outcome.value == 3 + 5 + 4  # the crashed value is lost
+
+    def test_fallback_preserves_survivor_privacy(self):
+        """No survivor's input appears in the degraded transcript."""
+        values = [31, 57, 90, 44]
+        plan = FaultPlan([Fault("crash", "smc.party:P1", after=0)], seed=2)
+        transcript = Transcript()
+        outcome = resilient_secure_sum(values, plan=plan, rng=0,
+                                       transcript=transcript)
+        assert outcome.degraded
+        survivors = {f"P{i}": [float(v)] for i, v in enumerate(values)
+                     if i != 1}
+        assert plaintext_exposure(transcript, survivors) == 0.0
+
+    def test_pure_message_loss_is_surfaced_not_masked(self):
+        """p=1 drops never identify a crash, so there is no principled
+        exclusion — the failure propagates instead of silently degrading."""
+        plan = FaultPlan([Fault("drop", "smc.party:P1")], seed=0)
+        with pytest.raises(MessageDropped):
+            resilient_secure_sum([1, 2, 3], plan=plan, rng=0)
+
+    def test_too_few_survivors_propagates_crash(self):
+        plan = FaultPlan([
+            Fault("crash", "smc.party:P0", after=0),
+            Fault("crash", "smc.party:P1", after=0),
+        ], seed=0)
+        with pytest.raises(PartyCrashed):
+            resilient_secure_sum([1, 2, 3], plan=plan, rng=0,
+                                 retry=RetryPolicy(max_attempts=2))
+
+    @pytest.mark.parametrize("seed", [0, 7, 11, 42])
+    def test_transient_faults_are_deterministic(self, seed):
+        """Whatever a lossy plan does — succeed, degrade, or fail — a
+        copy of the plan replays the exact same outcome."""
+        plan = FaultPlan([Fault("drop", "smc.party:P0", probability=0.5)],
+                         seed=seed)
+
+        def run(p):
+            try:
+                return ("ok", resilient_secure_sum([7, 8, 9], plan=p, rng=0))
+            except MessageDropped as exc:
+                return ("dropped", str(exc))
+
+        assert run(plan.copy()) == run(plan.copy())
+
+    def test_simulated_time_accumulates_without_sleeping(self):
+        plan = FaultPlan([Fault("delay", "smc.party:P0", delay=0.04)],
+                         seed=0)
+        outcome = resilient_secure_sum([2, 4, 6], plan=plan, rng=0)
+        assert outcome.value == 12
+        assert outcome.simulated_seconds > 0.0
