@@ -1,13 +1,15 @@
 PYTHON ?= python
 
 .PHONY: verify test bench bench-check bench-qdb bench-refresh telemetry-smoke \
-	chaos doctest-faults
+	observe-smoke chaos doctest-faults doctest-observatory
 
 .DEFAULT_GOAL := verify
 
 # The default gate: tests, benchmark regressions, telemetry schema drift,
-# fault-layer doctests, and the chaos scenario's privacy invariants.
-verify: test bench-check telemetry-smoke doctest-faults chaos
+# the observatory's detection invariants, fault-layer and observatory
+# doctests, and the chaos scenario's privacy invariants.
+verify: test bench-check telemetry-smoke observe-smoke doctest-faults \
+	doctest-observatory chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -38,10 +40,22 @@ bench-refresh:
 telemetry-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro telemetry smoke
 
+# Replay the tracker scenario through the streaming observatory and fail
+# unless the expected alerts — and only those — fire, with the tracker
+# warning raised before the attack completes.
+observe-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro observe --smoke
+
 # The fault layer's executable documentation: every module-level example
 # in src/repro/faults must keep running exactly as written.
 doctest-faults:
 	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules src/repro/faults -q
+
+# Same contract for the observatory package: detector and exporter
+# examples are executable and must stay truthful.
+doctest-observatory:
+	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules \
+		src/repro/telemetry/observatory -q
 
 # Scripted failure scenario at a fixed seed: byzantine PIR replicas,
 # crashed SMC parties, failing qdb backends; exits nonzero when any

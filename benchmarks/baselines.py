@@ -33,6 +33,7 @@ BASELINES: dict[str, float] = {
     "qdb_overlap": 11.0,
     "qdb_sum_audit": 24.0,
     "qdb_ask_batch": 100.0,
+    "telemetry_overhead_qdb_ask_batch": 110.0,
 }
 
 # Allowed slowdown factor before --check fails; generous because the
@@ -52,9 +53,13 @@ MIN_SPEEDUPS: dict[str, float] = {
 # Backwards-compatible alias for the original single-pair constant.
 MIN_SPEEDUP_VS_SEED = MIN_SPEEDUPS["pir_single_retrieve_n4096"]
 
-# The fault-tolerance wrapping layer must stay within this factor of the
-# bare kernel when *no* faults are injected (pairs are OVERHEAD_PAIRS in
-# runner.py): resilience must not tax the healthy hot path.
+# Wrapping layers must stay within these factors of their bare kernels
+# (pairs are OVERHEAD_PAIRS in runner.py): resilience must not tax the
+# healthy hot path, and a live telemetry session — spans, attribute
+# assembly, histograms, the observatory feed — must not tax the query
+# engine by more than 10% (the ISSUE 5 enabled-overhead gate; the
+# *disabled* cost is held at zero by the golden-fingerprint tests).
 MAX_OVERHEADS: dict[str, float] = {
     "pir_faulty_batch64_retrieve_n4096": 1.10,
+    "telemetry_overhead_qdb_ask_batch": 1.10,
 }

@@ -69,10 +69,12 @@ SPEEDUP_PAIRS = [
 ]
 
 # (wrapped kernel, bare kernel) pairs; the recorded ratio for each pair
-# must stay below MAX_OVERHEADS[wrapped] under --check — the gate that
-# keeps the fault-tolerance layer out of the fault-free hot path.
+# must stay below MAX_OVERHEADS[wrapped] under --check — the gates that
+# keep the fault-tolerance layer out of the fault-free hot path and the
+# telemetry/observatory layer out of the disabled hot path's budget.
 OVERHEAD_PAIRS = [
     ("pir_faulty_batch64_retrieve_n4096", "pir_batch64_retrieve_n4096"),
+    ("telemetry_overhead_qdb_ask_batch", "qdb_ask_batch"),
 ]
 
 
@@ -380,6 +382,37 @@ def _qdb_ask_batch(
     return setup
 
 
+def _qdb_ask_batch_telemetry(
+    n: int, n_queries: int, n_unique: int
+) -> Callable[[], Callable[[], object]]:
+    """The ``qdb_ask_batch`` workload inside a live telemetry session.
+
+    Each rep enables telemetry (buffered tracer, no JSONL sink — disk
+    I/O would swamp the instrumentation cost being measured), replays
+    the identical batched workload, and disables again, so the timed
+    delta against the bare ``qdb_ask_batch`` kernel is the full enabled
+    cost: session setup, one ``qdb.query`` span with attribute assembly
+    per query, the ``ask_batch`` parent span, histogram observations,
+    and the end-of-session counter fold.  OVERHEAD_PAIRS bounds the
+    ratio at <10% — the telemetry-cost datapoint of the bench
+    trajectory.
+    """
+    base_setup = _qdb_ask_batch(n, n_queries, n_unique)
+
+    def setup():
+        from repro.telemetry import instrument
+
+        run_bare = base_setup()
+
+        def run():
+            with instrument.session():
+                return run_bare()
+
+        return run
+
+    return setup
+
+
 KERNELS: list[Kernel] = [
     Kernel("pir_single_retrieve_n1024", _pir_single(1024), reps=10),
     Kernel("pir_single_retrieve_n4096", _pir_single(4096), reps=5),
@@ -401,7 +434,11 @@ KERNELS: list[Kernel] = [
     Kernel("seed_qdb_sum_audit",
            _qdb_sum_audit(2000, 5000, 400, seed_impl=True),
            reps=1, reference_only=True),
-    Kernel("qdb_ask_batch", _qdb_ask_batch(5000, 256, 32), reps=1),
+    # The overhead pair runs 3 reps per trial: one ~58 ms rep is noisy
+    # enough to flip the <10% telemetry-overhead gate on scheduler jitter.
+    Kernel("qdb_ask_batch", _qdb_ask_batch(5000, 256, 32), reps=3),
+    Kernel("telemetry_overhead_qdb_ask_batch",
+           _qdb_ask_batch_telemetry(5000, 256, 32), reps=3),
 ]
 
 
@@ -419,8 +456,16 @@ def calibrate() -> float:
     return best
 
 
-def time_kernel(kernel: Kernel, trials: int) -> float:
-    """Median over *trials* of the mean per-rep wall time."""
+def time_kernel(kernel: Kernel, trials: int) -> tuple[float, float]:
+    """(median, best) over *trials* of the mean per-rep wall time.
+
+    The median is what the absolute baselines compare against; the best
+    (minimum) is recorded in the JSON for post-hoc noise analysis,
+    because scheduler noise only ever *inflates* a sample.  The overhead
+    gates do not use either — they re-time their kernel pairs interleaved
+    (:func:`time_overhead_ratio`), which independent timings like these
+    cannot replace on a shared machine.
+    """
     run = kernel.setup()
     run()  # warm-up (bit matrices, caches) outside the timed region
     samples = []
@@ -429,12 +474,41 @@ def time_kernel(kernel: Kernel, trials: int) -> float:
         for _ in range(kernel.reps):
             run()
         samples.append((time.perf_counter() - t0) / kernel.reps)
-    return statistics.median(samples)
+    return statistics.median(samples), min(samples)
 
 
 def _counter_totals() -> dict[str, int]:
     """Aggregated process-registry counter values (live + folded)."""
     return process_registry().snapshot()["counters"]
+
+
+def time_overhead_ratio(
+    wrapped: Kernel, bare: Kernel, trials: int
+) -> float:
+    """Median pairwise ratio from *interleaved* single-rep trials.
+
+    The overhead gates discriminate a 10% bound, which independent
+    kernel timings cannot do on a shared machine: load phases (another
+    tenant, the scheduler) can last seconds and inflate samples by
+    double-digit percentages, swallowing the signal entirely.  So the
+    pair alternates at single-rep granularity — bare, wrapped, bare,
+    wrapped — and each adjacent pair yields one wrapped/bare ratio taken
+    under (almost) the same load; the median of those ratios discards
+    the pairs a load transition split down the middle.
+    """
+    run_wrapped = wrapped.setup()
+    run_bare = bare.setup()
+    run_wrapped()  # warm-up both outside the timed region
+    run_bare()
+    ratios = []
+    for _ in range(trials * max(wrapped.reps, bare.reps)):
+        t0 = time.perf_counter()
+        run_bare()
+        bare_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_wrapped()
+        ratios.append((time.perf_counter() - t0) / bare_seconds)
+    return statistics.median(ratios)
 
 
 def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
@@ -452,7 +526,7 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
         if names and kernel.name not in names:
             continue
         before = _counter_totals()
-        median = time_kernel(kernel, trials)
+        median, best = time_kernel(kernel, trials)
         after = _counter_totals()
         # What the kernel's workload cost in telemetry counters: the
         # components die with the timing closure and fold their totals
@@ -464,6 +538,7 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
         }
         results["kernels"][kernel.name] = {
             "median_seconds": median,
+            "best_seconds": best,
             "normalized": median / calibration,
             "reps": kernel.reps,
             "reference_only": kernel.reference_only,
@@ -476,12 +551,12 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
             results["speedups"][f"{fast_name}_vs_seed"] = (
                 seed["median_seconds"] / fast["median_seconds"]
             )
+    by_name = {kernel.name: kernel for kernel in KERNELS}
     for wrapped_name, bare_name in OVERHEAD_PAIRS:
-        wrapped = results["kernels"].get(wrapped_name)
-        bare = results["kernels"].get(bare_name)
-        if wrapped and bare:
+        if wrapped_name in results["kernels"] and bare_name in results["kernels"]:
             results["overheads"][f"{wrapped_name}_vs_bare"] = (
-                wrapped["median_seconds"] / bare["median_seconds"]
+                time_overhead_ratio(by_name[wrapped_name], by_name[bare_name],
+                                    trials)
             )
     return results
 

@@ -27,6 +27,13 @@ Commands
     Run the scripted chaos scenario: byzantine PIR replicas, crashed
     SMC parties and failing qdb backends, asserting the privacy
     invariants hold under fire (the ``make chaos`` gate).
+``observe [trace.jsonl]``
+    The privacy observatory: replay a captured trace (``--follow``
+    narrates each alert as it fires) or run the live instrumented
+    scenario, then render per-dimension posture meters beside the fired
+    alerts.  ``--smoke`` validates the committed golden trace (the
+    ``make observe-smoke`` gate); ``--metrics-out`` exports the metrics
+    snapshot as OpenMetrics text or JSONL.
 """
 
 from __future__ import annotations
@@ -305,6 +312,79 @@ _FAULTS_COMMANDS = {
 }
 
 
+def _export_metrics(args: argparse.Namespace) -> None:
+    from .telemetry import instrument as tele
+    from .telemetry.observatory import render_openmetrics, write_snapshot_jsonl
+
+    snapshot = tele.snapshot()
+    if args.metrics_format == "openmetrics":
+        Path(args.metrics_out).write_text(
+            render_openmetrics(snapshot), encoding="utf-8"
+        )
+    else:
+        write_snapshot_jsonl(snapshot, args.metrics_out)
+    print(f"metrics snapshot ({args.metrics_format}) -> {args.metrics_out}")
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from .telemetry import SpanSchemaError
+    from .telemetry.observatory import replay_trace
+    from .telemetry.observatory.smoke import (
+        ObserveSmokeError,
+        run_observe_smoke,
+    )
+
+    if args.smoke:
+        try:
+            summary = run_observe_smoke(args.trace)
+        except (ObserveSmokeError, SpanSchemaError) as exc:
+            print(f"observe smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        print("observe smoke OK")
+        return 0
+
+    trace = args.trace
+    if trace is None:
+        # Live mode: run the instrumented attack scenario, capture it,
+        # then read the observatory state back off the capture — the
+        # same path `--follow` replays, so what you watch is exactly
+        # what a later forensic replay will re-derive.
+        from .telemetry import SmokeError, run_smoke
+
+        trace = args.out or str(
+            Path(tempfile.gettempdir()) / "repro-observe.jsonl"
+        )
+        try:
+            run_smoke(trace, records=args.records, seed=args.seed)
+        except SmokeError as exc:
+            print(f"observe scenario FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(f"live scenario captured -> {trace}\n")
+
+    def narrate(alert, record):
+        print(f"  step {alert.step:>5d}  [{alert.severity:<8s}] "
+              f"{alert.name} ({alert.dimension}): {alert.detail}")
+
+    try:
+        observatory = replay_trace(
+            trace, on_alert=narrate if args.follow else None
+        )
+    except (SpanSchemaError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.follow:
+        print()
+    print(observatory.render(title=f"privacy observatory — {trace}"))
+    if args.metrics_out:
+        print()
+        _export_metrics(args)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -372,6 +452,25 @@ def build_parser() -> argparse.ArgumentParser:
     tk.add_argument("--records", type=int, default=150)
     tk.add_argument("--seed", type=int, default=3)
 
+    po = sub.add_parser(
+        "observe", help="privacy observatory: replay, posture, alerts"
+    )
+    po.add_argument("trace", nargs="?", default=None,
+                    help="JSONL trace to replay (default: run the live "
+                         "instrumented scenario)")
+    po.add_argument("--follow", action="store_true",
+                    help="narrate each alert as the replay reaches it")
+    po.add_argument("--smoke", action="store_true",
+                    help="validate the committed golden trace and exit")
+    po.add_argument("--out", default=None,
+                    help="live-mode trace path (default: a temp file)")
+    po.add_argument("--records", type=int, default=150)
+    po.add_argument("--seed", type=int, default=3)
+    po.add_argument("--metrics-out", default=None,
+                    help="export the process metrics snapshot to this path")
+    po.add_argument("--metrics-format",
+                    choices=("openmetrics", "jsonl"), default="openmetrics")
+
     pf = sub.add_parser("faults", help="fault injection and chaos runs")
     fl_sub = pf.add_subparsers(dest="faults_command", required=True)
     fc = fl_sub.add_parser(
@@ -396,6 +495,7 @@ _COMMANDS = {
     "scoreboard": _cmd_scoreboard,
     "telemetry": _cmd_telemetry,
     "faults": _cmd_faults,
+    "observe": _cmd_observe,
 }
 
 

@@ -31,6 +31,12 @@ from pathlib import Path
 import numpy as np
 
 from ..telemetry import instrument
+from ..telemetry.observatory import (
+    Alert,
+    Observatory,
+    replay_trace,
+    validate_alert_record,
+)
 from ..telemetry.report import (
     degradation_decisions,
     read_trace,
@@ -212,7 +218,8 @@ def _pir_phase(pop, seed: int, f: int, held: list[str]) -> dict:
     }
 
 
-def _smc_phase(pop, seed: int, held: list[str]) -> dict:
+def _smc_phase(pop, seed: int, held: list[str],
+               observatory: Observatory | None = None) -> dict:
     """Secure sum with a crashed party: explicit exclusion, no exposure."""
     from ..smc.party import Transcript, plaintext_exposure
     from .smc import resilient_secure_sum
@@ -242,6 +249,12 @@ def _smc_phase(pop, seed: int, held: list[str]) -> dict:
         "fallback sum exact over the survivors",
         f"{outcome.value} != {sum(values) - values[1]}",
     ))
+    if observatory is not None:
+        # SMC traffic lives in transcript counters, not spans.  The
+        # *per-run* snapshot is the right granularity: the crashed party
+        # appears only as a receiver here, whereas the process-wide
+        # aggregate would blur in the healthy run's traffic.
+        observatory.ingest_snapshot(transcript.metrics.snapshot())
     exposure = plaintext_exposure(
         transcript, {name: [float(v)] for name, v in zip(names, values)}
     )
@@ -274,10 +287,15 @@ def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
     trace_path = Path(trace_path)
     pop = patients(records, seed=seed)
     held: list[str] = []
-    with instrument.session(trace_path):
-        qdb_stats = _qdb_phase(pop, seed, held)
-        pir_stats = _pir_phase(pop, seed, f, held)
-        smc_stats = _smc_phase(pop, seed, held)
+    observatory = Observatory()
+    with instrument.session(trace_path) as live_tracer:
+        observatory.attach(live_tracer)
+        try:
+            qdb_stats = _qdb_phase(pop, seed, held)
+            pir_stats = _pir_phase(pop, seed, f, held)
+            smc_stats = _smc_phase(pop, seed, held, observatory)
+        finally:
+            observatory.detach()
 
     spans = read_trace(trace_path, validate=True)
     degradations = degradation_decisions(spans)
@@ -299,6 +317,39 @@ def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
         "trace separates policy refusals from availability refusals",
     ))
 
+    # Observatory invariants: the detectors must notice the run's real
+    # incidents — and nothing else.
+    fired = {alert.name for alert in observatory.alerts}
+    held.append(_require(
+        "degradation-burst" in fired,
+        "observatory flagged the degradation burst",
+        f"fired: {sorted(fired)}",
+    ))
+    held.append(_require(
+        any(a.name == "smc-traffic-imbalance" and "P1" in a.detail
+            for a in observatory.alerts),
+        "observatory flagged the crashed party's silent-receiver traffic",
+    ))
+    held.append(_require(
+        "tracker-probe" not in fired and "pir-access-skew" not in fired,
+        "no attack false positives on a fault-only workload",
+        f"fired: {sorted(fired)}",
+    ))
+    alert_spans = [s for s in spans if s["name"] == "observatory.alert"]
+    for record in alert_spans:
+        validate_alert_record(record)  # AlertSchemaError fails the run
+    replayed = replay_trace(spans).span_alerts()
+    recorded = [
+        Alert.from_span_attrs(s["attrs"]) for s in alert_spans
+        if s["attrs"]["source"] == "span"
+    ]
+    held.append(_require(
+        len(alert_spans) == len(observatory.alerts)
+        and replayed == recorded,
+        "every fired alert is a schema-valid span and replays identically",
+        f"{len(alert_spans)} spans vs {len(observatory.alerts)} alerts",
+    ))
+
     return {
         "trace": str(trace_path),
         "records": records,
@@ -307,6 +358,11 @@ def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
         "degradation_decisions": len(degradations),
         "components_degraded": sorted(components),
         "invariants_held": len(held),
+        "alerts": {
+            "fired": len(observatory.alerts),
+            "names": sorted(fired),
+            "posture": observatory.posture(),
+        },
         "qdb": qdb_stats,
         "pir": pir_stats,
         "smc": smc_stats,

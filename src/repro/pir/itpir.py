@@ -222,7 +222,9 @@ class _XorPIRScheme(_BatchViewMixin):
         """Privately retrieve block *index*."""
         if not tele.enabled():
             return self._retrieve_one(index, rng)
-        with tele.span("pir.retrieve", scheme=self.scheme, n=self.n) as span:
+        with tele.span(
+            "pir.retrieve", scheme=self.scheme, n=self.n, block=int(index)
+        ) as span:
             block = self._retrieve_one(index, rng)
         tele.histogram("pir.retrieve_seconds").observe(span.duration)
         return block
@@ -240,11 +242,23 @@ class _XorPIRScheme(_BatchViewMixin):
         """
         if not tele.enabled():
             return self._retrieve_many(indices, rng)
+        # Per-index lists are not span-schema scalars, so the batch span
+        # carries an access-profile summary instead: the modal block, its
+        # multiplicity, and the support size.  The observatory's skew
+        # detector reads these to spot isolation-attack probing.
+        tally: dict[int, int] = {}
+        for index in indices:
+            index = int(index)
+            tally[index] = tally.get(index, 0) + 1
+        top_block = max(sorted(tally), key=tally.get) if tally else -1
         with tele.span(
             "pir.retrieve_batch",
             scheme=self.scheme,
             n=self.n,
             n_queries=len(indices),
+            top_block=top_block,
+            top_count=tally.get(top_block, 0),
+            distinct_blocks=len(tally),
         ) as span:
             blocks = self._retrieve_many(indices, rng)
         tele.histogram("pir.batch_seconds").observe(span.duration)

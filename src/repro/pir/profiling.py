@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..sdc.base import resolve_rng
+from ..telemetry import instrument as tele
 from .itpir import TwoServerXorPIR
 
 
@@ -80,17 +81,29 @@ def profile_itpir(
     rng = resolve_rng(rng)
     if trials <= 0:
         return ProfilingReport(pir.n, 0, 0)
-    targets = [int(rng.integers(pir.n)) for _ in range(trials)]
-    pir.retrieve_batch(targets, rng)
-    successes = 0
-    for target, views in zip(targets, pir.last_batch_queries):
-        view = views[server]
-        if view:
-            guess = int(rng.choice(view))
-        else:
-            guess = int(rng.integers(pir.n))
-        successes += guess == target
-    return ProfilingReport(pir.n, trials, successes)
+
+    def _experiment() -> ProfilingReport:
+        targets = [int(rng.integers(pir.n)) for _ in range(trials)]
+        pir.retrieve_batch(targets, rng)
+        successes = 0
+        for target, views in zip(targets, pir.last_batch_queries):
+            view = views[server]
+            if view:
+                guess = int(rng.choice(view))
+            else:
+                guess = int(rng.integers(pir.n))
+            successes += guess == target
+        return ProfilingReport(pir.n, trials, successes)
+
+    if not tele.enabled():
+        return _experiment()
+    with tele.span(
+        "pir.profile", scheme=pir.scheme, n=pir.n, trials=trials
+    ) as span:
+        report = _experiment()
+        span.set("successes", report.successes)
+        span.set("user_privacy", report.user_privacy)
+    return report
 
 
 def profile_custom(

@@ -126,6 +126,22 @@ class Transcript:
     def __len__(self) -> int:
         return len(self.messages)
 
+    def per_pair_bytes(self) -> dict[tuple[str, str], int]:
+        """Payload bytes per ``(sender, receiver)`` pair, from the messages.
+
+        The same totals the per-pair registry counters accumulate, but
+        computed from the message list — usable on an untagged or
+        snapshot-free transcript, and what the observatory's imbalance
+        detector cross-checks its counter parsing against.
+        """
+        traffic: dict[tuple[str, str], int] = {}
+        for message in self.messages:
+            key = (message.sender, message.receiver)
+            traffic[key] = traffic.get(key, 0) + _payload_nbytes(
+                message.payload
+            )
+        return traffic
+
     def visible_to(self, party: str) -> list[Message]:
         """Messages the named party saw (sent or received)."""
         return [

@@ -16,10 +16,20 @@ pipelines) reports what it decided and what it cost through one substrate.
   consumers: latency/refusal forensics from captures, and the
   privacy-meter dashboard pairing three-dimension scores with the
   operational metrics that produced them.
+* :mod:`~repro.telemetry.observatory` — the streaming layer on top:
+  windowed series over the live span feed, online attack detectors,
+  declarative SLO alerting, and OpenMetrics/JSONL exporters.
 """
 
 from . import instrument
 from .dashboard import meter_bar, render_dashboard, render_metrics
+from .observatory import (
+    Alert,
+    AlertRule,
+    Observatory,
+    RulesEngine,
+    replay_trace,
+)
 from .registry import (
     Counter,
     Gauge,
@@ -29,6 +39,7 @@ from .registry import (
 )
 from .report import (
     TraceReport,
+    alert_decisions,
     degradation_decisions,
     load_trace,
     read_trace,
@@ -45,17 +56,22 @@ from .tracing import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertRule",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
+    "Observatory",
+    "RulesEngine",
     "SmokeError",
     "Span",
     "SpanSchemaError",
     "TRACE_SCHEMA_VERSION",
     "TraceReport",
     "Tracer",
+    "alert_decisions",
     "degradation_decisions",
     "instrument",
     "load_trace",
@@ -65,6 +81,7 @@ __all__ = [
     "refusal_decisions",
     "render_dashboard",
     "render_metrics",
+    "replay_trace",
     "run_smoke",
     "validate_record",
 ]

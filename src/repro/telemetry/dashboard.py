@@ -10,11 +10,19 @@ privacy requires.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 
-__all__ = ["meter_bar", "render_dashboard", "render_metrics"]
+__all__ = ["format_quantity", "meter_bar", "render_dashboard",
+           "render_metrics"]
 
 _BAR_WIDTH = 24
+
+#: (scale, suffix) ladders per unit family, largest scale first.
+_UNIT_LADDERS = {
+    "seconds": ((1.0, "s"), (1e-3, "ms"), (1e-6, "us")),
+    "bytes": ((1024.0 ** 2, "MiB"), (1024.0, "KiB"), (1.0, "B")),
+}
 
 
 def meter_bar(score: float, width: int = _BAR_WIDTH) -> str:
@@ -24,11 +32,60 @@ def meter_bar(score: float, width: int = _BAR_WIDTH) -> str:
     return "[" + "#" * filled + "-" * (width - filled) + "]"
 
 
-def _histogram_row(name: str, data: dict) -> str:
-    return (
-        f"  {name:<34s} count={data['count']:<8d} "
-        f"mean={data['mean'] * 1e3:.3f} ms"
+def format_quantity(value: float, metric_name: str = "") -> str:
+    """Render a metric value with a unit inferred from the metric's name.
+
+    The metric-name suffix selects the unit family — ``*_seconds`` scales
+    through s/ms/us, ``*_bytes`` through MiB/KiB/B — so the dashboard
+    never hard-codes one unit for every histogram.  Unknown families
+    render as plain numbers.
+
+    >>> format_quantity(0.0042, "qdb.query_seconds")
+    '4.2 ms'
+    >>> format_quantity(3_500_000, "smc.payload_bytes")
+    '3.34 MiB'
+    >>> format_quantity(7.0, "pir.retrievals")
+    '7'
+    """
+    value = float(value)
+    if math.isinf(value):
+        return "inf"
+    ladder = next(
+        (steps for family, steps in _UNIT_LADDERS.items()
+         if metric_name.endswith(family)),
+        None,
     )
+    if ladder is None:
+        return f"{value:g}"
+    if value == 0.0:
+        return f"0 {ladder[-1][1]}"
+    for scale, suffix in ladder:
+        if value >= scale:
+            return f"{value / scale:.3g} {suffix}"
+    scale, suffix = ladder[-1]
+    return f"{value / scale:.3g} {suffix}"
+
+
+def _histogram_row(name: str, data: dict) -> str:
+    """One summary line: count plus bucket-derived p50/p95/max bounds.
+
+    The quantiles come from the fixed bucket counts, so they are upper
+    bounds (the bucket edge containing the quantile observation) — the
+    honest direction for latency SLOs.  ``max`` is the q=1.0 bound: the
+    edge of the highest non-empty bucket, or ``inf`` if the overflow
+    bucket is occupied.
+    """
+    from .observatory.stream import quantile_from_buckets
+
+    buckets = data["buckets"]
+    bounds = [float(label[len("le_"):]) for label in buckets
+              if label != "inf"]
+    counts = list(buckets.values())
+    quantiles = " ".join(
+        f"{label}<={format_quantity(quantile_from_buckets(bounds, counts, q), name)}"
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("max", 1.0))
+    )
+    return f"  {name:<34s} count={data['count']:<8d} {quantiles}"
 
 
 def render_metrics(snapshot: dict) -> str:

@@ -28,7 +28,7 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from .registry import DEFAULT_BUCKETS, process_registry
-from .tracing import JsonlSink, Tracer
+from .tracing import JsonlSink, Span, Tracer, _SCALAR_TYPES, _scalar
 
 __all__ = [
     "NOOP_METRIC",
@@ -140,10 +140,19 @@ def tracer() -> Tracer | None:
 
 
 def span(name: str, **attrs):
-    """A traced region when enabled; the shared no-op span otherwise."""
+    """A traced region when enabled; the shared no-op span otherwise.
+
+    Constructs the :class:`~repro.telemetry.tracing.Span` directly from
+    the ``**attrs`` dict this call already owns — routing through
+    :meth:`Tracer.span` would repack the keyword arguments into a second
+    dict on every hot-path span.
+    """
     if not _ENABLED:
         return NOOP_SPAN
-    return _TRACER.span(name, **attrs)
+    for key, value in attrs.items():
+        if not isinstance(value, _SCALAR_TYPES):
+            attrs[key] = _scalar(value)
+    return Span(_TRACER, name, attrs)
 
 
 def counter(name: str):

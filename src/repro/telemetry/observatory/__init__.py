@@ -1,0 +1,85 @@
+"""Privacy observatory: streaming windows, detectors, alerting, export.
+
+The observatory rides the telemetry substrate (PR 3): it subscribes to
+the live tracer, folds finished spans into windowed step-indexed series
+(:mod:`.stream`), runs online attack detectors (:mod:`.detectors`) and
+declarative SLO rules (:mod:`.rules`) after every event, and emits fired
+alerts back into the trace as ``observatory.alert`` spans.  Captured
+traces replay to the identical alert set (:func:`replay_trace`), which
+``make observe-smoke`` holds against a committed golden trace
+(:mod:`.smoke`).  Registry snapshots export to OpenMetrics text or JSONL
+(:mod:`.exporters`).
+
+Everything is stdlib-only and strictly inert when telemetry is disabled:
+no tracer exists, nothing subscribes, hot paths keep their seed-identical
+fast paths.
+"""
+
+from .detectors import (
+    DegradationBurstDetector,
+    Detector,
+    PIRAccessSkewDetector,
+    SMCImbalanceDetector,
+    TrackerProbeDetector,
+    default_detectors,
+)
+from .exporters import (
+    parse_openmetrics,
+    read_snapshot_jsonl,
+    render_openmetrics,
+    sanitize_name,
+    sanitized_snapshot,
+    split_metric_name,
+    write_snapshot_jsonl,
+)
+from .observatory import Observatory, replay_trace
+from .rules import (
+    ALERT_SPAN_NAME,
+    Alert,
+    AlertRule,
+    AlertSchemaError,
+    DIMENSIONS,
+    RulesEngine,
+    SEVERITIES,
+    default_rules,
+    validate_alert_record,
+)
+from .stream import (
+    HistogramSeries,
+    Series,
+    SeriesStore,
+    WindowAggregate,
+    quantile_from_buckets,
+)
+
+__all__ = [
+    "ALERT_SPAN_NAME",
+    "Alert",
+    "AlertRule",
+    "AlertSchemaError",
+    "DIMENSIONS",
+    "DegradationBurstDetector",
+    "Detector",
+    "HistogramSeries",
+    "Observatory",
+    "PIRAccessSkewDetector",
+    "RulesEngine",
+    "SEVERITIES",
+    "SMCImbalanceDetector",
+    "Series",
+    "SeriesStore",
+    "TrackerProbeDetector",
+    "WindowAggregate",
+    "default_detectors",
+    "default_rules",
+    "parse_openmetrics",
+    "quantile_from_buckets",
+    "read_snapshot_jsonl",
+    "render_openmetrics",
+    "replay_trace",
+    "sanitize_name",
+    "sanitized_snapshot",
+    "split_metric_name",
+    "validate_alert_record",
+    "write_snapshot_jsonl",
+]

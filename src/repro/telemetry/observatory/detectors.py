@@ -1,0 +1,338 @@
+"""Online attack detectors over the telemetry stream.
+
+Each detector consumes finished span records (and, for the SMC detector,
+registry snapshots) and fires typed :class:`~.rules.Alert` records when
+the stream matches a known erosion pattern from the paper:
+
+* :class:`TrackerProbeDetector` — the Sect. 3 Schlörer tracker issues a
+  padding query ``q(C1)`` and an individual tracker ``q(C1 AND NOT C2)``
+  whose query sets differ by the target alone.  The wire signature is a
+  pair of COUNT probes where one predicate *contains* the other, the
+  containing one carries a negation, and the query-set sizes differ by at
+  most a couple of records — fired at the COUNT stage, strictly before
+  the attacker's differencing SUM pair can run.
+* :class:`PIRAccessSkewDetector` — the Sect. 4 isolation attack drives a
+  PIR front-end with range probes that concentrate on the cells isolating
+  a victim.  Skewed per-block retrieval mass is the precursor.
+* :class:`SMCImbalanceDetector` — per-pair payload-byte counters from the
+  :class:`~repro.smc.party.Transcript`; a party that receives protocol
+  traffic but never speaks is crashed or silently harvesting shares.
+* :class:`DegradationBurstDetector` — a burst of ``faults.degrade``
+  decisions means the runtime is trading guarantees for availability
+  faster than an operator would sign off on.
+
+Detectors are deterministic functions of the event stream (steps, never
+wall-clock), so a captured trace replays to the identical alert set —
+the property the golden-trace gate (:mod:`.smoke`) asserts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .rules import Alert
+from .stream import SeriesStore
+
+__all__ = [
+    "DegradationBurstDetector",
+    "Detector",
+    "PIRAccessSkewDetector",
+    "SMCImbalanceDetector",
+    "TrackerProbeDetector",
+    "default_detectors",
+    "pair_traffic_from_counters",
+]
+
+
+class Detector:
+    """Base class: a stateful consumer of the telemetry event stream."""
+
+    #: Detector name, used as the fired alerts' ``alert`` attribute.
+    name = "detector"
+
+    def observe_span(
+        self, record: dict, step: int, store: SeriesStore
+    ) -> list[Alert]:
+        """React to one finished span record; return newly fired alerts."""
+        return []
+
+    def observe_snapshot(self, snapshot: dict, step: int) -> list[Alert]:
+        """React to a metrics-registry snapshot; return newly fired alerts."""
+        return []
+
+
+class TrackerProbeDetector(Detector):
+    """Flags Schlörer-style padding/tracker COUNT probe pairs.
+
+    A probe pair (earlier predicate ``P``, later predicate ``Q``) matches
+    when ``P`` is a strict substring of ``Q``, ``Q`` negates a term
+    (``"(NOT "``), and the query-set sizes differ by at most
+    ``max_count_diff`` records — i.e. the difference query isolates a
+    handful of individuals.  Innocent drill-downs (``height > 170`` vs
+    ``(height > 170 AND weight > 80)``) share the containment but carve
+    off a *large* sub-population and carry no negation, so they pass.
+
+    Refused probes still count: the span records the query-set size the
+    engine computed before policy review, and an attacker probing against
+    an auditing policy generates exactly this refused-pair traffic.
+    """
+
+    name = "tracker-probe"
+
+    def __init__(self, window: int = 16, max_count_diff: float = 2.0):
+        self.window = window
+        self.max_count_diff = float(max_count_diff)
+        self._probes: deque[tuple[str, int, int]] = deque(maxlen=window)
+        self._fired: set[str] = set()
+
+    def observe_span(
+        self, record: dict, step: int, store: SeriesStore
+    ) -> list[Alert]:
+        if record["name"] != "qdb.query":
+            return []
+        attrs = record["attrs"]
+        if attrs.get("aggregate") != "COUNT":
+            return []
+        predicate = attrs.get("predicate") or ""
+        size = attrs.get("query_set_size", -1)
+        if not predicate or not isinstance(size, int) or size < 0:
+            return []
+        alerts: list[Alert] = []
+        if "(NOT " in predicate and predicate not in self._fired:
+            for earlier, earlier_size, _ in reversed(self._probes):
+                if earlier == predicate or earlier not in predicate:
+                    continue
+                diff = earlier_size - size
+                if 0 <= diff <= self.max_count_diff:
+                    self._fired.add(predicate)
+                    refusal_rate = 0.0
+                    refused = store.get("qdb.refused")
+                    if refused is not None:
+                        refusal_rate = refused.window(self.window).mean
+                    alerts.append(Alert(
+                        name=self.name,
+                        severity="critical",
+                        dimension="respondent",
+                        step=step,
+                        value=float(diff),
+                        threshold=self.max_count_diff,
+                        detail=(
+                            f"padding/tracker pair isolates {diff:g} "
+                            f"record(s): [{earlier}] minus [{predicate}]; "
+                            f"recent refusal rate {refusal_rate:.2f}"
+                        ),
+                    ))
+                    break
+        self._probes.append((predicate, size, step))
+        return alerts
+
+
+class PIRAccessSkewDetector(Detector):
+    """Flags retrieval mass concentrating on few PIR blocks.
+
+    The servers cannot see access patterns (that is the point of PIR);
+    this is *client-side* telemetry for the database operator, who can —
+    and under the Sect. 4 attack should — notice a front-end hammering
+    the cells that isolate one respondent.
+
+    Single retrievals contribute their ``block`` attribute; batched
+    retrievals contribute their precomputed ``top_block`` / ``top_count``
+    summary (per-block lists are not span-schema scalars).
+    """
+
+    name = "pir-access-skew"
+
+    def __init__(self, min_retrievals: int = 12, max_top_share: float = 0.5):
+        self.min_retrievals = min_retrievals
+        self.max_top_share = float(max_top_share)
+        self._block_counts: dict[int, int] = {}
+        self._total = 0
+        self._fired: set[int] = set()
+
+    def _ingest(self, block: int, count: int, total: int) -> None:
+        self._block_counts[block] = self._block_counts.get(block, 0) + count
+        self._total += total
+
+    def observe_span(
+        self, record: dict, step: int, store: SeriesStore
+    ) -> list[Alert]:
+        name = record["name"]
+        attrs = record["attrs"]
+        if name == "pir.retrieve":
+            block = attrs.get("block")
+            if isinstance(block, int) and not isinstance(block, bool):
+                self._ingest(block, 1, 1)
+        elif name == "pir.retrieve_batch":
+            top_block = attrs.get("top_block")
+            top_count = attrs.get("top_count")
+            n_queries = attrs.get("n_queries", 0)
+            if isinstance(top_block, int) and isinstance(top_count, int):
+                self._ingest(top_block, top_count, int(n_queries))
+        else:
+            return []
+        if self._total < self.min_retrievals:
+            return []
+        top = max(self._block_counts, key=self._block_counts.get)
+        share = self._block_counts[top] / self._total
+        if share < self.max_top_share or top in self._fired:
+            return []
+        self._fired.add(top)
+        return [Alert(
+            name=self.name,
+            severity="warning",
+            dimension="respondent",
+            step=step,
+            value=float(share),
+            threshold=self.max_top_share,
+            detail=(
+                f"block {top} drew {self._block_counts[top]} of "
+                f"{self._total} retrievals ({share:.0%}) — isolation-attack "
+                f"precursor (Sect. 4)"
+            ),
+        )]
+
+
+def pair_traffic_from_counters(
+    counters: dict,
+) -> dict[tuple[str, str, str], int]:
+    """Per-pair SMC byte totals from registry counter names.
+
+    The :class:`~repro.smc.party.Transcript` names its per-pair counters
+    ``smc.payload_bytes[<protocol>|<sender>-><receiver>]``; this parses
+    them back into ``(protocol, sender, receiver) -> bytes``.
+
+    >>> pair_traffic_from_counters(
+    ...     {"smc.payload_bytes[ring-sum|P0->P1]": 24, "smc.rounds": 3})
+    {('ring-sum', 'P0', 'P1'): 24}
+    """
+    prefix = "smc.payload_bytes["
+    traffic: dict[tuple[str, str, str], int] = {}
+    for name, value in counters.items():
+        if not (name.startswith(prefix) and name.endswith("]")):
+            continue
+        inner = name[len(prefix):-1]
+        protocol, _, pair = inner.partition("|")
+        sender, arrow, receiver = pair.partition("->")
+        if not arrow:
+            continue
+        traffic[(protocol, sender, receiver)] = int(value)
+    return traffic
+
+
+class SMCImbalanceDetector(Detector):
+    """Flags parties that receive protocol traffic but never send any.
+
+    In every healthy protocol here (ring sum, additive shares) each party
+    both speaks and listens.  A silent receiver is either crashed — its
+    share of the aggregate is about to be excluded — or a harvesting
+    endpoint collecting other owners' masked shares, so the alert guards
+    the owner dimension.  Runs off metrics snapshots because SMC traffic
+    lives in transcript counters, not spans.
+    """
+
+    name = "smc-traffic-imbalance"
+
+    def __init__(self, min_received_bytes: int = 8):
+        self.min_received_bytes = min_received_bytes
+        self._fired: set[str] = set()
+
+    def observe_snapshot(self, snapshot: dict, step: int) -> list[Alert]:
+        traffic = pair_traffic_from_counters(snapshot.get("counters", {}))
+        if not traffic:
+            return []
+        sent: dict[str, int] = {}
+        received: dict[str, int] = {}
+        for (_, sender, receiver), nbytes in traffic.items():
+            sent[sender] = sent.get(sender, 0) + nbytes
+            received[receiver] = received.get(receiver, 0) + nbytes
+        alerts: list[Alert] = []
+        for party in sorted(received):
+            if party in self._fired:
+                continue
+            got = received[party]
+            spoke = sent.get(party, 0)
+            if got >= self.min_received_bytes and spoke == 0:
+                self._fired.add(party)
+                alerts.append(Alert(
+                    name=self.name,
+                    severity="warning",
+                    dimension="owner",
+                    step=step,
+                    value=float(got),
+                    threshold=float(self.min_received_bytes),
+                    detail=(
+                        f"party {party} received {got} payload bytes but "
+                        f"sent none — crashed or silently collecting shares"
+                    ),
+                    source="metric",
+                ))
+        return alerts
+
+
+#: Which privacy dimension a degradation in each component erodes first:
+#: PIR fallbacks weaken the retrieval privacy of the *user*, SMC
+#: exclusions touch the *owners'* pooled computation, qdb failovers sit
+#: in front of the *respondents'* records.
+_DEGRADE_DIMENSION = {"pir": "user", "smc": "owner", "qdb": "respondent"}
+
+
+class DegradationBurstDetector(Detector):
+    """Flags bursts of fault-layer degradation decisions.
+
+    One ``faults.degrade`` span is a survivable incident; ``burst`` of
+    them within ``window_steps`` events means guarantees are being traded
+    away faster than anyone is reviewing them.  Fires once per run; the
+    dimension follows the most frequent degrading component.
+    """
+
+    name = "degradation-burst"
+
+    def __init__(self, burst: int = 3, window_steps: int = 256):
+        self.burst = burst
+        self.window_steps = window_steps
+        self._events: deque[tuple[int, str]] = deque()
+        self._fired = False
+
+    def observe_span(
+        self, record: dict, step: int, store: SeriesStore
+    ) -> list[Alert]:
+        if record["name"] != "faults.degrade":
+            return []
+        component = record["attrs"].get("component", "?")
+        self._events.append((step, component))
+        while self._events and self._events[0][0] <= step - self.window_steps:
+            self._events.popleft()
+        if self._fired or len(self._events) < self.burst:
+            return []
+        self._fired = True
+        by_component: dict[str, int] = {}
+        for _, name in self._events:
+            by_component[name] = by_component.get(name, 0) + 1
+        # Most frequent component decides the dimension; ties break on
+        # sorted name so replay stays deterministic.
+        top = max(sorted(by_component), key=by_component.get)
+        summary = ", ".join(
+            f"{name}:{count}" for name, count in sorted(by_component.items())
+        )
+        return [Alert(
+            name=self.name,
+            severity="warning",
+            dimension=_DEGRADE_DIMENSION.get(top, "respondent"),
+            step=step,
+            value=float(len(self._events)),
+            threshold=float(self.burst),
+            detail=(
+                f"{len(self._events)} degradation decisions within "
+                f"{self.window_steps} events ({summary})"
+            ),
+        )]
+
+
+def default_detectors() -> list[Detector]:
+    """One instance of every stock detector (fresh state)."""
+    return [
+        TrackerProbeDetector(),
+        PIRAccessSkewDetector(),
+        SMCImbalanceDetector(),
+        DegradationBurstDetector(),
+    ]

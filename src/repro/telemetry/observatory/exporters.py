@@ -1,0 +1,344 @@
+"""Registry-snapshot exporters: OpenMetrics text and JSONL.
+
+The OpenMetrics/Prometheus exposition is the lingua franca of scrape
+pipelines; :func:`render_openmetrics` turns a
+:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot` into it
+(sanitized names, HELP/TYPE lines, counters with the mandatory
+``_total`` suffix, histograms as cumulative ``_bucket``/``_sum``/
+``_count`` families, terminated by ``# EOF``).  The transcript's
+bracketed per-pair counters — ``smc.payload_bytes[ring-sum|P0->P1]`` —
+become a ``tag`` label, which is lossless: :func:`parse_openmetrics`
+reconstructs the bracketed form, and the round-trip test in
+``tests/test_observatory_exporters.py`` holds it to
+:func:`sanitized_snapshot` equality.
+
+>>> text = render_openmetrics({"counters": {"qdb.asked": 3}, "gauges": {},
+...                            "histograms": {}})
+>>> print(text, end="")
+# HELP repro_qdb_asked qdb.asked
+# TYPE repro_qdb_asked counter
+repro_qdb_asked_total 3
+# EOF
+>>> parse_openmetrics(text)["counters"]
+{'qdb_asked': 3}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+__all__ = [
+    "parse_openmetrics",
+    "read_snapshot_jsonl",
+    "render_openmetrics",
+    "sanitize_name",
+    "sanitized_snapshot",
+    "split_metric_name",
+    "write_snapshot_jsonl",
+]
+
+#: Snapshot-JSONL schema version, stamped into the meta line.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+_VALID_FIRST = re.compile(r"[a-zA-Z_:]")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce *name* into a legal OpenMetrics metric name.
+
+    Illegal characters become ``_``; a leading digit gains a ``_``
+    prefix; an empty name becomes ``_``.
+
+    >>> sanitize_name("qdb.mask_cache.hits")
+    'qdb_mask_cache_hits'
+    >>> sanitize_name("3dpriv")
+    '_3dpriv'
+    """
+    if not name:
+        return "_"
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not _VALID_FIRST.match(cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def split_metric_name(name: str) -> tuple[str, str | None]:
+    """Split a registry name into (base, bracket tag or None).
+
+    >>> split_metric_name("smc.payload_bytes[ring-sum|P0->P1]")
+    ('smc.payload_bytes', 'ring-sum|P0->P1')
+    >>> split_metric_name("smc.payload_bytes")
+    ('smc.payload_bytes', None)
+    """
+    if name.endswith("]") and "[" in name:
+        base, _, tag = name[:-1].partition("[")
+        return base, tag
+    return name, None
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch == "\\":
+            nxt = next(it, "")
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _format_value(value) -> str:
+    # repr round-trips floats exactly; ints stay ints so parse-back
+    # (int first, float fallback) preserves the value's type.
+    if isinstance(value, float):
+        return repr(value)
+    return str(int(value))
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _bucket_bounds(buckets: dict) -> list[tuple[str, float]]:
+    """(label, upper bound) pairs from a histogram's ``as_dict`` buckets."""
+    out = []
+    for label in buckets:
+        if label == "inf":
+            out.append((label, math.inf))
+        else:
+            out.append((label, float(label[len("le_"):])))
+    return out
+
+
+def render_openmetrics(snapshot: dict, namespace: str = "repro") -> str:
+    """One registry snapshot as OpenMetrics exposition text."""
+    prefix = f"{sanitize_name(namespace)}_" if namespace else ""
+    lines: list[str] = []
+
+    # Counters first, grouped so a family's plain total and its bracketed
+    # per-tag splits share one HELP/TYPE header.
+    families: dict[str, list[tuple[str | None, object]]] = {}
+    family_help: dict[str, str] = {}
+    for name in sorted(snapshot.get("counters", {})):
+        base, tag = split_metric_name(name)
+        family = prefix + sanitize_name(base)
+        families.setdefault(family, []).append(
+            (tag, snapshot["counters"][name])
+        )
+        family_help.setdefault(family, base)
+    for family in sorted(families):
+        lines.append(f"# HELP {family} {family_help[family]}")
+        lines.append(f"# TYPE {family} counter")
+        for tag, value in families[family]:
+            label = f'{{tag="{_escape_label(tag)}"}}' if tag is not None else ""
+            lines.append(f"{family}_total{label} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = prefix + sanitize_name(name)
+        lines.append(f"# HELP {metric} {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot['gauges'][name])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        metric = prefix + sanitize_name(name)
+        lines.append(f"# HELP {metric} {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for label, bound in _bucket_bounds(data["buckets"]):
+            cumulative += data["buckets"][label]
+            le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(float(data['total']))}")
+        lines.append(f"{metric}_count {int(data['count'])}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>\S+)$'
+)
+_LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_openmetrics(text: str, namespace: str = "repro") -> dict:
+    """Parse exposition text back into a snapshot-shaped dictionary.
+
+    Metric names come back *sanitized* (the text format cannot recover
+    ``.`` from ``_``); bracketed counter tags are reconstructed from
+    their ``tag`` label.  The result compares equal to
+    :func:`sanitized_snapshot` of the exported snapshot.
+    """
+    prefix = f"{sanitize_name(namespace)}_" if namespace else ""
+    types: dict[str, str] = {}
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    hist_acc: dict[str, dict] = {}
+
+    def strip_prefix(name: str) -> str:
+        return name[len(prefix):] if prefix and name.startswith(prefix) else name
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        name = match.group("name")
+        labels = dict(_LABEL.findall(match.group("labels") or ""))
+        labels = {k: _unescape_label(v) for k, v in labels.items()}
+        value = _parse_value(match.group("value"))
+
+        family = name if name in types else None
+        suffix = ""
+        if family is None:
+            for candidate in ("_bucket", "_sum", "_count", "_total"):
+                if (name.endswith(candidate)
+                        and name[: -len(candidate)] in types):
+                    family = name[: -len(candidate)]
+                    suffix = candidate
+                    break
+        if family is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+        kind = types[family]
+        if kind == "counter":
+            key = strip_prefix(family)
+            if "tag" in labels:
+                key = f"{key}[{labels['tag']}]"
+            out["counters"][key] = value
+        elif kind == "gauge":
+            out["gauges"][strip_prefix(family)] = value
+        elif kind == "histogram":
+            acc = hist_acc.setdefault(
+                strip_prefix(family), {"buckets": [], "total": 0.0, "count": 0}
+            )
+            if suffix == "_bucket":
+                acc["buckets"].append((labels.get("le", "+Inf"), int(value)))
+            elif suffix == "_sum":
+                acc["total"] = float(value)
+            elif suffix == "_count":
+                acc["count"] = int(value)
+        else:
+            raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+
+    for name, acc in hist_acc.items():
+        buckets: dict[str, int] = {}
+        previous = 0
+        for le, cumulative in acc["buckets"]:
+            if le == "+Inf":
+                label = "inf"
+            else:
+                label = f"le_{float(le):g}"
+            buckets[label] = cumulative - previous
+            previous = cumulative
+        count = acc["count"]
+        out["histograms"][name] = {
+            "count": count,
+            "total": acc["total"],
+            "mean": acc["total"] / count if count else 0.0,
+            "buckets": buckets,
+        }
+    return out
+
+
+def sanitized_snapshot(snapshot: dict) -> dict:
+    """The snapshot with every metric name put through the export mapping.
+
+    This is the fixed point of export/parse: ``parse_openmetrics(
+    render_openmetrics(s)) == sanitized_snapshot(s)`` minus the ``owner``
+    key, which the text format does not carry.
+    """
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for name, value in snapshot.get("counters", {}).items():
+        base, tag = split_metric_name(name)
+        key = sanitize_name(base)
+        if tag is not None:
+            key = f"{key}[{tag}]"
+        out["counters"][key] = value
+    for name, value in snapshot.get("gauges", {}).items():
+        out["gauges"][sanitize_name(name)] = value
+    for name, data in snapshot.get("histograms", {}).items():
+        out["histograms"][sanitize_name(name)] = dict(data)
+    return out
+
+
+def write_snapshot_jsonl(snapshot: dict, path: str | Path) -> int:
+    """Write a snapshot as JSONL: one meta line, one line per metric.
+
+    Returns the number of metric lines written.
+    """
+    path = Path(path)
+    lines = [json.dumps({
+        "type": "meta", "kind": "metrics_snapshot",
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "owner": snapshot.get("owner", ""),
+    }, separators=(",", ":"))]
+    for name in sorted(snapshot.get("counters", {})):
+        lines.append(json.dumps(
+            {"type": "metric", "kind": "counter", "name": name,
+             "value": snapshot["counters"][name]},
+            separators=(",", ":"),
+        ))
+    for name in sorted(snapshot.get("gauges", {})):
+        lines.append(json.dumps(
+            {"type": "metric", "kind": "gauge", "name": name,
+             "value": snapshot["gauges"][name]},
+            separators=(",", ":"),
+        ))
+    for name in sorted(snapshot.get("histograms", {})):
+        lines.append(json.dumps(
+            {"type": "metric", "kind": "histogram", "name": name,
+             **snapshot["histograms"][name]},
+            separators=(",", ":"),
+        ))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines) - 1
+
+
+def read_snapshot_jsonl(path: str | Path) -> dict:
+    """Read a JSONL snapshot back into snapshot shape (round-trip exact)."""
+    out: dict = {"owner": "", "counters": {}, "gauges": {}, "histograms": {}}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "meta":
+                out["owner"] = record.get("owner", "")
+                continue
+            kind = record.get("kind")
+            if kind == "counter":
+                out["counters"][record["name"]] = record["value"]
+            elif kind == "gauge":
+                out["gauges"][record["name"]] = record["value"]
+            elif kind == "histogram":
+                out["histograms"][record["name"]] = {
+                    "count": record["count"],
+                    "total": record["total"],
+                    "mean": record["mean"],
+                    "buckets": record["buckets"],
+                }
+    return out

@@ -1,0 +1,231 @@
+"""The observatory core: subscribe, window, detect, alert, render.
+
+An :class:`Observatory` attaches to a live
+:class:`~repro.telemetry.tracing.Tracer` as a subscriber and processes
+every finished span synchronously: the span feeds the windowed
+:class:`~.stream.SeriesStore`, the online :mod:`detectors <.detectors>`,
+and the declarative :class:`~.rules.RulesEngine`.  Every alert that
+fires is recorded and — when attached to a live tracer — emitted as an
+``observatory.alert`` span, so the trace file carries its own incident
+log.
+
+Determinism model: the observatory never reads the clock.  Its *step* is
+the count of ingested (non-observatory) spans, every detector decision
+is a pure function of span attributes and prior steps, and alert spans
+are skipped on ingestion — so replaying a captured trace through
+:func:`replay_trace` re-derives the exact alert set the live run
+emitted.  That equality is the ``make observe-smoke`` golden gate.
+
+The observatory is *pull-free* on the hot path: when telemetry is
+disabled no tracer exists, nothing subscribes, and instrumented code
+runs its seed-identical fast path untouched.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..dashboard import meter_bar
+from .detectors import Detector, default_detectors
+from .rules import (
+    ALERT_SPAN_NAME,
+    Alert,
+    AlertRule,
+    RulesEngine,
+    DIMENSIONS,
+)
+from .stream import SeriesStore
+
+__all__ = ["Observatory", "replay_trace"]
+
+#: Posture penalty per alert severity (posture = 1.0 minus penalties).
+_SEVERITY_PENALTY = {"info": 0.1, "warning": 0.25, "critical": 0.5}
+
+
+class Observatory:
+    """Streaming privacy-posture monitor over the telemetry event feed."""
+
+    def __init__(
+        self,
+        rules: list[AlertRule] | None = None,
+        detectors: list[Detector] | None = None,
+        capacity: int = 512,
+    ):
+        self.store = SeriesStore(capacity)
+        self.engine = RulesEngine(rules)
+        self.detectors = (
+            list(detectors) if detectors is not None else default_detectors()
+        )
+        self.alerts: list[Alert] = []
+        self.step = 0
+        self._tracer = None
+        self._ingesting = False
+
+    # -- live attachment ---------------------------------------------------
+
+    def attach(self, tracer) -> "Observatory":
+        """Subscribe to *tracer*; fired alerts are emitted as spans."""
+        tracer.add_subscriber(self._on_record)
+        self._tracer = tracer
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the attached tracer (no-op when detached)."""
+        if self._tracer is not None:
+            self._tracer.remove_subscriber(self._on_record)
+            self._tracer = None
+
+    def _on_record(self, record: dict) -> None:
+        self.process_record(record, emit=True)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def process_record(self, record: dict, emit: bool = False) -> list[Alert]:
+        """Ingest one trace record; returns the alerts it fired.
+
+        Alert spans (``observatory.*``) are skipped — both to keep steps
+        identical between a live run and its replay, and so emitting an
+        alert from inside the subscriber callback cannot recurse.
+        """
+        if record.get("type") != "span":
+            return []
+        if record["name"].startswith("observatory.") or self._ingesting:
+            return []
+        self._ingesting = True
+        try:
+            self.step += 1
+            step = self.step
+            self._update_series(record, step)
+            fired: list[Alert] = []
+            for detector in self.detectors:
+                fired.extend(detector.observe_span(record, step, self.store))
+            fired.extend(self.engine.evaluate(self.store, step))
+            for alert in fired:
+                self._register(alert, emit)
+            return fired
+        finally:
+            self._ingesting = False
+
+    def ingest_snapshot(self, snapshot: dict) -> list[Alert]:
+        """Feed a metrics-registry snapshot to the snapshot detectors.
+
+        Spans never carry the transcript's per-pair SMC byte counters, so
+        the traffic-imbalance detector reads them here.  Alerts fired
+        from a snapshot are ``source="metric"`` — they are excluded from
+        the replay-equality gate because a trace file cannot re-derive
+        them.
+        """
+        fired: list[Alert] = []
+        for detector in self.detectors:
+            fired.extend(detector.observe_snapshot(snapshot, self.step))
+        for alert in fired:
+            self._register(alert, emit=True)
+        return fired
+
+    def _update_series(self, record: dict, step: int) -> None:
+        name = record["name"]
+        attrs = record["attrs"]
+        series = self.store.series
+        series(f"span.{name}").append(step, 1.0)
+        series(f"span.{name}.seconds").append(step, record["duration"])
+        if name == "qdb.query":
+            series("qdb.refused").append(
+                step, 1.0 if attrs.get("refused") is True else 0.0
+            )
+            size = attrs.get("query_set_size", -1)
+            if isinstance(size, int) and size >= 0:
+                series("qdb.query_set_size").append(step, float(size))
+        elif name == "faults.degrade":
+            series("faults.degrade").append(step, 1.0)
+        elif name == "pir.retrieve_batch":
+            series("pir.batch_queries").append(
+                step, float(attrs.get("n_queries", 0))
+            )
+
+    def _register(self, alert: Alert, emit: bool) -> None:
+        self.alerts.append(alert)
+        if emit and self._tracer is not None:
+            with self._tracer.span(ALERT_SPAN_NAME, **alert.span_attrs()):
+                pass
+
+    # -- read-out ----------------------------------------------------------
+
+    def alerts_for(self, dimension: str) -> list[Alert]:
+        """Fired alerts threatening one privacy dimension."""
+        return [a for a in self.alerts if a.dimension == dimension]
+
+    def span_alerts(self) -> list[Alert]:
+        """Alerts derived from the span stream (the replayable subset)."""
+        return [a for a in self.alerts if a.source == "span"]
+
+    def posture(self) -> dict[str, float]:
+        """Per-dimension posture score in [0, 1]: 1.0 minus alert penalties.
+
+        >>> obs = Observatory(rules=[], detectors=[])
+        >>> obs.posture()
+        {'respondent': 1.0, 'owner': 1.0, 'user': 1.0}
+        """
+        scores = {dimension: 1.0 for dimension in DIMENSIONS}
+        for alert in self.alerts:
+            penalty = _SEVERITY_PENALTY.get(alert.severity, 0.25)
+            scores[alert.dimension] = max(
+                0.0, scores[alert.dimension] - penalty
+            )
+        return scores
+
+    def render(self, title: str = "privacy observatory") -> str:
+        """Posture meters per dimension beside the fired alerts."""
+        lines = [title, "=" * len(title), ""]
+        scores = self.posture()
+        for dimension in DIMENSIONS:
+            count = len(self.alerts_for(dimension))
+            suffix = f"{count} alert{'s' if count != 1 else ''}"
+            lines.append(
+                f"  {dimension:<11s} {meter_bar(scores[dimension])} "
+                f"{scores[dimension]:5.2f}  {suffix}"
+            )
+        lines.append("")
+        lines.append(f"events ingested: {self.step}")
+        lines.append(f"alerts fired: {len(self.alerts)}")
+        for alert in self.alerts:
+            lines.append(
+                f"  [{alert.severity:<8s}] step {alert.step:>5d} "
+                f"{alert.name} ({alert.dimension})"
+            )
+            lines.append(f"      {alert.detail}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Observatory(step={self.step}, alerts={len(self.alerts)}, "
+            f"attached={self._tracer is not None})"
+        )
+
+
+def replay_trace(
+    trace: str | Path | list[dict],
+    rules: list[AlertRule] | None = None,
+    detectors: list[Detector] | None = None,
+    on_alert=None,
+) -> Observatory:
+    """Re-derive the observatory state from a captured trace.
+
+    *trace* is a JSONL path or an already-parsed record list.  Records
+    are processed in capture order with no tracer attached (nothing is
+    emitted); ``on_alert(alert, record)`` — when given — is called as
+    each alert fires, which is how ``repro observe --follow`` narrates
+    the replay.
+    """
+    if isinstance(trace, (str, Path)):
+        from ..report import read_trace
+
+        records = read_trace(trace, validate=True)
+    else:
+        records = trace
+    observatory = Observatory(rules=rules, detectors=detectors)
+    for record in records:
+        fired = observatory.process_record(record)
+        if on_alert is not None:
+            for alert in fired:
+                on_alert(alert, record)
+    return observatory

@@ -1,0 +1,288 @@
+"""Declarative alerting: rules over windowed series, typed alert records.
+
+An :class:`AlertRule` names a series, a window, an aggregate and a
+threshold — plus the *privacy dimension* (respondent / owner / user) the
+paper's framework says the condition threatens.  The :class:`RulesEngine`
+evaluates every rule against the observatory's :class:`SeriesStore` after
+each ingested event and fires each rule at most once, producing frozen
+:class:`Alert` records.
+
+Alerts are themselves emitted as ``observatory.alert`` spans with the
+frozen attribute schema :data:`ALERT_ATTRS`, so a captured trace carries
+its own incident log and ``repro observe`` can reconstruct — and
+re-derive, for the golden gate — exactly which alerts fired and when.
+
+>>> from repro.telemetry.observatory.stream import SeriesStore
+>>> store = SeriesStore()
+>>> for step in range(1, 9):
+...     store.series("qdb.refused").append(step, 1.0)
+>>> rule = AlertRule(name="refusal-rate", series="qdb.refused", window=8,
+...                  aggregate="mean", op=">=", threshold=0.5,
+...                  dimension="respondent", min_count=4)
+>>> engine = RulesEngine([rule])
+>>> [a.name for a in engine.evaluate(store, step=8)]
+['refusal-rate']
+>>> engine.evaluate(store, step=9)     # each rule fires at most once
+[]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .stream import SeriesStore
+
+__all__ = [
+    "ALERT_ATTRS",
+    "ALERT_SPAN_NAME",
+    "Alert",
+    "AlertRule",
+    "AlertSchemaError",
+    "DIMENSIONS",
+    "RulesEngine",
+    "SEVERITIES",
+    "default_rules",
+    "validate_alert_record",
+]
+
+#: The three privacy dimensions of the paper (Table 2 rows).
+DIMENSIONS = ("respondent", "owner", "user")
+
+#: Allowed alert severities, mildest first.
+SEVERITIES = ("info", "warning", "critical")
+
+#: Span name carrying an alert record in a trace.
+ALERT_SPAN_NAME = "observatory.alert"
+
+#: Frozen attribute schema of an ``observatory.alert`` span.
+ALERT_ATTRS: dict[str, tuple[type, ...]] = {
+    "alert": (str,),
+    "severity": (str,),
+    "dimension": (str,),
+    "step": (int,),
+    "value": (int, float),
+    "threshold": (int, float),
+    "detail": (str,),
+    "source": (str,),
+}
+
+#: Allowed values of the ``source`` attribute: alerts derived from the
+#: span stream replay deterministically; alerts derived from a metrics
+#: snapshot exist only when the caller ingested one.
+ALERT_SOURCES = ("span", "metric")
+
+
+class AlertSchemaError(ValueError):
+    """An alert span does not conform to :data:`ALERT_ATTRS`."""
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired alert — the typed record behind an alert span."""
+
+    name: str
+    severity: str
+    dimension: str
+    step: int
+    value: float
+    threshold: float
+    detail: str = ""
+    source: str = "span"
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.dimension not in DIMENSIONS:
+            raise ValueError(f"unknown dimension {self.dimension!r}")
+        if self.source not in ALERT_SOURCES:
+            raise ValueError(f"unknown alert source {self.source!r}")
+
+    def span_attrs(self) -> dict:
+        """The alert as ``observatory.alert`` span attributes."""
+        return {
+            "alert": self.name,
+            "severity": self.severity,
+            "dimension": self.dimension,
+            "step": self.step,
+            "value": float(self.value),
+            "threshold": float(self.threshold),
+            "detail": self.detail,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_span_attrs(cls, attrs: dict) -> "Alert":
+        """Rebuild the alert from a validated alert span's attributes."""
+        return cls(
+            name=attrs["alert"],
+            severity=attrs["severity"],
+            dimension=attrs["dimension"],
+            step=int(attrs["step"]),
+            value=float(attrs["value"]),
+            threshold=float(attrs["threshold"]),
+            detail=attrs.get("detail", ""),
+            source=attrs.get("source", "span"),
+        )
+
+
+def validate_alert_record(record: dict) -> None:
+    """Raise :class:`AlertSchemaError` unless *record* is a valid alert span.
+
+    *record* must already be a schema-valid span record (the tracing
+    layer's :func:`~repro.telemetry.tracing.validate_record` checks that);
+    this validates the observatory's frozen attribute contract on top.
+    """
+    if record.get("name") != ALERT_SPAN_NAME:
+        raise AlertSchemaError(
+            f"not an alert span: name={record.get('name')!r}"
+        )
+    attrs = record.get("attrs", {})
+    for key, types in ALERT_ATTRS.items():
+        if key not in attrs:
+            raise AlertSchemaError(f"alert span missing attr {key!r}")
+        if not isinstance(attrs[key], types) or isinstance(attrs[key], bool):
+            raise AlertSchemaError(
+                f"alert attr {key!r} has invalid type "
+                f"{type(attrs[key]).__name__}"
+            )
+    if attrs["severity"] not in SEVERITIES:
+        raise AlertSchemaError(f"unknown severity {attrs['severity']!r}")
+    if attrs["dimension"] not in DIMENSIONS:
+        raise AlertSchemaError(f"unknown dimension {attrs['dimension']!r}")
+    if attrs["source"] not in ALERT_SOURCES:
+        raise AlertSchemaError(f"unknown source {attrs['source']!r}")
+    if attrs["step"] < 1:
+        raise AlertSchemaError("alert step must be >= 1")
+
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """A declarative threshold rule over one windowed series.
+
+    ``aggregate`` is any :meth:`~.stream.WindowAggregate.aggregate` kind
+    (``mean``/``rate``/``delta``/``count``/``total``/``last``/``max``/
+    ``p50``/``p95``); the rule fires when ``aggregate(window) op
+    threshold`` holds and the window holds at least ``min_count`` samples.
+    """
+
+    name: str
+    series: str
+    window: int | None
+    aggregate: str
+    op: str
+    threshold: float
+    dimension: str
+    severity: str = "warning"
+    min_count: int = 1
+    description: str = ""
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison {self.op!r}")
+        if self.dimension not in DIMENSIONS:
+            raise ValueError(f"unknown dimension {self.dimension!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def evaluate(self, store: SeriesStore, step: int) -> Alert | None:
+        """The alert this rule fires at *step*, or None."""
+        series = store.get(self.series)
+        if series is None:
+            return None
+        window = series.window(self.window)
+        if window.count < self.min_count:
+            return None
+        value = window.aggregate(self.aggregate)
+        if not _OPS[self.op](value, self.threshold):
+            return None
+        detail = self.description or (
+            f"{self.aggregate}({self.series}"
+            f"[{self.window if self.window is not None else 'all'}]) "
+            f"= {value:g} {self.op} {self.threshold:g}"
+        )
+        return Alert(
+            name=self.name,
+            severity=self.severity,
+            dimension=self.dimension,
+            step=step,
+            value=float(value),
+            threshold=float(self.threshold),
+            detail=detail,
+        )
+
+
+class RulesEngine:
+    """Evaluates rules after each event; each rule fires at most once.
+
+    One-shot firing keeps incident logs readable and replay-deterministic:
+    a sustained condition produces a single alert at the first step it
+    held, not one alert per subsequent event.
+    """
+
+    def __init__(self, rules: list[AlertRule] | None = None):
+        self.rules = list(rules) if rules is not None else default_rules()
+        self._pending: list[AlertRule] = list(self.rules)
+
+    def evaluate(self, store: SeriesStore, step: int) -> list[Alert]:
+        """Newly fired alerts at *step* (armed rules only)."""
+        if not self._pending:
+            return []
+        fired: list[Alert] = []
+        still_armed: list[AlertRule] = []
+        for rule in self._pending:
+            alert = rule.evaluate(store, step)
+            if alert is None:
+                still_armed.append(rule)
+            else:
+                fired.append(alert)
+        if fired:
+            self._pending = still_armed
+        return fired
+
+
+def default_rules() -> list[AlertRule]:
+    """The stock SLO rules shipped with the observatory.
+
+    Detectors (:mod:`.detectors`) carry the attack-specific logic; these
+    declarative rules cover the coarse posture conditions a plain
+    threshold can express.
+    """
+    return [
+        # A sustained refusal rate means the protection policies are
+        # working overtime — the tracker signature's first half, and on
+        # its own a sign the session is probing the respondent dimension.
+        AlertRule(
+            name="qdb-refusal-rate",
+            series="qdb.refused",
+            window=16,
+            aggregate="mean",
+            op=">=",
+            threshold=0.5,
+            min_count=8,
+            dimension="respondent",
+            severity="warning",
+            description="half of the recent queries were refused",
+        ),
+        # An absolute refusal pile-up over the whole retained window:
+        # even a diluted attack leaves this trail.
+        AlertRule(
+            name="qdb-refusal-volume",
+            series="qdb.refused",
+            window=None,
+            aggregate="total",
+            op=">=",
+            threshold=12,
+            min_count=12,
+            dimension="respondent",
+            severity="info",
+            description="refusal volume exceeds the session budget",
+        ),
+    ]

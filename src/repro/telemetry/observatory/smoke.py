@@ -1,0 +1,144 @@
+"""The ``make observe-smoke`` golden-trace gate.
+
+A short instrumented scenario — the telemetry smoke workload plus a
+deliberately skewed PIR probe sequence — was captured once with the
+observatory attached and committed at ``tests/data/observatory_golden.jsonl``.
+:func:`run_observe_smoke` replays that committed capture and asserts:
+
+* every ``observatory.alert`` span in it validates against the frozen
+  alert schema (:func:`~.rules.validate_alert_record`) *and* the span
+  schema;
+* replaying the trace re-derives **exactly** the frozen alert set
+  :data:`EXPECTED_ALERTS` — same names, severities, dimensions and steps;
+* the re-derived alerts equal the alert spans recorded live, field for
+  field — the observatory's determinism contract.
+
+Any drift — a detector threshold change, a new span the scenario emits,
+an attribute rename — fails the gate, which is the point: alerts are part
+of the trace wire format now.  To regenerate after an *intentional*
+change::
+
+    PYTHONPATH=src python -c "
+    from repro.telemetry.observatory.smoke import capture_golden
+    capture_golden('tests/data/observatory_golden.jsonl')"
+
+then update :data:`EXPECTED_ALERTS` to match the printed alert set.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .. import instrument
+from ..report import read_trace
+from .observatory import Observatory, replay_trace
+from .rules import Alert, AlertSchemaError, validate_alert_record
+
+__all__ = [
+    "EXPECTED_ALERTS",
+    "ObserveSmokeError",
+    "capture_golden",
+    "default_golden_path",
+    "run_observe_smoke",
+]
+
+#: The frozen alert set of the committed golden trace, in firing order:
+#: ``(alert, severity, dimension, step)``.
+EXPECTED_ALERTS: tuple[tuple[str, str, str, int], ...] = (
+    ("tracker-probe", "critical", "respondent", 2),
+    ("tracker-probe", "critical", "respondent", 5),
+    ("tracker-probe", "critical", "respondent", 8),
+    ("qdb-refusal-rate", "warning", "respondent", 11),
+    ("pir-access-skew", "warning", "respondent", 53),
+)
+
+
+class ObserveSmokeError(RuntimeError):
+    """The golden trace failed the observatory's determinism gate."""
+
+
+def default_golden_path() -> Path:
+    """The committed golden trace, resolved from the repo layout.
+
+    Prefers the working directory (the Makefile runs from the repo root)
+    and falls back to walking up from this file (``src/repro/...`` →
+    repo root) so the gate also runs from other directories.
+    """
+    relative = Path("tests/data/observatory_golden.jsonl")
+    if relative.exists():
+        return relative
+    return Path(__file__).resolve().parents[4] / relative
+
+
+def _scenario(records: int, seed: int) -> None:
+    """The golden workload: the smoke scenario plus a skewed PIR probe."""
+    from ...pir.itpir import TwoServerXorPIR
+    from ..smoke import _scenario as telemetry_scenario
+
+    telemetry_scenario(records, seed)
+
+    # An isolation-attack-shaped access profile: one block drawing most
+    # of the retrieval mass through single retrievals, so the golden
+    # trace also exercises the PIR skew detector.  The hammering must be
+    # insistent enough to outweigh the keyword lookups above in the
+    # detector's cumulative tally.
+    pir = TwoServerXorPIR(list(range(16)))
+    for i, index in enumerate([5] * 14 + [0, 1, 2, 3, 4]):
+        pir.retrieve(index, rng=seed + i)
+
+
+def capture_golden(
+    path: str | Path, records: int = 150, seed: int = 3
+) -> Observatory:
+    """(Re)capture the golden trace; prints the alert set to freeze."""
+    observatory = Observatory()
+    with instrument.session(Path(path)) as tracer:
+        observatory.attach(tracer)
+        try:
+            _scenario(records, seed)
+        finally:
+            observatory.detach()
+    for alert in observatory.alerts:
+        print((alert.name, alert.severity, alert.dimension, alert.step))
+    return observatory
+
+
+def run_observe_smoke(trace_path: str | Path | None = None) -> dict:
+    """Validate the committed golden trace; raises on any drift."""
+    trace_path = Path(trace_path) if trace_path else default_golden_path()
+    if not trace_path.exists():
+        raise ObserveSmokeError(f"golden trace missing: {trace_path}")
+    spans = read_trace(trace_path, validate=True)
+
+    alert_spans = [s for s in spans if s["name"] == "observatory.alert"]
+    for record in alert_spans:
+        try:
+            validate_alert_record(record)
+        except AlertSchemaError as exc:
+            raise ObserveSmokeError(f"malformed alert span: {exc}") from exc
+
+    observatory = replay_trace(spans)
+    replayed = observatory.span_alerts()
+    derived = tuple(
+        (a.name, a.severity, a.dimension, a.step) for a in replayed
+    )
+    if derived != EXPECTED_ALERTS:
+        raise ObserveSmokeError(
+            "replayed alert set drifted from the frozen expectation:\n"
+            f"  expected: {EXPECTED_ALERTS}\n"
+            f"  derived:  {derived}"
+        )
+    recorded = [Alert.from_span_attrs(s["attrs"]) for s in alert_spans
+                if s["attrs"]["source"] == "span"]
+    if replayed != recorded:
+        raise ObserveSmokeError(
+            f"recorded alert spans ({len(recorded)}) do not match the "
+            f"re-derived alerts ({len(replayed)})"
+        )
+    return {
+        "trace": str(trace_path),
+        "spans": len(spans),
+        "alerts": len(replayed),
+        "alert_names": sorted({a.name for a in replayed}),
+        "posture": observatory.posture(),
+    }

@@ -1,0 +1,300 @@
+"""Windowed time-series over telemetry events — the observatory's memory.
+
+Everything here is indexed by **step**, a monotonic event counter (one
+step per finished span the observatory ingests), never by wall-clock
+time: a captured trace replays into bit-identical series and alert
+decisions on any machine, which is what makes the golden-trace smoke
+gate possible.
+
+* :class:`Series` — a fixed-capacity ring buffer of ``(step, value)``
+  samples with O(1) append and cheap tumbling/sliding window views.
+* :class:`HistogramSeries` — cumulative fixed-bucket snapshots sampled
+  from a registry histogram; window deltas yield p50/p95 without raw
+  samples (:func:`quantile_from_buckets`).
+* :class:`SeriesStore` — the named collection detectors and alert rules
+  read from.
+
+>>> s = Series("qdb.refused", capacity=4)
+>>> for step, value in enumerate([0, 1, 1, 0, 1], start=1):
+...     s.append(step, value)
+>>> len(s), s.values()        # capacity 4: the oldest sample fell out
+(4, [1.0, 1.0, 0.0, 1.0])
+>>> s.window(2).mean
+0.5
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "HistogramSeries",
+    "Series",
+    "SeriesStore",
+    "WindowAggregate",
+    "quantile_from_buckets",
+]
+
+#: Default ring-buffer capacity per series (samples, not bytes).
+DEFAULT_CAPACITY = 512
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Conservative quantile estimate from fixed histogram buckets.
+
+    ``bounds`` are the sorted upper edges; ``counts`` has one extra entry
+    for the ``+inf`` overflow bucket.  Returns the upper edge of the
+    bucket containing the ``q``-quantile observation — an upper bound on
+    the true quantile, which is the honest direction for latency SLOs.
+    Returns ``0.0`` for an empty histogram and ``inf`` when the quantile
+    lands in the overflow bucket.
+
+    >>> quantile_from_buckets((0.001, 0.01, 0.1), (5, 3, 2, 0), 0.5)
+    0.001
+    >>> quantile_from_buckets((0.001, 0.01, 0.1), (5, 3, 2, 0), 0.95)
+    0.1
+    >>> quantile_from_buckets((0.001,), (0, 3), 0.5)
+    inf
+    """
+    if len(counts) != len(bounds) + 1:
+        raise ValueError("counts must have one entry per bound plus overflow")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= rank:
+            return float(bound)
+    return math.inf
+
+
+@dataclass(frozen=True)
+class WindowAggregate:
+    """Aggregates over one window of ``(step, value)`` samples."""
+
+    steps: tuple[int, ...]
+    values: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of samples in the window."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of the window's values."""
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        """Mean value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def last(self) -> float:
+        """Most recent value (0.0 when empty)."""
+        return self.values[-1] if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest value (0.0 when empty)."""
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def delta(self) -> float:
+        """Last minus first value — growth of a sampled counter."""
+        if len(self.values) < 2:
+            return 0.0
+        return self.values[-1] - self.values[0]
+
+    @property
+    def rate(self) -> float:
+        """Delta per step — the event-time analogue of a per-second rate."""
+        if len(self.steps) < 2:
+            return 0.0
+        span = self.steps[-1] - self.steps[0]
+        return self.delta / span if span else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-quantile of the raw window samples (0.0 when empty)."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def aggregate(self, kind: str, q: float | None = None) -> float:
+        """Dispatch by aggregate name (the rule engine's selector)."""
+        if kind == "p50":
+            return self.percentile(0.5)
+        if kind == "p95":
+            return self.percentile(0.95)
+        if kind == "percentile":
+            return self.percentile(0.95 if q is None else q)
+        if kind in ("count", "total", "mean", "last", "max", "delta", "rate"):
+            return float(getattr(self, kind))
+        raise ValueError(f"unknown window aggregate {kind!r}")
+
+
+class Series:
+    """A fixed-capacity ring buffer of ``(step, value)`` samples.
+
+    Appending past capacity overwrites the oldest sample; ``count`` and
+    ``total`` keep running lifetime totals so rates survive eviction.
+    """
+
+    __slots__ = ("name", "capacity", "_steps", "_values", "_size", "_next",
+                 "count", "total")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._steps = [0] * capacity
+        self._values = [0.0] * capacity
+        self._size = 0
+        self._next = 0
+        self.count = 0      # lifetime samples (evicted ones included)
+        self.total = 0.0    # lifetime value sum
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, step: int, value: float) -> None:
+        """Record one sample at *step*."""
+        self._steps[self._next] = step
+        self._values[self._next] = float(value)
+        self._next = (self._next + 1) % self.capacity
+        if self._size < self.capacity:
+            self._size += 1
+        self.count += 1
+        self.total += value
+
+    def _ordered(self) -> tuple[list[int], list[float]]:
+        if self._size < self.capacity:
+            return self._steps[: self._size], self._values[: self._size]
+        head = self._next
+        return (self._steps[head:] + self._steps[:head],
+                self._values[head:] + self._values[:head])
+
+    def samples(self) -> list[tuple[int, float]]:
+        """Retained samples, oldest first."""
+        steps, values = self._ordered()
+        return list(zip(steps, values))
+
+    def values(self) -> list[float]:
+        """Retained values, oldest first."""
+        return self._ordered()[1]
+
+    def window(self, n: int | None = None) -> WindowAggregate:
+        """Sliding window over the most recent *n* samples (all if None)."""
+        steps, values = self._ordered()
+        if n is not None and n < len(values):
+            steps, values = steps[-n:], values[-n:]
+        return WindowAggregate(tuple(steps), tuple(values))
+
+    def since(self, step: int) -> WindowAggregate:
+        """Tumbling window: every retained sample with ``step >= step``."""
+        steps, values = self._ordered()
+        start = 0
+        while start < len(steps) and steps[start] < step:
+            start += 1
+        return WindowAggregate(tuple(steps[start:]), tuple(values[start:]))
+
+    def __repr__(self) -> str:
+        return f"Series({self.name!r}, size={self._size}/{self.capacity})"
+
+
+class HistogramSeries:
+    """Cumulative histogram snapshots; windows difference the buckets.
+
+    Each sample is the histogram's *cumulative* state at a step; a window
+    subtracts the first snapshot from the last, so p50/p95 describe only
+    the observations that arrived inside the window.
+    """
+
+    __slots__ = ("name", "bounds", "_snaps", "_snaps_buckets")
+
+    def __init__(self, name: str, bounds: Sequence[float],
+                 capacity: int = 64):
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self._snaps = Series(name + ".__snaps", capacity)
+        # The value slot of each Series sample indexes into a parallel
+        # list of bucket tuples; keep them in lockstep.
+        self._snaps_buckets: list[tuple[int, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._snaps_buckets)
+
+    def append(self, step: int, bucket_counts: Sequence[int]) -> None:
+        """Record the histogram's cumulative bucket counts at *step*."""
+        if len(bucket_counts) != len(self.bounds) + 1:
+            raise ValueError("bucket_counts must match bounds (+overflow)")
+        if len(self._snaps_buckets) >= self._snaps.capacity:
+            self._snaps_buckets.pop(0)
+        self._snaps_buckets.append(tuple(int(c) for c in bucket_counts))
+        self._snaps.append(step, float(sum(bucket_counts)))
+
+    def window_buckets(self, n: int | None = None) -> tuple[int, ...]:
+        """Per-bucket observation counts inside the last-*n*-snapshot window."""
+        snaps = self._snaps_buckets
+        if not snaps:
+            return tuple([0] * (len(self.bounds) + 1))
+        if n is None or n >= len(snaps):
+            return snaps[-1]
+        first, last = snaps[-n - 1], snaps[-1]
+        return tuple(b - a for a, b in zip(first, last))
+
+    def quantile(self, q: float, window: int | None = None) -> float:
+        """Windowed quantile upper bound via :func:`quantile_from_buckets`."""
+        return quantile_from_buckets(self.bounds, self.window_buckets(window), q)
+
+
+class SeriesStore:
+    """Named series with get-or-create semantics (the detectors' input)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._series: dict[str, Series] = {}
+        self._histograms: dict[str, HistogramSeries] = {}
+
+    def series(self, name: str) -> Series:
+        """Get or create the named scalar series."""
+        series = self._series.get(name)
+        if series is None:
+            series = Series(name, self.capacity)
+            self._series[name] = series
+        return series
+
+    def histogram_series(
+        self, name: str, bounds: Sequence[float]
+    ) -> HistogramSeries:
+        """Get or create the named histogram-snapshot series."""
+        series = self._histograms.get(name)
+        if series is None:
+            series = HistogramSeries(name, bounds)
+            self._histograms[name] = series
+        return series
+
+    def get(self, name: str) -> Series | None:
+        """The named scalar series, or None if never written."""
+        return self._series.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted names of every scalar series."""
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series or name in self._histograms
+
+    def __repr__(self) -> str:
+        return (f"SeriesStore(series={len(self._series)}, "
+                f"histograms={len(self._histograms)})")

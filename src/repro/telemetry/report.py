@@ -17,6 +17,7 @@ from .tracing import SpanSchemaError, validate_record
 
 __all__ = [
     "TraceReport",
+    "alert_decisions",
     "degradation_decisions",
     "load_trace",
     "read_trace",
@@ -133,6 +134,32 @@ def degradation_decisions(spans: list[dict]) -> list[dict]:
     return decisions
 
 
+def alert_decisions(spans: list[dict]) -> list[dict]:
+    """Every observatory alert recorded in the trace.
+
+    The observatory (:mod:`repro.telemetry.observatory`) emits an
+    ``observatory.alert`` span for each alert its detectors or SLO rules
+    fire.  Returns dictionaries ``{"alert", "severity", "dimension",
+    "step", "detail", "span_id"}`` in trace order, so the report
+    reconstructs the run's incident log next to its refusal and
+    degradation history.
+    """
+    decisions = []
+    for span in spans:
+        if span["name"] != "observatory.alert":
+            continue
+        attrs = span["attrs"]
+        decisions.append({
+            "span_id": span["span_id"],
+            "alert": attrs.get("alert", "?"),
+            "severity": attrs.get("severity", "?"),
+            "dimension": attrs.get("dimension", "?"),
+            "step": attrs.get("step", 0),
+            "detail": attrs.get("detail", ""),
+        })
+    return decisions
+
+
 @dataclass
 class TraceReport:
     """Everything the report CLI prints, as data."""
@@ -154,6 +181,11 @@ class TraceReport:
     def degradations(self) -> list[dict]:
         """Reconstructed fault-tolerance degradation decisions."""
         return degradation_decisions(self.spans)
+
+    @property
+    def alerts(self) -> list[dict]:
+        """Reconstructed observatory alerts (the incident log)."""
+        return alert_decisions(self.spans)
 
     def format(self, top: int = 10) -> str:
         """Human-readable report: summary table, slowest spans, refusals."""
@@ -196,6 +228,14 @@ class TraceReport:
             lines.append(
                 f"  [{decision['component']}] {decision['decision']}\n"
                 f"      -> {decision['reason']}"
+            )
+        alerts = self.alerts
+        lines += ["", f"observatory alerts: {len(alerts)}"]
+        for decision in alerts:
+            lines.append(
+                f"  [{decision['severity']}] {decision['alert']} "
+                f"({decision['dimension']}, step {decision['step']})\n"
+                f"      -> {decision['detail']}"
             )
         return "\n".join(lines)
 

@@ -9,6 +9,13 @@ refusal decision must be reconstructable with a policy name and a reason.
 
 Any schema drift or missing instrumentation raises :class:`SmokeError`,
 which the CLI converts to a nonzero exit — the CI gate.
+
+The observatory rides the same session: a live
+:class:`~repro.telemetry.observatory.Observatory` subscribes to the
+tracer, and the smoke asserts the attack-warning guarantee — the
+tracker-probe detector's alert span is emitted *strictly before* the
+attacker's differencing SUM queries run — plus replay determinism (the
+captured trace re-derives exactly the alerts the live run emitted).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from . import instrument
+from .observatory import Alert, Observatory, replay_trace, validate_alert_record
 from .report import read_trace, refusal_decisions, summarize
 
 __all__ = ["SmokeError", "run_smoke"]
@@ -85,12 +93,22 @@ def _scenario(records: int, seed: int) -> dict:
     # SMC layer: transcript counters tagged by protocol.
     total = ring_secure_sum([3, 5, 9], transcript=None)
 
+    # A tracker that *completes*: against size control alone the SUM
+    # differencing pair goes through, so the capture contains the full
+    # attack — COUNT probes, then the final SUM queries the observatory
+    # must have warned before.
+    open_db = StatisticalDatabase(pop, [QuerySetSizeControl(5)])
+    disclosure = tracker_attack(
+        open_db, pop, targets[0], ["height", "weight"], "blood_pressure"
+    )
+
     return {
         "tracker_refusals": sum(r.refusals for r in tracker_outcomes),
         "whole_count_refused": whole.refused,
         "replay_answered": sum(a.ok for a in replay_answers),
         "keyword_hit": hits[0],
         "secure_sum": total,
+        "disclosure_exact": disclosure.exact,
     }
 
 
@@ -104,8 +122,13 @@ def run_smoke(
     missing instrumentation.
     """
     trace_path = Path(trace_path)
-    with instrument.session(trace_path):
-        truth = _scenario(records, seed)
+    observatory = Observatory()
+    with instrument.session(trace_path) as live_tracer:
+        observatory.attach(live_tracer)
+        try:
+            truth = _scenario(records, seed)
+        finally:
+            observatory.detach()
 
     # Schema gate: every line must parse and validate.
     spans = read_trace(trace_path, validate=True)
@@ -130,12 +153,60 @@ def run_smoke(
     if not truth["whole_count_refused"]:
         raise SmokeError("the guaranteed size-control refusal did not refuse")
 
+    # Observatory gate 1: the tracker-probe alert must be in the capture
+    # as a schema-valid alert span.
+    alert_spans = [s for s in spans if s["name"] == "observatory.alert"]
+    for record in alert_spans:
+        try:
+            validate_alert_record(record)
+        except ValueError as exc:
+            raise SmokeError(f"malformed alert span: {exc}") from exc
+    tracker_alerts = [
+        s for s in alert_spans if s["attrs"]["alert"] == "tracker-probe"
+    ]
+    if not tracker_alerts:
+        raise SmokeError("the tracker attack fired no tracker-probe alert")
+
+    # Observatory gate 2: the warning precedes the disclosure.  The SUM
+    # differencing queries of the completing tracker must all carry span
+    # ids larger than the first tracker-probe alert's — i.e. the alarm
+    # sounded while the attacker was still probing with COUNTs.
+    if not truth["disclosure_exact"]:
+        raise SmokeError("the unaudited tracker did not disclose exactly")
+    sum_tracker_ids = [
+        s["span_id"]
+        for s in spans
+        if s["name"] == "qdb.query"
+        and s["attrs"].get("aggregate") == "SUM"
+        and "(NOT " in s["attrs"].get("predicate", "")
+    ]
+    if not sum_tracker_ids:
+        raise SmokeError("capture contains no differencing SUM queries")
+    first_alert_id = min(s["span_id"] for s in tracker_alerts)
+    if first_alert_id >= min(sum_tracker_ids):
+        raise SmokeError(
+            "tracker-probe alert did not precede the differencing SUM pair "
+            f"(alert span {first_alert_id} >= SUM span {min(sum_tracker_ids)})"
+        )
+
+    # Observatory gate 3: replay determinism — the captured trace
+    # re-derives exactly the span-sourced alerts the live run emitted.
+    replayed = replay_trace(spans).span_alerts()
+    recorded = [Alert.from_span_attrs(s["attrs"]) for s in alert_spans]
+    if replayed != recorded:
+        raise SmokeError(
+            f"replay drift: live run emitted {len(recorded)} alert(s), "
+            f"replay derived {len(replayed)}"
+        )
+
     stats = summarize(spans)
     return {
         "trace": str(trace_path),
         "spans": len(spans),
         "span_names": sorted(names),
         "refusal_decisions": len(refusals),
+        "alerts": len(alert_spans),
+        "alert_names": sorted({s["attrs"]["alert"] for s in alert_spans}),
         "per_name_counts": {name: s.count for name, s in stats.items()},
         **truth,
     }

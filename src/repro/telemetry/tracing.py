@@ -113,13 +113,14 @@ class Span:
 
     __slots__ = (
         "name", "attrs", "span_id", "parent_id", "depth",
-        "start", "duration", "_tracer",
+        "start", "duration", "_tracer", "_attrs_fn",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
+        self._attrs_fn = None
         self.span_id = 0
         self.parent_id: int | None = None
         self.depth = 0
@@ -128,20 +129,84 @@ class Span:
 
     def set(self, key: str, value) -> None:
         """Attach (or overwrite) one attribute on the open span."""
+        if self._attrs_fn is not None:
+            self._materialize_attrs()
         self.attrs[key] = _scalar(value)
 
+    def defer_attrs(self, builder) -> None:
+        """Provide the span's attributes lazily, via *builder()*.
+
+        ``builder`` must return a dict of JSON scalars; it runs once, at
+        materialization time (record buffer read, sink write, subscriber
+        delivery, or a later :meth:`set`).  Attributes written eagerly
+        *after* this call — e.g. the automatic ``error`` key — overlay
+        the built dict.  Hot paths use this so that a buffered-only
+        telemetry session never pays for attribute rendering at all.
+        """
+        self._attrs_fn = builder
+
+    def _materialize_attrs(self) -> None:
+        built = self._attrs_fn()
+        self._attrs_fn = None
+        if self.attrs:
+            built.update(self.attrs)
+        self.attrs = built
+
+    # __enter__/__exit__ inline Tracer._open/_close: a span open/close
+    # pair sits on the per-query hot path of every instrumented engine,
+    # and the enabled-overhead benchmark gate (<10% on qdb_ask_batch)
+    # leaves no room for two extra frames per span.
+
     def __enter__(self) -> "Span":
-        self._tracer._open(self)
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        stack = tracer._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        tracer.spans_started += 1
+        self.start = time.perf_counter() - tracer._epoch
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
-        self._tracer._close(self)
+        tracer = self._tracer
+        self.duration = time.perf_counter() - tracer._epoch - self.start
+        # Tolerate exception-driven unwinding: pop through any abandoned
+        # children so the stack never corrupts subsequent nesting.
+        stack = tracer._stack
+        while stack:
+            if stack.pop() is self:
+                break
+        if tracer.sink is None and not tracer._subscribers:
+            # No consumer needs the record *now*: park the finished span
+            # and let Tracer.finished materialize dictionaries on read.
+            # A buffered-only session (the common enabled configuration,
+            # and what the telemetry-overhead gate times) thus never
+            # builds a record dict per span on the hot path.
+            pending = tracer._pending
+            pending.append(self)
+            if len(pending) >= tracer._maxlen:
+                tracer._drain()
+            return False
+        tracer._drain()  # keep close order if earlier spans were parked
+        record = self.to_record()
+        finished = tracer._finished
+        if len(finished) == tracer._maxlen:
+            tracer.spans_dropped += 1
+        finished.append(record)
+        if tracer.sink is not None:
+            tracer.sink.write(record)
+        for callback in tuple(tracer._subscribers):
+            callback(record)
         return False
 
     def to_record(self) -> dict:
         """The finished span as a schema-conformant dictionary."""
+        if self._attrs_fn is not None:
+            self._materialize_attrs()
         return {
             "type": "span",
             "span_id": self.span_id,
@@ -186,42 +251,71 @@ class Tracer:
     """
 
     def __init__(self, buffer_size: int = 4096, sink: JsonlSink | None = None):
-        self.finished: deque[dict] = deque(maxlen=buffer_size)
+        self._finished: deque[dict] = deque(maxlen=buffer_size)
+        self._maxlen = buffer_size
+        self._pending: list[Span] = []
         self.sink = sink
         self.spans_started = 0
         self.spans_dropped = 0
         self._stack: list[Span] = []
         self._next_id = 1
         self._epoch = time.perf_counter()
+        self._subscribers: list = []
+
+    @property
+    def finished(self) -> deque:
+        """The bounded buffer of finished span records (oldest first).
+
+        Spans closed while no sink or subscriber was attached are parked
+        as objects and only rendered to schema-conformant dictionaries
+        here, on first read — the buffered hot path stays dict-free.
+        """
+        self._drain()
+        return self._finished
+
+    def _drain(self) -> None:
+        """Materialize parked spans into the record buffer, in order."""
+        if self._pending:
+            pending, self._pending = self._pending, []
+            finished = self._finished
+            for span in pending:
+                if len(finished) == self._maxlen:
+                    self.spans_dropped += 1
+                finished.append(span.to_record())
+
+    def add_subscriber(self, callback) -> None:
+        """Register *callback(record)* to receive every finished span.
+
+        Subscribers are the live feed behind the streaming observatory:
+        they see each schema-conformant record exactly once, in close
+        order (children before parents), synchronously from span exit.
+        A subscriber that opens spans of its own (alert emission) is safe —
+        by the time it runs, the closed span is already off the stack.
+        """
+        if callback not in self._subscribers:
+            self._drain()  # records from the lazy era stay ordered first
+            self._subscribers.append(callback)
+
+    def remove_subscriber(self, callback) -> None:
+        """Unregister a subscriber (no-op when absent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
 
     def span(self, name: str, **attrs) -> Span:
-        """A new span context manager; attrs are coerced to JSON scalars."""
-        return Span(self, name, {k: _scalar(v) for k, v in attrs.items()})
+        """A new span context manager; attrs are coerced to JSON scalars.
+
+        The ``**attrs`` dict is owned by this call, so coercion mutates
+        it in place and touches only non-scalar values — on the hot path
+        (every attribute already a str/int/float/bool/None) this costs
+        six isinstance checks, not a dict rebuild.
+        """
+        for key, value in attrs.items():
+            if not isinstance(value, _SCALAR_TYPES):
+                attrs[key] = _scalar(value)
+        return Span(self, name, attrs)
 
     @property
     def depth(self) -> int:
         """Current nesting depth (number of open spans)."""
         return len(self._stack)
 
-    def _open(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        span.parent_id = self._stack[-1].span_id if self._stack else None
-        span.depth = len(self._stack)
-        self._stack.append(span)
-        self.spans_started += 1
-        span.start = time.perf_counter() - self._epoch
-
-    def _close(self, span: Span) -> None:
-        span.duration = time.perf_counter() - self._epoch - span.start
-        # Tolerate exception-driven unwinding: pop through any abandoned
-        # children so the stack never corrupts subsequent nesting.
-        while self._stack:
-            if self._stack.pop() is span:
-                break
-        if len(self.finished) == self.finished.maxlen:
-            self.spans_dropped += 1
-        record = span.to_record()
-        self.finished.append(record)
-        if self.sink is not None:
-            self.sink.write(record)

@@ -1,0 +1,281 @@
+"""Online attack detectors and the declarative alert rules."""
+
+import pytest
+
+from repro.telemetry.observatory import (
+    Alert,
+    AlertRule,
+    AlertSchemaError,
+    DegradationBurstDetector,
+    PIRAccessSkewDetector,
+    RulesEngine,
+    SMCImbalanceDetector,
+    TrackerProbeDetector,
+    default_detectors,
+    validate_alert_record,
+)
+from repro.telemetry.observatory.detectors import pair_traffic_from_counters
+from repro.telemetry.observatory.stream import SeriesStore
+
+
+def span(name, **attrs):
+    """A minimal schema-shaped span record for feeding detectors."""
+    return {
+        "type": "span", "span_id": 1, "parent_id": None, "name": name,
+        "depth": 0, "start": 0.0, "duration": 0.001, "attrs": attrs,
+    }
+
+
+def count_probe(predicate, size):
+    return span(
+        "qdb.query", aggregate="COUNT", predicate=predicate,
+        query_set_size=size,
+    )
+
+
+class TestTrackerProbeDetector:
+    def test_padding_tracker_pair_fires_critical(self):
+        d = TrackerProbeDetector()
+        store = SeriesStore()
+        assert d.observe_span(count_probe("height = 170.0", 3), 1, store) == []
+        fired = d.observe_span(
+            count_probe("(height = 170.0 AND (NOT weight = 80.0))", 2),
+            2, store,
+        )
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert.name == "tracker-probe"
+        assert alert.severity == "critical"
+        assert alert.dimension == "respondent"
+        assert alert.value == 1.0
+
+    def test_innocent_drilldown_passes(self):
+        d = TrackerProbeDetector()
+        store = SeriesStore()
+        d.observe_span(count_probe("height > 170.0", 60), 1, store)
+        # Contains the earlier predicate but carves off a large
+        # sub-population and negates nothing: not a tracker.
+        assert d.observe_span(
+            count_probe("(height > 170.0 AND weight > 80.0)", 20), 2, store,
+        ) == []
+
+    def test_large_difference_passes_even_with_negation(self):
+        d = TrackerProbeDetector(max_count_diff=2.0)
+        store = SeriesStore()
+        d.observe_span(count_probe("height > 150.0", 90), 1, store)
+        assert d.observe_span(
+            count_probe("(height > 150.0 AND (NOT weight > 80.0))", 40),
+            2, store,
+        ) == []
+
+    def test_each_tracker_predicate_fires_once(self):
+        d = TrackerProbeDetector()
+        store = SeriesStore()
+        d.observe_span(count_probe("height = 170.0", 3), 1, store)
+        tracker = count_probe("(height = 170.0 AND (NOT weight = 80.0))", 2)
+        assert len(d.observe_span(tracker, 2, store)) == 1
+        d.observe_span(count_probe("height = 170.0", 3), 3, store)
+        assert d.observe_span(tracker, 4, store) == []
+
+    def test_sum_queries_are_ignored(self):
+        d = TrackerProbeDetector()
+        store = SeriesStore()
+        d.observe_span(count_probe("height = 170.0", 3), 1, store)
+        assert d.observe_span(
+            span("qdb.query", aggregate="SUM",
+                 predicate="(height = 170.0 AND (NOT weight = 80.0))",
+                 query_set_size=2),
+            2, store,
+        ) == []
+
+
+class TestPIRAccessSkewDetector:
+    def test_skewed_single_retrievals_fire(self):
+        d = PIRAccessSkewDetector(min_retrievals=12, max_top_share=0.5)
+        store = SeriesStore()
+        fired = []
+        step = 0
+        for block in [5] * 8 + [0, 1, 2, 3] + [5]:
+            step += 1
+            fired += d.observe_span(
+                span("pir.retrieve", block=block), step, store
+            )
+        assert [a.name for a in fired] == ["pir-access-skew"]
+        assert fired[0].dimension == "respondent"
+        assert "block 5" in fired[0].detail
+
+    def test_uniform_access_stays_silent(self):
+        d = PIRAccessSkewDetector(min_retrievals=12, max_top_share=0.5)
+        store = SeriesStore()
+        fired = []
+        for step, block in enumerate(list(range(8)) * 3, start=1):
+            fired += d.observe_span(
+                span("pir.retrieve", block=block), step, store
+            )
+        assert fired == []
+
+    def test_batch_summary_attrs_are_ingested(self):
+        d = PIRAccessSkewDetector(min_retrievals=12, max_top_share=0.5)
+        store = SeriesStore()
+        fired = d.observe_span(
+            span("pir.retrieve_batch", n_queries=16, top_block=3,
+                 top_count=12, distinct_blocks=5),
+            1, store,
+        )
+        assert len(fired) == 1
+        assert fired[0].value == pytest.approx(12 / 16)
+
+    def test_fires_once_per_top_block(self):
+        d = PIRAccessSkewDetector(min_retrievals=4, max_top_share=0.5)
+        store = SeriesStore()
+        fired = []
+        for step in range(1, 9):
+            fired += d.observe_span(span("pir.retrieve", block=7), step, store)
+        assert len(fired) == 1
+
+
+class TestSMCImbalanceDetector:
+    def test_pair_traffic_parsing(self):
+        traffic = pair_traffic_from_counters({
+            "smc.payload_bytes[ring-sum|P0->P1]": 24,
+            "smc.payload_bytes[shares-sum|P2->P0]": 8,
+            "smc.rounds": 3,
+            "smc.payload_bytes[malformed": 1,
+        })
+        assert traffic == {
+            ("ring-sum", "P0", "P1"): 24,
+            ("shares-sum", "P2", "P0"): 8,
+        }
+
+    def test_silent_receiver_fires_owner_alert(self):
+        d = SMCImbalanceDetector(min_received_bytes=8)
+        fired = d.observe_snapshot({"counters": {
+            "smc.payload_bytes[shares-sum|P0->P1]": 16,
+            "smc.payload_bytes[shares-sum|P0->P2]": 16,
+            "smc.payload_bytes[shares-sum|P2->P0]": 16,
+        }}, step=5)
+        assert [a.name for a in fired] == ["smc-traffic-imbalance"]
+        alert = fired[0]
+        assert alert.dimension == "owner"
+        assert alert.source == "metric"
+        assert "P1" in alert.detail
+
+    def test_balanced_ring_stays_silent(self):
+        d = SMCImbalanceDetector()
+        assert d.observe_snapshot({"counters": {
+            "smc.payload_bytes[ring-sum|P0->P1]": 8,
+            "smc.payload_bytes[ring-sum|P1->P2]": 8,
+            "smc.payload_bytes[ring-sum|P2->P0]": 8,
+        }}, step=1) == []
+
+    def test_fires_once_per_party(self):
+        d = SMCImbalanceDetector()
+        counters = {"counters": {"smc.payload_bytes[s|P0->P1]": 16}}
+        assert len(d.observe_snapshot(counters, step=1)) == 1
+        assert d.observe_snapshot(counters, step=2) == []
+
+
+class TestDegradationBurstDetector:
+    def test_burst_fires_with_component_dimension(self):
+        d = DegradationBurstDetector(burst=3, window_steps=10)
+        store = SeriesStore()
+        fired = []
+        for step, component in ((1, "pir"), (2, "pir"), (3, "smc")):
+            fired += d.observe_span(
+                span("faults.degrade", component=component), step, store
+            )
+        assert [a.name for a in fired] == ["degradation-burst"]
+        assert fired[0].dimension == "user"  # pir is the top component
+        assert fired[0].value == 3.0
+
+    def test_spread_out_degradations_stay_silent(self):
+        d = DegradationBurstDetector(burst=3, window_steps=5)
+        store = SeriesStore()
+        fired = []
+        for step in (1, 10, 20):
+            fired += d.observe_span(
+                span("faults.degrade", component="qdb"), step, store
+            )
+        assert fired == []
+
+    def test_fires_once_per_run(self):
+        d = DegradationBurstDetector(burst=2, window_steps=100)
+        store = SeriesStore()
+        fired = []
+        for step in range(1, 6):
+            fired += d.observe_span(
+                span("faults.degrade", component="smc"), step, store
+            )
+        assert len(fired) == 1
+        assert fired[0].dimension == "owner"
+
+
+class TestRules:
+    def test_rule_fires_past_threshold_with_min_count(self):
+        store = SeriesStore()
+        rule = AlertRule(name="r", series="s", window=4, aggregate="mean",
+                         op=">=", threshold=0.5, dimension="user",
+                         min_count=4)
+        for step in range(1, 4):
+            store.series("s").append(step, 1.0)
+            assert rule.evaluate(store, step) is None  # below min_count
+        store.series("s").append(4, 1.0)
+        alert = rule.evaluate(store, 4)
+        assert alert is not None and alert.value == 1.0
+
+    def test_engine_is_one_shot_per_rule(self):
+        store = SeriesStore()
+        rule = AlertRule(name="r", series="s", window=None, aggregate="total",
+                         op=">=", threshold=2, dimension="owner")
+        engine = RulesEngine([rule])
+        store.series("s").append(1, 3.0)
+        assert [a.name for a in engine.evaluate(store, 1)] == ["r"]
+        store.series("s").append(2, 3.0)
+        assert engine.evaluate(store, 2) == []
+
+    def test_rule_validates_op_dimension_severity(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="r", series="s", window=1, aggregate="mean",
+                      op="~=", threshold=0, dimension="user")
+        with pytest.raises(ValueError):
+            AlertRule(name="r", series="s", window=1, aggregate="mean",
+                      op=">", threshold=0, dimension="attacker")
+
+    def test_default_detectors_are_fresh_instances(self):
+        a, b = default_detectors(), default_detectors()
+        assert {d.name for d in a} == {
+            "tracker-probe", "pir-access-skew", "smc-traffic-imbalance",
+            "degradation-burst",
+        }
+        assert all(x is not y for x, y in zip(a, b))
+
+
+class TestAlertSchema:
+    def test_span_attrs_round_trip(self):
+        alert = Alert(name="x", severity="warning", dimension="user",
+                      step=3, value=1.5, threshold=1.0, detail="d")
+        assert Alert.from_span_attrs(alert.span_attrs()) == alert
+
+    def test_alert_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            Alert(name="x", severity="fatal", dimension="user", step=1,
+                  value=0, threshold=0)
+        with pytest.raises(ValueError):
+            Alert(name="x", severity="info", dimension="user", step=1,
+                  value=0, threshold=0, source="guess")
+
+    def test_validate_alert_record(self):
+        alert = Alert(name="x", severity="info", dimension="owner", step=2,
+                      value=0.0, threshold=1.0)
+        record = span("observatory.alert", **alert.span_attrs())
+        validate_alert_record(record)  # no raise
+        with pytest.raises(AlertSchemaError, match="not an alert span"):
+            validate_alert_record(span("qdb.query"))
+        broken = span("observatory.alert", **alert.span_attrs())
+        del broken["attrs"]["severity"]
+        with pytest.raises(AlertSchemaError, match="missing attr"):
+            validate_alert_record(broken)
+        wrong_type = span("observatory.alert", **alert.span_attrs())
+        wrong_type["attrs"]["step"] = "2"
+        with pytest.raises(AlertSchemaError, match="invalid type"):
+            validate_alert_record(wrong_type)

@@ -1,0 +1,106 @@
+"""Snapshot exporters: OpenMetrics round-trip and JSONL persistence."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.observatory import (
+    parse_openmetrics,
+    read_snapshot_jsonl,
+    render_openmetrics,
+    sanitize_name,
+    sanitized_snapshot,
+    split_metric_name,
+    write_snapshot_jsonl,
+)
+
+
+def _populated_registry():
+    """A registry exercising every exporter feature: bracketed counters,
+    gauges with float values, and a multi-bucket histogram."""
+    reg = MetricsRegistry(owner="test", standalone=True)
+    reg.counter("qdb.queries_asked").inc(42)
+    reg.counter("smc.payload_bytes[ring-sum|P0->P1]").inc(24)
+    reg.counter("smc.payload_bytes[ring-sum|P1->P2]").inc(24)
+    reg.counter("smc.payload_bytes").inc(48)
+    reg.gauge("pir.user_privacy").set(0.75)
+    h = reg.histogram("qdb.query_seconds", bounds=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.002, 0.05, 0.5):
+        h.observe(value)
+    return reg
+
+
+class TestNameMapping:
+    def test_sanitize_name(self):
+        assert sanitize_name("qdb.mask_cache.hits") == "qdb_mask_cache_hits"
+        assert sanitize_name("3d") == "_3d"
+        assert sanitize_name("") == "_"
+
+    def test_split_metric_name(self):
+        assert split_metric_name("a.b[x|y->z]") == ("a.b", "x|y->z")
+        assert split_metric_name("a.b") == ("a.b", None)
+
+
+class TestOpenMetricsRoundTrip:
+    def test_parse_back_equals_sanitized_snapshot(self):
+        # The exporter contract: export → parse is the identity on the
+        # sanitized snapshot (the text format cannot carry the owner).
+        snapshot = _populated_registry().snapshot()
+        text = render_openmetrics(snapshot)
+        expected = sanitized_snapshot(snapshot)
+        expected.pop("owner", None)
+        assert parse_openmetrics(text) == expected
+
+    def test_exposition_format_essentials(self):
+        text = render_openmetrics(_populated_registry().snapshot())
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_qdb_queries_asked counter" in text
+        assert "repro_qdb_queries_asked_total 42" in text
+        # Bracketed counters become a tag label under the family name.
+        assert 'repro_smc_payload_bytes_total{tag="ring-sum|P0->P1"} 24' in text
+        # Histogram buckets are cumulative and end at +Inf.
+        assert 'repro_qdb_query_seconds_bucket{le="+Inf"} 5' in text
+        assert "repro_qdb_query_seconds_count 5" in text
+
+    def test_float_values_round_trip_exactly(self):
+        snapshot = {"counters": {}, "gauges": {"g": 0.1 + 0.2},
+                    "histograms": {}}
+        parsed = parse_openmetrics(render_openmetrics(snapshot))
+        assert parsed["gauges"]["g"] == 0.1 + 0.2
+
+    def test_namespace_is_configurable(self):
+        text = render_openmetrics(
+            {"counters": {"hits": 1}, "gauges": {}, "histograms": {}},
+            namespace="privacy",
+        )
+        assert "privacy_hits_total 1" in text
+        assert parse_openmetrics(text, namespace="privacy") == {
+            "counters": {"hits": 1}, "gauges": {}, "histograms": {},
+        }
+
+    def test_untyped_sample_is_rejected(self):
+        with pytest.raises(ValueError, match="has no TYPE"):
+            parse_openmetrics("mystery_metric 3\n# EOF\n")
+
+
+class TestJsonlSnapshot:
+    def test_round_trip_is_exact(self, tmp_path):
+        snapshot = _populated_registry().snapshot()
+        path = tmp_path / "metrics.jsonl"
+        written = write_snapshot_jsonl(snapshot, path)
+        assert written == len(snapshot["counters"]) + len(
+            snapshot["gauges"]
+        ) + len(snapshot["histograms"])
+        back = read_snapshot_jsonl(path)
+        assert back["owner"] == "test"
+        assert back["counters"] == snapshot["counters"]
+        assert back["gauges"] == snapshot["gauges"]
+        assert back["histograms"] == snapshot["histograms"]
+
+    def test_meta_line_carries_schema_version(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        write_snapshot_jsonl(
+            {"counters": {}, "gauges": {}, "histograms": {}}, path
+        )
+        first = path.read_text().splitlines()[0]
+        assert '"type":"meta"' in first
+        assert '"schema":1' in first

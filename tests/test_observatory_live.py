@@ -1,0 +1,174 @@
+"""The observatory end-to-end: live attachment, emission, replay, golden gate."""
+
+import pytest
+
+from repro.data import patients
+from repro.qdb import QuerySetSizeControl, StatisticalDatabase, tracker_attack
+from repro.sdc import equivalence_classes
+from repro.telemetry import Observatory, instrument as tele, replay_trace
+from repro.telemetry.observatory import validate_alert_record
+from repro.telemetry.observatory.smoke import (
+    EXPECTED_ALERTS,
+    ObserveSmokeError,
+    run_observe_smoke,
+)
+from repro.telemetry.report import read_trace
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    tele.disable()
+    tele.reset_metrics()
+    yield
+    tele.disable()
+    tele.reset_metrics()
+
+
+def _tracker_workload():
+    pop = patients(120, seed=7)
+    target = next(
+        cls.indices[0]
+        for cls in equivalence_classes(pop, ["height", "weight"])
+        if cls.size == 1
+        and (pop["height"] == pop["height"][cls.indices[0]]).sum() >= 6
+    )
+    db = StatisticalDatabase(pop, [QuerySetSizeControl(5)])
+    return tracker_attack(
+        db, pop, target, ["height", "weight"], "blood_pressure"
+    )
+
+
+class TestLiveAttachment:
+    def test_detector_alert_is_emitted_as_span(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        observatory = Observatory()
+        with tele.session(trace) as tracer:
+            observatory.attach(tracer)
+            try:
+                disclosure = _tracker_workload()
+            finally:
+                observatory.detach()
+        assert disclosure.exact
+        spans = read_trace(trace)
+        alert_spans = [s for s in spans if s["name"] == "observatory.alert"]
+        assert alert_spans, "tracker workload must raise an alert"
+        for record in alert_spans:
+            validate_alert_record(record)
+        assert any(
+            s["attrs"]["alert"] == "tracker-probe" for s in alert_spans
+        )
+
+    def test_alert_fires_before_the_differencing_sum_pair(self, tmp_path):
+        # The acceptance criterion: the respondent-dimension alert span is
+        # recorded strictly before the attacker's final SUM queries close.
+        trace = tmp_path / "t.jsonl"
+        observatory = Observatory()
+        with tele.session(trace) as tracer:
+            observatory.attach(tracer)
+            try:
+                _tracker_workload()
+            finally:
+                observatory.detach()
+        spans = read_trace(trace)
+        alert_ids = [
+            s["span_id"] for s in spans
+            if s["name"] == "observatory.alert"
+            and s["attrs"]["alert"] == "tracker-probe"
+        ]
+        sum_ids = [
+            s["span_id"] for s in spans
+            if s["name"] == "qdb.query"
+            and s["attrs"].get("aggregate") == "SUM"
+            and "(NOT " in s["attrs"].get("predicate", "")
+        ]
+        assert alert_ids and sum_ids
+        assert min(alert_ids) < min(sum_ids)
+
+    def test_replay_rederives_the_live_alert_set(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        observatory = Observatory()
+        with tele.session(trace) as tracer:
+            observatory.attach(tracer)
+            try:
+                _tracker_workload()
+            finally:
+                observatory.detach()
+        replayed = replay_trace(trace)
+        assert replayed.span_alerts() == observatory.span_alerts()
+        assert replayed.step == observatory.step
+
+    def test_detach_stops_ingestion(self):
+        observatory = Observatory()
+        with tele.session() as tracer:
+            observatory.attach(tracer)
+            with tele.span("qdb.query", refused=False):
+                pass
+            observatory.detach()
+            with tele.span("qdb.query", refused=False):
+                pass
+        assert observatory.step == 1
+
+    def test_own_alert_spans_do_not_advance_steps(self):
+        observatory = Observatory()
+        processed = observatory.process_record({
+            "type": "span", "span_id": 1, "parent_id": None,
+            "name": "observatory.alert", "depth": 0, "start": 0.0,
+            "duration": 0.0, "attrs": {},
+        })
+        assert processed == []
+        assert observatory.step == 0
+
+    def test_non_span_records_are_ignored(self):
+        observatory = Observatory()
+        assert observatory.process_record({"type": "meta", "schema": 1}) == []
+        assert observatory.step == 0
+
+
+class TestPosture:
+    def test_penalties_accumulate_per_dimension(self):
+        from repro.telemetry.observatory import Alert
+
+        observatory = Observatory(rules=[], detectors=[])
+        for severity, penalty_dim in (
+            ("critical", "respondent"), ("warning", "owner"),
+            ("info", "user"),
+        ):
+            observatory._register(
+                Alert(name="a", severity=severity, dimension=penalty_dim,
+                      step=1, value=0, threshold=0),
+                emit=False,
+            )
+        posture = observatory.posture()
+        assert posture == {"respondent": 0.5, "owner": 0.75, "user": 0.9}
+
+    def test_render_shows_meters_and_alerts(self):
+        observatory = Observatory(rules=[], detectors=[])
+        text = observatory.render(title="posture")
+        assert "posture" in text
+        assert "respondent" in text and "[####" in text
+        assert "events ingested: 0" in text
+
+
+class TestGoldenGate:
+    def test_committed_golden_trace_passes(self):
+        summary = run_observe_smoke()
+        assert summary["alerts"] == len(EXPECTED_ALERTS)
+        assert "tracker-probe" in summary["alert_names"]
+        assert "pir-access-skew" in summary["alert_names"]
+
+    def test_missing_trace_is_an_error(self, tmp_path):
+        with pytest.raises(ObserveSmokeError, match="missing"):
+            run_observe_smoke(tmp_path / "nope.jsonl")
+
+    def test_tampered_trace_fails_the_gate(self, tmp_path):
+        from repro.telemetry.observatory.smoke import default_golden_path
+
+        lines = default_golden_path().read_text().splitlines()
+        # Drop one alert span: replay and record no longer agree.
+        kept = [
+            line for line in lines if '"observatory.alert"' not in line
+        ] + [line for line in lines if '"observatory.alert"' in line][:-1]
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(kept) + "\n")
+        with pytest.raises(ObserveSmokeError):
+            run_observe_smoke(tampered)

@@ -1,0 +1,154 @@
+"""Observatory stream layer: ring-buffer series, windows, bucket quantiles."""
+
+import math
+
+import pytest
+
+from repro.telemetry.observatory import (
+    HistogramSeries,
+    Series,
+    SeriesStore,
+    WindowAggregate,
+    quantile_from_buckets,
+)
+
+
+class TestSeries:
+    def test_append_and_order(self):
+        s = Series("x", capacity=8)
+        for step in range(1, 5):
+            s.append(step, step * 10.0)
+        assert s.samples() == [(1, 10.0), (2, 20.0), (3, 30.0), (4, 40.0)]
+        assert len(s) == 4
+
+    def test_ring_eviction_keeps_newest(self):
+        s = Series("x", capacity=3)
+        for step in range(1, 6):
+            s.append(step, float(step))
+        assert s.values() == [3.0, 4.0, 5.0]
+        assert len(s) == 3
+
+    def test_lifetime_totals_survive_eviction(self):
+        s = Series("x", capacity=2)
+        for step in range(1, 6):
+            s.append(step, 1.0)
+        assert s.count == 5
+        assert s.total == 5.0
+        assert len(s) == 2
+
+    def test_window_slices_most_recent(self):
+        s = Series("x", capacity=8)
+        for step in range(1, 7):
+            s.append(step, float(step))
+        w = s.window(3)
+        assert w.values == (4.0, 5.0, 6.0)
+        assert s.window().count == 6
+
+    def test_since_is_a_tumbling_window(self):
+        s = Series("x", capacity=8)
+        for step in (1, 3, 5, 7):
+            s.append(step, float(step))
+        w = s.since(4)
+        assert w.steps == (5, 7)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Series("x", capacity=0)
+
+
+class TestWindowAggregate:
+    def test_basic_aggregates(self):
+        w = WindowAggregate(steps=(1, 2, 3, 4), values=(2.0, 4.0, 6.0, 8.0))
+        assert w.count == 4
+        assert w.total == 20.0
+        assert w.mean == 5.0
+        assert w.last == 8.0
+        assert w.max == 8.0
+        assert w.delta == 6.0
+        assert w.rate == 2.0
+
+    def test_empty_window_is_all_zero(self):
+        w = WindowAggregate(steps=(), values=())
+        assert (w.count, w.total, w.mean, w.last, w.max, w.delta, w.rate) == (
+            0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0
+        )
+
+    def test_percentile_is_exact_over_raw_samples(self):
+        w = WindowAggregate(
+            steps=tuple(range(1, 11)), values=tuple(float(v) for v in range(1, 11))
+        )
+        assert w.percentile(0.5) == 5.0
+        assert w.percentile(0.95) == 10.0
+        assert w.aggregate("p50") == 5.0
+        assert w.aggregate("percentile", q=0.1) == 1.0
+
+    def test_unknown_aggregate_raises(self):
+        w = WindowAggregate(steps=(1,), values=(1.0,))
+        with pytest.raises(ValueError, match="unknown window aggregate"):
+            w.aggregate("median")
+
+
+class TestQuantileFromBuckets:
+    def test_empty_histogram_is_zero(self):
+        assert quantile_from_buckets((0.1,), (0, 0), 0.5) == 0.0
+
+    def test_quantile_is_bucket_upper_bound(self):
+        assert quantile_from_buckets((1.0, 2.0, 4.0), (10, 0, 0, 0), 0.99) == 1.0
+        assert quantile_from_buckets((1.0, 2.0, 4.0), (5, 4, 1, 0), 0.9) == 2.0
+
+    def test_overflow_bucket_yields_inf(self):
+        assert math.isinf(quantile_from_buckets((1.0,), (1, 9), 0.5))
+
+    def test_count_shape_is_checked(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets((1.0, 2.0), (1, 2), 0.5)
+
+
+class TestHistogramSeries:
+    def test_window_buckets_difference_cumulative_snapshots(self):
+        h = HistogramSeries("lat", bounds=(0.01, 0.1))
+        h.append(1, (2, 1, 0))
+        h.append(2, (5, 1, 0))
+        h.append(3, (5, 4, 1))
+        # Last interval: 3 observations in le_0.1, one overflow.
+        assert h.window_buckets(1) == (0, 3, 1)
+        # Two intervals back adds the 3 early le_0.01 observations.
+        assert h.window_buckets(2) == (3, 3, 1)
+        # Whole history = the latest cumulative state.
+        assert h.window_buckets() == (5, 4, 1)
+
+    def test_windowed_quantile(self):
+        h = HistogramSeries("lat", bounds=(0.01, 0.1))
+        h.append(1, (0, 0, 0))
+        h.append(2, (9, 1, 0))
+        assert h.quantile(0.5, window=1) == 0.01
+        assert h.quantile(0.99, window=1) == 0.1
+
+    def test_bucket_shape_is_checked(self):
+        h = HistogramSeries("lat", bounds=(0.01,))
+        with pytest.raises(ValueError):
+            h.append(1, (1, 2, 3))
+
+
+class TestSeriesStore:
+    def test_get_or_create_is_idempotent(self):
+        store = SeriesStore()
+        assert store.series("a") is store.series("a")
+        assert store.get("a") is not None
+        assert store.get("missing") is None
+
+    def test_names_and_contains(self):
+        store = SeriesStore()
+        store.series("b")
+        store.series("a")
+        store.histogram_series("h", bounds=(0.1,))
+        assert store.names() == ["a", "b"]
+        assert "h" in store
+        assert "nope" not in store
+
+    def test_store_capacity_propagates(self):
+        store = SeriesStore(capacity=2)
+        s = store.series("x")
+        for step in range(1, 5):
+            s.append(step, float(step))
+        assert s.values() == [3.0, 4.0]

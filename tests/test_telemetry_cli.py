@@ -1,4 +1,4 @@
-"""The ``repro telemetry`` CLI group: report, dashboard, smoke."""
+"""The ``repro telemetry`` CLI group and the ``repro observe`` command."""
 
 import pytest
 
@@ -44,6 +44,47 @@ class TestReportCommand:
         trace = tmp_path / "bad.jsonl"
         trace.write_text('{"type":"meta","schema":1}\n{"type":"span"}\n')
         assert main(["telemetry", "report", str(trace)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObserveCommand:
+    def test_observe_smoke_passes_on_the_golden_trace(self, capsys):
+        assert main(["observe", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "observe smoke OK" in out
+
+    def test_observe_replays_a_capture_with_follow(self, tmp_path, capsys):
+        trace = tmp_path / "smoke.jsonl"
+        main(["telemetry", "smoke", "--out", str(trace)])
+        capsys.readouterr()
+        assert main(["observe", str(trace), "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert "privacy observatory" in out
+        assert "tracker-probe" in out
+        assert "step " in out  # the --follow narration lines
+
+    def test_observe_live_mode_captures_then_replays(self, tmp_path, capsys):
+        out_path = tmp_path / "live.jsonl"
+        assert main([
+            "observe", "--out", str(out_path), "--records", "100",
+            "--seed", "3",
+        ]) == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "alerts fired:" in out
+
+    def test_observe_exports_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "smoke.jsonl"
+        main(["telemetry", "smoke", "--out", str(trace)])
+        metrics = tmp_path / "metrics.txt"
+        assert main([
+            "observe", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert text.endswith("# EOF\n")
+
+    def test_observe_missing_trace_is_an_error(self, tmp_path, capsys):
+        assert main(["observe", str(tmp_path / "nope.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
 
 

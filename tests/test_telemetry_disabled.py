@@ -115,6 +115,32 @@ class TestNoopFastPath:
         # Always-on component accounting still aggregates.
         assert counters["qdb.queries_asked"] == 2
 
+    def test_disabled_hot_path_allocates_nothing_in_observatory(self):
+        """Per-query work on the disabled path touches no telemetry or
+        observatory module: tracemalloc, filtered to those files, must
+        see zero allocations once the session state is warm."""
+        import tracemalloc
+
+        import repro.telemetry
+
+        package_dir = str(repro.telemetry.__file__).rsplit("/", 1)[0]
+        pop = patients(100, seed=4)
+        db = StatisticalDatabase(pop, [OverlapControl(40)])
+        queries = _golden_workload(pop, np.random.default_rng(7), 40)
+        db.ask_batch(queries)  # warm caches, counters, history buffers
+        tracemalloc.start()
+        try:
+            db.ask_batch(queries)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        offenders = [
+            trace for trace in snapshot.traces
+            if any(frame.filename.startswith(package_dir)
+                   for frame in trace.traceback)
+        ]
+        assert offenders == []
+
 
 class TestGoldenFingerprintsUnchanged:
     """The PR-2 golden vectors, replayed disabled AND enabled."""

@@ -125,6 +125,37 @@ class TestRegistry:
         gc.collect()
         assert parent.snapshot()["counters"] == {}
 
+    def test_reset_after_child_fold_leaves_no_stale_totals(self):
+        # Regression: fold a dead child first, then reset — the folded
+        # totals must not survive into the next measurement epoch.
+        parent = MetricsRegistry(owner="p", standalone=True)
+        child = MetricsRegistry(owner="c", standalone=True)
+        parent._adopt(child)
+        child.counter("hits").inc(7)
+        child.histogram("lat").observe(0.25)
+        del child
+        gc.collect()
+        assert parent.snapshot()["counters"]["hits"] == 7
+        parent.reset()
+        snap = parent.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+    def test_readopted_child_folds_exactly_once_after_reset(self):
+        # Regression: reset() must detach the old finalizer, so adopting
+        # the same child again leaves exactly one fold on death — a stale
+        # finalizer would double-count the child's totals.
+        parent = MetricsRegistry(owner="p", standalone=True)
+        child = MetricsRegistry(owner="c", standalone=True)
+        parent._adopt(child)
+        child.counter("hits").inc(2)
+        parent.reset()
+        parent._adopt(child)
+        child.counter("hits").inc(3)
+        del child
+        gc.collect()
+        assert parent.snapshot()["counters"]["hits"] == 5
+
     def test_process_registry_is_a_singleton(self):
         assert process_registry() is process_registry()
 

@@ -86,6 +86,65 @@ class TestSpans:
         ]
 
 
+class TestDeferredAttrs:
+    """Span.defer_attrs: attributes rendered only at materialization."""
+
+    def test_builder_runs_on_buffer_read_not_on_close(self):
+        tracer = Tracer()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": 1}
+
+        with tracer.span("s") as span:
+            span.defer_attrs(build)
+        assert calls == []  # buffered-only session: nothing rendered yet
+        assert tracer.finished[-1]["attrs"] == {"x": 1}
+        assert calls == [1]
+        tracer.finished  # re-reading does not re-render
+        assert calls == [1]
+
+    def test_eager_writes_overlay_the_built_dict(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.defer_attrs(lambda: {"a": 1, "b": 2})
+            span.set("b", 99)  # set() materializes, then overwrites
+        assert tracer.finished[-1]["attrs"] == {"a": 1, "b": 99}
+
+    def test_error_key_survives_deferred_attrs(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("s") as span:
+                span.defer_attrs(lambda: {"a": 1})
+                raise RuntimeError("boom")
+        record = tracer.finished[-1]
+        assert record["attrs"] == {"a": 1, "error": "RuntimeError"}
+        validate_record(record)
+
+    def test_sink_materializes_at_close(self, tmp_path):
+        calls = []
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        tracer = Tracer(sink=sink)
+        with tracer.span("s") as span:
+            span.defer_attrs(lambda: calls.append(1) or {"k": "v"})
+        assert calls == [1]  # a sink consumes the record immediately
+        sink.close()
+        assert read_trace(sink.path)[0]["attrs"] == {"k": "v"}
+
+    def test_subscriber_attachment_drains_parked_spans(self):
+        tracer = Tracer()
+        with tracer.span("early") as span:
+            span.defer_attrs(lambda: {"i": 0})
+        seen = []
+        tracer.add_subscriber(seen.append)
+        with tracer.span("late"):
+            pass
+        assert [r["name"] for r in tracer.finished] == ["early", "late"]
+        assert tracer.finished[0]["attrs"] == {"i": 0}
+        assert [r["name"] for r in seen] == ["late"]
+
+
 class TestJsonlSink:
     def test_meta_header_and_span_lines(self, tmp_path):
         path = tmp_path / "trace.jsonl"
