@@ -1,15 +1,16 @@
 PYTHON ?= python
 
-.PHONY: verify test bench bench-check bench-qdb bench-refresh telemetry-smoke \
-	observe-smoke chaos doctest-faults doctest-observatory
+.PHONY: verify test bench bench-check bench-qdb bench-kernels bench-refresh \
+	telemetry-smoke observe-smoke chaos doctest-faults doctest-observatory
 
 .DEFAULT_GOAL := verify
 
-# The default gate: tests, benchmark regressions, telemetry schema drift,
-# the observatory's detection invariants, fault-layer and observatory
-# doctests, and the chaos scenario's privacy invariants.
-verify: test bench-check telemetry-smoke observe-smoke doctest-faults \
-	doctest-observatory chaos
+# The default gate: tests, benchmark regressions, the kernel-tier speedup
+# gates, telemetry schema drift, the observatory's detection invariants,
+# fault-layer and observatory doctests, and the chaos scenario's privacy
+# invariants.
+verify: test bench-check bench-kernels telemetry-smoke observe-smoke \
+	doctest-faults doctest-observatory chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -27,8 +28,19 @@ bench-check:
 # kernel-name typos.
 bench-qdb:
 	PYTHONPATH=src $(PYTHON) -m benchmarks.runner --check --output /dev/null \
-		--kernels qdb_overlap seed_qdb_overlap qdb_sum_audit \
+		--kernels qdb_overlap_h2000 seed_qdb_overlap qdb_sum_audit \
 		seed_qdb_sum_audit qdb_ask_batch
+
+# The word-level kernel tier (ISSUE 6) against the frozen uint8 pipelines
+# it replaced, plus the memory-mapped larger-than-RAM retrieval kernel;
+# fails when a *_vs_uint8 speedup gate in benchmarks/baselines.py breaks
+# or when the active backend differs from the one the baselines recorded.
+bench-kernels:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.runner --check --output /dev/null \
+		--kernels pir_batch64_retrieve_n65536 \
+		ref_uint8_pir_batch64_retrieve_n65536 qdb_overlap_h2000 \
+		seed_qdb_overlap ref_uint8_qdb_overlap_h2000 \
+		pir_memmap_batch8_retrieve_n262144
 
 # Refresh the committed benchmark record after an intentional perf change;
 # copy the printed normalized values into benchmarks/baselines.py too.

@@ -19,15 +19,22 @@ Replicas of the seed implementations (the per-byte XOR PIR loop, the
 per-entry overlap loop, the full-QR audit — see
 :mod:`benchmarks.seed_replicas`) are timed alongside the optimized
 kernels so every recorded ``*_vs_seed`` speedup stays honest on any
-machine.
+machine, and replicas of the pre-kernel-tier uint8 pipelines
+(:mod:`benchmarks.uint8_replicas`) back the ``*_vs_uint8`` speedups
+that gate the word-level kernel tier.  The JSON records which kernel
+backend produced the numbers (``results["backend"]``); ``--check``
+refuses to compare against baselines measured on a different backend.
 """
 
 from __future__ import annotations
 
 import argparse
+import atexit
 import json
+import shutil
 import statistics
 import sys
+import tempfile
 import time
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -38,6 +45,7 @@ import numpy as np
 from repro.attacks import ProbabilisticLinkageAttack
 from repro.data import patients
 from repro.faults import Fault, FaultPlan, ResilientXorPIR
+from repro.kernels import MemmapBlockStore, backend_info
 from repro.pir import MultiServerXorPIR, SquareSchemePIR, TwoServerXorPIR
 from repro.qdb import (
     Aggregate,
@@ -55,17 +63,33 @@ from repro.qdb import (
 from repro.sdc.microaggregation import mdav_groups
 from repro.telemetry import process_registry
 
-from .baselines import BASELINES, MAX_OVERHEADS, MIN_SPEEDUPS, TOLERANCE
+from .baselines import (
+    BASELINE_BACKEND,
+    BASELINES,
+    MAX_OVERHEADS,
+    MIN_SPEEDUPS,
+    TOLERANCE,
+)
 from .seed_replicas import SeedOverlapControl, SeedSumAuditPolicy
+from .uint8_replicas import Uint8BatchPIR, Uint8MaskLog, uint8_overlap_review
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 
-# (optimized kernel, timed seed replica) pairs; the recorded speedup for
-# each pair must stay above MIN_SPEEDUPS[kernel] under --check.
+# (optimized kernel, timed seed replica) pairs; the recorded speedup
+# ``<kernel>_vs_seed`` must stay above its MIN_SPEEDUPS entry under
+# --check.
 SPEEDUP_PAIRS = [
     ("pir_single_retrieve_n4096", "seed_pir_single_retrieve_n4096"),
-    ("qdb_overlap", "seed_qdb_overlap"),
+    ("qdb_overlap_h2000", "seed_qdb_overlap"),
     ("qdb_sum_audit", "seed_qdb_sum_audit"),
+]
+
+# (word-kernel workload, frozen uint8 replica) pairs; the recorded
+# speedup ``<kernel>_vs_uint8`` must stay above its MIN_SPEEDUPS entry
+# under --check — the gates on the kernel tier itself.
+UINT8_PAIRS = [
+    ("pir_batch64_retrieve_n65536", "ref_uint8_pir_batch64_retrieve_n65536"),
+    ("qdb_overlap_h2000", "ref_uint8_qdb_overlap_h2000"),
 ]
 
 # (wrapped kernel, bare kernel) pairs; the recorded ratio for each pair
@@ -136,6 +160,69 @@ def _pir_batch(n: int, batch: int) -> Callable[[], Callable[[], object]]:
         pir = TwoServerXorPIR(_pir_blocks(n))
         indices = list(range(0, n, max(1, n // batch)))[:batch]
         pir.retrieve_batch(indices[:2], 0)  # build the bit matrix once
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return pir.retrieve_batch(indices, state["seed"])
+
+        return run
+
+    return setup
+
+
+def _pir_uint8_batch(n: int, batch: int) -> Callable[[], Callable[[], object]]:
+    """The frozen pre-kernel-tier batched retrieval (uint8/float GEMM)."""
+
+    def setup():
+        db = np.frombuffer(
+            b"".join(_pir_blocks(n)), dtype=np.uint8
+        ).reshape(n, -1)
+        pir = Uint8BatchPIR(db)
+        indices = list(range(0, n, max(1, n // batch)))[:batch]
+        state = {"seed": 0}
+
+        def run():
+            state["seed"] += 1
+            return pir.retrieve_batch(
+                indices, np.random.default_rng(state["seed"])
+            )
+
+        return run
+
+    return setup
+
+
+_MEMMAP_DIR: list[str] = []
+
+
+def _memmap_dir() -> Path:
+    """A per-process scratch directory for memmap stores, removed at exit."""
+    if not _MEMMAP_DIR:
+        path = tempfile.mkdtemp(prefix="repro-bench-memmap-")
+        _MEMMAP_DIR.append(path)
+        atexit.register(shutil.rmtree, path, ignore_errors=True)
+    return Path(_MEMMAP_DIR[0])
+
+
+def _pir_memmap_batch(
+    n: int, batch: int, ram_budget: int
+) -> Callable[[], Callable[[], object]]:
+    """Batched retrieval over a memory-mapped store scanned under a RAM
+    budget — the database-larger-than-RAM configuration, on disk once and
+    answered in ``chunk_rows`` slices."""
+
+    def setup():
+        path = _memmap_dir() / f"pir-n{n}.npy"
+        if not path.exists():
+            blocks = np.broadcast_to(
+                (np.arange(n) % 256).astype(np.uint8)[:, None], (n, 64)
+            )
+            MemmapBlockStore.create(path, blocks)
+        store = MemmapBlockStore(path, mode="r", ram_budget=ram_budget)
+        pir = TwoServerXorPIR(store)
+        indices = list(range(0, n, max(1, n // batch)))[:batch]
+        pir.retrieve_batch(indices[:2], 0)  # fault the pages in once
         state = {"seed": 0}
 
         def run():
@@ -292,6 +379,29 @@ def _qdb_overlap(
     return setup
 
 
+def _qdb_overlap_uint8(h: int, n: int) -> Callable[[], Callable[[], object]]:
+    """The ``_qdb_overlap`` workload on the frozen uint8 audit pipeline."""
+    max_overlap = (2 * n) // 5
+
+    def setup():
+        rng = np.random.default_rng(11)
+        hist_masks = rng.random((h, n)) < 0.5
+        probes = list(rng.random((8, n)) < 0.5)
+        log = Uint8MaskLog(n)
+        for m in hist_masks:
+            log.append(m)
+
+        def run():
+            for probe in probes:
+                reason = uint8_overlap_review(probe, log, max_overlap)
+                if reason is not None:  # would skew the timing
+                    raise RuntimeError(f"unexpected refusal: {reason}")
+
+        return run
+
+    return setup
+
+
 def _qdb_sum_audit(
     h: int, n: int, n_unique: int, seed_impl: bool = False
 ) -> Callable[[], Callable[[], object]]:
@@ -417,6 +527,14 @@ KERNELS: list[Kernel] = [
     Kernel("pir_single_retrieve_n1024", _pir_single(1024), reps=10),
     Kernel("pir_single_retrieve_n4096", _pir_single(4096), reps=5),
     Kernel("pir_batch64_retrieve_n4096", _pir_batch(4096, 64), reps=2),
+    Kernel("pir_batch64_retrieve_n65536", _pir_batch(65536, 64), reps=2),
+    Kernel("ref_uint8_pir_batch64_retrieve_n65536",
+           _pir_uint8_batch(65536, 64), reps=1, reference_only=True),
+    # 262144 x 64-byte blocks = 16 MiB on disk, scanned under a 2 MiB
+    # budget (32768-row chunks): the databases-larger-than-RAM shape, at
+    # a size every CI machine can still hold on disk.
+    Kernel("pir_memmap_batch8_retrieve_n262144",
+           _pir_memmap_batch(262144, 8, ram_budget=2 << 20), reps=1),
     Kernel("pir_square_retrieve_n4096", _pir_square(4096), reps=10),
     Kernel("pir_multiserver3_retrieve_n1024", _pir_multiserver(1024, 3), reps=5),
     Kernel("pir_faulty_batch64_retrieve_n4096", _pir_faulty_batch(4096, 64),
@@ -427,9 +545,11 @@ KERNELS: list[Kernel] = [
     Kernel("mdav_n1000_k5", _mdav(1000, 5), reps=1),
     Kernel("mdav_n2000_k10", _mdav(2000, 10), reps=1),
     Kernel("linkage_n600", _linkage(600), reps=1),
-    Kernel("qdb_overlap", _qdb_overlap(2000, 5000), reps=5),
+    Kernel("qdb_overlap_h2000", _qdb_overlap(2000, 5000), reps=5),
     Kernel("seed_qdb_overlap", _qdb_overlap(2000, 5000, seed_impl=True),
            reps=1, reference_only=True),
+    Kernel("ref_uint8_qdb_overlap_h2000", _qdb_overlap_uint8(2000, 5000),
+           reps=5, reference_only=True),
     Kernel("qdb_sum_audit", _qdb_sum_audit(2000, 5000, 400), reps=3),
     Kernel("seed_qdb_sum_audit",
            _qdb_sum_audit(2000, 5000, 400, seed_impl=True),
@@ -514,10 +634,11 @@ def time_overhead_ratio(
 def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
     calibration = calibrate()
     results: dict = {
-        "schema": 2,
+        "schema": 3,
         "generated_by": "python -m benchmarks.runner",
         "calibration_seconds": calibration,
         "trials": trials,
+        "backend": backend_info(),
         "kernels": {},
         "speedups": {},
         "overheads": {},
@@ -544,13 +665,14 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
             "reference_only": kernel.reference_only,
             "counters": counters,
         }
-    for fast_name, seed_name in SPEEDUP_PAIRS:
-        seed = results["kernels"].get(seed_name)
-        fast = results["kernels"].get(fast_name)
-        if seed and fast:
-            results["speedups"][f"{fast_name}_vs_seed"] = (
-                seed["median_seconds"] / fast["median_seconds"]
-            )
+    for pairs, suffix in ((SPEEDUP_PAIRS, "seed"), (UINT8_PAIRS, "uint8")):
+        for fast_name, ref_name in pairs:
+            ref = results["kernels"].get(ref_name)
+            fast = results["kernels"].get(fast_name)
+            if ref and fast:
+                results["speedups"][f"{fast_name}_vs_{suffix}"] = (
+                    ref["median_seconds"] / fast["median_seconds"]
+                )
     by_name = {kernel.name: kernel for kernel in KERNELS}
     for wrapped_name, bare_name in OVERHEAD_PAIRS:
         if wrapped_name in results["kernels"] and bare_name in results["kernels"]:
@@ -579,6 +701,16 @@ def check_regressions(
             "no kernels were timed in this run — nothing to compare; run "
             "without --kernels or pass at least one registered name"
         )
+    recorded_backend = results.get("backend", {}).get("name")
+    if recorded_backend is not None and recorded_backend != BASELINE_BACKEND:
+        failures.append(
+            f"kernel backend mismatch: this run used {recorded_backend!r} "
+            f"but the committed baselines were measured with "
+            f"{BASELINE_BACKEND!r} — absolute times are not comparable; "
+            f"either unset REPRO_KERNELS (or fix the toolchain so "
+            f"{BASELINE_BACKEND!r} probes successfully) or regenerate the "
+            f"baselines on this backend and update BASELINE_BACKEND"
+        )
     for name, entry in results["kernels"].items():
         if entry["reference_only"]:
             continue
@@ -590,14 +722,20 @@ def check_regressions(
                 f"{name}: normalized {entry['normalized']:.2f} exceeds "
                 f"baseline {baseline:.2f} x tolerance {tolerance:.2f}"
             )
-    for fast_name, _ in SPEEDUP_PAIRS:
-        speedup = results["speedups"].get(f"{fast_name}_vs_seed")
-        required = MIN_SPEEDUPS.get(fast_name)
-        if speedup is not None and required is not None and speedup < required:
-            failures.append(
-                f"{fast_name}: only {speedup:.1f}x faster than the seed "
-                f"implementation (required: {required}x)"
-            )
+    for pairs, suffix, what in (
+        (SPEEDUP_PAIRS, "seed", "the seed implementation"),
+        (UINT8_PAIRS, "uint8", "the uint8 kernels it replaced"),
+    ):
+        for fast_name, _ in pairs:
+            key = f"{fast_name}_vs_{suffix}"
+            speedup = results["speedups"].get(key)
+            required = MIN_SPEEDUPS.get(key)
+            if (speedup is not None and required is not None
+                    and speedup < required):
+                failures.append(
+                    f"{fast_name}: only {speedup:.1f}x faster than {what} "
+                    f"(required: {required}x)"
+                )
     for wrapped_name, bare_name in OVERHEAD_PAIRS:
         overhead = results.get("overheads", {}).get(
             f"{wrapped_name}_vs_bare"
@@ -655,6 +793,8 @@ def main(argv: list[str] | None = None) -> int:
 
     width = max(len(k) for k in results["kernels"])
     print(f"calibration: {results['calibration_seconds'] * 1e3:.2f} ms")
+    print(f"kernel backend: {results['backend']['name']} "
+          f"(numpy {results['backend']['numpy']})")
     for name, entry in results["kernels"].items():
         print(f"  {name:<{width}s} {entry['median_seconds'] * 1e3:10.3f} ms "
               f"(normalized {entry['normalized']:8.2f})")

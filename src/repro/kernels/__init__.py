@@ -1,0 +1,94 @@
+"""Word-level GF(2) compute tier (ROADMAP item 3).
+
+Everything performance-critical in this repo — XOR-PIR answering, the
+audit engine's overlap popcounts — reduces to GF(2) linear algebra, and
+this package is where that algebra runs at word width: databases and
+query masks are bit-packed into ``uint64`` matrices
+(:mod:`~repro.kernels.packing`), the kernels themselves come from a
+pluggable backend registry (:mod:`~repro.kernels.backends`: runtime-
+compiled C → numba JIT → pure numpy, with the historical uint8 pipeline
+frozen as the bit-identical reference), and block databases can live
+in RAM or in memory-mapped files larger than RAM
+(:mod:`~repro.kernels.blockstore`).
+
+The package adds **zero** hard dependencies: numpy is the only import
+that must succeed, the C backend needs nothing but a ``cc`` on PATH at
+first use, and numba is probed, never required.
+
+Typical consumers::
+
+    from repro.kernels import get_backend, pack_bool_rows
+
+    be = get_backend()                      # cext/numba/uint64, auto
+    answers = be.gf2_matmul(mask_words, db_words, n)
+
+    from repro.kernels import MemmapBlockStore, gf2_matmul_store
+    store = MemmapBlockStore("db.npy", ram_budget=64 << 20)
+    answers = gf2_matmul_store(mask_words, store)   # chunked scan
+"""
+
+from .backends import (
+    AUTO_ORDER,
+    KernelBackend,
+    Uint8ReferenceBackend,
+    Uint64Backend,
+    available_backends,
+    backend_info,
+    float_dtype_for,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from .blockstore import (
+    ArrayBlockStore,
+    BlockStore,
+    MemmapBlockStore,
+    gf2_matmul_store,
+    xor_fold_store,
+)
+from .packing import (
+    WORD_BITS,
+    WORD_BYTES,
+    flip_mask_bits,
+    pack_bool_rows,
+    pack_bytes_rows,
+    popcount_words,
+    sample_mask_words,
+    tail_mask,
+    unpack_bool_rows,
+    unpack_bytes_rows,
+    words_per_bits,
+    words_per_bytes,
+    words_to_packbits,
+)
+
+__all__ = [
+    "AUTO_ORDER",
+    "ArrayBlockStore",
+    "BlockStore",
+    "KernelBackend",
+    "MemmapBlockStore",
+    "Uint8ReferenceBackend",
+    "Uint64Backend",
+    "WORD_BITS",
+    "WORD_BYTES",
+    "available_backends",
+    "backend_info",
+    "flip_mask_bits",
+    "float_dtype_for",
+    "get_backend",
+    "gf2_matmul_store",
+    "pack_bool_rows",
+    "pack_bytes_rows",
+    "popcount_words",
+    "sample_mask_words",
+    "set_backend",
+    "tail_mask",
+    "unpack_bool_rows",
+    "unpack_bytes_rows",
+    "use_backend",
+    "words_per_bits",
+    "words_per_bytes",
+    "words_to_packbits",
+    "xor_fold_store",
+]

@@ -1,0 +1,328 @@
+"""Pluggable GF(2) kernel backends and the import-time selection registry.
+
+Four backends implement one small contract (:class:`KernelBackend`):
+
+``cext``
+    Runtime-compiled C (:mod:`repro.kernels.cext`) — branchless,
+    query-tiled word loops; the fastest tier wherever a C compiler
+    exists.
+``numba``
+    The same loops JIT-compiled by numba, when numba happens to be
+    importable (:mod:`repro.kernels.numba_backend`).  Never a
+    dependency.
+``uint64``
+    Pure numpy on packed uint64 words — tiled select/XOR-reduce matmul
+    and vectorized popcounts.  Always available; the portable floor.
+``uint8``
+    The pre-kernel-tier reference: byte matrices, ``np.unpackbits``
+    float GEMM parity, table popcounts.  Kept verbatim so every faster
+    backend can be property-tested bit-identical against it; never
+    auto-selected.
+
+Selection happens lazily on first use: the ``REPRO_KERNELS`` environment
+variable names a backend explicitly (including ``uint8``), otherwise the
+auto order is ``cext`` → ``numba`` → ``uint64``.  The chosen backend is
+recorded once in the telemetry process registry (counter
+``kernels.backend.<name>``) so benchmark snapshots and the observatory
+can attribute perf numbers to the compute tier that produced them.
+
+All backends are *stateless* except for explicit per-caller cache dicts
+threaded through ``gf2_matmul(state=...)`` — the uint8 reference uses
+that to key its unpacked float-bit matrix by dtype (the cache-poisoning
+fix: a dtype policy change re-keys instead of silently reusing the first
+matrix).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+from .packing import popcount_words, unpack_bool_rows
+
+__all__ = [
+    "KernelBackend",
+    "Uint64Backend",
+    "Uint8ReferenceBackend",
+    "available_backends",
+    "backend_info",
+    "float_dtype_for",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: Probe order when no backend is requested explicitly.  ``uint8`` is
+#: deliberately absent: the reference tier must be asked for by name.
+AUTO_ORDER = ("cext", "numba", "uint64")
+
+
+def float_dtype_for(n_rows: int) -> type:
+    """BLAS dtype for the uint8 reference GEMM.
+
+    Bit counts are bounded by the database size, so float32 stays exact
+    below 2**24 rows (and is ~2x faster); larger databases need float64
+    mantissas.  Module-level so tests can monkeypatch the policy and
+    verify the cache re-keys.
+    """
+    return np.float32 if n_rows < 2**24 else np.float64
+
+
+class KernelBackend:
+    """The kernel contract every backend implements.
+
+    All inputs and outputs are packed: databases are ``(n, W)`` uint64
+    word matrices (64 database bits per element), masks are little-bit-
+    order ``(B, nw)`` word matrices (see :mod:`repro.kernels.packing`).
+    Implementations must be *bit-identical* to
+    :class:`Uint8ReferenceBackend` — that equivalence, not speed, is the
+    correctness bar, and ``tests/test_kernels_backends.py`` enforces it
+    across schemes, faulty wrappers, and audit policy stacks.
+    """
+
+    name = "abstract"
+
+    def xor_fold(self, db_words: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """XOR of the database rows named by *idx*: a ``(W,)`` word row."""
+        raise NotImplementedError
+
+    def gf2_matmul(self, mask_words: np.ndarray, db_words: np.ndarray,
+                   n_rows: int, *, state: dict | None = None,
+                   key: str = "all") -> np.ndarray:
+        """GF(2) product: row b of the result XORs the database rows
+        selected by mask b.  *n_rows* bounds the mask bits consulted;
+        *state*/*key* let callers own a persistent cache dict."""
+        raise NotImplementedError
+
+    def overlap_counts(self, rows: np.ndarray,
+                       cand: np.ndarray) -> np.ndarray:
+        """``popcount(rows[r] & cand)`` for every packed row, as int64."""
+        raise NotImplementedError
+
+
+class Uint64Backend(KernelBackend):
+    """Pure-numpy word backend: always importable, no compilation."""
+
+    name = "uint64"
+
+    #: Target bytes for the per-tile (B, T, W) select temporary; tiles
+    #: keep the working set inside L2/L3 instead of streaming 8x the
+    #: database through RAM.
+    TILE_BYTES = 1 << 22
+
+    def xor_fold(self, db_words: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.intp)
+        if idx.size == 0:
+            return np.zeros(db_words.shape[1], dtype=np.uint64)
+        return np.bitwise_xor.reduce(db_words[idx], axis=0)
+
+    def gf2_matmul(self, mask_words: np.ndarray, db_words: np.ndarray,
+                   n_rows: int, *, state: dict | None = None,
+                   key: str = "all") -> np.ndarray:
+        n_rows = int(n_rows)
+        bq = int(mask_words.shape[0])
+        w = int(db_words.shape[1])
+        acc = np.zeros((bq, w), dtype=np.uint64)
+        if bq == 0 or n_rows == 0:
+            return acc
+        bits = unpack_bool_rows(mask_words, n_rows)
+        tile = max(64, min(n_rows, self.TILE_BYTES // max(1, bq * w * 8)))
+        zero = np.uint64(0)
+        for start in range(0, n_rows, tile):
+            stop = min(start + tile, n_rows)
+            chunk = np.ascontiguousarray(db_words[start:stop])
+            selected = np.where(
+                bits[:, start:stop, None], chunk[None, :, :], zero
+            )
+            acc ^= np.bitwise_xor.reduce(selected, axis=1)
+        return acc
+
+    def overlap_counts(self, rows: np.ndarray,
+                       cand: np.ndarray) -> np.ndarray:
+        if rows.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        return popcount_words(rows & cand).sum(axis=1, dtype=np.int64)
+
+
+class Uint8ReferenceBackend(KernelBackend):
+    """The byte-matrix reference pipeline, frozen for equivalence tests.
+
+    ``gf2_matmul`` is the original batched-PIR answer path: unpack the
+    byte database to a float bit matrix, count selected bits per output
+    position with one GEMM, take parity, repack.  ``overlap_counts`` is
+    the original table-lookup popcount.  Both operate on the packed word
+    inputs via byte views, so the reference accepts exactly the same
+    arguments as the fast backends.
+    """
+
+    name = "uint8"
+
+    _POPCOUNT_TABLE = np.unpackbits(
+        np.arange(256, dtype=np.uint8)[:, None], axis=1
+    ).sum(axis=1).astype(np.uint8)
+
+    def xor_fold(self, db_words: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.intp)
+        db_u8 = np.ascontiguousarray(db_words, dtype=np.uint64).view(np.uint8)
+        if idx.size == 0:
+            return np.zeros(db_words.shape[1], dtype=np.uint64)
+        folded = np.bitwise_xor.reduce(db_u8[idx], axis=0)
+        return np.ascontiguousarray(folded).view(np.uint64)
+
+    def gf2_matmul(self, mask_words: np.ndarray, db_words: np.ndarray,
+                   n_rows: int, *, state: dict | None = None,
+                   key: str = "all") -> np.ndarray:
+        n_rows = int(n_rows)
+        w = int(db_words.shape[1])
+        if mask_words.shape[0] == 0 or n_rows == 0:
+            return np.zeros((int(mask_words.shape[0]), w), dtype=np.uint64)
+        dtype = np.dtype(float_dtype_for(n_rows))
+        cache = state.setdefault("uint8_bits", {}) if state is not None else {}
+        bits = cache.get((key, dtype.name))
+        if bits is None:
+            db_u8 = np.ascontiguousarray(
+                db_words, dtype=np.uint64
+            ).view(np.uint8)
+            bits = np.unpackbits(db_u8, axis=1).astype(dtype)
+            cache[(key, dtype.name)] = bits
+        masks = unpack_bool_rows(mask_words, n_rows)
+        counts = masks.astype(dtype) @ bits
+        parity = (counts.astype(np.int64) & np.int64(1)).astype(np.uint8)
+        packed = np.ascontiguousarray(np.packbits(parity, axis=1))
+        return packed.view(np.uint64)
+
+    def overlap_counts(self, rows: np.ndarray,
+                       cand: np.ndarray) -> np.ndarray:
+        if rows.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        rows_u8 = np.ascontiguousarray(rows, dtype=np.uint64).view(np.uint8)
+        cand_u8 = np.ascontiguousarray(cand, dtype=np.uint64).view(np.uint8)
+        return self._POPCOUNT_TABLE[rows_u8 & cand_u8].sum(
+            axis=-1, dtype=np.int64
+        )
+
+
+def _make_cext() -> KernelBackend | None:
+    from . import cext
+
+    return cext.make_backend()
+
+
+def _make_numba() -> KernelBackend | None:
+    from . import numba_backend
+
+    return numba_backend.make_backend()
+
+
+_FACTORIES = {
+    "cext": _make_cext,
+    "numba": _make_numba,
+    "uint64": Uint64Backend,
+    "uint8": Uint8ReferenceBackend,
+}
+
+# Probe results: name -> backend instance, or None when unavailable.
+_probed: dict[str, KernelBackend | None] = {}
+_active: KernelBackend | None = None
+_recorded: set[str] = set()
+_ENV_VAR = "REPRO_KERNELS"
+
+
+def _probe(name: str) -> KernelBackend | None:
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; "
+            f"choose from {sorted(_FACTORIES)}"
+        )
+    if name not in _probed:
+        try:
+            _probed[name] = _FACTORIES[name]()
+        except Exception:
+            _probed[name] = None
+    return _probed[name]
+
+
+def _record_selection(name: str) -> None:
+    """Count the selection in the telemetry process registry, once."""
+    if name in _recorded:
+        return
+    _recorded.add(name)
+    try:
+        from ..telemetry.registry import MetricsRegistry
+
+        MetricsRegistry(owner="kernels").counter(
+            f"kernels.backend.{name}"
+        ).inc()
+    except Exception:  # pragma: no cover - telemetry must never break compute
+        pass
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that actually work on this machine."""
+    return tuple(
+        name for name in (*AUTO_ORDER, "uint8") if _probe(name) is not None
+    )
+
+
+def get_backend() -> KernelBackend:
+    """The active backend, resolving it on first use.
+
+    Resolution honours ``REPRO_KERNELS=<name>`` (an unavailable explicit
+    request is an error, not a silent fallback — benchmark comparability
+    depends on knowing which tier ran), then walks :data:`AUTO_ORDER`.
+    """
+    global _active
+    if _active is None:
+        requested = os.environ.get(_ENV_VAR, "").strip().lower()
+        if requested:
+            backend = _probe(requested)
+            if backend is None:
+                raise RuntimeError(
+                    f"{_ENV_VAR}={requested!r} was requested but that "
+                    f"backend is unavailable on this machine "
+                    f"(available: {', '.join(available_backends())})"
+                )
+            _active = backend
+        else:
+            for name in AUTO_ORDER:
+                backend = _probe(name)
+                if backend is not None:
+                    _active = backend
+                    break
+            else:  # pragma: no cover - uint64 always constructs
+                raise RuntimeError("no kernel backend available")
+        _record_selection(_active.name)
+    return _active
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Force the active backend by name (including ``uint8``)."""
+    global _active
+    backend = _probe(name)
+    if backend is None:
+        raise RuntimeError(
+            f"kernel backend {name!r} is unavailable on this machine "
+            f"(available: {', '.join(available_backends())})"
+        )
+    _active = backend
+    _record_selection(backend.name)
+    return backend
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily switch the active backend (tests, A/B timing)."""
+    global _active
+    previous = _active
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        _active = previous
+
+
+def backend_info() -> dict[str, str]:
+    """Attribution record for benchmark files: backend + numpy version."""
+    return {"name": get_backend().name, "numpy": np.__version__}

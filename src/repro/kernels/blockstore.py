@@ -1,0 +1,252 @@
+"""Block stores: the storage layer under the word kernels.
+
+A :class:`BlockStore` owns one PIR block database in the packed layout
+every backend consumes — an ``(n, W)`` uint64 word matrix whose byte
+view exposes the original ``(n, width)`` uint8 blocks (zero-padded to a
+word multiple).  Two implementations:
+
+:class:`ArrayBlockStore`
+    An in-RAM padded buffer.  ``blocks_u8`` and ``words`` are two views
+    of the *same* memory, so tests (and byzantine-corruption demos) that
+    poke bytes through ``_db`` are seen by the word kernels immediately.
+
+:class:`MemmapBlockStore`
+    The same layout in an ``.npy`` file via ``np.lib.format``
+    memory-mapping, plus a JSON sidecar carrying the logical geometry.
+    Databases can exceed RAM: an optional ``ram_budget`` bounds how many
+    rows a full-scan kernel touches per pass (``chunk_rows``, always a
+    multiple of 64 so mask word slices stay aligned), and
+    :func:`gf2_matmul_store` accumulates chunk answers with XOR.
+    ``replica()`` reopens the file copy-on-write (``mmap_mode="c"``), so
+    each PIR server gets a mutable private replica at zero copy cost and
+    byzantine corruption never reaches the canonical file.
+
+The stores are deliberately dumb — no answering logic — so the PIR
+server layer, the faults layer (:class:`repro.faults.ResilientXorPIR`
+accepts a store wherever it accepts blocks) and the observatory
+instrument retrieval identically whatever the storage tier.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .backends import KernelBackend, get_backend
+from .packing import WORD_BYTES, words_per_bytes
+
+__all__ = [
+    "ArrayBlockStore",
+    "BlockStore",
+    "MemmapBlockStore",
+    "gf2_matmul_store",
+    "xor_fold_store",
+]
+
+_META_VERSION = 1
+
+
+class BlockStore:
+    """Common geometry and access contract for packed block databases."""
+
+    #: Number of blocks.
+    n: int
+    #: Logical bytes per block (before word padding).
+    width: int
+    #: uint64 words per row (``ceil(width / 8)``).
+    n_words: int
+
+    @property
+    def words(self) -> np.ndarray:
+        """The ``(n, n_words)`` uint64 matrix the kernels compute on."""
+        raise NotImplementedError
+
+    @property
+    def blocks_u8(self) -> np.ndarray:
+        """Writable ``(n, width)`` uint8 view sharing memory with words."""
+        raise NotImplementedError
+
+    @property
+    def chunk_rows(self) -> int:
+        """Rows a full-scan kernel may hold in RAM at once (64-aligned);
+        ``>= n`` means unchunked."""
+        return self.n
+
+    def replica(self) -> "BlockStore":
+        """An independent mutable copy for one PIR server."""
+        raise NotImplementedError
+
+    def _pad_and_adopt(self, matrix: np.ndarray) -> np.ndarray:
+        """Shared constructor helper: the padded backing buffer."""
+        matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError("expected a 2-D (n, width) block matrix")
+        n, width = matrix.shape
+        if width == 0:
+            raise ValueError("blocks must be at least one byte wide")
+        self.n = int(n)
+        self.width = int(width)
+        self.n_words = words_per_bytes(width)
+        buf = np.zeros((n, self.n_words * WORD_BYTES), dtype=np.uint8)
+        buf[:, :width] = matrix
+        return buf
+
+
+class ArrayBlockStore(BlockStore):
+    """In-RAM store over a padded uint8 buffer (copies its input)."""
+
+    def __init__(self, blocks: np.ndarray):
+        self._buf = self._pad_and_adopt(blocks)
+
+    @property
+    def words(self) -> np.ndarray:
+        return self._buf.view(np.uint64)
+
+    @property
+    def blocks_u8(self) -> np.ndarray:
+        return self._buf[:, : self.width]
+
+    def replica(self) -> "ArrayBlockStore":
+        return ArrayBlockStore(self.blocks_u8)
+
+
+def _budget_chunk_rows(n: int, n_words: int, ram_budget: int | None) -> int:
+    if ram_budget is None:
+        return n
+    row_bytes = n_words * WORD_BYTES
+    rows = max(1, int(ram_budget) // max(1, row_bytes))
+    # Chunks must start on word boundaries of the query masks: 64 rows
+    # of database = one mask word.
+    return max(64, (rows // 64) * 64)
+
+
+class MemmapBlockStore(BlockStore):
+    """A block database memory-mapped from an ``.npy`` file.
+
+    Parameters
+    ----------
+    path:
+        The ``.npy`` file written by :meth:`create` (its ``.meta.json``
+        sidecar must sit next to it).
+    mode:
+        numpy memmap mode — ``"r+"`` (default) maps shared-writable,
+        ``"c"`` copy-on-write (mutations stay in RAM), ``"r"`` read-only.
+    ram_budget:
+        Optional bytes of database a full-scan kernel may hold per pass;
+        see :attr:`chunk_rows`.
+    """
+
+    def __init__(self, path: str | Path, mode: str = "r+",
+                 ram_budget: int | None = None):
+        self.path = Path(path)
+        meta = json.loads(self._meta_path(self.path).read_text())
+        if meta.get("version") != _META_VERSION:
+            raise ValueError(
+                f"unsupported block-store meta version {meta.get('version')}"
+            )
+        self.mode = mode
+        self.ram_budget = ram_budget
+        self.n = int(meta["n"])
+        self.width = int(meta["width"])
+        self.n_words = words_per_bytes(self.width)
+        self._buf = np.lib.format.open_memmap(str(self.path), mode=mode)
+        expected = (self.n, self.n_words * WORD_BYTES)
+        if self._buf.dtype != np.uint8 or self._buf.shape != expected:
+            raise ValueError(
+                f"block-store file {self.path} has shape "
+                f"{self._buf.shape}/{self._buf.dtype}, expected "
+                f"{expected}/uint8"
+            )
+
+    @staticmethod
+    def _meta_path(path: Path) -> Path:
+        return path.with_name(path.name + ".meta.json")
+
+    @classmethod
+    def create(cls, path: str | Path, blocks: np.ndarray,
+               ram_budget: int | None = None) -> "MemmapBlockStore":
+        """Write *blocks* (an ``(n, width)`` uint8 matrix) as a new store.
+
+        The file holds the word-padded layout so mapping it back needs no
+        repacking; the sidecar records the logical geometry.
+        """
+        path = Path(path)
+        blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+        if blocks.ndim != 2 or blocks.shape[1] == 0:
+            raise ValueError("expected a non-degenerate (n, width) matrix")
+        n, width = blocks.shape
+        n_words = words_per_bytes(width)
+        out = np.lib.format.open_memmap(
+            str(path), mode="w+", dtype=np.uint8,
+            shape=(n, n_words * WORD_BYTES),
+        )
+        out[:, :width] = blocks
+        if width < n_words * WORD_BYTES:
+            out[:, width:] = 0
+        out.flush()
+        del out
+        cls._meta_path(path).write_text(json.dumps(
+            {"version": _META_VERSION, "n": int(n), "width": int(width)}
+        ) + "\n")
+        return cls(path, mode="r+", ram_budget=ram_budget)
+
+    @property
+    def words(self) -> np.ndarray:
+        return self._buf.view(np.uint64)
+
+    @property
+    def blocks_u8(self) -> np.ndarray:
+        return self._buf[:, : self.width]
+
+    @property
+    def chunk_rows(self) -> int:
+        return _budget_chunk_rows(self.n, self.n_words, self.ram_budget)
+
+    def replica(self) -> "MemmapBlockStore":
+        """A copy-on-write mapping of the same file: servers may corrupt
+        their replica freely without touching the canonical database."""
+        return MemmapBlockStore(self.path, mode="c",
+                                ram_budget=self.ram_budget)
+
+
+def xor_fold_store(store: BlockStore, idx: np.ndarray,
+                   backend: KernelBackend | None = None) -> np.ndarray:
+    """Single-answer kernel over a store: XOR of the rows named by *idx*.
+
+    Row gathers touch only the requested pages, so memmap stores serve
+    single retrievals without scanning (the OS pages rows in on demand);
+    no chunking is needed.
+    """
+    be = backend if backend is not None else get_backend()
+    return be.xor_fold(store.words, idx)
+
+
+def gf2_matmul_store(mask_words: np.ndarray, store: BlockStore, *,
+                     state: dict | None = None,
+                     backend: KernelBackend | None = None) -> np.ndarray:
+    """Batched-answer kernel over a store, honouring its RAM budget.
+
+    Unchunked stores get one backend call over the whole word matrix.
+    Budgeted stores are scanned in ``chunk_rows`` slices; because chunks
+    are 64-row aligned, each slice pairs with a contiguous run of mask
+    words, and the per-chunk partial answers combine by XOR (GF(2)
+    addition is associative over any row partition).
+    """
+    be = backend if backend is not None else get_backend()
+    n = store.n
+    chunk = store.chunk_rows
+    if chunk >= n:
+        return be.gf2_matmul(mask_words, store.words, n,
+                             state=state, key="all")
+    acc = np.zeros((int(mask_words.shape[0]), store.n_words),
+                   dtype=np.uint64)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        sub = np.ascontiguousarray(
+            mask_words[:, start >> 6: (stop + 63) >> 6]
+        )
+        acc ^= be.gf2_matmul(sub, store.words[start:stop], stop - start,
+                             state=state, key=f"rows{start}")
+    return acc

@@ -1,0 +1,212 @@
+"""Runtime-compiled C kernels: the fastest GF(2) backend when a C
+compiler is present.
+
+The three hot loops — GF(2) parity matmul, XOR fold, and AND+popcount —
+are tiny, dependency-free C functions compiled once per source revision
+with whatever ``cc``/``gcc`` the machine has, cached as a shared object
+keyed by the source hash, and loaded through :mod:`ctypes`.  No build
+system, no wheels, no install step; when anything in the chain is
+missing (compiler, writable cache dir, dlopen) the probe returns
+``None`` and the registry falls through to the numpy backends.
+
+Design notes on the matmul, the kernel the ≥4x batch-retrieval gate
+rides on:
+
+* **branchless row selection** — the naive ``if (bit) acc ^= row``
+  mispredicts half the time on uniformly random PIR masks, which is the
+  worst case for a branch predictor; instead the bit is stretched to a
+  full word (``0 - bit`` is all-ones or all-zeros) and ANDed in
+  unconditionally, turning the loop into straight-line XOR/AND streams.
+* **query tiling** — each pass over the database serves ``QT = 4``
+  queries, so every database row fetched from memory is reused four
+  times; the database stream, not the flops, is the bottleneck at
+  n = 65536.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+#: Queries served per database pass; must match the C source below.
+QUERY_TILE = 4
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+#define QT 4
+
+/* out[b] = GF(2) sum (XOR) of db rows whose mask bit is set.
+   masks: bq x nw little-bit-order uint64 words; db: n x w uint64 words. */
+void gf2_matmul(const uint64_t *masks, const uint64_t *db, uint64_t *out,
+                long long bq, long long n, long long nw, long long w)
+{
+    for (long long b0 = 0; b0 < bq; b0 += QT) {
+        long long bt = (b0 + QT < bq) ? b0 + QT : bq;
+        for (long long b = b0; b < bt; b++)
+            for (long long k = 0; k < w; k++)
+                out[b * w + k] = 0;
+        for (long long i = 0; i < n; i++) {
+            const uint64_t *row = db + i * w;
+            const long long wi = i >> 6;
+            const uint64_t sh = (uint64_t)(i & 63);
+            for (long long b = b0; b < bt; b++) {
+                /* all-ones when the bit is set, all-zeros otherwise */
+                const uint64_t keep =
+                    (uint64_t)0 - ((masks[b * nw + wi] >> sh) & 1u);
+                uint64_t *acc = out + b * w;
+                for (long long k = 0; k < w; k++)
+                    acc[k] ^= row[k] & keep;
+            }
+        }
+    }
+}
+
+/* out = XOR of the db rows named by idx. */
+void xor_fold(const uint64_t *db, const int64_t *idx, long long nidx,
+              long long w, uint64_t *out)
+{
+    for (long long k = 0; k < w; k++)
+        out[k] = 0;
+    for (long long t = 0; t < nidx; t++) {
+        const uint64_t *row = db + idx[t] * w;
+        for (long long k = 0; k < w; k++)
+            out[k] ^= row[k];
+    }
+}
+
+/* out[r] = popcount(rows[r] & cand), one intersection size per row. */
+void overlap_popcount(const uint64_t *rows, const uint64_t *cand,
+                      long long h, long long nw, int64_t *out)
+{
+    for (long long r = 0; r < h; r++) {
+        const uint64_t *row = rows + r * nw;
+        long long acc = 0;
+        for (long long k = 0; k < nw; k++)
+            acc += __builtin_popcountll(row[k] & cand[k]);
+        out[r] = acc;
+    }
+}
+"""
+
+_U64 = ctypes.POINTER(ctypes.c_uint64)
+_I64 = ctypes.POINTER(ctypes.c_int64)
+_LL = ctypes.c_longlong
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNELS_CACHE")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-kernels"
+
+
+def _find_compiler() -> str | None:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def build_library() -> ctypes.CDLL | None:
+    """Compile (or reuse) the kernel shared object; None when impossible."""
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    try:
+        cache = _cache_dir()
+        cache.mkdir(parents=True, exist_ok=True)
+        so_path = cache / f"gf2-{digest}.so"
+        if not so_path.exists():
+            src_path = cache / f"gf2-{digest}.c"
+            src_path.write_text(_C_SOURCE)
+            # -march=native is a measurable win but not universally
+            # accepted (e.g. some cross toolchains); retry without it.
+            for extra in (["-O3", "-march=native", "-funroll-loops"],
+                          ["-O3", "-funroll-loops"], ["-O2"]):
+                scratch = cache / f".gf2-{digest}.{os.getpid()}.so"
+                result = subprocess.run(
+                    [compiler, *extra, "-shared", "-fPIC",
+                     str(src_path), "-o", str(scratch)],
+                    capture_output=True, timeout=120,
+                )
+                if result.returncode == 0:
+                    os.replace(scratch, so_path)  # atomic vs other builders
+                    break
+            else:
+                return None
+        lib = ctypes.CDLL(str(so_path))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    lib.gf2_matmul.argtypes = [_U64, _U64, _U64, _LL, _LL, _LL, _LL]
+    lib.gf2_matmul.restype = None
+    lib.xor_fold.argtypes = [_U64, _I64, _LL, _LL, _U64]
+    lib.xor_fold.restype = None
+    lib.overlap_popcount.argtypes = [_U64, _U64, _LL, _LL, _I64]
+    lib.overlap_popcount.restype = None
+    return lib
+
+
+def _ptr(array: np.ndarray, kind) -> object:
+    return array.ctypes.data_as(kind)
+
+
+class CExtBackend:
+    """ctypes front-end over the compiled GF(2) kernels."""
+
+    name = "cext"
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+
+    def xor_fold(self, db_words: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        words = np.ascontiguousarray(db_words, dtype=np.uint64)
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        out = np.zeros(words.shape[1], dtype=np.uint64)
+        if idx.size:
+            self._lib.xor_fold(
+                _ptr(words, _U64), _ptr(idx, _I64),
+                int(idx.size), int(words.shape[1]), _ptr(out, _U64),
+            )
+        return out
+
+    def gf2_matmul(self, mask_words: np.ndarray, db_words: np.ndarray,
+                   n_rows: int, *, state: dict | None = None,
+                   key: str = "all") -> np.ndarray:
+        masks = np.ascontiguousarray(mask_words, dtype=np.uint64)
+        words = np.ascontiguousarray(db_words, dtype=np.uint64)
+        bq, nw = masks.shape
+        w = int(words.shape[1])
+        out = np.empty((bq, w), dtype=np.uint64)
+        if bq:
+            self._lib.gf2_matmul(
+                _ptr(masks, _U64), _ptr(words, _U64), _ptr(out, _U64),
+                int(bq), int(n_rows), int(nw), w,
+            )
+        return out
+
+    def overlap_counts(self, rows: np.ndarray,
+                       cand: np.ndarray) -> np.ndarray:
+        rows = np.ascontiguousarray(rows, dtype=np.uint64)
+        cand = np.ascontiguousarray(cand, dtype=np.uint64)
+        out = np.empty(rows.shape[0], dtype=np.int64)
+        if rows.shape[0]:
+            self._lib.overlap_popcount(
+                _ptr(rows, _U64), _ptr(cand, _U64),
+                int(rows.shape[0]), int(rows.shape[1]), _ptr(out, _I64),
+            )
+        return out
+
+
+def make_backend() -> CExtBackend | None:
+    """Probe hook for the registry: a backend, or None when unbuildable."""
+    lib = build_library()
+    return CExtBackend(lib) if lib is not None else None

@@ -1,0 +1,132 @@
+"""Optional numba-JIT backend: the same word-level loops as the C
+extension, compiled by LLVM at first call when :mod:`numba` happens to
+be installed.
+
+numba is *never* a dependency of this repo — the probe checks for the
+module before importing it, every decorator failure is swallowed, and
+machines without numba (or with a broken numba) simply use the C or
+numpy backends.  The loops mirror :mod:`repro.kernels.cext` (branchless
+mask stretch, query tiling) so the two fast backends stay one review
+apart, and outputs are bit-identical to every other backend by the
+property suite in ``tests/test_kernels_backends.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+#: Queries per database pass, matching cext.QUERY_TILE.
+QUERY_TILE = 4
+
+
+def _compile_kernels():
+    """Build the jitted kernel trio; raises when numba can't deliver."""
+    from numba import njit  # guarded by find_spec in make_backend
+
+    @njit(cache=False, fastmath=False)
+    def gf2_matmul(masks, db, out, n_rows):  # pragma: no cover - jitted
+        bq = masks.shape[0]
+        nw = masks.shape[1]
+        w = db.shape[1]
+        for b0 in range(0, bq, QUERY_TILE):
+            bt = min(b0 + QUERY_TILE, bq)
+            for b in range(b0, bt):
+                for k in range(w):
+                    out[b, k] = np.uint64(0)
+            for i in range(n_rows):
+                wi = i >> 6
+                sh = np.uint64(i & 63)
+                for b in range(b0, bt):
+                    bit = (masks[b, wi] >> sh) & np.uint64(1)
+                    keep = np.uint64(0) - bit
+                    for k in range(w):
+                        out[b, k] ^= db[i, k] & keep
+        return out
+
+    @njit(cache=False, fastmath=False)
+    def xor_fold(db, idx, out):  # pragma: no cover - jitted
+        w = db.shape[1]
+        for k in range(w):
+            out[k] = np.uint64(0)
+        for t in range(idx.shape[0]):
+            row = idx[t]
+            for k in range(w):
+                out[k] ^= db[row, k]
+        return out
+
+    @njit(cache=False, fastmath=False)
+    def overlap_counts(rows, cand, out):  # pragma: no cover - jitted
+        nw = rows.shape[1]
+        for r in range(rows.shape[0]):
+            acc = np.int64(0)
+            for k in range(nw):
+                x = rows[r, k] & cand[k]
+                # SWAR popcount; numba has no vectorized bit_count.
+                x = x - ((x >> np.uint64(1)) & np.uint64(0x5555555555555555))
+                x = (x & np.uint64(0x3333333333333333)) + (
+                    (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+                )
+                x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+                acc += np.int64(
+                    (x * np.uint64(0x0101010101010101)) >> np.uint64(56)
+                )
+            out[r] = acc
+        return out
+
+    return gf2_matmul, xor_fold, overlap_counts
+
+
+class NumbaBackend:
+    """JIT-compiled word kernels (only constructed when numba imports)."""
+
+    name = "numba"
+
+    def __init__(self):
+        self._gf2_matmul, self._xor_fold, self._overlap = _compile_kernels()
+
+    def xor_fold(self, db_words: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        words = np.ascontiguousarray(db_words, dtype=np.uint64)
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        out = np.zeros(words.shape[1], dtype=np.uint64)
+        if idx.size:
+            self._xor_fold(words, idx, out)
+        return out
+
+    def gf2_matmul(self, mask_words: np.ndarray, db_words: np.ndarray,
+                   n_rows: int, *, state: dict | None = None,
+                   key: str = "all") -> np.ndarray:
+        masks = np.ascontiguousarray(mask_words, dtype=np.uint64)
+        words = np.ascontiguousarray(db_words, dtype=np.uint64)
+        out = np.empty((masks.shape[0], words.shape[1]), dtype=np.uint64)
+        if masks.shape[0]:
+            self._gf2_matmul(masks, words, out, int(n_rows))
+        return out
+
+    def overlap_counts(self, rows: np.ndarray,
+                       cand: np.ndarray) -> np.ndarray:
+        rows = np.ascontiguousarray(rows, dtype=np.uint64)
+        cand = np.ascontiguousarray(cand, dtype=np.uint64)
+        out = np.empty(rows.shape[0], dtype=np.int64)
+        if rows.shape[0]:
+            self._overlap(rows, cand, out)
+        return out
+
+
+def make_backend() -> NumbaBackend | None:
+    """Probe hook: a jitted backend when numba is importable and working."""
+    if importlib.util.find_spec("numba") is None:
+        return None
+    try:
+        backend = NumbaBackend()
+        # Exercise each kernel once so JIT failures surface at probe time,
+        # not mid-retrieval.
+        db = np.arange(8, dtype=np.uint64).reshape(4, 2)
+        masks = np.array([[0b1010]], dtype=np.uint64)
+        backend.gf2_matmul(masks, db, 4)
+        backend.xor_fold(db, np.array([0, 2], dtype=np.int64))
+        backend.overlap_counts(masks, np.array([0b0110], dtype=np.uint64))
+        return backend
+    except Exception:  # pragma: no cover - depends on local numba health
+        return None

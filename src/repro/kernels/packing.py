@@ -1,0 +1,165 @@
+"""Bit-packing primitives for the word-level GF(2) kernel tier.
+
+Everything in :mod:`repro.kernels` computes on ``np.uint64`` words:
+
+* **byte matrices** — a PIR block database ``(n, width)`` uint8 is padded
+  to a multiple of 8 bytes and reinterpreted as ``(n, W)`` uint64, so an
+  XOR over blocks processes 64 bits per operation instead of 8;
+* **bit masks** — a boolean query mask of length ``n_bits`` packs into
+  ``ceil(n_bits / 64)`` words with *little* bit order: bit ``i`` of the
+  mask is bit ``i & 63`` of word ``i >> 6``.  That layout is what the
+  compiled and JIT backends index with two shifts, and it makes the
+  packed representation of ``n`` independent masks a dense ``(B, nw)``
+  matrix.
+
+The byte-matrix view relies on native little-endian word order (every
+platform this repo targets); the pack/unpack pair is a symmetric
+reinterpretation either way, so round-trips are exact regardless.
+
+Ragged shapes are first-class: widths that are not a multiple of 8 and
+bit counts that are not a multiple of 64 round-trip losslessly (the
+hypothesis suite in ``tests/test_kernels_packing.py`` pins this), and
+the padding bits/bytes are guaranteed zero so popcounts and parities
+computed on packed words match the unpacked ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+WORD_BYTES = 8
+
+#: Per-byte bit reversal, for converting little-bit-order packed bytes to
+#: the big-bit-order ``np.packbits`` default layout (and back).
+BYTE_BITREV = np.array(
+    [int(f"{b:08b}"[::-1], 2) for b in range(256)], dtype=np.uint8
+)
+
+
+def words_per_bits(n_bits: int) -> int:
+    """Words needed to hold *n_bits* mask bits."""
+    return (int(n_bits) + WORD_BITS - 1) // WORD_BITS
+
+
+def words_per_bytes(width: int) -> int:
+    """Words needed to hold *width* bytes per row."""
+    return (int(width) + WORD_BYTES - 1) // WORD_BYTES
+
+
+def tail_mask(n_bits: int) -> np.uint64:
+    """Keep-mask for the last word of an *n_bits* packed row."""
+    used = int(n_bits) % WORD_BITS
+    if used == 0:
+        return np.uint64(0xFFFFFFFFFFFFFFFF)
+    return np.uint64((1 << used) - 1)
+
+
+def pack_bytes_rows(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(n, width)`` uint8 matrix into ``(n, W)`` uint64 words.
+
+    The width is zero-padded up to a multiple of 8 bytes; the result is a
+    fresh contiguous array (never a view), so mutating it does not alias
+    the input.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D (n, width) byte matrix")
+    n, width = matrix.shape
+    nw = words_per_bytes(max(width, 1))
+    padded = np.zeros((n, nw * WORD_BYTES), dtype=np.uint8)
+    padded[:, :width] = matrix
+    return padded.view(np.uint64)
+
+
+def unpack_bytes_rows(words: np.ndarray, width: int) -> np.ndarray:
+    """Recover the ``(n, width)`` uint8 matrix behind packed words."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    return words.view(np.uint8)[:, :width]
+
+
+def pack_bool_rows(masks: np.ndarray) -> np.ndarray:
+    """Pack ``(B, n_bits)`` boolean masks into ``(B, nw)`` uint64 words."""
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim != 2:
+        raise ValueError("expected a 2-D (B, n_bits) mask matrix")
+    n_bits = masks.shape[1]
+    nw = words_per_bits(max(n_bits, 1))
+    if n_bits < nw * WORD_BITS:
+        padded = np.zeros((masks.shape[0], nw * WORD_BITS), dtype=bool)
+        padded[:, :n_bits] = masks
+        masks = padded
+    packed = np.packbits(masks, axis=1, bitorder="little")
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_bool_rows(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Recover ``(B, n_bits)`` boolean masks from packed words."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    raw = np.unpackbits(words.view(np.uint8), axis=1, bitorder="little")
+    return raw[:, :n_bits].astype(bool)
+
+
+def words_to_packbits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Little-order mask words -> the big-bit-order ``np.packbits`` bytes.
+
+    Byte ``j`` holds bits ``8j .. 8j+7`` in both layouts; only the bit
+    order within each byte differs, so the conversion is one table
+    lookup plus a slice to ``ceil(n_bits / 8)`` bytes.
+    """
+    n_bytes = (int(n_bits) + 7) // 8
+    return BYTE_BITREV[np.ascontiguousarray(words, dtype=np.uint64)
+                       .view(np.uint8)][..., :n_bytes]
+
+
+if hasattr(np, "bitwise_count"):
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of uint64 words (numpy >= 2 native)."""
+        return np.bitwise_count(words)
+else:  # pragma: no cover - numpy < 2.0 fallback
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of uint64 words (SWAR shift-mask)."""
+        x = np.asarray(words, dtype=np.uint64).copy()
+        x -= (x >> np.uint64(1)) & _M1
+        x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+        x = (x + (x >> np.uint64(4))) & _M4
+        return ((x * _H01) >> np.uint64(56)).astype(np.uint8)
+
+
+def sample_mask_words(
+    rng: np.random.Generator, count: int, n_bits: int
+) -> np.ndarray:
+    """*count* uniformly random packed masks over *n_bits* positions.
+
+    Each bit is an independent fair coin — the same marginal the schemes
+    previously drew via ``rng.random(n) < 0.5`` — but sampled as whole
+    64-bit words straight off the generator, which is what makes query
+    generation disappear from the batch-retrieval profile.  Drawing
+    ``(count, nw)`` words in one call consumes the generator stream
+    exactly like ``count`` successive ``(1, nw)`` calls, so batched
+    retrieval stays byte-identical to sequential retrieval under the
+    same seed.  Tail bits past ``n_bits`` are cleared.
+    """
+    nw = words_per_bits(max(int(n_bits), 1))
+    words = rng.integers(
+        0, 0xFFFFFFFFFFFFFFFF, size=(int(count), nw),
+        dtype=np.uint64, endpoint=True,
+    )
+    words[:, -1] &= tail_mask(n_bits)
+    return words
+
+
+def flip_mask_bits(words: np.ndarray, rows: np.ndarray,
+                   bits: np.ndarray) -> None:
+    """In-place flip of ``words[rows[k], bits[k]]`` for every k."""
+    rows = np.asarray(rows, dtype=np.intp)
+    bits = np.asarray(bits, dtype=np.intp)
+    np.bitwise_xor.at(
+        words, (rows, bits >> 6),
+        np.uint64(1) << (bits & 63).astype(np.uint64),
+    )

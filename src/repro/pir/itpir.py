@@ -18,13 +18,19 @@ Two schemes are provided:
 Both implementations count communication so the scaling benchmark (A2 in
 DESIGN.md) can regenerate cost curves.
 
-The compute layer is fully vectorized: each server stores its replica as
-a single ``np.uint8`` matrix of shape ``(n, block_size)``, a single
-answer is one fancy-indexed ``np.bitwise_xor.reduce``, and batched
-answers are one GF(2) matrix product over the bit-unpacked database.
-``retrieve_batch`` consumes the rng stream exactly as the equivalent
-sequence of ``retrieve`` calls would, so batched results are
-byte-identical to sequential ones under the same seed.
+The compute layer is the word-level kernel tier (:mod:`repro.kernels`):
+each server holds its replica in a :class:`~repro.kernels.BlockStore`
+whose blocks are bit-packed into ``uint64`` words, query masks are drawn
+directly as packed words (one generator call, 64 fair coins per word),
+a single answer is one word-level XOR fold, and batched answers are one
+GF(2) matrix product dispatched to the active backend (compiled C,
+numba, or pure numpy — see :func:`repro.kernels.get_backend`).  Any
+scheme also accepts a ready-made store, including a memory-mapped
+:class:`~repro.kernels.MemmapBlockStore`, so databases larger than RAM
+retrieve through the same code path (the store's RAM budget chunks the
+batched scan).  ``retrieve_batch`` consumes the rng stream exactly as
+the equivalent sequence of ``retrieve`` calls would, so batched results
+are byte-identical to sequential ones under the same seed.
 
 Threat model (shared by every scheme here): servers are
 honest-but-curious and **non-colluding** — privacy is information-
@@ -45,6 +51,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import (
+    ArrayBlockStore,
+    BlockStore,
+    flip_mask_bits,
+    get_backend,
+    gf2_matmul_store,
+    sample_mask_words,
+    unpack_bool_rows,
+    xor_fold_store,
+)
 from ..sdc.base import resolve_rng
 from ..telemetry import instrument as tele
 from ..telemetry.registry import MetricsRegistry
@@ -87,10 +103,17 @@ def _normalize_blocks(blocks: Sequence[bytes | int]) -> np.ndarray:
     return db
 
 
-def _require_nonempty(db: np.ndarray) -> np.ndarray:
-    if db.shape[0] == 0:
+def _as_store(blocks: Sequence[bytes | int] | BlockStore) -> BlockStore:
+    """Coerce a scheme's ``blocks`` argument into a non-empty store."""
+    if isinstance(blocks, BlockStore):
+        store = blocks
+    elif isinstance(blocks, np.ndarray):
+        store = ArrayBlockStore(blocks)
+    else:
+        store = ArrayBlockStore(_normalize_blocks(blocks))
+    if store.n == 0:
         raise ValueError("PIR database must contain at least one block")
-    return db
+    return store
 
 
 def _xor_payloads(payloads: Sequence[bytes]) -> bytes:
@@ -101,29 +124,42 @@ def _xor_payloads(payloads: Sequence[bytes]) -> bytes:
     return acc.tobytes()
 
 
-def _masks_to_queries(masks: np.ndarray) -> tuple[tuple[int, ...], ...]:
-    """Per-query sorted index tuples from a (B, n) boolean query matrix."""
-    return tuple(tuple(np.flatnonzero(m).tolist()) for m in masks)
+def _word_mask_indices(words: np.ndarray, n_bits: int) -> tuple[int, ...]:
+    """Sorted index tuple of the set bits in one packed mask row."""
+    bits = unpack_bool_rows(words.reshape(1, -1), n_bits)[0]
+    return tuple(np.flatnonzero(bits).tolist())
+
+
+def _masks_to_queries(
+    words: np.ndarray, n_bits: int
+) -> tuple[tuple[int, ...], ...]:
+    """Per-query sorted index tuples from a (B, nw) packed query matrix."""
+    bits = unpack_bool_rows(words, n_bits)
+    return tuple(tuple(np.flatnonzero(row).tolist()) for row in bits)
 
 
 class _BatchViewMixin:
     """Lazy per-query server views for the most recent ``retrieve_batch``.
 
     Materializing index tuples for every query in a large batch costs more
-    than answering the batch itself, so the boolean query matrices are
+    than answering the batch itself, so the packed query matrices are
     kept and converted only when ``last_batch_queries`` is actually read
     (leakage tests, profiling adversaries).
     """
 
     _batch_masks: tuple[np.ndarray, ...] | None = None
+    _batch_mask_bits: int = 0
     _batch_queries_cache: tuple[tuple[tuple[int, ...], ...], ...] | None = None
 
-    def _set_batch_masks(self, per_server_masks: Sequence[np.ndarray]) -> None:
-        """Record one (B, n) boolean matrix per server; update last_queries."""
-        self._batch_masks = tuple(per_server_masks)
+    def _set_batch_masks(self, per_server_words: Sequence[np.ndarray],
+                         n_bits: int) -> None:
+        """Record one (B, nw) packed matrix per server; update last_queries."""
+        self._batch_masks = tuple(per_server_words)
+        self._batch_mask_bits = int(n_bits)
         self._batch_queries_cache = None
         self.last_queries = tuple(
-            tuple(np.flatnonzero(m[-1]).tolist()) for m in self._batch_masks
+            _word_mask_indices(words[-1], n_bits)
+            for words in self._batch_masks
         )
 
     @property
@@ -134,44 +170,50 @@ class _BatchViewMixin:
         if self._batch_masks is None:
             return None
         if self._batch_queries_cache is None:
-            per_server = [_masks_to_queries(m) for m in self._batch_masks]
+            per_server = [
+                _masks_to_queries(words, self._batch_mask_bits)
+                for words in self._batch_masks
+            ]
             self._batch_queries_cache = tuple(zip(*per_server))
         return self._batch_queries_cache
 
 
 class _Server:
-    """A PIR server holding the block database as a uint8 matrix."""
+    """A PIR server answering from its private block-store replica."""
 
-    def __init__(self, db: np.ndarray):
-        self._db = db
-        # Bit-unpacked replica for batched GF(2) matmul answers; built
-        # lazily on the first batch so single-shot use pays nothing.
-        self._bits: np.ndarray | None = None
+    def __init__(self, store: BlockStore):
+        self._store = store
+        # Backend-owned caches (e.g. the uint8 reference backend's
+        # unpacked float bit matrix, keyed by dtype so a dtype policy
+        # change re-keys instead of poisoning the cache).
+        self._state: dict = {}
+
+    @property
+    def _db(self) -> np.ndarray:
+        """Writable uint8 view of this replica (shared with the packed
+        words, so corruption through it is visible to every kernel)."""
+        return self._store.blocks_u8
 
     def answer(self, server_id: int, indices: Sequence[int]) -> PIRAnswer:
-        """XOR of the requested blocks (one vectorized reduce)."""
-        idx = np.asarray(indices, dtype=np.intp)
+        """XOR of the requested blocks (one word-level fold)."""
+        idx = np.asarray(indices, dtype=np.int64)
         if idx.size:
-            payload = np.bitwise_xor.reduce(self._db[idx], axis=0).tobytes()
+            words = xor_fold_store(self._store, idx)
+            payload = words.view(np.uint8)[: self._store.width].tobytes()
         else:
-            payload = bytes(self._db.shape[1])
+            payload = bytes(self._store.width)
         return PIRAnswer(server_id, tuple(int(i) for i in indices), payload)
 
-    def answer_batch(self, masks: np.ndarray) -> np.ndarray:
-        """Answer every query of a (B, n) boolean matrix at once.
+    def answer_batch(self, mask_words: np.ndarray) -> np.ndarray:
+        """Answer every query of a (B, nw) packed query matrix at once.
 
-        Returns a ``(B, block_size)`` uint8 matrix whose row b is the XOR
-        of the blocks selected by ``masks[b]`` — computed as one GF(2)
-        matrix product (bit-count parity) over the unpacked database.
+        Returns a ``(B, n_words * 8)`` uint8 matrix (the word-padded
+        payload bytes) whose row b is the XOR of the blocks selected by
+        mask b — one GF(2) matrix product on the active kernel backend,
+        chunked automatically when the store carries a RAM budget.
         """
-        if self._bits is None:
-            # Bit counts are bounded by n, so float32 stays exact for any
-            # database below 2**24 blocks (and is ~2x faster in BLAS).
-            dtype = np.float32 if self._db.shape[0] < 2**24 else np.float64
-            self._bits = np.unpackbits(self._db, axis=1).astype(dtype)
-        counts = masks.astype(self._bits.dtype) @ self._bits
-        bits = (counts.astype(np.int64) & np.int64(1)).astype(np.uint8)
-        return np.packbits(bits, axis=1)
+        words = gf2_matmul_store(mask_words, self._store, state=self._state)
+        return words.view(np.uint8)
 
 
 class _XorPIRScheme(_BatchViewMixin):
@@ -281,6 +323,11 @@ class _XorPIRScheme(_BatchViewMixin):
             for b in self.retrieve_batch(indices, rng)
         ]
 
+    def _check_indices(self, idx: np.ndarray, bound: int) -> None:
+        if idx.size and not (0 <= idx.min() and idx.max() < bound):
+            bad = idx[(idx < 0) | (idx >= bound)][0]
+            raise IndexError(f"index {bad} out of range [0, {bound})")
+
 
 class TwoServerXorPIR(_XorPIRScheme):
     """The basic two-server XOR scheme of Chor–Goldreich–Kushilevitz–Sudan.
@@ -295,24 +342,28 @@ class TwoServerXorPIR(_XorPIRScheme):
     ----------
     blocks:
         Database records, as ``bytes`` or signed integers (encoded to a
-        common width).  Must be non-empty.
+        common width), or a prepared :class:`~repro.kernels.BlockStore`
+        (e.g. a memory-mapped store for databases exceeding RAM).  Must
+        be non-empty.
     """
 
     scheme = "two-server"
 
-    def __init__(self, blocks: Sequence[bytes | int]):
-        self._db = _require_nonempty(_normalize_blocks(blocks))
-        self.n = int(self._db.shape[0])
+    def __init__(self, blocks: Sequence[bytes | int] | BlockStore):
+        self._store = _as_store(blocks)
+        self.n = int(self._store.n)
         # Each server holds its own replica (they are distinct machines;
         # a byzantine server corrupting its copy must not affect the other).
-        self._servers = (_Server(self._db.copy()), _Server(self._db.copy()))
+        self._servers = (
+            _Server(self._store.replica()), _Server(self._store.replica())
+        )
         self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
         self._init_accounting()
 
     @property
     def block_size(self) -> int:
         """Bytes per block."""
-        return int(self._db.shape[1])
+        return int(self._store.width)
 
     def _retrieve_one(
         self, index: int, rng: np.random.Generator | int | None = None
@@ -320,11 +371,12 @@ class TwoServerXorPIR(_XorPIRScheme):
         if not 0 <= index < self.n:
             raise IndexError(f"index {index} out of range [0, {self.n})")
         rng = resolve_rng(rng)
-        mask1 = rng.random(self.n) < 0.5
-        mask2 = mask1.copy()
-        mask2[index] = ~mask2[index]
-        a1 = self._servers[0].answer(0, np.flatnonzero(mask1))
-        a2 = self._servers[1].answer(1, np.flatnonzero(mask2))
+        words1 = sample_mask_words(rng, 1, self.n)
+        words2 = words1.copy()
+        flip_mask_bits(words2, np.zeros(1, dtype=np.intp),
+                       np.asarray([index]))
+        a1 = self._servers[0].answer(0, _word_mask_indices(words1, self.n))
+        a2 = self._servers[1].answer(1, _word_mask_indices(words2, self.n))
         self.last_queries = (a1.query_indices, a2.query_indices)
         # One characteristic bit-vector up per server; payloads back.
         self._traffic(2 * self.n, 8 * (len(a1.payload) + len(a2.payload)))
@@ -336,25 +388,24 @@ class TwoServerXorPIR(_XorPIRScheme):
         rng: np.random.Generator | int | None = None,
     ) -> list[bytes]:
         idx = np.asarray(indices, dtype=np.intp).reshape(-1)
-        if idx.size and not (0 <= idx.min() and idx.max() < self.n):
-            bad = idx[(idx < 0) | (idx >= self.n)][0]
-            raise IndexError(f"index {bad} out of range [0, {self.n})")
+        self._check_indices(idx, self.n)
         if idx.size == 0:
             return []
         rng = resolve_rng(rng)
-        masks1 = rng.random((idx.size, self.n)) < 0.5
-        masks2 = masks1.copy()
-        rows = np.arange(idx.size)
-        masks2[rows, idx] = ~masks2[rows, idx]
-        a1 = self._servers[0].answer_batch(masks1)
-        a2 = self._servers[1].answer_batch(masks2)
-        self._set_batch_masks((masks1, masks2))
+        words1 = sample_mask_words(rng, idx.size, self.n)
+        words2 = words1.copy()
+        flip_mask_bits(words2, np.arange(idx.size), idx)
+        a1 = self._servers[0].answer_batch(words1)
+        a2 = self._servers[1].answer_batch(words2)
+        self._set_batch_masks((words1, words2), self.n)
         self._traffic(
             idx.size * 2 * self.n,
             idx.size * 8 * 2 * self.block_size,
             queries=int(idx.size),
         )
-        return [row.tobytes() for row in np.bitwise_xor(a1, a2)]
+        combined = a1 ^ a2
+        size = self.block_size
+        return [combined[b, :size].tobytes() for b in range(idx.size)]
 
 
 class MultiServerXorPIR(_XorPIRScheme):
@@ -374,14 +425,15 @@ class MultiServerXorPIR(_XorPIRScheme):
 
     scheme = "multi-server"
 
-    def __init__(self, blocks: Sequence[bytes | int], n_servers: int = 3):
+    def __init__(self, blocks: Sequence[bytes | int] | BlockStore,
+                 n_servers: int = 3):
         if n_servers < 2:
             raise ValueError("need at least 2 servers")
-        self._db = _require_nonempty(_normalize_blocks(blocks))
-        self.n = int(self._db.shape[0])
+        self._store = _as_store(blocks)
+        self.n = int(self._store.n)
         self.n_servers = n_servers
         self._servers = tuple(
-            _Server(self._db.copy()) for _ in range(n_servers)
+            _Server(self._store.replica()) for _ in range(n_servers)
         )
         self.last_queries: tuple[tuple[int, ...], ...] | None = None
         self._init_accounting()
@@ -389,18 +441,25 @@ class MultiServerXorPIR(_XorPIRScheme):
     @property
     def block_size(self) -> int:
         """Bytes per block."""
-        return int(self._db.shape[1])
+        return int(self._store.width)
 
     def _query_masks(
         self, indices: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """(B, n_servers, n) boolean query matrix for a batch of targets."""
-        batch = indices.size
-        masks = np.empty((batch, self.n_servers, self.n), dtype=bool)
-        masks[:, :-1] = rng.random((batch, self.n_servers - 1, self.n)) < 0.5
-        combined = np.logical_xor.reduce(masks[:, :-1], axis=1)
-        rows = np.arange(batch)
-        combined[rows, indices] = ~combined[rows, indices]
+        """(B, n_servers, nw) packed query words for a batch of targets."""
+        from ..kernels import tail_mask, words_per_bits
+
+        batch = int(indices.size)
+        nw = words_per_bits(self.n)
+        masks = np.empty((batch, self.n_servers, nw), dtype=np.uint64)
+        draw = rng.integers(
+            0, 0xFFFFFFFFFFFFFFFF, size=(batch, self.n_servers - 1, nw),
+            dtype=np.uint64, endpoint=True,
+        )
+        draw[..., -1] &= tail_mask(self.n)
+        masks[:, :-1] = draw
+        combined = np.bitwise_xor.reduce(draw, axis=1)
+        flip_mask_bits(combined, np.arange(batch), indices)
         masks[:, -1] = combined
         return masks
 
@@ -412,7 +471,7 @@ class MultiServerXorPIR(_XorPIRScheme):
         rng = resolve_rng(rng)
         masks = self._query_masks(np.asarray([index], dtype=np.intp), rng)[0]
         answers = [
-            server.answer(sid, np.flatnonzero(masks[sid]))
+            server.answer(sid, _word_mask_indices(masks[sid], self.n))
             for sid, server in enumerate(self._servers)
         ]
         self.last_queries = tuple(a.query_indices for a in answers)
@@ -428,25 +487,28 @@ class MultiServerXorPIR(_XorPIRScheme):
         rng: np.random.Generator | int | None = None,
     ) -> list[bytes]:
         idx = np.asarray(indices, dtype=np.intp).reshape(-1)
-        if idx.size and not (0 <= idx.min() and idx.max() < self.n):
-            bad = idx[(idx < 0) | (idx >= self.n)][0]
-            raise IndexError(f"index {bad} out of range [0, {self.n})")
+        self._check_indices(idx, self.n)
         if idx.size == 0:
             return []
         rng = resolve_rng(rng)
         masks = self._query_masks(idx, rng)
-        result = self._servers[0].answer_batch(masks[:, 0])
+        result = self._servers[0].answer_batch(
+            np.ascontiguousarray(masks[:, 0])
+        )
         for sid in range(1, self.n_servers):
-            result ^= self._servers[sid].answer_batch(masks[:, sid])
+            result = result ^ self._servers[sid].answer_batch(
+                np.ascontiguousarray(masks[:, sid])
+            )
         self._set_batch_masks(
-            tuple(masks[:, sid] for sid in range(self.n_servers))
+            tuple(masks[:, sid] for sid in range(self.n_servers)), self.n
         )
         self._traffic(
             idx.size * self.n_servers * self.n,
             idx.size * 8 * self.n_servers * self.block_size,
             queries=int(idx.size),
         )
-        return [row.tobytes() for row in result]
+        size = self.block_size
+        return [result[b, :size].tobytes() for b in range(idx.size)]
 
 
 class SquareSchemePIR(_XorPIRScheme):
@@ -459,26 +521,35 @@ class SquareSchemePIR(_XorPIRScheme):
 
     Threat model and failure behaviour match :class:`TwoServerXorPIR`:
     two non-colluding honest-but-curious servers, no integrity, no
-    availability tolerance.
+    availability tolerance.  A prepared block store is materialized into
+    the √n x √n grid, so this scheme always answers from RAM.
     """
 
     scheme = "square"
 
-    def __init__(self, blocks: Sequence[bytes | int]):
-        db = _require_nonempty(_normalize_blocks(blocks))
-        self.n = int(db.shape[0])
+    def __init__(self, blocks: Sequence[bytes | int] | BlockStore):
+        from ..kernels import pack_bytes_rows
+
+        source = _as_store(blocks)
+        db = source.blocks_u8
+        self.n = int(source.n)
         self.cols = int(np.ceil(np.sqrt(self.n)))
         self.rows = int(np.ceil(self.n / self.cols))
-        width = int(db.shape[1])
+        width = int(source.width)
         # (rows, cols, width) grid, zero-padded past index n.
         grid = np.zeros((self.rows * self.cols, width), dtype=np.uint8)
         grid[: self.n] = db
         self._grid = grid.reshape(self.rows, self.cols, width)
-        # Column-major flattening for batched GF(2) matmul answers.
-        self._by_column = np.ascontiguousarray(
+        # Word-packed mirrors: per-cell words for single (column-gather)
+        # answers, and a column-major flattening for batched GF(2) matmul
+        # (one row per column holding that column's blocks end to end).
+        self._grid_words = pack_bytes_rows(grid).reshape(
+            self.rows, self.cols, -1
+        )
+        self._by_column_words = pack_bytes_rows(
             self._grid.transpose(1, 0, 2).reshape(self.cols, -1)
         )
-        self._column_bits: np.ndarray | None = None
+        self._column_state: dict = {}
         self.last_queries: tuple[tuple[int, ...], tuple[int, ...]] | None = None
         self._init_accounting()
 
@@ -490,21 +561,20 @@ class SquareSchemePIR(_XorPIRScheme):
     def _answer(self, columns: np.ndarray) -> np.ndarray:
         """One server's reply: per-row XOR over the selected columns."""
         if columns.size:
-            return np.bitwise_xor.reduce(self._grid[:, columns, :], axis=1)
+            folded = np.bitwise_xor.reduce(
+                self._grid_words[:, columns, :], axis=1
+            )
+            return folded.view(np.uint8)[:, : self.block_size]
         return np.zeros((self.rows, self.block_size), dtype=np.uint8)
 
-    def _answer_batch(self, masks: np.ndarray) -> np.ndarray:
-        """(B, cols) boolean query matrix -> (B, rows, block_size) replies."""
-        if self._column_bits is None:
-            dtype = np.float32 if self.cols < 2**24 else np.float64
-            self._column_bits = np.unpackbits(
-                self._by_column, axis=1
-            ).astype(dtype)
-        counts = masks.astype(self._column_bits.dtype) @ self._column_bits
-        bits = (counts.astype(np.int64) & np.int64(1)).astype(np.uint8)
-        return np.packbits(bits, axis=1).reshape(
-            masks.shape[0], self.rows, self.block_size
+    def _answer_batch(self, mask_words: np.ndarray) -> np.ndarray:
+        """(B, nw) packed column queries -> (B, rows, block_size) replies."""
+        words = get_backend().gf2_matmul(
+            mask_words, self._by_column_words, self.cols,
+            state=self._column_state, key="columns",
         )
+        flat = words.view(np.uint8)[:, : self.rows * self.block_size]
+        return flat.reshape(mask_words.shape[0], self.rows, self.block_size)
 
     def _retrieve_one(
         self, index: int, rng: np.random.Generator | int | None = None
@@ -513,11 +583,12 @@ class SquareSchemePIR(_XorPIRScheme):
             raise IndexError(f"index {index} out of range [0, {self.n})")
         rng = resolve_rng(rng)
         row, col = divmod(index, self.cols)
-        mask1 = rng.random(self.cols) < 0.5
-        mask2 = mask1.copy()
-        mask2[col] = ~mask2[col]
-        c1 = np.flatnonzero(mask1)
-        c2 = np.flatnonzero(mask2)
+        words1 = sample_mask_words(rng, 1, self.cols)
+        words2 = words1.copy()
+        flip_mask_bits(words2, np.zeros(1, dtype=np.intp), np.asarray([col]))
+        bits = unpack_bool_rows(np.vstack([words1, words2]), self.cols)
+        c1 = np.flatnonzero(bits[0])
+        c2 = np.flatnonzero(bits[1])
         a1 = self._answer(c1)
         a2 = self._answer(c2)
         self.last_queries = (
@@ -532,20 +603,17 @@ class SquareSchemePIR(_XorPIRScheme):
         rng: np.random.Generator | int | None = None,
     ) -> list[bytes]:
         idx = np.asarray(indices, dtype=np.intp).reshape(-1)
-        if idx.size and not (0 <= idx.min() and idx.max() < self.n):
-            bad = idx[(idx < 0) | (idx >= self.n)][0]
-            raise IndexError(f"index {bad} out of range [0, {self.n})")
+        self._check_indices(idx, self.n)
         if idx.size == 0:
             return []
         rng = resolve_rng(rng)
         rows, cols = np.divmod(idx, self.cols)
-        masks1 = rng.random((idx.size, self.cols)) < 0.5
-        masks2 = masks1.copy()
-        order = np.arange(idx.size)
-        masks2[order, cols] = ~masks2[order, cols]
-        a1 = self._answer_batch(masks1)
-        a2 = self._answer_batch(masks2)
-        self._set_batch_masks((masks1, masks2))
+        words1 = sample_mask_words(rng, idx.size, self.cols)
+        words2 = words1.copy()
+        flip_mask_bits(words2, np.arange(idx.size), cols)
+        a1 = self._answer_batch(words1)
+        a2 = self._answer_batch(words2)
+        self._set_batch_masks((words1, words2), self.cols)
         self._traffic(
             idx.size * 2 * self.cols,
             idx.size * 8 * self.block_size * 2 * self.rows,

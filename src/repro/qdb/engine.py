@@ -13,6 +13,7 @@ refuse) and then its transform (which may perturb or widen the answer).
 from __future__ import annotations
 
 import abc
+import os
 import zlib
 from dataclasses import dataclass
 from functools import lru_cache
@@ -21,6 +22,12 @@ import numpy as np
 
 from ..data.table import Dataset
 from ..faults.errors import BackendUnavailable
+from ..kernels import (
+    get_backend,
+    pack_bool_rows,
+    words_per_bits,
+    words_to_packbits,
+)
 from ..sdc.base import resolve_rng
 from ..telemetry import instrument as tele
 from ..telemetry.registry import MetricsRegistry
@@ -137,36 +144,29 @@ class LogEntry:
     value: float | None
 
 
-if hasattr(np, "bitwise_count"):
-    def _popcount_rows(packed: np.ndarray) -> np.ndarray:
-        """Per-row popcount of a packed uint8 bit matrix."""
-        return np.bitwise_count(packed).sum(axis=-1, dtype=np.int64)
-else:  # pragma: no cover - numpy < 2.0 fallback
-    _POPCOUNT_TABLE = np.unpackbits(
-        np.arange(256, dtype=np.uint8)[:, None], axis=1
-    ).sum(axis=1).astype(np.uint8)
-
-    def _popcount_rows(packed: np.ndarray) -> np.ndarray:
-        """Per-row popcount of a packed uint8 bit matrix (lookup table)."""
-        return _POPCOUNT_TABLE[packed].sum(axis=-1, dtype=np.int64)
-
-
 class PackedMaskLog:
     """Answered-query masks as one incrementally grown packed bit matrix.
 
-    Each answered query set over ``n`` records occupies ``ceil(n / 8)``
-    bytes of one ``uint8`` row (``np.packbits`` layout).  Rows live in an
-    amortized-doubling buffer, so appending a mask is O(n / 8) and the
-    whole history stays contiguous — :class:`OverlapControl` intersects a
-    candidate against *every* historical query set with a single bitwise
-    AND + popcount pass instead of a Python loop over full boolean arrays.
+    Each answered query set over ``n`` records occupies ``ceil(n / 64)``
+    ``uint64`` words of one row, in the kernel tier's little-bit-order
+    layout (record ``i`` lives at bit ``i & 63`` of word ``i >> 6``).
+    Rows live in an amortized-doubling buffer, so appending a mask is
+    O(n / 64) and the whole history stays contiguous —
+    :class:`OverlapControl` intersects a candidate against *every*
+    historical query set with one AND + word popcount pass on the active
+    kernel backend instead of a Python loop over full boolean arrays.
+
+    :attr:`rows` still exposes the history in the historical
+    ``np.packbits`` byte layout for inspection and tests; the word matrix
+    is internal.
     """
 
     def __init__(self, n_records: int, initial_capacity: int = 64):
         self.n_records = n_records
         self.n_bytes = (n_records + 7) // 8
-        self._rows = np.zeros((max(1, initial_capacity), self.n_bytes),
-                              dtype=np.uint8)
+        self.n_words = words_per_bits(max(1, n_records))
+        self._rows = np.zeros((max(1, initial_capacity), self.n_words),
+                              dtype=np.uint64)
         self._counts = np.zeros(self._rows.shape[0], dtype=np.int64)
         self._size = 0
 
@@ -175,8 +175,9 @@ class PackedMaskLog:
 
     @property
     def rows(self) -> np.ndarray:
-        """View of the packed rows appended so far, oldest first."""
-        return self._rows[: self._size]
+        """Packed rows appended so far, oldest first, in the historical
+        ``np.packbits`` uint8 layout."""
+        return words_to_packbits(self._rows[: self._size], self.n_records)
 
     @property
     def counts(self) -> np.ndarray:
@@ -184,8 +185,10 @@ class PackedMaskLog:
         return self._counts[: self._size]
 
     def pack(self, mask: np.ndarray) -> np.ndarray:
-        """Pack a boolean mask into this log's row layout."""
-        return np.packbits(np.asarray(mask, dtype=bool))
+        """Pack a boolean mask into this log's word-row layout."""
+        return pack_bool_rows(
+            np.asarray(mask, dtype=bool).reshape(1, -1)
+        )[0]
 
     def append(self, mask: np.ndarray) -> None:
         """Append one answered query-set mask (boolean, length n_records)."""
@@ -202,7 +205,7 @@ class PackedMaskLog:
                  start: int = 0, stop: int | None = None) -> np.ndarray:
         """|Q_i ∩ C| for the logged masks in ``[start, stop)``."""
         block = self._rows[start: self._size if stop is None else stop]
-        return _popcount_rows(block & packed_candidate)
+        return get_backend().overlap_counts(block, packed_candidate)
 
 
 class QueryHistory(list):
@@ -767,32 +770,49 @@ class OverlapControl(ProtectionPolicy):
     coarser (it also refuses many harmless queries).
 
     Overlaps against the whole answered history are computed in one
-    bitwise-AND + popcount pass over the engine's packed audit state
-    (:class:`PackedMaskLog`), chunked so a violating early query set
-    short-circuits the scan; a plain ``list`` history falls back to the
-    per-entry loop.  Refusal decisions (and messages) are identical to
-    the seed's loop: the *first* answered query set in history order
-    whose overlap exceeds the threshold is reported.
+    word-level AND + popcount pass over the engine's packed audit state
+    (:class:`PackedMaskLog`) on the active kernel backend, chunked so a
+    violating early query set short-circuits the scan; a plain ``list``
+    history falls back to the per-entry loop.  Refusal decisions (and
+    messages) are *chunk-invariant* and identical to the seed's loop:
+    the scan preserves history order for any chunk size, so the first
+    answered query set whose overlap exceeds the threshold is always
+    the one reported.
+
+    The chunk size trades early-exit granularity against per-call
+    overhead; the default comes from the
+    ``benchmarks/bench_overlap_chunk.py`` sweep and can be overridden
+    per instance (``chunk=``) or process-wide with the
+    ``REPRO_QDB_OVERLAP_CHUNK`` environment variable.
 
     Threat model: the difference attacker (query pairs isolating a
     record by subtraction).  Failure behaviour: pure refusal, judged
     against answered history only.
     """
 
-    _CHUNK = 512  # history rows per popcount pass (early-exit granularity)
+    # History rows per popcount pass (early-exit granularity): the
+    # bench_overlap_chunk.py sweep's no-hit winner at H=2000 on the cext
+    # backend; early-hit scans stay sub-millisecond at this size.
+    _CHUNK = 2048
 
-    def __init__(self, max_overlap: int):
+    def __init__(self, max_overlap: int, chunk: int | None = None):
         if max_overlap < 0:
             raise ValueError("max_overlap must be >= 0")
+        if chunk is None:
+            env = os.environ.get("REPRO_QDB_OVERLAP_CHUNK", "").strip()
+            chunk = int(env) if env else self._CHUNK
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
         self.max_overlap = max_overlap
+        self.chunk = int(chunk)
         self.name = f"overlap-control(r={max_overlap})"
 
     def _review_packed(self, mask, log: PackedMaskLog):
         if int(np.count_nonzero(mask)) <= self.max_overlap:
             return None  # |Q ∩ C| <= |C| can never exceed the threshold
         packed = log.pack(mask)
-        for start in range(0, len(log), self._CHUNK):
-            stop = min(start + self._CHUNK, len(log))
+        for start in range(0, len(log), self.chunk):
+            stop = min(start + self.chunk, len(log))
             overlaps = log.overlaps(packed, start, stop)
             hits = overlaps > self.max_overlap
             if hits.any():

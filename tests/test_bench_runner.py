@@ -9,7 +9,7 @@ wall-clock stability.
 import json
 
 from benchmarks import runner
-from benchmarks.baselines import BASELINES
+from benchmarks.baselines import BASELINE_BACKEND, BASELINES
 
 
 def test_runner_smoke(tmp_path):
@@ -20,6 +20,11 @@ def test_runner_smoke(tmp_path):
     data = json.loads(out.read_text())
     assert data["kernels"]
     assert data["calibration_seconds"] > 0
+    # Schema 3: the run records which kernel backend produced the numbers.
+    assert data["schema"] == 3
+    from repro.kernels import available_backends
+    assert data["backend"]["name"] in available_backends()
+    assert data["backend"]["numpy"]
     for entry in data["kernels"].values():
         assert entry["median_seconds"] > 0
         assert entry["normalized"] > 0
@@ -40,7 +45,9 @@ def test_kernel_subset_and_check_logic(tmp_path):
         "pir_square_retrieve_n4096", "mdav_n1000_k5"
     }
     # check_regressions flags a kernel that blows past its baseline and
-    # accepts one comfortably under it.
+    # accepts one comfortably under it.  Pin the recorded backend to the
+    # baseline one so only the normalized-time failure is in play.
+    data["backend"] = {"name": BASELINE_BACKEND, "numpy": "0"}
     data["kernels"]["mdav_n1000_k5"]["normalized"] = (
         BASELINES["mdav_n1000_k5"] * 100
     )
@@ -58,10 +65,14 @@ def test_every_baseline_names_a_kernel():
 
 def test_every_speedup_pair_names_kernels_with_minimums():
     kernel_names = {k.name for k in runner.KERNELS}
-    for fast, seed in runner.SPEEDUP_PAIRS:
-        assert {fast, seed} <= kernel_names
+    for fast, ref in runner.SPEEDUP_PAIRS + runner.UINT8_PAIRS:
+        assert {fast, ref} <= kernel_names
     from benchmarks.baselines import MIN_SPEEDUPS
-    assert set(MIN_SPEEDUPS) <= {fast for fast, _ in runner.SPEEDUP_PAIRS}
+    recorded_keys = {
+        f"{fast}_vs_seed" for fast, _ in runner.SPEEDUP_PAIRS
+    } | {f"{fast}_vs_uint8" for fast, _ in runner.UINT8_PAIRS}
+    # Every gate guards a speedup the runner actually records.
+    assert set(MIN_SPEEDUPS) <= recorded_keys
 
 
 def test_list_prints_registered_kernels(capsys):
@@ -93,8 +104,37 @@ def test_check_fails_when_nothing_was_timed():
 
 
 def test_check_flags_speedup_shortfall():
-    results = {"kernels": {}, "speedups": {"qdb_overlap_vs_seed": 2.0}}
+    results = {"kernels": {}, "speedups": {"qdb_overlap_h2000_vs_seed": 2.0}}
     failures = runner.check_regressions(results, tolerance=2.0)
     assert any(
-        "qdb_overlap" in f and "2.0x" in f for f in failures
+        "qdb_overlap_h2000" in f and "2.0x" in f for f in failures
+    )
+
+
+def test_check_flags_uint8_speedup_shortfall():
+    results = {
+        "kernels": {},
+        "speedups": {"pir_batch64_retrieve_n65536_vs_uint8": 1.5},
+    }
+    failures = runner.check_regressions(results, tolerance=2.0)
+    assert any(
+        "pir_batch64_retrieve_n65536" in f and "uint8" in f
+        for f in failures
+    )
+
+
+def test_check_flags_backend_mismatch():
+    """Numbers from a different kernel backend must not be compared."""
+    results = {
+        "kernels": {},
+        "speedups": {},
+        "backend": {"name": "definitely-not-the-baseline", "numpy": "0"},
+    }
+    failures = runner.check_regressions(results, tolerance=2.0)
+    assert any("backend mismatch" in f for f in failures)
+    # Matching backend (or a pre-schema-3 record with none): no complaint.
+    results["backend"] = {"name": BASELINE_BACKEND, "numpy": "0"}
+    assert not any(
+        "backend mismatch" in f
+        for f in runner.check_regressions(results, tolerance=2.0)
     )

@@ -1,0 +1,247 @@
+"""Cross-backend equivalence for the GF(2) kernel tier.
+
+The contract of :mod:`repro.kernels.backends` is *bit-identity*: every
+backend — compiled C, numba, pure-numpy uint64 — must produce exactly
+the bytes the frozen uint8 reference produces, at the kernel level and
+end to end (every PIR scheme, the faulty wrappers, every audit policy
+stack).  These tests run each check under every backend available on
+the machine, so a box without a C compiler still verifies uint64 vs
+uint8 while a full box verifies all of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import Fault, FaultPlan, ResilientXorPIR
+from repro.kernels import (
+    Uint8ReferenceBackend,
+    available_backends,
+    backend_info,
+    get_backend,
+    pack_bool_rows,
+    pack_bytes_rows,
+    use_backend,
+)
+from repro.kernels.backends import _probe, float_dtype_for
+from repro.pir import MultiServerXorPIR, SquareSchemePIR, TwoServerXorPIR
+from repro.qdb import (
+    OverlapControl,
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+from repro.data import patients
+
+ALL = available_backends()
+FAST = [name for name in ALL if name != "uint8"]
+
+
+def _random_case(seed, n, width, batch):
+    rng = np.random.default_rng(seed)
+    db = rng.integers(0, 256, size=(n, width), dtype=np.uint8)
+    masks = rng.random((batch, n)) < 0.5
+    return pack_bytes_rows(db), pack_bool_rows(masks), masks, db
+
+
+@pytest.mark.parametrize("name", FAST)
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 300),
+    width=st.integers(1, 40),
+    batch=st.integers(1, 5),
+)
+def test_gf2_matmul_bit_identical_to_uint8(name, seed, n, width, batch):
+    db_words, mask_words, masks, db = _random_case(seed, n, width, batch)
+    reference = Uint8ReferenceBackend().gf2_matmul(mask_words, db_words, n)
+    result = _probe(name).gf2_matmul(mask_words, db_words, n)
+    np.testing.assert_array_equal(result, reference)
+    # And both match the boolean-algebra ground truth on logical bytes.
+    for b in range(batch):
+        expected = np.bitwise_xor.reduce(
+            db[masks[b]], axis=0
+        ) if masks[b].any() else np.zeros(width, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            result.view(np.uint8)[b, :width], expected
+        )
+
+
+@pytest.mark.parametrize("name", FAST)
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300),
+       width=st.integers(1, 40))
+def test_xor_fold_bit_identical_to_uint8(name, seed, n, width):
+    db_words, _, _, _ = _random_case(seed, n, width, 1)
+    rng = np.random.default_rng(seed + 1)
+    idx = np.flatnonzero(rng.random(n) < 0.5)
+    reference = Uint8ReferenceBackend().xor_fold(db_words, idx)
+    np.testing.assert_array_equal(
+        _probe(name).xor_fold(db_words, idx), reference
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), h=st.integers(0, 60),
+       n=st.integers(1, 300))
+def test_overlap_counts_bit_identical_to_uint8(name, seed, h, n):
+    rng = np.random.default_rng(seed)
+    rows = pack_bool_rows(rng.random((h, n)) < 0.5)
+    cand = pack_bool_rows(rng.random((1, n)) < 0.5)[0]
+    reference = Uint8ReferenceBackend().overlap_counts(rows, cand)
+    np.testing.assert_array_equal(
+        _probe(name).overlap_counts(rows, cand), reference
+    )
+
+
+def _scheme_transcript(scheme_factory):
+    """Deterministic single + batch retrievals for one scheme instance."""
+    pir = scheme_factory()
+    singles = [pir.retrieve(i % pir.n, 1000 + i) for i in range(4)]
+    batch = pir.retrieve_batch([0, pir.n // 2, pir.n - 1, 0], 77)
+    return singles, batch, pir.last_batch_queries
+
+
+# Ragged 13-byte blocks + a non-multiple-of-64 database size: the shapes
+# where packed layouts break first.
+_SCHEMES = {
+    "two-server": lambda: TwoServerXorPIR(
+        [bytes([i % 251]) * 13 for i in range(137)]
+    ),
+    "multi-server": lambda: MultiServerXorPIR(
+        [bytes([i % 251]) * 13 for i in range(137)], n_servers=3
+    ),
+    "square": lambda: SquareSchemePIR(
+        [bytes([i % 251]) * 13 for i in range(137)]
+    ),
+}
+
+
+@pytest.mark.parametrize("scheme", sorted(_SCHEMES))
+def test_schemes_byte_identical_across_backends(scheme):
+    with use_backend("uint8"):
+        reference = _scheme_transcript(_SCHEMES[scheme])
+    for name in FAST:
+        with use_backend(name):
+            assert _scheme_transcript(_SCHEMES[scheme]) == reference, name
+
+
+def test_faulty_wrappers_identical_across_backends():
+    """Byzantine voting over every backend returns the same blocks."""
+
+    def transcript():
+        plan = FaultPlan([Fault("byzantine", "pir.replica:0")], seed=9)
+        pir = ResilientXorPIR(
+            [bytes([i % 251]) * 13 for i in range(137)], f=1, plan=plan
+        )
+        singles = [pir.retrieve(i * 31 % pir.n, 500 + i) for i in range(3)]
+        return singles, pir.retrieve_batch([0, 5, 136], 88)
+
+    with use_backend("uint8"):
+        reference = transcript()
+    for name in FAST:
+        with use_backend(name):
+            assert transcript() == reference, name
+
+
+def test_audit_decisions_identical_across_backends():
+    """The full policy stack refuses/answers identically on any backend."""
+    from tests.test_qdb_perf_equivalence import (  # reuse the workload maker
+        random_workload,
+    )
+
+    pop = patients(300, seed=5)
+    queries = random_workload(pop, np.random.default_rng(21), 60)
+
+    def transcript():
+        db = StatisticalDatabase(pop, [
+            QuerySetSizeControl(5),
+            OverlapControl(40),
+            SumAuditPolicy(),
+        ])
+        out = []
+        for query in queries:
+            answer = db.ask(query)
+            out.append((answer.refused, answer.reason, answer.value))
+        return out
+
+    with use_backend("uint8"):
+        reference = transcript()
+    assert any(r for r, _, _ in reference)  # the session must exercise refusals
+    for name in FAST:
+        with use_backend(name):
+            assert transcript() == reference, name
+
+
+def test_uint8_bits_cache_rekeys_on_dtype_change(monkeypatch):
+    """Regression: the cached unpacked-bit matrix is keyed by dtype.
+
+    The pre-kernel-tier server cached its float bit matrix on first use
+    and never re-keyed, so a dtype policy change silently kept serving
+    the stale dtype.  The reference backend now keys the cache by
+    ``(key, dtype.name)``.
+    """
+    import repro.kernels.backends as backends
+
+    rng = np.random.default_rng(0)
+    db = rng.integers(0, 256, size=(50, 8), dtype=np.uint8)
+    db_words = pack_bytes_rows(db)
+    mask_words = pack_bool_rows(rng.random((3, 50)) < 0.5)
+    backend = Uint8ReferenceBackend()
+    state: dict = {}
+
+    first = backend.gf2_matmul(mask_words, db_words, 50, state=state)
+    assert set(state["uint8_bits"]) == {("all", "float32")}
+    assert state["uint8_bits"][("all", "float32")].dtype == np.float32
+
+    monkeypatch.setattr(backends, "float_dtype_for", lambda n: np.float64)
+    second = backend.gf2_matmul(mask_words, db_words, 50, state=state)
+    # A fresh float64 matrix was built — not the stale float32 one.
+    assert set(state["uint8_bits"]) == {
+        ("all", "float32"), ("all", "float64")
+    }
+    assert state["uint8_bits"][("all", "float64")].dtype == np.float64
+    np.testing.assert_array_equal(first, second)
+
+
+def test_float_dtype_policy_thresholds():
+    assert float_dtype_for(2**24 - 1) is np.float32
+    assert float_dtype_for(2**24) is np.float64
+
+
+def test_registry_selection_and_restore():
+    assert get_backend().name in ALL
+    assert backend_info()["name"] == get_backend().name
+    before = get_backend()
+    with use_backend("uint8") as backend:
+        assert backend.name == "uint8"
+        assert get_backend().name == "uint8"
+    assert get_backend() is before
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        with use_backend("no-such-backend"):
+            pass  # pragma: no cover
+    assert get_backend() is before
+
+
+def test_unavailable_backend_is_loud():
+    unavailable = [
+        name for name in ("cext", "numba") if name not in ALL
+    ]
+    if not unavailable:
+        pytest.skip("every optional backend is available on this machine")
+    with pytest.raises(RuntimeError, match="unavailable"):
+        with use_backend(unavailable[0]):
+            pass  # pragma: no cover
+
+
+def test_env_override_requires_available_backend(monkeypatch):
+    import repro.kernels.backends as backends
+
+    monkeypatch.setattr(backends, "_active", None)
+    monkeypatch.setenv("REPRO_KERNELS", "definitely-not-a-backend")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        backends.get_backend()
+    monkeypatch.setenv("REPRO_KERNELS", "uint8")
+    assert backends.get_backend().name == "uint8"

@@ -1,0 +1,173 @@
+"""Block-store tests: in-RAM dual views, memmap lifecycle, RAM budgets.
+
+The store layer is what lets the PIR servers answer from either RAM or
+a memory-mapped file through one code path, so the properties here are
+the load-bearing ones: the uint8 and uint64 views alias the same bytes
+(byzantine corruption through ``_db`` must reach the word kernels),
+chunked budget scans are bit-identical to unchunked ones, and
+copy-on-write replicas never leak mutations back into the canonical
+file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import ResilientXorPIR
+from repro.kernels import (
+    ArrayBlockStore,
+    MemmapBlockStore,
+    gf2_matmul_store,
+    pack_bool_rows,
+    xor_fold_store,
+)
+from repro.pir import TwoServerXorPIR
+
+
+def _blocks(n=200, width=13, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 256, size=(n, width), dtype=np.uint8
+    )
+
+
+class TestArrayBlockStore:
+    def test_geometry_and_padding(self):
+        store = ArrayBlockStore(_blocks())
+        assert (store.n, store.width, store.n_words) == (200, 13, 2)
+        assert store.words.shape == (200, 2)
+        assert store.blocks_u8.shape == (200, 13)
+        assert store.chunk_rows == store.n  # in-RAM: never chunked
+        # Padding bytes are zero.
+        assert not store.words.view(np.uint8)[:, 13:].any()
+
+    def test_views_share_memory(self):
+        """Corruption through the byte view reaches the word kernels."""
+        store = ArrayBlockStore(_blocks())
+        before = store.words[0].copy()
+        store.blocks_u8[0, 0] ^= 0xFF
+        assert (store.words[0] != before).any()
+
+    def test_replica_is_independent(self):
+        store = ArrayBlockStore(_blocks())
+        replica = store.replica()
+        replica.blocks_u8[0, 0] ^= 0xFF
+        assert store.blocks_u8[0, 0] != replica.blocks_u8[0, 0]
+
+    def test_constructor_copies_input(self):
+        blocks = _blocks()
+        store = ArrayBlockStore(blocks)
+        blocks[0, 0] ^= 0xFF
+        assert store.blocks_u8[0, 0] == blocks[0, 0] ^ 0xFF
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            ArrayBlockStore(np.zeros(5, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            ArrayBlockStore(np.zeros((5, 0), dtype=np.uint8))
+
+
+class TestMemmapBlockStore:
+    def test_create_open_round_trip(self, tmp_path):
+        blocks = _blocks()
+        path = tmp_path / "db.npy"
+        created = MemmapBlockStore.create(path, blocks)
+        np.testing.assert_array_equal(created.blocks_u8, blocks)
+        assert path.exists()
+        assert MemmapBlockStore._meta_path(path).exists()
+        reopened = MemmapBlockStore(path, mode="r")
+        assert (reopened.n, reopened.width) == (200, 13)
+        np.testing.assert_array_equal(reopened.blocks_u8, blocks)
+        np.testing.assert_array_equal(reopened.words, created.words)
+
+    def test_meta_version_guard(self, tmp_path):
+        path = tmp_path / "db.npy"
+        MemmapBlockStore.create(path, _blocks())
+        MemmapBlockStore._meta_path(path).write_text('{"version": 99}')
+        with pytest.raises(ValueError, match="meta version"):
+            MemmapBlockStore(path)
+
+    def test_chunk_rows_budgeted_and_aligned(self, tmp_path):
+        path = tmp_path / "db.npy"
+        store = MemmapBlockStore.create(path, _blocks(n=1000))
+        assert store.chunk_rows == store.n  # no budget: unchunked
+        # 16 bytes/row -> a 3000-byte budget is 187 rows -> 128 aligned.
+        budgeted = MemmapBlockStore(path, ram_budget=3000)
+        assert budgeted.chunk_rows == 128
+        assert budgeted.chunk_rows % 64 == 0
+        # The floor is one mask word's worth of rows.
+        tiny = MemmapBlockStore(path, ram_budget=1)
+        assert tiny.chunk_rows == 64
+
+    def test_chunked_scan_matches_unchunked(self, tmp_path):
+        blocks = _blocks(n=777)
+        path = tmp_path / "db.npy"
+        full = MemmapBlockStore.create(path, blocks)
+        budgeted = MemmapBlockStore(path, mode="r", ram_budget=2048)
+        assert budgeted.chunk_rows < budgeted.n
+        rng = np.random.default_rng(3)
+        mask_words = pack_bool_rows(rng.random((5, 777)) < 0.5)
+        np.testing.assert_array_equal(
+            gf2_matmul_store(mask_words, budgeted),
+            gf2_matmul_store(mask_words, full),
+        )
+        idx = np.flatnonzero(rng.random(777) < 0.5)
+        np.testing.assert_array_equal(
+            xor_fold_store(budgeted, idx), xor_fold_store(full, idx)
+        )
+
+    def test_replica_is_copy_on_write(self, tmp_path):
+        path = tmp_path / "db.npy"
+        store = MemmapBlockStore.create(path, _blocks())
+        replica = store.replica()
+        replica.blocks_u8[0, :] = 0xAA
+        assert (replica.blocks_u8[0] == 0xAA).all()  # mutable in RAM
+        # ... but the canonical file is untouched.
+        np.testing.assert_array_equal(
+            MemmapBlockStore(path, mode="r").blocks_u8, store.blocks_u8
+        )
+
+
+class TestPIROverStores:
+    def test_memmap_pir_matches_in_ram_pir(self, tmp_path):
+        """The same seed retrieves the same bytes from disk and RAM —
+        including under a budget that forces chunked batch scans."""
+        blocks = _blocks(n=500, width=16, seed=7)
+        in_ram = TwoServerXorPIR(ArrayBlockStore(blocks))
+        path = tmp_path / "db.npy"
+        MemmapBlockStore.create(path, blocks)
+        on_disk = TwoServerXorPIR(
+            MemmapBlockStore(path, mode="r", ram_budget=4096)
+        )
+        assert on_disk.block_size == in_ram.block_size == 16
+        for i in (0, 250, 499):
+            assert on_disk.retrieve(i, 42) == in_ram.retrieve(i, 42)
+            assert on_disk.retrieve(i, 42) == blocks[i].tobytes()
+        indices = [0, 13, 499, 13]
+        assert on_disk.retrieve_batch(indices, 5) == in_ram.retrieve_batch(
+            indices, 5
+        )
+
+    def test_resilient_pir_accepts_store(self, tmp_path):
+        blocks = _blocks(n=64, width=8, seed=2)
+        path = tmp_path / "db.npy"
+        MemmapBlockStore.create(path, blocks)
+        pir = ResilientXorPIR(MemmapBlockStore(path, mode="r"), f=0)
+        assert pir.retrieve(17, 3) == blocks[17].tobytes()
+        assert pir.retrieve_batch([1, 2, 63], 4) == [
+            blocks[i].tobytes() for i in (1, 2, 63)
+        ]
+
+    def test_byzantine_memmap_replica_cannot_corrupt_file(self, tmp_path):
+        """A server poking its COW replica never reaches the other
+        server or the canonical database file."""
+        blocks = _blocks(n=64, width=8, seed=2)
+        path = tmp_path / "db.npy"
+        MemmapBlockStore.create(path, blocks)
+        pir = TwoServerXorPIR(MemmapBlockStore(path, mode="r"))
+        pir._servers[0]._db[:, :] = 0xFF  # replica 0 goes byzantine
+        # Retrieval is now corrupt (no integrity — by design) ...
+        assert pir.retrieve(5, 11) != blocks[5].tobytes()
+        # ... but the file and the second server still hold the truth.
+        np.testing.assert_array_equal(
+            MemmapBlockStore(path, mode="r").blocks_u8, blocks
+        )
+        np.testing.assert_array_equal(pir._servers[1]._db, blocks)

@@ -1,0 +1,131 @@
+"""Property tests for the word-packing primitives (repro.kernels.packing).
+
+The packed uint64 layout is the substrate every kernel backend computes
+on, so these properties are load-bearing: lossless round-trips at ragged
+widths, guaranteed-zero padding, exact equivalence with the historical
+``np.packbits`` layout, and rng-stream equivalence of batched mask
+sampling (which is what keeps batched PIR retrieval byte-identical to
+sequential retrieval).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    WORD_BITS,
+    WORD_BYTES,
+    flip_mask_bits,
+    pack_bool_rows,
+    pack_bytes_rows,
+    popcount_words,
+    sample_mask_words,
+    tail_mask,
+    unpack_bool_rows,
+    unpack_bytes_rows,
+    words_per_bits,
+    words_per_bytes,
+    words_to_packbits,
+)
+
+# Ragged on purpose: widths straddling word boundaries are the cases a
+# padded layout gets wrong first.
+sizes = st.tuples(st.integers(0, 40), st.integers(1, 130))
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes, st.integers(0, 2**32 - 1))
+def test_byte_rows_round_trip(shape, seed):
+    n, width = shape
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 256, size=(n, width), dtype=np.uint8)
+    words = pack_bytes_rows(matrix)
+    assert words.dtype == np.uint64
+    assert words.shape == (n, words_per_bytes(width))
+    np.testing.assert_array_equal(unpack_bytes_rows(words, width), matrix)
+    # Padding bytes past the logical width are zero, so word-level XOR
+    # and popcount agree with the unpacked ground truth.
+    as_bytes = words.view(np.uint8)
+    assert not as_bytes[:, width:].any()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes, st.integers(0, 2**32 - 1))
+def test_bool_rows_round_trip(shape, seed):
+    n, n_bits = shape
+    rng = np.random.default_rng(seed)
+    masks = rng.random((n, n_bits)) < 0.5
+    words = pack_bool_rows(masks)
+    assert words.dtype == np.uint64
+    assert words.shape == (n, words_per_bits(max(1, n_bits)))
+    np.testing.assert_array_equal(unpack_bool_rows(words, n_bits), masks)
+    # Tail bits past n_bits are zero.
+    if n:
+        spill = unpack_bool_rows(words, words.shape[1] * WORD_BITS)
+        assert not spill[:, n_bits:].any()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes, st.integers(0, 2**32 - 1))
+def test_words_to_packbits_matches_numpy_layout(shape, seed):
+    n, n_bits = shape
+    rng = np.random.default_rng(seed)
+    masks = rng.random((n, n_bits)) < 0.5
+    converted = words_to_packbits(pack_bool_rows(masks), n_bits)
+    expected = np.packbits(masks, axis=1) if n_bits else np.zeros(
+        (n, 0), dtype=np.uint8
+    )
+    np.testing.assert_array_equal(converted, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 200), st.integers(0, 2**32 - 1))
+def test_popcount_words_matches_bit_count(n, seed):
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, 2**64, size=n, dtype=np.uint64)
+    expected = np.array([int(w).bit_count() for w in words])
+    np.testing.assert_array_equal(
+        popcount_words(words).astype(np.int64), expected
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 170), st.integers(0, 2**32 - 1))
+def test_sample_mask_words_batch_equals_sequential(count, n_bits, seed):
+    """One (count, nw) draw consumes the stream like count (1, nw) draws.
+
+    This is the property batched PIR retrieval leans on to stay
+    byte-identical to sequential retrieval under a shared generator.
+    """
+    batched = sample_mask_words(np.random.default_rng(seed), count, n_bits)
+    rng = np.random.default_rng(seed)
+    sequential = np.vstack(
+        [sample_mask_words(rng, 1, n_bits) for _ in range(count)]
+    )
+    np.testing.assert_array_equal(batched, sequential)
+    # Tail bits past n_bits are cleared.
+    keep = tail_mask(n_bits)
+    assert not (batched[:, -1] & ~keep).any()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 170), st.integers(0, 2**32 - 1))
+def test_flip_mask_bits_matches_boolean_flip(rows, n_bits, seed):
+    rng = np.random.default_rng(seed)
+    masks = rng.random((rows, n_bits)) < 0.5
+    bits = rng.integers(0, n_bits, size=rows)
+    words = pack_bool_rows(masks)
+    flip_mask_bits(words, np.arange(rows), bits)
+    expected = masks.copy()
+    expected[np.arange(rows), bits] ^= True
+    np.testing.assert_array_equal(unpack_bool_rows(words, n_bits), expected)
+
+
+def test_word_constants():
+    assert WORD_BITS == 64 and WORD_BYTES == 8
+    assert words_per_bits(1) == words_per_bits(64) == 1
+    assert words_per_bits(65) == 2
+    assert words_per_bytes(1) == words_per_bytes(8) == 1
+    assert words_per_bytes(9) == 2
+    assert tail_mask(64) == np.uint64(0xFFFFFFFFFFFFFFFF)
+    assert tail_mask(1) == np.uint64(1)
