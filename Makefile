@@ -1,7 +1,8 @@
 PYTHON ?= python
 
-.PHONY: verify test bench bench-check bench-qdb bench-kernels bench-refresh \
-	telemetry-smoke observe-smoke chaos doctest-faults doctest-observatory
+.PHONY: verify test bench bench-check bench-qdb bench-kernels bench-plan \
+	bench-refresh telemetry-smoke observe-smoke chaos doctest-faults \
+	doctest-observatory
 
 .DEFAULT_GOAL := verify
 
@@ -9,8 +10,8 @@ PYTHON ?= python
 # gates, telemetry schema drift, the observatory's detection invariants,
 # fault-layer and observatory doctests, and the chaos scenario's privacy
 # invariants.
-verify: test bench-check bench-kernels telemetry-smoke observe-smoke \
-	doctest-faults doctest-observatory chaos
+verify: test bench-check bench-kernels bench-plan telemetry-smoke \
+	observe-smoke doctest-faults doctest-observatory chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -41,6 +42,16 @@ bench-kernels:
 		ref_uint8_pir_batch64_retrieve_n65536 qdb_overlap_h2000 \
 		seed_qdb_overlap ref_uint8_qdb_overlap_h2000 \
 		pir_memmap_batch8_retrieve_n262144
+
+# The query-plan optimizer gates (ISSUE 7): the fused three-policy audit
+# against the legacy per-policy pipeline (>= 2x), the warm plan cache
+# against cold per-query compilation (>= 1.5x), and the memmap-backed
+# out-of-core query history against its absolute baseline.
+bench-plan:
+	PYTHONPATH=src $(PYTHON) -m benchmarks.runner --check --output /dev/null \
+		--kernels qdb_fused_audit_h2000 ref_unfused_qdb_audit_h2000 \
+		qdb_plan_cache_batch ref_cold_plan_ask_batch \
+		qdb_memmap_history_overlap
 
 # Refresh the committed benchmark record after an intentional perf change;
 # copy the printed normalized values into benchmarks/baselines.py too.

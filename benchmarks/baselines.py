@@ -38,6 +38,12 @@ BASELINES: dict[str, float] = {
     "mdav_n2000_k10": 50.0,
     "linkage_n600": 12.0,
     "qdb_overlap_h2000": 2.0,
+    # The ISSUE 7 plan-path kernels: the packed history on a memmap word
+    # store under a 1 MiB budget, the three-policy fused audit through
+    # ``ask`` (n=20000 rows), and the warm-plan-cache batched workload.
+    "qdb_memmap_history_overlap": 3.0,
+    "qdb_fused_audit_h2000": 9.0,
+    "qdb_plan_cache_batch": 24.0,
     "qdb_sum_audit": 24.0,
     "qdb_ask_batch": 100.0,
     "telemetry_overhead_qdb_ask_batch": 110.0,
@@ -59,13 +65,19 @@ TOLERANCE = 2.0
 # pure-Python replicas (benchmarks/seed_replicas.py, SPEEDUP_PAIRS in
 # runner.py), ``*_vs_uint8`` entries compare the word-level kernel tier
 # against the frozen uint8 pipelines it replaced
-# (benchmarks/uint8_replicas.py, UINT8_PAIRS in runner.py).
+# (benchmarks/uint8_replicas.py, UINT8_PAIRS in runner.py), and the
+# ``*_vs_unfused`` / ``*_vs_cold`` entries gate the query-plan optimizer
+# (PLAN_PAIRS in runner.py): the fused multi-policy audit against the
+# legacy per-policy pipeline, and the warm plan cache against cold
+# per-query compilation.
 MIN_SPEEDUPS: dict[str, float] = {
     "pir_single_retrieve_n4096_vs_seed": 10.0,
     "qdb_overlap_h2000_vs_seed": 10.0,
     "qdb_sum_audit_vs_seed": 10.0,
     "pir_batch64_retrieve_n65536_vs_uint8": 4.0,
     "qdb_overlap_h2000_vs_uint8": 2.0,
+    "qdb_fused_audit_h2000_vs_unfused": 2.0,
+    "qdb_plan_cache_batch_vs_cold": 1.5,
 }
 
 # Backwards-compatible alias for the original single-pair constant.

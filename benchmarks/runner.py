@@ -53,6 +53,7 @@ from repro.qdb import (
     Comparison,
     LogEntry,
     OverlapControl,
+    Predicate,
     Query,
     QueryHistory,
     QuerySetSizeControl,
@@ -90,6 +91,15 @@ SPEEDUP_PAIRS = [
 UINT8_PAIRS = [
     ("pir_batch64_retrieve_n65536", "ref_uint8_pir_batch64_retrieve_n65536"),
     ("qdb_overlap_h2000", "ref_uint8_qdb_overlap_h2000"),
+]
+
+# (plan-path kernel, reference kernel, suffix) triples; the recorded
+# speedup ``<kernel>_vs_<suffix>`` must stay above its MIN_SPEEDUPS
+# entry under --check — the gates on the query-plan optimizer (fused
+# audit checks, plan cache).
+PLAN_PAIRS = [
+    ("qdb_fused_audit_h2000", "ref_unfused_qdb_audit_h2000", "unfused"),
+    ("qdb_plan_cache_batch", "ref_cold_plan_ask_batch", "cold"),
 ]
 
 # (wrapped kernel, bare kernel) pairs; the recorded ratio for each pair
@@ -453,6 +463,155 @@ def _qdb_sum_audit(
     return setup
 
 
+class _StoredMaskPredicate(Predicate):
+    """Benchmark-only predicate: a fixed query-set mask, synthetic key.
+
+    Lets a kernel submit predetermined query sets through the full
+    ``ask`` pipeline (mask cache, plan cache, policy reviews) without
+    paying per-rep predicate evaluation: the engine memoizes the mask
+    under the synthetic cache key on first resolution, so every later
+    ask of the same predicate sees the identical frozen array.
+    """
+
+    def __init__(self, tag: int, mask: np.ndarray):
+        self._tag = tag
+        self._mask = np.asarray(mask, dtype=bool)
+
+    def mask(self, data) -> np.ndarray:
+        return self._mask
+
+    def cache_key(self) -> tuple:
+        return ("bench-stored-mask", self._tag)
+
+
+def _qdb_fused_audit(
+    h: int, n: int, use_plans: bool = True
+) -> Callable[[], Callable[[], object]]:
+    """Three stacked audit policies behind ``ask`` at session depth *h*.
+
+    The packed history holds *h* answered ~n/2 random query sets and the
+    sum-audit basis is pre-committed with a base query set C, so each of
+    the 8 probes (C plus one distinct extra record) passes the size
+    check, passes the overlap check only after scanning the history
+    (overlaps ~n/4 < max_overlap ~2n/5), and is then refused by the
+    audit (e_i = probe - C becomes deducible) — refusals leave the
+    packed history and the audit basis untouched, so every rep times the
+    identical state.  The plan path fuses the three reviews into one
+    shared pass and resumes the overlap scan from the prefix already
+    cleared for the probe's cached mask; the ``use_plans=False`` replica
+    is the legacy per-policy pipeline rescanning all *h* rows per probe.
+    """
+    max_overlap = (2 * n) // 5
+
+    def setup():
+        rng = np.random.default_rng(11)
+        pop = patients(n, seed=3)
+        hist_masks = rng.random((h, n)) < 0.5
+        base = rng.random(n) < 0.5
+        extras = np.flatnonzero(~base)[:8]
+        policies = [QuerySetSizeControl(5), OverlapControl(max_overlap),
+                    SumAuditPolicy()]
+        db = StatisticalDatabase(pop, policies, use_plans=use_plans)
+        for m in hist_masks:
+            db.history.record(LogEntry(_QDB_DUMMY_QUERY, m, True, 1.0))
+        audit = policies[2]
+        audit.review(_QDB_DUMMY_QUERY, base, None, [])
+        audit.transform(_QDB_DUMMY_QUERY, Answer(_QDB_DUMMY_QUERY, value=1.0),
+                        base, None, None)
+        queries = []
+        for j, extra in enumerate(extras):
+            probe = base.copy()
+            probe[extra] = True
+            queries.append(Query(Aggregate.SUM, "blood_pressure",
+                                 _StoredMaskPredicate(int(j), probe)))
+
+        def run():
+            for query in queries:
+                answer = db.ask(query)
+                if not answer.refused or "sum-audit" not in (answer.reason or ""):
+                    raise RuntimeError(f"unexpected decision: {answer}")
+
+        return run
+
+    return setup
+
+
+def _qdb_plan_cache_batch(
+    n: int, n_queries: int, n_unique: int, cached: bool = True
+) -> Callable[[], Callable[[], object]]:
+    """Plan-compilation cost in ``ask_batch``: warm cache vs cold compile.
+
+    A small population and a size-control-only stack keep the per-query
+    evaluation cheap, so the timed difference is dominated by what the
+    plan cache saves: ``n_queries`` COUNT queries cycling ``n_unique``
+    predicate shapes compile ``n_unique`` plans once when the cache is
+    warm, versus compiling (and re-optimizing) every query when
+    ``cached=False`` disables the planner's cache.
+    """
+
+    def setup():
+        pop = patients(n, seed=3)
+        columns = ("height", "weight", "age")
+        predicates = []
+        for i in range(n_unique):
+            column = columns[i % len(columns)]
+            quantile = (i % 17 + 1) / 18.0
+            value = float(np.quantile(pop[column], quantile))
+            predicates.append(
+                Comparison(column, "<=" if i % 2 else ">", value)
+            )
+        queries = [
+            Query(Aggregate.COUNT, None, predicates[i % n_unique])
+            for i in range(n_queries)
+        ]
+
+        def run():
+            db = StatisticalDatabase(pop, [QuerySetSizeControl(5)])
+            if not cached:
+                from repro.plan import QueryPlanner
+
+                db._planner = QueryPlanner(db, cache=False)
+            return db.ask_batch(queries)
+
+        return run
+
+    return setup
+
+
+def _qdb_overlap_memmap(
+    h: int, n: int, ram_budget: int
+) -> Callable[[], Callable[[], object]]:
+    """The ``_qdb_overlap`` workload with the packed history on disk.
+
+    Same probes and history as ``qdb_overlap_h2000``, but the
+    :class:`~repro.qdb.QueryHistory` keeps its packed mask log in a
+    memory-mapped word store scanned in ``chunk_rows`` slices under
+    *ram_budget* — the session-history-larger-than-RAM configuration.
+    Absolute baseline only: the point is that out-of-core histories stay
+    within tolerance of the committed normalized time, not a speedup.
+    """
+    max_overlap = (2 * n) // 5
+
+    def setup():
+        rng = np.random.default_rng(11)
+        hist_masks = rng.random((h, n)) < 0.5
+        probes = list(rng.random((8, n)) < 0.5)
+        policy = OverlapControl(max_overlap)
+        history = QueryHistory(n, store="memmap", ram_budget=ram_budget)
+        for m in hist_masks:
+            history.record(LogEntry(_QDB_DUMMY_QUERY, m, True, 1.0))
+
+        def run():
+            for probe in probes:
+                reason = policy.review(_QDB_DUMMY_QUERY, probe, None, history)
+                if reason is not None:  # would skew the timing
+                    raise RuntimeError(f"unexpected refusal: {reason}")
+
+        return run
+
+    return setup
+
+
 def _qdb_ask_batch(
     n: int, n_queries: int, n_unique: int
 ) -> Callable[[], Callable[[], object]]:
@@ -550,6 +709,22 @@ KERNELS: list[Kernel] = [
            reps=1, reference_only=True),
     Kernel("ref_uint8_qdb_overlap_h2000", _qdb_overlap_uint8(2000, 5000),
            reps=5, reference_only=True),
+    # 2000 x 5000-bit packed rows = ~1.2 MiB of history, scanned under a
+    # 1 MiB budget (two chunks): the out-of-core session-history shape.
+    Kernel("qdb_memmap_history_overlap",
+           _qdb_overlap_memmap(2000, 5000, ram_budget=1 << 20), reps=5),
+    # n=20000 keeps the overlap scan (H x n/64 words) the dominant cost
+    # the fusion removes; the shared sum-audit arithmetic is O(n) and
+    # amortizes its per-call numpy overhead at this width.
+    Kernel("qdb_fused_audit_h2000", _qdb_fused_audit(2000, 20000), reps=3),
+    Kernel("ref_unfused_qdb_audit_h2000",
+           _qdb_fused_audit(2000, 20000, use_plans=False),
+           reps=1, reference_only=True),
+    Kernel("qdb_plan_cache_batch", _qdb_plan_cache_batch(250, 256, 16),
+           reps=3),
+    Kernel("ref_cold_plan_ask_batch",
+           _qdb_plan_cache_batch(250, 256, 16, cached=False),
+           reps=3, reference_only=True),
     Kernel("qdb_sum_audit", _qdb_sum_audit(2000, 5000, 400), reps=3),
     Kernel("seed_qdb_sum_audit",
            _qdb_sum_audit(2000, 5000, 400, seed_impl=True),
@@ -634,7 +809,7 @@ def time_overhead_ratio(
 def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
     calibration = calibrate()
     results: dict = {
-        "schema": 3,
+        "schema": 4,
         "generated_by": "python -m benchmarks.runner",
         "calibration_seconds": calibration,
         "trials": trials,
@@ -657,6 +832,11 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
             for name, value in after.items()
             if value != before.get(name, 0)
         }
+        # Schema 4: per-kernel plan-cache efficiency, from the same
+        # counter fold the totals come from (zeros for kernels whose
+        # workload never touches the planner).
+        hits = counters.get("qdb.plan_cache_hits", 0)
+        misses = counters.get("qdb.plan_cache_misses", 0)
         results["kernels"][kernel.name] = {
             "median_seconds": median,
             "best_seconds": best,
@@ -664,15 +844,24 @@ def run_benchmarks(trials: int, names: list[str] | None = None) -> dict:
             "reps": kernel.reps,
             "reference_only": kernel.reference_only,
             "counters": counters,
+            "plan_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            },
         }
-    for pairs, suffix in ((SPEEDUP_PAIRS, "seed"), (UINT8_PAIRS, "uint8")):
-        for fast_name, ref_name in pairs:
-            ref = results["kernels"].get(ref_name)
-            fast = results["kernels"].get(fast_name)
-            if ref and fast:
-                results["speedups"][f"{fast_name}_vs_{suffix}"] = (
-                    ref["median_seconds"] / fast["median_seconds"]
-                )
+    pair_groups = [
+        (fast, ref, suffix)
+        for pairs, suffix in ((SPEEDUP_PAIRS, "seed"), (UINT8_PAIRS, "uint8"))
+        for fast, ref in pairs
+    ] + PLAN_PAIRS
+    for fast_name, ref_name, suffix in pair_groups:
+        ref = results["kernels"].get(ref_name)
+        fast = results["kernels"].get(fast_name)
+        if ref and fast:
+            results["speedups"][f"{fast_name}_vs_{suffix}"] = (
+                ref["median_seconds"] / fast["median_seconds"]
+            )
     by_name = {kernel.name: kernel for kernel in KERNELS}
     for wrapped_name, bare_name in OVERHEAD_PAIRS:
         if wrapped_name in results["kernels"] and bare_name in results["kernels"]:
@@ -722,20 +911,30 @@ def check_regressions(
                 f"{name}: normalized {entry['normalized']:.2f} exceeds "
                 f"baseline {baseline:.2f} x tolerance {tolerance:.2f}"
             )
-    for pairs, suffix, what in (
-        (SPEEDUP_PAIRS, "seed", "the seed implementation"),
-        (UINT8_PAIRS, "uint8", "the uint8 kernels it replaced"),
-    ):
-        for fast_name, _ in pairs:
-            key = f"{fast_name}_vs_{suffix}"
-            speedup = results["speedups"].get(key)
-            required = MIN_SPEEDUPS.get(key)
-            if (speedup is not None and required is not None
-                    and speedup < required):
-                failures.append(
-                    f"{fast_name}: only {speedup:.1f}x faster than {what} "
-                    f"(required: {required}x)"
-                )
+    speedup_groups = [
+        (fast, suffix, what)
+        for pairs, suffix, what in (
+            (SPEEDUP_PAIRS, "seed", "the seed implementation"),
+            (UINT8_PAIRS, "uint8", "the uint8 kernels it replaced"),
+        )
+        for fast, _ in pairs
+    ] + [
+        (fast, suffix, {
+            "unfused": "the unfused per-policy pipeline",
+            "cold": "cold per-query plan compilation",
+        }[suffix])
+        for fast, _, suffix in PLAN_PAIRS
+    ]
+    for fast_name, suffix, what in speedup_groups:
+        key = f"{fast_name}_vs_{suffix}"
+        speedup = results["speedups"].get(key)
+        required = MIN_SPEEDUPS.get(key)
+        if (speedup is not None and required is not None
+                and speedup < required):
+            failures.append(
+                f"{fast_name}: only {speedup:.1f}x faster than {what} "
+                f"(required: {required}x)"
+            )
     for wrapped_name, bare_name in OVERHEAD_PAIRS:
         overhead = results.get("overheads", {}).get(
             f"{wrapped_name}_vs_bare"

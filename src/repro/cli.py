@@ -16,6 +16,10 @@ Commands
     Demonstrate the Schlörer tracker against a synthetic database.
 ``attack-pir``
     Run the Section 3 COUNT/AVG attack on Dataset 2.
+``qdb explain "<query>" --policies size:5,overlap:40,sum-audit``
+    Render the query's compiled plan before and after the optimizer
+    passes (fused audit checks, pruned no-ops); ``--pir-demo`` adds the
+    coalesced PIR fetch plan for a Section 3 range batch.
 ``telemetry report <trace.jsonl>``
     Summarize a captured trace: latency table, slowest spans, refusals.
 ``telemetry dashboard``
@@ -215,6 +219,77 @@ def _cmd_attack_pir(_args: argparse.Namespace) -> int:
     print(f"full sweep: {len(sweep.victims)}/{sweep.population} respondents "
           "isolated while the PIR servers learned nothing")
     return 0
+
+
+def _parse_policy_stack(spec: str):
+    from .qdb import (
+        CamouflageIntervals,
+        NoisePerturbation,
+        OverlapControl,
+        QuerySetSizeControl,
+        RandomSampleQueries,
+        SumAuditPolicy,
+    )
+
+    factories = {
+        "size": lambda arg: QuerySetSizeControl(int(arg or 5)),
+        "overlap": lambda arg: OverlapControl(int(arg or 40)),
+        "sum-audit": lambda arg: SumAuditPolicy(),
+        "noise": lambda arg: NoisePerturbation(float(arg or 1.0)),
+        "sample": lambda arg: RandomSampleQueries(float(arg or 0.9)),
+        "camouflage": lambda arg: CamouflageIntervals(int(arg or 2)),
+    }
+    policies = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, _, arg = token.partition(":")
+        if name not in factories:
+            raise SystemExit(
+                f"unknown policy {name!r}; choose from "
+                f"{', '.join(sorted(factories))} (e.g. size:5,overlap:40)"
+            )
+        policies.append(factories[name](arg))
+    return policies
+
+
+def _cmd_qdb(args: argparse.Namespace) -> int:
+    return _QDB_COMMANDS[args.qdb_command](args)
+
+
+def _cmd_qdb_explain(args: argparse.Namespace) -> int:
+    from .data import patients
+    from .qdb import ParseError, StatisticalDatabase
+
+    pop = patients(args.records, seed=args.seed)
+    db = StatisticalDatabase(pop, _parse_policy_stack(args.policies))
+    try:
+        print(db.explain(args.query))
+    except ParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.pir_demo:
+        from .data import dataset_2
+        from .pir import PrivateAggregateIndex
+
+        index = PrivateAggregateIndex(
+            dataset_2(), ["height", "weight"], "blood_pressure",
+            edges={"height": [150, 165, 180, 200],
+                   "weight": [50, 80, 105, 130]},
+        )
+        print()
+        print("-- PIR fetch coalescing (Section 3 grid, 2-query batch) --")
+        print(index.explain_plan([
+            {"height": (0, 165), "weight": (105, 1000)},
+            {"height": (0, 165)},
+        ]))
+    return 0
+
+
+_QDB_COMMANDS = {
+    "explain": _cmd_qdb_explain,
+}
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
@@ -418,6 +493,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("attack-pir", help="the Section 3 COUNT/AVG attack")
 
+    pq = sub.add_parser("qdb", help="statistical-database tools")
+    qdb_sub = pq.add_subparsers(dest="qdb_command", required=True)
+    qe = qdb_sub.add_parser(
+        "explain", help="render a query's plan pre/post optimization"
+    )
+    qe.add_argument("query",
+                    help='e.g. "SELECT SUM(blood_pressure) WHERE height > 170"')
+    qe.add_argument("--policies", default="size:5,overlap:40,sum-audit",
+                    help="comma-separated stack: size:K, overlap:R, "
+                         "sum-audit, noise:SD, sample:F, camouflage:K")
+    qe.add_argument("--records", type=int, default=300)
+    qe.add_argument("--seed", type=int, default=0)
+    qe.add_argument("--pir-demo", action="store_true",
+                    help="also show PIR fetch coalescing on the Section 3 grid")
+
     ps = sub.add_parser(
         "scoreboard", help="score masking methods on the three dimensions"
     )
@@ -493,6 +583,7 @@ _COMMANDS = {
     "tracker": _cmd_tracker,
     "attack-pir": _cmd_attack_pir,
     "scoreboard": _cmd_scoreboard,
+    "qdb": _cmd_qdb,
     "telemetry": _cmd_telemetry,
     "faults": _cmd_faults,
     "observe": _cmd_observe,

@@ -46,6 +46,11 @@ from .blockstore import (
     gf2_matmul_store,
     xor_fold_store,
 )
+from .wordlog import (
+    MemmapWordLog,
+    RamWordLog,
+    WordLogStore,
+)
 from .packing import (
     WORD_BITS,
     WORD_BYTES,
@@ -68,8 +73,11 @@ __all__ = [
     "BlockStore",
     "KernelBackend",
     "MemmapBlockStore",
+    "MemmapWordLog",
+    "RamWordLog",
     "Uint8ReferenceBackend",
     "Uint64Backend",
+    "WordLogStore",
     "WORD_BITS",
     "WORD_BYTES",
     "available_backends",

@@ -24,6 +24,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.table import Dataset
+from ..plan import AnswerSink, FusedPirFetch, Plan, PirFetch
+from ..plan import explain as explain_plans
+from ..plan import optimize
 from .itpir import TwoServerXorPIR
 
 _SCALE = 100  # fixed-point scale for sums
@@ -130,6 +133,7 @@ class PrivateAggregateIndex:
         ]
         self._pir = TwoServerXorPIR(blocks)
         self.cells_fetched = 0
+        self.blocks_fetched = 0
 
     @property
     def n_cells(self) -> int:
@@ -166,24 +170,114 @@ class PrivateAggregateIndex:
             flat.append(idx)
         return flat
 
+    def _describe_ranges(
+        self, ranges: Mapping[str, tuple[float, float]]
+    ) -> str:
+        if not ranges:
+            return "TRUE"
+        return " AND ".join(
+            f"{lo:g} <= {c} < {hi:g}" for c, (lo, hi) in sorted(ranges.items())
+        )
+
+    def compile_plan(
+        self, ranges_list: Sequence[Mapping[str, tuple[float, float]]]
+    ) -> Plan:
+        """Compile a batch of range predicates into a PIR fetch plan.
+
+        One :class:`~repro.plan.PirFetch` node per predicate (its blocks
+        are the grid cells the predicate resolves to, in scan order);
+        the optimizer coalesces them into a single deduplicated
+        :class:`~repro.plan.FusedPirFetch` when the batch shares cells.
+        """
+        nodes: list = []
+        for ranges in ranges_list:
+            unknown = set(ranges) - set(self.group_columns)
+            if unknown:
+                raise KeyError(
+                    f"predicate on non-grid columns: {sorted(unknown)}"
+                )
+            nodes.append(PirFetch(
+                tuple(self._cells_for_ranges(ranges)),
+                source=self._describe_ranges(ranges),
+            ))
+        nodes.append(AnswerSink())
+        return Plan(
+            title=f"PIR aggregate batch ({len(ranges_list)} queries)",
+            nodes=tuple(nodes),
+        )
+
+    def explain_plan(
+        self, ranges_list: Sequence[Mapping[str, tuple[float, float]]]
+    ) -> str:
+        """Render the batch's fetch plan pre/post optimization."""
+        before = self.compile_plan(ranges_list)
+        return explain_plans(before, optimize(before))
+
+    def _sum_cells(self, raws, positions) -> AggregateResult:
+        count, total = 0, 0.0
+        for pos in positions:
+            c, t = _unpack(raws[pos])
+            count += c
+            total += t
+        return AggregateResult(count, total)
+
     def query(
         self,
         ranges: Mapping[str, tuple[float, float]],
         rng: np.random.Generator | int | None = 0,
     ) -> AggregateResult:
-        """Privately evaluate COUNT and SUM over the range predicate."""
-        unknown = set(ranges) - set(self.group_columns)
-        if unknown:
-            raise KeyError(f"predicate on non-grid columns: {sorted(unknown)}")
-        count, total = 0, 0.0
-        cells = self._cells_for_ranges(ranges)
-        # One batched PIR round-trip for the whole predicate.
-        for raw in self._pir.retrieve_batch(cells, rng):
-            c, t = _unpack(raw)
-            count += c
-            total += t
-        self.cells_fetched += len(cells)
-        return AggregateResult(count, total)
+        """Privately evaluate COUNT and SUM over the range predicate.
+
+        Compiled through the plan IR: a single-predicate plan holds one
+        fetch node, so the optimizer leaves it alone and the execution —
+        one ``retrieve_batch`` over the predicate's cells in scan order —
+        is bit-identical to the pre-plan path (same cells, same rng
+        stream, same traffic accounting).
+        """
+        plan = optimize(self.compile_plan([ranges]))
+        (fetch,) = (
+            n for n in plan.nodes if isinstance(n, (PirFetch, FusedPirFetch))
+        )
+        raws = self._pir.retrieve_batch(list(fetch.blocks), rng)
+        self.cells_fetched += len(fetch.blocks)
+        self.blocks_fetched += len(fetch.blocks)
+        return self._sum_cells(raws, range(len(fetch.blocks)))
+
+    def query_batch(
+        self,
+        ranges_list: Sequence[Mapping[str, tuple[float, float]]],
+        rng: np.random.Generator | int | None = 0,
+    ) -> list[AggregateResult]:
+        """Evaluate a batch of range predicates in one coalesced PIR round.
+
+        The optimizer's ``coalesce-pir-fetches`` pass deduplicates cells
+        shared across predicates, so the servers serve each distinct cell
+        once (``blocks_fetched``) however many predicates requested it
+        (``cells_fetched``).  Per-predicate results equal sequential
+        :meth:`query` calls exactly — PIR reconstruction is exact for
+        every retrieved index regardless of the randomness consumed —
+        though the randomness stream differs from sequential calls.
+        """
+        if not ranges_list:
+            return []
+        plan = optimize(self.compile_plan(ranges_list))
+        fetches = [
+            n for n in plan.nodes if isinstance(n, (PirFetch, FusedPirFetch))
+        ]
+        if len(fetches) == 1 and isinstance(fetches[0], FusedPirFetch):
+            fused = fetches[0]
+            raws = self._pir.retrieve_batch(list(fused.blocks), rng)
+            self.cells_fetched += fused.requested
+            self.blocks_fetched += len(fused.blocks)
+            return [self._sum_cells(raws, route) for route in fused.routing]
+        # A single-predicate batch (or all-empty fetches): no fusion.
+        results = []
+        for fetch in fetches:
+            raws = self._pir.retrieve_batch(list(fetch.blocks), rng)
+            self.cells_fetched += len(fetch.blocks)
+            self.blocks_fetched += len(fetch.blocks)
+            results.append(self._sum_cells(raws, range(len(fetch.blocks))))
+        return results
 
     def server_observations(self) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
         """What the servers saw on the most recent fetch (for leakage tests)."""

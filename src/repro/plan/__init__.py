@@ -1,0 +1,74 @@
+"""Query plan IR, optimizer, cache and executor (ROADMAP item 3).
+
+This package is where speed work on the query path lands: queries
+compile into a small typed plan IR (:mod:`~repro.plan.ir`), explicit
+optimizer passes rewrite it (:mod:`~repro.plan.optimizer`: fuse audit
+checks into one shared pass, prune no-op nodes, coalesce PIR fetches
+into one deduplicated batch), compiled plans are cached by normalized
+query structure (:mod:`~repro.plan.cache`), and the planner executes
+them decision-identically to the legacy per-policy pipeline
+(:mod:`~repro.plan.executor`).
+
+Consumers: :class:`repro.qdb.engine.StatisticalDatabase` plans every
+``ask``/``ask_batch`` by default (``use_plans=False`` restores the
+legacy pipeline), and :class:`repro.pir.sql_bridge.PrivateAggregateIndex`
+compiles range-predicate batches into coalesced PIR fetch plans.
+``repro qdb explain "<query>"`` renders a plan pre/post optimization.
+"""
+
+from .cache import PlanCache
+from .compiler import compile_query, plan_key, policy_signature
+from .executor import PlanRuntime, QueryPlanner
+from .ir import (
+    AnswerSink,
+    AuditCheck,
+    Evaluate,
+    FusedAuditCheck,
+    FusedPirFetch,
+    PirFetch,
+    Plan,
+    PlanNode,
+    PolicyCheck,
+    RefuseSink,
+    ScanMask,
+    Transform,
+    explain,
+)
+from .optimizer import (
+    PASS_COALESCE_PIR,
+    PASS_FUSE_AUDIT,
+    PASS_PRUNE_NOOP,
+    coalesce_pir_fetches,
+    fuse_audit_checks,
+    optimize,
+    prune_noop_nodes,
+)
+
+__all__ = [
+    "AnswerSink",
+    "AuditCheck",
+    "Evaluate",
+    "FusedAuditCheck",
+    "FusedPirFetch",
+    "PASS_COALESCE_PIR",
+    "PASS_FUSE_AUDIT",
+    "PASS_PRUNE_NOOP",
+    "PirFetch",
+    "Plan",
+    "PlanCache",
+    "PlanNode",
+    "PlanRuntime",
+    "PolicyCheck",
+    "QueryPlanner",
+    "RefuseSink",
+    "ScanMask",
+    "Transform",
+    "coalesce_pir_fetches",
+    "compile_query",
+    "explain",
+    "fuse_audit_checks",
+    "optimize",
+    "plan_key",
+    "policy_signature",
+    "prune_noop_nodes",
+]

@@ -1,0 +1,45 @@
+"""The plan cache: normalized query structure -> compiled plan + runtime.
+
+A deliberately small dict wrapper: the interesting part is the *key*
+(:func:`repro.plan.compiler.plan_key` — aggregate, column, predicate
+structure, policy-stack signature), not the container.  Hit/miss
+accounting lives with the owning planner, whose engine exposes the
+``qdb.plan_cache_hits`` / ``qdb.plan_cache_misses`` counters on the
+metrics registry.
+
+The cache is unbounded by default because keys are workload shapes, not
+queries: a tracker session with thousands of queries touches a few
+dozen shapes.  A ``max_size`` evicts oldest-inserted entries for
+callers replaying adversarially diverse workloads.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Insertion-ordered mapping of plan keys to cached entries."""
+
+    def __init__(self, max_size: int | None = None):
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.max_size = max_size
+        self._entries: dict[tuple, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple):
+        """The cached entry for *key*, or None."""
+        return self._entries.get(key)
+
+    def put(self, key: tuple, entry) -> None:
+        """Insert an entry, evicting the oldest past ``max_size``."""
+        if self.max_size is not None and key not in self._entries:
+            while len(self._entries) >= self.max_size:
+                self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = entry
+
+    def clear(self) -> None:
+        self._entries.clear()

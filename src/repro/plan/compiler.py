@@ -1,0 +1,121 @@
+"""Compile a query + policy stack into an (unoptimized) :class:`Plan`.
+
+The compiled form is the legacy pipeline spelled out node by node: scan
+the predicate mask, run every policy's review in stack order, evaluate
+the aggregate, run every policy's transform in stack order, answer.
+The optimizer (:mod:`repro.plan.optimizer`) rewrites it; the executor
+(:mod:`repro.plan.executor`) runs either form with identical decisions.
+
+Plans are cached under a *normalized structural key*: the aggregate,
+the target column, the predicate's structural
+:meth:`~repro.qdb.query.Predicate.cache_key`, and the policy stack's
+signature (type, name, and the parameters the fused executor reads).
+Two queries with equal keys compile to the same plan, so repeated
+tracker shapes skip compilation entirely.
+"""
+
+from __future__ import annotations
+
+from ..qdb.engine import (
+    OverlapControl,
+    ProtectionPolicy,
+    QuerySetSizeControl,
+    SumAuditPolicy,
+)
+from ..qdb.query import Query, TruePredicate
+from .ir import (
+    AnswerSink,
+    AuditCheck,
+    Evaluate,
+    Plan,
+    PolicyCheck,
+    RefuseSink,
+    ScanMask,
+    Transform,
+)
+
+__all__ = ["audit_check_for", "compile_query", "plan_key", "policy_signature"]
+
+
+def policy_signature(policies) -> tuple:
+    """Structural signature of a policy stack, for plan-cache keying.
+
+    Captures everything a cached plan's *structure* depends on: the
+    concrete type, the display name (which encodes most constructor
+    parameters), and — for the policies the fused audit node
+    reimplements — the parameters its checks read (``k``,
+    ``max_overlap``, ``chunk``).  Stateful policies (the sum audit) are
+    always executed through the live object at their stack index, so
+    their mutable state never needs to appear in the key.
+    """
+    parts = []
+    for policy in policies:
+        extra: tuple = ()
+        if type(policy) is QuerySetSizeControl:
+            extra = (policy.k,)
+        elif type(policy) is OverlapControl:
+            extra = (policy.max_overlap, policy.chunk)
+        parts.append((type(policy).__name__, policy.name) + extra)
+    return tuple(parts)
+
+
+def plan_key(query: Query, policies) -> tuple:
+    """The normalized cache key for *query* under *policies*."""
+    return (
+        query.aggregate.value,
+        query.column,
+        query.predicate.cache_key(),
+        policy_signature(policies),
+    )
+
+
+def audit_check_for(index: int, policy) -> AuditCheck | None:
+    """The fused-check descriptor for *policy*, or None if not fusable.
+
+    Only the three audit policies whose review semantics the fused
+    executor replicates exactly are fusable, and only at their *exact*
+    type — a subclass may override ``review``, so it runs as a plain
+    :class:`~repro.plan.ir.PolicyCheck` delegating to the override.
+    """
+    cls = type(policy)
+    if cls is QuerySetSizeControl:
+        return AuditCheck("size", index, policy.name, k=policy.k)
+    if cls is OverlapControl:
+        return AuditCheck(
+            "overlap", index, policy.name,
+            max_overlap=policy.max_overlap, chunk=policy.chunk,
+        )
+    if cls is SumAuditPolicy:
+        return AuditCheck("sum-audit", index, policy.name)
+    return None
+
+
+def has_review(policy) -> bool:
+    """True when the policy overrides :meth:`ProtectionPolicy.review`."""
+    return type(policy).review is not ProtectionPolicy.review
+
+
+def has_transform(policy) -> bool:
+    """True when the policy overrides :meth:`ProtectionPolicy.transform`."""
+    return type(policy).transform is not ProtectionPolicy.transform
+
+
+def compile_query(query: Query, policies, key: tuple | None = None) -> Plan:
+    """The unoptimized plan: one node per pipeline step, in stack order."""
+    predicate_text = (
+        "" if isinstance(query.predicate, TruePredicate)
+        else str(query.predicate)
+    )
+    nodes = [ScanMask(predicate_text)]
+    for index, policy in enumerate(policies):
+        nodes.append(PolicyCheck(index, policy.name))
+    nodes.append(Evaluate(query.aggregate.value, query.column))
+    for index, policy in enumerate(policies):
+        nodes.append(Transform(index, policy.name))
+    nodes.append(AnswerSink())
+    nodes.append(RefuseSink())
+    return Plan(
+        title=str(query),
+        nodes=tuple(nodes),
+        key=plan_key(query, policies) if key is None else key,
+    )

@@ -1,0 +1,261 @@
+"""Plan execution against a live engine: the planner and its runtime.
+
+:class:`QueryPlanner` owns the compile → optimize → cache → execute
+loop for one :class:`~repro.qdb.engine.StatisticalDatabase`.  Its
+:meth:`~QueryPlanner.decide` is a drop-in replacement for the engine's
+legacy per-policy pipeline and is *decision-identical* to it — same
+answers, same refusal strings, same history, same counters, same rng
+stream — which the golden-fingerprint and property suites pin down.
+The speed comes from three places the legacy loop cannot reach:
+
+* the fused audit node computes the query-set popcount once and shares
+  it between the size and overlap checks;
+* the packed overlap candidate is cached on the plan runtime (one
+  ``pack_bool_rows`` per unique query shape, not per review);
+* overlap scans are *incremental*: the history is append-only, and the
+  chunked scan preserves order, so a candidate that has already been
+  cleared against the first ``d`` history rows only scans the suffix
+  ``[d, len(log))`` on its next review.  The cleared depth advances
+  only after a clean scan, and resets whenever the engine's log object
+  changes identity, so decisions — including *which* violating history
+  row is reported first — never differ from a full scan.
+
+The stateful sum audit is always delegated to the live policy object:
+its incremental Gram–Schmidt float pipeline is bit-sensitive to
+operation order, so the planner must not re-derive it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..faults.errors import BackendUnavailable
+from .cache import PlanCache
+from .compiler import compile_query, policy_signature
+from .ir import FusedAuditCheck, Plan, PolicyCheck, Transform, explain
+from .optimizer import optimize
+
+__all__ = ["PlanRuntime", "QueryPlanner"]
+
+_ENGINE = None
+
+
+def _engine():
+    """The qdb engine module, imported lazily to break the import cycle."""
+    global _ENGINE
+    if _ENGINE is None:
+        from ..qdb import engine
+
+        _ENGINE = engine
+    return _ENGINE
+
+
+class PlanRuntime:
+    """Mutable per-plan execution state (never part of the frozen plan).
+
+    Holds the derived execution lists (check nodes, transform indices)
+    and the overlap-scan acceleration state: the packed candidate for
+    the plan's (frozen, engine-shared) mask object and the per-check
+    history depth already scanned clean.
+    """
+
+    __slots__ = ("checks", "transforms", "mask_ref", "packed", "log_ref",
+                 "cleared")
+
+    def __init__(self, plan: Plan):
+        self.checks = tuple(
+            node for node in plan.nodes
+            if isinstance(node, (PolicyCheck, FusedAuditCheck))
+        )
+        self.transforms = tuple(
+            node.index for node in plan.nodes if isinstance(node, Transform)
+        )
+        self.mask_ref: np.ndarray | None = None
+        self.packed: np.ndarray | None = None
+        self.log_ref = None
+        self.cleared: dict[int, int] = {}
+
+
+class QueryPlanner:
+    """Compiles, caches and executes plans for one engine instance."""
+
+    def __init__(self, db, cache: bool = True,
+                 max_cache_size: int | None = None):
+        self._db = db
+        self._cache = PlanCache(max_cache_size) if cache else None
+        self._sig_ids: tuple | None = None
+        self._sig: tuple = ()
+        #: Whether the most recent decide() hit the plan cache.
+        self.last_cached = False
+        #: History rows the most recent decide() skipped via incremental
+        #: overlap scanning.
+        self.last_rows_skipped = 0
+
+    @property
+    def cache(self) -> PlanCache | None:
+        return self._cache
+
+    def _signature(self, policies) -> tuple:
+        """The stack's structural signature, memoized by object identity.
+
+        Execution always reads parameters off the live policy objects at
+        their stack indices, so in-place parameter mutation never stales
+        a decision; the signature only has to change when the stack's
+        *objects* change (swap, append, reorder), which the id tuple
+        detects at a fraction of the cost of rebuilding the signature on
+        every ask.
+        """
+        ids = tuple(map(id, policies))
+        if ids != self._sig_ids:
+            self._sig = policy_signature(policies)
+            self._sig_ids = ids
+        return self._sig
+
+    def plan_for(self, query) -> tuple[Plan, PlanRuntime]:
+        """The optimized plan + runtime for *query*, cached by shape."""
+        db = self._db
+        key = (
+            query.aggregate.value,
+            query.column,
+            query.predicate.cache_key(),
+            self._signature(db.policies),
+        )
+        if self._cache is not None:
+            entry = self._cache.get(key)
+            if entry is not None:
+                db._c_plan_hits.inc()
+                self.last_cached = True
+                return entry
+            db._c_plan_misses.inc()
+        self.last_cached = False
+        plan = optimize(
+            compile_query(query, db.policies, key=key), db.policies
+        )
+        entry = (plan, PlanRuntime(plan))
+        if self._cache is not None:
+            self._cache.put(key, entry)
+        return entry
+
+    def explain(self, query) -> str:
+        """Pre/post-optimization rendering plus the cache key."""
+        db = self._db
+        before = compile_query(query, db.policies)
+        after = optimize(before, db.policies)
+        return "\n".join([
+            explain(before, after),
+            "",
+            f"cache key: {before.key!r}",
+        ])
+
+    def decide(self, query, mask):
+        """Execute the plan; decision-identical to the legacy pipeline."""
+        db = self._db
+        eng = _engine()
+        db._c_asked.inc()
+        self.last_rows_skipped = 0
+        plan, runtime = self.plan_for(query)
+        policies = db.policies
+        for node in runtime.checks:
+            if type(node) is FusedAuditCheck:
+                refusal = self._run_fused(node, query, mask, runtime)
+            else:
+                policy = policies[node.index]
+                reason = policy.review(query, mask, db._data, db.history)
+                refusal = (
+                    None if reason is None else (policy.name, reason)
+                )
+            if refusal is not None:
+                name, reason = refusal
+                db._c_refused.inc()
+                db._consume_degraded()  # don't leak onto the next answer
+                db.history.record(eng.LogEntry(query, mask, False, None))
+                return eng.Answer(
+                    query, refused=True, reason=f"{name}: {reason}"
+                )
+        try:
+            answer = eng.Answer(
+                query, value=query.evaluate_masked(db._data, mask)
+            )
+            for index in runtime.transforms:
+                answer = policies[index].transform(
+                    query, answer, mask, db._data, db._rng
+                )
+        except BackendUnavailable as exc:
+            return db._backend_refusal(query, mask, exc)
+        db.history.record(eng.LogEntry(query, mask, True, answer.value))
+        if db._consume_degraded():
+            db._c_degraded.inc()
+            answer = eng.Degraded(
+                answer.query, value=answer.value, interval=answer.interval,
+                refused=answer.refused, reason=answer.reason,
+                detail="storage replica failover during read",
+            )
+        return answer
+
+    def _run_fused(self, node, query, mask, runtime):
+        """One shared pass over the audit state; first violation wins.
+
+        Checks execute in stack order and short-circuit exactly like the
+        legacy per-policy loop, including the reason strings; parameters
+        are read from the *live* policy objects at the recorded indices
+        (the cache key pins the values the plan structure depends on).
+        """
+        db = self._db
+        policies = db.policies
+        size = -1
+        for check in node.checks:
+            policy = policies[check.index]
+            if check.kind == "size":
+                if size < 0:
+                    size = int(np.count_nonzero(mask))
+                if size < policy.k:
+                    return (policy.name,
+                            f"query set too small ({size} < {policy.k})")
+                if size > db._data.n_rows - policy.k:
+                    return (policy.name,
+                            f"query set too large ({size} > n - {policy.k})")
+            elif check.kind == "overlap":
+                if size < 0:
+                    size = int(np.count_nonzero(mask))
+                if size <= policy.max_overlap:
+                    continue  # |Q ∩ C| <= |C| can never exceed the threshold
+                if getattr(db.history, "answered_masks", None) is None:
+                    reason = policy.review(query, mask, db._data, db.history)
+                else:
+                    reason = self._overlap_scan(check, policy, mask, runtime)
+                if reason is not None:
+                    return policy.name, reason
+            else:  # sum-audit: stateful float pipeline, delegated verbatim
+                reason = policy.review(query, mask, db._data, db.history)
+                if reason is not None:
+                    return policy.name, reason
+        return None
+
+    def _overlap_scan(self, check, policy, mask, runtime):
+        """Chunked overlap scan resuming from the cleared history prefix."""
+        log = self._db.history.answered_masks
+        if runtime.log_ref is not log or runtime.mask_ref is not mask:
+            runtime.log_ref = log
+            runtime.mask_ref = mask
+            runtime.packed = log.pack(mask)
+            runtime.cleared.clear()
+        packed = runtime.packed
+        depth = len(log)
+        start = runtime.cleared.get(check.index, 0)
+        if start > depth:  # log shrank out from under us: rescan everything
+            start = 0
+        for s in range(start, depth, policy.chunk):
+            stop = min(s + policy.chunk, depth)
+            overlaps = log.overlaps(packed, s, stop)
+            hits = overlaps > policy.max_overlap
+            if hits.any():
+                overlap = int(overlaps[int(np.argmax(hits))])
+                return (
+                    f"query set overlaps a previous one in {overlap} "
+                    f"records (> {policy.max_overlap})"
+                )
+        runtime.cleared[check.index] = depth
+        if start:
+            self.last_rows_skipped += start
+            self._db._c_fused_rows_skipped.inc(start)
+        return None

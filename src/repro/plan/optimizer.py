@@ -1,0 +1,162 @@
+"""Optimizer passes over the plan IR.
+
+Three explicit passes, each a pure plan-to-plan rewrite (DESIGN.md §10
+carries the legality arguments in full):
+
+``prune-noop-nodes``
+    Drop :class:`PolicyCheck` nodes whose policy inherits the base
+    no-op ``review`` (transform-only policies: noise, sampling,
+    camouflage) and :class:`Transform` nodes whose policy inherits the
+    base no-op ``transform`` (review-only policies: size control,
+    overlap control).  Legal because the base methods are side-effect
+    free and decision-free; as a bonus, pruning makes audit checks
+    separated only by transform-only policies *contiguous*, enabling
+    fusion across them.
+
+``fuse-audit-checks``
+    Replace each maximal contiguous run of fusable checks (exact-type
+    size control / overlap control / sum audit) with one
+    :class:`FusedAuditCheck` that shares a single query-set popcount,
+    caches the packed candidate on the plan runtime, and scans the
+    packed history incrementally.  Runs never extend across a
+    non-fusable check: an unknown policy's ``review`` may carry side
+    effects, so its position in the refusal order is load-bearing.
+    A single fusable check still fuses when it is an overlap control
+    (the incremental scan alone pays); a lone size or sum-audit check
+    stays a plain delegating node.
+
+``coalesce-pir-fetches``
+    Replace every :class:`PirFetch` in the plan with one
+    :class:`FusedPirFetch` at the first fetch's position: blocks are
+    deduplicated in first-occurrence order and fetched in a single
+    ``retrieve_batch`` round; a routing table rebuilds each original
+    fetch's results exactly.  Legal because PIR reconstruction is
+    exact for every retrieved index regardless of the randomness
+    consumed, so merging fetches changes traffic, never values.
+
+``optimize`` applies them in that order and records the passes that
+actually changed the plan in ``Plan.passes``.
+"""
+
+from __future__ import annotations
+
+from .compiler import audit_check_for, has_review, has_transform
+from .ir import (
+    FusedAuditCheck,
+    FusedPirFetch,
+    PirFetch,
+    Plan,
+    PlanNode,
+    PolicyCheck,
+    Transform,
+)
+
+__all__ = [
+    "PASS_COALESCE_PIR",
+    "PASS_FUSE_AUDIT",
+    "PASS_PRUNE_NOOP",
+    "coalesce_pir_fetches",
+    "fuse_audit_checks",
+    "optimize",
+    "prune_noop_nodes",
+]
+
+PASS_PRUNE_NOOP = "prune-noop-nodes"
+PASS_FUSE_AUDIT = "fuse-audit-checks"
+PASS_COALESCE_PIR = "coalesce-pir-fetches"
+
+
+def prune_noop_nodes(nodes: tuple[PlanNode, ...],
+                     policies) -> tuple[PlanNode, ...]:
+    """Drop checks/transforms that inherit the base class no-ops."""
+    kept = []
+    for node in nodes:
+        if isinstance(node, PolicyCheck) and not has_review(
+            policies[node.index]
+        ):
+            continue
+        if isinstance(node, Transform) and not has_transform(
+            policies[node.index]
+        ):
+            continue
+        kept.append(node)
+    return tuple(kept)
+
+
+def fuse_audit_checks(nodes: tuple[PlanNode, ...],
+                      policies) -> tuple[PlanNode, ...]:
+    """Fuse maximal contiguous runs of fusable audit checks."""
+    out: list[PlanNode] = []
+    run: list = []  # pending (node, AuditCheck) pairs
+
+    def flush():
+        if not run:
+            return
+        checks = tuple(check for _, check in run)
+        if len(checks) >= 2 or any(c.kind == "overlap" for c in checks):
+            out.append(FusedAuditCheck(checks))
+        else:
+            out.extend(node for node, _ in run)
+        run.clear()
+
+    for node in nodes:
+        check = (
+            audit_check_for(node.index, policies[node.index])
+            if isinstance(node, PolicyCheck) else None
+        )
+        if check is not None:
+            run.append((node, check))
+            continue
+        flush()
+        out.append(node)
+    flush()
+    return tuple(out)
+
+
+def coalesce_pir_fetches(nodes: tuple[PlanNode, ...]) -> tuple[PlanNode, ...]:
+    """Merge all PirFetch nodes into one deduplicated FusedPirFetch."""
+    fetches = [node for node in nodes if isinstance(node, PirFetch)]
+    if len(fetches) < 2:
+        return nodes
+    order: dict[int, int] = {}  # block -> position, first occurrence
+    routing = []
+    for fetch in fetches:
+        route = []
+        for block in fetch.blocks:
+            if block not in order:
+                order[block] = len(order)
+            route.append(order[block])
+        routing.append(tuple(route))
+    fused = FusedPirFetch(
+        blocks=tuple(order),
+        requested=sum(len(f.blocks) for f in fetches),
+        routing=tuple(routing),
+    )
+    out: list[PlanNode] = []
+    placed = False
+    for node in nodes:
+        if isinstance(node, PirFetch):
+            if not placed:
+                out.append(fused)
+                placed = True
+            continue
+        out.append(node)
+    return tuple(out)
+
+
+def optimize(plan: Plan, policies=()) -> Plan:
+    """Apply every pass; record the ones that changed the plan."""
+    nodes = plan.nodes
+    applied = []
+    for name, rewrite in (
+        (PASS_PRUNE_NOOP, lambda n: prune_noop_nodes(n, policies)),
+        (PASS_FUSE_AUDIT, lambda n: fuse_audit_checks(n, policies)),
+        (PASS_COALESCE_PIR, coalesce_pir_fetches),
+    ):
+        rewritten = rewrite(nodes)
+        if rewritten != nodes:
+            applied.append(name)
+            nodes = rewritten
+    return Plan(
+        title=plan.title, nodes=nodes, key=plan.key, passes=tuple(applied)
+    )

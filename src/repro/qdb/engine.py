@@ -23,7 +23,9 @@ import numpy as np
 from ..data.table import Dataset
 from ..faults.errors import BackendUnavailable
 from ..kernels import (
-    get_backend,
+    MemmapWordLog,
+    RamWordLog,
+    WordLogStore,
     pack_bool_rows,
     words_per_bits,
     words_to_packbits,
@@ -61,7 +63,41 @@ def _span_texts(query: Query) -> tuple[str, str, str]:
     return f"SELECT {aggregate}({target}){where}", predicate_text, aggregate
 
 
-def _query_span_attrs(query, mask, depth, cache_hit, answer) -> dict:
+def _env_int(name: str, *, minimum: int = 1) -> int | None:
+    """A validated positive integer from the environment, or None if unset.
+
+    Misconfiguration fails loudly at construction: a typo'd chunk size or
+    RAM budget silently falling back to a default is exactly the kind of
+    drift a perf harness cannot see.
+    """
+    env = os.environ.get(name, "").strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer >= {minimum}, got {env!r}"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"{name} must be an integer >= {minimum}, got {env!r}")
+    return value
+
+
+def _history_store_from_env() -> str:
+    """The ``REPRO_QDB_HISTORY_STORE`` selection ('ram' default), validated."""
+    kind = os.environ.get("REPRO_QDB_HISTORY_STORE", "").strip().lower()
+    if not kind:
+        return "ram"
+    if kind not in ("ram", "memmap"):
+        raise ValueError(
+            f"REPRO_QDB_HISTORY_STORE must be 'ram' or 'memmap', got {kind!r}"
+        )
+    return kind
+
+
+def _query_span_attrs(query, mask, depth, cache_hit, answer,
+                      plan_stats=None) -> dict:
     """Render a ``qdb.query`` span's attribute dict.
 
     This runs *deferred* (see :meth:`StatisticalDatabase._process`): the
@@ -89,6 +125,8 @@ def _query_span_attrs(query, mask, depth, cache_hit, answer) -> dict:
             policy_name, _, reason = answer.reason.partition(": ")
             attrs["policy"] = policy_name
             attrs["reason"] = reason
+    if plan_stats:
+        attrs.update(plan_stats)
     return attrs
 
 
@@ -156,18 +194,42 @@ class PackedMaskLog:
     historical query set with one AND + word popcount pass on the active
     kernel backend instead of a Python loop over full boolean arrays.
 
+    Word rows live in a pluggable :class:`~repro.kernels.WordLogStore`
+    (``store="ram"``, the default, or ``store="memmap"`` for histories
+    larger than RAM, scanned under an optional byte ``ram_budget``); the
+    per-process default comes from ``REPRO_QDB_HISTORY_STORE`` /
+    ``REPRO_QDB_HISTORY_BUDGET``, both validated loudly.  Popcounts stay
+    in a small RAM array either way, and decisions are store-invariant.
+
     :attr:`rows` still exposes the history in the historical
     ``np.packbits`` byte layout for inspection and tests; the word matrix
     is internal.
     """
 
-    def __init__(self, n_records: int, initial_capacity: int = 64):
+    def __init__(self, n_records: int, initial_capacity: int = 64,
+                 store: str | WordLogStore | None = None,
+                 ram_budget: int | None = None):
         self.n_records = n_records
         self.n_bytes = (n_records + 7) // 8
         self.n_words = words_per_bits(max(1, n_records))
-        self._rows = np.zeros((max(1, initial_capacity), self.n_words),
-                              dtype=np.uint64)
-        self._counts = np.zeros(self._rows.shape[0], dtype=np.int64)
+        if store is None:
+            store = _history_store_from_env()
+        if isinstance(store, str):
+            kind = store.strip().lower()
+            if ram_budget is None:
+                ram_budget = _env_int("REPRO_QDB_HISTORY_BUDGET")
+            if kind == "ram":
+                store = RamWordLog(self.n_words, initial_capacity)
+            elif kind == "memmap":
+                store = MemmapWordLog(self.n_words, initial_capacity,
+                                      ram_budget=ram_budget)
+            else:
+                raise ValueError(
+                    f"history store must be 'ram' or 'memmap', got {store!r}"
+                )
+        self._store = store
+        self.store_kind = type(store).__name__
+        self._counts = np.zeros(max(1, initial_capacity), dtype=np.int64)
         self._size = 0
 
     def __len__(self) -> int:
@@ -177,7 +239,9 @@ class PackedMaskLog:
     def rows(self) -> np.ndarray:
         """Packed rows appended so far, oldest first, in the historical
         ``np.packbits`` uint8 layout."""
-        return words_to_packbits(self._rows[: self._size], self.n_records)
+        return words_to_packbits(
+            np.asarray(self._store.rows), self.n_records
+        )
 
     @property
     def counts(self) -> np.ndarray:
@@ -192,20 +256,20 @@ class PackedMaskLog:
 
     def append(self, mask: np.ndarray) -> None:
         """Append one answered query-set mask (boolean, length n_records)."""
-        if self._size == self._rows.shape[0]:
-            self._rows = np.vstack([self._rows, np.zeros_like(self._rows)])
+        if self._size == self._counts.shape[0]:
             self._counts = np.concatenate(
                 [self._counts, np.zeros_like(self._counts)]
             )
-        self._rows[self._size] = self.pack(mask)
+        self._store.append(self.pack(mask))
         self._counts[self._size] = int(np.count_nonzero(mask))
         self._size += 1
 
     def overlaps(self, packed_candidate: np.ndarray,
                  start: int = 0, stop: int | None = None) -> np.ndarray:
         """|Q_i ∩ C| for the logged masks in ``[start, stop)``."""
-        block = self._rows[start: self._size if stop is None else stop]
-        return get_backend().overlap_counts(block, packed_candidate)
+        return self._store.overlap_counts(
+            packed_candidate, start, self._size if stop is None else stop
+        )
 
 
 class QueryHistory(list):
@@ -217,9 +281,13 @@ class QueryHistory(list):
     the ``answered_masks`` attribute and skip the per-entry Python loop.
     """
 
-    def __init__(self, n_records: int):
+    def __init__(self, n_records: int,
+                 store: str | WordLogStore | None = None,
+                 ram_budget: int | None = None):
         super().__init__()
-        self.answered_masks = PackedMaskLog(n_records)
+        self.answered_masks = PackedMaskLog(
+            n_records, store=store, ram_budget=ram_budget
+        )
 
     def record(self, entry: LogEntry) -> None:
         """Append an entry, mirroring answered masks into the packed log."""
@@ -278,6 +346,15 @@ class StatisticalDatabase:
         unprotected baseline (no respondent, no user privacy).
     seed:
         Seed for stochastic policies (perturbation).
+    use_plans:
+        Compile queries through the plan IR + optimizer + plan cache
+        (:mod:`repro.plan`) — the default, decision-identical to the
+        legacy per-policy pipeline.  ``False`` pins the legacy path
+        (reference benchmarks, equivalence tests).
+    history_store:
+        Where the packed answered-mask log lives: ``"ram"`` (default)
+        or ``"memmap"`` for out-of-core histories; ``None`` defers to
+        ``REPRO_QDB_HISTORY_STORE``.
     """
 
     def __init__(
@@ -285,11 +362,15 @@ class StatisticalDatabase:
         data: Dataset,
         policies: list[ProtectionPolicy] | None = None,
         seed: int | None = 0,
+        use_plans: bool = True,
+        history_store: str | None = None,
     ):
         self._data = data
         self.policies = list(policies or [])
         self._rng = resolve_rng(seed)
-        self.history: QueryHistory = QueryHistory(data.n_rows)
+        self.history: QueryHistory = QueryHistory(
+            data.n_rows, store=history_store
+        )
         self._mask_cache: dict[tuple, np.ndarray] = {}
         # Always-on per-instance accounting on the telemetry counters API
         # (the seed's plain-int attributes survive as read-through
@@ -304,6 +385,17 @@ class StatisticalDatabase:
             "qdb.backend_refusals"
         )
         self._c_degraded = self.metrics.counter("qdb.degraded_answers")
+        self._c_plan_hits = self.metrics.counter("qdb.plan_cache_hits")
+        self._c_plan_misses = self.metrics.counter("qdb.plan_cache_misses")
+        self._c_fused_rows_skipped = self.metrics.counter(
+            "qdb.fused_rows_skipped"
+        )
+        if use_plans:
+            from ..plan import QueryPlanner  # lazy: breaks the import cycle
+
+            self._planner = QueryPlanner(self)
+        else:
+            self._planner = None
 
     @property
     def n_records(self) -> int:
@@ -334,6 +426,21 @@ class StatisticalDatabase:
     def backend_refusals(self) -> int:
         """Queries refused because the storage backend was unavailable."""
         return self._c_backend_refusals.value
+
+    @property
+    def plan_cache_hits(self) -> int:
+        """Plan-cache hits (read-through to the counter)."""
+        return self._c_plan_hits.value
+
+    @property
+    def plan_cache_misses(self) -> int:
+        """Plan-cache misses (read-through to the counter)."""
+        return self._c_plan_misses.value
+
+    @property
+    def fused_rows_skipped(self) -> int:
+        """History rows skipped by incremental fused overlap scans."""
+        return self._c_fused_rows_skipped.value
 
     @property
     def degraded_answers(self) -> int:
@@ -521,19 +628,51 @@ class StatisticalDatabase:
             return self._decide(query, mask)
         depth = len(self.history)
         answer = None
+        plan_stats: dict = {}
         with tele.span("qdb.query") as span:
             span.defer_attrs(
                 lambda: _query_span_attrs(query, mask, depth, cache_hit,
-                                          answer)
+                                          answer, plan_stats)
             )
             answer = self._decide(query, mask)
+            # Captured eagerly (the deferred closure may render much
+            # later, after other queries overwrote the planner state).
+            if self._planner is not None:
+                plan_stats["plan_cached"] = self._planner.last_cached
+                if self._planner.last_rows_skipped:
+                    plan_stats["fused_rows_skipped"] = (
+                        self._planner.last_rows_skipped
+                    )
         if latency is None:
             latency = tele.histogram("qdb.query_seconds")
         latency.observe(span.duration)
         return answer
 
     def _decide(self, query: Query, mask: np.ndarray) -> Answer:
-        """The untraced policy pipeline (review -> evaluate -> transform)."""
+        """Decide one query: the plan executor, or the legacy pipeline."""
+        if self._planner is not None:
+            return self._planner.decide(query, mask)
+        return self._decide_legacy(query, mask)
+
+    def explain(self, query: Query | str) -> str:
+        """Render *query*'s plan pre/post optimization without running it."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        planner = self._planner
+        if planner is None:
+            from ..plan import QueryPlanner
+
+            planner = QueryPlanner(self, cache=False)
+        return planner.explain(query)
+
+    def _decide_legacy(self, query: Query, mask: np.ndarray) -> Answer:
+        """The untraced per-policy pipeline (review -> evaluate -> transform).
+
+        Kept verbatim as the plan path's reference: the equivalence
+        suites replay identical workloads through both and require
+        byte-identical decisions, and the ``ref_unfused_*`` benchmark
+        kernels time it.
+        """
         self._c_asked.inc()
         for policy in self.policies:
             reason = policy.review(query, mask, self._data, self.history)
@@ -799,8 +938,9 @@ class OverlapControl(ProtectionPolicy):
         if max_overlap < 0:
             raise ValueError("max_overlap must be >= 0")
         if chunk is None:
-            env = os.environ.get("REPRO_QDB_OVERLAP_CHUNK", "").strip()
-            chunk = int(env) if env else self._CHUNK
+            chunk = _env_int("REPRO_QDB_OVERLAP_CHUNK")
+            if chunk is None:
+                chunk = self._CHUNK
         if chunk <= 0:
             raise ValueError("chunk must be positive")
         self.max_overlap = max_overlap

@@ -89,7 +89,13 @@ def _histogram_row(name: str, data: dict) -> str:
 
 
 def render_metrics(snapshot: dict) -> str:
-    """The operational half: counters, gauges, histogram summaries."""
+    """The operational half: counters, gauges, histogram summaries.
+
+    Counter pairs named ``<base>_hits`` / ``<base>_misses`` (the mask
+    cache and the query-plan cache) get a derived ``<base>_hit_rate``
+    row right after the pair, so cache efficiency reads off the
+    dashboard directly instead of needing mental division.
+    """
     lines = ["operational metrics"]
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
@@ -98,6 +104,12 @@ def render_metrics(snapshot: dict) -> str:
         return "operational metrics\n  (none recorded)"
     for name, value in counters.items():
         lines.append(f"  {name:<34s} {value:>14,}")
+        if name.endswith("_misses"):
+            base = name[: -len("_misses")]
+            hits = counters.get(f"{base}_hits")
+            if hits is not None and hits + value > 0:
+                rate = hits / (hits + value)
+                lines.append(f"  {base + '_hit_rate':<34s} {rate:>14.1%}")
     for name, value in gauges.items():
         lines.append(f"  {name:<34s} {value:>14.4g}")
     for name, data in histograms.items():

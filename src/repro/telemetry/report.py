@@ -18,6 +18,7 @@ from .tracing import SpanSchemaError, validate_record
 __all__ = [
     "TraceReport",
     "alert_decisions",
+    "cache_efficiency",
     "degradation_decisions",
     "load_trace",
     "read_trace",
@@ -134,6 +135,52 @@ def degradation_decisions(spans: list[dict]) -> list[dict]:
     return decisions
 
 
+def cache_efficiency(spans: list[dict]) -> dict:
+    """Mask-cache / plan-cache efficiency reconstructed from query spans.
+
+    Every ``qdb.query`` span carries ``cache_hit`` (predicate mask cache);
+    plan-compiled queries additionally carry ``plan_cached`` (whether the
+    compiled plan came from the plan cache) and, when the fused audit
+    pass skipped already-cleared history rows, ``fused_rows_skipped``.
+    Returns ``{"mask_cache": {...}, "plan_cache": {...},
+    "fused_rows_skipped": int}`` where each cache entry holds ``hits``,
+    ``misses`` and ``hit_rate`` (0.0 when the cache saw no traffic).
+    ``plan_cache`` covers only spans that recorded ``plan_cached`` — a
+    pre-plan trace yields zeros there, not an error.
+    """
+    mask_hits = mask_misses = plan_hits = plan_misses = 0
+    rows_skipped = 0
+    for span in spans:
+        if span["name"] != "qdb.query":
+            continue
+        attrs = span["attrs"]
+        if "cache_hit" in attrs:
+            if attrs["cache_hit"]:
+                mask_hits += 1
+            else:
+                mask_misses += 1
+        if "plan_cached" in attrs:
+            if attrs["plan_cached"]:
+                plan_hits += 1
+            else:
+                plan_misses += 1
+        rows_skipped += int(attrs.get("fused_rows_skipped", 0))
+
+    def rates(hits: int, misses: int) -> dict:
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    return {
+        "mask_cache": rates(mask_hits, mask_misses),
+        "plan_cache": rates(plan_hits, plan_misses),
+        "fused_rows_skipped": rows_skipped,
+    }
+
+
 def alert_decisions(spans: list[dict]) -> list[dict]:
     """Every observatory alert recorded in the trace.
 
@@ -187,6 +234,11 @@ class TraceReport:
         """Reconstructed observatory alerts (the incident log)."""
         return alert_decisions(self.spans)
 
+    @property
+    def caches(self) -> dict:
+        """Mask-cache / plan-cache efficiency and fused-scan savings."""
+        return cache_efficiency(self.spans)
+
     def format(self, top: int = 10) -> str:
         """Human-readable report: summary table, slowest spans, refusals."""
         lines = [f"trace: {self.path} ({len(self.spans)} spans)", ""]
@@ -214,6 +266,26 @@ class TraceReport:
                 lines.append(
                     f"  #{span['span_id']:<5d} {span['name']:<{name_width}s} "
                     f"{span['duration'] * 1e3:9.3f} ms  {detail}"
+                )
+        caches = self.caches
+        if any(c["hits"] + c["misses"]
+               for c in (caches["mask_cache"], caches["plan_cache"])):
+            lines += ["", "cache efficiency:"]
+            for label, key in (("mask cache", "mask_cache"),
+                               ("plan cache", "plan_cache")):
+                entry = caches[key]
+                if entry["hits"] + entry["misses"] == 0:
+                    continue
+                lines.append(
+                    f"  {label:<11s} {entry['hits']} hits / "
+                    f"{entry['misses']} misses "
+                    f"({entry['hit_rate']:.1%} hit rate)"
+                )
+            if caches["fused_rows_skipped"]:
+                lines.append(
+                    f"  fused audit skipped "
+                    f"{caches['fused_rows_skipped']:,} already-cleared "
+                    f"history rows"
                 )
         refusals = self.refusals
         lines += ["", f"refusal decisions: {len(refusals)}"]

@@ -20,14 +20,16 @@ def test_runner_smoke(tmp_path):
     data = json.loads(out.read_text())
     assert data["kernels"]
     assert data["calibration_seconds"] > 0
-    # Schema 3: the run records which kernel backend produced the numbers.
-    assert data["schema"] == 3
+    # Schema 4: the run records the kernel backend that produced the
+    # numbers and each kernel's plan-cache traffic.
+    assert data["schema"] == 4
     from repro.kernels import available_backends
     assert data["backend"]["name"] in available_backends()
     assert data["backend"]["numpy"]
     for entry in data["kernels"].values():
         assert entry["median_seconds"] > 0
         assert entry["normalized"] > 0
+        assert set(entry["plan_cache"]) == {"hits", "misses", "hit_rate"}
     # The speedup over the seed's per-byte loop is recorded (its exact
     # value is asserted by --check, not here, to stay timing-robust).
     assert data["speedups"]["pir_single_retrieve_n4096_vs_seed"] > 1.0
@@ -67,10 +69,14 @@ def test_every_speedup_pair_names_kernels_with_minimums():
     kernel_names = {k.name for k in runner.KERNELS}
     for fast, ref in runner.SPEEDUP_PAIRS + runner.UINT8_PAIRS:
         assert {fast, ref} <= kernel_names
+    for fast, ref, _suffix in runner.PLAN_PAIRS:
+        assert {fast, ref} <= kernel_names
     from benchmarks.baselines import MIN_SPEEDUPS
-    recorded_keys = {
-        f"{fast}_vs_seed" for fast, _ in runner.SPEEDUP_PAIRS
-    } | {f"{fast}_vs_uint8" for fast, _ in runner.UINT8_PAIRS}
+    recorded_keys = (
+        {f"{fast}_vs_seed" for fast, _ in runner.SPEEDUP_PAIRS}
+        | {f"{fast}_vs_uint8" for fast, _ in runner.UINT8_PAIRS}
+        | {f"{fast}_vs_{suffix}" for fast, _, suffix in runner.PLAN_PAIRS}
+    )
     # Every gate guards a speedup the runner actually records.
     assert set(MIN_SPEEDUPS) <= recorded_keys
 

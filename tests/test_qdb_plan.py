@@ -1,0 +1,387 @@
+"""The query-plan layer: IR, optimizer passes, plan cache, word stores.
+
+Unit coverage for :mod:`repro.plan` and its supporting pieces — plan
+rendering, pass-by-pass optimizer behaviour (pruning, audit fusion, PIR
+coalescing), plan-cache keying and eviction, the ``WordLogStore`` tier
+backing out-of-core packed histories, loud environment-variable
+validation, and the ``repro qdb explain`` CLI.  Decision equivalence
+against the legacy pipeline lives in ``test_qdb_plan_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import patients
+from repro.kernels import MemmapWordLog, RamWordLog, words_per_bits
+from repro.plan import (
+    AuditCheck,
+    FusedAuditCheck,
+    FusedPirFetch,
+    PirFetch,
+    Plan,
+    PlanCache,
+    PolicyCheck,
+    QueryPlanner,
+    ScanMask,
+    Transform,
+    coalesce_pir_fetches,
+    compile_query,
+    fuse_audit_checks,
+    optimize,
+    plan_key,
+    policy_signature,
+    prune_noop_nodes,
+)
+from repro.qdb import (
+    Aggregate,
+    Comparison,
+    NoisePerturbation,
+    OverlapControl,
+    Query,
+    QueryHistory,
+    QuerySetSizeControl,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+
+QUERY = Query(Aggregate.SUM, "blood_pressure", Comparison("height", ">", 170.0))
+
+
+class TestCompiler:
+    def test_unoptimized_plan_spells_out_the_pipeline(self):
+        policies = [QuerySetSizeControl(5), SumAuditPolicy()]
+        plan = compile_query(QUERY, policies)
+        kinds = [type(n).__name__ for n in plan.nodes]
+        assert kinds == [
+            "ScanMask", "PolicyCheck", "PolicyCheck", "Evaluate",
+            "Transform", "Transform", "AnswerSink", "RefuseSink",
+        ]
+        assert plan.nodes[0].predicate == "height > 170.0"
+        assert plan.passes == ()
+
+    def test_plan_key_normalizes_query_structure(self):
+        policies = [QuerySetSizeControl(5)]
+        same = Query(Aggregate.SUM, "blood_pressure",
+                     Comparison("height", ">", 170.0))
+        assert plan_key(QUERY, policies) == plan_key(same, policies)
+        other_agg = Query(Aggregate.AVG, "blood_pressure", QUERY.predicate)
+        assert plan_key(QUERY, policies) != plan_key(other_agg, policies)
+        assert plan_key(QUERY, policies) != plan_key(
+            QUERY, [QuerySetSizeControl(6)]
+        )
+
+    def test_policy_signature_captures_fused_parameters(self):
+        sig = policy_signature(
+            [QuerySetSizeControl(7), OverlapControl(9), SumAuditPolicy()]
+        )
+        assert sig[0] == ("QuerySetSizeControl", "size-control(k=7)", 7)
+        assert sig[1][2:] == (9, OverlapControl(9).chunk)
+        assert sig[2] == ("SumAuditPolicy", "sum-audit")
+
+
+class TestOptimizerPasses:
+    def test_prune_drops_noop_reviews_and_transforms(self):
+        # NoisePerturbation reviews nothing; QuerySetSizeControl
+        # transforms nothing — both no-op nodes must disappear.
+        policies = [QuerySetSizeControl(5), NoisePerturbation(1.0)]
+        plan = optimize(compile_query(QUERY, policies), policies)
+        checks = [n for n in plan.nodes if isinstance(n, PolicyCheck)]
+        transforms = [n for n in plan.nodes if isinstance(n, Transform)]
+        assert [c.index for c in checks] == [0]
+        assert [t.index for t in transforms] == [1]
+        assert "prune-noop-nodes" in plan.passes
+
+    def test_three_audit_policies_fuse_into_one_node(self):
+        policies = [QuerySetSizeControl(5), OverlapControl(40),
+                    SumAuditPolicy()]
+        plan = optimize(compile_query(QUERY, policies), policies)
+        fused = [n for n in plan.nodes if isinstance(n, FusedAuditCheck)]
+        assert len(fused) == 1
+        assert [c.kind for c in fused[0].checks] == [
+            "size", "overlap", "sum-audit"
+        ]
+        assert [c.index for c in fused[0].checks] == [0, 1, 2]
+        assert not any(isinstance(n, PolicyCheck) for n in plan.nodes)
+
+    def test_lone_size_check_is_not_fused(self):
+        policies = [QuerySetSizeControl(5)]
+        plan = optimize(compile_query(QUERY, policies), policies)
+        assert not any(isinstance(n, FusedAuditCheck) for n in plan.nodes)
+        assert "fuse-audit-checks" not in plan.passes
+
+    def test_lone_overlap_check_is_fused_for_incremental_scanning(self):
+        policies = [OverlapControl(40)]
+        plan = optimize(compile_query(QUERY, policies), policies)
+        fused = [n for n in plan.nodes if isinstance(n, FusedAuditCheck)]
+        assert [c.kind for c in fused[0].checks] == ["overlap"]
+
+    def test_policy_subclasses_are_never_fused(self):
+        class StricterSize(QuerySetSizeControl):
+            def review(self, query, mask, data, history):
+                return "always refused"
+
+        policies = [StricterSize(5), OverlapControl(40)]
+        plan = optimize(compile_query(QUERY, policies), policies)
+        fused = [n for n in plan.nodes if isinstance(n, FusedAuditCheck)]
+        assert [c.kind for c in fused[0].checks] == ["overlap"]
+        assert any(
+            isinstance(n, PolicyCheck) and n.index == 0 for n in plan.nodes
+        )
+
+    def test_intervening_custom_policy_splits_the_fusion_run(self):
+        class CustomReview(NoisePerturbation):
+            def review(self, query, mask, data, history):
+                return None
+
+        policies = [QuerySetSizeControl(5), CustomReview(1.0),
+                    OverlapControl(40)]
+        nodes = compile_query(QUERY, policies).nodes
+        nodes = prune_noop_nodes(nodes, policies)
+        fused_nodes = fuse_audit_checks(nodes, policies)
+        fused = [n for n in fused_nodes if isinstance(n, FusedAuditCheck)]
+        # The custom review sits between them: only the overlap check
+        # fuses (for incremental scanning); the size check stays plain.
+        assert [c.kind for f in fused for c in f.checks] == ["overlap"]
+
+    def test_coalesce_dedupes_blocks_and_preserves_routing(self):
+        nodes = (
+            PirFetch((3, 1, 4), source="a"),
+            PirFetch((1, 5), source="b"),
+        )
+        (fused,) = coalesce_pir_fetches(nodes)
+        assert fused.blocks == (3, 1, 4, 5)  # first-occurrence order
+        assert fused.requested == 5
+        assert fused.routing == ((0, 1, 2), (1, 3))
+
+    def test_single_fetch_is_left_alone(self):
+        nodes = (PirFetch((3, 1, 4)),)
+        assert coalesce_pir_fetches(nodes) is nodes
+
+    def test_only_changing_passes_are_recorded(self):
+        policies = [QuerySetSizeControl(5)]
+        plan = optimize(compile_query(QUERY, policies), policies)
+        # size-only: pruning removes the no-op transform; nothing fuses,
+        # nothing coalesces.
+        assert plan.passes == ("prune-noop-nodes",)
+
+
+class TestPlanRendering:
+    def test_render_numbers_nodes_and_lists_passes(self):
+        plan = Plan("demo", (ScanMask("height > 170.0"),),
+                    passes=("prune-noop-nodes",))
+        text = plan.render()
+        assert text.startswith("plan: demo\npasses: prune-noop-nodes")
+        assert "  1. ScanMask" in text
+
+    def test_fused_audit_describe_names_every_check(self):
+        node = FusedAuditCheck((
+            AuditCheck("size", 0, "size-control(k=5)", k=5),
+            AuditCheck("overlap", 1, "overlap-control(r=40)",
+                       max_overlap=40, chunk=2048),
+        ))
+        text = node.describe()
+        assert "2 checks" in text
+        assert "size k=5" in text
+        assert "overlap r=40 chunk=2048" in text
+
+    def test_fused_pir_describe_counts_the_dedupe(self):
+        node = FusedPirFetch((3, 1, 4, 5), requested=5,
+                             routing=((0, 1, 2), (1, 3)))
+        assert "4 unique blocks for 5 requested" in node.describe()
+        assert "(1 deduped)" in node.describe()
+
+    def test_db_explain_shows_before_and_after(self):
+        db = StatisticalDatabase(
+            patients(80, seed=0),
+            [QuerySetSizeControl(5), OverlapControl(40), SumAuditPolicy()],
+        )
+        text = db.explain("SELECT SUM(blood_pressure) WHERE height > 170")
+        assert "== before optimization ==" in text
+        assert "== after optimization" in text
+        assert "FusedAudit" in text
+        assert "cache key:" in text
+
+
+class TestPlanCache:
+    def test_put_get_and_len(self):
+        cache = PlanCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_oldest_entry_is_evicted_at_capacity(self):
+        cache = PlanCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_engine_counts_hits_and_misses(self):
+        db = StatisticalDatabase(patients(100, seed=1),
+                                 [QuerySetSizeControl(5)])
+        q = "SELECT COUNT(*) WHERE height > 170"
+        db.ask(q)
+        assert (db.plan_cache_hits, db.plan_cache_misses) == (0, 1)
+        db.ask(q)
+        db.ask(q)
+        assert (db.plan_cache_hits, db.plan_cache_misses) == (2, 1)
+        # A different aggregate over the same predicate is a new shape.
+        db.ask("SELECT SUM(blood_pressure) WHERE height > 170")
+        assert db.plan_cache_misses == 2
+
+    def test_swapping_the_policy_stack_changes_the_key(self):
+        db = StatisticalDatabase(patients(100, seed=1),
+                                 [QuerySetSizeControl(5)])
+        q = "SELECT COUNT(*) WHERE height > 170"
+        db.ask(q)
+        db.policies = [QuerySetSizeControl(6)]
+        db.ask(q)
+        assert db.plan_cache_misses == 2
+
+    def test_planner_without_cache_always_compiles(self):
+        db = StatisticalDatabase(patients(100, seed=1),
+                                 [QuerySetSizeControl(5)])
+        planner = QueryPlanner(db, cache=False)
+        q = Query(Aggregate.COUNT, None, Comparison("height", ">", 170.0))
+        p1, _ = planner.plan_for(q)
+        p2, _ = planner.plan_for(q)
+        assert p1 is not p2
+        assert planner.cache is None
+
+
+class TestWordLogStores:
+    @pytest.mark.parametrize("make", [
+        lambda n_words: RamWordLog(n_words, initial_capacity=2),
+        lambda n_words: MemmapWordLog(n_words, initial_capacity=2),
+    ], ids=["ram", "memmap"])
+    def test_append_rows_and_overlap_counts(self, make):
+        n_bits = 130
+        n_words = words_per_bits(n_bits)
+        store = make(n_words)
+        rng = np.random.default_rng(0)
+        masks = [rng.random(n_bits) < 0.5 for _ in range(17)]
+        log = QueryHistory(n_bits).answered_masks  # packer only
+        for mask in masks:
+            store.append(log.pack(mask))
+        assert len(store) == 17
+        candidate = rng.random(n_bits) < 0.5
+        packed = log.pack(candidate)
+        expected = [int(np.sum(candidate & m)) for m in masks]
+        np.testing.assert_array_equal(
+            store.overlap_counts(packed, 0, len(store)), expected
+        )
+        np.testing.assert_array_equal(
+            store.overlap_counts(packed, 5, 12), expected[5:12]
+        )
+
+    def test_memmap_chunked_scan_matches_unchunked(self):
+        n_words = 4
+        budget = 3 * n_words * 8  # three rows per chunk
+        store = MemmapWordLog(n_words, initial_capacity=1, ram_budget=budget)
+        plain = RamWordLog(n_words)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            row = rng.integers(0, 2**63, n_words, dtype=np.uint64)
+            store.append(row)
+            plain.append(row)
+        assert store.chunk_rows == 3
+        probe = rng.integers(0, 2**63, n_words, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            store.overlap_counts(probe, 0, 20),
+            plain.overlap_counts(probe, 0, 20),
+        )
+
+    def test_memmap_growth_survives_generations(self):
+        store = MemmapWordLog(2, initial_capacity=1)
+        rows = [np.array([i, i + 1], dtype=np.uint64) for i in range(9)]
+        for row in rows:
+            store.append(row)
+        assert len(store) == 9
+        np.testing.assert_array_equal(np.asarray(store.rows), np.array(rows))
+
+    def test_invalid_ram_budget_is_rejected(self):
+        with pytest.raises(ValueError, match="ram_budget"):
+            MemmapWordLog(4, ram_budget=0)
+
+
+class TestEnvironmentValidation:
+    @pytest.mark.parametrize("value", ["abc", "0", "-5", "2.5"])
+    def test_overlap_chunk_misconfiguration_raises(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_QDB_OVERLAP_CHUNK", value)
+        with pytest.raises(ValueError, match="REPRO_QDB_OVERLAP_CHUNK"):
+            OverlapControl(10)
+
+    def test_overlap_chunk_override_is_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QDB_OVERLAP_CHUNK", "64")
+        assert OverlapControl(10).chunk == 64
+
+    @pytest.mark.parametrize("value", ["disk", "mmap", "RAMM"])
+    def test_unknown_history_store_raises(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_QDB_HISTORY_STORE", value)
+        with pytest.raises(ValueError, match="REPRO_QDB_HISTORY_STORE"):
+            QueryHistory(32)
+
+    @pytest.mark.parametrize("value", ["abc", "0", "-1"])
+    def test_invalid_history_budget_raises(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_QDB_HISTORY_STORE", "memmap")
+        monkeypatch.setenv("REPRO_QDB_HISTORY_BUDGET", value)
+        with pytest.raises(ValueError, match="REPRO_QDB_HISTORY_BUDGET"):
+            QueryHistory(32)
+
+    def test_memmap_store_selected_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QDB_HISTORY_STORE", "memmap")
+        monkeypatch.setenv("REPRO_QDB_HISTORY_BUDGET", str(1 << 16))
+        history = QueryHistory(32)
+        assert history.answered_masks.store_kind == "MemmapWordLog"
+
+    def test_default_store_is_ram(self):
+        assert QueryHistory(32).answered_masks.store_kind == "RamWordLog"
+
+
+class TestExplainCli:
+    def test_explain_renders_both_plans(self, capsys):
+        assert main([
+            "qdb", "explain",
+            "SELECT SUM(blood_pressure) WHERE height > 170",
+            "--records", "80",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== before optimization ==" in out
+        assert "FusedAudit" in out
+        assert "passes:" in out
+        assert "cache key:" in out
+
+    def test_explain_pir_demo_shows_coalescing(self, capsys):
+        assert main([
+            "qdb", "explain", "SELECT COUNT(*) WHERE height > 170",
+            "--records", "80", "--pir-demo",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FusedPirFetch" in out
+        assert "retrieve_batch" in out
+
+    def test_custom_policy_spec(self, capsys):
+        assert main([
+            "qdb", "explain", "SELECT COUNT(*) WHERE height > 170",
+            "--records", "80", "--policies", "overlap:30,noise:2.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overlap-control(r=30)" in out
+
+    def test_unknown_policy_token_exits_loudly(self):
+        with pytest.raises(SystemExit, match="unknown policy"):
+            main([
+                "qdb", "explain", "SELECT COUNT(*)",
+                "--policies", "sizes:5",
+            ])
+
+    def test_unparseable_query_is_an_error(self, capsys):
+        assert main(["qdb", "explain", "SELEC COUNT(*)"]) == 1
+        assert "error:" in capsys.readouterr().err

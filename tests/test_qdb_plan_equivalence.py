@@ -1,0 +1,257 @@
+"""The plan-compiled path must match the legacy pipeline, decision for
+decision.
+
+The query planner (:mod:`repro.plan`) is only allowed to change *how*
+the engine reaches a decision — fused audit passes, cached plans,
+incremental overlap scans, memmap-backed histories — never the decision
+itself.  Randomized workloads are replayed through ``use_plans=True``
+and ``use_plans=False`` sessions under every policy stack (including
+the stochastic transform policies, whose rng streams must stay aligned),
+with injected backend faults, and with the packed history on the memmap
+store; every answer, refusal string, interval, counter and audit record
+must be identical.  The golden fingerprints from the perf-equivalence
+suite are replayed on the plan path so both pipelines cannot drift
+together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, patients
+from repro.faults import Fault, FaultPlan, ReplicatedBackend
+from repro.qdb import (
+    CamouflageIntervals,
+    Degraded,
+    NoisePerturbation,
+    OverlapControl,
+    QuerySetSizeControl,
+    RandomSampleQueries,
+    Refusal,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+from tests.test_qdb_perf_equivalence import random_workload, same_value
+
+# Policy stacks are passed as zero-argument factories: stateful policies
+# (the sum audit's growing basis, the sampler's rng) must never be
+# shared between the two sessions under comparison.
+STACKS = {
+    "size": lambda: [QuerySetSizeControl(3)],
+    "size+overlap": lambda: [QuerySetSizeControl(3), OverlapControl(40)],
+    "size+sum-audit": lambda: [QuerySetSizeControl(2), SumAuditPolicy()],
+    "audit-trio": lambda: [
+        QuerySetSizeControl(3), OverlapControl(45), SumAuditPolicy()
+    ],
+    "stochastic": lambda: [
+        QuerySetSizeControl(3), NoisePerturbation(1.5),
+        RandomSampleQueries(0.8, seed=7), CamouflageIntervals(2),
+    ],
+    "kitchen-sink": lambda: [
+        QuerySetSizeControl(3), OverlapControl(60), SumAuditPolicy(),
+        NoisePerturbation(1.0), RandomSampleQueries(0.9, seed=7),
+        CamouflageIntervals(2),
+    ],
+}
+
+
+def assert_plan_matches_legacy(make_plan_db, make_legacy_db, queries):
+    """Replay *queries* through both engines; every outcome must match."""
+    db_plan, db_legacy = make_plan_db(), make_legacy_db()
+    assert db_plan._planner is not None
+    assert db_legacy._planner is None
+    for query in queries:
+        a, b = db_plan.ask(query), db_legacy.ask(query)
+        assert type(a) is type(b), (query, a, b)
+        assert a.refused == b.refused, (query, a, b)
+        assert a.reason == b.reason, (query, a, b)
+        assert same_value(a.value, b.value), (query, a, b)
+        assert a.interval == b.interval, (query, a, b)
+    assert db_plan.queries_asked == db_legacy.queries_asked
+    assert db_plan.queries_refused == db_legacy.queries_refused
+    assert len(db_plan.history) == len(db_legacy.history)
+    assert [e.answered for e in db_plan.history] == [
+        e.answered for e in db_legacy.history
+    ]
+    for ea, eb in zip(db_plan.history, db_legacy.history):
+        np.testing.assert_array_equal(ea.mask, eb.mask)
+    return db_plan, db_legacy
+
+
+@pytest.mark.parametrize("stack", sorted(STACKS), ids=sorted(STACKS))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_plan_path_matches_legacy_under_every_stack(stack, seed):
+    rng = np.random.default_rng(100 + seed)
+    n = int(rng.integers(60, 250))
+    pop = patients(n, seed=seed)
+    queries = random_workload(pop, rng, 70)
+    db_plan, _ = assert_plan_matches_legacy(
+        lambda: StatisticalDatabase(pop, STACKS[stack](), seed=0),
+        lambda: StatisticalDatabase(pop, STACKS[stack](), seed=0,
+                                    use_plans=False),
+        queries,
+    )
+    # The comparison must have exercised the planner, not bypassed it.
+    assert db_plan.plan_cache_hits + db_plan.plan_cache_misses > 0
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_ask_batch_matches_legacy(seed):
+    rng = np.random.default_rng(200 + seed)
+    pop = patients(150, seed=seed)
+    queries = random_workload(pop, rng, 40)
+    # Repeat shapes so the warm plan cache actually gets hit mid-batch.
+    workload = queries + queries[:20]
+    db_plan = StatisticalDatabase(
+        pop, [QuerySetSizeControl(3), OverlapControl(50), SumAuditPolicy()],
+        seed=0,
+    )
+    db_legacy = StatisticalDatabase(
+        pop, [QuerySetSizeControl(3), OverlapControl(50), SumAuditPolicy()],
+        seed=0, use_plans=False,
+    )
+    for a, b in zip(db_plan.ask_batch(workload), db_legacy.ask_batch(workload)):
+        assert a.refused == b.refused
+        assert a.reason == b.reason
+        assert same_value(a.value, b.value)
+        assert a.interval == b.interval
+    assert db_plan.plan_cache_hits > 0
+
+
+class TestFaultEquivalence:
+    """Injected backend faults degrade both pipelines identically."""
+
+    def _backend(self, data, faults, n_replicas, seed):
+        return ReplicatedBackend(
+            data, n_replicas=n_replicas,
+            plan=FaultPlan(faults, seed=seed), name="qdb",
+        )
+
+    def test_failover_degrades_identically(self):
+        data = Dataset({"x": np.arange(30.0)})
+        faults = [Fault("crash", "qdb.replica:0", after=0)]
+        queries = ["SELECT SUM(x) WHERE x > 5", "SELECT AVG(x) WHERE x < 25"]
+        db_plan, db_legacy = assert_plan_matches_legacy(
+            lambda: StatisticalDatabase(
+                self._backend(data, faults, 2, seed=1), policies=[]
+            ),
+            lambda: StatisticalDatabase(
+                self._backend(data, faults, 2, seed=1), policies=[],
+                use_plans=False,
+            ),
+            queries,
+        )
+        assert db_plan.degraded_answers == db_legacy.degraded_answers == 2
+        assert isinstance(db_plan.ask("SELECT SUM(x)"), Degraded)
+
+    def test_blackout_refuses_identically(self):
+        data = Dataset({"x": np.arange(20.0)})
+        faults = [Fault("crash", "qdb.replica:0", after=0)]
+        queries = [
+            "SELECT COUNT(*)",  # mask synthesized: survives the blackout
+            "SELECT SUM(x) WHERE x > 5",
+            "SELECT AVG(x) WHERE x < 12",
+        ]
+        db_plan, db_legacy = assert_plan_matches_legacy(
+            lambda: StatisticalDatabase(
+                self._backend(data, faults, 1, seed=0),
+                policies=[QuerySetSizeControl(2)],
+            ),
+            lambda: StatisticalDatabase(
+                self._backend(data, faults, 1, seed=0),
+                policies=[QuerySetSizeControl(2)], use_plans=False,
+            ),
+            queries,
+        )
+        assert db_plan.backend_refusals == db_legacy.backend_refusals == 2
+        answer = db_plan.ask("SELECT SUM(x) WHERE x > 1")
+        assert isinstance(answer, Refusal)
+        assert answer.reason.startswith("backend: ")
+
+
+class TestMemmapHistoryEquivalence:
+    """memmap-backed packed histories decide exactly like RAM ones."""
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_memmap_matches_ram_on_the_plan_path(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        pop = patients(180, seed=seed)
+        queries = random_workload(pop, rng, 70)
+        policies = lambda: [QuerySetSizeControl(3), OverlapControl(35)]
+        db_ram = StatisticalDatabase(pop, policies(), seed=0)
+        db_mm = StatisticalDatabase(pop, policies(), seed=0,
+                                    history_store="memmap")
+        assert db_mm.history.answered_masks.store_kind == "MemmapWordLog"
+        for query in queries:
+            a, b = db_ram.ask(query), db_mm.ask(query)
+            assert a.refused == b.refused, (query, a, b)
+            assert a.reason == b.reason, (query, a, b)
+            assert same_value(a.value, b.value), (query, a, b)
+        assert len(db_ram.history.answered_masks) == len(
+            db_mm.history.answered_masks
+        )
+
+    def test_memmap_matches_legacy_pipeline(self):
+        rng = np.random.default_rng(77)
+        pop = patients(150, seed=7)
+        queries = random_workload(pop, rng, 60)
+        assert_plan_matches_legacy(
+            lambda: StatisticalDatabase(
+                pop, [OverlapControl(40), SumAuditPolicy()], seed=0,
+                history_store="memmap",
+            ),
+            lambda: StatisticalDatabase(
+                pop, [OverlapControl(40), SumAuditPolicy()], seed=0,
+                use_plans=False,
+            ),
+            queries,
+        )
+
+
+class TestGoldenSessionOnPlanPath:
+    """The frozen fingerprints replayed through the planner (and memmap).
+
+    These pin the *absolute* decisions: the plan path and the legacy
+    path agreeing is not enough if both drift together.
+    """
+
+    def _run(self, policies, **db_kwargs):
+        pop = patients(150, seed=42)
+        rng = np.random.default_rng(99)
+        db = StatisticalDatabase(pop, policies, seed=0, **db_kwargs)
+        answers = [db.ask(q) for q in random_workload(pop, rng, 60)]
+        refusals = "".join("R" if a.refused else "A" for a in answers)
+        checksum = float(
+            np.nansum([a.value for a in answers if a.value is not None])
+        )
+        return refusals, checksum
+
+    OVERLAP_GOLDEN = (
+        "AAAAARRAARAARAAAAARRRAARAAARAAAARAARARRARRRAARARRARRRAAARRRA"
+    )
+    SUM_AUDIT_GOLDEN = (
+        "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAARAAAAARAAR"
+    )
+
+    def test_overlap_golden_vector_via_plans(self):
+        refusals, checksum = self._run([OverlapControl(40)])
+        assert refusals == self.OVERLAP_GOLDEN
+        assert checksum == pytest.approx(12866.158211603071, rel=1e-12)
+
+    def test_overlap_golden_vector_via_memmap_history(self):
+        refusals, checksum = self._run(
+            [OverlapControl(40)], history_store="memmap"
+        )
+        assert refusals == self.OVERLAP_GOLDEN
+        assert checksum == pytest.approx(12866.158211603071, rel=1e-12)
+
+    def test_sum_audit_golden_vector_via_plans(self):
+        refusals, checksum = self._run([SumAuditPolicy()])
+        assert refusals == self.SUM_AUDIT_GOLDEN
+        assert checksum == pytest.approx(63104.77017914514, rel=1e-12)
+
+    def test_three_policy_fused_stack_is_deterministic(self):
+        """The fused audit node answers exactly like two fresh runs."""
+        stack = lambda: [
+            QuerySetSizeControl(3), OverlapControl(40), SumAuditPolicy()
+        ]
+        assert self._run(stack()) == self._run(stack())
