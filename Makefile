@@ -1,17 +1,18 @@
 PYTHON ?= python
 
 .PHONY: verify test bench bench-check bench-qdb bench-kernels bench-plan \
-	bench-refresh telemetry-smoke observe-smoke chaos doctest-faults \
-	doctest-observatory
+	bench-refresh telemetry-smoke observe-smoke observe-serve-smoke chaos \
+	doctest-faults doctest-observatory
 
 .DEFAULT_GOAL := verify
 
 # The default gate: tests, benchmark regressions, the kernel-tier speedup
 # gates, telemetry schema drift, the observatory's detection invariants,
-# fault-layer and observatory doctests, and the chaos scenario's privacy
-# invariants.
+# the resident service's end-to-end HTTP/SSE gate, fault-layer and
+# observatory doctests, and the chaos scenario's privacy invariants.
 verify: test bench-check bench-kernels bench-plan telemetry-smoke \
-	observe-smoke doctest-faults doctest-observatory chaos
+	observe-smoke observe-serve-smoke doctest-faults doctest-observatory \
+	chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -68,6 +69,15 @@ telemetry-smoke:
 # warning raised before the attack completes.
 observe-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro observe --smoke
+
+# Boot the resident observatory service on an ephemeral port and drive it
+# with the deterministic concurrent load generator (zipfian user mix plus
+# an injected tracker cohort); fails unless the tracker-probe alert
+# arrives over real HTTP/SSE, the OpenMetrics scrape is compliant, the
+# cohort's session timeline shows its refusals, and the incident bundle's
+# embedded replay proof verifies.
+observe-serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro observe serve --smoke
 
 # The fault layer's executable documentation: every module-level example
 # in src/repro/faults must keep running exactly as written.

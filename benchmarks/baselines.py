@@ -47,6 +47,12 @@ BASELINES: dict[str, float] = {
     "qdb_sum_audit": 24.0,
     "qdb_ask_batch": 100.0,
     "telemetry_overhead_qdb_ask_batch": 110.0,
+    # ask_batch with the resident service attached *and* a live SSE
+    # consumer draining the polled event ring: the observatory's
+    # per-span processing dominates (see ref_observatory_attached_
+    # ask_batch); the service layer itself adds <10% on top, gated by
+    # MAX_OVERHEADS below rather than by this absolute number.
+    "observatory_sse_fanout": 140.0,
 }
 
 # The kernel backend the absolute BASELINES above were measured with
@@ -89,7 +95,13 @@ MIN_SPEEDUP_VS_SEED = MIN_SPEEDUPS["pir_single_retrieve_n4096_vs_seed"]
 # assembly, histograms, the observatory feed — must not tax the query
 # engine by more than 10% (the ISSUE 5 enabled-overhead gate; the
 # *disabled* cost is held at zero by the golden-fingerprint tests).
+# The observatory_sse_fanout pair (ISSUE 8) holds the resident service
+# layer — session timelines, event-bus fan-out, a live HTTP/SSE
+# subscriber — to the same 10% budget over the observatory-attached
+# reference kernel: serving the observatory must cost the monitored
+# engine almost nothing beyond the (already live) monitoring itself.
 MAX_OVERHEADS: dict[str, float] = {
     "pir_faulty_batch64_retrieve_n4096": 1.10,
     "telemetry_overhead_qdb_ask_batch": 1.10,
+    "observatory_sse_fanout": 1.10,
 }

@@ -33,11 +33,26 @@ Commands
     invariants hold under fire (the ``make chaos`` gate).
 ``observe [trace.jsonl]``
     The privacy observatory: replay a captured trace (``--follow``
-    narrates each alert as it fires) or run the live instrumented
-    scenario, then render per-dimension posture meters beside the fired
-    alerts.  ``--smoke`` validates the committed golden trace (the
-    ``make observe-smoke`` gate); ``--metrics-out`` exports the metrics
-    snapshot as OpenMetrics text or JSONL.
+    narrates each alert as it fires, ``--limit N`` caps the narration)
+    or run the live instrumented scenario, then render per-dimension
+    posture meters beside the fired alerts.  ``--smoke`` validates the
+    committed golden trace (the ``make observe-smoke`` gate);
+    ``--metrics-out`` exports the metrics snapshot as OpenMetrics text
+    or JSONL.
+``observe serve``
+    Boot the resident observatory service: an HTTP server exposing the
+    OpenMetrics scrape (``/metrics``), the live SSE event stream
+    (``/events``), per-session timelines (``/sessions``), and
+    one-call incident bundles (``/incident``).  ``--load`` drives the
+    deterministic concurrent load generator once at startup;
+    ``--smoke`` runs the full end-to-end gate (``make
+    observe-serve-smoke``): concurrent zipfian load with an injected
+    tracker cohort must produce the tracker-probe alert over real
+    HTTP/SSE and a verifying incident bundle.
+``observe http://host:port``
+    Follow a running service's SSE stream: alerts are narrated as they
+    fire (``--follow`` adds posture points, ``--limit N`` disconnects
+    after N alerts); Ctrl-C exits cleanly.
 """
 
 from __future__ import annotations
@@ -402,6 +417,16 @@ def _export_metrics(args: argparse.Namespace) -> None:
 
 
 def _cmd_observe(args: argparse.Namespace) -> int:
+    try:
+        return _observe_dispatch(args)
+    except KeyboardInterrupt:
+        # A follow/serve session is normally ended by Ctrl-C; exit the
+        # way interactive unix tools do — a clean line, no traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+
+
+def _observe_dispatch(args: argparse.Namespace) -> int:
     import json
     import tempfile
 
@@ -411,6 +436,12 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         ObserveSmokeError,
         run_observe_smoke,
     )
+
+    if args.trace == "serve":
+        return _observe_serve(args)
+    if args.trace is not None and args.trace.startswith(("http://",
+                                                         "https://")):
+        return _observe_follow_sse(args)
 
     if args.smoke:
         try:
@@ -440,9 +471,17 @@ def _cmd_observe(args: argparse.Namespace) -> int:
             return 1
         print(f"live scenario captured -> {trace}\n")
 
+    narrated = 0
+
     def narrate(alert, record):
+        nonlocal narrated
+        if args.limit is not None and narrated >= args.limit:
+            return
+        narrated += 1
         print(f"  step {alert.step:>5d}  [{alert.severity:<8s}] "
               f"{alert.name} ({alert.dimension}): {alert.detail}")
+        if args.limit is not None and narrated == args.limit:
+            print(f"  ... narration capped at --limit {args.limit}")
 
     try:
         observatory = replay_trace(
@@ -457,6 +496,118 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     if args.metrics_out:
         print()
         _export_metrics(args)
+    return 0
+
+
+def _observe_serve(args: argparse.Namespace) -> int:
+    import json
+    import threading
+    import time
+
+    from .telemetry import instrument
+    from .telemetry.observatory.service import (
+        LoadGenerator,
+        ObservatoryService,
+        ServeSmokeError,
+        create_server,
+        run_serve_smoke,
+    )
+
+    if args.smoke:
+        try:
+            summary = run_serve_smoke(
+                records=args.records, seed=args.seed, profile=args.profile
+            )
+        except ServeSmokeError as exc:
+            print(f"observe serve smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        print("observe serve smoke OK")
+        return 0
+
+    service = ObservatoryService()
+    server = create_server(service, port=args.port)
+    host, port = server.server_address[:2]
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="observatory-http", daemon=True
+    )
+    with instrument.session(args.out) as tracer:
+        service.attach(tracer)
+        server_thread.start()
+        print(f"observatory service listening on http://{host}:{port}")
+        print("endpoints: /  /metrics  /events  /sessions  /incident")
+        try:
+            if args.load:
+                generator = LoadGenerator(
+                    records=args.records, seed=args.seed,
+                    profile=args.profile,
+                )
+                report = generator.run()
+                print(f"load generator done: {report['ops']} ops, "
+                      f"{report['refusals']} refusals, "
+                      f"cohort {report['cohort']}")
+            print("Ctrl-C to stop")
+            while True:
+                time.sleep(1)
+        finally:
+            service.close()
+            server.shutdown()
+            server.server_close()
+
+
+def _observe_follow_sse(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = args.trace.rstrip("/") + "/events"
+    print(f"following {url} (Ctrl-C to stop)")
+    alerts = 0
+    event_type = data = None
+    try:
+        stream = urlopen(url)
+    except (URLError, OSError) as exc:
+        print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+    with stream as response:
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith(":"):
+                continue
+            if line.startswith("event: "):
+                event_type = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = line[len("data: "):]
+            elif not line:
+                if event_type is not None and data is not None:
+                    payload = json.loads(data)
+                    if event_type == "hello":
+                        print(f"connected: schema {payload['schema']}, "
+                              f"step {payload['step']}, watching "
+                              f"{', '.join(payload['series'])}")
+                    elif event_type == "alert":
+                        print(f"  step {payload.get('step', 0):>5d}  "
+                              f"[{payload.get('severity', '?'):<8s}] "
+                              f"{payload.get('alert', '?')} "
+                              f"({payload.get('dimension', '?')}): "
+                              f"{payload.get('detail', '')}")
+                        alerts += 1
+                        if args.limit is not None and alerts >= args.limit:
+                            print(f"--limit {args.limit} reached, "
+                                  f"disconnecting")
+                            return 0
+                    elif event_type == "point" and args.follow:
+                        posture = payload["posture"]
+                        meters = "  ".join(
+                            f"{dim}={score:.2f}"
+                            for dim, score in sorted(posture.items())
+                        )
+                        print(f"  step {payload['step']:>5d}  {meters}")
+                    elif event_type == "bye":
+                        print("service closed the stream (bye)")
+                        return 0
+                event_type = data = None
+    print("stream ended")
     return 0
 
 
@@ -546,16 +697,32 @@ def build_parser() -> argparse.ArgumentParser:
         "observe", help="privacy observatory: replay, posture, alerts"
     )
     po.add_argument("trace", nargs="?", default=None,
-                    help="JSONL trace to replay (default: run the live "
-                         "instrumented scenario)")
+                    help="JSONL trace to replay, 'serve' to boot the "
+                         "resident service, or an http(s):// service URL "
+                         "to follow its SSE stream (default: run the "
+                         "live instrumented scenario)")
     po.add_argument("--follow", action="store_true",
-                    help="narrate each alert as the replay reaches it")
+                    help="narrate each alert as the replay reaches it "
+                         "(SSE mode: also print posture points)")
+    po.add_argument("--limit", type=int, default=None,
+                    help="cap narrated alerts (SSE mode: disconnect "
+                         "after N alerts)")
     po.add_argument("--smoke", action="store_true",
-                    help="validate the committed golden trace and exit")
+                    help="validate the committed golden trace and exit "
+                         "(serve mode: run the end-to-end HTTP/SSE gate)")
     po.add_argument("--out", default=None,
                     help="live-mode trace path (default: a temp file)")
     po.add_argument("--records", type=int, default=150)
     po.add_argument("--seed", type=int, default=3)
+    po.add_argument("--port", type=int, default=0,
+                    help="serve mode: TCP port (default: ephemeral)")
+    po.add_argument("--load", action="store_true",
+                    help="serve mode: drive the scripted concurrent load "
+                         "generator once at startup")
+    po.add_argument("--profile",
+                    choices=("mixed", "audit-heavy", "pir-heavy"),
+                    default="mixed",
+                    help="load-generator traffic profile")
     po.add_argument("--metrics-out", default=None,
                     help="export the process metrics snapshot to this path")
     po.add_argument("--metrics-format",

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import abc
 import os
+import threading
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -97,7 +99,7 @@ def _history_store_from_env() -> str:
 
 
 def _query_span_attrs(query, mask, depth, cache_hit, answer,
-                      plan_stats=None) -> dict:
+                      plan_stats=None, session=None) -> dict:
     """Render a ``qdb.query`` span's attribute dict.
 
     This runs *deferred* (see :meth:`StatisticalDatabase._process`): the
@@ -118,6 +120,8 @@ def _query_span_attrs(query, mask, depth, cache_hit, answer,
         "history_depth": depth,
         "cache_hit": cache_hit,
     }
+    if session is not None:
+        attrs["session"] = session
     if answer is not None:
         attrs["refused"] = answer.refused
         attrs["degraded"] = isinstance(answer, Degraded)
@@ -390,6 +394,9 @@ class StatisticalDatabase:
         self._c_fused_rows_skipped = self.metrics.counter(
             "qdb.fused_rows_skipped"
         )
+        # Per-thread session label: concurrent serving threads each tag
+        # their own spans without seeing each other's labels.
+        self._session_ctx = threading.local()
         if use_plans:
             from ..plan import QueryPlanner  # lazy: breaks the import cycle
 
@@ -401,6 +408,37 @@ class StatisticalDatabase:
     def n_records(self) -> int:
         """Number of records behind the interface."""
         return self._data.n_rows
+
+    @property
+    def session_label(self) -> str | None:
+        """The calling thread's active session label (None outside one)."""
+        return getattr(self._session_ctx, "label", None)
+
+    @contextmanager
+    def session(self, label: str):
+        """Tag this thread's queries with a session label.
+
+        Every ``qdb.query`` / ``qdb.ask_batch`` span opened by the
+        calling thread inside the block carries ``session=label``, which
+        is what the observatory service's per-session timelines group
+        by.  Labels are per-thread and nestable (the inner label wins,
+        the outer one is restored on exit); they have no effect when
+        telemetry is disabled.
+
+        >>> from repro.data.synthetic import patients
+        >>> db = StatisticalDatabase(patients(40, seed=0))
+        >>> with db.session("alice"):
+        ...     db.session_label
+        'alice'
+        >>> db.session_label is None
+        True
+        """
+        previous = self.session_label
+        self._session_ctx.label = label
+        try:
+            yield self
+        finally:
+            self._session_ctx.label = previous
 
     @property
     def queries_asked(self) -> int:
@@ -518,6 +556,7 @@ class StatisticalDatabase:
         """Backend refusal raised before a mask existed, as a traced span."""
         self._c_asked.inc()
         query_text, predicate_text, aggregate = _span_texts(query)
+        session = self.session_label
         with tele.span(
             "qdb.query",
             query=query_text,
@@ -527,6 +566,8 @@ class StatisticalDatabase:
             history_depth=len(self.history),
             cache_hit=False,
         ) as span:
+            if session is not None:
+                span.set("session", session)
             answer = self._backend_refusal(query, None, exc)
             span.set("refused", True)
             span.set("policy", "backend")
@@ -589,7 +630,10 @@ class StatisticalDatabase:
                 else:
                     answers.append(self._process(q, mask))
             return answers
+        session = self.session_label
         with tele.span("qdb.ask_batch", n_queries=len(parsed)) as span:
+            if session is not None:
+                span.set("session", session)
             resolved = []
             cache_hits = []
             for q in parsed:
@@ -629,10 +673,11 @@ class StatisticalDatabase:
         depth = len(self.history)
         answer = None
         plan_stats: dict = {}
+        session = self.session_label
         with tele.span("qdb.query") as span:
             span.defer_attrs(
                 lambda: _query_span_attrs(query, mask, depth, cache_hit,
-                                          answer, plan_stats)
+                                          answer, plan_stats, session)
             )
             answer = self._decide(query, mask)
             # Captured eagerly (the deferred closure may render much

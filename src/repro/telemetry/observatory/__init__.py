@@ -8,7 +8,11 @@ alerts back into the trace as ``observatory.alert`` spans.  Captured
 traces replay to the identical alert set (:func:`replay_trace`), which
 ``make observe-smoke`` holds against a committed golden trace
 (:mod:`.smoke`).  Registry snapshots export to OpenMetrics text or JSONL
-(:mod:`.exporters`).
+(:mod:`.exporters`).  The :mod:`.service` subpackage promotes all of it
+to a resident HTTP service — SSE event stream, OpenMetrics scrape,
+per-session timelines, and self-verifying incident bundles — driven in
+CI by a deterministic concurrent load generator
+(``make observe-serve-smoke``).
 
 Everything is stdlib-only and strictly inert when telemetry is disabled:
 no tracer exists, nothing subscribes, hot paths keep their seed-identical
@@ -24,6 +28,7 @@ from .detectors import (
     default_detectors,
 )
 from .exporters import (
+    OPENMETRICS_CONTENT_TYPE,
     parse_openmetrics,
     read_snapshot_jsonl,
     render_openmetrics,
@@ -60,6 +65,7 @@ __all__ = [
     "DIMENSIONS",
     "DegradationBurstDetector",
     "Detector",
+    "OPENMETRICS_CONTENT_TYPE",
     "HistogramSeries",
     "Observatory",
     "PIRAccessSkewDetector",

@@ -31,6 +31,7 @@ import re
 from pathlib import Path
 
 __all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
     "parse_openmetrics",
     "read_snapshot_jsonl",
     "render_openmetrics",
@@ -42,6 +43,12 @@ __all__ = [
 
 #: Snapshot-JSONL schema version, stamped into the meta line.
 SNAPSHOT_SCHEMA_VERSION = 1
+
+#: The Content-Type a compliant OpenMetrics scrape endpoint must serve
+#: (the observatory service's ``/metrics`` uses it verbatim).
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
 
 _VALID_FIRST = re.compile(r"[a-zA-Z_:]")
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
@@ -82,6 +89,13 @@ def split_metric_name(name: str) -> tuple[str, str | None]:
 
 def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    # HELP text is the raw registry name; escape the two characters the
+    # exposition format cannot carry verbatim so a hostile metric name
+    # can never smuggle an extra line (or a fake '# EOF') into the body.
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _unescape_label(value: str) -> str:
@@ -139,7 +153,7 @@ def render_openmetrics(snapshot: dict, namespace: str = "repro") -> str:
         )
         family_help.setdefault(family, base)
     for family in sorted(families):
-        lines.append(f"# HELP {family} {family_help[family]}")
+        lines.append(f"# HELP {family} {_escape_help(family_help[family])}")
         lines.append(f"# TYPE {family} counter")
         for tag, value in families[family]:
             label = f'{{tag="{_escape_label(tag)}"}}' if tag is not None else ""
@@ -147,14 +161,14 @@ def render_openmetrics(snapshot: dict, namespace: str = "repro") -> str:
 
     for name in sorted(snapshot.get("gauges", {})):
         metric = prefix + sanitize_name(name)
-        lines.append(f"# HELP {metric} {name}")
+        lines.append(f"# HELP {metric} {_escape_help(name)}")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(snapshot['gauges'][name])}")
 
     for name in sorted(snapshot.get("histograms", {})):
         data = snapshot["histograms"][name]
         metric = prefix + sanitize_name(name)
-        lines.append(f"# HELP {metric} {name}")
+        lines.append(f"# HELP {metric} {_escape_help(name)}")
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
         for label, bound in _bucket_bounds(data["buckets"]):
@@ -183,11 +197,22 @@ def parse_openmetrics(text: str, namespace: str = "repro") -> dict:
     ``.`` from ``_``); bracketed counter tags are reconstructed from
     their ``tag`` label.  The result compares equal to
     :func:`sanitized_snapshot` of the exported snapshot.
+
+    The OpenMetrics termination contract is enforced strictly: the text
+    must contain exactly one ``# EOF``, as its final non-empty line — a
+    truncated scrape (missing EOF) or a concatenated double-exposition
+    (stray mid-document EOF) both raise :class:`ValueError`.
     """
     prefix = f"{sanitize_name(namespace)}_" if namespace else ""
     types: dict[str, str] = {}
     out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
     hist_acc: dict[str, dict] = {}
+
+    content = [line.strip() for line in text.splitlines() if line.strip()]
+    if not content or content[-1] != "# EOF":
+        raise ValueError("exposition must end with a single '# EOF' line")
+    if content.count("# EOF") != 1:
+        raise ValueError("exposition must contain exactly one '# EOF' line")
 
     def strip_prefix(name: str) -> str:
         return name[len(prefix):] if prefix and name.startswith(prefix) else name

@@ -19,10 +19,22 @@ emitted.  That equality is the ``make observe-smoke`` golden gate.
 The observatory is *pull-free* on the hot path: when telemetry is
 disabled no tracer exists, nothing subscribes, and instrumented code
 runs its seed-identical fast path untouched.
+
+Thread model: ingestion (step counter, series updates, detectors, rule
+evaluation, alert registration) runs under one reentrant lock, so spans
+dispatched from concurrent sessions are processed one at a time in
+tracer-dispatch order — the order the capture file records, which keeps
+the replay-equality gate true under concurrency.  Alert *emission*
+happens strictly after that lock is released: the tracer's emit lock may
+already be held by the dispatching thread (reentrancy makes that safe),
+but a thread that entered through :meth:`Observatory.ingest_snapshot`
+holds no tracer lock, and emitting from inside the observatory lock
+would invert the ``emit → observatory`` lock order and deadlock.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 from ..dashboard import meter_bar
@@ -60,6 +72,14 @@ class Observatory:
         self.step = 0
         self._tracer = None
         self._ingesting = False
+        # span-name → (count series, seconds series): ingestion runs per
+        # span, so the two f-string builds and store lookups per event
+        # are worth caching (mutated only under ``_lock``).
+        self._span_series: dict[str, tuple] = {}
+        # Serializes ingestion; reentrant so a directly-recursive
+        # process_record (a detector that itself traces, say) degrades
+        # to the _ingesting skip instead of self-deadlocking.
+        self._lock = threading.RLock()
 
     # -- live attachment ---------------------------------------------------
 
@@ -89,22 +109,31 @@ class Observatory:
         """
         if record.get("type") != "span":
             return []
-        if record["name"].startswith("observatory.") or self._ingesting:
+        if record["name"].startswith("observatory."):
             return []
-        self._ingesting = True
-        try:
-            self.step += 1
-            step = self.step
-            self._update_series(record, step)
-            fired: list[Alert] = []
-            for detector in self.detectors:
-                fired.extend(detector.observe_span(record, step, self.store))
-            fired.extend(self.engine.evaluate(self.store, step))
+        with self._lock:
+            if self._ingesting:
+                return []
+            self._ingesting = True
+            try:
+                self.step += 1
+                step = self.step
+                self._update_series(record, step)
+                fired: list[Alert] = []
+                for detector in self.detectors:
+                    fired.extend(
+                        detector.observe_span(record, step, self.store)
+                    )
+                fired.extend(self.engine.evaluate(self.store, step))
+                self.alerts.extend(fired)
+            finally:
+                self._ingesting = False
+        # Emission deliberately happens after the ingestion lock is
+        # released (see the module docstring's lock-order note).
+        if emit:
             for alert in fired:
-                self._register(alert, emit)
-            return fired
-        finally:
-            self._ingesting = False
+                self._emit_alert(alert)
+        return fired
 
     def ingest_snapshot(self, snapshot: dict) -> list[Alert]:
         """Feed a metrics-registry snapshot to the snapshot detectors.
@@ -115,19 +144,25 @@ class Observatory:
         the replay-equality gate because a trace file cannot re-derive
         them.
         """
-        fired: list[Alert] = []
-        for detector in self.detectors:
-            fired.extend(detector.observe_snapshot(snapshot, self.step))
+        with self._lock:
+            fired: list[Alert] = []
+            for detector in self.detectors:
+                fired.extend(detector.observe_snapshot(snapshot, self.step))
+            self.alerts.extend(fired)
         for alert in fired:
-            self._register(alert, emit=True)
+            self._emit_alert(alert)
         return fired
 
     def _update_series(self, record: dict, step: int) -> None:
         name = record["name"]
         attrs = record["attrs"]
         series = self.store.series
-        series(f"span.{name}").append(step, 1.0)
-        series(f"span.{name}.seconds").append(step, record["duration"])
+        cached = self._span_series.get(name)
+        if cached is None:
+            cached = (series(f"span.{name}"), series(f"span.{name}.seconds"))
+            self._span_series[name] = cached
+        cached[0].append(step, 1.0)
+        cached[1].append(step, record["duration"])
         if name == "qdb.query":
             series("qdb.refused").append(
                 step, 1.0 if attrs.get("refused") is True else 0.0
@@ -143,9 +178,16 @@ class Observatory:
             )
 
     def _register(self, alert: Alert, emit: bool) -> None:
-        self.alerts.append(alert)
-        if emit and self._tracer is not None:
-            with self._tracer.span(ALERT_SPAN_NAME, **alert.span_attrs()):
+        with self._lock:
+            self.alerts.append(alert)
+        if emit:
+            self._emit_alert(alert)
+
+    def _emit_alert(self, alert: Alert) -> None:
+        """Emit one alert span.  Never call while holding ``_lock``."""
+        tracer = self._tracer
+        if tracer is not None:
+            with tracer.span(ALERT_SPAN_NAME, **alert.span_attrs()):
                 pass
 
     # -- read-out ----------------------------------------------------------

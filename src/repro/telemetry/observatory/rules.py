@@ -28,6 +28,7 @@ re-derive, for the golden gate — exactly which alerts fired and when.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from .stream import SeriesStore
@@ -197,10 +198,9 @@ class AlertRule:
         series = store.get(self.series)
         if series is None:
             return None
-        window = series.window(self.window)
-        if window.count < self.min_count:
+        count, value = series.window_reduce(self.aggregate, self.window)
+        if count < self.min_count:
             return None
-        value = window.aggregate(self.aggregate)
         if not _OPS[self.op](value, self.threshold):
             return None
         detail = self.description or (
@@ -230,22 +230,42 @@ class RulesEngine:
     def __init__(self, rules: list[AlertRule] | None = None):
         self.rules = list(rules) if rules is not None else default_rules()
         self._pending: list[AlertRule] = list(self.rules)
+        # Guards the armed-rule list so concurrent evaluations (live
+        # ingestion racing a metrics-snapshot ingest) never double-fire
+        # a one-shot rule.
+        self._lock = threading.Lock()
+        # Lifetime sample count of each rule's series at its last
+        # evaluation, keyed by rule name.  A rule's window aggregate can
+        # only change when its series gains a sample, so re-evaluating on
+        # unrelated events is pure waste — and this engine runs on *every*
+        # ingested span.  Skipping is semantics-preserving: a threshold
+        # can only be crossed at an append, which is exactly when the
+        # count moves, so the firing step is unchanged (live and replay
+        # both take this path, keeping them identical).
+        self._evaluated_at: dict[str, int] = {}
 
     def evaluate(self, store: SeriesStore, step: int) -> list[Alert]:
         """Newly fired alerts at *step* (armed rules only)."""
-        if not self._pending:
-            return []
-        fired: list[Alert] = []
-        still_armed: list[AlertRule] = []
-        for rule in self._pending:
-            alert = rule.evaluate(store, step)
-            if alert is None:
-                still_armed.append(rule)
-            else:
-                fired.append(alert)
-        if fired:
-            self._pending = still_armed
-        return fired
+        with self._lock:
+            if not self._pending:
+                return []
+            fired: list[Alert] = []
+            still_armed: list[AlertRule] = []
+            for rule in self._pending:
+                series = store.get(rule.series)
+                count = series.count if series is not None else 0
+                if self._evaluated_at.get(rule.name) == count:
+                    still_armed.append(rule)
+                    continue
+                self._evaluated_at[rule.name] = count
+                alert = rule.evaluate(store, step)
+                if alert is None:
+                    still_armed.append(rule)
+                else:
+                    fired.append(alert)
+            if fired:
+                self._pending = still_armed
+            return fired
 
 
 def default_rules() -> list[AlertRule]:

@@ -1,0 +1,63 @@
+"""Resident observatory service: HTTP/SSE surface, sessions, incidents, load.
+
+The service layer promotes the replay-oriented observatory
+(:mod:`repro.telemetry.observatory`) into something operable while a
+statistical database is live under concurrent sessions:
+
+* :mod:`~repro.telemetry.observatory.service.server` — the stdlib HTTP
+  server (OpenMetrics scrape, SSE event stream, session timelines,
+  incident export) and the end-to-end serve smoke.
+* :mod:`~repro.telemetry.observatory.service.sessions` — per-session
+  timelines reconstructed from span ``session`` attributes.
+* :mod:`~repro.telemetry.observatory.service.incidents` — one-call
+  incident bundles with embedded replay proofs.
+* :mod:`~repro.telemetry.observatory.service.loadgen` — the
+  deterministic threaded load generator that drives it all.
+
+Everything here is standard library + numpy; there is no web framework.
+"""
+
+from .incidents import (
+    INCIDENT_BUNDLE_SCHEMA,
+    build_incident_bundle,
+    narrate_alert,
+    verify_incident_bundle,
+)
+from .loadgen import LOAD_PROFILES, LoadGenerator
+from .server import (
+    SSE_EVENT_TYPES,
+    SSE_SCHEMA_VERSION,
+    WATCHED_SERIES,
+    EventBus,
+    ObservatoryService,
+    ServeSmokeError,
+    create_server,
+    run_serve_smoke,
+)
+from .sessions import (
+    ANONYMOUS_SESSION,
+    SESSION_EVENT_FIELDS,
+    SESSION_EVENT_KINDS,
+    SessionTimelines,
+)
+
+__all__ = [
+    "ANONYMOUS_SESSION",
+    "INCIDENT_BUNDLE_SCHEMA",
+    "LOAD_PROFILES",
+    "SESSION_EVENT_FIELDS",
+    "SESSION_EVENT_KINDS",
+    "SSE_EVENT_TYPES",
+    "SSE_SCHEMA_VERSION",
+    "WATCHED_SERIES",
+    "EventBus",
+    "LoadGenerator",
+    "ObservatoryService",
+    "ServeSmokeError",
+    "SessionTimelines",
+    "build_incident_bundle",
+    "create_server",
+    "narrate_alert",
+    "run_serve_smoke",
+    "verify_incident_bundle",
+]

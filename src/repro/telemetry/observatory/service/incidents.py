@@ -1,0 +1,135 @@
+"""Incident bundles: one-call export of trace + narration + replay proof.
+
+An incident bundle is the observatory service's forensic artifact: a
+single JSON document holding the retained trace capture, the alert
+narration, the per-session activity summary, the posture at export time
+— and an embedded *replay proof*: the bundle's own trace is replayed
+through a fresh observatory and the re-derived alert set is compared to
+the alert spans the bundle carries.  A bundle whose proof verifies is
+self-authenticating: any reviewer can re-run
+:func:`verify_incident_bundle` offline and reproduce exactly the alerts
+the live service fired, which is the paper-framework requirement that a
+claimed privacy incident be *demonstrable from the record*, not merely
+asserted.
+
+Only span-sourced alerts participate (metric-sourced alerts cannot be
+re-derived from a trace, by design), and a bundle exported after the
+tracer's bounded buffer dropped spans is honestly marked unverifiable
+rather than silently passing.
+"""
+
+from __future__ import annotations
+
+from ..observatory import replay_trace
+from ..rules import ALERT_SPAN_NAME, Alert
+
+__all__ = [
+    "INCIDENT_BUNDLE_SCHEMA",
+    "build_incident_bundle",
+    "narrate_alert",
+    "verify_incident_bundle",
+]
+
+#: Bundle schema version; bump on structural changes.
+INCIDENT_BUNDLE_SCHEMA = 1
+
+
+def narrate_alert(attrs: dict) -> str:
+    """One human-readable line for an alert span's attributes."""
+    return (
+        f"[{attrs.get('severity', '?'):<8s}] step {attrs.get('step', 0):>5d} "
+        f"{attrs.get('alert', '?')} ({attrs.get('dimension', '?')}): "
+        f"{attrs.get('detail', '')}"
+    )
+
+
+def build_incident_bundle(
+    tracer,
+    observatory,
+    sessions=None,
+    rules_factory=None,
+    detectors_factory=None,
+    note: str = "",
+) -> dict:
+    """Export the current incident state as one self-verifying document.
+
+    The trace is the tracer's retained record buffer (a bounded ring —
+    ``spans_dropped`` reports what fell out), the alerts are the
+    ``observatory.alert`` spans inside it, and ``replay`` is the embedded
+    proof computed by :func:`verify_incident_bundle` with the same rule/
+    detector factories the live observatory was built from.
+    """
+    trace = [dict(record) for record in tracer.finished]
+    alert_attrs = [
+        dict(record["attrs"]) for record in trace
+        if record.get("type") == "span" and record["name"] == ALERT_SPAN_NAME
+    ]
+    bundle = {
+        "type": "incident_bundle",
+        "schema": INCIDENT_BUNDLE_SCHEMA,
+        "note": note,
+        "step": observatory.step,
+        "posture": observatory.posture(),
+        "spans": len(trace),
+        "spans_dropped": tracer.spans_dropped,
+        "trace": trace,
+        "alerts": alert_attrs,
+        "narration": [narrate_alert(attrs) for attrs in alert_attrs],
+        "sessions": sessions.summary() if sessions is not None else [],
+    }
+    bundle["replay"] = verify_incident_bundle(
+        bundle, rules_factory=rules_factory,
+        detectors_factory=detectors_factory,
+    )
+    return bundle
+
+
+def verify_incident_bundle(
+    bundle: dict, rules_factory=None, detectors_factory=None
+) -> dict:
+    """Replay the bundle's trace; compare re-derived alerts to recorded ones.
+
+    Returns the proof record: ``verified`` is True exactly when a fresh
+    observatory (built from the given factories, or the stock rules and
+    detectors) replaying ``bundle["trace"]`` derives — in order — the
+    same span-sourced alerts the bundle's alert spans record.  A bundle
+    exported after buffer overflow (``spans_dropped > 0``) cannot verify:
+    the dropped prefix may hold the evidence, so the proof says so
+    instead of comparing a partial record.
+    """
+    rules = rules_factory() if rules_factory is not None else None
+    detectors = detectors_factory() if detectors_factory is not None else None
+    recorded = [
+        Alert.from_span_attrs(attrs)
+        for attrs in bundle.get("alerts", [])
+        if attrs.get("source", "span") == "span"
+    ]
+    if bundle.get("spans_dropped", 0):
+        return {
+            "verified": False,
+            "alerts_recorded": len(recorded),
+            "alerts_replayed": 0,
+            "detail": (
+                f"{bundle['spans_dropped']} span(s) fell out of the trace "
+                f"buffer before export; replay evidence is incomplete"
+            ),
+        }
+    replayed = replay_trace(
+        bundle.get("trace", []), rules=rules, detectors=detectors
+    ).span_alerts()
+    verified = replayed == recorded
+    if verified:
+        detail = (
+            f"replay re-derived all {len(recorded)} span-sourced alert(s)"
+        )
+    else:
+        detail = (
+            f"replay drift: recorded {len(recorded)} alert(s), "
+            f"re-derived {len(replayed)}"
+        )
+    return {
+        "verified": verified,
+        "alerts_recorded": len(recorded),
+        "alerts_replayed": len(replayed),
+        "detail": detail,
+    }

@@ -1,0 +1,279 @@
+"""Deterministic threaded load generator for the observatory service.
+
+Drives one shared :class:`~repro.qdb.engine.StatisticalDatabase` (and a
+PIR front-end) from concurrent threads the way the ROADMAP's serving
+runtime will: a zipfian mix of user sessions issuing statistical
+queries, PIR batch retrievals, and — when armed — a bursty tracker
+cohort running the Sect. 3 Schlörer attack under its own session label.
+This is what forces the telemetry substrate to be thread-safe, and what
+the ``make observe-serve-smoke`` gate drives the live HTTP surface with.
+
+Determinism model: the *operation script* (which user label issues which
+operation, in which global order) is precomputed from the seed before
+any thread starts, then dealt round-robin across threads.  Thread
+interleaving varies between runs, but three properties are invariant:
+
+* the multiset of operations each session executes,
+* the tracker cohort's probe pairs are *adjacent* in the span stream —
+  each attack runs under one continuous hold of the database lock, so
+  the tracker-probe detector's containment window always sees the
+  padding/tracker COUNT pair back-to-back, and the cohort alert fires
+  on every run regardless of scheduling, and
+* whatever alert set a given run produces, its capture replays to that
+  exact set (the incident bundle's proof) — live/replay equality is
+  interleaving-independent even where the interleaving itself is not.
+
+The database lock also documents a real constraint: the engine's audit
+history is deliberately a single serialized decision log (policy review
+order *is* the privacy semantics), so the serving layer serializes
+decisions per database while PIR retrievals run genuinely concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["LOAD_PROFILES", "LoadGenerator"]
+
+#: Supported traffic profiles.
+LOAD_PROFILES = ("mixed", "audit-heavy", "pir-heavy")
+
+#: Fraction of operations that are qdb queries (the rest are PIR), and
+#: whether PIR indices concentrate on a hot block, per profile.
+_PROFILE_SHAPE = {
+    "mixed": {"qdb_share": 0.65, "hot_pir": False},
+    "audit-heavy": {"qdb_share": 0.9, "hot_pir": False},
+    "pir-heavy": {"qdb_share": 0.3, "hot_pir": True},
+}
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized zipfian rank weights: ``w_r ∝ 1/(r+1)^s``."""
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = 1.0 / ranks**s
+    return weights / weights.sum()
+
+
+class LoadGenerator:
+    """Scripted concurrent load against one shared statistical database.
+
+    Parameters
+    ----------
+    records, seed:
+        Population shape; the defaults match the telemetry smoke
+        scenario, whose population is known to contain single-out
+        tracker targets.
+    threads:
+        Worker threads the script is dealt across.
+    users:
+        Distinct user session labels in the zipfian mix.
+    ops:
+        Total scripted operations (excluding the tracker cohort).
+    profile:
+        One of :data:`LOAD_PROFILES`.
+    tracker_cohort:
+        When True, thread 0 runs the Schlörer tracker against
+        ``cohort_targets`` single-out records halfway through its share
+        of the script, under the ``"cohort-tracker"`` session label.
+    """
+
+    def __init__(
+        self,
+        records: int = 150,
+        seed: int = 3,
+        threads: int = 4,
+        users: int = 8,
+        ops: int = 96,
+        profile: str = "mixed",
+        tracker_cohort: bool = True,
+        cohort_targets: int = 2,
+        zipf_s: float = 1.2,
+        pir_blocks: int = 16,
+    ):
+        if profile not in LOAD_PROFILES:
+            raise ValueError(
+                f"unknown profile {profile!r}; expected one of {LOAD_PROFILES}"
+            )
+        if threads < 1 or users < 1 or ops < 1:
+            raise ValueError("threads, users and ops must all be >= 1")
+        self.records = records
+        self.seed = seed
+        self.threads = threads
+        self.users = users
+        self.ops = ops
+        self.profile = profile
+        self.tracker_cohort = tracker_cohort
+        self.cohort_targets = cohort_targets
+        self.zipf_s = zipf_s
+        self.pir_blocks = pir_blocks
+        self.cohort_label = "cohort-tracker"
+        self._db_lock = threading.Lock()
+        self._built = False
+
+    # -- construction ------------------------------------------------------
+
+    def build(self) -> "LoadGenerator":
+        """Materialize the population, engines, targets, and op script."""
+        if self._built:
+            return self
+        from ....data import patients
+        from ....pir.itpir import TwoServerXorPIR
+        from ....qdb import (
+            QuerySetSizeControl,
+            StatisticalDatabase,
+            SumAuditPolicy,
+        )
+        from ....sdc import equivalence_classes
+
+        self.pop = patients(self.records, seed=self.seed)
+        self.db = StatisticalDatabase(
+            self.pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+        )
+        self.pir = TwoServerXorPIR(
+            [int(v) for v in self.pop["blood_pressure"][: self.pir_blocks]]
+        )
+        # Single-out records reachable by the height/weight tracker —
+        # the same recipe the telemetry smoke scenario uses.
+        self.targets = [
+            cls.indices[0]
+            for cls in equivalence_classes(self.pop, ["height", "weight"])
+            if cls.size == 1
+            and (self.pop["height"]
+                 == self.pop["height"][cls.indices[0]]).sum() >= 6
+        ][: self.cohort_targets]
+        if self.tracker_cohort and not self.targets:
+            raise ValueError(
+                f"population (records={self.records}, seed={self.seed}) "
+                f"contains no single-out tracker targets"
+            )
+        self._script = self._build_script()
+        self._built = True
+        return self
+
+    def _query_pool(self) -> list[str]:
+        pool: list[str] = []
+        for column in ("height", "weight", "age"):
+            for q in (0.25, 0.5, 0.75):
+                value = float(np.quantile(self.pop[column], q))
+                pool.append(f"SELECT COUNT(*) WHERE {column} > {value:g}")
+                pool.append(
+                    f"SELECT AVG(blood_pressure) WHERE {column} > {value:g}"
+                )
+                pool.append(
+                    f"SELECT SUM(blood_pressure) WHERE {column} <= {value:g}"
+                )
+        return pool
+
+    def _build_script(self) -> list[tuple[str, str, object]]:
+        """The precomputed (label, kind, payload) operation list."""
+        shape = _PROFILE_SHAPE[self.profile]
+        rng = np.random.default_rng(self.seed)
+        labels = [f"user-{i}" for i in range(self.users)]
+        weights = zipf_weights(self.users, self.zipf_s)
+        pool = self._query_pool()
+        if shape["hot_pir"]:
+            # Concentrate retrieval mass: the pir-heavy profile exists
+            # to trip the access-skew detector on purpose.
+            block_weights = zipf_weights(self.pir.n, 2.0)
+        else:
+            block_weights = np.full(self.pir.n, 1.0 / self.pir.n)
+        script: list[tuple[str, str, object]] = []
+        for op_index in range(self.ops):
+            label = labels[int(rng.choice(self.users, p=weights))]
+            if rng.random() < shape["qdb_share"]:
+                query = pool[int(rng.integers(len(pool)))]
+                script.append((label, "qdb", query))
+            else:
+                indices = tuple(
+                    int(i) for i in rng.choice(
+                        self.pir.n, size=4, p=block_weights
+                    )
+                )
+                op_seed = int(self.seed * 10_000 + op_index)
+                script.append((label, "pir", (indices, op_seed)))
+        return script
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> dict:
+        """Execute the script across the worker threads; returns a report."""
+        self.build()
+        results = [
+            {"qdb": 0, "pir": 0, "refusals": 0, "errors": []}
+            for _ in range(self.threads)
+        ]
+        cohort_report: dict = {"attacks": 0, "refusals": 0}
+        workers = [
+            threading.Thread(
+                target=self._worker,
+                args=(tid, self._script[tid::self.threads], results[tid],
+                      cohort_report),
+                name=f"loadgen-{tid}",
+                daemon=True,
+            )
+            for tid in range(self.threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        errors = [err for result in results for err in result["errors"]]
+        if errors:
+            raise RuntimeError(f"load generator worker failed: {errors[0]}")
+        return {
+            "profile": self.profile,
+            "ops": len(self._script),
+            "threads": self.threads,
+            "qdb_ops": sum(r["qdb"] for r in results),
+            "pir_ops": sum(r["pir"] for r in results),
+            "refusals": sum(r["refusals"] for r in results),
+            "cohort": dict(cohort_report),
+            "sessions": sorted(
+                {label for label, _, _ in self._script}
+                | ({self.cohort_label} if self.tracker_cohort else set())
+            ),
+        }
+
+    def _worker(
+        self, tid: int, script: list, result: dict, cohort_report: dict
+    ) -> None:
+        cohort_at = len(script) // 2 if self.tracker_cohort and tid == 0 else -1
+        try:
+            for op_index, (label, kind, payload) in enumerate(script):
+                if op_index == cohort_at:
+                    self._run_cohort(cohort_report)
+                if kind == "qdb":
+                    with self._db_lock, self.db.session(label):
+                        answer = self.db.ask(payload)
+                    result["qdb"] += 1
+                    if answer.refused:
+                        result["refusals"] += 1
+                else:
+                    indices, op_seed = payload
+                    self.pir.retrieve_batch(list(indices), rng=op_seed)
+                    result["pir"] += 1
+            if cohort_at >= len(script):
+                self._run_cohort(cohort_report)
+        except Exception as exc:  # surfaced by run(); never swallowed
+            result["errors"].append(f"{type(exc).__name__}: {exc}")
+
+    def _run_cohort(self, cohort_report: dict) -> None:
+        """The bursty tracker cohort: each attack is one atomic db hold.
+
+        Holding the database lock across a whole attack keeps its COUNT
+        probe pair adjacent in the span stream, so the tracker-probe
+        detector's windowed containment match is deterministic under any
+        thread interleaving.
+        """
+        from ....qdb import tracker_attack
+
+        for target in self.targets:
+            with self._db_lock, self.db.session(self.cohort_label):
+                outcome = tracker_attack(
+                    self.db, self.pop, target,
+                    ["height", "weight"], "blood_pressure",
+                )
+            cohort_report["attacks"] += 1
+            cohort_report["refusals"] += outcome.refusals

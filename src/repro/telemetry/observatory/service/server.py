@@ -1,0 +1,605 @@
+"""The resident observatory service: live HTTP surface over the tracer feed.
+
+This module promotes the replay-oriented observatory into a service a
+human (or the smoke gate) can point a browser at while a statistical
+database is under concurrent load:
+
+``/``
+    JSON status: step, posture, alert count, session count, endpoints.
+``/metrics``
+    OpenMetrics scrape of the process-wide registry snapshot, served
+    with the spec content type (single exposition, one ``# EOF``).
+``/events``
+    Server-sent events: one ``hello`` frame per connection, then
+    ``point`` frames (windowed aggregates of :data:`WATCHED_SERIES` +
+    posture) every ``emit_every`` ingested spans, ``alert`` frames the
+    instant an alert span is published, and a ``bye`` frame at service
+    close.  The frame schema is frozen (:data:`SSE_SCHEMA_VERSION`).
+``/sessions`` and ``/sessions/<label>``
+    Per-session timelines reconstructed from span session attributes.
+``/incident``
+    One-call incident bundle export with its embedded replay proof.
+
+Thread model: the service's tracer subscriber (``_feed``) runs inside
+the tracer's emit lock, serialized with every other record consumer, so
+it sees the same total record order the observatory and any capture
+sink see.  It must therefore stay fast and non-blocking: it folds the
+record into the session timelines and appends to the event bus's polled
+ring — no subscriber wakeups, no condition notifies, nothing that hands
+the GIL to a consumer thread mid-query.  SSE handler threads drain the
+ring on their own clock; a slow client loses overwritten events
+(counted, never blocking the measured system).  The subscriber is
+registered *before* the observatory's, so the bus always carries a
+point's trigger context before the alert derived from it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from itertools import islice
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote, urlsplit
+
+from ..detectors import default_detectors
+from ..exporters import (
+    OPENMETRICS_CONTENT_TYPE,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from ..observatory import Observatory
+from ..rules import ALERT_SPAN_NAME, Alert, default_rules
+from .incidents import build_incident_bundle
+from .loadgen import LoadGenerator
+from .sessions import SessionTimelines
+
+__all__ = [
+    "SSE_EVENT_TYPES",
+    "SSE_SCHEMA_VERSION",
+    "WATCHED_SERIES",
+    "EventBus",
+    "ObservatoryService",
+    "ServeSmokeError",
+    "create_server",
+    "run_serve_smoke",
+]
+
+#: Frozen SSE frame schema version (bump on structural changes).
+SSE_SCHEMA_VERSION = 1
+
+#: Event types a client may receive, in lifecycle order.
+SSE_EVENT_TYPES = ("hello", "point", "alert", "bye")
+
+#: Series whose windowed aggregates ride in every ``point`` frame —
+#: one per paper dimension the detectors watch (respondent: refusals and
+#: query-set size; owner: degradation; user: PIR batch shape).
+WATCHED_SERIES = (
+    "qdb.refused",
+    "qdb.query_set_size",
+    "faults.degrade",
+    "pir.batch_queries",
+)
+
+
+#: How often an SSE handler thread polls the event ring when idle.
+#: Bounds event latency; small enough that a dashboard feels live,
+#: large enough that an idle connection costs ~20 wakeups/second.
+SSE_POLL_SECONDS = 0.05
+
+#: Idle time before a ``: keepalive`` comment is written so proxies and
+#: clients can tell a quiet stream from a dead one.
+SSE_KEEPALIVE_SECONDS = 1.0
+
+
+class ServeSmokeError(RuntimeError):
+    """The end-to-end serve smoke found a discrepancy."""
+
+
+class EventBus:
+    """Bounded broadcast ring of service events for SSE subscribers.
+
+    ``publish`` is called on the *monitored engine's* thread (inside the
+    tracer's emit lock), so it must cost that thread as close to nothing
+    as possible.  The bus is therefore polled, not pushed: publishing
+    appends to a bounded ring under a short lock — no per-subscriber
+    queues, no condition notifies, no wakeup cascade handing the GIL to
+    consumer threads in the middle of a measured query — and each SSE
+    handler thread drains new events with :meth:`since` on its own
+    clock.  Sequence numbers are contiguous, so delivery is gapless and
+    duplicate-free across the history-replay/live boundary: a client
+    that connects after the interesting part still sees the retained
+    ring.  A consumer that falls more than ``history`` events behind
+    loses the overwritten ones; the loss is returned to that consumer
+    and counted in ``dropped`` (never blocking the measured system).
+    """
+
+    def __init__(self, history: int = 256):
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=history)
+        self._seq = 0
+        self.dropped = 0
+
+    def publish(self, event_type: str, data: dict) -> dict:
+        """Append one event to the ring; returns the stamped event."""
+        with self._lock:
+            self._seq += 1
+            event = {"event": event_type, "seq": self._seq, "data": data}
+            self._events.append(event)
+        return event
+
+    def since(self, last_seq: int) -> tuple[list[dict], int]:
+        """Events newer than *last_seq*, plus the count lost to overwrite.
+
+        Returns ``(events, lost)``: every retained event with ``seq >
+        last_seq`` in order, and how many the ring overwrote before this
+        consumer caught up (0 for a consumer polling faster than the
+        ring fills).  Lost events are added to :attr:`dropped`.
+        """
+        with self._lock:
+            behind = self._seq - last_seq
+            if behind <= 0:
+                return [], 0
+            take = min(len(self._events), behind)
+            lost = behind - take
+            if lost:
+                self.dropped += lost
+            start = len(self._events) - take
+            return list(islice(self._events, start, None)), lost
+
+    @property
+    def seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+
+class ObservatoryService:
+    """The observatory, session timelines, and event bus behind one facade.
+
+    The service owns its :class:`Observatory` (built from the given rule
+    and detector factories so the incident bundle can hand the *same*
+    factories to its replay proof), a :class:`SessionTimelines`, and an
+    :class:`EventBus`.  ``attach(tracer)`` wires both the service feed
+    and the observatory into the live span stream.
+    """
+
+    def __init__(
+        self,
+        rules_factory=None,
+        detectors_factory=None,
+        # Each point frame costs the monitored engine's thread the
+        # window aggregation in _point() (consumers poll the ring on
+        # their own clock), so the default cadence is a compromise
+        # between dashboard smoothness and the serve-mode overhead gate.
+        emit_every: int = 16,
+        window: int = 16,
+        history: int = 512,
+    ):
+        self._rules_factory = rules_factory or default_rules
+        self._detectors_factory = detectors_factory or default_detectors
+        self.observatory = Observatory(
+            rules=self._rules_factory(),
+            detectors=self._detectors_factory(),
+        )
+        self.sessions = SessionTimelines()
+        self.bus = EventBus(history=history)
+        self.emit_every = emit_every
+        self.window = window
+        self._seen = 0
+        self._tracer = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, tracer) -> "ObservatoryService":
+        """Subscribe to *tracer*: the feed first, then the observatory.
+
+        Registration order matters: the service feed must see each span
+        record *before* the observatory's processing can publish the
+        alert span derived from it, so any alert frame on the bus always
+        follows the point context that triggered it.
+        """
+        if self._tracer is not None:
+            raise RuntimeError("service is already attached to a tracer")
+        self._tracer = tracer
+        tracer.add_subscriber(self._feed)
+        self.observatory.attach(tracer)
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the tracer without ending the event stream.
+
+        SSE clients stay connected (the bus keeps serving history and
+        keepalives); ``attach`` may be called again with a new tracer.
+        The benchmark harness uses this to swap per-rep telemetry
+        sessions through one persistent service.
+        """
+        tracer, self._tracer = self._tracer, None
+        if tracer is not None:
+            self.observatory.detach()
+            tracer.remove_subscriber(self._feed)
+
+    def close(self) -> None:
+        """Publish ``bye`` and detach from the tracer (idempotent)."""
+        self.bus.publish(
+            "bye", {"step": self.observatory.step, "seen": self._seen}
+        )
+        self.detach()
+
+    # -- the live feed (runs under the tracer's emit lock) -----------------
+
+    def _feed(self, record: dict) -> None:
+        if record.get("type") != "span":
+            return
+        name = record["name"]
+        if name == ALERT_SPAN_NAME:
+            self.bus.publish("alert", dict(record["attrs"]))
+            return
+        if name.startswith("observatory."):
+            return
+        self._seen += 1
+        self.sessions.observe(record, self._seen)
+        if self._seen % self.emit_every == 0:
+            self.bus.publish("point", self._point())
+
+    def _point(self) -> dict:
+        store = self.observatory.store
+        series = {}
+        for name in WATCHED_SERIES:
+            aggregate = store.series(name).window(self.window)
+            series[name] = {
+                "count": aggregate.count,
+                "total": aggregate.total,
+                "mean": aggregate.mean,
+                "last": aggregate.last,
+            }
+        return {
+            "step": self.observatory.step,
+            "seen": self._seen,
+            "window": self.window,
+            "series": series,
+            "posture": self.observatory.posture(),
+        }
+
+    # -- endpoint payloads -------------------------------------------------
+
+    def hello(self) -> dict:
+        """The per-connection SSE handshake frame payload."""
+        return {
+            "schema": SSE_SCHEMA_VERSION,
+            "events": list(SSE_EVENT_TYPES),
+            "series": list(WATCHED_SERIES),
+            "emit_every": self.emit_every,
+            "step": self.observatory.step,
+            "posture": self.observatory.posture(),
+        }
+
+    def status(self) -> dict:
+        return {
+            "service": "repro-observatory",
+            "schema": SSE_SCHEMA_VERSION,
+            "attached": self._tracer is not None,
+            "step": self.observatory.step,
+            "seen": self._seen,
+            "alerts": len(self.observatory.alerts),
+            "sessions": len(self.sessions.labels()),
+            "events_dropped": self.bus.dropped,
+            "posture": self.observatory.posture(),
+            "endpoints": ["/", "/metrics", "/events", "/sessions",
+                          "/sessions/<label>", "/incident"],
+        }
+
+    def openmetrics(self) -> str:
+        from ... import instrument
+
+        return render_openmetrics(instrument.snapshot())
+
+    def incident_bundle(self, note: str = "") -> dict:
+        if self._tracer is None:
+            raise RuntimeError("service is not attached to a tracer")
+        return build_incident_bundle(
+            self._tracer,
+            self.observatory,
+            self.sessions,
+            rules_factory=self._rules_factory,
+            detectors_factory=self._detectors_factory,
+            note=note,
+        )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Stdlib request handler over the attached :class:`ObservatoryService`."""
+
+    server_version = "repro-observatory"
+
+    @property
+    def service(self) -> ObservatoryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlsplit(self.path).path
+        try:
+            if path == "/":
+                self._json(self.service.status())
+            elif path == "/metrics":
+                body = self.service.openmetrics().encode("utf-8")
+                self._respond(200, OPENMETRICS_CONTENT_TYPE, body)
+            elif path == "/events":
+                self._sse()
+            elif path == "/sessions":
+                self._json({"sessions": self.service.sessions.summary()})
+            elif path.startswith("/sessions/"):
+                label = unquote(path[len("/sessions/"):])
+                timeline = self.service.sessions.timeline(label)
+                if timeline is None:
+                    self._json({"error": f"unknown session {label!r}"}, 404)
+                else:
+                    self._json(timeline)
+            elif path == "/incident":
+                self._json(self.service.incident_bundle())
+            else:
+                self._json({"error": f"no such endpoint {path!r}"}, 404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    # -- helpers -----------------------------------------------------------
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self._respond(status, "application/json; charset=utf-8", body)
+
+    def _sse(self) -> None:
+        bus = self.service.bus
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self._sse_frame("hello", 0, self.service.hello())
+        last_seq = 0
+        idle = 0.0
+        while True:
+            events, lost = bus.since(last_seq)
+            if not events:
+                time.sleep(SSE_POLL_SECONDS)
+                idle += SSE_POLL_SECONDS
+                if idle >= SSE_KEEPALIVE_SECONDS:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    idle = 0.0
+                continue
+            idle = 0.0
+            if lost:
+                self.wfile.write(
+                    f": dropped {lost} events (slow consumer)\n\n".encode()
+                )
+            for event in events:
+                last_seq = event["seq"]
+                self._sse_frame(event["event"], event["seq"], event["data"])
+                if event["event"] == "bye":
+                    return
+
+    def _sse_frame(self, event: str, seq: int, data: dict) -> None:
+        frame = (
+            f"event: {event}\nid: {seq}\n"
+            f"data: {json.dumps(data, sort_keys=True)}\n\n"
+        )
+        self.wfile.write(frame.encode("utf-8"))
+        self.wfile.flush()
+
+
+def create_server(
+    service: ObservatoryService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A threading HTTP server bound to *host:port* (0 = ephemeral) serving
+    *service*; call ``serve_forever`` on it (usually from a thread)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+# -- the end-to-end serve smoke -------------------------------------------
+
+
+class _SseCollector(threading.Thread):
+    """Minimal SSE client: collects frames from ``/events`` until ``bye``."""
+
+    def __init__(self, url: str):
+        super().__init__(name="sse-collector", daemon=True)
+        self.url = url
+        self.frames: list[dict] = []
+        self.hello_seen = threading.Event()
+        self.error: str | None = None
+
+    def run(self) -> None:
+        from urllib.request import urlopen
+
+        event_type: str | None = None
+        data: str | None = None
+        try:
+            with urlopen(self.url) as response:
+                for raw in response:
+                    line = raw.decode("utf-8").rstrip("\n")
+                    if line.startswith(":"):
+                        continue
+                    if line.startswith("event: "):
+                        event_type = line[len("event: "):]
+                    elif line.startswith("data: "):
+                        data = line[len("data: "):]
+                    elif not line:
+                        if event_type is not None and data is not None:
+                            frame = {
+                                "event": event_type,
+                                "data": json.loads(data),
+                            }
+                            self.frames.append(frame)
+                            if event_type == "hello":
+                                self.hello_seen.set()
+                            if event_type == "bye":
+                                return
+                        event_type = data = None
+        except Exception as exc:
+            self.error = f"{type(exc).__name__}: {exc}"
+
+    def of_type(self, event_type: str) -> list[dict]:
+        return [f["data"] for f in self.frames if f["event"] == event_type]
+
+
+def _fetch_json(url: str) -> dict:
+    from urllib.request import urlopen
+
+    with urlopen(url) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_serve_smoke(
+    records: int = 150,
+    seed: int = 3,
+    threads: int = 4,
+    ops: int = 96,
+    profile: str = "mixed",
+    echo=print,
+) -> dict:
+    """Boot the service, drive it with the concurrent load generator, and
+    assert the full pipeline end to end over real HTTP.
+
+    The checks, in order: the SSE stream delivers the handshake and the
+    injected tracker cohort's critical ``tracker-probe`` alert; the SSE
+    alert stream is *exactly* the live observatory's span-alert list (no
+    alert lost or reordered crossing the bus); ``/metrics`` serves the
+    OpenMetrics content type and strictly parses back; ``/sessions``
+    shows the cohort's timeline with its refusals; and the ``/incident``
+    bundle's embedded replay proof verifies.  Raises
+    :class:`ServeSmokeError` on the first violated property.
+    """
+    from ... import instrument
+
+    service = ObservatoryService()
+    server = create_server(service)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="observatory-http", daemon=True
+    )
+    summary: dict = {}
+    with instrument.session() as tracer:
+        service.attach(tracer)
+        server_thread.start()
+        collector = _SseCollector(f"{base}/events")
+        try:
+            collector.start()
+            if not collector.hello_seen.wait(timeout=10.0):
+                raise ServeSmokeError(
+                    f"SSE handshake did not arrive (client error: "
+                    f"{collector.error})"
+                )
+            generator = LoadGenerator(
+                records=records, seed=seed, threads=threads, ops=ops,
+                profile=profile, tracker_cohort=True,
+            )
+            report = generator.run()
+            echo(
+                f"load: {report['ops']} ops over {report['threads']} threads "
+                f"({report['qdb_ops']} qdb / {report['pir_ops']} pir, "
+                f"{report['refusals']} refusals, "
+                f"cohort {report['cohort']['attacks']} attacks)"
+            )
+            metrics_text, metrics_type = _fetch_metrics(base)
+            sessions_payload = _fetch_json(f"{base}/sessions")
+            cohort_timeline = _fetch_json(
+                f"{base}/sessions/{generator.cohort_label}"
+            )
+            bundle = _fetch_json(f"{base}/incident")
+        finally:
+            service.close()
+            collector.join(timeout=10.0)
+            server.shutdown()
+            server.server_close()
+
+        if collector.error:
+            raise ServeSmokeError(f"SSE client failed: {collector.error}")
+        if collector.is_alive():
+            raise ServeSmokeError("SSE client never saw the bye frame")
+
+        sse_alerts = collector.of_type("alert")
+        live_alerts = [
+            alert for alert in service.observatory.alerts
+            if alert.source == "span"
+        ]
+        if [Alert.from_span_attrs(a) for a in sse_alerts] != live_alerts:
+            raise ServeSmokeError(
+                f"SSE alert stream diverged from the live observatory: "
+                f"{len(sse_alerts)} over SSE vs {len(live_alerts)} live"
+            )
+        tracker_hits = [
+            a for a in sse_alerts
+            if a["alert"] == "tracker-probe" and a["severity"] == "critical"
+        ]
+        if not tracker_hits:
+            raise ServeSmokeError(
+                f"injected tracker cohort produced no tracker-probe alert "
+                f"over SSE (alerts seen: {[a['alert'] for a in sse_alerts]})"
+            )
+        if metrics_type != OPENMETRICS_CONTENT_TYPE:
+            raise ServeSmokeError(
+                f"/metrics content type {metrics_type!r} != "
+                f"{OPENMETRICS_CONTENT_TYPE!r}"
+            )
+        parse_openmetrics(metrics_text)  # raises on non-compliant exposition
+        labels = [s["session"] for s in sessions_payload["sessions"]]
+        if generator.cohort_label not in labels:
+            raise ServeSmokeError(
+                f"cohort session missing from /sessions (saw {labels})"
+            )
+        if cohort_timeline["refusals"] < 1:
+            raise ServeSmokeError(
+                "cohort timeline shows no refusals; the tracker's padding "
+                "probes should have tripped the size control"
+            )
+        if not bundle["replay"]["verified"]:
+            raise ServeSmokeError(
+                f"incident bundle replay proof failed: "
+                f"{bundle['replay']['detail']}"
+            )
+        points = collector.of_type("point")
+        if not points:
+            raise ServeSmokeError("no point frames arrived over SSE")
+
+        summary = {
+            "ops": report["ops"],
+            "sse_frames": len(collector.frames),
+            "points": len(points),
+            "alerts": [a["alert"] for a in sse_alerts],
+            "tracker_alerts": len(tracker_hits),
+            "sessions": labels,
+            "bundle_spans": bundle["spans"],
+            "replay": bundle["replay"]["detail"],
+        }
+    echo(
+        f"serve smoke OK: {summary['sse_frames']} SSE frames "
+        f"({summary['points']} points, {len(summary['alerts'])} alerts, "
+        f"{summary['tracker_alerts']} tracker-probe), "
+        f"{len(summary['sessions'])} sessions, {summary['replay']}"
+    )
+    return summary
+
+
+def _fetch_metrics(base: str) -> tuple[str, str]:
+    from urllib.request import urlopen
+
+    with urlopen(f"{base}/metrics") as response:
+        return (
+            response.read().decode("utf-8"),
+            response.headers.get("Content-Type", ""),
+        )

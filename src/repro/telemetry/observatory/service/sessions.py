@@ -1,0 +1,186 @@
+"""Per-session timelines reconstructed live from span attributes.
+
+The paper's user dimension is about *who is asking*: the engine tags
+every ``qdb.query`` / ``qdb.ask_batch`` span with the calling thread's
+session label (:meth:`~repro.qdb.engine.StatisticalDatabase.session`),
+and :class:`SessionTimelines` folds those spans — as they arrive over
+the live tracer feed — into one bounded event timeline per session:
+queries asked, refusals (with the refusing policy and reason), degraded
+answers, and batch submissions.  The observatory service's
+``/sessions`` endpoints are thin JSON views over this structure, and the
+incident bundle embeds its summary so a post-hoc reviewer can see which
+session was probing when an alert fired.
+
+Timeline events carry the frozen field set :data:`SESSION_EVENT_FIELDS`;
+like the span and alert schemas, additions are allowed but removals and
+type changes are not.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = [
+    "ANONYMOUS_SESSION",
+    "SESSION_EVENT_FIELDS",
+    "SESSION_EVENT_KINDS",
+    "SessionTimelines",
+]
+
+#: Label grouping spans that carry no ``session`` attribute.
+ANONYMOUS_SESSION = "(anonymous)"
+
+#: Timeline event kinds, in escalation order.
+SESSION_EVENT_KINDS = ("query", "batch", "degraded", "refusal")
+
+#: Frozen field schema of one timeline event (allowed types per field).
+SESSION_EVENT_FIELDS: dict[str, tuple[type, ...]] = {
+    "kind": (str,),
+    "step": (int,),
+    "span_id": (int,),
+    "detail": (str,),
+}
+
+
+class _Timeline:
+    """One session's bounded event history plus lifetime counts."""
+
+    __slots__ = ("label", "events", "first_step", "last_step",
+                 "queries", "refusals", "degraded", "batches")
+
+    def __init__(self, label: str, capacity: int):
+        self.label = label
+        self.events: deque[dict] = deque(maxlen=capacity)
+        self.first_step = 0
+        self.last_step = 0
+        self.queries = 0
+        self.refusals = 0
+        self.degraded = 0
+        self.batches = 0
+
+    def record(self, event: dict) -> None:
+        step = event["step"]
+        if not self.first_step:
+            self.first_step = step
+        self.last_step = step
+        self.events.append(event)
+
+    def summary(self) -> dict:
+        return {
+            "session": self.label,
+            "queries": self.queries,
+            "refusals": self.refusals,
+            "degraded": self.degraded,
+            "batches": self.batches,
+            "first_step": self.first_step,
+            "last_step": self.last_step,
+        }
+
+
+class SessionTimelines:
+    """Fold span records into per-session query/refusal/degrade timelines.
+
+    ``observe`` is called from the tracer's subscriber dispatch (one
+    record at a time, already serialized); the internal lock exists for
+    the *readers* — HTTP threads rendering ``/sessions`` concurrently
+    with ingestion — and is never held while calling out.
+    """
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = capacity
+        self._sessions: dict[str, _Timeline] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, record: dict, step: int) -> None:
+        """Ingest one span record at the service's *step* counter."""
+        if record.get("type") != "span":
+            return
+        name = record["name"]
+        if name == "qdb.query":
+            self._observe_query(record, step)
+        elif name == "qdb.ask_batch":
+            self._observe_batch(record, step)
+
+    def _timeline(self, label: str) -> _Timeline:
+        timeline = self._sessions.get(label)
+        if timeline is None:
+            timeline = _Timeline(label, self.capacity)
+            self._sessions[label] = timeline
+        return timeline
+
+    def _observe_query(self, record: dict, step: int) -> None:
+        attrs = record["attrs"]
+        label = attrs.get("session") or ANONYMOUS_SESSION
+        if attrs.get("refused") is True:
+            kind = "refusal"
+            detail = "{policy}: {reason} [{query}]".format(
+                policy=attrs.get("policy", "?"),
+                reason=attrs.get("reason", "?"),
+                query=attrs.get("query", "?"),
+            )
+        elif attrs.get("degraded") is True:
+            kind = "degraded"
+            detail = attrs.get("query", "")
+        else:
+            kind = "query"
+            detail = attrs.get("query", "")
+        event = {
+            "kind": kind,
+            "step": step,
+            "span_id": record["span_id"],
+            "detail": detail,
+        }
+        with self._lock:
+            timeline = self._timeline(label)
+            timeline.queries += 1
+            if kind == "refusal":
+                timeline.refusals += 1
+            elif kind == "degraded":
+                timeline.degraded += 1
+            timeline.record(event)
+
+    def _observe_batch(self, record: dict, step: int) -> None:
+        attrs = record["attrs"]
+        label = attrs.get("session") or ANONYMOUS_SESSION
+        event = {
+            "kind": "batch",
+            "step": step,
+            "span_id": record["span_id"],
+            "detail": (
+                f"{attrs.get('n_queries', 0)} queries, "
+                f"{attrs.get('refused', 0)} refused"
+            ),
+        }
+        with self._lock:
+            timeline = self._timeline(label)
+            timeline.batches += 1
+            timeline.record(event)
+
+    # -- read-out ----------------------------------------------------------
+
+    def labels(self) -> list[str]:
+        """Sorted labels of every observed session."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    def summary(self) -> list[dict]:
+        """Per-session lifetime counts, sorted by label."""
+        with self._lock:
+            return [
+                self._sessions[label].summary()
+                for label in sorted(self._sessions)
+            ]
+
+    def timeline(self, label: str) -> dict | None:
+        """One session's summary plus its retained events (None if unknown)."""
+        with self._lock:
+            timeline = self._sessions.get(label)
+            if timeline is None:
+                return None
+            out = timeline.summary()
+            out["events"] = [dict(event) for event in timeline.events]
+            return out
+
+    def __repr__(self) -> str:
+        return f"SessionTimelines(sessions={len(self._sessions)})"

@@ -14,6 +14,13 @@ gate possible.
 * :class:`SeriesStore` — the named collection detectors and alert rules
   read from.
 
+Thread model: each series takes a small per-object lock around appends
+and window reads, so the observatory service's HTTP threads can sample
+window aggregates while the ingestion thread appends — a reader always
+sees a consistent ring (never a half-written slot), and lifetime
+``count``/``total`` stay exact under concurrent writers.  Window
+aggregates themselves are frozen value objects, safe to share freely.
+
 >>> s = Series("qdb.refused", capacity=4)
 >>> for step, value in enumerate([0, 1, 1, 0, 1], start=1):
 ...     s.append(step, value)
@@ -26,6 +33,7 @@ gate possible.
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -150,7 +158,7 @@ class Series:
     """
 
     __slots__ = ("name", "capacity", "_steps", "_values", "_size", "_next",
-                 "count", "total")
+                 "count", "total", "_lock")
 
     def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
@@ -163,26 +171,29 @@ class Series:
         self._next = 0
         self.count = 0      # lifetime samples (evicted ones included)
         self.total = 0.0    # lifetime value sum
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return self._size
 
     def append(self, step: int, value: float) -> None:
-        """Record one sample at *step*."""
-        self._steps[self._next] = step
-        self._values[self._next] = float(value)
-        self._next = (self._next + 1) % self.capacity
-        if self._size < self.capacity:
-            self._size += 1
-        self.count += 1
-        self.total += value
+        """Record one sample at *step*; exact under concurrent writers."""
+        with self._lock:
+            self._steps[self._next] = step
+            self._values[self._next] = float(value)
+            self._next = (self._next + 1) % self.capacity
+            if self._size < self.capacity:
+                self._size += 1
+            self.count += 1
+            self.total += value
 
     def _ordered(self) -> tuple[list[int], list[float]]:
-        if self._size < self.capacity:
-            return self._steps[: self._size], self._values[: self._size]
-        head = self._next
-        return (self._steps[head:] + self._steps[:head],
-                self._values[head:] + self._values[:head])
+        with self._lock:
+            if self._size < self.capacity:
+                return self._steps[: self._size], self._values[: self._size]
+            head = self._next
+            return (self._steps[head:] + self._steps[:head],
+                    self._values[head:] + self._values[:head])
 
     def samples(self) -> list[tuple[int, float]]:
         """Retained samples, oldest first."""
@@ -194,11 +205,73 @@ class Series:
         return self._ordered()[1]
 
     def window(self, n: int | None = None) -> WindowAggregate:
-        """Sliding window over the most recent *n* samples (all if None)."""
-        steps, values = self._ordered()
-        if n is not None and n < len(values):
-            steps, values = steps[-n:], values[-n:]
+        """Sliding window over the most recent *n* samples (all if None).
+
+        Copies only the *n* newest samples out of the ring — this runs on
+        every ingested event (rule evaluation, service point frames), so
+        it must not scale with capacity.
+        """
+        with self._lock:
+            size = self._size
+            take = size if n is None or n >= size else n
+            if take <= 0:
+                return WindowAggregate((), ())
+            if size < self.capacity:
+                start = size - take
+                steps = self._steps[start:size]
+                values = self._values[start:size]
+            else:
+                end = self._next
+                start = (end - take) % self.capacity
+                if start < end:
+                    steps = self._steps[start:end]
+                    values = self._values[start:end]
+                else:
+                    steps = self._steps[start:] + self._steps[:end]
+                    values = self._values[start:] + self._values[:end]
         return WindowAggregate(tuple(steps), tuple(values))
+
+    def window_reduce(
+        self, kind: str, n: int | None = None, q: float | None = None
+    ) -> tuple[int, float]:
+        """``(sample count, aggregate)`` over the last *n* samples.
+
+        The rule engine calls this on every ingested event, so the
+        common reductions (count/total/mean/last/max) run over a bare
+        value slice under the lock — no step copy, no tuple conversion,
+        no :class:`WindowAggregate` — with arithmetic identical to the
+        corresponding aggregate property.  Other kinds fall back to
+        :meth:`window`.
+        """
+        if kind not in ("count", "total", "mean", "last", "max"):
+            window = self.window(n)
+            return window.count, window.aggregate(kind, q)
+        with self._lock:
+            size = self._size
+            take = size if n is None or n >= size else n
+            if take <= 0:
+                return 0, 0.0
+            if kind == "count":
+                return take, float(take)
+            values = self._values
+            if size < self.capacity:
+                if kind == "last":
+                    return take, values[size - 1]
+                segment = values[size - take: size]
+            else:
+                end = self._next
+                if kind == "last":
+                    return take, values[(end - 1) % self.capacity]
+                start = (end - take) % self.capacity
+                if start < end:
+                    segment = values[start:end]
+                else:
+                    segment = values[start:] + values[:end]
+            if kind == "total":
+                return take, float(sum(segment))
+            if kind == "mean":
+                return take, float(sum(segment)) / take
+            return take, float(max(segment))
 
     def since(self, step: int) -> WindowAggregate:
         """Tumbling window: every retained sample with ``step >= step``."""
@@ -220,7 +293,7 @@ class HistogramSeries:
     the observations that arrived inside the window.
     """
 
-    __slots__ = ("name", "bounds", "_snaps", "_snaps_buckets")
+    __slots__ = ("name", "bounds", "_snaps", "_snaps_buckets", "_lock")
 
     def __init__(self, name: str, bounds: Sequence[float],
                  capacity: int = 64):
@@ -228,8 +301,9 @@ class HistogramSeries:
         self.bounds = tuple(float(b) for b in bounds)
         self._snaps = Series(name + ".__snaps", capacity)
         # The value slot of each Series sample indexes into a parallel
-        # list of bucket tuples; keep them in lockstep.
+        # list of bucket tuples; the lock keeps them in lockstep.
         self._snaps_buckets: list[tuple[int, ...]] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._snaps_buckets)
@@ -238,20 +312,22 @@ class HistogramSeries:
         """Record the histogram's cumulative bucket counts at *step*."""
         if len(bucket_counts) != len(self.bounds) + 1:
             raise ValueError("bucket_counts must match bounds (+overflow)")
-        if len(self._snaps_buckets) >= self._snaps.capacity:
-            self._snaps_buckets.pop(0)
-        self._snaps_buckets.append(tuple(int(c) for c in bucket_counts))
-        self._snaps.append(step, float(sum(bucket_counts)))
+        with self._lock:
+            if len(self._snaps_buckets) >= self._snaps.capacity:
+                self._snaps_buckets.pop(0)
+            self._snaps_buckets.append(tuple(int(c) for c in bucket_counts))
+            self._snaps.append(step, float(sum(bucket_counts)))
 
     def window_buckets(self, n: int | None = None) -> tuple[int, ...]:
         """Per-bucket observation counts inside the last-*n*-snapshot window."""
-        snaps = self._snaps_buckets
-        if not snaps:
-            return tuple([0] * (len(self.bounds) + 1))
-        if n is None or n >= len(snaps):
-            return snaps[-1]
-        first, last = snaps[-n - 1], snaps[-1]
-        return tuple(b - a for a, b in zip(first, last))
+        with self._lock:
+            snaps = self._snaps_buckets
+            if not snaps:
+                return tuple([0] * (len(self.bounds) + 1))
+            if n is None or n >= len(snaps):
+                return snaps[-1]
+            first, last = snaps[-n - 1], snaps[-1]
+            return tuple(b - a for a, b in zip(first, last))
 
     def quantile(self, q: float, window: int | None = None) -> float:
         """Windowed quantile upper bound via :func:`quantile_from_buckets`."""
@@ -265,13 +341,17 @@ class SeriesStore:
         self.capacity = capacity
         self._series: dict[str, Series] = {}
         self._histograms: dict[str, HistogramSeries] = {}
+        self._lock = threading.Lock()
 
     def series(self, name: str) -> Series:
         """Get or create the named scalar series."""
         series = self._series.get(name)
         if series is None:
-            series = Series(name, self.capacity)
-            self._series[name] = series
+            with self._lock:
+                series = self._series.get(name)
+                if series is None:
+                    series = Series(name, self.capacity)
+                    self._series[name] = series
         return series
 
     def histogram_series(
@@ -280,8 +360,11 @@ class SeriesStore:
         """Get or create the named histogram-snapshot series."""
         series = self._histograms.get(name)
         if series is None:
-            series = HistogramSeries(name, bounds)
-            self._histograms[name] = series
+            with self._lock:
+                series = self._histograms.get(name)
+                if series is None:
+                    series = HistogramSeries(name, bounds)
+                    self._histograms[name] = series
         return series
 
     def get(self, name: str) -> Series | None:

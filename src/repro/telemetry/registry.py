@@ -13,14 +13,25 @@ registry is attached to the single process registry, whose
   instrumented object was short-lived (benchmark kernels, per-target
   tracker databases).
 
-Everything here is single-threaded by design, like the rest of the
-library; increments are plain attribute adds with no locking.
+Thread model: counters and histograms take a per-metric lock on update,
+so concurrent increments from the serving/load-generation threads never
+lose updates (gauges stay lock-free — last-write-wins is their contract).
+Registry structure (metric creation, child adoption, snapshots) is
+guarded by a per-registry lock.  Fold-on-death is the delicate case: a
+``weakref.finalize`` callback can run on *any* thread at *any* allocation
+point, including while a metric or registry lock is held lower in the
+same stack — so :meth:`MetricsRegistry._fold` takes no locks at all; it
+parks the dead child's metrics on a lock-free deque that
+:meth:`~MetricsRegistry.snapshot` and :meth:`~MetricsRegistry.reset`
+absorb under the registry lock.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 import weakref
+from collections import deque
 
 __all__ = [
     "Counter",
@@ -37,16 +48,18 @@ DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
 class Counter:
     """A monotonically increasing count (hits, bytes, refusals)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int | float = 1) -> None:
-        """Add *n* (default 1) to the count."""
-        self.value += n
+        """Add *n* (default 1) to the count; exact under concurrency."""
+        with self._lock:
+            self.value += n
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
@@ -79,7 +92,7 @@ class Histogram:
     of the same name is exact.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total")
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "_lock")
     kind = "histogram"
 
     def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
@@ -90,12 +103,14 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
+        """Record one observation; exact under concurrency."""
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
 
     @property
     def mean(self) -> float:
@@ -118,10 +133,11 @@ class Histogram:
             raise ValueError(
                 f"cannot merge histogram {self.name!r}: bucket bounds differ"
             )
-        for i, c in enumerate(other.bucket_counts):
-            self.bucket_counts[i] += c
-        self.count += other.count
-        self.total += other.total
+        with self._lock:
+            for i, c in enumerate(other.bucket_counts):
+                self.bucket_counts[i] += c
+            self.count += other.count
+            self.total += other.total
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
@@ -147,21 +163,27 @@ class MetricsRegistry:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
         self._children: dict[int, weakref.ref] = {}
         self._finalizers: dict[int, weakref.finalize] = {}
+        self._lock = threading.RLock()
+        # Dead-child metric dicts parked by _fold; deque appends are
+        # atomic, so the finalizer never needs (and must never take) a
+        # lock.  Absorbed into _metrics by _absorb_folds.
+        self._pending_folds: deque = deque()
         if not standalone:
             process_registry()._adopt(self)
 
     # -- accessors ---------------------------------------------------------
 
     def _get_or_create(self, cls, name: str, *args):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, *args)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise ValueError(
-                f"metric {name!r} already registered as {metric.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         """Get or create the named counter."""
@@ -185,21 +207,52 @@ class MetricsRegistry:
     def _adopt(self, child: "MetricsRegistry") -> None:
         """Track *child* for aggregation; fold its totals when it dies."""
         key = id(child)
-        self._children[key] = weakref.ref(child)
-        # The finalize callback holds the child's metrics dict (not the
-        # registry itself), so the final totals survive until folded.
-        self._finalizers[key] = weakref.finalize(
-            child, self._fold, key, child._metrics
-        )
+        with self._lock:
+            self._children[key] = weakref.ref(child)
+            # The finalize callback holds the child's metrics dict (not
+            # the registry itself), so the final totals survive until
+            # folded.
+            self._finalizers[key] = weakref.finalize(
+                child, self._fold, key, child._metrics
+            )
 
     def _fold(self, key: int, metrics: dict) -> None:
-        """Merge a dead child's final metric values into this registry."""
-        self._children.pop(key, None)
-        self._finalizers.pop(key, None)
-        self._merge_into_self(metrics)
+        """Park a dead child's final metric values for later absorption.
+
+        Runs from ``weakref.finalize`` — i.e. potentially mid-allocation
+        on an arbitrary thread, possibly while this registry's or a
+        metric's lock is already held further down the same call stack.
+        Taking any lock here can deadlock, so this only performs an
+        atomic deque append; the merge happens in :meth:`_absorb_folds`.
+        """
+        self._pending_folds.append((key, metrics))
+
+    def _absorb_folds(self) -> None:
+        """Merge parked dead-child totals.  Caller holds ``_lock``.
+
+        Entries are pruned by weakref *deadness*, never by the parked
+        key: ``id()`` values recycle, so a new live child can share a
+        dead child's key — evicting by key would silently detach the
+        live child from aggregation.
+        """
+        absorbed = False
+        while True:
+            try:
+                _key, metrics = self._pending_folds.popleft()
+            except IndexError:
+                break
+            self._merge_into_self(metrics)
+            absorbed = True
+        if absorbed:
+            dead = [k for k, ref in self._children.items() if ref() is None]
+            for key in dead:
+                self._children.pop(key, None)
+                finalizer = self._finalizers.pop(key, None)
+                if finalizer is not None:
+                    finalizer.detach()
 
     def _merge_into_self(self, metrics: dict) -> None:
-        for name, metric in metrics.items():
+        for name, metric in list(metrics.items()):
             if metric.kind == "counter":
                 self.counter(name).inc(metric.value)
             elif metric.kind == "gauge":
@@ -218,9 +271,13 @@ class MetricsRegistry:
         visited child's value.  Keys are sorted for deterministic output.
         """
         merged = MetricsRegistry(owner=self.owner, standalone=True)
-        merged._merge_into_self(self._metrics)
-        if include_children:
-            for child in self._live_children():
+        with self._lock:
+            self._absorb_folds()
+            merged._merge_into_self(self._metrics)
+            children = self._live_children() if include_children else []
+        for child in children:
+            with child._lock:
+                child._absorb_folds()
                 merged._merge_into_self(child._metrics)
         out: dict = {"owner": self.owner, "counters": {}, "gauges": {},
                      "histograms": {}}
@@ -236,11 +293,13 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop all metrics and detach children (test isolation)."""
-        for finalizer in self._finalizers.values():
-            finalizer.detach()
-        self._finalizers.clear()
-        self._children.clear()
-        self._metrics.clear()
+        with self._lock:
+            self._pending_folds.clear()
+            for finalizer in self._finalizers.values():
+                finalizer.detach()
+            self._finalizers.clear()
+            self._children.clear()
+            self._metrics.clear()
 
     def __repr__(self) -> str:
         return (

@@ -1,20 +1,36 @@
 """Lightweight structured tracing: nested spans, bounded buffer, JSONL sink.
 
 A :class:`Span` is a named, attributed, monotonic-clock-timed region of
-work.  Spans nest through the tracer's explicit stack (the library is
-single-threaded), so a batched engine call produces one parent span with
-per-query children without any context threading.
+work.  Spans nest through a *per-thread* stack (``threading.local``), so
+a batched engine call produces one parent span with per-query children
+without any context threading, and concurrent sessions on different
+threads nest independently without seeing each other's parents.
 
 Finished spans are JSON-scalar dictionaries with a frozen schema
 (:data:`SPAN_FIELDS`); they land in a bounded in-memory ring buffer and,
 when a sink is configured, one JSON object per line in a ``.jsonl`` file.
 :func:`validate_record` is the single source of truth for the wire format
 — the report CLI and the ``make telemetry-smoke`` schema gate both use it.
+
+Thread model: span *open* is fully lock-free (ids come from an
+``itertools.count`` whose ``next()`` is atomic under the GIL; the open
+stack is per-thread).  Span *close* with no sink and no subscribers —
+the buffered-only configuration the enabled-overhead benchmark gate
+times — parks the span with a single atomic ``deque.append`` and takes
+no lock either.  Once a sink or subscriber is attached, close serializes
+the whole publication step (ring buffer, sink write, subscriber
+dispatch) under one reentrant lock, so every consumer observes the
+identical record order — the property that makes a concurrently captured
+trace replay to the same observatory alert set as the live run (see
+:mod:`repro.telemetry.observatory`).
 """
 
 from __future__ import annotations
 
+import copy
+import itertools
 import json
+import threading
 import time
 from collections import deque
 from pathlib import Path
@@ -159,13 +175,13 @@ class Span:
 
     def __enter__(self) -> "Span":
         tracer = self._tracer
-        self.span_id = tracer._next_id
-        tracer._next_id += 1
-        stack = tracer._stack
+        # next() on an itertools.count is a single C call — atomic under
+        # the GIL — so span open allocates its id without taking a lock.
+        self.span_id = next(tracer._ids)
+        stack = tracer._stack  # per-thread: no lock needed past this point
         self.parent_id = stack[-1].span_id if stack else None
         self.depth = len(stack)
         stack.append(self)
-        tracer.spans_started += 1
         self.start = time.perf_counter() - tracer._epoch
         return self
 
@@ -180,27 +196,40 @@ class Span:
         while stack:
             if stack.pop() is self:
                 break
+        # Buffered-only fast path (the common enabled configuration, and
+        # what the telemetry-overhead gate times): no consumer needs the
+        # record *now*, so park the finished span — without a lock —
+        # and let Tracer.finished materialize dictionaries on read.
+        # deque.append is atomic under the GIL, and _drain_locked
+        # consumes via popleft rather than swapping the buffer out, so a
+        # concurrent append never lands on a discarded deque.  A
+        # subscriber attached between this check and the append sees the
+        # record at the next drain (add_subscriber drains first), which
+        # is why services attach before driving load.
         if tracer.sink is None and not tracer._subscribers:
-            # No consumer needs the record *now*: park the finished span
-            # and let Tracer.finished materialize dictionaries on read.
-            # A buffered-only session (the common enabled configuration,
-            # and what the telemetry-overhead gate times) thus never
-            # builds a record dict per span on the hot path.
             pending = tracer._pending
             pending.append(self)
             if len(pending) >= tracer._maxlen:
-                tracer._drain()
+                with tracer._emit_lock:
+                    tracer._drain_locked()
             return False
-        tracer._drain()  # keep close order if earlier spans were parked
-        record = self.to_record()
-        finished = tracer._finished
-        if len(finished) == tracer._maxlen:
-            tracer.spans_dropped += 1
-        finished.append(record)
-        if tracer.sink is not None:
-            tracer.sink.write(record)
-        for callback in tuple(tracer._subscribers):
-            callback(record)
+        # Publication — buffer append, sink write, subscriber dispatch —
+        # is one critical section: every consumer sees the same total
+        # record order, which is what makes a concurrent capture replay
+        # deterministically.  The lock is reentrant so a subscriber that
+        # opens spans of its own (observatory alert emission) re-enters
+        # safely from dispatch context.
+        with tracer._emit_lock:
+            tracer._drain_locked()  # keep close order across the lazy era
+            record = self.to_record()
+            finished = tracer._finished
+            if len(finished) == tracer._maxlen:
+                tracer.spans_dropped += 1
+            finished.append(record)
+            if tracer.sink is not None:
+                tracer.sink.write(record)
+            for callback in tuple(tracer._subscribers):
+                callback(record)
         return False
 
     def to_record(self) -> dict:
@@ -224,18 +253,22 @@ class JsonlSink:
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
+        self._lock = threading.Lock()
         self._fh = open(self.path, "w", encoding="utf-8")
         self.write({"type": "meta", "schema": TRACE_SCHEMA_VERSION,
                     "clock": "perf_counter_relative"})
 
     def write(self, record: dict) -> None:
-        """Append one record."""
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        """Append one record (whole lines even under concurrent writers)."""
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            self._fh.write(line)
 
     def close(self) -> None:
         """Flush and close the file."""
-        if not self._fh.closed:
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
 
 class Tracer:
@@ -253,14 +286,41 @@ class Tracer:
     def __init__(self, buffer_size: int = 4096, sink: JsonlSink | None = None):
         self._finished: deque[dict] = deque(maxlen=buffer_size)
         self._maxlen = buffer_size
-        self._pending: list[Span] = []
+        self._pending: deque[Span] = deque()
         self.sink = sink
-        self.spans_started = 0
         self.spans_dropped = 0
-        self._stack: list[Span] = []
-        self._next_id = 1
+        self._local = threading.local()
+        self._ids = itertools.count(1)
         self._epoch = time.perf_counter()
         self._subscribers: list = []
+        # _emit_lock guards publication (buffer/pending/sink/subscriber
+        # dispatch, on span close) whenever a sink or subscriber is
+        # attached.  Span open takes no lock at all: ids come from
+        # next() on an itertools.count, atomic under the GIL, and the
+        # buffered-only close path parks spans with an atomic
+        # deque.append.
+        self._emit_lock = threading.RLock()
+
+    @property
+    def spans_started(self) -> int:
+        """How many spans have been opened on this tracer.
+
+        Derived from the id counter rather than maintained as a second
+        mutation on span open: ``copy.copy`` snapshots the count's
+        current state atomically, and ids are allocated contiguously
+        from 1, so the next unallocated id minus one is the exact number
+        started.
+        """
+        return next(copy.copy(self._ids)) - 1
+
+    @property
+    def _stack(self) -> list:
+        """This thread's open-span stack (created lazily per thread)."""
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack = self._local.stack = []
+            return stack
 
     @property
     def finished(self) -> deque:
@@ -269,37 +329,53 @@ class Tracer:
         Spans closed while no sink or subscriber was attached are parked
         as objects and only rendered to schema-conformant dictionaries
         here, on first read — the buffered hot path stays dict-free.
+        Under concurrent writers, take ``list(tracer.finished)`` for a
+        stable snapshot.
         """
-        self._drain()
-        return self._finished
+        with self._emit_lock:
+            self._drain_locked()
+            return self._finished
 
-    def _drain(self) -> None:
-        """Materialize parked spans into the record buffer, in order."""
-        if self._pending:
-            pending, self._pending = self._pending, []
-            finished = self._finished
-            for span in pending:
-                if len(finished) == self._maxlen:
-                    self.spans_dropped += 1
-                finished.append(span.to_record())
+    def _drain_locked(self) -> None:
+        """Materialize parked spans, in order.  Caller holds _emit_lock.
+
+        Consumes via ``popleft`` rather than swapping the deque out:
+        lock-free producers in ``Span.__exit__`` hold a reference to
+        ``_pending`` and must never append to a discarded buffer.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        finished = self._finished
+        maxlen = self._maxlen
+        while pending:
+            span = pending.popleft()
+            if len(finished) == maxlen:
+                self.spans_dropped += 1
+            finished.append(span.to_record())
 
     def add_subscriber(self, callback) -> None:
         """Register *callback(record)* to receive every finished span.
 
         Subscribers are the live feed behind the streaming observatory:
         they see each schema-conformant record exactly once, in close
-        order (children before parents), synchronously from span exit.
-        A subscriber that opens spans of its own (alert emission) is safe —
-        by the time it runs, the closed span is already off the stack.
+        order (children before parents), synchronously from span exit
+        and serialized under the tracer's emit lock — two spans closing
+        on different threads never dispatch concurrently, and every
+        subscriber observes the same total order.  A subscriber that
+        opens spans of its own (alert emission) is safe: the emit lock
+        is reentrant and the closed span is already off its stack.
         """
-        if callback not in self._subscribers:
-            self._drain()  # records from the lazy era stay ordered first
-            self._subscribers.append(callback)
+        with self._emit_lock:
+            if callback not in self._subscribers:
+                self._drain_locked()  # lazy-era records stay ordered first
+                self._subscribers.append(callback)
 
     def remove_subscriber(self, callback) -> None:
         """Unregister a subscriber (no-op when absent)."""
-        if callback in self._subscribers:
-            self._subscribers.remove(callback)
+        with self._emit_lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
 
     def span(self, name: str, **attrs) -> Span:
         """A new span context manager; attrs are coerced to JSON scalars.

@@ -4,6 +4,7 @@ import pytest
 
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.observatory import (
+    OPENMETRICS_CONTENT_TYPE,
     parse_openmetrics,
     read_snapshot_jsonl,
     render_openmetrics,
@@ -80,6 +81,35 @@ class TestOpenMetricsRoundTrip:
     def test_untyped_sample_is_rejected(self):
         with pytest.raises(ValueError, match="has no TYPE"):
             parse_openmetrics("mystery_metric 3\n# EOF\n")
+
+    def test_scrape_content_type_is_the_openmetrics_one(self):
+        # The constant the service's /metrics endpoint serves verbatim;
+        # the version parameter is what distinguishes an OpenMetrics
+        # scrape from plain Prometheus text exposition.
+        assert OPENMETRICS_CONTENT_TYPE == (
+            "application/openmetrics-text; version=1.0.0; charset=utf-8"
+        )
+
+    def test_rendered_exposition_has_exactly_one_trailing_eof(self):
+        text = render_openmetrics(_populated_registry().snapshot())
+        lines = [line for line in text.splitlines() if line.strip()]
+        assert lines[-1] == "# EOF"
+        assert lines.count("# EOF") == 1
+
+    def test_truncated_scrape_is_rejected(self):
+        # A scrape cut off mid-transfer loses the terminator; parsing it
+        # as if complete would silently under-report.
+        text = render_openmetrics(_populated_registry().snapshot())
+        truncated = text[: text.rindex("# EOF")]
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics(truncated)
+
+    def test_double_exposition_is_rejected(self):
+        # Two concatenated scrapes carry a mid-document EOF — one scrape
+        # must be one exposition.
+        text = render_openmetrics(_populated_registry().snapshot())
+        with pytest.raises(ValueError, match="exactly one"):
+            parse_openmetrics(text + text)
 
 
 class TestJsonlSnapshot:

@@ -1,0 +1,285 @@
+"""The resident observatory service: bus, timelines, HTTP surface, bundles.
+
+These tests drive the ISSUE 8 service layer the way the serve smoke does
+— real spans through a real tracer, real HTTP over an ephemeral port —
+but one property at a time, so a failure names the broken part instead
+of the whole pipeline.
+"""
+
+import json
+import threading
+from urllib.request import urlopen
+
+import pytest
+
+from repro.telemetry import instrument
+from repro.telemetry.observatory import OPENMETRICS_CONTENT_TYPE
+from repro.telemetry.observatory.service import (
+    ANONYMOUS_SESSION,
+    EventBus,
+    ObservatoryService,
+    SessionTimelines,
+    create_server,
+    verify_incident_bundle,
+)
+from repro.telemetry.observatory.service.server import _SseCollector
+
+
+def _span_record(name="qdb.query", span_id=1, **attrs):
+    return {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "trace_id": 1,
+        "parent_id": None,
+        "start": 0.0,
+        "duration": 0.001,
+        "attrs": attrs,
+    }
+
+
+class TestEventBus:
+    def test_seq_is_contiguous_and_stamped(self):
+        bus = EventBus()
+        first = bus.publish("point", {"a": 1})
+        second = bus.publish("alert", {"b": 2})
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert bus.seq == 2
+
+    def test_since_returns_only_newer_events(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.publish("point", {"i": i})
+        events, lost = bus.since(3)
+        assert lost == 0
+        assert [e["data"]["i"] for e in events] == [3, 4]
+        events, lost = bus.since(5)
+        assert (events, lost) == ([], 0)
+
+    def test_slow_consumer_loses_overwritten_events_counted(self):
+        bus = EventBus(history=4)
+        for i in range(10):
+            bus.publish("point", {"i": i})
+        events, lost = bus.since(0)
+        # Ring holds the last 4; the first 6 are gone and said so.
+        assert lost == 6
+        assert [e["data"]["i"] for e in events] == [6, 7, 8, 9]
+        assert bus.dropped == 6
+
+    def test_catch_up_is_gapless_and_duplicate_free(self):
+        bus = EventBus()
+        seen = []
+        last = 0
+        for i in range(20):
+            bus.publish("point", {"i": i})
+            if i % 3 == 0:  # poll at a different cadence than publish
+                events, lost = bus.since(last)
+                assert lost == 0
+                seen.extend(e["seq"] for e in events)
+                last = seen[-1]
+        events, _ = bus.since(last)
+        seen.extend(e["seq"] for e in events)
+        assert seen == list(range(1, 21))
+
+    def test_concurrent_publish_never_skips_a_seq(self):
+        bus = EventBus(history=4096)
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            for _ in range(250):
+                bus.publish("point", {})
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events, lost = bus.since(0)
+        assert lost == 0
+        assert [e["seq"] for e in events] == list(range(1, 1001))
+
+
+class TestSessionTimelines:
+    def test_folds_queries_refusals_degradations_and_batches(self):
+        timelines = SessionTimelines()
+        timelines.observe(_span_record(session="alice"), 1)
+        timelines.observe(
+            _span_record(session="alice", refused=True, policy="size",
+                         reason="too small", query="COUNT(x)"), 2)
+        timelines.observe(_span_record(session="alice", degraded=True), 3)
+        timelines.observe(
+            _span_record(name="qdb.ask_batch", session="alice",
+                         n_queries=4, refused=1), 4)
+        (summary,) = timelines.summary()
+        assert summary["session"] == "alice"
+        assert summary["queries"] == 3
+        assert summary["refusals"] == 1
+        assert summary["degraded"] == 1
+        assert summary["batches"] == 1
+        assert (summary["first_step"], summary["last_step"]) == (1, 4)
+        timeline = timelines.timeline("alice")
+        kinds = [e["kind"] for e in timeline["events"]]
+        assert kinds == ["query", "refusal", "degraded", "batch"]
+        assert "size: too small" in timeline["events"][1]["detail"]
+
+    def test_unlabelled_spans_group_under_anonymous(self):
+        timelines = SessionTimelines()
+        timelines.observe(_span_record(), 1)
+        assert timelines.labels() == [ANONYMOUS_SESSION]
+
+    def test_unknown_session_timeline_is_none(self):
+        assert SessionTimelines().timeline("nobody") is None
+
+
+class TestServiceLifecycle:
+    def test_double_attach_is_rejected(self):
+        service = ObservatoryService()
+        with instrument.session() as tracer:
+            service.attach(tracer)
+            with pytest.raises(RuntimeError, match="already attached"):
+                service.attach(tracer)
+            service.detach()
+
+    def test_feed_emits_points_and_alert_frames_in_order(self):
+        service = ObservatoryService(emit_every=4)
+        with instrument.session() as tracer:
+            service.attach(tracer)
+            # Refusal-heavy traffic: the stock refusal-rate rule fires.
+            for _ in range(16):
+                with instrument.span("qdb.query", refused=True,
+                                     query_set_size=2):
+                    pass
+            service.close()
+        events, lost = service.bus.since(0)
+        assert lost == 0
+        kinds = [e["event"] for e in events]
+        assert kinds.count("point") == 4
+        assert "alert" in kinds
+        assert kinds[-1] == "bye"
+        # The alert frame must follow the point context that triggered
+        # it (the service feed subscribes before the observatory).
+        assert kinds.index("alert") > kinds.index("point")
+        point = next(e["data"] for e in events if e["event"] == "point")
+        assert set(point["series"]) == {
+            "qdb.refused", "qdb.query_set_size",
+            "faults.degrade", "pir.batch_queries",
+        }
+        alert = next(e["data"] for e in events if e["event"] == "alert")
+        assert alert["alert"] == "qdb-refusal-rate"
+        assert alert["dimension"] == "respondent"
+
+
+class TestHttpSurface:
+    @pytest.fixture()
+    def served(self):
+        service = ObservatoryService(emit_every=4)
+        server = create_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        with instrument.session() as tracer:
+            service.attach(tracer)
+            try:
+                yield service, base
+            finally:
+                service.close()
+                server.shutdown()
+                server.server_close()
+
+    @staticmethod
+    def _get_json(url):
+        with urlopen(url) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def _drive(self, n=8):
+        for i in range(n):
+            with instrument.span("qdb.query", session="probe",
+                                 refused=i % 2 == 0, query_set_size=9):
+                pass
+
+    def test_status_metrics_sessions_and_404(self, served):
+        service, base = served
+        self._drive()
+        status = self._get_json(f"{base}/")
+        assert status["attached"] is True
+        assert status["seen"] == 8
+        with urlopen(f"{base}/metrics") as response:
+            assert (response.headers.get("Content-Type")
+                    == OPENMETRICS_CONTENT_TYPE)
+            assert response.read().decode().rstrip().endswith("# EOF")
+        sessions = self._get_json(f"{base}/sessions")
+        assert [s["session"] for s in sessions["sessions"]] == ["probe"]
+        timeline = self._get_json(f"{base}/sessions/probe")
+        assert timeline["queries"] == 8
+        assert timeline["refusals"] == 4
+        for url in (f"{base}/sessions/ghost", f"{base}/nope"):
+            with pytest.raises(Exception):
+                urlopen(url)
+
+    def test_sse_stream_delivers_hello_points_and_bye(self, served):
+        service, base = served
+        collector = _SseCollector(f"{base}/events")
+        collector.start()
+        assert collector.hello_seen.wait(timeout=10.0)
+        self._drive(12)
+        service.close()
+        collector.join(timeout=10.0)
+        assert collector.error is None
+        assert not collector.is_alive()
+        (hello,) = collector.of_type("hello")
+        assert hello["schema"] == 1
+        assert hello["events"] == ["hello", "point", "alert", "bye"]
+        assert len(collector.of_type("point")) == 3
+        assert collector.of_type("bye")
+
+    def test_late_subscriber_receives_retained_history(self, served):
+        service, base = served
+        self._drive(12)  # all before anyone is connected
+        collector = _SseCollector(f"{base}/events")
+        collector.start()
+        assert collector.hello_seen.wait(timeout=10.0)
+        service.close()
+        collector.join(timeout=10.0)
+        assert len(collector.of_type("point")) == 3
+
+    def test_incident_bundle_round_trips_over_http(self, served):
+        service, base = served
+        self._drive(16)
+        bundle = self._get_json(f"{base}/incident")
+        assert bundle["schema"] == 1
+        assert bundle["replay"]["verified"] is True
+        assert bundle["spans"] == len(bundle["trace"])
+        # The proof is recomputable offline by any reviewer.
+        proof = verify_incident_bundle(bundle)
+        assert proof == bundle["replay"]
+
+
+class TestIncidentBundleHonesty:
+    def test_bundle_after_buffer_overflow_is_unverifiable(self):
+        bundle = {"spans_dropped": 3, "alerts": [], "trace": []}
+        proof = verify_incident_bundle(bundle)
+        assert proof["verified"] is False
+        assert "incomplete" in proof["detail"]
+
+    def test_tampered_bundle_fails_verification(self):
+        service = ObservatoryService(emit_every=4)
+        with instrument.session() as tracer:
+            service.attach(tracer)
+            for _ in range(16):
+                with instrument.span("qdb.query", refused=True,
+                                     query_set_size=2):
+                    pass
+            bundle = service.incident_bundle()
+            service.detach()
+        assert bundle["replay"]["verified"] is True
+        assert bundle["alerts"], "expected at least one recorded alert"
+        doctored = dict(bundle)
+        doctored["alerts"] = [
+            dict(attrs, step=attrs["step"] + 1)
+            for attrs in bundle["alerts"]
+        ]
+        proof = verify_incident_bundle(doctored)
+        assert proof["verified"] is False
+        assert "drift" in proof["detail"]

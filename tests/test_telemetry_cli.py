@@ -97,3 +97,95 @@ class TestDashboardCommand:
         assert "privacy meters" in out
         assert "respondent" in out
         assert "operational metrics" in out
+
+
+class TestObserveLimitAndInterrupt:
+    def test_follow_narration_respects_limit(self, tmp_path, capsys):
+        trace = tmp_path / "smoke.jsonl"
+        main(["telemetry", "smoke", "--out", str(trace)])
+        capsys.readouterr()
+        assert main([
+            "observe", str(trace), "--follow", "--limit", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "narration capped at --limit 1" in out
+        narration = [line for line in out.splitlines()
+                     if line.startswith("  step ")]
+        assert len(narration) == 1
+
+    def test_keyboard_interrupt_exits_clean_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_observe_dispatch", boom)
+        assert main(["observe", "--smoke"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+
+class TestObserveServeAndFollowRouting:
+    def test_serve_smoke_route_reports_ok(self, monkeypatch, capsys):
+        import repro.telemetry.observatory.service as service_mod
+
+        monkeypatch.setattr(
+            service_mod, "run_serve_smoke",
+            lambda **kwargs: {"ops": 1, "alerts": ["tracker-probe"]},
+        )
+        assert main(["observe", "serve", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "observe serve smoke OK" in out
+
+    def test_serve_smoke_route_reports_failure(self, monkeypatch, capsys):
+        import repro.telemetry.observatory.service as service_mod
+        from repro.telemetry.observatory.service import ServeSmokeError
+
+        def fail(**kwargs):
+            raise ServeSmokeError("no tracker alert")
+
+        monkeypatch.setattr(service_mod, "run_serve_smoke", fail)
+        assert main(["observe", "serve", "--smoke"]) == 1
+        assert "observe serve smoke FAILED" in capsys.readouterr().err
+
+    def test_follow_unreachable_service_is_a_clean_error(self, capsys):
+        # A port from the ephemeral range nothing is listening on.
+        assert main(["observe", "http://127.0.0.1:9", "--limit", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot reach" in err
+        assert "Traceback" not in err
+
+    def test_follow_live_service_disconnects_at_limit(self, capsys):
+        import threading
+
+        from repro.telemetry import instrument
+        from repro.telemetry.observatory.service import (
+            ObservatoryService,
+            create_server,
+        )
+
+        service = ObservatoryService(emit_every=4)
+        server = create_server(service)
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        with instrument.session() as tracer:
+            service.attach(tracer)
+            try:
+                # Fire the stock refusal-rate rule before the client
+                # connects; the ring replays it to the late subscriber.
+                for _ in range(16):
+                    with instrument.span("qdb.query", refused=True,
+                                         query_set_size=2):
+                        pass
+                assert main([
+                    "observe", f"http://{host}:{port}", "--limit", "1",
+                ]) == 0
+            finally:
+                service.close()
+                server.shutdown()
+                server.server_close()
+        out = capsys.readouterr().out
+        assert "connected: schema 1" in out
+        assert "qdb-refusal-rate" in out
+        assert "--limit 1 reached" in out
