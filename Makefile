@@ -1,18 +1,19 @@
 PYTHON ?= python
 
 .PHONY: verify test bench bench-check bench-qdb bench-kernels bench-plan \
-	bench-refresh telemetry-smoke observe-smoke observe-serve-smoke chaos \
-	doctest-faults doctest-observatory
+	bench-refresh telemetry-smoke observe-smoke observe-serve-smoke \
+	serve-smoke chaos doctest-faults doctest-observatory doctest-serving
 
 .DEFAULT_GOAL := verify
 
 # The default gate: tests, benchmark regressions, the kernel-tier speedup
 # gates, telemetry schema drift, the observatory's detection invariants,
-# the resident service's end-to-end HTTP/SSE gate, fault-layer and
-# observatory doctests, and the chaos scenario's privacy invariants.
+# the resident service's end-to-end HTTP/SSE gate, the sharded serving
+# runtime's end-to-end smoke, fault-layer/observatory/serving doctests,
+# and the chaos scenario's privacy invariants.
 verify: test bench-check bench-kernels bench-plan telemetry-smoke \
-	observe-smoke observe-serve-smoke doctest-faults doctest-observatory \
-	chaos
+	observe-smoke observe-serve-smoke serve-smoke doctest-faults \
+	doctest-observatory doctest-serving chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -79,6 +80,15 @@ observe-smoke:
 observe-serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro observe serve --smoke
 
+# Boot the sharded serving runtime (router + admission + shared audit)
+# under the observatory service and the runtime-mode load generator;
+# fails unless mixed load spreads over >= 2 shards, the *split* tracker
+# cohort (padding and tracker halves on distinct shards) is refused by
+# the shared cross-shard audit view, and the tracker-probe critical
+# alert crosses the real HTTP/SSE surface.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve --smoke
+
 # The fault layer's executable documentation: every module-level example
 # in src/repro/faults must keep running exactly as written.
 doctest-faults:
@@ -89,6 +99,13 @@ doctest-faults:
 doctest-observatory:
 	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules \
 		src/repro/telemetry/observatory -q
+
+# The serving runtime's executable documentation: router determinism,
+# token-bucket admission under a fake clock, and the env-knob table all
+# run exactly as their docstrings show.
+doctest-serving:
+	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules src/repro/serving \
+		src/repro/envdoc.py -q
 
 # Scripted failure scenario at a fixed seed: byzantine PIR replicas,
 # crashed SMC parties, failing qdb backends; exits nonzero when any

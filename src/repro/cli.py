@@ -53,6 +53,15 @@ Commands
     Follow a running service's SSE stream: alerts are narrated as they
     fire (``--follow`` adds posture points, ``--limit N`` disconnects
     after N alerts); Ctrl-C exits cleanly.
+``serve``
+    Boot the sharded serving runtime with the observatory service's
+    HTTP surface on top: consistent-hash session routing, bounded
+    per-shard queues, token-bucket admission, and the shared
+    cross-shard audit view.  ``--load`` drives the concurrent load
+    generator (runtime mode, split-tracker cohort) once at startup;
+    ``--smoke`` runs the full gate (``make serve-smoke``): the
+    cross-shard split tracker must be refused and its tracker-probe
+    alert must arrive over real HTTP/SSE.
 """
 
 from __future__ import annotations
@@ -611,14 +620,98 @@ def _observe_follow_sse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        return _serve_dispatch(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+
+
+def _serve_dispatch(args: argparse.Namespace) -> int:
+    import json
+    import threading
+    import time
+
+    from .data import patients
+    from .serving import ServingRuntime
+    from .serving.smoke import ServingSmokeError, run_serving_smoke
+    from .telemetry import instrument
+    from .telemetry.observatory.service import (
+        LoadGenerator,
+        ObservatoryService,
+        create_server,
+    )
+
+    if args.smoke:
+        try:
+            summary = run_serving_smoke(
+                records=args.records, seed=args.seed, shards=args.shards,
+                profile=args.profile,
+            )
+        except ServingSmokeError as exc:
+            print(f"serve smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        print("serve smoke OK")
+        return 0
+
+    pop = patients(args.records, seed=args.seed)
+    runtime = ServingRuntime(
+        pop, shards=args.shards, sum_audit=True,
+        queue_depth=args.queue_depth,
+        session_rate=args.session_rate, session_burst=args.session_burst,
+        pir_values=[int(v) for v in pop["blood_pressure"][:16]],
+    )
+    service = ObservatoryService()
+    server = create_server(service, port=args.port)
+    host, port = server.server_address[:2]
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="serving-http", daemon=True
+    )
+    with instrument.session(args.out) as tracer:
+        service.attach(tracer)
+        server_thread.start()
+        stats = runtime.stats()
+        print(f"serving runtime up: {stats['n_shards']} shards, "
+              f"queue depth {stats['queue_depth']}, "
+              f"shared cross-shard audit")
+        print(f"observatory listening on http://{host}:{port}")
+        print("endpoints: /  /metrics  /events  /sessions  /incident")
+        try:
+            if args.load:
+                generator = LoadGenerator(
+                    records=args.records, seed=args.seed,
+                    profile=args.profile, runtime=runtime,
+                )
+                report = generator.run()
+                runtime.drain()
+                print(f"load generator done: {report['ops']} ops, "
+                      f"{report['refusals']} refusals, "
+                      f"cohort {report['cohort']}")
+            print("Ctrl-C to stop")
+            while True:
+                time.sleep(1)
+        finally:
+            runtime.close()
+            service.close()
+            server.shutdown()
+            server.server_close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI."""
+    from .envdoc import env_knob_epilog
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Three-dimensional database privacy framework "
                     "(Domingo-Ferrer, SDM@VLDB 2007 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    # One generated epilog (repro.envdoc) for every command whose
+    # behaviour REPRO_* knobs change — the same table the README embeds.
+    knob_epilog = env_knob_epilog()
 
     sub.add_parser("table1", help="print the paper's Table 1")
 
@@ -647,7 +740,9 @@ def build_parser() -> argparse.ArgumentParser:
     pq = sub.add_parser("qdb", help="statistical-database tools")
     qdb_sub = pq.add_subparsers(dest="qdb_command", required=True)
     qe = qdb_sub.add_parser(
-        "explain", help="render a query's plan pre/post optimization"
+        "explain", help="render a query's plan pre/post optimization",
+        epilog=knob_epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     qe.add_argument("query",
                     help='e.g. "SELECT SUM(blood_pressure) WHERE height > 170"')
@@ -694,7 +789,9 @@ def build_parser() -> argparse.ArgumentParser:
     tk.add_argument("--seed", type=int, default=3)
 
     po = sub.add_parser(
-        "observe", help="privacy observatory: replay, posture, alerts"
+        "observe", help="privacy observatory: replay, posture, alerts",
+        epilog=knob_epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     po.add_argument("trace", nargs="?", default=None,
                     help="JSONL trace to replay, 'serve' to boot the "
@@ -728,6 +825,38 @@ def build_parser() -> argparse.ArgumentParser:
     po.add_argument("--metrics-format",
                     choices=("openmetrics", "jsonl"), default="openmetrics")
 
+    pv = sub.add_parser(
+        "serve", help="boot the sharded serving runtime + observatory HTTP",
+        epilog=knob_epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    pv.add_argument("--smoke", action="store_true",
+                    help="run the end-to-end serving gate and exit "
+                         "(runtime + loadgen + observatory over HTTP)")
+    pv.add_argument("--shards", type=int, default=None,
+                    help="shard count (default: REPRO_SERVING_SHARDS or 4)")
+    pv.add_argument("--queue-depth", type=int, default=None,
+                    help="per-shard ingress queue bound "
+                         "(default: REPRO_SERVING_QUEUE_DEPTH or 64)")
+    pv.add_argument("--session-rate", type=float, default=None,
+                    help="token-bucket refill rate per session "
+                         "(default: rate limiting disabled)")
+    pv.add_argument("--session-burst", type=float, default=None,
+                    help="token-bucket burst per session")
+    pv.add_argument("--load", action="store_true",
+                    help="drive the concurrent load generator (runtime "
+                         "mode, split-tracker cohort) once at startup")
+    pv.add_argument("--profile",
+                    choices=("mixed", "audit-heavy", "pir-heavy"),
+                    default="mixed",
+                    help="load-generator traffic profile")
+    pv.add_argument("--records", type=int, default=150)
+    pv.add_argument("--seed", type=int, default=3)
+    pv.add_argument("--port", type=int, default=0,
+                    help="TCP port for the observatory (default: ephemeral)")
+    pv.add_argument("--out", default=None,
+                    help="also capture the trace to this JSONL path")
+
     pf = sub.add_parser("faults", help="fault injection and chaos runs")
     fl_sub = pf.add_subparsers(dest="faults_command", required=True)
     fc = fl_sub.add_parser(
@@ -754,6 +883,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "faults": _cmd_faults,
     "observe": _cmd_observe,
+    "serve": _cmd_serve,
 }
 
 

@@ -17,8 +17,14 @@ invariants hold under fire*:
   exposes no surviving party's private input (transcript exposure 0.0);
 * the session never dies: total backend loss surfaces as a typed
   :class:`~repro.qdb.Refusal`, not an exception;
+* the sharded serving runtime refuses a tracker attack *split across
+  shards* through its shared audit view (and the isolated-audit negative
+  control demonstrably loses), sheds overload with typed frozen-reason
+  refusals, and keeps healthy-shard sessions pristine while one shard's
+  backend is blacked out;
 * every degradation decision taken along the way is reconstructable from
-  the telemetry capture (``faults.degrade`` spans for pir, smc and qdb).
+  the telemetry capture (``faults.degrade`` spans for pir, smc, qdb and
+  serving — including both frozen overload-refusal reasons).
 
 Any violated invariant raises :class:`~repro.faults.errors.ChaosError`,
 which the CLI converts into a nonzero exit — ``make chaos`` is the gate.
@@ -272,6 +278,175 @@ def _smc_phase(pop, seed: int, held: list[str],
     }
 
 
+def _serving_phase(pop, seed: int, held: list[str]) -> dict:
+    """Cross-shard invariants: split tracker, overload, faulted shard."""
+    from ..qdb import QuerySetSizeControl, Refusal, StatisticalDatabase, \
+        SumAuditPolicy
+    from ..serving import ADMISSION_PREFIX, FakeClock, ServingRuntime, \
+        split_tracker_attack
+    from ..serving.admission import REASON_QUEUE_FULL, REASON_RATE_LIMITED
+    from ..sdc import equivalence_classes
+    from .backend import ReplicatedBackend
+
+    targets = [
+        cls.indices[0]
+        for cls in equivalence_classes(pop, ["height", "weight"])
+        if cls.size == 1
+        and (pop["height"] == pop["height"][cls.indices[0]]).sum() >= 6
+    ]
+
+    # (1) The split tracker: padding and tracker halves arrive via
+    # sessions pinned to different shards, yet the shared audit view
+    # refuses the attack exactly as a single engine would.  Some
+    # (records, seed) populations contain no single-out record the
+    # tracker could isolate; the attack sub-phase is vacuous there and
+    # is skipped — overload and fault isolation below never need a
+    # target, and run_chaos demands the tracker-probe alert exactly
+    # when the attack actually ran.
+    if targets:
+        target = targets[0]
+        with ServingRuntime(pop, shards=2, sum_audit=True) as shared_rt:
+            sessions = shared_rt.distinct_shard_sessions("chaos-split", 2)
+            held.append(_require(
+                shared_rt.shard_of(sessions[0])
+                != shared_rt.shard_of(sessions[1]),
+                "cohort sessions provably route to distinct shards",
+            ))
+            outcome = split_tracker_attack(
+                shared_rt, pop, target, ["height", "weight"],
+                "blood_pressure", sessions=sessions,
+            )
+        held.append(_require(
+            not outcome.succeeded and outcome.refusals >= 1,
+            "split tracker refused across shards under the shared audit",
+            outcome.detail,
+        ))
+        # Negative control: with per-shard *isolated* audits each shard
+        # sees an innocent half and the identical attack succeeds
+        # exactly — proving the shared view is the load-bearing defence.
+        with ServingRuntime(pop, shards=2, sum_audit=True,
+                            shared_audit=False) as isolated_rt:
+            control = split_tracker_attack(
+                isolated_rt, pop, target, ["height", "weight"],
+                "blood_pressure", sessions=sessions,
+            )
+        held.append(_require(
+            control.exact,
+            "isolated per-shard audits lose to the split tracker "
+            "(negative control)",
+            control.detail,
+        ))
+        split_stats = {
+            "sessions": sessions,
+            "refusals": outcome.refusals,
+            "detail": outcome.detail,
+            "isolated_control_exact": control.exact,
+        }
+    else:
+        split_stats = {"skipped": "no single-out split-tracker target"}
+
+    # (2) Overload: both admission paths must refuse *typed* (Refusal,
+    # frozen "admission: " reason) and audit the decision to the trace.
+    probe = "SELECT COUNT(*) WHERE height > 170"
+    with ServingRuntime(pop, shards=2, session_rate=0.0, session_burst=2,
+                        clock=FakeClock(), auto_start=False) as rate_rt:
+        futures = [rate_rt.submit("greedy", probe) for _ in range(8)]
+        rate_rt.start()
+        answers = [f.result() for f in futures]
+    rate_limited = [a for a in answers if a.refused]
+    held.append(_require(
+        len(rate_limited) == 6
+        and all(isinstance(a, Refusal) for a in rate_limited)
+        and all(a.reason.startswith(ADMISSION_PREFIX + REASON_RATE_LIMITED)
+                for a in rate_limited),
+        "rate-limit overload yields typed frozen-reason refusals",
+        f"{len(rate_limited)} refused of {len(answers)}",
+    ))
+    with ServingRuntime(pop, shards=1, queue_depth=2,
+                        auto_start=False) as full_rt:
+        futures = [full_rt.submit("burst", probe) for _ in range(5)]
+        full_rt.start()
+        answers = [f.result() for f in futures]
+    queue_full = [a for a in answers if a.refused]
+    held.append(_require(
+        len(queue_full) == 3
+        and all(isinstance(a, Refusal) for a in queue_full)
+        and all(a.reason.startswith(ADMISSION_PREFIX + REASON_QUEUE_FULL)
+                for a in queue_full),
+        "queue-full backpressure yields typed frozen-reason refusals",
+        f"{len(queue_full)} refused of {len(answers)}",
+    ))
+
+    # (3) Fault isolation: shard 1's backend is fully blacked out; its
+    # sessions get typed backend refusals while sessions on the healthy
+    # shard see answers identical to a pristine single-engine database —
+    # and the dead shard commits nothing to the shared audit.
+    blackout = FaultPlan(
+        [Fault("crash", "serving-shard1.replica:0", after=0),
+         Fault("crash", "serving-shard1.replica:1", after=0)],
+        seed=seed,
+    )
+
+    def backend_for(index: int):
+        if index == 1:
+            return ReplicatedBackend(pop, n_replicas=2, plan=blackout,
+                                     name="serving-shard1")
+        return pop
+
+    workload = [
+        "SELECT COUNT(*) WHERE height > 170",
+        "SELECT AVG(blood_pressure) WHERE height > 170",
+        "SELECT SUM(blood_pressure) WHERE weight <= 80",
+        "SELECT COUNT(*)",  # size-control refusal must survive sharding
+    ]
+    pristine = StatisticalDatabase(
+        pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+    )
+    truth = pristine.ask_batch(workload)
+    with ServingRuntime(pop, shards=2, sum_audit=True,
+                        backend_factory=backend_for) as faulted_rt:
+        dead_session, live_session = sorted(
+            faulted_rt.distinct_shard_sessions("chaos-fault", 2),
+            key=faulted_rt.shard_of, reverse=True,
+        )
+        held.append(_require(
+            faulted_rt.shard_of(dead_session) == 1
+            and faulted_rt.shard_of(live_session) == 0,
+            "fault-phase sessions cover both shards",
+        ))
+        # The dead session asks only predicate queries: resolving their
+        # masks requires backend reads, which is where the blackout
+        # bites ("SELECT COUNT(*)" would be refused by the size control
+        # before any read — a policy refusal, not an availability one).
+        dead_answers = [faulted_rt.ask(dead_session, q)
+                        for q in workload[:3]]
+        live_answers = [faulted_rt.ask(live_session, q) for q in workload]
+    held.append(_require(
+        all(a.refused and a.reason.startswith("backend: ")
+            for a in dead_answers),
+        "faulted shard degrades to typed backend refusals only",
+    ))
+    for got, want in zip(live_answers, truth):
+        held.append(_require(
+            got.refused == want.refused
+            and (not got.ok or got.value == want.value),
+            "healthy-shard session identical to pristine database",
+            f"{got.query}: {got.value!r} != {want.value!r}",
+        ))
+
+    return {
+        "split_tracker": split_stats,
+        "overload": {
+            "rate_limited": len(rate_limited),
+            "queue_full": len(queue_full),
+        },
+        "faulted_shard": {
+            "dead_refusals": len(dead_answers),
+            "live_answered": sum(a.ok for a in live_answers),
+        },
+    }
+
+
 def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
               f: int = 1) -> dict:
     """Run the chaos scenario; returns a summary, raises on violation.
@@ -294,6 +469,7 @@ def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
             qdb_stats = _qdb_phase(pop, seed, held)
             pir_stats = _pir_phase(pop, seed, f, held)
             smc_stats = _smc_phase(pop, seed, held, observatory)
+            serving_stats = _serving_phase(pop, seed, held)
         finally:
             observatory.detach()
 
@@ -301,9 +477,19 @@ def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
     degradations = degradation_decisions(spans)
     components = {d["component"] for d in degradations}
     held.append(_require(
-        {"pir", "smc", "qdb"} <= components,
-        "all three subsystems logged degradation decisions",
+        {"pir", "smc", "qdb", "serving"} <= components,
+        "all four subsystems logged degradation decisions",
         f"got {sorted(components)}",
+    ))
+    overload = [d for d in degradations
+                if d["component"] == "serving"
+                and d["decision"] == "refuse-overload"]
+    overload_reasons = {d["reason"] for d in overload}
+    held.append(_require(
+        {"session rate limit exceeded",
+         "shard ingress queue full"} <= overload_reasons,
+        "both frozen overload reasons reconstructable from the trace",
+        f"got {sorted(overload_reasons)}",
     ))
     held.append(_require(
         any(d["decision"] == "refuse-backend-unavailable"
@@ -330,9 +516,21 @@ def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
             for a in observatory.alerts),
         "observatory flagged the crashed party's silent-receiver traffic",
     ))
+    # The serving phase runs a *real* cross-shard split tracker (when
+    # the population holds a single-out target), so tracker-probe must
+    # fire exactly when the attack ran: a required true positive on the
+    # default parameters, a forbidden false positive on target-less
+    # populations.  pir-access-skew stays a forbidden false positive
+    # either way (nothing skews PIR access here).
+    tracker_ran = "skipped" not in serving_stats["split_tracker"]
     held.append(_require(
-        "tracker-probe" not in fired and "pir-access-skew" not in fired,
-        "no attack false positives on a fault-only workload",
+        ("tracker-probe" in fired) == tracker_ran,
+        "tracker-probe verdict matches whether the split tracker ran",
+        f"ran={tracker_ran}, fired: {sorted(fired)}",
+    ))
+    held.append(_require(
+        "pir-access-skew" not in fired,
+        "no attack false positives beyond the injected split tracker",
         f"fired: {sorted(fired)}",
     ))
     alert_spans = [s for s in spans if s["name"] == "observatory.alert"]
@@ -366,4 +564,5 @@ def run_chaos(trace_path: str | Path, records: int = 120, seed: int = 3,
         "qdb": qdb_stats,
         "pir": pir_stats,
         "smc": smc_stats,
+        "serving": serving_stats,
     }

@@ -75,7 +75,20 @@ _SCHEMES = {
 
 @dataclass(frozen=True)
 class RetrievalReport:
-    """Per-block forensics for the most recent resilient retrieval."""
+    """Per-block forensics for the most recent resilient retrieval.
+
+    One report per requested block, exposed as
+    ``ResilientXorPIR.last_reports`` after every retrieval — the
+    auditable record of *how* the answer was produced: how many
+    replicas agreed (``votes``) versus delivered (``delivered``), how
+    many delivered candidates lost the vote (``outvoted`` — nonzero
+    means a byzantine or corrupted answer was observed and outvoted,
+    not silently accepted), and what the fault riding cost in
+    ``retries`` / ``timeouts`` / ``simulated_seconds``.  ``degraded``
+    marks blocks served by the single-replica fallback, i.e. *without*
+    byzantine protection — the caller sees the weakened integrity
+    guarantee explicitly rather than inferring it from latency.
+    """
 
     index: int
     votes: int            # replicas agreeing on the accepted block

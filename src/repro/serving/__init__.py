@@ -1,0 +1,37 @@
+"""Sharded scale-out serving for the query-controlled engine.
+
+The package that turns the single-process engine into a multi-tenant
+runtime: consistent-hash session routing (:mod:`.router`), bounded
+queues + token-bucket admission with typed, audited overload refusals
+(:mod:`.admission`), per-shard engine/PIR worker pools
+(:mod:`.runtime`), the shared cross-shard audit view that keeps split
+tracker attacks refused (:mod:`.audit`), the attack itself
+(:mod:`.attack`), and the end-to-end HTTP smoke (:mod:`.smoke`).
+"""
+
+from .admission import (
+    ADMISSION_PREFIX,
+    AdmissionController,
+    FakeClock,
+    REASON_QUEUE_FULL,
+    REASON_RATE_LIMITED,
+    TokenBucket,
+)
+from .attack import split_tracker_attack
+from .audit import CrossShardAuditPolicy, CrossShardAuditView
+from .router import ConsistentHashRouter
+from .runtime import ServingRuntime
+
+__all__ = [
+    "ADMISSION_PREFIX",
+    "AdmissionController",
+    "ConsistentHashRouter",
+    "CrossShardAuditPolicy",
+    "CrossShardAuditView",
+    "FakeClock",
+    "REASON_QUEUE_FULL",
+    "REASON_RATE_LIMITED",
+    "ServingRuntime",
+    "TokenBucket",
+    "split_tracker_attack",
+]

@@ -1,0 +1,150 @@
+"""Admission control: token-bucket rate limits and typed overload refusals.
+
+The serving runtime refuses work it cannot absorb *before* the work
+touches a shard, and it refuses in the open: every overload refusal is a
+typed :class:`~repro.qdb.engine.Refusal` whose reason starts with the
+frozen ``"admission: "`` prefix, plus one ``faults.degrade`` span
+(component ``"serving"``, decision ``"refuse-overload"``) through
+:func:`repro.faults.retry.emit_decision` — so a load-shedding incident
+is reconstructable from the telemetry capture exactly like a replica
+failover or an SMC party exclusion.
+
+Frozen reason strings (DESIGN.md §12 — operators grep for these):
+
+* ``admission: session rate limit exceeded (...)`` — the session's
+  token bucket is empty (:data:`REASON_RATE_LIMITED`);
+* ``admission: shard ingress queue full (...)`` — the target shard's
+  bounded queue rejected the enqueue (:data:`REASON_QUEUE_FULL`).
+
+Threat model: overload is an *availability* attack surface — a greedy
+or malicious session must not starve other sessions, and shedding load
+must never bypass the privacy policies (a refused-at-admission query
+never reaches the engine, so it cannot leak).  Failure behaviour: pure
+refusal, never an exception on the query path; with telemetry disabled
+the audit span is a strict no-op and only the typed refusal remains.
+
+>>> clock = FakeClock()
+>>> bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+>>> bucket.try_acquire(), bucket.try_acquire(), bucket.try_acquire()
+(True, True, False)
+>>> clock.advance(1.0)          # one simulated second refills one token
+>>> bucket.try_acquire()
+True
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "ADMISSION_PREFIX",
+    "AdmissionController",
+    "FakeClock",
+    "OVERLOAD_COMPONENT",
+    "OVERLOAD_DECISION",
+    "REASON_QUEUE_FULL",
+    "REASON_RATE_LIMITED",
+    "TokenBucket",
+]
+
+#: Prefix of every overload-refusal reason (frozen; DESIGN.md §12).
+ADMISSION_PREFIX = "admission: "
+
+#: Frozen overload reasons (the parenthesized detail varies, these don't).
+REASON_RATE_LIMITED = "session rate limit exceeded"
+REASON_QUEUE_FULL = "shard ingress queue full"
+
+#: ``faults.degrade`` span identity for overload decisions.
+OVERLOAD_COMPONENT = "serving"
+OVERLOAD_DECISION = "refuse-overload"
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic rate-limit tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TokenBucket:
+    """The classical token bucket: ``burst`` capacity, ``rate`` refill/s.
+
+    ``rate=0`` never refills — with an integer ``burst`` that makes the
+    bucket a deterministic "first B requests only" admission counter,
+    which is what the chaos gate uses to script overload without
+    touching wall time.  Not thread-safe on its own; the
+    :class:`AdmissionController` serializes access.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=None):
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = float(burst)
+        self._last = self._clock()
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Take *cost* tokens if available; never blocks."""
+        now = self._clock()
+        if self.rate > 0.0:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+        self._last = now
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+
+class AdmissionController:
+    """Per-session token buckets behind one lock.
+
+    ``session_rate=None`` disables rate limiting entirely (every
+    ``admit`` call returns None); the bounded per-shard queues then
+    remain the only backpressure.  Buckets are created lazily per
+    session label and live for the runtime's lifetime.
+    """
+
+    def __init__(self, session_rate: float | None = None,
+                 session_burst: float | None = None, clock=None):
+        self.session_rate = session_rate
+        self.session_burst = (
+            float(session_burst) if session_burst is not None
+            else (max(1.0, 2.0 * session_rate) if session_rate else 1.0)
+        )
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, session: str) -> str | None:
+        """None to admit, or the frozen refusal reason."""
+        if self.session_rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(session)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.session_rate, self.session_burst, clock=self._clock
+                )
+                self._buckets[session] = bucket
+            if bucket.try_acquire():
+                return None
+        return REASON_RATE_LIMITED
+
+    @property
+    def sessions_tracked(self) -> int:
+        """Distinct session labels with a live bucket."""
+        with self._lock:
+            return len(self._buckets)

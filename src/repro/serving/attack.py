@@ -1,0 +1,111 @@
+"""The split tracker: Schlörer's attack distributed across shards.
+
+The classical individual tracker (``repro.qdb.tracker``) issues all four
+queries from one analyst.  The serving-era variant splits the query pair
+across *sessions routed to different shards*: one session asks only the
+innocent-looking padding queries ``q(C1)``, a second asks only the
+tracker queries ``q(C1 AND NOT C2)``.  Each shard, auditing in
+isolation, would see half an attack and answer everything — the
+inferential-privacy failure mode of Wang et al. (PAPERS.md): disclosure
+composes across queries even when no single auditor sees them all.
+
+:func:`split_tracker_attack` runs this against a
+:class:`~repro.serving.runtime.ServingRuntime` and reuses the qdb
+tracker's :class:`~repro.qdb.tracker.TrackerResult` shape, so the same
+assertions (``succeeded`` / ``exact`` / ``detail``) work for both the
+single-engine and sharded variants.  Against a shared-audit runtime the
+expected outcome under sum audit is refusal at the COUNT stage
+(``detail == "padding or tracker COUNT refused"``: the sum audit treats
+COUNT as a linear query, and the tracker COUNT pair is exactly the
+deducibility pattern it refuses).  Against ``shared_audit=False`` the
+attack succeeds exactly — the negative control proving the shared view
+is load-bearing.
+
+Queries are awaited sequentially, one at a time, so the observatory's
+tracker-probe detector sees the probes in a deterministic span order —
+the serve-smoke target asserts the alert fires over real HTTP.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..qdb.query import Aggregate, Not, Query
+from ..qdb.tracker import TrackerResult, split_predicate
+from .runtime import ServingRuntime
+
+__all__ = ["split_tracker_attack"]
+
+
+def split_tracker_attack(
+    runtime: ServingRuntime,
+    data,
+    target_index: int,
+    identifying_columns: Sequence[str],
+    value_column: str,
+    sessions: Sequence[str] | None = None,
+) -> TrackerResult:
+    """Run the cross-shard split tracker against *runtime* for one target.
+
+    ``sessions`` are the two analyst identities ([padding, tracker]);
+    when omitted they are chosen via
+    :meth:`~repro.serving.runtime.ServingRuntime.distinct_shard_sessions`
+    so the split provably crosses shards whenever the runtime has more
+    than one.  Queries go through the public ``runtime.ask`` path — the
+    attack holds no lock and sees exactly what any tenant sees.
+    """
+    if sessions is None:
+        sessions = runtime.distinct_shard_sessions("split-tracker", 2)
+    padding_session, tracker_session = sessions[0], sessions[1]
+    c1, c2 = split_predicate(data, target_index, identifying_columns)
+    tracker = c1 & Not(c2)
+    queries = 0
+    refusals = 0
+
+    def ask_split(aggregate: Aggregate, column: str | None):
+        # Padding via one session/shard, tracker via the other; awaited
+        # sequentially so the cross-shard decision order is the issue
+        # order (and the observatory sees deterministic probe spans).
+        nonlocal queries, refusals
+        values = []
+        for session, predicate in (
+            (padding_session, c1),
+            (tracker_session, tracker),
+        ):
+            queries += 1
+            answer = runtime.ask(session, Query(aggregate, column, predicate))
+            if answer.refused or answer.value is None:
+                refusals += 1
+                values.append(None)
+            else:
+                values.append(answer.value)
+        return values[0], values[1]
+
+    count_c1, count_t = ask_split(Aggregate.COUNT, None)
+    if count_c1 is None or count_t is None:
+        return TrackerResult(
+            False, None, None, None, queries, refusals,
+            detail="padding or tracker COUNT refused",
+        )
+    inferred_count = count_c1 - count_t
+    if round(inferred_count) != 1:
+        return TrackerResult(
+            False, inferred_count, None, None, queries, refusals,
+            detail=f"target not isolated (inferred count {inferred_count:g})",
+        )
+    sum_c1, sum_t = ask_split(Aggregate.SUM, value_column)
+    if sum_c1 is None or sum_t is None:
+        return TrackerResult(
+            False, inferred_count, None, None, queries, refusals,
+            detail="padding or tracker SUM refused",
+        )
+    inferred_value = sum_c1 - sum_t
+    true_value = float(data.column(value_column)[target_index])
+    return TrackerResult(
+        succeeded=True,
+        inferred_count=inferred_count,
+        inferred_value=inferred_value,
+        true_value=true_value,
+        queries_asked=queries,
+        refusals=refusals,
+    )

@@ -1,0 +1,89 @@
+"""Consistent-hash routing of sessions (and PIR blocks) onto shards.
+
+The serving runtime partitions *sessions*, not records: every shard
+answers statistical queries over the whole population (sharding rows
+would change answers), but each session's requests always land on the
+same shard so its ingress queue, rate-limit bucket, and per-shard audit
+bookkeeping stay local.  PIR block stores *are* partitioned — each shard
+holds a slice of the block array and runs its own two-server scheme over
+it — and the same ring assigns blocks to owners.
+
+Hashing is ``zlib.crc32`` over the key bytes, never ``hash()``: CRC is
+stable across processes and interpreter configurations (``hash()``
+varies with ``PYTHONHASHSEED``), so a session routes to the same shard
+from any client, any process, any run — the property the router
+determinism tests pin down.
+
+The ring carries ``vnodes`` virtual points per shard.  Growing the ring
+from N to N+1 shards only *adds* points, which yields the classical
+consistent-hashing contract the resharding test asserts: a key either
+keeps its shard or moves to the newly added one; no key migrates
+between two pre-existing shards.
+
+>>> router = ConsistentHashRouter(4)
+>>> router.shard_for("user-7") == ConsistentHashRouter(4).shard_for("user-7")
+True
+>>> wider = ConsistentHashRouter(5)
+>>> moved = [k for k in map("user-{}".format, range(100))
+...          if router.shard_for(k) != wider.shard_for(k)]
+>>> all(wider.shard_for(k) == 4 for k in moved)  # only onto the new shard
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+
+__all__ = ["ConsistentHashRouter"]
+
+
+def _crc(text: str) -> int:
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class ConsistentHashRouter:
+    """A fixed ring of ``n_shards * vnodes`` CRC32 points.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards on the ring (>= 1).
+    vnodes:
+        Virtual points per shard; more points smooth the key balance at
+        the cost of a larger (still tiny) sorted ring.
+    salt:
+        Namespace mixed into every vnode hash, so two rings serving
+        different roles over the same shard count do not correlate.
+    """
+
+    def __init__(self, n_shards: int, vnodes: int = 64,
+                 salt: str = "serving"):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        self.salt = salt
+        points = sorted(
+            (_crc(f"{salt}/{shard}/{vnode}"), shard)
+            for shard in range(n_shards)
+            for vnode in range(vnodes)
+        )
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning *key*: its hash's successor point on the ring."""
+        position = bisect.bisect_right(self._hashes, _crc(key))
+        if position == len(self._hashes):
+            position = 0
+        return self._points[position][1]
+
+    def spread(self, keys) -> dict[int, int]:
+        """Keys per shard — a quick balance diagnostic for tests/CLI."""
+        counts: dict[int, int] = {shard: 0 for shard in range(self.n_shards)}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

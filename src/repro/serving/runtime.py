@@ -1,0 +1,502 @@
+"""The sharded serving runtime: router + shard worker pools + admission.
+
+Topology.  :class:`ServingRuntime` multiplexes many concurrent sessions
+over N shards.  Each shard owns a full :class:`~repro.qdb.engine.
+StatisticalDatabase` over the *whole* population (sharding rows would
+change statistical answers) plus an optional slice of the PIR block
+array, and drains a bounded ingress queue with a small worker pool that
+dispatches through ``ask_batch``.  A :class:`~repro.serving.router.
+ConsistentHashRouter` pins every session to one shard; the same ring
+assigns PIR blocks to owners, so a batched retrieval scatters to the
+owning shards and gathers the decoded values back in order.
+
+Privacy under sharding.  All shards review against one
+:class:`~repro.serving.audit.CrossShardAuditView` (shared global history
++ overlap/sum-audit policies) and hold its re-entrant lock across each
+``ask_batch``, so the N-shard runtime's refusal decisions are
+*decision-identical* to a single engine auditing the same total order of
+queries — a tracker attack split across sessions on different shards is
+refused exactly as if one analyst had issued it alone.  Constructing the
+runtime with ``shared_audit=False`` gives each shard an isolated audit
+(the negative control: the split tracker then *succeeds* at N >= 2,
+which is how the tests demonstrate the shared view is load-bearing).
+
+Overload.  Admission happens before any queue touch: a session over its
+token-bucket rate, or a full shard ingress queue, yields a typed
+:class:`~repro.qdb.engine.Refusal` whose reason carries the frozen
+``"admission: "`` prefix, plus a ``faults.degrade`` audit span
+(component ``"serving"``, decision ``"refuse-overload"``) — overload is
+auditable like any other degradation.  PIR retrievals instead *block*
+on a full queue: a refusal there would leak which shard (hence roughly
+``log2(shards)`` bits of the requested indices) was hot, so PIR
+backpressure is latency, never a typed refusal (DESIGN.md §12).
+
+Failure behaviour: a shard whose backend is down answers with
+``"backend: ..."`` refusals for its own sessions only; backend-refused
+queries never commit audit state, so the shared view stays consistent
+and sessions on healthy shards see pristine answers — the chaos gate's
+faulted-shard invariant.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+
+from ..qdb.engine import (
+    Answer,
+    QuerySetSizeControl,
+    OverlapControl,
+    Refusal,
+    StatisticalDatabase,
+    SumAuditPolicy,
+    _env_int,
+)
+from ..qdb.parser import parse_query
+from ..qdb.query import Query
+from ..telemetry.registry import MetricsRegistry
+from ..faults.retry import emit_decision
+from .admission import (
+    ADMISSION_PREFIX,
+    AdmissionController,
+    OVERLOAD_COMPONENT,
+    OVERLOAD_DECISION,
+    REASON_QUEUE_FULL,
+)
+from .audit import CrossShardAuditPolicy, CrossShardAuditView
+from .router import ConsistentHashRouter
+
+__all__ = ["ServingRuntime"]
+
+_STOP = object()
+
+
+class _Request:
+    """One enqueued unit of shard work (a parsed query or a PIR scatter)."""
+
+    __slots__ = ("session", "kind", "payload", "future")
+
+    def __init__(self, session: str, kind: str, payload, future):
+        self.session = session
+        self.kind = kind          # "qdb" | "pir"
+        self.payload = payload
+        self.future = future
+
+
+class _PirScatter:
+    """Gathers one batched PIR retrieval scattered across owning shards."""
+
+    def __init__(self, n_positions: int, shard_indices):
+        self._lock = threading.Lock()
+        self._pending = set(shard_indices)
+        self._values: list[int | None] = [None] * n_positions
+        self.future: Future = Future()
+
+    def deliver(self, shard: int, positions, values) -> None:
+        with self._lock:
+            for position, value in zip(positions, values):
+                self._values[position] = value
+            self._pending.discard(shard)
+            done = not self._pending
+        if done and not self.future.done():
+            self.future.set_result(list(self._values))
+
+    def fail(self, exc: BaseException) -> None:
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+
+class Shard:
+    """One shard: a full-population engine, a PIR slice, a bounded queue."""
+
+    def __init__(self, index: int, db: StatisticalDatabase, pir,
+                 queue_depth: int, decision_lock, batch_max: int,
+                 workers: int, metrics: MetricsRegistry):
+        self.index = index
+        self.db = db
+        self.pir = pir
+        self.queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self.decision_lock = decision_lock
+        self.batch_max = batch_max
+        self.n_workers = workers
+        self.threads: list[threading.Thread] = []
+        self.c_processed = metrics.counter(f"serving.shard{index}.processed")
+        self.c_refused = metrics.counter(f"serving.shard{index}.refused")
+        self.c_pir = metrics.counter(f"serving.shard{index}.pir_positions")
+
+    # -- worker loop -------------------------------------------------------
+
+    def start(self) -> None:
+        for worker in range(self.n_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serving-shard{self.index}-w{worker}",
+                daemon=True,
+            )
+            thread.start()
+            self.threads.append(thread)
+
+    def _worker_loop(self) -> None:
+        while True:
+            first = self.queue.get()
+            if first is _STOP:
+                self.queue.task_done()
+                return
+            batch = [first]
+            taken = 1
+            stop_seen = False
+            while taken < self.batch_max:
+                try:
+                    item = self.queue.get_nowait()
+                except queue.Empty:
+                    break
+                taken += 1
+                if item is _STOP:
+                    stop_seen = True
+                    break
+                batch.append(item)
+            try:
+                self._process(batch)
+            finally:
+                for _ in range(taken):
+                    self.queue.task_done()
+            if stop_seen:
+                return
+
+    def _process(self, batch: list[_Request]) -> None:
+        # Group consecutive runs of the same (kind, session) so tracker
+        # sweeps and replayed logs flow through ask_batch in one call,
+        # while preserving each session's submission order end to end.
+        start = 0
+        while start < len(batch):
+            end = start + 1
+            head = batch[start]
+            while (end < len(batch)
+                   and batch[end].kind == head.kind
+                   and batch[end].session == head.session):
+                end += 1
+            group = batch[start:end]
+            try:
+                if head.kind == "qdb":
+                    self._run_qdb(head.session, group)
+                else:
+                    self._run_pir(group)
+            except BaseException as exc:  # engine bugs -> caller, not hang
+                for request in group:
+                    if head.kind == "pir":
+                        request.payload[0].fail(exc)
+                    elif not request.future.done():
+                        request.future.set_exception(exc)
+            start = end
+
+    def _run_qdb(self, session: str, group: list[_Request]) -> None:
+        queries = [request.payload for request in group]
+        # The decision lock (the shared audit view's RLock, or a
+        # per-shard lock when audits are isolated) is held across the
+        # whole batch: policy review order is the privacy semantics.
+        with self.decision_lock, self.db.session(session):
+            answers = self.db.ask_batch(queries)
+        for request, answer in zip(group, answers):
+            self.c_processed.inc()
+            if answer.refused:
+                self.c_refused.inc()
+            if not request.future.done():
+                request.future.set_result(answer)
+
+    def _run_pir(self, group: list[_Request]) -> None:
+        for request in group:
+            scatter, positions, local_indices, seed = request.payload
+            values = self.pir.retrieve_batch_int(local_indices, rng=seed)
+            self.c_pir.inc(len(values))
+            scatter.deliver(self.index, positions, values)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self) -> None:
+        for _ in self.threads:
+            self.queue.put(_STOP)
+        for thread in self.threads:
+            thread.join()
+        self.threads.clear()
+
+
+class ServingRuntime:
+    """A sharded, admission-controlled serving front end over the engine.
+
+    Parameters
+    ----------
+    data:
+        The population every shard answers over.
+    shards:
+        Shard count; default ``REPRO_SERVING_SHARDS`` (else 4).
+    k:
+        Query-set-size threshold installed on every shard.
+    max_overlap / sum_audit:
+        The stateful audit stack.  With ``shared_audit=True`` (default)
+        these live once in the global :class:`CrossShardAuditView`;
+        with ``shared_audit=False`` each shard gets isolated copies
+        (the negative control — split trackers then succeed).
+    queue_depth:
+        Per-shard ingress queue bound; default
+        ``REPRO_SERVING_QUEUE_DEPTH`` (else 64).
+    batch_max / workers_per_shard:
+        Dispatch batching limit and worker threads per shard.
+    session_rate / session_burst / clock:
+        Per-session token-bucket admission (None disables rate limits;
+        ``clock`` injects a fake clock for deterministic tests).
+    pir_values:
+        Optional integer block values served via per-shard two-server
+        XOR PIR, partitioned over shards by the block ring.
+    backend_factory:
+        Optional ``shard_index -> Dataset`` hook so chaos tests can give
+        one shard a faulted :class:`~repro.faults.ReplicatedBackend`.
+    auto_start:
+        When False, workers start on the first explicit :meth:`start`
+        (lets tests fill queues to force backpressure).
+    """
+
+    def __init__(self, data, *, shards: int | None = None, k: int = 5,
+                 max_overlap: int | None = None, sum_audit: bool = True,
+                 shared_audit: bool = True, queue_depth: int | None = None,
+                 batch_max: int = 16, workers_per_shard: int = 1,
+                 session_rate: float | None = None,
+                 session_burst: float | None = None, clock=None,
+                 pir_values=None, seed: int = 0,
+                 history_store: str | None = None, backend_factory=None,
+                 auto_start: bool = True, use_plans: bool = True):
+        if shards is None:
+            shards = _env_int("REPRO_SERVING_SHARDS") or 4
+        if queue_depth is None:
+            queue_depth = _env_int("REPRO_SERVING_QUEUE_DEPTH") or 64
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.data = data
+        self.n_shards = shards
+        self.queue_depth = queue_depth
+        self.shared_audit = shared_audit
+        self.router = ConsistentHashRouter(shards)
+        self.admission = AdmissionController(
+            session_rate=session_rate, session_burst=session_burst,
+            clock=clock,
+        )
+        self.metrics = MetricsRegistry(owner="serving")
+        self._c_admitted = self.metrics.counter("serving.admitted")
+        self._c_overload = self.metrics.counter("serving.overload_refusals")
+
+        self.view: CrossShardAuditView | None = None
+        if shared_audit:
+            self.view = CrossShardAuditView(
+                data.n_rows, max_overlap=max_overlap, sum_audit=sum_audit,
+                history_store=history_store,
+            )
+
+        # PIR blocks partition over the same ring, keyed "block:<g>".
+        self._block_owner: list[tuple[int, int]] = []
+        per_shard_values: dict[int, list[int]] = {}
+        if pir_values is not None:
+            for global_index, value in enumerate(pir_values):
+                owner = self.router.shard_for(f"block:{global_index}")
+                local = len(per_shard_values.setdefault(owner, []))
+                per_shard_values[owner].append(int(value))
+                self._block_owner.append((owner, local))
+
+        self.shards: list[Shard] = []
+        for index in range(shards):
+            policies = [QuerySetSizeControl(k)]
+            if shared_audit:
+                policies.append(CrossShardAuditPolicy(self.view))
+                decision_lock = self.view.lock
+            else:
+                if max_overlap is not None:
+                    policies.append(OverlapControl(max_overlap))
+                if sum_audit:
+                    policies.append(SumAuditPolicy())
+                decision_lock = threading.RLock()
+            shard_data = backend_factory(index) if backend_factory else data
+            db = StatisticalDatabase(
+                shard_data, policies, seed=seed, use_plans=use_plans,
+                history_store=None if shared_audit else history_store,
+            )
+            pir = None
+            if per_shard_values.get(index):
+                from ..pir.itpir import TwoServerXorPIR
+
+                pir = TwoServerXorPIR(per_shard_values[index])
+            self.shards.append(Shard(
+                index, db, pir, queue_depth, decision_lock, batch_max,
+                workers_per_shard, self.metrics,
+            ))
+
+        self._started = False
+        self._lifecycle = threading.Lock()
+        if auto_start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the shard worker pools (idempotent)."""
+        with self._lifecycle:
+            if self._started:
+                return
+            for shard in self.shards:
+                shard.start()
+            self._started = True
+
+    def drain(self) -> None:
+        """Block until every enqueued request has been processed."""
+        for shard in self.shards:
+            shard.queue.join()
+
+    def close(self) -> None:
+        """Drain and stop all workers."""
+        with self._lifecycle:
+            if not self._started:
+                return
+            for shard in self.shards:
+                shard.stop()
+            self._started = False
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- query path --------------------------------------------------------
+
+    def shard_of(self, session: str) -> int:
+        """The shard a session label routes to."""
+        return self.router.shard_for(session)
+
+    def submit(self, session: str, query: Query | str) -> Future:
+        """Enqueue one statistical query; resolves to an :class:`Answer`.
+
+        Overload resolves the future *immediately* with a typed
+        :class:`Refusal` (reason prefixed ``"admission: "``) and emits
+        the ``refuse-overload`` audit span — it never raises.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        shard = self.shards[self.router.shard_for(session)]
+        future: Future = Future()
+        reason = self.admission.admit(session)
+        if reason is None:
+            try:
+                shard.queue.put_nowait(
+                    _Request(session, "qdb", parsed, future)
+                )
+            except queue.Full:
+                reason = REASON_QUEUE_FULL
+        if reason is not None:
+            self._refuse_overload(session, shard.index, parsed, reason,
+                                  future)
+            return future
+        self._c_admitted.inc()
+        return future
+
+    def ask(self, session: str, query: Query | str) -> Answer:
+        """Blocking :meth:`submit`."""
+        return self.submit(session, query).result()
+
+    def _refuse_overload(self, session: str, shard: int, parsed: Query,
+                         reason: str, future: Future) -> None:
+        self._c_overload.inc()
+        detail = f"{reason} (session {session!r}, shard {shard})"
+        emit_decision(OVERLOAD_COMPONENT, OVERLOAD_DECISION, reason,
+                      session=session, shard=shard)
+        future.set_result(
+            Refusal(parsed, reason=f"{ADMISSION_PREFIX}{detail}")
+        )
+
+    # -- PIR path ----------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        """Total PIR blocks across all shards."""
+        return len(self._block_owner)
+
+    def submit_pir(self, session: str, indices, seed=None) -> Future:
+        """Scatter a batched PIR retrieval to the owning shards.
+
+        Unlike :meth:`submit`, a full shard queue *blocks* instead of
+        refusing: a typed refusal would reveal which shard was hot and
+        thus leak ~log2(shards) bits about the requested indices.
+        """
+        if not self._block_owner:
+            raise ValueError("runtime was built without pir_values")
+        indices = list(indices)
+        per_shard: dict[int, tuple[list[int], list[int]]] = {}
+        for position, global_index in enumerate(indices):
+            owner, local = self._block_owner[global_index]
+            positions, locals_ = per_shard.setdefault(owner, ([], []))
+            positions.append(position)
+            locals_.append(local)
+        scatter = _PirScatter(len(indices), per_shard.keys())
+        if not per_shard:
+            scatter.future.set_result([])
+            return scatter.future
+        for owner, (positions, locals_) in per_shard.items():
+            self.shards[owner].queue.put(_Request(
+                session, "pir", (scatter, positions, locals_, seed), None,
+            ))
+        return scatter.future
+
+    def retrieve_batch_int(self, session: str, indices,
+                           seed=None) -> list[int]:
+        """Blocking :meth:`submit_pir`, decoded ints in request order."""
+        return self.submit_pir(session, list(indices), seed=seed).result()
+
+    # -- introspection -----------------------------------------------------
+
+    def distinct_shard_sessions(self, prefix: str, count: int) -> list[str]:
+        """Session labels guaranteed to land on pairwise-distinct shards.
+
+        Used by the split-tracker attack and the load generator's cohort
+        to *prove* the attack crosses shards.  When the runtime has
+        fewer shards than ``count`` the tail labels reuse shards (a
+        1-shard runtime cannot split anything — and doesn't need to).
+        """
+        labels: list[str] = []
+        used: set[int] = set()
+        probe = 0
+        while len(labels) < count and len(used) < self.n_shards:
+            label = f"{prefix}-{probe}"
+            probe += 1
+            shard = self.router.shard_for(label)
+            if shard in used:
+                continue
+            used.add(shard)
+            labels.append(label)
+        extra = 0
+        while len(labels) < count:
+            labels.append(f"{prefix}-extra-{extra}")
+            extra += 1
+        return labels
+
+    def stats(self) -> dict:
+        """Per-shard counters and queue depths, plus runtime totals."""
+        shard_stats = []
+        for shard in self.shards:
+            shard_stats.append({
+                "shard": shard.index,
+                "processed": shard.c_processed.value,
+                "refused": shard.c_refused.value,
+                "pir_positions": shard.c_pir.value,
+                "queue_depth": shard.queue.qsize(),
+                "pir_blocks": shard.pir.n if shard.pir is not None else 0,
+            })
+        return {
+            "shards": shard_stats,
+            "n_shards": self.n_shards,
+            "queue_depth": self.queue_depth,
+            "shared_audit": self.shared_audit,
+            "admitted": self._c_admitted.value,
+            "overload_refusals": self._c_overload.value,
+            "sessions_tracked": self.admission.sessions_tracked,
+            "audit_answered": self.view.answered if self.view else None,
+        }

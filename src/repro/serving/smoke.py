@@ -1,0 +1,215 @@
+"""End-to-end smoke for the sharded serving runtime (``make serve-smoke``).
+
+Boots the full serving stack in one process — sharded
+:class:`~repro.serving.runtime.ServingRuntime`, resident observatory
+service with its real HTTP/SSE surface, and the deterministic load
+generator in runtime mode — then asserts the chain the ISSUE's
+acceptance criterion names: concurrent mixed load flows through the
+router and shard worker pools, the cross-shard *split* tracker cohort
+is refused by the shared audit view, and the observatory raises the
+critical ``tracker-probe`` alert **over real HTTP** (SSE), with the
+usual live-vs-replay and OpenMetrics conformance proofs riding along.
+
+Failure behaviour: the first violated property raises
+:class:`ServingSmokeError` with enough detail to debug from CI output;
+the HTTP server, SSE client, and runtime worker pools are torn down on
+every path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["ServingSmokeError", "run_serving_smoke"]
+
+
+class ServingSmokeError(AssertionError):
+    """A serving smoke invariant failed."""
+
+
+def run_serving_smoke(
+    records: int = 150,
+    seed: int = 3,
+    shards: int | None = 4,
+    threads: int = 4,
+    ops: int = 96,
+    profile: str = "mixed",
+    echo=print,
+) -> dict:
+    """Boot runtime + observatory + loadgen; assert the pipeline over HTTP.
+
+    The checks, in order: the SSE handshake arrives; the load
+    generator's mixed traffic spreads over at least two shards (when
+    ``shards >= 2``); the split-tracker cohort is *refused* (zero
+    successful attacks, at least one refusal) even though its padding
+    and tracker halves arrive via sessions on distinct shards; the
+    critical ``tracker-probe`` alert crosses the SSE stream and equals
+    the live observatory's alert list; ``/sessions`` shows the cohort's
+    split session labels with refusals; ``/metrics`` strictly parses;
+    and the ``/incident`` bundle's replay proof verifies.
+    """
+    from ..telemetry import instrument
+    from ..telemetry.observatory.exporters import (
+        OPENMETRICS_CONTENT_TYPE,
+        parse_openmetrics,
+    )
+    from ..telemetry.observatory.rules import Alert
+    from ..telemetry.observatory.service.loadgen import LoadGenerator
+    from ..telemetry.observatory.service.server import (
+        ObservatoryService,
+        _SseCollector,
+        _fetch_json,
+        _fetch_metrics,
+        create_server,
+    )
+    from ..data import patients
+    from .runtime import ServingRuntime
+
+    pop = patients(records, seed=seed)
+    pir_values = [int(v) for v in pop["blood_pressure"][:16]]
+
+    service = ObservatoryService()
+    server = create_server(service)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="serving-smoke-http", daemon=True
+    )
+    summary: dict = {}
+    with instrument.session() as tracer:
+        service.attach(tracer)
+        server_thread.start()
+        collector = _SseCollector(f"{base}/events")
+        runtime = ServingRuntime(
+            pop, shards=shards, sum_audit=True, pir_values=pir_values,
+            queue_depth=max(256, ops * 2),
+        )
+        shards = runtime.n_shards  # None resolved via REPRO_SERVING_SHARDS
+        try:
+            collector.start()
+            if not collector.hello_seen.wait(timeout=10.0):
+                raise ServingSmokeError(
+                    f"SSE handshake did not arrive (client error: "
+                    f"{collector.error})"
+                )
+            generator = LoadGenerator(
+                records=records, seed=seed, threads=threads, ops=ops,
+                profile=profile, tracker_cohort=True, runtime=runtime,
+            )
+            report = generator.run()
+            runtime.drain()
+            stats = runtime.stats()
+            echo(
+                f"load: {report['ops']} ops over {report['threads']} threads "
+                f"-> {stats['n_shards']} shards "
+                f"({report['qdb_ops']} qdb / {report['pir_ops']} pir, "
+                f"{report['refusals']} refusals, cohort "
+                f"{report['cohort']['attacks']} split attacks via "
+                f"{generator.cohort_sessions})"
+            )
+            metrics_text, metrics_type = _fetch_metrics(base)
+            sessions_payload = _fetch_json(f"{base}/sessions")
+            cohort_timelines = [
+                _fetch_json(f"{base}/sessions/{label}")
+                for label in generator.cohort_sessions
+            ]
+            bundle = _fetch_json(f"{base}/incident")
+        finally:
+            runtime.close()
+            service.close()
+            collector.join(timeout=10.0)
+            server.shutdown()
+            server.server_close()
+
+        if collector.error:
+            raise ServingSmokeError(f"SSE client failed: {collector.error}")
+        if collector.is_alive():
+            raise ServingSmokeError("SSE client never saw the bye frame")
+
+        busy_shards = [s["shard"] for s in stats["shards"] if s["processed"]]
+        if shards >= 2 and len(busy_shards) < 2:
+            raise ServingSmokeError(
+                f"load did not spread across shards (busy: {busy_shards}, "
+                f"per-shard: {stats['shards']})"
+            )
+        cohort = report["cohort"]
+        if cohort["succeeded"] != 0:
+            raise ServingSmokeError(
+                f"split tracker succeeded {cohort['succeeded']} time(s) "
+                f"despite the shared cross-shard audit"
+            )
+        if cohort["refusals"] < 1:
+            raise ServingSmokeError(
+                "split tracker cohort saw no refusals; the shared sum "
+                "audit should have refused its COUNT probes"
+            )
+        sse_alerts = collector.of_type("alert")
+        live_alerts = [
+            alert for alert in service.observatory.alerts
+            if alert.source == "span"
+        ]
+        if [Alert.from_span_attrs(a) for a in sse_alerts] != live_alerts:
+            raise ServingSmokeError(
+                f"SSE alert stream diverged from the live observatory: "
+                f"{len(sse_alerts)} over SSE vs {len(live_alerts)} live"
+            )
+        tracker_hits = [
+            a for a in sse_alerts
+            if a["alert"] == "tracker-probe" and a["severity"] == "critical"
+        ]
+        if not tracker_hits:
+            raise ServingSmokeError(
+                f"cross-shard split tracker produced no tracker-probe alert "
+                f"over SSE (alerts seen: {[a['alert'] for a in sse_alerts]})"
+            )
+        if metrics_type != OPENMETRICS_CONTENT_TYPE:
+            raise ServingSmokeError(
+                f"/metrics content type {metrics_type!r} != "
+                f"{OPENMETRICS_CONTENT_TYPE!r}"
+            )
+        parse_openmetrics(metrics_text)
+        labels = [s["session"] for s in sessions_payload["sessions"]]
+        missing = [
+            label for label in generator.cohort_sessions
+            if label not in labels
+        ]
+        if missing:
+            raise ServingSmokeError(
+                f"cohort split sessions {missing} missing from /sessions "
+                f"(saw {labels})"
+            )
+        if not any(t["refusals"] >= 1 for t in cohort_timelines):
+            raise ServingSmokeError(
+                "no cohort split session shows refusals in its timeline"
+            )
+        if not bundle["replay"]["verified"]:
+            raise ServingSmokeError(
+                f"incident bundle replay proof failed: "
+                f"{bundle['replay']['detail']}"
+            )
+        points = collector.of_type("point")
+        if not points:
+            raise ServingSmokeError("no point frames arrived over SSE")
+
+        summary = {
+            "ops": report["ops"],
+            "shards": shards,
+            "busy_shards": busy_shards,
+            "overload_refusals": stats["overload_refusals"],
+            "sse_frames": len(collector.frames),
+            "points": len(points),
+            "alerts": [a["alert"] for a in sse_alerts],
+            "tracker_alerts": len(tracker_hits),
+            "cohort_sessions": list(generator.cohort_sessions),
+            "sessions": labels,
+            "bundle_spans": bundle["spans"],
+            "replay": bundle["replay"]["detail"],
+        }
+    echo(
+        f"serving smoke OK: {summary['ops']} ops over "
+        f"{len(summary['busy_shards'])}/{shards} busy shards, "
+        f"{summary['tracker_alerts']} tracker-probe alert(s) over SSE, "
+        f"cohort split across {summary['cohort_sessions']}, "
+        f"{summary['replay']}"
+    )
+    return summary

@@ -35,7 +35,14 @@ INCIDENT_BUNDLE_SCHEMA = 1
 
 
 def narrate_alert(attrs: dict) -> str:
-    """One human-readable line for an alert span's attributes."""
+    """One human-readable line for an alert span's attributes.
+
+    Pure formatting over the frozen ``ALERT_ATTRS`` attribute set;
+    missing attributes render as ``?`` / empty rather than raising, so
+    a narration over a partially-schema-drifted capture still produces
+    a readable (if visibly degraded) incident log instead of crashing
+    the bundle export.
+    """
     return (
         f"[{attrs.get('severity', '?'):<8s}] step {attrs.get('step', 0):>5d} "
         f"{attrs.get('alert', '?')} ({attrs.get('dimension', '?')}): "

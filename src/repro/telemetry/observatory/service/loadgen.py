@@ -1,12 +1,15 @@
 """Deterministic threaded load generator for the observatory service.
 
-Drives one shared :class:`~repro.qdb.engine.StatisticalDatabase` (and a
-PIR front-end) from concurrent threads the way the ROADMAP's serving
-runtime will: a zipfian mix of user sessions issuing statistical
-queries, PIR batch retrievals, and — when armed — a bursty tracker
-cohort running the Sect. 3 Schlörer attack under its own session label.
-This is what forces the telemetry substrate to be thread-safe, and what
-the ``make observe-serve-smoke`` gate drives the live HTTP surface with.
+Drives either one shared :class:`~repro.qdb.engine.StatisticalDatabase`
+(plus a PIR front-end) or — when constructed with ``runtime=`` — a
+sharded :class:`~repro.serving.runtime.ServingRuntime`, from concurrent
+threads: a zipfian mix of user sessions issuing statistical queries,
+PIR batch retrievals, and — when armed — a bursty tracker cohort
+running the Sect. 3 Schlörer attack.  Against a runtime the cohort uses
+the *split* tracker (:func:`~repro.serving.attack.split_tracker_attack`)
+over sessions pinned to distinct shards, so the ``make serve-smoke``
+gate exercises the cross-shard audit path end to end; standalone mode
+is what ``make observe-serve-smoke`` drives the HTTP surface with.
 
 Determinism model: the *operation script* (which user label issues which
 operation, in which global order) is precomputed from the seed before
@@ -76,7 +79,14 @@ class LoadGenerator:
     tracker_cohort:
         When True, thread 0 runs the Schlörer tracker against
         ``cohort_targets`` single-out records halfway through its share
-        of the script, under the ``"cohort-tracker"`` session label.
+        of the script, under the ``"cohort-tracker"`` session label
+        (split across ``"cohort-tracker-*"`` labels in runtime mode).
+    runtime:
+        A started :class:`~repro.serving.runtime.ServingRuntime` to
+        drive instead of a private database.  The generator then uses
+        the runtime's population, routes every operation through
+        ``runtime.ask`` / ``runtime.retrieve_batch_int``, and runs the
+        cohort as a cross-shard *split* tracker.
     """
 
     def __init__(
@@ -91,6 +101,7 @@ class LoadGenerator:
         cohort_targets: int = 2,
         zipf_s: float = 1.2,
         pir_blocks: int = 16,
+        runtime=None,
     ):
         if profile not in LOAD_PROFILES:
             raise ValueError(
@@ -108,7 +119,9 @@ class LoadGenerator:
         self.cohort_targets = cohort_targets
         self.zipf_s = zipf_s
         self.pir_blocks = pir_blocks
+        self.runtime = runtime
         self.cohort_label = "cohort-tracker"
+        self.cohort_sessions: list[str] | None = None
         self._db_lock = threading.Lock()
         self._built = False
 
@@ -118,22 +131,36 @@ class LoadGenerator:
         """Materialize the population, engines, targets, and op script."""
         if self._built:
             return self
-        from ....data import patients
-        from ....pir.itpir import TwoServerXorPIR
-        from ....qdb import (
-            QuerySetSizeControl,
-            StatisticalDatabase,
-            SumAuditPolicy,
-        )
         from ....sdc import equivalence_classes
 
-        self.pop = patients(self.records, seed=self.seed)
-        self.db = StatisticalDatabase(
-            self.pop, [QuerySetSizeControl(5), SumAuditPolicy()]
-        )
-        self.pir = TwoServerXorPIR(
-            [int(v) for v in self.pop["blood_pressure"][: self.pir_blocks]]
-        )
+        if self.runtime is not None:
+            # Runtime mode: the serving runtime owns population, engines
+            # and PIR partitions; the generator only scripts traffic.
+            self.pop = self.runtime.data
+            self.db = None
+            self.pir = None
+            self._n_pir_blocks = self.runtime.n_blocks
+            if self.tracker_cohort:
+                self.cohort_sessions = self.runtime.distinct_shard_sessions(
+                    self.cohort_label, 2
+                )
+        else:
+            from ....data import patients
+            from ....pir.itpir import TwoServerXorPIR
+            from ....qdb import (
+                QuerySetSizeControl,
+                StatisticalDatabase,
+                SumAuditPolicy,
+            )
+
+            self.pop = patients(self.records, seed=self.seed)
+            self.db = StatisticalDatabase(
+                self.pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+            )
+            self.pir = TwoServerXorPIR(
+                [int(v) for v in self.pop["blood_pressure"][: self.pir_blocks]]
+            )
+            self._n_pir_blocks = self.pir.n
         # Single-out records reachable by the height/weight tracker —
         # the same recipe the telemetry smoke scenario uses.
         self.targets = [
@@ -173,22 +200,24 @@ class LoadGenerator:
         labels = [f"user-{i}" for i in range(self.users)]
         weights = zipf_weights(self.users, self.zipf_s)
         pool = self._query_pool()
-        if shape["hot_pir"]:
+        n_blocks = self._n_pir_blocks
+        qdb_share = shape["qdb_share"] if n_blocks else 1.0
+        if n_blocks and shape["hot_pir"]:
             # Concentrate retrieval mass: the pir-heavy profile exists
             # to trip the access-skew detector on purpose.
-            block_weights = zipf_weights(self.pir.n, 2.0)
-        else:
-            block_weights = np.full(self.pir.n, 1.0 / self.pir.n)
+            block_weights = zipf_weights(n_blocks, 2.0)
+        elif n_blocks:
+            block_weights = np.full(n_blocks, 1.0 / n_blocks)
         script: list[tuple[str, str, object]] = []
         for op_index in range(self.ops):
             label = labels[int(rng.choice(self.users, p=weights))]
-            if rng.random() < shape["qdb_share"]:
+            if rng.random() < qdb_share:
                 query = pool[int(rng.integers(len(pool)))]
                 script.append((label, "qdb", query))
             else:
                 indices = tuple(
                     int(i) for i in rng.choice(
-                        self.pir.n, size=4, p=block_weights
+                        n_blocks, size=4, p=block_weights
                     )
                 )
                 op_seed = int(self.seed * 10_000 + op_index)
@@ -232,7 +261,8 @@ class LoadGenerator:
             "cohort": dict(cohort_report),
             "sessions": sorted(
                 {label for label, _, _ in self._script}
-                | ({self.cohort_label} if self.tracker_cohort else set())
+                | (set(self.cohort_sessions or [self.cohort_label])
+                   if self.tracker_cohort else set())
             ),
         }
 
@@ -245,14 +275,22 @@ class LoadGenerator:
                 if op_index == cohort_at:
                     self._run_cohort(cohort_report)
                 if kind == "qdb":
-                    with self._db_lock, self.db.session(label):
-                        answer = self.db.ask(payload)
+                    if self.runtime is not None:
+                        answer = self.runtime.ask(label, payload)
+                    else:
+                        with self._db_lock, self.db.session(label):
+                            answer = self.db.ask(payload)
                     result["qdb"] += 1
                     if answer.refused:
                         result["refusals"] += 1
                 else:
                     indices, op_seed = payload
-                    self.pir.retrieve_batch(list(indices), rng=op_seed)
+                    if self.runtime is not None:
+                        self.runtime.retrieve_batch_int(
+                            label, list(indices), seed=op_seed
+                        )
+                    else:
+                        self.pir.retrieve_batch(list(indices), rng=op_seed)
                     result["pir"] += 1
             if cohort_at >= len(script):
                 self._run_cohort(cohort_report)
@@ -265,8 +303,25 @@ class LoadGenerator:
         Holding the database lock across a whole attack keeps its COUNT
         probe pair adjacent in the span stream, so the tracker-probe
         detector's windowed containment match is deterministic under any
-        thread interleaving.
+        thread interleaving.  In runtime mode the cohort instead runs
+        the cross-shard *split* tracker through the public serving path
+        — no lock is available to a tenant, and the sequential awaits
+        inside the attack keep the probe pair ordered.
         """
+        cohort_report.setdefault("succeeded", 0)
+        if self.runtime is not None:
+            from ....serving.attack import split_tracker_attack
+
+            for target in self.targets:
+                outcome = split_tracker_attack(
+                    self.runtime, self.pop, target,
+                    ["height", "weight"], "blood_pressure",
+                    sessions=self.cohort_sessions,
+                )
+                cohort_report["attacks"] += 1
+                cohort_report["refusals"] += outcome.refusals
+                cohort_report["succeeded"] += int(outcome.succeeded)
+            return
         from ....qdb import tracker_attack
 
         for target in self.targets:
@@ -277,3 +332,4 @@ class LoadGenerator:
                 )
             cohort_report["attacks"] += 1
             cohort_report["refusals"] += outcome.refusals
+            cohort_report["succeeded"] += int(outcome.succeeded)

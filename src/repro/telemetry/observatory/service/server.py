@@ -162,6 +162,17 @@ class ObservatoryService:
     factories to its replay proof), a :class:`SessionTimelines`, and an
     :class:`EventBus`.  ``attach(tracer)`` wires both the service feed
     and the observatory into the live span stream.
+
+    Failure behaviour: the feed callback runs on the monitored
+    engine's thread inside the tracer's emit lock, so it must never
+    block and never raise into the engine — bus publishing is a
+    bounded append (slow consumers lose history, reported to *them*,
+    rather than backpressuring the engine), and ``close()`` detaches
+    the feed, publishes the ``bye`` frame, and is idempotent, so a
+    crashed HTTP server or an exception mid-smoke can always tear the
+    service down without stranding the tracer subscription.  The
+    service holds no thread of its own; everything it knows arrived
+    via ``observe`` or a reader's HTTP thread.
     """
 
     def __init__(

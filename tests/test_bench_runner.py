@@ -20,9 +20,13 @@ def test_runner_smoke(tmp_path):
     data = json.loads(out.read_text())
     assert data["kernels"]
     assert data["calibration_seconds"] > 0
-    # Schema 4: the run records the kernel backend that produced the
-    # numbers and each kernel's plan-cache traffic.
-    assert data["schema"] == 4
+    # Schema 5: the run records the kernel backend that produced the
+    # numbers, each kernel's plan-cache traffic, and the serving
+    # runtime section (qps/p99/per-shard counters).
+    assert data["schema"] == 5
+    assert data["serving"]["qps"] > 0
+    assert data["serving"]["p99_normalized"] > 0
+    assert len(data["serving"]["per_shard"]) == data["serving"]["n_shards"]
     from repro.kernels import available_backends
     assert data["backend"]["name"] in available_backends()
     assert data["backend"]["numpy"]

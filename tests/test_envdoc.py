@@ -1,0 +1,69 @@
+"""The env-knob table is the single source of truth — and stays true.
+
+Two drift gates: every ``REPRO_*`` variable the source tree actually
+reads must be declared in :data:`repro.envdoc.ENV_KNOBS` (and nothing
+phantom may be declared), and the README's configuration section must
+contain the rendered table verbatim, so regenerating it is never
+optional.
+"""
+
+import re
+from pathlib import Path
+
+from repro.envdoc import ENV_KNOBS, env_knob_epilog, render_env_table
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _knobs_read_by_source() -> set[str]:
+    pattern = re.compile(r"REPRO_[A-Z_]+")
+    found: set[str] = set()
+    for path in (REPO / "src").rglob("*.py"):
+        if path.name == "envdoc.py":
+            continue  # the declarations themselves don't count as reads
+        found.update(pattern.findall(path.read_text(encoding="utf-8")))
+    return found
+
+
+class TestKnobCompleteness:
+    def test_every_source_knob_is_documented(self):
+        documented = {knob.name for knob in ENV_KNOBS}
+        read = _knobs_read_by_source()
+        assert read, "the source tree should read at least one knob"
+        undocumented = read - documented
+        assert not undocumented, (
+            f"REPRO_* variables read by src/ but missing from "
+            f"repro.envdoc.ENV_KNOBS: {sorted(undocumented)}"
+        )
+
+    def test_no_phantom_knobs_are_documented(self):
+        documented = {knob.name for knob in ENV_KNOBS}
+        read = _knobs_read_by_source()
+        phantom = documented - read
+        assert not phantom, (
+            f"ENV_KNOBS documents variables nothing reads: "
+            f"{sorted(phantom)}"
+        )
+
+    def test_every_knob_is_fully_described(self):
+        for knob in ENV_KNOBS:
+            assert knob.name.startswith("REPRO_")
+            assert knob.component and knob.values and knob.default
+            assert len(knob.description) >= 20
+
+
+class TestRenderedTable:
+    def test_table_lists_every_knob_once(self):
+        table = render_env_table()
+        for knob in ENV_KNOBS:
+            assert table.count(f"{knob.name} ") == 1
+
+    def test_epilog_wraps_the_same_table(self):
+        assert render_env_table() in env_knob_epilog()
+
+    def test_readme_embeds_the_rendered_table_verbatim(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert render_env_table() in readme, (
+            "README.md's configuration section has drifted from "
+            "repro.envdoc.render_env_table(); re-paste the rendered table"
+        )

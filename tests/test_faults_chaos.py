@@ -14,13 +14,15 @@ class TestRunChaos:
         trace = tmp_path / "chaos.jsonl"
         summary = run_chaos(trace, records=80, seed=3)
         assert summary["invariants_held"] > 20
-        assert summary["components_degraded"] == ["pir", "qdb", "smc"]
+        assert summary["components_degraded"] == [
+            "pir", "qdb", "serving", "smc"
+        ]
         assert trace.exists()
 
     def test_replay_is_deterministic(self, tmp_path):
         first = run_chaos(tmp_path / "a.jsonl", records=60, seed=5)
         second = run_chaos(tmp_path / "b.jsonl", records=60, seed=5)
-        for key in ("qdb", "pir", "smc", "invariants_held"):
+        for key in ("qdb", "pir", "smc", "serving", "invariants_held"):
             assert first[key] == second[key]
 
     def test_violations_raise_chaos_error(self):

@@ -1,0 +1,330 @@
+"""The sharded serving runtime: routing, admission, cross-shard audit.
+
+The acceptance scenario: a Schlörer tracker *split* across sessions on
+different shards must be refused by the shared audit view at every shard
+count, the isolated-audit control must lose to the identical attack, and
+every overload refusal must be typed, frozen-reason, and reconstructable
+from the telemetry capture alone.
+"""
+
+import pytest
+
+from repro.data import patients
+from repro.qdb import (
+    QuerySetSizeControl,
+    Refusal,
+    StatisticalDatabase,
+    SumAuditPolicy,
+)
+from repro.sdc import equivalence_classes
+from repro.serving import (
+    ADMISSION_PREFIX,
+    ConsistentHashRouter,
+    FakeClock,
+    REASON_QUEUE_FULL,
+    REASON_RATE_LIMITED,
+    ServingRuntime,
+    TokenBucket,
+    split_tracker_attack,
+)
+from repro.telemetry import instrument as tele
+from repro.telemetry.report import degradation_decisions, read_trace
+
+pytestmark = pytest.mark.usefixtures("clean_telemetry")
+
+
+@pytest.fixture
+def clean_telemetry():
+    tele.disable()
+    tele.reset_metrics()
+    yield
+    tele.disable()
+    tele.reset_metrics()
+
+
+def _tracked_population(records=150, seed=3):
+    pop = patients(records, seed=seed)
+    targets = [
+        cls.indices[0]
+        for cls in equivalence_classes(pop, ["height", "weight"])
+        if cls.size == 1
+        and (pop["height"] == pop["height"][cls.indices[0]]).sum() >= 6
+    ]
+    assert targets, "seeded population must contain a trackable target"
+    return pop, targets
+
+
+class TestRouter:
+    def test_deterministic_across_instances(self):
+        a, b = ConsistentHashRouter(4), ConsistentHashRouter(4)
+        keys = [f"user-{i}" for i in range(500)]
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+    def test_all_shards_in_range(self):
+        router = ConsistentHashRouter(3)
+        shards = {router.shard_for(f"s{i}") for i in range(300)}
+        assert shards <= set(range(3))
+
+    def test_resharding_moves_keys_only_to_the_new_shard(self):
+        keys = [f"session-{i}" for i in range(1000)]
+        for n in (1, 2, 4, 8):
+            narrow, wide = ConsistentHashRouter(n), ConsistentHashRouter(n + 1)
+            moved = [k for k in keys
+                     if narrow.shard_for(k) != wide.shard_for(k)]
+            # The consistent-hashing contract: no key migrates between
+            # two pre-existing shards when the ring only gained points.
+            assert moved, "a wider ring should claim some keys"
+            assert all(wide.shard_for(k) == n for k in moved)
+
+    def test_spread_is_roughly_balanced(self):
+        router = ConsistentHashRouter(4)
+        counts = router.spread(f"user-{i}" for i in range(4000))
+        assert set(counts) == {0, 1, 2, 3}
+        assert min(counts.values()) > 0
+        # vnodes=64 keeps the imbalance well under 3x on 4k keys.
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_salt_decorrelates_rings(self):
+        sessions = ConsistentHashRouter(4, salt="serving")
+        blocks = ConsistentHashRouter(4, salt="blocks")
+        keys = [f"k{i}" for i in range(200)]
+        assert [sessions.shard_for(k) for k in keys] != \
+            [blocks.shard_for(k) for k in keys]
+
+    def test_rejects_degenerate_rings(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRouter(0)
+        with pytest.raises(ValueError):
+            ConsistentHashRouter(2, vnodes=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_under_fake_clock(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == \
+            [True, True, True, False]
+        clock.advance(0.5)  # 0.5 s * 2/s = exactly one token back
+        assert bucket.try_acquire() is True
+        assert bucket.try_acquire() is False
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert [bucket.try_acquire() for _ in range(3)] == \
+            [True, True, False]
+
+    def test_rate_zero_is_a_first_b_only_counter(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        clock.advance(1e9)  # no refill, ever
+        assert bucket.try_acquire() is False
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmission:
+    PROBE = "SELECT COUNT(*) WHERE height > 170"
+
+    def test_rate_limit_refusals_are_typed_audited_and_spanned(self, tmp_path):
+        pop, _ = _tracked_population()
+        trace = tmp_path / "overload.jsonl"
+        with tele.session(trace):
+            with ServingRuntime(pop, shards=2, session_rate=0.0,
+                                session_burst=2, clock=FakeClock(),
+                                auto_start=False) as runtime:
+                futures = [runtime.submit("greedy", self.PROBE)
+                           for _ in range(8)]
+                runtime.start()
+                answers = [f.result() for f in futures]
+            stats = runtime.stats()
+        refused = [a for a in answers if a.refused]
+        assert len(refused) == 6
+        for answer in refused:
+            assert isinstance(answer, Refusal)
+            assert answer.reason.startswith(
+                ADMISSION_PREFIX + REASON_RATE_LIMITED
+            )
+        assert stats["admitted"] == 2
+        assert stats["overload_refusals"] == 6
+        # The trace alone reconstructs every shed request.
+        decisions = [
+            d for d in degradation_decisions(read_trace(trace, validate=True))
+            if d["component"] == "serving"
+        ]
+        assert len(decisions) == 6
+        assert {d["decision"] for d in decisions} == {"refuse-overload"}
+        assert {d["reason"] for d in decisions} == {REASON_RATE_LIMITED}
+
+    def test_queue_full_refusals_are_typed_and_counted(self, tmp_path):
+        pop, _ = _tracked_population()
+        trace = tmp_path / "backpressure.jsonl"
+        with tele.session(trace):
+            with ServingRuntime(pop, shards=1, queue_depth=2,
+                                auto_start=False) as runtime:
+                futures = [runtime.submit("burst", self.PROBE)
+                           for _ in range(5)]
+                runtime.start()
+                answers = [f.result() for f in futures]
+        refused = [a for a in answers if a.refused]
+        assert len(refused) == 3
+        for answer in refused:
+            assert isinstance(answer, Refusal)
+            assert answer.reason.startswith(
+                ADMISSION_PREFIX + REASON_QUEUE_FULL
+            )
+        admitted = [a for a in answers if not a.refused]
+        assert len(admitted) == 2 and all(a.ok for a in admitted)
+        decisions = [
+            d for d in degradation_decisions(read_trace(trace))
+            if d["component"] == "serving"
+        ]
+        assert {d["reason"] for d in decisions} == {REASON_QUEUE_FULL}
+
+    def test_admission_never_raises_on_the_query_path(self):
+        pop, _ = _tracked_population()
+        with ServingRuntime(pop, shards=1, queue_depth=1,
+                            auto_start=False) as runtime:
+            answers = [runtime.submit("s", self.PROBE) for _ in range(4)]
+            runtime.start()
+            results = [f.result(timeout=10) for f in answers]
+        assert all(hasattr(a, "refused") for a in results)
+
+
+class TestCrossShardAudit:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_split_tracker_refused_under_shared_audit(self, shards):
+        pop, targets = _tracked_population()
+        with ServingRuntime(pop, shards=shards, sum_audit=True) as runtime:
+            sessions = runtime.distinct_shard_sessions("split", 2)
+            if shards >= 2:
+                assert runtime.shard_of(sessions[0]) != \
+                    runtime.shard_of(sessions[1])
+            outcome = split_tracker_attack(
+                runtime, pop, targets[0], ["height", "weight"],
+                "blood_pressure", sessions=sessions,
+            )
+        assert not outcome.succeeded
+        assert outcome.refusals >= 1
+        assert outcome.detail == "padding or tracker COUNT refused"
+
+    def test_isolated_audits_lose_to_the_split_tracker(self):
+        # The negative control: identical attack, per-shard audits only.
+        pop, targets = _tracked_population()
+        with ServingRuntime(pop, shards=2, sum_audit=True,
+                            shared_audit=False) as runtime:
+            sessions = runtime.distinct_shard_sessions("split", 2)
+            assert runtime.shard_of(sessions[0]) != \
+                runtime.shard_of(sessions[1])
+            outcome = split_tracker_attack(
+                runtime, pop, targets[0], ["height", "weight"],
+                "blood_pressure", sessions=sessions,
+            )
+        assert outcome.succeeded and outcome.exact
+
+    def test_sharded_decisions_match_a_single_engine(self):
+        # Decision equivalence: one analyst's serialized workload through
+        # the 4-shard runtime refuses and answers exactly like a lone
+        # StatisticalDatabase with the same policy stack.  (Reason
+        # strings differ by the "cross-shard-audit: " wrapper, so the
+        # comparison pins refused flags and answered values.)
+        pop, _ = _tracked_population()
+        workload = [
+            "SELECT COUNT(*) WHERE height > 170",
+            "SELECT AVG(blood_pressure) WHERE height > 170",
+            "SELECT SUM(blood_pressure) WHERE height > 170",
+            "SELECT SUM(blood_pressure) WHERE height > 170 AND weight > 70",
+            "SELECT SUM(blood_pressure) WHERE height > 170 AND weight <= 70",
+            "SELECT COUNT(*) WHERE weight <= 80",
+            "SELECT COUNT(*)",
+        ]
+        single = StatisticalDatabase(
+            pop, [QuerySetSizeControl(5), SumAuditPolicy()]
+        )
+        with single.session("analyst"):
+            truth = single.ask_batch(workload)
+        with ServingRuntime(pop, shards=4, sum_audit=True) as runtime:
+            served = [runtime.ask("analyst", q) for q in workload]
+        assert [a.refused for a in served] == [t.refused for t in truth]
+        for answer, expected in zip(served, truth):
+            if not expected.refused:
+                assert answer.value == pytest.approx(expected.value)
+        assert any(t.refused for t in truth), \
+            "workload must exercise at least one refusal"
+
+    def test_audit_view_counts_committed_answers(self):
+        pop, _ = _tracked_population()
+        with ServingRuntime(pop, shards=2, sum_audit=True) as runtime:
+            runtime.ask("a", "SELECT COUNT(*) WHERE height > 170")
+            runtime.ask("b", "SELECT COUNT(*) WHERE weight <= 80")
+            stats = runtime.stats()
+        assert stats["audit_answered"] == 2
+        assert stats["shared_audit"] is True
+
+
+class TestPirScatter:
+    def test_scatter_gather_roundtrip_in_request_order(self):
+        pop, _ = _tracked_population()
+        values = [int(v) for v in pop["blood_pressure"][:16]]
+        with ServingRuntime(pop, shards=4, pir_values=values) as runtime:
+            assert runtime.n_blocks == 16
+            indices = [15, 0, 7, 7, 3, 12]
+            got = runtime.retrieve_batch_int("reader", indices, seed=11)
+        assert got == [values[i] for i in indices]
+
+    def test_blocks_partition_over_all_busy_shards(self):
+        pop, _ = _tracked_population()
+        values = list(range(64))
+        with ServingRuntime(pop, shards=4, pir_values=values) as runtime:
+            got = runtime.retrieve_batch_int("reader", range(64))
+            stats = runtime.stats()
+        assert got == values
+        assert sum(s["pir_blocks"] for s in stats["shards"]) == 64
+        busy = [s for s in stats["shards"] if s["pir_positions"]]
+        assert len(busy) >= 2
+
+    def test_pir_requires_blocks(self):
+        pop, _ = _tracked_population()
+        with ServingRuntime(pop, shards=1) as runtime:
+            with pytest.raises(ValueError):
+                runtime.submit_pir("reader", [0])
+
+
+class TestRuntimeLifecycle:
+    def test_distinct_shard_sessions_are_distinct_and_stable(self):
+        pop, _ = _tracked_population()
+        with ServingRuntime(pop, shards=4) as runtime:
+            labels = runtime.distinct_shard_sessions("cohort", 3)
+            assert len(labels) == 3
+            shards = [runtime.shard_of(label) for label in labels]
+            assert len(set(shards)) == 3
+            assert labels == runtime.distinct_shard_sessions("cohort", 3)
+
+    def test_single_shard_runtime_pads_session_labels(self):
+        pop, _ = _tracked_population()
+        with ServingRuntime(pop, shards=1) as runtime:
+            labels = runtime.distinct_shard_sessions("cohort", 2)
+        assert len(labels) == 2 and len(set(labels)) == 2
+
+    def test_close_is_idempotent_and_restartable(self):
+        pop, _ = _tracked_population()
+        runtime = ServingRuntime(pop, shards=2)
+        assert runtime.ask("s", "SELECT COUNT(*) WHERE height > 170").ok
+        runtime.close()
+        runtime.close()
+        runtime.start()
+        assert runtime.ask("s", "SELECT COUNT(*) WHERE weight <= 80").ok
+        runtime.close()
+
+    def test_rejects_degenerate_configuration(self):
+        pop, _ = _tracked_population()
+        with pytest.raises(ValueError):
+            ServingRuntime(pop, shards=0)
+        with pytest.raises(ValueError):
+            ServingRuntime(pop, shards=1, queue_depth=0)

@@ -1,0 +1,96 @@
+"""The load generator in runtime mode: scripted traffic over the shards.
+
+The ``make serve-smoke`` gate runs this shape over real HTTP; here the
+same generator drives a :class:`ServingRuntime` directly so the
+runtime-mode contract — cohort split across shards, zero successful
+attacks, consistent per-shard accounting — is pinned without a server.
+"""
+
+import pytest
+
+from repro.serving import ServingRuntime
+from repro.telemetry import instrument as tele
+from repro.telemetry.observatory.service.loadgen import LoadGenerator
+
+
+@pytest.fixture
+def clean_telemetry():
+    tele.disable()
+    tele.reset_metrics()
+    yield
+    tele.disable()
+    tele.reset_metrics()
+
+
+pytestmark = pytest.mark.usefixtures("clean_telemetry")
+
+
+def _runtime(**kwargs):
+    from repro.data import patients
+
+    pop = patients(150, seed=3)
+    values = [int(v) for v in pop["blood_pressure"][:16]]
+    defaults = dict(shards=4, sum_audit=True, pir_values=values,
+                    queue_depth=256)
+    defaults.update(kwargs)
+    return ServingRuntime(pop, **defaults)
+
+
+class TestRuntimeMode:
+    def test_cohort_is_split_refused_and_accounted(self):
+        with _runtime() as runtime:
+            generator = LoadGenerator(
+                threads=4, ops=48, profile="mixed", tracker_cohort=True,
+                runtime=runtime,
+            )
+            report = generator.run()
+            runtime.drain()
+            stats = runtime.stats()
+        # The cohort ran once per target, split across distinct shards,
+        # and the shared audit refused every attack.
+        assert report["cohort"]["attacks"] == len(generator.targets) > 0
+        assert report["cohort"]["succeeded"] == 0
+        assert report["cohort"]["refusals"] >= 1
+        assert generator.cohort_sessions is not None
+        shards = {runtime.shard_of(s) for s in generator.cohort_sessions}
+        assert len(shards) == 2
+        assert set(generator.cohort_sessions) <= set(report["sessions"])
+        # Scripted accounting is exact and the shards did the work.
+        assert report["ops"] == 48
+        assert report["qdb_ops"] + report["pir_ops"] == 48
+        assert stats["overload_refusals"] == 0
+        processed = sum(s["processed"] for s in stats["shards"])
+        assert processed >= report["qdb_ops"]
+
+    def test_runtime_mode_uses_the_runtime_population_and_blocks(self):
+        with _runtime(shards=2) as runtime:
+            generator = LoadGenerator(
+                records=999, seed=3, threads=2, ops=12,
+                tracker_cohort=False, runtime=runtime,
+            ).build()
+        assert generator.pop is runtime.data
+        assert generator.db is None and generator.pir is None
+        assert generator._n_pir_blocks == runtime.n_blocks == 16
+        assert generator.cohort_sessions is None
+
+    def test_blockless_runtime_scripts_qdb_only(self):
+        with _runtime(pir_values=None, shards=2) as runtime:
+            generator = LoadGenerator(
+                threads=2, ops=16, tracker_cohort=False, runtime=runtime,
+            )
+            report = generator.run()
+            runtime.drain()
+        assert report["pir_ops"] == 0
+        assert report["qdb_ops"] == 16
+
+    def test_profiles_shift_the_qdb_pir_mix(self):
+        mixes = {}
+        for profile in ("audit-heavy", "pir-heavy"):
+            with _runtime(shards=2) as runtime:
+                report = LoadGenerator(
+                    threads=2, ops=64, profile=profile,
+                    tracker_cohort=False, runtime=runtime,
+                ).run()
+                runtime.drain()
+            mixes[profile] = report["qdb_ops"]
+        assert mixes["audit-heavy"] > mixes["pir-heavy"]
