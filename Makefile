@@ -2,7 +2,8 @@ PYTHON ?= python
 
 .PHONY: verify test bench bench-check bench-qdb bench-kernels bench-plan \
 	bench-refresh telemetry-smoke observe-smoke observe-serve-smoke \
-	serve-smoke chaos doctest-faults doctest-observatory doctest-serving
+	serve-smoke trace-smoke chaos doctest-faults doctest-observatory \
+	doctest-serving doctest-requesttrace
 
 .DEFAULT_GOAL := verify
 
@@ -12,8 +13,9 @@ PYTHON ?= python
 # runtime's end-to-end smoke, fault-layer/observatory/serving doctests,
 # and the chaos scenario's privacy invariants.
 verify: test bench-check bench-kernels bench-plan telemetry-smoke \
-	observe-smoke observe-serve-smoke serve-smoke doctest-faults \
-	doctest-observatory doctest-serving chaos
+	observe-smoke observe-serve-smoke serve-smoke trace-smoke \
+	doctest-faults doctest-observatory doctest-serving \
+	doctest-requesttrace chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -89,6 +91,14 @@ observe-serve-smoke:
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro serve --smoke
 
+# The request-tracing gate: the same full stack over real HTTP/SSE, then —
+# from the JSONL capture alone — reconstruct complete 7-stage waterfalls
+# for both an answered query and the split-tracker cohort's cross-shard
+# refusal, and require both trace ids to have crossed the SSE `trace`
+# frame stream and the /traces endpoint.
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve --trace-smoke
+
 # The fault layer's executable documentation: every module-level example
 # in src/repro/faults must keep running exactly as written.
 doctest-faults:
@@ -106,6 +116,14 @@ doctest-observatory:
 doctest-serving:
 	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules src/repro/serving \
 		src/repro/envdoc.py -q
+
+# The tracing layer's executable documentation: the synthetic-capture
+# waterfall walkthrough in requesttrace.py and the live sampling example
+# in profiler.py run exactly as written.
+doctest-requesttrace:
+	PYTHONPATH=src $(PYTHON) -m pytest --doctest-modules \
+		src/repro/telemetry/requesttrace.py \
+		src/repro/telemetry/profiler.py -q
 
 # Scripted failure scenario at a fixed seed: byzantine PIR replicas,
 # crashed SMC parties, failing qdb backends; exits nonzero when any

@@ -643,6 +643,21 @@ def _serve_dispatch(args: argparse.Namespace) -> int:
         create_server,
     )
 
+    if args.trace_smoke:
+        from .serving.smoke import run_trace_smoke
+
+        try:
+            summary = run_trace_smoke(
+                records=args.records, seed=args.seed, shards=args.shards,
+                out=args.out,
+            )
+        except ServingSmokeError as exc:
+            print(f"trace smoke FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        print("trace smoke OK")
+        return 0
+
     if args.smoke:
         try:
             summary = run_serving_smoke(
@@ -697,6 +712,92 @@ def _serve_dispatch(args: argparse.Namespace) -> int:
             service.close()
             server.shutdown()
             server.server_close()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Reconstruct one request's causal waterfall from a JSONL capture."""
+    import json
+
+    from .telemetry import requesttrace
+    from .telemetry.report import read_trace
+
+    spans = read_trace(args.capture, validate=not args.no_validate)
+    requests = requesttrace.request_records(spans)
+    if args.list or args.trace_id is None:
+        if not requests:
+            print(f"no serving.request spans in {args.capture}",
+                  file=sys.stderr)
+            return 1
+        for record in requests:
+            attrs = record["attrs"]
+            wall = sum(
+                float(attrs.get(f"stage_{s}_seconds", 0.0))
+                for s in requesttrace.TRACE_STAGES
+            )
+            print(f"{attrs.get('trace_id')}  {attrs.get('kind', '?'):<4s} "
+                  f"{wall * 1e3:8.3f} ms  session={attrs.get('session')} "
+                  f"shard={attrs.get('shard')} "
+                  f"outcome={attrs.get('outcome')}")
+        return 0
+    info = requesttrace.waterfall(spans, args.trace_id)
+    if info is None:
+        print(f"trace id {args.trace_id!r} not found in {args.capture} "
+              f"(try --list)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+    else:
+        print(requesttrace.format_waterfall(spans, args.trace_id))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a short serving burst with the sampling profiler."""
+    from pathlib import Path
+
+    from .data import patients
+    from .serving import ServingRuntime
+    from .telemetry.profiler import (
+        SamplingProfiler,
+        render_folded,
+        top_frames,
+    )
+
+    queries = (
+        "SELECT COUNT(*) WHERE height > 170",
+        "SELECT AVG(blood_pressure) WHERE height <= 175",
+        "SELECT COUNT(*) WHERE weight <= 80",
+    )
+    pop = patients(args.records, seed=args.seed)
+    pir_values = [int(v) for v in pop["blood_pressure"][:16]]
+    sessions = [f"profiled-{i}" for i in range(8)]
+    profiler = SamplingProfiler(hz=args.hz)
+    with profiler:
+        runtime = ServingRuntime(
+            pop, shards=args.shards, sum_audit=False,
+            pir_values=pir_values,
+        )
+        try:
+            for op in range(args.ops):
+                session = sessions[op % len(sessions)]
+                if op % 4 == 3:
+                    runtime.retrieve_batch_int(
+                        session, [op % 16, (op + 5) % 16], seed=op,
+                    )
+                else:
+                    runtime.ask(session, queries[op % len(queries)])
+        finally:
+            runtime.close()
+    lines = profiler.folded()
+    print(f"profile: {profiler.sample_count} samples at {profiler.hz} Hz, "
+          f"{len(lines)} distinct stacks over {args.ops} serving ops")
+    if args.out:
+        Path(args.out).write_text(render_folded(lines), encoding="utf-8")
+        print(f"folded stacks (flamegraph-ready) -> {args.out}")
+    print(f"hottest frames (top {args.top}):")
+    for frame, count in top_frames(lines, args.top):
+        print(f"  {count:>6d}  {frame}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -833,6 +934,10 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--smoke", action="store_true",
                     help="run the end-to-end serving gate and exit "
                          "(runtime + loadgen + observatory over HTTP)")
+    pv.add_argument("--trace-smoke", action="store_true",
+                    help="run the request-tracing gate and exit: full "
+                         "stack over HTTP/SSE, then reconstruct complete "
+                         "7-stage waterfalls from the JSONL capture")
     pv.add_argument("--shards", type=int, default=None,
                     help="shard count (default: REPRO_SERVING_SHARDS or 4)")
     pv.add_argument("--queue-depth", type=int, default=None,
@@ -856,6 +961,42 @@ def build_parser() -> argparse.ArgumentParser:
                     help="TCP port for the observatory (default: ephemeral)")
     pv.add_argument("--out", default=None,
                     help="also capture the trace to this JSONL path")
+
+    ptr = sub.add_parser(
+        "trace", help="reconstruct a request waterfall from a capture",
+        epilog=knob_epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ptr.add_argument("trace_id", nargs="?", default=None,
+                     help="trace id to reconstruct (omit to list all "
+                          "traced requests in the capture)")
+    ptr.add_argument("--capture", required=True,
+                     help="telemetry JSONL capture to read")
+    ptr.add_argument("--list", action="store_true",
+                     help="list traced requests instead of one waterfall")
+    ptr.add_argument("--json", action="store_true",
+                     help="emit the waterfall as JSON instead of ASCII")
+    ptr.add_argument("--no-validate", action="store_true",
+                     help="skip span-schema validation")
+
+    ppr = sub.add_parser(
+        "profile", help="sample a short serving burst into folded stacks",
+        epilog=knob_epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ppr.add_argument("--hz", type=float, default=97.0,
+                     help="sampling rate (default: 97 Hz, off the 100 Hz "
+                          "beat of periodic work)")
+    ppr.add_argument("--records", type=int, default=150)
+    ppr.add_argument("--seed", type=int, default=3)
+    ppr.add_argument("--shards", type=int, default=None,
+                     help="shard count (default: REPRO_SERVING_SHARDS or 4)")
+    ppr.add_argument("--ops", type=int, default=2000,
+                     help="serving operations to drive under the profiler")
+    ppr.add_argument("--out", default=None,
+                     help="write flamegraph-ready folded stacks here")
+    ppr.add_argument("--top", type=int, default=20,
+                     help="hottest leaf frames to print")
 
     pf = sub.add_parser("faults", help="fault injection and chaos runs")
     fl_sub = pf.add_subparsers(dest="faults_command", required=True)
@@ -884,6 +1025,8 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "observe": _cmd_observe,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 

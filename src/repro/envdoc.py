@@ -70,6 +70,17 @@ ENV_KNOBS: tuple[EnvKnob, ...] = (
         "Default per-shard ingress queue bound; a full queue yields "
         "typed 'admission: shard ingress queue full' refusals.",
     ),
+    EnvKnob(
+        "REPRO_TRACE_SAMPLE", "telemetry", "count >= 1", "1",
+        "Trace-context sampling: materialise a request trace for every "
+        "Nth request per session (1 traces everything; sequence numbers "
+        "still advance for sampled-out requests, keeping ids stable).",
+    ),
+    EnvKnob(
+        "REPRO_PROFILE_HZ", "telemetry", "samples/sec", "0 (off)",
+        "Continuous-profiler sampling rate for the background stack "
+        "sampler; 0 or unset keeps the profiler a strict no-op.",
+    ),
 )
 
 

@@ -34,6 +34,7 @@ from ..kernels import (
 )
 from ..sdc.base import resolve_rng
 from ..telemetry import instrument as tele
+from ..telemetry import requesttrace
 from ..telemetry.registry import MetricsRegistry
 from .parser import parse_query
 from .query import Aggregate, And, Not, Or, Query, TruePredicate
@@ -99,7 +100,7 @@ def _history_store_from_env() -> str:
 
 
 def _query_span_attrs(query, mask, depth, cache_hit, answer,
-                      plan_stats=None, session=None) -> dict:
+                      plan_stats=None, session=None, trace_id=None) -> dict:
     """Render a ``qdb.query`` span's attribute dict.
 
     This runs *deferred* (see :meth:`StatisticalDatabase._process`): the
@@ -122,6 +123,8 @@ def _query_span_attrs(query, mask, depth, cache_hit, answer,
     }
     if session is not None:
         attrs["session"] = session
+    if trace_id is not None:
+        attrs["trace_id"] = trace_id
     if answer is not None:
         attrs["refused"] = answer.refused
         attrs["degraded"] = isinstance(answer, Degraded)
@@ -557,6 +560,7 @@ class StatisticalDatabase:
         self._c_asked.inc()
         query_text, predicate_text, aggregate = _span_texts(query)
         session = self.session_label
+        trace_id = requesttrace.pop_pending()
         with tele.span(
             "qdb.query",
             query=query_text,
@@ -568,6 +572,8 @@ class StatisticalDatabase:
         ) as span:
             if session is not None:
                 span.set("session", session)
+            if trace_id is not None:
+                span.set("trace_id", trace_id)
             answer = self._backend_refusal(query, None, exc)
             span.set("refused", True)
             span.set("policy", "backend")
@@ -674,10 +680,14 @@ class StatisticalDatabase:
         answer = None
         plan_stats: dict = {}
         session = self.session_label
+        # The serving runtime queues one trace id per batched query; pop
+        # ours (None outside the runtime) so the deferred attrs carry it.
+        trace_id = requesttrace.pop_pending()
         with tele.span("qdb.query") as span:
             span.defer_attrs(
                 lambda: _query_span_attrs(query, mask, depth, cache_hit,
-                                          answer, plan_stats, session)
+                                          answer, plan_stats, session,
+                                          trace_id)
             )
             answer = self._decide(query, mask)
             # Captured eagerly (the deferred closure may render much

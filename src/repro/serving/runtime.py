@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from concurrent.futures import Future
 
 from ..qdb.engine import (
@@ -55,6 +56,8 @@ from ..qdb.engine import (
 )
 from ..qdb.parser import parse_query
 from ..qdb.query import Query
+from ..telemetry import instrument as tele
+from ..telemetry import requesttrace
 from ..telemetry.registry import MetricsRegistry
 from ..faults.retry import emit_decision
 from .admission import (
@@ -75,13 +78,14 @@ _STOP = object()
 class _Request:
     """One enqueued unit of shard work (a parsed query or a PIR scatter)."""
 
-    __slots__ = ("session", "kind", "payload", "future")
+    __slots__ = ("session", "kind", "payload", "future", "trace")
 
-    def __init__(self, session: str, kind: str, payload, future):
+    def __init__(self, session: str, kind: str, payload, future, trace=None):
         self.session = session
         self.kind = kind          # "qdb" | "pir"
         self.payload = payload
         self.future = future
+        self.trace = trace        # RequestTrace | None (None when untraced)
 
 
 class _PirScatter:
@@ -93,7 +97,8 @@ class _PirScatter:
         self._values: list[int | None] = [None] * n_positions
         self.future: Future = Future()
 
-    def deliver(self, shard: int, positions, values) -> None:
+    def deliver(self, shard: int, positions, values) -> bool:
+        """Fold one shard's values in; True iff this call completed it."""
         with self._lock:
             for position, value in zip(positions, values):
                 self._values[position] = value
@@ -101,6 +106,7 @@ class _PirScatter:
             done = not self._pending
         if done and not self.future.done():
             self.future.set_result(list(self._values))
+        return done
 
     def fail(self, exc: BaseException) -> None:
         if not self.future.done():
@@ -156,6 +162,18 @@ class Shard:
                     stop_seen = True
                     break
                 batch.append(item)
+            # queue_wait ends at batch pickup.  One clock read covers
+            # the whole batch — the drain above is non-blocking, so the
+            # items left the queue microseconds apart, and a shared
+            # timestamp keeps the traced path off the per-item
+            # perf_counter + method-call cost the overhead gate bounds.
+            now = None
+            for item in batch:
+                trace = item.trace
+                if trace is not None:
+                    if now is None:
+                        now = time.perf_counter()
+                    trace.dequeue = now
             try:
                 self._process(batch)
             finally:
@@ -188,28 +206,107 @@ class Shard:
                         request.payload[0].fail(exc)
                     elif not request.future.done():
                         request.future.set_exception(exc)
+                    if request.trace is not None:
+                        request.trace.mark("done")
+                        requesttrace.emit_request_span(
+                            request.trace, outcome="error", reason=repr(exc)
+                        )
             start = end
 
     def _run_qdb(self, session: str, group: list[_Request]) -> None:
         queries = [request.payload for request in group]
+        traced = any(request.trace is not None for request in group)
+        if traced:
+            # The group shares one engine call, so its members reach
+            # dispatch/lock/kernel at the same instant: one clock read
+            # per boundary, stored straight into the trace slots.
+            now = time.perf_counter()
+            for request in group:
+                if request.trace is not None:
+                    request.trace.dispatch = now
+            # One trace id per query, in batch order: the engine pops
+            # them as it processes so each qdb.query span carries its
+            # own request's id even though the batch shares one call.
+            if len(group) == 1:
+                requesttrace.push_one(group[0].trace.trace_id)
+            else:
+                requesttrace.push_pending([
+                    request.trace.trace_id if request.trace is not None
+                    else None
+                    for request in group
+                ])
         # The decision lock (the shared audit view's RLock, or a
         # per-shard lock when audits are isolated) is held across the
         # whole batch: policy review order is the privacy semantics.
-        with self.decision_lock, self.db.session(session):
-            answers = self.db.ask_batch(queries)
+        try:
+            with self.decision_lock, self.db.session(session):
+                if traced:
+                    now = time.perf_counter()
+                    for request in group:
+                        if request.trace is not None:
+                            request.trace.lock = now
+                answers = self.db.ask_batch(queries)
+        finally:
+            if traced:
+                requesttrace.clear_pending()
+        if traced:
+            now = time.perf_counter()
+            for request in group:
+                if request.trace is not None:
+                    request.trace.kernel = now
         for request, answer in zip(group, answers):
             self.c_processed.inc()
             if answer.refused:
                 self.c_refused.inc()
+            trace = request.trace
+            if trace is not None:
+                trace.gather = time.perf_counter()
             if not request.future.done():
                 request.future.set_result(answer)
+            if trace is not None:
+                trace.done = time.perf_counter()
+                requesttrace.emit_request_span(
+                    trace,
+                    outcome="refused" if answer.refused else "answered",
+                    reason=answer.reason if answer.refused else None,
+                )
 
     def _run_pir(self, group: list[_Request]) -> None:
         for request in group:
             scatter, positions, local_indices, seed = request.payload
-            values = self.pir.retrieve_batch_int(local_indices, rng=seed)
+            trace = request.trace
+            if trace is None:
+                values = self.pir.retrieve_batch_int(local_indices, rng=seed)
+                self.c_pir.inc(len(values))
+                scatter.deliver(self.index, positions, values)
+                continue
+            # One trace rides every shard-level entry of the scatter;
+            # last-writer-wins marks make the reported stages the
+            # critical path, and the shard that completes the gather
+            # emits the request span.  PIR holds no decision lock, so
+            # the audit stage is marked as an empty interval.
+            now = time.perf_counter()
+            trace.dispatch = now
+            trace.lock = now  # no decision lock on PIR: empty audit stage
+            # requesttrace.activate, inlined: the context-manager
+            # generator is one more GC-tracked allocation per shard
+            # entry, and PIR fan-out crosses this line once per owning
+            # shard per request.
+            ctx = requesttrace.TRACE_CONTEXT
+            prev_tid = getattr(ctx, "tid", None)
+            ctx.tid = trace.trace_id
+            try:
+                values = self.pir.retrieve_batch_int(local_indices, rng=seed)
+            finally:
+                ctx.tid = prev_tid
+            trace.kernel = time.perf_counter()
             self.c_pir.inc(len(values))
-            scatter.deliver(self.index, positions, values)
+            done = scatter.deliver(self.index, positions, values)
+            trace.gather = time.perf_counter()
+            if done:
+                trace.shard = self.index
+                trace.done = time.perf_counter()
+                requesttrace.emit_request_span(trace, outcome="answered")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -285,6 +382,11 @@ class ServingRuntime:
         self.metrics = MetricsRegistry(owner="serving")
         self._c_admitted = self.metrics.counter("serving.admitted")
         self._c_overload = self.metrics.counter("serving.overload_refusals")
+        # Deterministic trace-id assignment: per-session sequence numbers
+        # (never reset) + the 1-in-N REPRO_TRACE_SAMPLE knob.
+        self._trace_seq: dict[str, int] = {}
+        self._trace_lock = threading.Lock()
+        self._trace_every = requesttrace.trace_sample_every()
 
         self.view: CrossShardAuditView | None = None
         if shared_audit:
@@ -384,34 +486,78 @@ class ServingRuntime:
         parsed = parse_query(query) if isinstance(query, str) else query
         shard = self.shards[self.router.shard_for(session)]
         future: Future = Future()
+        trace = self._start_trace(session, "qdb", shard.index)
         reason = self.admission.admit(session)
         if reason is None:
             try:
+                if trace is not None:
+                    # len() of the underlying deque, not qsize(): taking
+                    # the queue mutex here convoys with the workers
+                    # draining it, and an observability attribute only
+                    # needs an instantaneous (atomic-read) depth.
+                    trace.queue_depth = len(shard.queue.queue)
+                    trace.enqueue = time.perf_counter()
                 shard.queue.put_nowait(
-                    _Request(session, "qdb", parsed, future)
+                    _Request(session, "qdb", parsed, future, trace)
                 )
             except queue.Full:
                 reason = REASON_QUEUE_FULL
         if reason is not None:
+            if trace is not None:
+                # Never entered a queue: the waterfall reports only the
+                # admission check and the refusal emission.
+                trace.enqueue = None
+                trace.mark("refused")
             self._refuse_overload(session, shard.index, parsed, reason,
-                                  future)
+                                  future, trace)
             return future
         self._c_admitted.inc()
         return future
+
+    def _start_trace(self, session: str, kind: str, shard: int):
+        """Mint the request's trace context (None when untraced).
+
+        The per-session sequence number always advances — sampling
+        decides only whether a :class:`RequestTrace` is materialised —
+        so trace ids are identical run to run for the same workload
+        regardless of the sampling knob.
+        """
+        if not tele.enabled():
+            return None
+        with self._trace_lock:
+            seq = self._trace_seq.get(session, 0) + 1
+            self._trace_seq[session] = seq
+        if (seq - 1) % self._trace_every:
+            return None
+        trace = requesttrace.RequestTrace(
+            requesttrace.mint_trace_id(session, seq), session, kind, shard
+        )
+        trace.submit = time.perf_counter()
+        return trace
 
     def ask(self, session: str, query: Query | str) -> Answer:
         """Blocking :meth:`submit`."""
         return self.submit(session, query).result()
 
     def _refuse_overload(self, session: str, shard: int, parsed: Query,
-                         reason: str, future: Future) -> None:
+                         reason: str, future: Future, trace=None) -> None:
         self._c_overload.inc()
         detail = f"{reason} (session {session!r}, shard {shard})"
-        emit_decision(OVERLOAD_COMPONENT, OVERLOAD_DECISION, reason,
-                      session=session, shard=shard)
+        if trace is not None:
+            emit_decision(OVERLOAD_COMPONENT, OVERLOAD_DECISION, reason,
+                          session=session, shard=shard,
+                          trace_id=trace.trace_id)
+        else:
+            emit_decision(OVERLOAD_COMPONENT, OVERLOAD_DECISION, reason,
+                          session=session, shard=shard)
         future.set_result(
             Refusal(parsed, reason=f"{ADMISSION_PREFIX}{detail}")
         )
+        if trace is not None:
+            trace.mark("done")
+            requesttrace.emit_request_span(
+                trace, outcome="refused-overload", reason=reason
+            )
 
     # -- PIR path ----------------------------------------------------------
 
@@ -440,9 +586,20 @@ class ServingRuntime:
         if not per_shard:
             scatter.future.set_result([])
             return scatter.future
-        for owner, (positions, locals_) in per_shard.items():
+        owners = sorted(per_shard)
+        trace = self._start_trace(session, "pir", owners[0])
+        if trace is not None:
+            # Lock-free depth reads, as in submit(): worst depth across
+            # the owning shards at scatter time.
+            trace.queue_depth = max(
+                len(self.shards[owner].queue.queue) for owner in owners
+            )
+            trace.enqueue = time.perf_counter()
+        for owner in owners:
+            positions, locals_ = per_shard[owner]
             self.shards[owner].queue.put(_Request(
                 session, "pir", (scatter, positions, locals_, seed), None,
+                trace,
             ))
         return scatter.future
 

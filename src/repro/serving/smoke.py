@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["ServingSmokeError", "run_serving_smoke"]
+__all__ = ["ServingSmokeError", "run_serving_smoke", "run_trace_smoke"]
 
 
 class ServingSmokeError(AssertionError):
@@ -211,5 +211,218 @@ def run_serving_smoke(
         f"{summary['tracker_alerts']} tracker-probe alert(s) over SSE, "
         f"cohort split across {summary['cohort_sessions']}, "
         f"{summary['replay']}"
+    )
+    return summary
+
+
+def _require_complete_waterfall(info: dict, what: str) -> None:
+    """Assert one reconstructed waterfall carries the full request path."""
+    from ..telemetry.requesttrace import TRACE_STAGES
+
+    missing = [stage for stage in TRACE_STAGES if stage not in info["stages"]]
+    if missing:
+        raise ServingSmokeError(
+            f"{what} waterfall {info['trace_id']} is missing stages "
+            f"{missing} (has {sorted(info['stages'])})"
+        )
+    if not isinstance(info["shard"], int) or info["shard"] < 0:
+        raise ServingSmokeError(
+            f"{what} waterfall {info['trace_id']} has no shard id "
+            f"(shard={info['shard']!r})"
+        )
+    if not isinstance(info["queue_depth"], int) or info["queue_depth"] < 0:
+        raise ServingSmokeError(
+            f"{what} waterfall {info['trace_id']} has no queue depth "
+            f"(queue_depth={info['queue_depth']!r})"
+        )
+    if not info["outcome"]:
+        raise ServingSmokeError(
+            f"{what} waterfall {info['trace_id']} has no decision outcome"
+        )
+    linked = [s for s in info["linked"] if s["name"] == "qdb.query"]
+    if not linked:
+        raise ServingSmokeError(
+            f"{what} waterfall {info['trace_id']} has no linked qdb.query "
+            f"span (linked: {[s['name'] for s in info['linked']]})"
+        )
+
+
+def run_trace_smoke(
+    records: int = 150,
+    seed: int = 3,
+    shards: int | None = 4,
+    threads: int = 4,
+    ops: int = 96,
+    out: str | None = None,
+    echo=print,
+) -> dict:
+    """The request-tracing gate (``make trace-smoke``).
+
+    A serve-smoke variant centred on the trace substrate: the same full
+    stack (sharded runtime, observatory service over real HTTP/SSE,
+    runtime-mode load generator with the split-tracker cohort) runs
+    with a JSONL capture attached, and afterwards the capture alone
+    must reconstruct a **complete 7-stage waterfall** — every frozen
+    stage, the shard id, the queue depth at enqueue, and the decision
+    outcome, plus the linked ``qdb.query`` span — for BOTH an answered
+    query AND a cohort query refused by the cross-shard audit.  On the
+    wire, ``trace`` frames must arrive over SSE (schema v2 handshake)
+    and ``/traces`` must serve the same trace ids.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..telemetry import instrument
+    from ..telemetry.report import read_trace
+    from ..telemetry.requesttrace import (
+        format_waterfall,
+        request_records,
+        waterfall,
+    )
+    from ..telemetry.observatory.service.loadgen import LoadGenerator
+    from ..telemetry.observatory.service.server import (
+        SSE_SCHEMA_VERSION,
+        ObservatoryService,
+        _SseCollector,
+        _fetch_json,
+        create_server,
+    )
+    from ..data import patients
+    from .runtime import ServingRuntime
+
+    trace_path = Path(out) if out else Path(
+        tempfile.gettempdir()) / "repro-trace-smoke.jsonl"
+    pop = patients(records, seed=seed)
+    pir_values = [int(v) for v in pop["blood_pressure"][:16]]
+
+    service = ObservatoryService()
+    server = create_server(service)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    server_thread = threading.Thread(
+        target=server.serve_forever, name="trace-smoke-http", daemon=True
+    )
+    with instrument.session(trace_path) as tracer:
+        service.attach(tracer)
+        server_thread.start()
+        collector = _SseCollector(f"{base}/events")
+        runtime = ServingRuntime(
+            pop, shards=shards, sum_audit=True, pir_values=pir_values,
+            queue_depth=max(256, ops * 2),
+        )
+        shards = runtime.n_shards
+        try:
+            collector.start()
+            if not collector.hello_seen.wait(timeout=10.0):
+                raise ServingSmokeError(
+                    f"SSE handshake did not arrive (client error: "
+                    f"{collector.error})"
+                )
+            generator = LoadGenerator(
+                records=records, seed=seed, threads=threads, ops=ops,
+                profile="mixed", tracker_cohort=True, runtime=runtime,
+            )
+            report = generator.run()
+            runtime.drain()
+            traces_payload = _fetch_json(f"{base}/traces")
+        finally:
+            runtime.close()
+            service.close()
+            collector.join(timeout=10.0)
+            server.shutdown()
+            server.server_close()
+        if collector.error:
+            raise ServingSmokeError(f"SSE client failed: {collector.error}")
+        cohort_sessions = list(generator.cohort_sessions)
+
+    # Reconstruct everything from the JSONL capture alone.
+    spans = read_trace(trace_path)
+    requests = request_records(spans)
+    if not requests:
+        raise ServingSmokeError("capture has no serving.request spans")
+
+    (hello,) = collector.of_type("hello")
+    if hello["schema"] != SSE_SCHEMA_VERSION:
+        raise ServingSmokeError(
+            f"SSE handshake schema {hello['schema']} != "
+            f"{SSE_SCHEMA_VERSION}"
+        )
+    if "trace" not in hello["events"]:
+        raise ServingSmokeError(
+            f"handshake does not announce trace frames: {hello['events']}"
+        )
+    sse_traces = collector.of_type("trace")
+    if not sse_traces:
+        raise ServingSmokeError("no trace frames arrived over SSE")
+
+    answered = next(
+        (r for r in requests
+         if r["attrs"].get("kind") == "qdb"
+         and r["attrs"].get("outcome") == "answered"),
+        None,
+    )
+    if answered is None:
+        raise ServingSmokeError("no answered qdb request in the capture")
+    refused = next(
+        (r for r in requests
+         if r["attrs"].get("session") in cohort_sessions
+         and r["attrs"].get("outcome") == "refused"),
+        None,
+    )
+    if refused is None:
+        raise ServingSmokeError(
+            f"no refused split-tracker request in the capture (cohort "
+            f"sessions: {cohort_sessions})"
+        )
+
+    checks = []
+    for what, record in (("answered", answered),
+                         ("split-tracker refused", refused)):
+        trace_id = record["attrs"]["trace_id"]
+        info = waterfall(spans, trace_id)
+        _require_complete_waterfall(info, what)
+        if what.endswith("refused"):
+            linked = [s for s in info["linked"] if s["name"] == "qdb.query"]
+            if not any(s["attrs"].get("refused") for s in linked):
+                raise ServingSmokeError(
+                    f"refused waterfall {trace_id} links no refused "
+                    f"qdb.query span"
+                )
+        sse_ids = {frame.get("trace_id") for frame in sse_traces}
+        if trace_id not in sse_ids:
+            raise ServingSmokeError(
+                f"{what} trace {trace_id} never crossed the SSE stream"
+            )
+        http_ids = {t.get("trace_id") for t in traces_payload["traces"]}
+        if trace_id not in http_ids:
+            raise ServingSmokeError(
+                f"{what} trace {trace_id} missing from /traces"
+            )
+        echo(format_waterfall(spans, trace_id))
+        echo("")
+        checks.append({
+            "trace_id": trace_id,
+            "outcome": info["outcome"],
+            "shard": info["shard"],
+            "queue_depth": info["queue_depth"],
+            "stages": sorted(info["stages"]),
+            "linked_spans": len(info["linked"]),
+        })
+
+    summary = {
+        "ops": report["ops"],
+        "shards": shards,
+        "capture": str(trace_path),
+        "traced_requests": len(requests),
+        "sse_trace_frames": len(sse_traces),
+        "http_traces": traces_payload["count"],
+        "cohort_sessions": cohort_sessions,
+        "waterfalls": checks,
+    }
+    echo(
+        f"trace smoke OK: {len(requests)} traced requests, "
+        f"{len(sse_traces)} trace frames over SSE, complete 7-stage "
+        f"waterfalls for {checks[0]['trace_id']} (answered) and "
+        f"{checks[1]['trace_id']} (split-tracker refused)"
     )
     return summary

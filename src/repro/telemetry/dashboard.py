@@ -11,6 +11,7 @@ privacy requires.
 from __future__ import annotations
 
 import math
+import re
 from collections.abc import Sequence
 
 __all__ = ["format_quantity", "meter_bar", "render_dashboard",
@@ -114,7 +115,54 @@ def render_metrics(snapshot: dict) -> str:
         lines.append(f"  {name:<34s} {value:>14.4g}")
     for name, data in histograms.items():
         lines.append(_histogram_row(name, data))
+    lines.extend(_stage_rows(histograms))
     return "\n".join(lines)
+
+
+_STAGE_HIST = re.compile(r"^serving\.shard\d+\.([a-z_]+)_seconds$")
+
+
+def _stage_rows(histograms: dict) -> list[str]:
+    """Derived serving-stage rows: per-stage hit counts + queue_wait p95.
+
+    The per-shard ``serving.shard<i>.<stage>_seconds`` histograms the
+    request tracer feeds are folded across shards; each frozen stage
+    gets a ``serving.stage.<stage>_hits`` row, and ``queue_wait`` — the
+    backpressure signal — additionally gets its aggregated p95 (same
+    derived-row family as the ``*_hit_rate`` cache rows above).
+    """
+    from .observatory.stream import quantile_from_buckets
+    from .requesttrace import TRACE_STAGES
+
+    per_stage: dict[str, list[dict]] = {}
+    for name, data in histograms.items():
+        match = _STAGE_HIST.match(name)
+        if match and match.group(1) in TRACE_STAGES:
+            per_stage.setdefault(match.group(1), []).append(data)
+    if not per_stage:
+        return []
+    lines = ["serving stages (all shards)"]
+    for stage in TRACE_STAGES:
+        entries = per_stage.get(stage)
+        if not entries:
+            continue
+        hits = sum(entry["count"] for entry in entries)
+        lines.append(f"  {'serving.stage.' + stage + '_hits':<34s} {hits:>14,}")
+    queue_wait = per_stage.get("queue_wait")
+    if queue_wait:
+        labels = list(queue_wait[0]["buckets"])
+        bounds = [float(label[len("le_"):]) for label in labels
+                  if label != "inf"]
+        counts = [
+            sum(entry["buckets"].get(label, 0) for entry in queue_wait)
+            for label in labels
+        ]
+        p95 = quantile_from_buckets(bounds, counts, 0.95)
+        lines.append(
+            f"  {'serving.queue_wait_p95':<34s} "
+            f"{format_quantity(p95, 'queue_wait_seconds'):>14s}"
+        )
+    return lines
 
 
 def render_dashboard(

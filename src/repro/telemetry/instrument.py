@@ -28,7 +28,14 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from .registry import DEFAULT_BUCKETS, process_registry
-from .tracing import JsonlSink, Span, Tracer, _SCALAR_TYPES, _scalar
+from .tracing import (
+    TRACE_CONTEXT,
+    JsonlSink,
+    Span,
+    Tracer,
+    _SCALAR_TYPES,
+    _scalar,
+)
 
 __all__ = [
     "NOOP_METRIC",
@@ -79,7 +86,7 @@ class _NoopMetric:
     def set(self, value) -> None:
         """Discard the value."""
 
-    def observe(self, value) -> None:
+    def observe(self, value, exemplar=None) -> None:
         """Discard the observation."""
 
 
@@ -152,6 +159,12 @@ def span(name: str, **attrs):
     for key, value in attrs.items():
         if not isinstance(value, _SCALAR_TYPES):
             attrs[key] = _scalar(value)
+    # Request-trace propagation: while a serving worker has a trace id
+    # active on this thread, stamp it onto every span opened underneath
+    # so the per-subsystem spans link into one causal tree.
+    tid = getattr(TRACE_CONTEXT, "tid", None)
+    if tid is not None and "trace_id" not in attrs:
+        attrs["trace_id"] = tid
     return Span(_TRACER, name, attrs)
 
 

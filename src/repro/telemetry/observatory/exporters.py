@@ -171,10 +171,23 @@ def render_openmetrics(snapshot: dict, namespace: str = "repro") -> str:
         lines.append(f"# HELP {metric} {_escape_help(name)}")
         lines.append(f"# TYPE {metric} histogram")
         cumulative = 0
+        exemplar = data.get("exemplar")
+        exemplar_done = False
         for label, bound in _bucket_bounds(data["buckets"]):
             cumulative += data["buckets"][label]
             le = "+Inf" if math.isinf(bound) else f"{bound:g}"
-            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            line = f'{metric}_bucket{{le="{le}"}} {cumulative}'
+            # OpenMetrics exemplar syntax, on the first bucket that
+            # contains the worst-offender observation:
+            #   ..._bucket{le="0.01"} 5 # {trace_id="..."} 0.0042
+            if (exemplar is not None and not exemplar_done
+                    and float(exemplar["value"]) <= bound):
+                line += (
+                    f' # {{trace_id="{_escape_label(exemplar["trace_id"])}"}}'
+                    f' {_format_value(float(exemplar["value"]))}'
+                )
+                exemplar_done = True
+            lines.append(line)
         lines.append(f"{metric}_sum {_format_value(float(data['total']))}")
         lines.append(f"{metric}_count {int(data['count'])}")
 
@@ -185,7 +198,8 @@ def render_openmetrics(snapshot: dict, namespace: str = "repro") -> str:
 _SAMPLE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
     r'(?:\{(?P<labels>[^}]*)\})?'
-    r'\s+(?P<value>\S+)$'
+    r'\s+(?P<value>\S+)'
+    r'(?:\s+#\s+\{(?P<exlabels>[^}]*)\}\s+(?P<exvalue>\S+))?$'
 )
 _LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
 
@@ -261,6 +275,14 @@ def parse_openmetrics(text: str, namespace: str = "repro") -> dict:
             )
             if suffix == "_bucket":
                 acc["buckets"].append((labels.get("le", "+Inf"), int(value)))
+                if match.group("exlabels") is not None:
+                    exlabels = dict(_LABEL.findall(match.group("exlabels")))
+                    acc["exemplar"] = {
+                        "trace_id": _unescape_label(
+                            exlabels.get("trace_id", "")
+                        ),
+                        "value": float(match.group("exvalue")),
+                    }
             elif suffix == "_sum":
                 acc["total"] = float(value)
             elif suffix == "_count":
@@ -279,12 +301,15 @@ def parse_openmetrics(text: str, namespace: str = "repro") -> dict:
             buckets[label] = cumulative - previous
             previous = cumulative
         count = acc["count"]
-        out["histograms"][name] = {
+        data = {
             "count": count,
             "total": acc["total"],
             "mean": acc["total"] / count if count else 0.0,
             "buckets": buckets,
         }
+        if "exemplar" in acc:
+            data["exemplar"] = acc["exemplar"]
+        out["histograms"][name] = data
     return out
 
 
@@ -360,10 +385,13 @@ def read_snapshot_jsonl(path: str | Path) -> dict:
             elif kind == "gauge":
                 out["gauges"][record["name"]] = record["value"]
             elif kind == "histogram":
-                out["histograms"][record["name"]] = {
+                data = {
                     "count": record["count"],
                     "total": record["total"],
                     "mean": record["mean"],
                     "buckets": record["buckets"],
                 }
+                if "exemplar" in record:
+                    data["exemplar"] = record["exemplar"]
+                out["histograms"][record["name"]] = data
     return out

@@ -51,6 +51,7 @@ from ..exporters import (
 )
 from ..observatory import Observatory
 from ..rules import ALERT_SPAN_NAME, Alert, default_rules
+from ...requesttrace import REQUEST_SPAN_NAME
 from .incidents import build_incident_bundle
 from .loadgen import LoadGenerator
 from .sessions import SessionTimelines
@@ -67,10 +68,12 @@ __all__ = [
 ]
 
 #: Frozen SSE frame schema version (bump on structural changes).
-SSE_SCHEMA_VERSION = 1
+#: v2: added the ``trace`` frame (one per completed ``serving.request``
+#: span, carrying the trace id and stage decomposition) and /traces.
+SSE_SCHEMA_VERSION = 2
 
 #: Event types a client may receive, in lifecycle order.
-SSE_EVENT_TYPES = ("hello", "point", "alert", "bye")
+SSE_EVENT_TYPES = ("hello", "point", "alert", "trace", "bye")
 
 #: Series whose windowed aggregates ride in every ``point`` frame —
 #: one per paper dimension the detectors watch (respondent: refusals and
@@ -199,6 +202,9 @@ class ObservatoryService:
         self.window = window
         self._seen = 0
         self._tracer = None
+        # Recent serving.request attr dicts (trace id + stage split),
+        # newest last; served by /traces and broadcast as trace frames.
+        self.traces: deque[dict] = deque(maxlen=256)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -245,6 +251,14 @@ class ObservatoryService:
         name = record["name"]
         if name == ALERT_SPAN_NAME:
             self.bus.publish("alert", dict(record["attrs"]))
+            return
+        if name == REQUEST_SPAN_NAME:
+            # A completed request's latency decomposition: retain for
+            # /traces and broadcast, but keep it out of the point/series
+            # cadence (it is an envelope around spans already counted).
+            attrs = dict(record["attrs"])
+            self.traces.append(attrs)
+            self.bus.publish("trace", attrs)
             return
         if name.startswith("observatory."):
             return
@@ -297,7 +311,16 @@ class ObservatoryService:
             "events_dropped": self.bus.dropped,
             "posture": self.observatory.posture(),
             "endpoints": ["/", "/metrics", "/events", "/sessions",
-                          "/sessions/<label>", "/incident"],
+                          "/sessions/<label>", "/traces", "/incident"],
+        }
+
+    def trace_index(self) -> dict:
+        """The retained request traces, oldest first."""
+        traces = list(self.traces)
+        return {
+            "schema": SSE_SCHEMA_VERSION,
+            "count": len(traces),
+            "traces": traces,
         }
 
     def openmetrics(self) -> str:
@@ -349,6 +372,8 @@ class _Handler(BaseHTTPRequestHandler):
                     self._json({"error": f"unknown session {label!r}"}, 404)
                 else:
                     self._json(timeline)
+            elif path == "/traces":
+                self._json(self.service.trace_index())
             elif path == "/incident":
                 self._json(self.service.incident_bundle())
             else:

@@ -38,6 +38,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "observe_batch",
     "process_registry",
 ]
 
@@ -92,7 +93,8 @@ class Histogram:
     of the same name is exact.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "_lock")
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "exemplar_value", "exemplar_label", "_lock")
     kind = "histogram"
 
     def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
@@ -103,14 +105,26 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
+        self.exemplar_value = None
+        self.exemplar_label = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
-        """Record one observation; exact under concurrency."""
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation; exact under concurrency.
+
+        When *exemplar* (a trace id) is given and *value* is the worst
+        seen so far, it becomes the histogram's exemplar — the
+        worst-offender pointer exported alongside the buckets.
+        """
         with self._lock:
             self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
             self.count += 1
             self.total += value
+            if exemplar is not None and (
+                self.exemplar_value is None or value > self.exemplar_value
+            ):
+                self.exemplar_value = value
+                self.exemplar_label = exemplar
 
     @property
     def mean(self) -> float:
@@ -120,12 +134,18 @@ class Histogram:
     def as_dict(self) -> dict:
         """JSON-friendly summary of the histogram state."""
         labels = [f"le_{b:g}" for b in self.bounds] + ["inf"]
-        return {
+        data = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "buckets": dict(zip(labels, self.bucket_counts)),
         }
+        if self.exemplar_label is not None:
+            data["exemplar"] = {
+                "trace_id": self.exemplar_label,
+                "value": self.exemplar_value,
+            }
+        return data
 
     def merge(self, other: "Histogram") -> None:
         """Fold *other* (same bounds) into this histogram."""
@@ -138,9 +158,73 @@ class Histogram:
                 self.bucket_counts[i] += c
             self.count += other.count
             self.total += other.total
+            if other.exemplar_label is not None and (
+                self.exemplar_value is None
+                or other.exemplar_value > self.exemplar_value
+            ):
+                self.exemplar_value = other.exemplar_value
+                self.exemplar_label = other.exemplar_label
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
+
+
+def observe_batch(
+    hists: list,
+    values: list,
+    exemplar: str | None = None,
+    shared_lock: "threading.Lock | None" = None,
+) -> None:
+    """Record ``values[i]`` into ``hists[i]`` for each value present.
+
+    ``values`` may be shorter than ``hists`` — the pair lists are
+    position-aligned and the extra histograms are untouched.  The
+    serving runtime's traced hot path lands seven stage observations
+    per request; routing them through this helper instead of seven
+    :meth:`Histogram.observe` calls skips the per-call method dispatch
+    and ``with``-statement overhead, and the parallel-list shape (vs a
+    list of pairs) keeps the caller from allocating one GC-tracked
+    tuple per observation — both measurable at the serving_traced_qps
+    gate's 10% bound.  With *shared_lock* (a family built by
+    :meth:`MetricsRegistry.histogram_set`) the whole batch runs under
+    one acquire; otherwise each histogram's own lock is taken.  Either
+    way every update happens under the lock that guards its histogram,
+    so exactness under concurrency is unchanged.
+    """
+    bl = bisect.bisect_left
+    if shared_lock is not None:
+        shared_lock.acquire()
+        try:
+            for i in range(len(values)):
+                hist = hists[i]
+                value = values[i]
+                hist.bucket_counts[bl(hist.bounds, value)] += 1
+                hist.count += 1
+                hist.total += value
+                if exemplar is not None and (
+                    hist.exemplar_value is None or value > hist.exemplar_value
+                ):
+                    hist.exemplar_value = value
+                    hist.exemplar_label = exemplar
+        finally:
+            shared_lock.release()
+        return
+    for i in range(len(values)):
+        hist = hists[i]
+        value = values[i]
+        lock = hist._lock
+        lock.acquire()
+        try:
+            hist.bucket_counts[bl(hist.bounds, value)] += 1
+            hist.count += 1
+            hist.total += value
+            if exemplar is not None and (
+                hist.exemplar_value is None or value > hist.exemplar_value
+            ):
+                hist.exemplar_value = value
+                hist.exemplar_label = exemplar
+        finally:
+            lock.release()
 
 
 class MetricsRegistry:
@@ -198,6 +282,41 @@ class MetricsRegistry:
     ) -> Histogram:
         """Get or create the named histogram (bounds fixed at creation)."""
         return self._get_or_create(Histogram, name, bounds)
+
+    def histogram_set(
+        self, names: list, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> tuple[list, "threading.Lock | None"]:
+        """Get or create a family of histograms sharing one update lock.
+
+        Returns ``(histograms, shared_lock)`` where ``shared_lock`` is a
+        single lock guarding *every* returned histogram — the serving
+        runtime's stage-histogram sets pass it to :func:`observe_batch`
+        so seven per-request observations acquire once instead of seven
+        times.  The lock is installed at creation, under the registry
+        lock and before the histograms become visible to any other
+        thread, so there is no swap window in which a concurrent
+        observer could hold a stale lock.  When any name already exists
+        with its own lock the family cannot be unified safely and
+        ``shared_lock`` is ``None`` (callers fall back to per-histogram
+        locking).
+        """
+        with self._lock:
+            fresh = all(name not in self._metrics for name in names)
+            shared = threading.Lock() if fresh else None
+            out = []
+            for name in names:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = Histogram(name, bounds)
+                    if shared is not None:
+                        metric._lock = shared
+                    self._metrics[name] = metric
+                elif not isinstance(metric, Histogram):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {metric.kind}"
+                    )
+                out.append(metric)
+            return out, shared
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics

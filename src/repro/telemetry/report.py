@@ -239,6 +239,13 @@ class TraceReport:
         """Mask-cache / plan-cache efficiency and fused-scan savings."""
         return cache_efficiency(self.spans)
 
+    @property
+    def requests(self) -> list[dict]:
+        """Traced serving requests (``serving.request`` envelopes)."""
+        from .requesttrace import request_records
+
+        return request_records(self.spans)
+
     def format(self, top: int = 10) -> str:
         """Human-readable report: summary table, slowest spans, refusals."""
         lines = [f"trace: {self.path} ({len(self.spans)} spans)", ""]
@@ -309,6 +316,57 @@ class TraceReport:
                 f"({decision['dimension']}, step {decision['step']})\n"
                 f"      -> {decision['detail']}"
             )
+        requests = self.requests
+        if requests:
+            from .requesttrace import TRACE_STAGES
+
+            outcomes: dict[str, int] = {}
+            stage_totals: dict[str, float] = {}
+            for record in requests:
+                attrs = record["attrs"]
+                outcome = attrs.get("outcome", "?")
+                outcomes[outcome] = outcomes.get(outcome, 0) + 1
+                for stage in TRACE_STAGES:
+                    value = attrs.get(f"stage_{stage}_seconds")
+                    if value is not None:
+                        stage_totals[stage] = (
+                            stage_totals.get(stage, 0.0) + float(value)
+                        )
+            summary = ", ".join(
+                f"{count} {outcome}" for outcome, count in
+                sorted(outcomes.items())
+            )
+            lines += ["", f"traced requests: {len(requests)} ({summary})"]
+            total = sum(stage_totals.values())
+            for stage in TRACE_STAGES:
+                if stage not in stage_totals:
+                    continue
+                value = stage_totals[stage]
+                share = value / total if total else 0.0
+                lines.append(
+                    f"  {stage:<14s} {value * 1e3:>10.3f} ms total "
+                    f"({share:5.1%} of traced wall time)"
+                )
+            slow_requests = sorted(
+                requests,
+                key=lambda r: -sum(
+                    float(r["attrs"].get(f"stage_{s}_seconds", 0.0))
+                    for s in TRACE_STAGES
+                ),
+            )[:min(top, 5)]
+            lines.append("  slowest requests (see `repro trace <id>`):")
+            for record in slow_requests:
+                attrs = record["attrs"]
+                wall = sum(
+                    float(attrs.get(f"stage_{s}_seconds", 0.0))
+                    for s in TRACE_STAGES
+                )
+                lines.append(
+                    f"    {attrs.get('trace_id')}  {wall * 1e3:8.3f} ms  "
+                    f"session={attrs.get('session')} "
+                    f"shard={attrs.get('shard')} "
+                    f"outcome={attrs.get('outcome')}"
+                )
         return "\n".join(lines)
 
 

@@ -1,0 +1,595 @@
+"""Request-scoped trace context for the serving runtime.
+
+Every request admitted by :class:`repro.serving.ServingRuntime` is
+assigned a deterministic ``trace_id`` and a :class:`RequestTrace` that
+collects monotonic timestamps at frozen points along the request path
+(router -> admission -> ingress queue -> worker batch -> engine ->
+cross-shard audit -> PIR scatter/gather).  At completion the runtime
+emits one flat ``serving.request`` span whose attrs carry the full
+latency decomposition, and the worker thread activates the trace id so
+every span the engine or PIR layer opens underneath (``qdb.query``,
+``pir.retrieve``, ``faults.degrade``) is tagged with the same
+``trace_id`` — linking the per-subsystem spans into one causal tree
+that :func:`waterfall` reconstructs from a JSONL capture.
+
+The frozen stage list (order matters — it is the waterfall order)::
+
+    admission       router lookup + token-bucket admission decision
+    queue_wait      time spent in the shard's bounded ingress queue
+    batch_assembly  dequeue -> the worker dispatches the request's batch
+    audit           waiting on the cross-shard decision lock
+    kernel          engine ``ask_batch`` / PIR ``retrieve_batch_int``
+    gather          answer distribution / PIR scatter completion
+    serialize       future resolution + span emission
+
+Batched requests share the ``audit``/``kernel`` interval: the engine
+answers the whole consecutive same-session run under one lock hold, so
+every member of the batch reports that shared wall time.  Requests
+refused at admission (overload) never reach a queue and report only
+``admission`` + ``serialize``; the split-tracker refusal is an *engine*
+decision and traverses all seven stages.
+
+Like the rest of :mod:`repro.telemetry` this module is a strict no-op
+until a session is enabled: the runtime mints no trace context while
+telemetry is disabled, and ``REPRO_TRACE_SAMPLE=N`` keeps only every
+Nth request per session (deterministically — the per-session sequence
+number drives the choice, not a clock).
+
+Reconstructing a waterfall from captured span records:
+
+>>> spans = [
+...     {"name": "serving.request", "start": 0.0, "duration": 0.004,
+...      "attrs": {"trace_id": "5a105e8b-000001", "session": "alice",
+...                "kind": "qdb", "shard": 1, "queue_depth": 3,
+...                "outcome": "answered", "stage_admission_seconds": 1e-5,
+...                "stage_queue_wait_seconds": 2e-3,
+...                "stage_batch_assembly_seconds": 5e-5,
+...                "stage_audit_seconds": 1e-4,
+...                "stage_kernel_seconds": 1.5e-3,
+...                "stage_gather_seconds": 2e-5,
+...                "stage_serialize_seconds": 1e-5}},
+...     {"name": "qdb.query", "start": 0.002, "duration": 0.0015,
+...      "attrs": {"trace_id": "5a105e8b-000001", "refused": False}},
+... ]
+>>> info = waterfall(spans, "5a105e8b-000001")
+>>> info["outcome"], info["shard"], len(info["linked"])
+('answered', 1, 1)
+>>> sorted(info["stages"]) == sorted(TRACE_STAGES)
+True
+>>> print(format_waterfall(spans, "5a105e8b-000001"))  # doctest: +ELLIPSIS
+trace 5a105e8b-000001  session=alice kind=qdb shard=1 queue_depth=3 outcome=answered
+  total ...
+    admission     ...
+    queue_wait    ...
+    batch_assembly...
+    audit         ...
+    kernel        ...
+    gather        ...
+    serialize     ...
+  linked spans:
+    qdb.query ...
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zlib
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterable, Sequence
+
+from . import instrument as tele
+from . import registry
+from .tracing import TRACE_CONTEXT
+
+__all__ = [
+    "TRACE_STAGES",
+    "REQUEST_SPAN_NAME",
+    "STAGE_BUCKETS",
+    "RequestTrace",
+    "mint_trace_id",
+    "trace_sample_every",
+    "activate",
+    "current_trace_id",
+    "push_pending",
+    "pop_pending",
+    "clear_pending",
+    "emit_request_span",
+    "request_records",
+    "waterfall",
+    "format_waterfall",
+]
+
+# The frozen latency-decomposition stages, in waterfall order.  The
+# stage attr on a ``serving.request`` span is ``stage_<name>_seconds``.
+TRACE_STAGES = (
+    "admission",
+    "queue_wait",
+    "batch_assembly",
+    "audit",
+    "kernel",
+    "gather",
+    "serialize",
+)
+
+# The flat span every completed (or refused) request emits.
+REQUEST_SPAN_NAME = "serving.request"
+
+# Finer bucket ladder for sub-millisecond serving stages.  The registry
+# default (1e-5 .. 1.0, six bounds) saturates its lowest bucket for
+# stage timings that live in the 1-500us range; this ladder keeps
+# bucket-derived p50/p95 within one bucket width of the exact
+# quantiles (see tests/test_requesttrace.py).
+STAGE_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 5e-2, 1e-1, 1.0,
+)
+
+# Timestamp marks -> (stage, (start_mark, end_mark)).  A stage is
+# reported only when both endpoints were recorded; an overload refusal
+# records submit/refused/done and so reports admission + serialize only.
+_STAGE_MARKS = (
+    ("admission", "submit", "enqueue"),
+    ("queue_wait", "enqueue", "dequeue"),
+    ("batch_assembly", "dequeue", "dispatch"),
+    ("audit", "dispatch", "lock"),
+    ("kernel", "lock", "kernel"),
+    ("gather", "kernel", "gather"),
+    ("serialize", "gather", "done"),
+)
+
+
+# Session-label CRC cache for mint_trace_id.  Sessions are few and
+# long-lived relative to requests, so the encode+crc32 runs once per
+# label instead of once per traced request (the minting happens on the
+# admission path, under the traced-overhead gate).
+_SESSION_CRC: dict[str, int] = {}
+
+
+def mint_trace_id(session: str, seq: int) -> str:
+    """Deterministic trace id: crc32(session) + per-session sequence.
+
+    Uses :func:`zlib.crc32`, not :func:`hash`, so ids are stable across
+    processes regardless of ``PYTHONHASHSEED`` (same convention as the
+    serving router's hash ring).
+
+    >>> mint_trace_id("alice", 1)
+    '278ebc47-000001'
+    >>> mint_trace_id("alice", 1) == mint_trace_id("alice", 1)
+    True
+    """
+    crc = _SESSION_CRC.get(session)
+    if crc is None:
+        crc = _SESSION_CRC[session] = zlib.crc32(session.encode("utf-8"))
+    return f"{crc:08x}-{seq:06d}"
+
+
+def trace_sample_every(env: str = "REPRO_TRACE_SAMPLE") -> int:
+    """Read the 1-in-N trace sampling knob (default 1 = trace all)."""
+    raw = os.environ.get(env)
+    if raw is None:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
+
+
+#: Every mark point a request path can record, in path order.
+_MARK_POINTS = ("submit", "enqueue", "dequeue", "dispatch", "lock",
+                "kernel", "gather", "done", "refused")
+
+
+class RequestTrace:
+    """Per-request mark collector carried on the ingress queue entry.
+
+    Marks are plain ``perf_counter`` readings stored as one slot per
+    point (a marks *dict* per request was measurable GC churn on the
+    traced hot path — see the serving_traced_qps overhead gate); for
+    PIR fan-out the same trace object rides every shard-level queue
+    entry and the last writer wins — the reported stage durations then
+    reflect the critical path (the last shard to reach each point).
+    """
+
+    __slots__ = ("trace_id", "session", "kind", "shard", "queue_depth",
+                 "outcome", "reason", "span_id", "_epoch") + _MARK_POINTS
+
+    def __init__(self, trace_id: str, session: str, kind: str, shard: int):
+        self.trace_id = trace_id
+        self.session = session
+        self.kind = kind
+        self.shard = shard
+        self.queue_depth = -1
+        # Filled by emit_request_span when the finished trace is parked
+        # on the tracer's pending buffer (see to_record).
+        self.outcome = None
+        self.reason = None
+        self.span_id = 0
+        self._epoch = 0.0
+        # Explicit assignments, not a setattr loop: one RequestTrace is
+        # built per traced request, on the submit path.
+        self.submit = None
+        self.enqueue = None
+        self.dequeue = None
+        self.dispatch = None
+        self.lock = None
+        self.kernel = None
+        self.gather = None
+        self.done = None
+        self.refused = None
+
+    def mark(self, point: str) -> None:
+        setattr(self, point, time.perf_counter())
+
+    @property
+    def marks(self) -> dict[str, float]:
+        """The recorded marks as a dict (diagnostics; not the hot path)."""
+        return {point: value for point in _MARK_POINTS
+                if (value := getattr(self, point)) is not None}
+
+    def stages(self) -> dict[str, float]:
+        """Stage durations (seconds) for every stage whose marks exist."""
+        out: dict[str, float] = {}
+        for stage, start, end in _STAGE_MARKS:
+            t0 = getattr(self, start)
+            t1 = getattr(self, end)
+            if t0 is not None and t1 is not None:
+                out[stage] = max(0.0, t1 - t0)
+        # Overload refusals never enqueue: report the admission check up
+        # to the refusal decision and the refusal emission as serialize.
+        if self.enqueue is None and self.refused is not None:
+            out["admission"] = max(0.0, self.refused - self.submit)
+            if self.done is not None:
+                out["serialize"] = max(0.0, self.done - self.refused)
+        return out
+
+    def to_record(self) -> dict:
+        """Render the parked trace as its ``serving.request`` span record.
+
+        Called by ``Tracer._drain_locked`` — the same lazy-rendering
+        contract :class:`~repro.telemetry.tracing.Span` follows: a
+        buffered-only session parks the finished trace object (which the
+        request path already allocated) and only a consumer that reads
+        the buffer pays for the attrs dict and the record dict.  The
+        record is a flat zero-duration event — ``start`` is the request's
+        submit mark on the tracer's clock, all timing detail rides in the
+        stage attrs, and causal linkage is the ``trace_id`` attr.
+        """
+        attrs: dict = {
+            "trace_id": self.trace_id,
+            "session": self.session,
+            "kind": self.kind,
+            "shard": self.shard,
+            "queue_depth": self.queue_depth,
+            "outcome": self.outcome,
+        }
+        if self.reason:
+            attrs["reason"] = str(self.reason)
+        for stage, value in self.stages().items():
+            attrs[_STAGE_ATTR[stage]] = value
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": None,
+            "name": REQUEST_SPAN_NAME,
+            "depth": 0,
+            "start": max(0.0, (self.submit or 0.0) - self._epoch),
+            "duration": 0.0,
+            "attrs": attrs,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Thread-local propagation.
+#
+# ``TRACE_CONTEXT`` (one thread-local, defined next to the tracer so the
+# instrument facade can read it without importing this module) carries
+# two fields:
+#   tid   — the active trace id; ``instrument.span`` stamps it onto
+#           every span the thread opens while it is set.
+#   fifo  — a per-batch FIFO of trace ids aligned with the queries a
+#           worker hands to ``Engine.ask_batch``; the engine pops one
+#           per query so each ``qdb.query`` span gets *its own* id even
+#           though the batch shares one engine call.
+# ---------------------------------------------------------------------------
+
+
+def current_trace_id() -> str | None:
+    return getattr(TRACE_CONTEXT, "tid", None)
+
+
+@contextmanager
+def activate(trace_id: str):
+    """Tag every span this thread opens with ``trace_id``."""
+    prev = getattr(TRACE_CONTEXT, "tid", None)
+    TRACE_CONTEXT.tid = trace_id
+    try:
+        yield
+    finally:
+        TRACE_CONTEXT.tid = prev
+
+
+def push_pending(trace_ids: Sequence[str | None]) -> None:
+    """Queue per-query trace ids for the engine batch about to run.
+
+    Entries align positionally with the batch: sampled-out requests
+    contribute ``None`` so the engine's pops stay in sync.
+    """
+    fifo = getattr(TRACE_CONTEXT, "fifo", None)
+    if fifo is None:
+        fifo = TRACE_CONTEXT.fifo = deque()
+    fifo.extend(trace_ids)
+
+
+def push_one(trace_id: str | None) -> None:
+    """:func:`push_pending` for a single-query batch, without the list.
+
+    Most worker batches group exactly one request (session labels
+    rotate faster than the queue drains), so the serving hot path would
+    otherwise allocate a one-element list per traced request just to
+    extend the FIFO with it.
+    """
+    fifo = getattr(TRACE_CONTEXT, "fifo", None)
+    if fifo is None:
+        fifo = TRACE_CONTEXT.fifo = deque()
+    fifo.append(trace_id)
+
+
+def pop_pending() -> str | None:
+    """Consume the next per-query trace id (None when nothing queued)."""
+    fifo = getattr(TRACE_CONTEXT, "fifo", None)
+    if not fifo:
+        return None
+    return fifo.popleft()
+
+
+def clear_pending() -> None:
+    fifo = getattr(TRACE_CONTEXT, "fifo", None)
+    if fifo:
+        fifo.clear()
+
+
+# ---------------------------------------------------------------------------
+# Emission.
+# ---------------------------------------------------------------------------
+
+# Precomputed span-attr key per stage (f-strings per emission would cost
+# more than the histogram observations they label).
+_STAGE_ATTR = {stage: f"stage_{stage}_seconds" for stage in TRACE_STAGES}
+
+# Per-shard stage-histogram cache:
+#   shard -> (sentinel_name, {stage: hist}, [hist, ...], shared_lock).
+# The registry get-or-create takes the registry lock per call; a traced
+# request observes seven histograms, so the worker threads resolve each
+# shard's set once and reuse the objects.  The list rides in stage
+# order (position-aligned with the emit ladder's values) and the shared
+# lock — installed by ``histogram_set`` when the family is created
+# fresh — lets the batch observation acquire once for all seven.
+# ``reset_metrics`` (test isolation) empties the registry without
+# replacing it — the sentinel membership probe detects that and
+# rebuilds the shard's set.
+_HISTOGRAMS: dict[int, tuple] = {}
+
+
+def emit_request_span(
+    trace: RequestTrace,
+    outcome: str,
+    reason: str | None = None,
+) -> None:
+    """Publish the ``serving.request`` span + per-shard stage histograms.
+
+    Strict no-op while telemetry is disabled.  The histograms are fed
+    eagerly — any registry read (snapshot, OpenMetrics scrape, SSE
+    frame) sees this request's stages immediately — but the span record
+    itself renders lazily: the finished trace object is handed to
+    :meth:`Tracer.emit_deferred`, which in a buffered-only session
+    parks it as-is and builds the attrs/record dicts only when a
+    consumer reads the buffer.  That keeps the per-request cost on the
+    worker thread to the stage arithmetic plus a deque append; the two
+    dicts the record needs would otherwise not just cost their
+    allocation but sit in the tracer buffer as young-gen GC targets
+    paced by the workload's own allocation rate (in-context that
+    amplification nearly doubled the emit cost).  With a sink or
+    subscriber attached the record renders at emission, so captures and
+    live feeds are unaffected.  The waterfall CLI reconstructs the
+    causal tree from the shared ``trace_id`` attr rather than span
+    nesting (the linked spans were opened on other threads / other lock
+    scopes).
+    """
+    tracer = tele.tracer()
+    if tracer is None:
+        return
+    shard = trace.shard
+    cached = _HISTOGRAMS.get(shard)
+    if cached is None or cached[0] not in registry.process_registry():
+        reg = registry.process_registry()
+        prefix = f"serving.shard{shard}."
+        names = [prefix + stage + "_seconds" for stage in TRACE_STAGES]
+        hist_list, shared = reg.histogram_set(names, STAGE_BUCKETS)
+        cached = (
+            names[0],
+            dict(zip(TRACE_STAGES, hist_list)),
+            hist_list,
+            shared,
+        )
+        _HISTOGRAMS[shard] = cached
+    trace.outcome = outcome
+    trace.reason = reason
+    # The stage ladder, unrolled over direct slot reads in mark order
+    # (the generic loop shape lives in :meth:`RequestTrace.stages`,
+    # which the deferred render uses off the hot path).  Marks are
+    # monotone along the request path, so a missing mark ends the
+    # ladder, and the stages recorded are always a prefix of
+    # TRACE_STAGES — ``values`` below stays position-aligned with the
+    # cached histogram list, so the batch observation allocates no
+    # per-stage pair tuples (floats are GC-untracked; tuples are not,
+    # and at ten young-gen objects a request the collector showed up in
+    # the overhead gate).  The one exception is the overload refusal,
+    # which never enqueues and reports admission + serialize only; that
+    # rare path observes its two histograms directly.
+    submit = trace.submit
+    enqueue = trace.enqueue
+    if enqueue is None:
+        hists = cached[1]
+        refused = trace.refused
+        if refused is not None:
+            v = refused - submit
+            v = v if v > 0.0 else 0.0
+            hists["admission"].observe(v, exemplar=trace.trace_id)
+            done = trace.done
+            if done is not None:
+                v = done - refused
+                v = v if v > 0.0 else 0.0
+                hists["serialize"].observe(v, exemplar=trace.trace_id)
+        tracer.emit_deferred(trace)
+        return
+    ctx = TRACE_CONTEXT
+    values = getattr(ctx, "scratch", None)
+    if values is None:
+        values = ctx.scratch = []
+    else:
+        del values[:]
+    v = enqueue - submit
+    values.append(v if v > 0.0 else 0.0)
+    dequeue = trace.dequeue
+    if dequeue is not None:
+        v = dequeue - enqueue
+        values.append(v if v > 0.0 else 0.0)
+        dispatch = trace.dispatch
+        if dispatch is not None:
+            v = dispatch - dequeue
+            values.append(v if v > 0.0 else 0.0)
+            lock = trace.lock
+            if lock is not None:
+                v = lock - dispatch
+                values.append(v if v > 0.0 else 0.0)
+                kernel = trace.kernel
+                if kernel is not None:
+                    v = kernel - lock
+                    values.append(v if v > 0.0 else 0.0)
+                    gather = trace.gather
+                    if gather is not None:
+                        v = gather - kernel
+                        values.append(v if v > 0.0 else 0.0)
+                        done = trace.done
+                        if done is not None:
+                            v = done - gather
+                            values.append(v if v > 0.0 else 0.0)
+    # ``values`` is a per-thread scratch list (one fewer young-gen
+    # allocation per request) — safe because observe_batch consumes it
+    # synchronously and never retains it.
+    registry.observe_batch(cached[2], values, trace.trace_id, cached[3])
+    tracer.emit_deferred(trace)
+
+
+# ---------------------------------------------------------------------------
+# Reconstruction (the `repro trace` CLI and the report section).
+# ---------------------------------------------------------------------------
+
+
+def request_records(spans: Iterable[dict]) -> list[dict]:
+    """All ``serving.request`` records in a capture, in emission order."""
+    return [s for s in spans if s.get("name") == REQUEST_SPAN_NAME]
+
+
+def waterfall(spans: Iterable[dict], trace_id: str) -> dict | None:
+    """Reconstruct one request's causal waterfall from span records.
+
+    Returns ``None`` when no ``serving.request`` record carries the id.
+    The result has the request summary (session, kind, shard, queue
+    depth at enqueue, decision outcome/reason), the stage decomposition
+    in frozen-stage order, and every other span tagged with the same
+    trace id (the causal tree, in capture order).
+    """
+    spans = list(spans)
+    request = None
+    for record in request_records(spans):
+        if record.get("attrs", {}).get("trace_id") == trace_id:
+            request = record
+            break
+    if request is None:
+        return None
+    attrs = request.get("attrs", {})
+    stages = {}
+    for stage in TRACE_STAGES:
+        value = attrs.get(f"stage_{stage}_seconds")
+        if value is not None:
+            stages[stage] = float(value)
+    linked = [
+        s for s in spans
+        if s is not request and s.get("attrs", {}).get("trace_id") == trace_id
+    ]
+    return {
+        "trace_id": trace_id,
+        "session": attrs.get("session"),
+        "kind": attrs.get("kind"),
+        "shard": attrs.get("shard"),
+        "queue_depth": attrs.get("queue_depth"),
+        "outcome": attrs.get("outcome"),
+        "reason": attrs.get("reason"),
+        "stages": stages,
+        "total_seconds": sum(stages.values()),
+        "linked": linked,
+    }
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f}s "
+    if value >= 1e-3:
+        return f"{value * 1e3:8.3f}ms"
+    return f"{value * 1e6:8.1f}us"
+
+
+def format_waterfall(spans: Iterable[dict], trace_id: str, width: int = 40) -> str:
+    """ASCII waterfall for one trace id (raises KeyError when unknown)."""
+    info = waterfall(spans, trace_id)
+    if info is None:
+        raise KeyError(trace_id)
+    lines = [
+        (
+            f"trace {info['trace_id']}  session={info['session']} "
+            f"kind={info['kind']} shard={info['shard']} "
+            f"queue_depth={info['queue_depth']} outcome={info['outcome']}"
+        )
+    ]
+    if info["reason"]:
+        lines.append(f"  reason: {info['reason']}")
+    total = info["total_seconds"]
+    lines.append(f"  total {_fmt_seconds(total)}")
+    offset = 0.0
+    for stage in TRACE_STAGES:
+        if stage not in info["stages"]:
+            continue
+        value = info["stages"][stage]
+        if total > 0:
+            lead = int(round(width * offset / total))
+            bar = int(round(width * value / total))
+        else:
+            lead = bar = 0
+        bar = max(1, bar) if value > 0 else bar
+        lines.append(
+            f"    {stage:<14s}{_fmt_seconds(value)}  "
+            f"{' ' * lead}{'#' * bar}"
+        )
+        offset += value
+    if info["linked"]:
+        lines.append("  linked spans:")
+        for record in info["linked"]:
+            attrs = record.get("attrs", {})
+            detail = ""
+            if "refused" in attrs:
+                detail = " refused" if attrs["refused"] else " answered"
+            if "decision" in attrs:
+                detail += f" decision={attrs['decision']}"
+            lines.append(
+                f"    {record['name']} {_fmt_seconds(float(record['duration']))}"
+                f"{detail}"
+            )
+    return "\n".join(lines)

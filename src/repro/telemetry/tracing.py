@@ -61,6 +61,13 @@ SPAN_FIELDS: dict[str, tuple[type, ...]] = {
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))
 
+#: Thread-local request-trace context (see telemetry.requesttrace).
+#: ``tid`` holds the active trace id — the instrument facade stamps it
+#: onto every span the thread opens; ``fifo`` holds per-batch trace ids
+#: the engine pops one-per-query.  Lives here (not in requesttrace) so
+#: the facade can read it without a circular import.
+TRACE_CONTEXT = threading.local()
+
 
 class SpanSchemaError(ValueError):
     """A trace record does not conform to the span schema."""
@@ -349,10 +356,12 @@ class Tracer:
         finished = self._finished
         maxlen = self._maxlen
         while pending:
-            span = pending.popleft()
+            item = pending.popleft()
             if len(finished) == maxlen:
                 self.spans_dropped += 1
-            finished.append(span.to_record())
+            # emit_event parks ready record dicts; Span.__exit__ and
+            # emit_deferred park objects that render lazily here.
+            finished.append(item if type(item) is dict else item.to_record())
 
     def add_subscriber(self, callback) -> None:
         """Register *callback(record)* to receive every finished span.
@@ -376,6 +385,88 @@ class Tracer:
         with self._emit_lock:
             if callback in self._subscribers:
                 self._subscribers.remove(callback)
+
+    def emit_event(self, name: str, attrs: dict) -> None:
+        """Emit one flat, zero-duration event span.
+
+        The serving runtime's ``serving.request`` records use this: all
+        information rides in the attrs (which must already be JSON
+        scalars — the caller owns the dict), there is no region to
+        time, and the record must cost the emitting worker as little as
+        a regular buffered span close.  The record is flat by
+        construction — ``parent_id`` None, depth 0 — regardless of what
+        spans the calling thread has open: the causal linkage is the
+        ``trace_id`` attr, not span nesting.
+
+        The schema-conformant record dict is built here directly rather
+        than via a throwaway :class:`Span` — an event has no region to
+        close, so routing through Span would alloc an object only to
+        rebuild this same dict in ``to_record`` at drain time.
+        ``_drain_locked`` passes ready dicts through untouched.
+        """
+        record = {
+            "type": "span",
+            "span_id": next(self._ids),
+            "parent_id": None,
+            "name": name,
+            "depth": 0,
+            "start": time.perf_counter() - self._epoch,
+            "duration": 0.0,
+            "attrs": attrs,
+        }
+        if self.sink is None and not self._subscribers:
+            pending = self._pending
+            pending.append(record)
+            if len(pending) >= self._maxlen:
+                with self._emit_lock:
+                    self._drain_locked()
+            return
+        with self._emit_lock:
+            self._drain_locked()
+            if len(self._finished) == self._maxlen:
+                self.spans_dropped += 1
+            self._finished.append(record)
+            if self.sink is not None:
+                self.sink.write(record)
+            for callback in tuple(self._subscribers):
+                callback(record)
+
+    def emit_deferred(self, item) -> None:
+        """Publish a caller-built span object that renders lazily.
+
+        The serving runtime's ``serving.request`` records use this: the
+        request path already owns a finished trace object, so a
+        buffered-only session parks that object as-is — zero additional
+        allocations on the emitting worker — and only a consumer that
+        reads the buffer pays for ``item.to_record()``.  With a sink or
+        subscriber attached the record renders immediately under the
+        emit lock, exactly like a span close, so live consumers and
+        capture files are unaffected by the deferral.
+
+        The tracer stamps ``item.span_id`` from its id counter (keeping
+        :attr:`spans_started` exact) and ``item._epoch`` (so the
+        deferred render places ``start`` on this tracer's clock).  The
+        caller must not mutate *item* after handing it over.
+        """
+        item.span_id = next(self._ids)
+        item._epoch = self._epoch
+        if self.sink is None and not self._subscribers:
+            pending = self._pending
+            pending.append(item)
+            if len(pending) >= self._maxlen:
+                with self._emit_lock:
+                    self._drain_locked()
+            return
+        with self._emit_lock:
+            self._drain_locked()
+            record = item.to_record()
+            if len(self._finished) == self._maxlen:
+                self.spans_dropped += 1
+            self._finished.append(record)
+            if self.sink is not None:
+                self.sink.write(record)
+            for callback in tuple(self._subscribers):
+                callback(record)
 
     def span(self, name: str, **attrs) -> Span:
         """A new span context manager; attrs are coerced to JSON scalars.

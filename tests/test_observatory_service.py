@@ -229,8 +229,8 @@ class TestHttpSurface:
         assert collector.error is None
         assert not collector.is_alive()
         (hello,) = collector.of_type("hello")
-        assert hello["schema"] == 1
-        assert hello["events"] == ["hello", "point", "alert", "bye"]
+        assert hello["schema"] == 2
+        assert hello["events"] == ["hello", "point", "alert", "trace", "bye"]
         assert len(collector.of_type("point")) == 3
         assert collector.of_type("bye")
 

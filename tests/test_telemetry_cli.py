@@ -186,6 +186,6 @@ class TestObserveServeAndFollowRouting:
                 server.shutdown()
                 server.server_close()
         out = capsys.readouterr().out
-        assert "connected: schema 1" in out
+        assert "connected: schema 2" in out
         assert "qdb-refusal-rate" in out
         assert "--limit 1 reached" in out
